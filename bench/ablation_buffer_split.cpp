@@ -1,0 +1,49 @@
+//
+// Ablation A3 (paper §4.4): size of the escape reserve C0. The paper fixes
+// C0 = C_max/2 (equal halves). Smaller reserves leave more room for
+// adaptive traffic but throttle the escape network; larger reserves do the
+// opposite. Each half must still hold a whole packet (VCT), bounding the
+// sweep for 32 B packets to reserves in [1, C_max-1].
+//
+// Usage: ablation_buffer_split [--mode=quick|paper] [sizes=...]
+//
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ibadapt;
+  using namespace ibadapt::bench;
+  const Flags flags(argc, argv);
+  const Mode mode = parseMode(flags, /*quickSizes=*/{16}, /*paperSizes=*/{16, 32},
+                              /*quickTopos=*/2, /*paperTopos=*/5);
+  warnUnknownFlags(flags);
+
+  std::printf("Ablation A3: escape reserve C0 (C_max = 8 credits = 512 B; "
+              "uniform, 32 B,\n100%% adaptive; peak throughput averaged over "
+              "%d topologies)\n\n",
+              mode.topologies);
+  std::printf("%4s %8s %10s\n", "sw", "C0", "peak B/ns/sw");
+
+  for (int size : mode.sizes) {
+    for (int reserve : {1, 2, 4, 6, 7}) {
+      double sum = 0;
+      for (int t = 0; t < mode.topologies; ++t) {
+        SimParams p;
+        p.numSwitches = size;
+        p.topoSeed = static_cast<std::uint64_t>(t) + 1;
+        p.fabric.bufferCredits = 8;
+        p.fabric.escapeReserveCredits = reserve;
+        p.adaptiveFraction = 1.0;
+        p.warmupPackets = mode.warmupPackets;
+        p.measurePackets = mode.measurePackets;
+        const Topology topo = buildTopology(p);
+        sum += measurePeakThroughput(topo, p, defaultRamp(mode.paper))
+                   .peakAccepted;
+      }
+      std::printf("%4d %8d %10.4f%s\n", size, reserve, sum / mode.topologies,
+                  reserve == 4 ? "   <- paper (C_max/2)" : "");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+//
+// Ablations A1/A2 (paper §4.3): output-port selection timing (at the
+// forwarding-table access vs at crossbar arbitration) and criterion
+// (credit-aware vs static vs random). The paper argues selection at
+// arbitration with port-status information should perform best; this bench
+// quantifies the gap.
+//
+// Usage: ablation_selection_policy [--mode=quick|paper] [sizes=...]
+//
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ibadapt;
+  using namespace ibadapt::bench;
+  const Flags flags(argc, argv);
+  const Mode mode = parseMode(flags, /*quickSizes=*/{16}, /*paperSizes=*/{16, 32},
+                              /*quickTopos=*/2, /*paperTopos=*/5);
+  warnUnknownFlags(flags);
+
+  struct Policy {
+    const char* name;
+    SelectionTiming timing;
+    SelectionCriterion criterion;
+  };
+  const std::vector<Policy> policies{
+      {"arbitration + credit-aware", SelectionTiming::kAtArbitration,
+       SelectionCriterion::kCreditAware},
+      {"arbitration + static", SelectionTiming::kAtArbitration,
+       SelectionCriterion::kStatic},
+      {"arbitration + random", SelectionTiming::kAtArbitration,
+       SelectionCriterion::kRandom},
+      {"routing-time + credit-aware", SelectionTiming::kAtRouting,
+       SelectionCriterion::kCreditAware},
+      {"routing-time + static", SelectionTiming::kAtRouting,
+       SelectionCriterion::kStatic},
+      {"routing-time + random", SelectionTiming::kAtRouting,
+       SelectionCriterion::kRandom},
+  };
+
+  // Selection only matters when there is something to select among:
+  // 6 links/switch and 4 table banks give up to 3 adaptive options.
+  std::printf("Ablation A1/A2: output-port selection policy (uniform, 32 B, "
+              "6 links, 4 options,\n100%% adaptive traffic; %d topologies; "
+              "latency probed at a common near-knee load)\n\n",
+              mode.topologies);
+  std::printf("%-30s %4s   %12s %8s   %12s\n", "policy", "sw", "knee B/ns/sw",
+              "vs best", "latency (ns)");
+
+  RampOptions ramp = defaultRamp(mode.paper);
+  ramp.bisectIterations = 5;
+
+  for (int size : mode.sizes) {
+    std::vector<double> peaks(policies.size(), 0.0);
+    std::vector<double> lat(policies.size(), 0.0);
+    for (int t = 0; t < mode.topologies; ++t) {
+      SimParams base;
+      base.numSwitches = size;
+      base.linksPerSwitch = 6;
+      base.fabric.numOptions = 4;
+      base.fabric.lmc = 2;
+      base.topoSeed = static_cast<std::uint64_t>(t) + 1;
+      base.adaptiveFraction = 1.0;
+      base.warmupPackets = mode.warmupPackets;
+      base.measurePackets = mode.measurePackets;
+      const Topology topo = buildTopology(base);
+      // Common latency probe load: 85% of the default policy's knee.
+      SimParams ref = base;
+      const double kneeRef =
+          measurePeakThroughput(topo, ref, ramp).peakAccepted;
+      const double probeLoad = 0.85 * kneeRef / topo.nodesPerSwitch();
+      for (std::size_t i = 0; i < policies.size(); ++i) {
+        SimParams p = base;
+        p.fabric.selectionTiming = policies[i].timing;
+        p.fabric.selectionCriterion = policies[i].criterion;
+        peaks[i] += measurePeakThroughput(topo, p, ramp).peakAccepted;
+        SimParams q = p;
+        q.loadBytesPerNsPerNode = probeLoad;
+        lat[i] += runSimulationOn(topo, q).avgLatencyNs;
+      }
+    }
+    for (auto& v : peaks) v /= mode.topologies;
+    for (auto& v : lat) v /= mode.topologies;
+    const double best = *std::max_element(peaks.begin(), peaks.end());
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      std::printf("%-30s %4d   %12.4f %7.1f%%   %12.0f\n", policies[i].name,
+                  size, peaks[i], 100.0 * peaks[i] / best, lat[i]);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+#pragma once
+//
+// Shared plumbing for the paper-reproduction benches: quick/paper mode
+// selection and table formatting.
+//
+// Every bench accepts:
+//   --mode=quick   (default) small sweep sized for a laptop-class machine
+//   --mode=paper   the paper's full configuration (10 topologies, all sizes)
+// plus bench-specific key=value overrides.
+//
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/simulation.hpp"
+#include "api/sweep.hpp"
+#include "util/flags.hpp"
+
+namespace ibadapt::bench {
+
+struct Mode {
+  bool paper = false;
+  std::vector<int> sizes;       // switch counts
+  int topologies = 0;           // random topologies per configuration
+  std::uint64_t warmupPackets = 0;
+  std::uint64_t measurePackets = 0;
+  int threads = 0;
+};
+
+inline Mode parseMode(const Flags& flags, std::vector<int> quickSizes,
+                      std::vector<int> paperSizes, int quickTopos,
+                      int paperTopos) {
+  Mode m;
+  m.paper = flags.str("mode", "quick") == "paper";
+  m.sizes = flags.intList("sizes", m.paper ? paperSizes : quickSizes);
+  m.topologies = flags.integer("topologies", m.paper ? paperTopos : quickTopos);
+  m.warmupPackets = static_cast<std::uint64_t>(
+      flags.integer("warmup", m.paper ? 4000 : 1500));
+  m.measurePackets = static_cast<std::uint64_t>(
+      flags.integer("measure", m.paper ? 20000 : 6000));
+  m.threads = flags.integer("threads", 0);
+  return m;
+}
+
+inline void warnUnknownFlags(const Flags& flags) {
+  for (const auto& key : flags.unknownKeys()) {
+    std::fprintf(stderr, "warning: unrecognized flag '%s'\n", key.c_str());
+  }
+}
+
+inline const char* patternName(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kUniform:
+      return "uniform";
+    case TrafficPattern::kBitReversal:
+      return "bit-reversal";
+    case TrafficPattern::kHotspot:
+      return "hot-spot";
+    case TrafficPattern::kTranspose:
+      return "transpose";
+    case TrafficPattern::kShuffle:
+      return "shuffle";
+    case TrafficPattern::kLocality:
+      return "locality";
+  }
+  return "?";
+}
+
+inline RampOptions defaultRamp(bool paper) {
+  RampOptions r;
+  r.startLoadPerNode = 0.004;
+  r.growth = paper ? 1.35 : 1.5;
+  return r;
+}
+
+inline void printRule(char c = '-', int n = 78) {
+  for (int i = 0; i < n; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace ibadapt::bench

@@ -1,0 +1,102 @@
+//
+// Extension (paper §1): "in-order packets could also use adaptive routing
+// if packets were reordered at the destination host before being
+// delivered." We segment multi-packet messages, route them either
+// deterministically (arrive in order by construction) or fully adaptively
+// (segments may reorder; a destination reorder buffer restores per-flow
+// message order), and compare the *application-visible* message latency —
+// reordering cost included.
+//
+// Usage: extension_message_reorder [--mode=quick|paper] [switches=16]
+//
+#include <memory>
+
+#include "bench_common.hpp"
+#include "host/message_layer.hpp"
+#include "subnet/subnet_manager.hpp"
+
+namespace {
+
+using namespace ibadapt;
+
+struct Result {
+  double completionNs = 0;
+  double appNs = 0;
+  std::size_t maxHeld = 0;
+  std::uint64_t messages = 0;
+  bool deadlock = false;
+};
+
+Result runOne(const Topology& topo, bool adaptive, double gapNs,
+              SimTime horizon) {
+  FabricParams fp;
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  sm.configure();
+  MessageTrafficSpec mspec;
+  mspec.numNodes = topo.numNodes();
+  mspec.messageBytes = 2048;  // 8 MTU segments
+  mspec.adaptive = adaptive;
+  mspec.meanMessageGapNs = gapNs;
+  MessageTraffic traffic(mspec);
+  MessageReassembler reassembler(topo.numNodes());
+  fabric.attachTraffic(&traffic, 23);
+  fabric.attachObserver(&reassembler);
+  fabric.start();
+  RunLimits gen;
+  gen.endTime = horizon;
+  fabric.run(gen);
+  RunLimits drain;
+  drain.endTime = horizon * 400;
+  drain.generationEndTime = 0;
+  fabric.run(drain);
+  Result r;
+  r.completionNs = reassembler.completionLatency().mean();
+  r.appNs = reassembler.appLatency().mean();
+  r.maxHeld = reassembler.maxReorderHeld();
+  r.messages = reassembler.messagesDeliveredInOrder();
+  r.deadlock = fabric.deadlockSuspected();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ibadapt::bench;
+  const Flags flags(argc, argv);
+  const Mode mode = parseMode(flags, {16}, {16, 32}, 1, 3);
+  const int switches = flags.integer("switches", mode.sizes.front());
+  warnUnknownFlags(flags);
+
+  SimParams tp;
+  tp.numSwitches = switches;
+  const Topology topo = buildTopology(tp);
+  const SimTime horizon = mode.paper ? 2'000'000 : 600'000;
+
+  std::printf("Extension: application-ordered messages — deterministic vs "
+              "adaptive + destination\nreorder buffer (%d switches, 2 KiB "
+              "messages = 8 segments, uniform destinations)\n\n",
+              switches);
+  std::printf("%-14s | %12s | %12s %12s %9s | %s\n", "msg gap (ns)",
+              "det app lat", "FA app lat", "FA complete", "max held",
+              "FA vs det");
+
+  for (double gapNs : {96'000.0, 64'000.0, 40'000.0, 24'000.0}) {
+    const Result det = runOne(topo, /*adaptive=*/false, gapNs, horizon);
+    const Result fa = runOne(topo, /*adaptive=*/true, gapNs, horizon);
+    if (det.deadlock || fa.deadlock) {
+      std::printf("%-14.0f | DEADLOCK\n", gapNs);
+      continue;
+    }
+    std::printf("%-14.0f | %12.0f | %12.0f %12.0f %9zu | %.2fx faster\n",
+                gapNs, det.appNs, fa.appNs, fa.completionNs, fa.maxHeld,
+                fa.appNs > 0 ? det.appNs / fa.appNs : 0.0);
+    std::fflush(stdout);
+  }
+  std::printf("\nReading: as load grows (smaller gaps), deterministic "
+              "messages queue on the single\nup*/down* path while adaptive "
+              "segments spread out; the reorder buffer's holding\ncost "
+              "('max held' messages) stays small, so the application sees "
+              "the win intact.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+//
+// Extension: throughput-improvement factors across a wider pattern sweep
+// than the paper's Table 1 — the paper's three patterns plus transpose,
+// shuffle and locality. The paper's reasoning predicts the ordering:
+// patterns that spread load (uniform, permutations with long paths) gain
+// the most from adaptivity; locality gains the least (short, rarely
+// conflicting paths); hot spots sit at the bottom (endpoint-bound).
+//
+// Usage: extension_traffic_patterns [--mode=quick|paper] [sizes=...]
+//
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ibadapt;
+  using namespace ibadapt::bench;
+  const Flags flags(argc, argv);
+  const Mode mode = parseMode(flags, /*quickSizes=*/{16}, /*paperSizes=*/{16, 32, 64},
+                              /*quickTopos=*/2, /*paperTopos=*/5);
+  warnUnknownFlags(flags);
+
+  struct Row {
+    const char* label;
+    TrafficPattern pattern;
+    double hotspotFraction;
+    int localityWindow;
+  };
+  const std::vector<Row> rows{
+      {"uniform", TrafficPattern::kUniform, 0, 0},
+      {"bit-reversal", TrafficPattern::kBitReversal, 0, 0},
+      {"transpose", TrafficPattern::kTranspose, 0, 0},
+      {"shuffle", TrafficPattern::kShuffle, 0, 0},
+      {"locality (w=8)", TrafficPattern::kLocality, 0, 8},
+      {"hot-spot 10%", TrafficPattern::kHotspot, 0.10, 0},
+  };
+
+  std::printf("Extension: throughput factors across traffic patterns\n"
+              "(4 links/switch, 2 options, 32 B packets, %d topologies)\n\n",
+              mode.topologies);
+  std::printf("%-18s %4s   %6s %6s %6s\n", "pattern", "sw", "min", "avg",
+              "max");
+
+  for (int size : mode.sizes) {
+    for (const Row& row : rows) {
+      SimParams base;
+      base.numSwitches = size;
+      base.pattern = row.pattern;
+      base.hotspotFraction = row.hotspotFraction;
+      if (row.localityWindow > 0) base.localityWindow = row.localityWindow;
+      base.warmupPackets = mode.warmupPackets;
+      base.measurePackets = mode.measurePackets;
+      const ThroughputFactors f = measureThroughputFactors(
+          base, mode.topologies, 1, defaultRamp(mode.paper), mode.threads);
+      std::printf("%-18s %4d   %6.2f %6.2f %6.2f\n", row.label, size,
+                  f.factor.min, f.factor.avg, f.factor.max);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+//
+// Figure 3 (a-d): average packet latency vs accepted traffic while the
+// percentage of adaptive traffic varies from 0 % (deterministic up*/down*)
+// to 100 %, on random irregular networks — 2 routing options, 4 links
+// between switches, uniform traffic, 32-byte packets.
+//
+// Prints one latency/accepted series per (network size, adaptive fraction)
+// and a throughput summary showing the paper's headline trend: improvement
+// grows with the adaptive share and with network size.
+//
+// Usage: fig3_adaptive_fraction [--mode=quick|paper] [sizes=8,16,...]
+//        [fractions=0,25,50,75,100] [seed=1]
+//
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ibadapt;
+  using namespace ibadapt::bench;
+  const Flags flags(argc, argv);
+  const Mode mode = parseMode(flags, /*quickSizes=*/{8, 16, 32, 64},
+                              /*paperSizes=*/{8, 16, 32, 64},
+                              /*quickTopos=*/1, /*paperTopos=*/1);
+  const auto fractionPct = flags.intList(
+      "fractions", std::vector<int>{0, 25, 50, 75, 100});
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.integer("seed", 1));
+  warnUnknownFlags(flags);
+
+  std::printf("Figure 3: latency vs accepted traffic, varying %% of adaptive "
+              "traffic\n(irregular topologies, 4 links/switch, 2 routing "
+              "options, uniform, 32 B packets)\n\n");
+
+  for (int size : mode.sizes) {
+    SimParams base;
+    base.numSwitches = size;
+    base.linksPerSwitch = 4;
+    base.fabric.numOptions = 2;
+    base.fabric.lmc = 1;
+    base.packetBytes = 32;
+    base.pattern = TrafficPattern::kUniform;
+    base.topoSeed = seed;
+    base.warmupPackets = mode.warmupPackets;
+    base.measurePackets = mode.measurePackets;
+    const Topology topo = buildTopology(base);
+
+    std::printf("=== %d switches (%d nodes, topoSeed=%llu) ===\n", size,
+                topo.numNodes(), static_cast<unsigned long long>(seed));
+
+    std::vector<double> peaks;
+    for (int pct : fractionPct) {
+      SimParams p = base;
+      p.adaptiveFraction = pct / 100.0;
+      const PeakThroughput curve =
+          measurePeakThroughput(topo, p, defaultRamp(mode.paper));
+      std::printf("  adaptive=%3d%%  (accepted B/ns/sw, avg latency ns):\n   ",
+                  pct);
+      for (const auto& cp : curve.curve) {
+        std::printf(" (%.4f, %.0f)", cp.acceptedBytesPerNsPerSwitch,
+                    cp.avgLatencyNs);
+      }
+      std::printf("\n    peak accepted = %.4f B/ns/sw\n", curve.peakAccepted);
+      peaks.push_back(curve.peakAccepted);
+    }
+
+    printRule();
+    std::printf("  throughput vs fraction of adaptive traffic:\n");
+    for (std::size_t i = 0; i < fractionPct.size(); ++i) {
+      const double factor = peaks[0] > 0 ? peaks[i] / peaks[0] : 0.0;
+      std::printf("    %3d%% adaptive: %.4f B/ns/sw  (x%.2f vs 0%%)\n",
+                  fractionPct[i], peaks[i], factor);
+    }
+    printRule();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+//
+// Microbenchmarks (google-benchmark) for the building blocks on the
+// simulator's hot path: interleaved forwarding-table lookups, split-buffer
+// operations, event-queue churn, route computation, and whole-fabric event
+// throughput.
+//
+#include <benchmark/benchmark.h>
+
+#include "api/simulation.hpp"
+#include "core/forwarding_table.hpp"
+#include "core/lid_map.hpp"
+#include "core/vl_buffer.hpp"
+#include "routing/minimal.hpp"
+#include "routing/updown.hpp"
+#include "sim/event_queue.hpp"
+#include "topology/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ibadapt;
+
+void BM_ForwardingTableLookup(benchmark::State& state) {
+  const int banks = static_cast<int>(state.range(0));
+  const LidMapper lids(3);
+  AdaptiveForwardingTable t(banks, lids.lidLimit(256));
+  for (NodeId n = 0; n < 256; ++n) {
+    for (int k = 0; k < banks; ++k) {
+      t.setEntry(lids.lidForOption(n, k), (n + k) % 8);
+    }
+  }
+  Lid dlid = lids.adaptiveLid(0);
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    const RouteOptions opts = t.lookup(dlid);
+    sum += static_cast<std::uint64_t>(opts.escapePort);
+    dlid += 8;
+    if (dlid >= lids.lidLimit(255)) dlid = lids.adaptiveLid(0);
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardingTableLookup)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_VlBufferPushCandidatesRemove(benchmark::State& state) {
+  VlBuffer buf(8, 4);
+  BufferedPacket bp;
+  bp.credits = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < 8; ++i) {
+      bp.deterministic = (i % 3) == 0;
+      buf.push(bp);
+    }
+    while (!buf.empty()) {
+      const auto c = buf.candidateHeads(EscapeOrderRule::kPaperStrict);
+      buf.remove(c.index[c.count - 1]);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_VlBufferPushCandidatesRemove);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  EventQueue q;
+  Rng rng(7);
+  Event ev;
+  ev.kind = EventKind::kArbitrate;
+  SimTime now = 0;
+  // Steady-state heap of ~1k events, push/pop mix as in simulation.
+  for (int i = 0; i < 1000; ++i) {
+    ev.time = static_cast<SimTime>(rng.uniformIndex(10000));
+    q.push(ev);
+  }
+  for (auto _ : state) {
+    now = q.pop().time;
+    ev.time = now + 1 + static_cast<SimTime>(rng.uniformIndex(500));
+    q.push(ev);
+  }
+  benchmark::DoNotOptimize(now);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_UpDownConstruction(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  Rng rng(5);
+  IrregularSpec spec;
+  spec.numSwitches = size;
+  spec.linksPerSwitch = 4;
+  const Topology topo = makeIrregular(spec, rng);
+  for (auto _ : state) {
+    const UpDownRouting ud(topo);
+    benchmark::DoNotOptimize(ud.root());
+  }
+}
+BENCHMARK(BM_UpDownConstruction)->Arg(16)->Arg(64);
+
+void BM_MinimalRoutingConstruction(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  Rng rng(5);
+  IrregularSpec spec;
+  spec.numSwitches = size;
+  spec.linksPerSwitch = 4;
+  const Topology topo = makeIrregular(spec, rng);
+  for (auto _ : state) {
+    const MinimalAdaptiveRouting mr(topo);
+    benchmark::DoNotOptimize(mr.distance(0, size - 1));
+  }
+}
+BENCHMARK(BM_MinimalRoutingConstruction)->Arg(16)->Arg(64);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  // Whole-stack cost per delivered packet at moderate load.
+  const int size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SimParams p;
+    p.numSwitches = size;
+    p.loadBytesPerNsPerNode = 0.05;
+    p.warmupPackets = 200;
+    p.measurePackets = 2000;
+    const SimResults r = runSimulation(p);
+    benchmark::DoNotOptimize(r.delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 2200);
+  state.SetLabel("items = delivered packets");
+}
+BENCHMARK(BM_EndToEndSimulation)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

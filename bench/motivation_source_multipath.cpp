@@ -1,0 +1,77 @@
+//
+// Motivation experiment (paper §1): "by using alternative paths selected at
+// the source node, the overall network performance is hardly improved" —
+// the claim that justifies switch-level adaptivity in the first place.
+//
+// We compare, on the same topologies:
+//   * deterministic up*/down* (1 path),
+//   * source multipath with 2 and 4 deterministic up*/down* planes chosen
+//     per packet at the source (stock IBA switches, LMC addressing only),
+//   * the paper's fully adaptive switch mechanism (2 options).
+//
+// Usage: motivation_source_multipath [--mode=quick|paper] [sizes=...]
+//
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ibadapt;
+  using namespace ibadapt::bench;
+  const Flags flags(argc, argv);
+  const Mode mode = parseMode(flags, /*quickSizes=*/{16, 32},
+                              /*paperSizes=*/{16, 32, 64},
+                              /*quickTopos=*/2, /*paperTopos=*/5);
+  warnUnknownFlags(flags);
+
+  std::printf("Motivation: source-selected multipath vs switch adaptivity\n"
+              "(uniform, 32 B packets, 4 links/switch, knee throughput "
+              "averaged over %d topologies)\n\n",
+              mode.topologies);
+  std::printf("%4s   %14s %14s %14s %14s\n", "sw", "deterministic",
+              "src-multi x2", "src-multi x4", "switch FA x2");
+
+  for (int size : mode.sizes) {
+    double det = 0, mp2 = 0, mp4 = 0, fa = 0;
+    for (int t = 0; t < mode.topologies; ++t) {
+      SimParams base;
+      base.numSwitches = size;
+      base.topoSeed = static_cast<std::uint64_t>(t) + 1;
+      base.warmupPackets = mode.warmupPackets;
+      base.measurePackets = mode.measurePackets;
+      const Topology topo = buildTopology(base);
+      const RampOptions ramp = defaultRamp(mode.paper);
+
+      SimParams d = base;
+      d.adaptiveFraction = 0.0;
+      det += measurePeakThroughput(topo, d, ramp).peakAccepted;
+
+      SimParams m2 = base;
+      m2.sourceMultipathPlanes = 2;
+      m2.fabric.numOptions = 1;
+      m2.fabric.lmc = 1;
+      mp2 += measurePeakThroughput(topo, m2, ramp).peakAccepted;
+
+      SimParams m4 = base;
+      m4.sourceMultipathPlanes = 4;
+      m4.fabric.numOptions = 1;
+      m4.fabric.lmc = 2;
+      mp4 += measurePeakThroughput(topo, m4, ramp).peakAccepted;
+
+      SimParams a = base;
+      a.adaptiveFraction = 1.0;
+      fa += measurePeakThroughput(topo, a, ramp).peakAccepted;
+    }
+    det /= mode.topologies;
+    mp2 /= mode.topologies;
+    mp4 /= mode.topologies;
+    fa /= mode.topologies;
+    std::printf("%4d   %14.4f %14.4f %14.4f %14.4f\n", size, det, mp2, mp4,
+                fa);
+    std::printf("%4s   %14s %13.2fx %13.2fx %13.2fx\n", "", "(baseline)",
+                mp2 / det, mp4 / det, fa / det);
+    std::fflush(stdout);
+  }
+  std::printf("\nExpected shape: the source-multipath columns barely move "
+              "the needle while the\nswitch-adaptive column improves "
+              "strongly — the paper's motivating observation.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+//
+// Table 1: minimum / average / maximum factor of throughput increase
+// (100 % adaptive traffic vs deterministic) over random irregular
+// topologies, for several network sizes, packet sizes and traffic patterns.
+//
+// Left block:  4 links between switches, 2 routing options.
+// Right block: 6 links between switches, up to 4 routing options.
+//
+// Usage: table1_throughput [--mode=quick|paper] [sizes=...] [topologies=N]
+//
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ibadapt;
+using namespace ibadapt::bench;
+
+struct Row {
+  const char* label;
+  TrafficPattern pattern;
+  double hotspotFraction;
+  int packetBytes;
+};
+
+void runBlock(const Mode& mode, int linksPerSwitch, int numOptions,
+              const std::vector<Row>& rows) {
+  std::printf("--- %d links/switch, up to %d routing options ---\n",
+              linksPerSwitch, numOptions);
+  std::printf("%-28s %4s   %6s %6s %6s\n", "traffic", "sw", "min", "avg",
+              "max");
+  for (int size : mode.sizes) {
+    for (const Row& row : rows) {
+      SimParams base;
+      base.numSwitches = size;
+      base.linksPerSwitch = linksPerSwitch;
+      base.fabric.numOptions = numOptions;
+      base.fabric.lmc = numOptions > 2 ? 2 : 1;
+      base.packetBytes = row.packetBytes;
+      base.pattern = row.pattern;
+      base.hotspotFraction = row.hotspotFraction;
+      base.warmupPackets = mode.warmupPackets;
+      base.measurePackets = mode.measurePackets;
+      const ThroughputFactors f = measureThroughputFactors(
+          base, mode.topologies, /*seedBase=*/1, defaultRamp(mode.paper),
+          mode.threads);
+      std::printf("%-28s %4d   %6.2f %6.2f %6.2f\n", row.label, size,
+                  f.factor.min, f.factor.avg, f.factor.max);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const Mode mode = parseMode(flags, /*quickSizes=*/{8, 16, 32, 64},
+                              /*paperSizes=*/{8, 16, 32, 64},
+                              /*quickTopos=*/3, /*paperTopos=*/10);
+  warnUnknownFlags(flags);
+
+  std::printf("Table 1: factor of network throughput increase, "
+              "100%% adaptive vs deterministic\n(min/avg/max over %d random "
+              "topologies per size)\n\n",
+              mode.topologies);
+
+  std::vector<Row> left{
+      {"uniform, 32B", TrafficPattern::kUniform, 0.0, 32},
+      {"uniform, 256B", TrafficPattern::kUniform, 0.0, 256},
+      {"bit-reversal, 32B", TrafficPattern::kBitReversal, 0.0, 32},
+      {"hot-spot 5%, 32B", TrafficPattern::kHotspot, 0.05, 32},
+      {"hot-spot 10%, 32B", TrafficPattern::kHotspot, 0.10, 32},
+      {"hot-spot 20%, 32B", TrafficPattern::kHotspot, 0.20, 32},
+  };
+  if (!mode.paper) {
+    // Quick mode: trim to the patterns that carry the table's story.
+    left = {
+        {"uniform, 32B", TrafficPattern::kUniform, 0.0, 32},
+        {"uniform, 256B", TrafficPattern::kUniform, 0.0, 256},
+        {"bit-reversal, 32B", TrafficPattern::kBitReversal, 0.0, 32},
+        {"hot-spot 10%, 32B", TrafficPattern::kHotspot, 0.10, 32},
+    };
+  }
+  runBlock(mode, /*linksPerSwitch=*/4, /*numOptions=*/2, left);
+
+  const std::vector<Row> right{
+      {"uniform, 32B", TrafficPattern::kUniform, 0.0, 32},
+      {"uniform, 256B", TrafficPattern::kUniform, 0.0, 256},
+  };
+  runBlock(mode, /*linksPerSwitch=*/6, /*numOptions=*/4,
+           mode.paper ? right
+                      : std::vector<Row>{{"uniform, 32B",
+                                          TrafficPattern::kUniform, 0.0, 32}});
+  return 0;
+}

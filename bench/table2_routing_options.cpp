@@ -1,0 +1,63 @@
+//
+// Table 2: average percentage of routing options per destination at each
+// switch, for MR (maximum routing options) of 2, 3, 4, with 4 and 6 links
+// between switches. Pure static analysis over the routing tables — no
+// simulation — so the full paper configuration runs by default.
+//
+// Usage: table2_routing_options [--mode=quick|paper] [sizes=...]
+//        [topologies=N]
+//
+#include "analysis/option_census.hpp"
+#include "bench_common.hpp"
+#include "routing/minimal.hpp"
+#include "routing/updown.hpp"
+#include "topology/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ibadapt;
+  using namespace ibadapt::bench;
+  const Flags flags(argc, argv);
+  const Mode mode = parseMode(flags, /*quickSizes=*/{8, 16, 32, 64},
+                              /*paperSizes=*/{8, 16, 32, 64},
+                              /*quickTopos=*/10, /*paperTopos=*/10);
+  warnUnknownFlags(flags);
+
+  std::printf("Table 2: %% of (switch, destination) pairs offering k routing "
+              "options\n(averaged over %d random topologies; MR = max options "
+              "per destination)\n\n",
+              mode.topologies);
+
+  for (int links : {4, 6}) {
+    std::printf("--- %d links/switch ---\n", links);
+    std::printf("%4s %3s | %7s %7s %7s %7s | %6s\n", "sw", "MR", "1 opt",
+                "2 opts", "3 opts", "4 opts", "avg");
+    for (int size : mode.sizes) {
+      for (int mr : {2, 3, 4}) {
+        std::array<double, 5> pct{};
+        double avg = 0;
+        for (int t = 0; t < mode.topologies; ++t) {
+          Rng rng(static_cast<std::uint64_t>(t) + 1);
+          IrregularSpec spec;
+          spec.numSwitches = size;
+          spec.linksPerSwitch = links;
+          const Topology topo = makeIrregular(spec, rng);
+          const UpDownRouting updown(topo);
+          const MinimalAdaptiveRouting minimal(topo);
+          const RouteSet routes(topo, updown, minimal);
+          const OptionCensus c = routingOptionCensus(topo, routes, mr);
+          for (int k = 1; k <= 4; ++k) {
+            pct[static_cast<std::size_t>(k)] +=
+                c.pct[static_cast<std::size_t>(k)];
+          }
+          avg += c.avgOptions;
+        }
+        for (auto& v : pct) v /= mode.topologies;
+        avg /= mode.topologies;
+        std::printf("%4d %3d | %6.2f%% %6.2f%% %6.2f%% %6.2f%% | %6.2f\n",
+                    size, mr, pct[1], pct[2], pct[3], pct[4], avg);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

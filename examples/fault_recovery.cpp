@@ -1,0 +1,138 @@
+//
+// Fault recovery with APM path sets (paper §4.1): the LID block of every
+// destination carries two complete routing configurations. When a link
+// dies, endpoints migrate to the alternate path set instantly — just a
+// different DLID — while the subnet manager recomputes tables in the
+// background. This example walks the whole timeline on one fabric:
+//
+//   phase 1: healthy, everyone on path set 0
+//   phase 2: a heavily used link fails; set-0 senders lose packets,
+//            set-1 senders keep working
+//   phase 3: the SM sweep reprograms the tables; set 0 works again
+//
+// Usage: example_fault_recovery [switches=16] [seed=3]
+//
+#include <cstdio>
+
+#include "fabric/fabric.hpp"
+#include "subnet/subnet_manager.hpp"
+#include "topology/generators.hpp"
+#include "traffic/synthetic.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace ibadapt;
+
+/// Synthetic uniform traffic pinned to one APM path set.
+class PinnedSetTraffic final : public ITrafficSource {
+ public:
+  PinnedSetTraffic(int numNodes, int setOffset)
+      : numNodes_(numNodes), setOffset_(setOffset) {}
+
+  void setPathSetOffset(int offset) { setOffset_ = offset; }
+
+  Spec makePacket(NodeId src, Rng& rng) override {
+    Spec s;
+    auto d = static_cast<NodeId>(
+        rng.uniformIndex(static_cast<std::uint64_t>(numNodes_ - 1)));
+    if (d >= src) ++d;
+    s.dst = d;
+    s.sizeBytes = 32;
+    s.adaptive = true;
+    s.pathOffset = setOffset_ + 1;  // adaptive bit inside the sub-block
+    return s;
+  }
+  SimTime firstGenTime(NodeId, Rng& rng) override {
+    return static_cast<SimTime>(rng.exponential(1000.0));
+  }
+  SimTime nextGenTime(NodeId, SimTime now, Rng& rng) override {
+    return now + 1 + static_cast<SimTime>(rng.exponential(1000.0));
+  }
+  bool saturationMode() const override { return false; }
+
+ private:
+  int numNodes_;
+  int setOffset_;
+};
+
+struct PhaseStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+};
+
+PhaseStats runPhase(Fabric& fabric, SimTime until) {
+  const auto before = fabric.counters();
+  RunLimits limits;
+  limits.endTime = until;
+  fabric.run(limits);
+  const auto after = fabric.counters();
+  return PhaseStats{after.delivered - before.delivered,
+                    after.dropped - before.dropped};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  Rng rng(static_cast<std::uint64_t>(flags.integer("seed", 3)));
+  IrregularSpec spec;
+  spec.numSwitches = flags.integer("switches", 16);
+  spec.linksPerSwitch = 6;  // keep the graph connected after one fault
+  const Topology topo = makeIrregular(spec, rng);
+
+  FabricParams fp;
+  fp.numOptions = 2;
+  fp.lmc = 2;  // 4 addresses: 2 APM sets x 2 options
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  SubnetParams sp;
+  sp.apmPathSets = 2;
+  sm.configure(sp);
+
+  PinnedSetTraffic traffic(topo.numNodes(), /*setOffset=*/0);
+  fabric.attachTraffic(&traffic, /*seed=*/7);
+  fabric.start();
+
+  std::printf("Fabric: %d switches / %d hosts, 2 APM path sets programmed\n\n",
+              topo.numSwitches(), topo.numNodes());
+
+  const PhaseStats healthy = runPhase(fabric, 2'000'000);
+  std::printf("phase 1 (healthy, set 0):      delivered %6llu, dropped %4llu\n",
+              static_cast<unsigned long long>(healthy.delivered),
+              static_cast<unsigned long long>(healthy.dropped));
+
+  // Fail the first inter-switch link of the up*/down* root — a hot spot of
+  // escape traffic.
+  const auto nbs = topo.switchNeighbors(0);
+  fabric.failLink(0, nbs.front().second);
+  std::printf("\n*** link sw0 <-> sw%d FAILED ***\n\n", nbs.front().first);
+
+  const PhaseStats degraded = runPhase(fabric, 4'000'000);
+  std::printf("phase 2 (fault, still set 0):  delivered %6llu, dropped %4llu\n",
+              static_cast<unsigned long long>(degraded.delivered),
+              static_cast<unsigned long long>(degraded.dropped));
+
+  // Endpoints migrate: same fabric, new DLID sub-block. No SM involved.
+  traffic.setPathSetOffset(2);
+  const PhaseStats migrated = runPhase(fabric, 6'000'000);
+  std::printf("phase 2b (migrated to set 1):  delivered %6llu, dropped %4llu\n",
+              static_cast<unsigned long long>(migrated.delivered),
+              static_cast<unsigned long long>(migrated.dropped));
+
+  // SM sweep rebuilds every table on the degraded topology; set 0 is clean
+  // again and endpoints can migrate back.
+  sm.configure(sp);
+  traffic.setPathSetOffset(0);
+  const PhaseStats recovered = runPhase(fabric, 8'000'000);
+  std::printf("phase 3 (SM reswept, set 0):   delivered %6llu, dropped %4llu\n",
+              static_cast<unsigned long long>(recovered.delivered),
+              static_cast<unsigned long long>(recovered.dropped));
+
+  std::printf("\nNote: drops in phase 2 are packets whose only programmed "
+              "routes crossed the dead\nlink (IBA switches time these out); "
+              "migration and the SM sweep both stop the loss.\nSet-1 paths "
+              "are salted differently, so they often — not always — avoid "
+              "the fault.\n");
+  return 0;
+}

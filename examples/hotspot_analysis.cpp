@@ -1,0 +1,61 @@
+//
+// Hot-spot study: one node receives a disproportionate share of traffic
+// (failed-over storage target, parameter server, ...). The paper shows
+// adaptive routing helps less as the hot-spot share grows, because the
+// congestion tree around the hot node spreads through the whole fabric.
+//
+// Usage: example_hotspot_analysis [switches=16] [seed=1]
+//
+#include <cstdio>
+
+#include "api/simulation.hpp"
+#include "api/sweep.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ibadapt;
+  const Flags flags(argc, argv);
+
+  SimParams p;
+  p.numSwitches = flags.integer("switches", 16);
+  p.topoSeed = static_cast<std::uint64_t>(flags.integer("seed", 1));
+  p.warmupPackets = 1500;
+  p.measurePackets = 8000;
+  const Topology topo = buildTopology(p);
+
+  std::printf("Hot-spot analysis on a %d-switch / %d-host fabric\n\n",
+              topo.numSwitches(), topo.numNodes());
+  std::printf("%-14s %16s %16s %8s\n", "hot-spot share", "det thr (B/ns/sw)",
+              "FA thr (B/ns/sw)", "factor");
+
+  RampOptions ramp;
+  ramp.startLoadPerNode = 0.002;
+  ramp.growth = 1.4;
+
+  for (double share : {0.0, 0.05, 0.10, 0.20}) {
+    SimParams q = p;
+    if (share > 0.0) {
+      q.pattern = TrafficPattern::kHotspot;
+      q.hotspotFraction = share;
+      q.hotspotNode = 0;  // fixed so both modes stress the same node
+    }
+    SimParams det = q;
+    det.adaptiveFraction = 0.0;
+    SimParams fa = q;
+    fa.adaptiveFraction = 1.0;
+    const double td = measurePeakThroughput(topo, det, ramp).peakAccepted;
+    const double ta = measurePeakThroughput(topo, fa, ramp).peakAccepted;
+    std::printf("%-14s %16.4f %16.4f %8.2f\n",
+                share == 0.0 ? "none (uniform)"
+                             : (std::to_string(static_cast<int>(share * 100)) +
+                                "%")
+                                   .c_str(),
+                td, ta, td > 0 ? ta / td : 0.0);
+  }
+
+  std::printf("\nExpected shape (paper table 1): the improvement factor "
+              "shrinks as the hot-spot\nshare grows — congestion "
+              "concentrates on the hot node's link, which no routing\n"
+              "freedom can widen.\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+//
+// ibadapt_sim — command-line front end to the whole simulator, in the
+// spirit of BookSim-style config-driven runs. Every knob of SimParams is a
+// key=value flag; the report prints latency, throughput, path behaviour and
+// health in the paper's units.
+//
+// Examples:
+//   example_ibadapt_sim switches=32 links=4 load=0.05 adaptive=1.0
+//   example_ibadapt_sim topology=torus width=4 height=4 pattern=transpose
+//   example_ibadapt_sim switches=16 saturation=1 adaptive=0 packet=256
+//   example_ibadapt_sim switches=16 knee=1 adaptive=1.0     (throughput search)
+//
+#include <cstdio>
+#include <string>
+
+#include "api/simulation.hpp"
+#include "api/sweep.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace ibadapt;
+
+TrafficPattern parsePattern(const std::string& s) {
+  if (s == "uniform") return TrafficPattern::kUniform;
+  if (s == "bitrev" || s == "bit-reversal") return TrafficPattern::kBitReversal;
+  if (s == "hotspot" || s == "hot-spot") return TrafficPattern::kHotspot;
+  if (s == "transpose") return TrafficPattern::kTranspose;
+  if (s == "shuffle") return TrafficPattern::kShuffle;
+  if (s == "locality") return TrafficPattern::kLocality;
+  throw std::invalid_argument("unknown pattern: " + s);
+}
+
+TopologyKind parseTopology(const std::string& s) {
+  if (s == "irregular") return TopologyKind::kIrregular;
+  if (s == "ring") return TopologyKind::kRing;
+  if (s == "mesh") return TopologyKind::kMesh2D;
+  if (s == "torus") return TopologyKind::kTorus2D;
+  if (s == "hypercube" || s == "cube") return TopologyKind::kHypercube;
+  throw std::invalid_argument("unknown topology: " + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.has("help")) {
+    std::printf(
+        "keys: topology=irregular|ring|mesh|torus|hypercube switches links\n"
+        "      width height dim nodes seed  pattern=uniform|bitrev|hotspot|\n"
+        "      transpose|shuffle|locality hotfrac hotnode window\n"
+        "      load (bytes/ns/node) saturation=0|1 knee=0|1 adaptive=0..1\n"
+        "      packet=32|256 burstiness burstgap  options lmc vls buffer\n"
+        "      reserve  multipath apmsets apmset  warmup measure tseed\n");
+    return 0;
+  }
+
+  SimParams p;
+  p.topoKind = parseTopology(flags.str("topology", "irregular"));
+  p.numSwitches = flags.integer("switches", 16);
+  p.linksPerSwitch = flags.integer("links", 4);
+  p.nodesPerSwitch = flags.integer("nodes", 4);
+  p.meshWidth = flags.integer("width", 4);
+  p.meshHeight = flags.integer("height", 4);
+  p.hypercubeDim = flags.integer("dim", 4);
+  p.topoSeed = static_cast<std::uint64_t>(flags.integer("seed", 1));
+
+  p.pattern = parsePattern(flags.str("pattern", "uniform"));
+  p.hotspotFraction = flags.real("hotfrac", 0.1);
+  p.hotspotNode = flags.integer("hotnode", kInvalidId);
+  p.localityWindow = flags.integer("window", 8);
+  p.packetBytes = flags.integer("packet", 32);
+  p.adaptiveFraction = flags.real("adaptive", 1.0);
+  p.loadBytesPerNsPerNode = flags.real("load", 0.05);
+  p.saturation = flags.boolean("saturation", false);
+  p.burstiness = flags.real("burstiness", 0.0);
+  p.burstGapMeanNs = flags.real("burstgap", 20'000.0);
+  p.trafficSeed = static_cast<std::uint64_t>(flags.integer("tseed", 7));
+
+  p.fabric.numOptions = flags.integer("options", 2);
+  p.fabric.lmc = flags.integer("lmc", p.fabric.numOptions > 2 ? 2 : 1);
+  p.fabric.numVls = flags.integer("vls", 1);
+  p.fabric.bufferCredits = flags.integer("buffer", 8);
+  p.fabric.escapeReserveCredits = flags.integer("reserve", 4);
+  p.sourceMultipathPlanes = flags.integer("multipath", 0);
+  if (p.sourceMultipathPlanes > 0) {
+    p.fabric.numOptions = 1;
+    p.fabric.lmc = flags.integer("lmc", 2);
+  }
+  p.apmPathSets = flags.integer("apmsets", 1);
+  p.apmActiveSet = flags.integer("apmset", 0);
+
+  p.warmupPackets = static_cast<std::uint64_t>(flags.integer("warmup", 2000));
+  p.measurePackets =
+      static_cast<std::uint64_t>(flags.integer("measure", 15000));
+
+  const bool kneeSearch = flags.boolean("knee", false);
+  for (const auto& k : flags.unknownKeys()) {
+    std::fprintf(stderr, "warning: unrecognized flag '%s'\n", k.c_str());
+  }
+
+  const Topology topo = buildTopology(p);
+  std::printf("topology : %d switches, %d nodes, %d inter-switch links\n",
+              topo.numSwitches(), topo.numNodes(), topo.numLinks());
+
+  if (kneeSearch) {
+    const PeakThroughput peak = measurePeakThroughput(topo, p);
+    std::printf("\nknee throughput search (%zu points):\n", peak.curve.size());
+    std::printf("  %-12s %-12s %-12s %s\n", "offered", "accepted", "latency",
+                "state");
+    for (const auto& cp : peak.curve) {
+      std::printf("  %-12.4f %-12.4f %-12.0f %s\n",
+                  cp.offeredBytesPerNsPerSwitch,
+                  cp.acceptedBytesPerNsPerSwitch, cp.avgLatencyNs,
+                  cp.saturated ? "saturated" : "stable");
+    }
+    std::printf("\nknee: %.4f bytes/ns/switch (offered %.4f)\n",
+                peak.peakAccepted, peak.peakOffered);
+    return 0;
+  }
+
+  const SimResults r = runSimulationOn(topo, p);
+  std::printf("\nlatency  : avg %.0f ns  (p50 %.0f, p95 %.0f, p99 %.0f, "
+              "max %.0f)\n",
+              r.avgLatencyNs, r.p50LatencyNs, r.p95LatencyNs, r.p99LatencyNs,
+              r.maxLatencyNs);
+  if (r.avgLatencyAdaptiveNs > 0 || r.avgLatencyDeterministicNs > 0) {
+    std::printf("           adaptive %.0f ns, deterministic %.0f ns\n",
+                r.avgLatencyAdaptiveNs, r.avgLatencyDeterministicNs);
+  }
+  std::printf("traffic  : accepted %.4f bytes/ns/switch",
+              r.acceptedBytesPerNsPerSwitch);
+  if (!p.saturation) {
+    std::printf("  (offered %.4f)", r.offeredBytesPerNsPerSwitch);
+  }
+  std::printf("\nvolumes  : generated %llu, delivered %llu, dropped %llu "
+              "(measured %llu)\n",
+              static_cast<unsigned long long>(r.generated),
+              static_cast<unsigned long long>(r.delivered),
+              static_cast<unsigned long long>(r.dropped),
+              static_cast<unsigned long long>(r.measured));
+  std::printf("paths    : %.2f hops avg; forwards %.1f%% adaptive / %.1f%% "
+              "escape\n",
+              r.avgHops, 100 * r.adaptiveForwardFraction,
+              100 * r.escapeForwardFraction);
+  std::printf("links    : utilization mean %.1f%%, max %.1f%%\n",
+              100 * r.meanLinkUtilization, 100 * r.maxLinkUtilization);
+  std::printf("health   : %s%s%s, %llu in-order violations\n",
+              r.measurementComplete ? "complete" : "INCOMPLETE",
+              r.deadlockSuspected ? ", DEADLOCK SUSPECTED" : "",
+              r.livePacketLimitHit ? ", live-packet cap" : "",
+              static_cast<unsigned long long>(r.inOrderViolations));
+  std::printf("sim time : %lld ns\n",
+              static_cast<long long>(r.simEndTimeNs));
+  return r.deadlockSuspected || r.inOrderViolations > 0 ? 1 : 0;
+}

@@ -1,0 +1,53 @@
+//
+// SAN scenario (the paper's motivating use case): a server-cluster fabric
+// carrying two traffic classes on the same subnet —
+//   * storage I/O that must arrive in order  -> deterministic DLIDs (d),
+//   * MPI-style IPC that tolerates reordering -> adaptive DLIDs (d+1).
+//
+// The sender flips one DLID bit per packet to pick the class (paper §4.2);
+// nothing else changes. We report per-class latency at increasing load to
+// show IPC traffic gaining from adaptivity while storage keeps its ordering
+// guarantee (the run cross-checks zero in-order violations).
+//
+// Usage: example_san_mixed_workload [switches=16] [ipc_share=60]
+//
+#include <cstdio>
+
+#include "api/simulation.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ibadapt;
+  const Flags flags(argc, argv);
+
+  SimParams p;
+  p.numSwitches = flags.integer("switches", 16);
+  p.linksPerSwitch = 4;
+  p.adaptiveFraction = flags.integer("ipc_share", 60) / 100.0;
+  p.warmupPackets = 2000;
+  p.measurePackets = 15000;
+  const Topology topo = buildTopology(p);
+
+  std::printf("SAN fabric: %d switches, %d hosts; %2.0f%% adaptive IPC, "
+              "%2.0f%% in-order storage I/O\n\n",
+              topo.numSwitches(), topo.numNodes(), 100 * p.adaptiveFraction,
+              100 * (1 - p.adaptiveFraction));
+  std::printf("%-10s %14s %16s %14s %10s\n", "load", "IPC lat (ns)",
+              "storage lat (ns)", "accepted", "in-order");
+
+  for (double load : {0.02, 0.04, 0.08, 0.12, 0.16}) {
+    SimParams q = p;
+    q.loadBytesPerNsPerNode = load;
+    const SimResults r = runSimulationOn(topo, q);
+    std::printf("%-10.2f %14.0f %16.0f %14.4f %10s\n",
+                load * topo.nodesPerSwitch(), r.avgLatencyAdaptiveNs,
+                r.avgLatencyDeterministicNs, r.acceptedBytesPerNsPerSwitch,
+                r.inOrderViolations == 0 ? "OK" : "VIOLATED");
+  }
+
+  std::printf("\nNote: under congestion the IPC class rides the minimal "
+              "adaptive paths while\nstorage stays on its single up*/down* "
+              "path — in-order delivery is preserved\nby construction "
+              "(checked against per-pair sequence numbers above).\n");
+  return 0;
+}

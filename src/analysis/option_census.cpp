@@ -1,0 +1,52 @@
+#include "analysis/option_census.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace ibadapt {
+
+OptionCensus routingOptionCensus(const Topology& topo, const RouteSet& routes,
+                                 int maxOptions) {
+  if (maxOptions < 1 || maxOptions > OptionCensus::kMaxCensusOptions) {
+    throw std::invalid_argument("routingOptionCensus: maxOptions");
+  }
+  OptionCensus out;
+  out.maxOptions = maxOptions;
+  std::array<long, OptionCensus::kMaxCensusOptions + 1> counts{};
+  long total = 0;
+  double optionSum = 0.0;
+
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    for (SwitchId destSw = 0; destSw < topo.numSwitches(); ++destSw) {
+      if (destSw == sw) continue;
+      // All nodes on destSw share identical options; sample one.
+      const NodeId dest = topo.nodeAt(destSw, 0);
+      const RouteOptionsSpec& spec = routes.options(sw, dest);
+      std::vector<PortIndex> distinct{spec.escapePort};
+      for (PortIndex p : routes.cappedAdaptivePorts(sw, dest, maxOptions)) {
+        if (std::find(distinct.begin(), distinct.end(), p) == distinct.end()) {
+          distinct.push_back(p);
+        }
+      }
+      const int k = static_cast<int>(distinct.size());
+      ++counts[static_cast<std::size_t>(
+          std::min(k, OptionCensus::kMaxCensusOptions))];
+      optionSum += k;
+      ++total;
+    }
+  }
+
+  out.pairs = total;
+  if (total > 0) {
+    for (int k = 1; k <= OptionCensus::kMaxCensusOptions; ++k) {
+      out.pct[static_cast<std::size_t>(k)] =
+          100.0 * static_cast<double>(counts[static_cast<std::size_t>(k)]) /
+          static_cast<double>(total);
+    }
+    out.avgOptions = optionSum / static_cast<double>(total);
+  }
+  return out;
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,34 @@
+#pragma once
+//
+// Static routing-option census (paper Table 2): for every
+// (switch, remote destination) pair, count the distinct routing options a
+// forwarding table with MR banks would return — the escape hop plus up to
+// MR-1 minimal adaptive hops. Local destinations (the paper's "destination
+// port at this switch") always have exactly one option and are excluded,
+// matching the table's focus on inter-switch routing freedom.
+//
+// Unlike the simulated tables, MR here may be any value >= 1 (the paper's
+// Table 2 includes MR = 3, which is not realizable as an interleaved table
+// but is fine for a census).
+//
+#include <array>
+
+#include "routing/route_set.hpp"
+#include "topology/topology.hpp"
+
+namespace ibadapt {
+
+struct OptionCensus {
+  int maxOptions = 0;
+  /// pct[k] = percentage of (switch, destination-switch) pairs with exactly
+  /// k distinct routing options, k in [1, kMaxCensusOptions].
+  static constexpr int kMaxCensusOptions = 8;
+  std::array<double, kMaxCensusOptions + 1> pct{};
+  double avgOptions = 0.0;
+  long pairs = 0;
+};
+
+OptionCensus routingOptionCensus(const Topology& topo, const RouteSet& routes,
+                                 int maxOptions);
+
+}  // namespace ibadapt

@@ -1,0 +1,166 @@
+#include "api/simulation.hpp"
+
+#include <sstream>
+
+#include "fabric/fabric.hpp"
+#include "stats/collector.hpp"
+#include "subnet/subnet_manager.hpp"
+
+namespace ibadapt {
+
+Topology buildTopology(const SimParams& p) {
+  switch (p.topoKind) {
+    case TopologyKind::kIrregular: {
+      Rng rng(p.topoSeed);
+      IrregularSpec spec;
+      spec.numSwitches = p.numSwitches;
+      spec.linksPerSwitch = p.linksPerSwitch;
+      spec.nodesPerSwitch = p.nodesPerSwitch;
+      return makeIrregular(spec, rng);
+    }
+    case TopologyKind::kRing:
+      return makeRing(p.numSwitches, p.nodesPerSwitch);
+    case TopologyKind::kMesh2D:
+      return makeMesh2D(p.meshWidth, p.meshHeight, p.nodesPerSwitch);
+    case TopologyKind::kTorus2D:
+      return makeTorus2D(p.meshWidth, p.meshHeight, p.nodesPerSwitch);
+    case TopologyKind::kHypercube:
+      return makeHypercube(p.hypercubeDim, p.nodesPerSwitch);
+  }
+  throw std::invalid_argument("buildTopology: unknown kind");
+}
+
+SimResults runSimulation(const SimParams& p) {
+  const Topology topo = buildTopology(p);
+  return runSimulationOn(topo, p);
+}
+
+SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
+  Fabric fabric(topo, p.fabric);
+
+  SubnetManager sm(fabric);
+  SubnetParams sp;
+  sp.rootSelection = p.rootSelection;
+  sp.sourceMultipathPlanes = p.sourceMultipathPlanes;
+  sp.apmPathSets = p.apmPathSets;
+  sm.configure(sp);
+
+  TrafficSpec ts;
+  ts.multipathPlanes = p.sourceMultipathPlanes;
+  ts.pathSetOffset = p.apmActiveSet * p.fabric.numOptions;
+  ts.pattern = p.pattern;
+  ts.numNodes = topo.numNodes();
+  ts.packetBytes = p.packetBytes;
+  ts.adaptiveFraction = p.adaptiveFraction;
+  ts.loadBytesPerNsPerNode = p.loadBytesPerNsPerNode;
+  ts.saturation = p.saturation;
+  ts.hotspotFraction = p.hotspotFraction;
+  ts.hotspotNode = p.hotspotNode;
+  ts.localityWindow = p.localityWindow;
+  ts.burstiness = p.burstiness;
+  ts.burstGapMeanNs = p.burstGapMeanNs;
+  ts.numSls = p.trafficSls > 0 ? p.trafficSls : p.fabric.numVls;
+  SyntheticTraffic traffic(ts, p.trafficSeed ^ 0xfeedULL);
+
+  StatsCollector::Config sc;
+  sc.warmupPackets = p.warmupPackets;
+  sc.measurePackets = p.measurePackets;
+  StatsCollector stats(sc, topo.numNodes());
+  stats.bindFabric(&fabric);
+
+  fabric.attachTraffic(&traffic, p.trafficSeed);
+  fabric.attachObserver(&stats);
+  fabric.start();
+
+  RunLimits limits;
+  limits.endTime = p.maxSimTimeNs;
+  limits.watchdogPeriodNs = p.watchdogPeriodNs;
+  limits.watchdogStallLimit = p.watchdogStallLimit;
+  fabric.run(limits);
+
+  SimResults r;
+  const auto& lat = stats.latency();
+  r.avgLatencyNs = lat.mean();
+  r.minLatencyNs = static_cast<double>(lat.min());
+  r.maxLatencyNs = static_cast<double>(lat.max());
+  r.stddevLatencyNs = lat.stddev();
+  r.p50LatencyNs = lat.quantile(0.50);
+  r.p95LatencyNs = lat.quantile(0.95);
+  r.p99LatencyNs = lat.quantile(0.99);
+  r.avgLatencyAdaptiveNs = stats.latencyAdaptive().mean();
+  r.avgLatencyDeterministicNs = stats.latencyDeterministic().mean();
+
+  r.acceptedBytesPerNsPerSwitch =
+      stats.acceptedBytesPerNs() / topo.numSwitches();
+  r.offeredBytesPerNsPerSwitch =
+      p.saturation ? 0.0
+                   : p.loadBytesPerNsPerNode * topo.nodesPerSwitch();
+
+  const auto& c = fabric.counters();
+  r.generated = c.generated;
+  r.injected = c.injected;
+  r.delivered = c.delivered;
+  r.dropped = c.dropped;
+  r.measured = stats.measuredPackets();
+  r.avgHops = c.delivered
+                  ? static_cast<double>(c.hopSum) /
+                        static_cast<double>(c.delivered)
+                  : 0.0;
+  const double forwards =
+      static_cast<double>(c.adaptiveForwards + c.escapeForwards);
+  if (forwards > 0) {
+    r.adaptiveForwardFraction =
+        static_cast<double>(c.adaptiveForwards) / forwards;
+    r.escapeForwardFraction = static_cast<double>(c.escapeForwards) / forwards;
+  }
+
+  // Inter-switch link utilization over the whole run.
+  if (fabric.now() > 0) {
+    double sum = 0.0;
+    int links = 0;
+    const double capacityBytes =
+        static_cast<double>(fabric.now()) / p.fabric.nsPerByte;
+    for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+      for (PortIndex port = topo.nodesPerSwitch();
+           port < topo.portsPerSwitch(); ++port) {
+        if (fabric.topology().peer(sw, port).kind != PeerKind::kSwitch) {
+          continue;
+        }
+        const double u =
+            static_cast<double>(fabric.outputBytesSent(sw, port)) /
+            capacityBytes;
+        sum += u;
+        r.maxLinkUtilization = std::max(r.maxLinkUtilization, u);
+        ++links;
+      }
+    }
+    if (links > 0) r.meanLinkUtilization = sum / links;
+  }
+
+  r.measurementComplete = stats.measurementComplete();
+  r.deadlockSuspected = fabric.deadlockSuspected();
+  r.livePacketLimitHit = fabric.livePacketLimitHit();
+  r.inOrderViolations = stats.inOrder().violations();
+  r.simEndTimeNs = fabric.now();
+  return r;
+}
+
+double measureSaturationThroughput(const Topology& topo, SimParams p) {
+  p.saturation = true;
+  const SimResults r = runSimulationOn(topo, p);
+  return r.acceptedBytesPerNsPerSwitch;
+}
+
+std::string SimResults::summary() const {
+  std::ostringstream os;
+  os << "delivered=" << delivered << " measured=" << measured
+     << " avgLat=" << avgLatencyNs << "ns"
+     << " accepted=" << acceptedBytesPerNsPerSwitch << "B/ns/sw"
+     << " avgHops=" << avgHops;
+  if (deadlockSuspected) os << " [DEADLOCK]";
+  if (!measurementComplete) os << " [incomplete]";
+  if (inOrderViolations) os << " [OOO=" << inOrderViolations << "]";
+  return os.str();
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,124 @@
+#pragma once
+//
+// High-level experiment front-end: one struct of knobs in, one struct of
+// results out. This is the public API the examples and benches use.
+//
+#include <cstdint>
+#include <string>
+
+#include "fabric/params.hpp"
+#include "routing/updown.hpp"
+#include "topology/generators.hpp"
+#include "traffic/synthetic.hpp"
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+enum class TopologyKind { kIrregular, kRing, kMesh2D, kTorus2D, kHypercube };
+
+struct SimParams {
+  // ---- topology ---------------------------------------------------------
+  TopologyKind topoKind = TopologyKind::kIrregular;
+  int numSwitches = 8;     // irregular / ring
+  int linksPerSwitch = 4;  // irregular: inter-switch ports ("4/6 links")
+  int nodesPerSwitch = 4;
+  int meshWidth = 4;   // mesh / torus
+  int meshHeight = 4;  // mesh / torus
+  int hypercubeDim = 3;
+  std::uint64_t topoSeed = 1;
+
+  // ---- fabric (paper defaults) -----------------------------------------
+  FabricParams fabric;
+  RootSelection rootSelection = RootSelection::kHighestDegree;
+  /// > 0: replace switch adaptivity with the source-multipath baseline
+  /// (paper §1 motivation): this many deterministic up*/down* planes per
+  /// destination, chosen per packet at the source. Requires
+  /// fabric.numOptions == 1 and 2^lmc >= planes.
+  int sourceMultipathPlanes = 0;
+  /// APM coexistence (paper §4.1): number of path sets programmed into each
+  /// LID block (needs 2^lmc >= apmPathSets * numOptions) and the set the
+  /// senders actually use.
+  int apmPathSets = 1;
+  int apmActiveSet = 0;
+
+  // ---- traffic ----------------------------------------------------------
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  int packetBytes = 32;
+  double adaptiveFraction = 1.0;
+  double loadBytesPerNsPerNode = 0.05;
+  bool saturation = false;
+  double hotspotFraction = 0.1;
+  NodeId hotspotNode = kInvalidId;
+  int localityWindow = 8;
+  double burstiness = 0.0;
+  double burstGapMeanNs = 20'000.0;
+  /// Service levels used by traffic (uniformly at random); 0 = one per
+  /// data VL, so multi-VL fabrics are actually exercised.
+  int trafficSls = 0;
+  std::uint64_t trafficSeed = 7;
+
+  // ---- measurement ------------------------------------------------------
+  std::uint64_t warmupPackets = 5000;
+  std::uint64_t measurePackets = 30000;
+  SimTime maxSimTimeNs = 200'000'000;
+  SimTime watchdogPeriodNs = 500'000;
+  int watchdogStallLimit = 10;
+};
+
+struct SimResults {
+  // Latency (measurement window), nanoseconds.
+  double avgLatencyNs = 0.0;
+  double minLatencyNs = 0.0;
+  double maxLatencyNs = 0.0;
+  double stddevLatencyNs = 0.0;
+  double p50LatencyNs = 0.0;
+  double p95LatencyNs = 0.0;
+  double p99LatencyNs = 0.0;
+  double avgLatencyAdaptiveNs = 0.0;
+  double avgLatencyDeterministicNs = 0.0;
+
+  // Traffic, in the paper's units.
+  double acceptedBytesPerNsPerSwitch = 0.0;
+  double offeredBytesPerNsPerSwitch = 0.0;
+
+  // Volumes.
+  std::uint64_t generated = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t measured = 0;
+
+  // Path behaviour.
+  double avgHops = 0.0;
+  double adaptiveForwardFraction = 0.0;  // switch forwards via adaptive options
+  double escapeForwardFraction = 0.0;
+
+  // Inter-switch link usage over the whole run (fraction of capacity).
+  double maxLinkUtilization = 0.0;
+  double meanLinkUtilization = 0.0;
+
+  // Health.
+  bool measurementComplete = false;
+  bool deadlockSuspected = false;
+  bool livePacketLimitHit = false;
+  std::uint64_t inOrderViolations = 0;
+  SimTime simEndTimeNs = 0;
+
+  std::string summary() const;
+};
+
+/// Builds the topology described by `p` (deterministic in topoSeed).
+Topology buildTopology(const SimParams& p);
+
+/// Runs one simulation end to end: topology, subnet init, traffic, stats.
+SimResults runSimulation(const SimParams& p);
+
+/// Same, on a caller-provided topology (reused across parameter sweeps so
+/// the paper's "same 10 topologies, different configs" method is exact).
+SimResults runSimulationOn(const Topology& topo, const SimParams& p);
+
+/// Saturation throughput (bytes/ns/switch): full-load injection, measured
+/// over the packet budget in `p`.
+double measureSaturationThroughput(const Topology& topo, SimParams p);
+
+}  // namespace ibadapt

@@ -1,0 +1,148 @@
+#include "api/sweep.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/thread_pool.hpp"
+
+namespace ibadapt {
+
+std::vector<SimResults> runSweep(const std::vector<SimParams>& params,
+                                 int threads) {
+  std::vector<SimResults> results(params.size());
+  ThreadPool pool(threads <= 0 ? 0 : static_cast<std::size_t>(threads));
+  parallelForIndex(pool, params.size(), [&](std::size_t i) {
+    results[i] = runSimulation(params[i]);
+  });
+  return results;
+}
+
+MinAvgMax summarize(const std::vector<double>& values) {
+  MinAvgMax out;
+  if (values.empty()) return out;
+  out.min = *std::min_element(values.begin(), values.end());
+  out.max = *std::max_element(values.begin(), values.end());
+  out.avg = std::accumulate(values.begin(), values.end(), 0.0) /
+            static_cast<double>(values.size());
+  return out;
+}
+
+PeakThroughput measurePeakThroughput(const Topology& topo, SimParams base,
+                                     const RampOptions& ramp) {
+  base.saturation = false;
+
+  PeakThroughput out;
+  auto probe = [&](double loadPerNode) {
+    SimParams p = base;
+    p.loadBytesPerNsPerNode = loadPerNode;
+    const SimResults r = runSimulationOn(topo, p);
+    ThroughputCurvePoint cp;
+    cp.offeredBytesPerNsPerSwitch = loadPerNode * topo.nodesPerSwitch();
+    cp.acceptedBytesPerNsPerSwitch = r.acceptedBytesPerNsPerSwitch;
+    cp.avgLatencyNs = r.avgLatencyNs;
+    cp.saturated = r.acceptedBytesPerNsPerSwitch <
+                       ramp.saturationRatio * cp.offeredBytesPerNsPerSwitch ||
+                   !r.measurementComplete;
+    out.curve.push_back(cp);
+    return cp;
+  };
+  auto noteStable = [&](const ThroughputCurvePoint& cp) {
+    if (!cp.saturated && cp.acceptedBytesPerNsPerSwitch > out.peakAccepted) {
+      out.peakAccepted = cp.acceptedBytesPerNsPerSwitch;
+      out.peakOffered = cp.offeredBytesPerNsPerSwitch;
+    }
+  };
+
+  // Geometric ramp until saturation is confirmed.
+  double load = ramp.startLoadPerNode;
+  double lastStable = 0.0;
+  double firstSaturated = 0.0;
+  int saturatedStreak = 0;
+  for (int point = 0; point < ramp.maxPoints; ++point) {
+    const ThroughputCurvePoint cp = probe(load);
+    noteStable(cp);
+    if (cp.saturated) {
+      if (firstSaturated == 0.0) firstSaturated = load;
+      if (++saturatedStreak >= ramp.postPeakPoints) break;
+    } else {
+      lastStable = load;
+      firstSaturated = 0.0;
+      saturatedStreak = 0;
+    }
+    if (load >= ramp.maxLoadPerNode) break;
+    load = std::min(load * ramp.growth, ramp.maxLoadPerNode);
+  }
+
+  // Bisection between the stable and saturated loads tightens the knee.
+  if (lastStable > 0.0 && firstSaturated > lastStable) {
+    double lo = lastStable;
+    double hi = firstSaturated;
+    for (int i = 0; i < ramp.bisectIterations; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      const ThroughputCurvePoint cp = probe(mid);
+      noteStable(cp);
+      if (cp.saturated) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+  }
+
+  std::sort(out.curve.begin(), out.curve.end(),
+            [](const ThroughputCurvePoint& a, const ThroughputCurvePoint& b) {
+              return a.offeredBytesPerNsPerSwitch < b.offeredBytesPerNsPerSwitch;
+            });
+
+  // Degenerate case: even the lowest load saturates (e.g. strong hot-spot).
+  // Report the best accepted traffic observed.
+  if (out.peakAccepted == 0.0) {
+    for (const auto& cp : out.curve) {
+      if (cp.acceptedBytesPerNsPerSwitch > out.peakAccepted) {
+        out.peakAccepted = cp.acceptedBytesPerNsPerSwitch;
+        out.peakOffered = cp.offeredBytesPerNsPerSwitch;
+      }
+    }
+  }
+  return out;
+}
+
+ThroughputFactors measureThroughputFactors(SimParams base, int numTopologies,
+                                           std::uint64_t seedBase,
+                                           const RampOptions& ramp,
+                                           int threads) {
+  ThroughputFactors out;
+  out.adaptiveThroughput.resize(static_cast<std::size_t>(numTopologies));
+  out.deterministicThroughput.resize(static_cast<std::size_t>(numTopologies));
+
+  // Each (topology, mode) ramp is one task; ramps are sequential inside.
+  ThreadPool pool(threads <= 0 ? 0 : static_cast<std::size_t>(threads));
+  parallelForIndex(
+      pool, static_cast<std::size_t>(numTopologies) * 2, [&](std::size_t i) {
+        const int t = static_cast<int>(i / 2);
+        const bool adaptive = (i % 2) == 0;
+        SimParams p = base;
+        p.topoSeed = seedBase + static_cast<std::uint64_t>(t);
+        p.adaptiveFraction = adaptive ? 1.0 : 0.0;
+        const Topology topo = buildTopology(p);
+        const PeakThroughput peak = measurePeakThroughput(topo, p, ramp);
+        if (adaptive) {
+          out.adaptiveThroughput[static_cast<std::size_t>(t)] =
+              peak.peakAccepted;
+        } else {
+          out.deterministicThroughput[static_cast<std::size_t>(t)] =
+              peak.peakAccepted;
+        }
+      });
+
+  std::vector<double> factors;
+  for (int t = 0; t < numTopologies; ++t) {
+    const double d = out.deterministicThroughput[static_cast<std::size_t>(t)];
+    const double a = out.adaptiveThroughput[static_cast<std::size_t>(t)];
+    if (d > 0.0) factors.push_back(a / d);
+  }
+  out.factor = summarize(factors);
+  return out;
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,38 @@
+#pragma once
+//
+// Credit arithmetic for the split adaptive/escape queues (paper §4.4).
+//
+// IBA flow control counts credits per VL; the split into adaptive and escape
+// queues is *not* visible on the wire. Given the credits available on a VL
+// (C) and the escape reserve (C0, the escape queue's size in credits), the
+// sender derives:
+//     C_adaptive = max(0, C - C0)
+//     C_escape   = min(C0, C)
+// The adaptive routing option may only be taken when C_adaptive covers the
+// whole packet (virtual cut-through needs the full packet buffered); the
+// escape option may be taken whenever total credits cover the packet — the
+// escape reserve can then never be starved by adaptive traffic, which is
+// what makes the escape sub-network deadlock-free.
+//
+#include <algorithm>
+
+namespace ibadapt {
+
+/// Credits usable by the *adaptive* routing option.
+constexpr int adaptiveCredits(int available, int escapeReserve) noexcept {
+  return available > escapeReserve ? available - escapeReserve : 0;
+}
+
+/// Credits the escape queue still holds.
+constexpr int escapeCredits(int available, int escapeReserve) noexcept {
+  return available < escapeReserve ? available : escapeReserve;
+}
+
+/// Invariant used by the tests: the two views always partition C exactly.
+constexpr bool creditsPartitionExactly(int available, int escapeReserve) noexcept {
+  return adaptiveCredits(available, escapeReserve) +
+             escapeCredits(available, escapeReserve) ==
+         available;
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,82 @@
+#include "core/forwarding_table.hpp"
+
+#include <stdexcept>
+
+namespace ibadapt {
+
+namespace {
+constexpr std::uint8_t kUnprogrammed = 0xff;
+
+bool isPowerOfTwo(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int log2OfPowerOfTwo(int v) {
+  int s = 0;
+  while ((1 << s) < v) ++s;
+  return s;
+}
+}  // namespace
+
+AdaptiveForwardingTable::AdaptiveForwardingTable(int numBanks, Lid lidLimit)
+    : numBanks_(numBanks), lidLimit_(lidLimit) {
+  if (!isPowerOfTwo(numBanks) || numBanks > kMaxRouteOptions) {
+    throw std::invalid_argument(
+        "AdaptiveForwardingTable: banks must be a power of two <= 8");
+  }
+  bankShift_ = log2OfPowerOfTwo(numBanks);
+  const std::size_t rows = (static_cast<std::size_t>(lidLimit) + numBanks - 1) >>
+                           bankShift_;
+  banks_.assign(static_cast<std::size_t>(numBanks),
+                std::vector<std::uint8_t>(rows, kUnprogrammed));
+}
+
+void AdaptiveForwardingTable::setEntry(Lid lid, PortIndex port) {
+  if (lid >= lidLimit_) {
+    throw std::out_of_range("AdaptiveForwardingTable::setEntry: LID");
+  }
+  if (port < 0 || port >= 0xff) {
+    throw std::invalid_argument("AdaptiveForwardingTable::setEntry: port");
+  }
+  const std::size_t bank = lid & static_cast<Lid>(numBanks_ - 1);
+  const std::size_t row = lid >> bankShift_;
+  banks_[bank][row] = static_cast<std::uint8_t>(port);
+}
+
+PortIndex AdaptiveForwardingTable::entry(Lid lid) const {
+  if (lid >= lidLimit_) {
+    throw std::out_of_range("AdaptiveForwardingTable::entry: LID");
+  }
+  const std::size_t bank = lid & static_cast<Lid>(numBanks_ - 1);
+  const std::size_t row = lid >> bankShift_;
+  const std::uint8_t v = banks_[bank][row];
+  return v == kUnprogrammed ? kInvalidPort : static_cast<PortIndex>(v);
+}
+
+RouteOptions AdaptiveForwardingTable::lookup(Lid dlid) const {
+  if (dlid >= lidLimit_) {
+    throw std::out_of_range("AdaptiveForwardingTable::lookup: LID");
+  }
+  RouteOptions out;
+  out.adaptiveRequested = (dlid & 1u) != 0;
+  const std::size_t row = dlid >> bankShift_;
+  const std::uint8_t esc = banks_[0][row];
+  out.escapePort = esc == kUnprogrammed ? kInvalidPort
+                                        : static_cast<PortIndex>(esc);
+  for (int bank = 1; bank < numBanks_; ++bank) {
+    const std::uint8_t v = banks_[static_cast<std::size_t>(bank)][row];
+    if (v == kUnprogrammed) continue;
+    const auto port = static_cast<PortIndex>(v);
+    bool dup = false;
+    for (int i = 0; i < out.numAdaptive; ++i) {
+      if (out.adaptivePorts[static_cast<std::size_t>(i)] == port) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      out.adaptivePorts[static_cast<std::size_t>(out.numAdaptive++)] = port;
+    }
+  }
+  return out;
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,69 @@
+#pragma once
+//
+// Interleaved linear forwarding table (paper §4.1, Figure 1).
+//
+// Externally this behaves exactly like an IBA linear forwarding table: the
+// subnet manager writes one output port per LID through `setEntry`, and a
+// linear read (`entry`) returns it — full IBA compatibility. Internally the
+// table is organized as `numBanks` interleaved memory modules selected by
+// the low bits of the LID, so a single `lookup` access returns all
+// `numBanks` routing options of the addressed destination simultaneously:
+//   bank 0 row = address d       -> escape / deterministic option
+//   bank k row = address d + k   -> k-th adaptive (minimal) option
+//
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+/// Compile-time cap on simultaneous routing options (paper: LMC allows up to
+/// 128, "a low number is enough"; we cap generously at 8).
+inline constexpr int kMaxRouteOptions = 8;
+
+/// Result of one interleaved table access.
+struct RouteOptions {
+  /// From the DLID's least-significant bit: adaptive routing requested.
+  bool adaptiveRequested = false;
+  /// Escape / deterministic output port (bank 0). kInvalidPort when the
+  /// entry was never programmed.
+  PortIndex escapePort = kInvalidPort;
+  /// Distinct adaptive output ports (banks 1..x-1, deduplicated, invalid
+  /// entries dropped).
+  int numAdaptive = 0;
+  std::array<PortIndex, kMaxRouteOptions> adaptivePorts{};
+
+  bool valid() const { return escapePort != kInvalidPort; }
+};
+
+class AdaptiveForwardingTable {
+ public:
+  /// `numBanks` must be a power of two in [1, kMaxRouteOptions];
+  /// `lidLimit` is one past the largest LID the table must map.
+  AdaptiveForwardingTable(int numBanks, Lid lidLimit);
+
+  int numBanks() const { return numBanks_; }
+  Lid lidLimit() const { return lidLimit_; }
+
+  /// Linear SM-facing write: program the output port for one LID.
+  void setEntry(Lid lid, PortIndex port);
+
+  /// Linear SM-facing read.
+  PortIndex entry(Lid lid) const;
+
+  /// Interleaved access: returns every option stored in the DLID's aligned
+  /// block plus the decoded per-packet adaptive bit.
+  RouteOptions lookup(Lid dlid) const;
+
+ private:
+  int numBanks_;
+  int bankShift_;  // log2(numBanks_)
+  Lid lidLimit_;
+  // banks_[k][row] = output port for LID (row << bankShift_) + k.
+  // 0xff encodes "not programmed".
+  std::vector<std::vector<std::uint8_t>> banks_;
+};
+
+}  // namespace ibadapt

@@ -1,0 +1,77 @@
+#pragma once
+//
+// LMC-based virtual addressing (paper §4.1 / §4.2).
+//
+// Each CA port is assigned 2^LMC consecutive LIDs. The block is aligned to
+// 2^LMC so an interleaved forwarding table can recover the whole option
+// range from any DLID inside it by masking the low bits. Address `base`
+// (LSB 0) requests deterministic routing; `base + 1` (LSB 1) requests
+// adaptive routing; the remaining addresses carry additional routing
+// options in the switch tables but are equivalent from the sender's view.
+//
+#include <stdexcept>
+
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+/// IBA caps LMC at 7 (max 128 addresses per port).
+inline constexpr int kMaxLmc = 7;
+
+class LidMapper {
+ public:
+  explicit LidMapper(int lmc) : lmc_(lmc) {
+    if (lmc < 0 || lmc > kMaxLmc) {
+      throw std::invalid_argument("LidMapper: LMC out of [0,7]");
+    }
+  }
+
+  int lmc() const { return lmc_; }
+  int lidsPerNode() const { return 1 << lmc_; }
+
+  /// First (aligned) LID of node n's block. Node 0 starts at 2^LMC, so LID 0
+  /// stays reserved as in IBA.
+  Lid baseLid(NodeId n) const {
+    return static_cast<Lid>((n + 1)) << lmc_;
+  }
+
+  /// LID encoding routing option slot `option` (0 <= option < 2^LMC).
+  Lid lidForOption(NodeId n, int option) const {
+    return baseLid(n) + static_cast<Lid>(option);
+  }
+
+  /// DLID a sender uses for deterministic (in-order) traffic to node n.
+  Lid deterministicLid(NodeId n) const { return baseLid(n); }
+
+  /// DLID a sender uses to enable adaptive routing to node n.
+  /// Requires LMC >= 1 (otherwise there is only one address).
+  Lid adaptiveLid(NodeId n) const {
+    if (lmc_ == 0) {
+      throw std::logic_error("LidMapper: adaptive LID needs LMC >= 1");
+    }
+    return baseLid(n) + 1;
+  }
+
+  /// Node that owns `lid` (any address within the block).
+  NodeId nodeOfLid(Lid lid) const {
+    return static_cast<NodeId>((lid >> lmc_)) - 1;
+  }
+
+  /// Aligned block base for any DLID within a node's range.
+  Lid alignedBase(Lid lid) const {
+    return lid & ~static_cast<Lid>((1u << lmc_) - 1);
+  }
+
+  /// The paper's per-packet switch: LSB set => adaptive routing requested.
+  static bool adaptiveBit(Lid lid) { return (lid & 1u) != 0; }
+
+  /// One-past-the-last LID used for `numNodes` nodes (LFT size).
+  Lid lidLimit(int numNodes) const {
+    return static_cast<Lid>((numNodes + 1)) << lmc_;
+  }
+
+ private:
+  int lmc_;
+};
+
+}  // namespace ibadapt

@@ -1,0 +1,37 @@
+#pragma once
+//
+// Output-port selection policy knobs (paper §4.3).
+//
+// Timing: the final option can be chosen right after the forwarding-table
+// access ("at routing", simpler hardware, staler status) or delayed until
+// crossbar arbitration ("at arbitration", fresher status, needs to keep all
+// options with the packet). Criterion: the choice can ignore port status
+// (static / random) or prefer the option with the most free credits.
+//
+#include <cstdint>
+
+namespace ibadapt {
+
+enum class SelectionTiming : std::uint8_t {
+  kAtArbitration,  // paper's evaluated configuration
+  kAtRouting,
+};
+
+enum class SelectionCriterion : std::uint8_t {
+  kCreditAware,  // pick the feasible option with the most free credits
+  kStatic,       // first listed option
+  kRandom,       // uniform among feasible options
+};
+
+/// How strictly the escape queue is blocked to preserve in-order delivery of
+/// deterministic packets sharing a buffer (paper §4.4, last paragraph).
+enum class EscapeOrderRule : std::uint8_t {
+  /// Paper's rule: while a deterministic packet sits in the adaptive region,
+  /// nothing may depart from the escape queue of that buffer.
+  kPaperStrict,
+  /// Relaxed: only deterministic packets are barred from overtaking older
+  /// deterministic packets; adaptive packets may still use the escape head.
+  kDeterministicOnly,
+};
+
+}  // namespace ibadapt

@@ -1,0 +1,43 @@
+#include "core/sl_to_vl.hpp"
+
+#include <stdexcept>
+
+namespace ibadapt {
+
+SlToVlTable::SlToVlTable(int numPorts, int numVls)
+    : numPorts_(numPorts), numVls_(numVls) {
+  if (numPorts <= 0 || numVls <= 0 || numVls > 16) {
+    throw std::invalid_argument("SlToVlTable: bad dimensions");
+  }
+  map_.resize(static_cast<std::size_t>(numPorts) * numPorts * kMaxServiceLevels);
+  for (PortIndex in = 0; in < numPorts; ++in) {
+    for (PortIndex out = 0; out < numPorts; ++out) {
+      for (int sl = 0; sl < kMaxServiceLevels; ++sl) {
+        map_[slot(in, out, sl)] = static_cast<std::uint8_t>(sl % numVls);
+      }
+    }
+  }
+}
+
+std::size_t SlToVlTable::slot(PortIndex inPort, PortIndex outPort, int sl) const {
+  if (inPort < 0 || inPort >= numPorts_ || outPort < 0 || outPort >= numPorts_ ||
+      sl < 0 || sl >= kMaxServiceLevels) {
+    throw std::out_of_range("SlToVlTable: slot");
+  }
+  return (static_cast<std::size_t>(inPort) * numPorts_ + outPort) *
+             kMaxServiceLevels +
+         static_cast<std::size_t>(sl);
+}
+
+void SlToVlTable::set(PortIndex inPort, PortIndex outPort, int sl, VlIndex vl) {
+  if (vl < 0 || vl >= numVls_) {
+    throw std::invalid_argument("SlToVlTable::set: VL out of range");
+  }
+  map_[slot(inPort, outPort, sl)] = static_cast<std::uint8_t>(vl);
+}
+
+VlIndex SlToVlTable::vl(PortIndex inPort, PortIndex outPort, int sl) const {
+  return static_cast<VlIndex>(map_[slot(inPort, outPort, sl)]);
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,39 @@
+#pragma once
+//
+// IBA SLtoVL mapping table: the VL a packet uses on the next link is a
+// function of (input port, output port, service level). Per the specs this
+// is the only way VLs are assigned inside a switch — they cannot be chosen
+// freely at routing time, which is exactly the limitation §4.4 of the paper
+// works around with the split-buffer scheme.
+//
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+inline constexpr int kMaxServiceLevels = 16;
+
+class SlToVlTable {
+ public:
+  SlToVlTable() = default;
+
+  /// Identity-style default: every (in, out, sl) maps to sl % numVls.
+  SlToVlTable(int numPorts, int numVls);
+
+  void set(PortIndex inPort, PortIndex outPort, int sl, VlIndex vl);
+  VlIndex vl(PortIndex inPort, PortIndex outPort, int sl) const;
+
+  int numPorts() const { return numPorts_; }
+  int numVls() const { return numVls_; }
+
+ private:
+  std::size_t slot(PortIndex inPort, PortIndex outPort, int sl) const;
+
+  int numPorts_ = 0;
+  int numVls_ = 1;
+  std::vector<std::uint8_t> map_;
+};
+
+}  // namespace ibadapt

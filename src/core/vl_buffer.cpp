@@ -1,0 +1,86 @@
+#include "core/vl_buffer.hpp"
+
+#include <stdexcept>
+
+namespace ibadapt {
+
+VlBuffer::VlBuffer(int capacityCredits, int escapeReserveCredits)
+    : capacity_(capacityCredits), escapeReserve_(escapeReserveCredits) {
+  if (capacityCredits <= 0 || escapeReserveCredits < 0 ||
+      escapeReserveCredits > capacityCredits) {
+    throw std::invalid_argument("VlBuffer: bad capacity/reserve");
+  }
+}
+
+void VlBuffer::push(const BufferedPacket& bp) {
+  if (bp.credits <= 0) throw std::invalid_argument("VlBuffer::push: credits");
+  if (occupied_ + bp.credits > capacity_) {
+    throw std::logic_error("VlBuffer::push: overflow (credit protocol broken)");
+  }
+  entries_.push_back(bp);
+  occupied_ += bp.credits;
+}
+
+void VlBuffer::remove(int idx) {
+  if (idx < 0 || idx >= size()) {
+    throw std::out_of_range("VlBuffer::remove");
+  }
+  occupied_ -= entries_[static_cast<std::size_t>(idx)].credits;
+  entries_.erase(entries_.begin() + idx);
+}
+
+int VlBuffer::escapeHeadIndex() const {
+  const int boundary = adaptiveRegionCredits();
+  int offset = 0;
+  for (int i = 0; i < size(); ++i) {
+    if (offset >= boundary) return i;
+    offset += entries_[static_cast<std::size_t>(i)].credits;
+  }
+  return -1;
+}
+
+VlBuffer::Candidates VlBuffer::candidateHeads(EscapeOrderRule rule) const {
+  Candidates c;
+  if (entries_.empty()) return c;
+  c.index[0] = 0;
+  c.count = 1;
+  const int esc = escapeHeadIndex();
+  if (esc <= 0) return c;  // no distinct escape head
+
+  // Deterministic-order pointer: the oldest deterministic packet stored
+  // ahead of the escape head, i.e. inside the adaptive region.
+  int firstDet = -1;
+  for (int i = 0; i < esc; ++i) {
+    if (entries_[static_cast<std::size_t>(i)].deterministic) {
+      firstDet = i;
+      break;
+    }
+  }
+
+  // Which packet does the escape-queue crossbar connection serve? The paper
+  // requires the pointed-to deterministic packet to be forwarded before any
+  // escape-queue packet; since the buffer is a RAM, that packet can be
+  // selected from any location. Redirecting the connection (rather than
+  // stalling it) is essential for deadlock freedom: the escape connection
+  // must always serve a packet that is actually reachable.
+  int escCandidate = esc;
+  switch (rule) {
+    case EscapeOrderRule::kPaperStrict:
+      if (firstDet == 0) return c;  // front connection already serves it;
+                                    // escape queue waits behind it
+      if (firstDet > 0) escCandidate = firstDet;
+      break;
+    case EscapeOrderRule::kDeterministicOnly:
+      if (entries_[static_cast<std::size_t>(esc)].deterministic &&
+          firstDet >= 0) {
+        if (firstDet == 0) return c;
+        escCandidate = firstDet;  // keep det-det order, allow adaptive bypass
+      }
+      break;
+  }
+  c.index[1] = escCandidate;
+  c.count = 2;
+  return c;
+}
+
+}  // namespace ibadapt

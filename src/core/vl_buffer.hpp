@@ -1,0 +1,84 @@
+#pragma once
+//
+// A virtual lane's physical buffer split into logical adaptive and escape
+// queues (paper §4.4, Figure 2).
+//
+// The buffer is a single FIFO RAM of `capacityCredits` 64-byte credits. The
+// first `capacityCredits - escapeReserve` credits form the adaptive region,
+// the trailing `escapeReserve` credits the escape region. Two connections
+// feed the crossbar: the head of the adaptive queue (the oldest packet) and
+// the head of the escape queue (the first packet stored at or beyond the
+// adaptive region boundary). Packets advance toward the front as space
+// frees, which realizes the escape->adaptive queue transition the FA
+// algorithm permits under virtual cut-through.
+//
+#include <array>
+#include <deque>
+
+#include "core/forwarding_table.hpp"
+#include "core/selection.hpp"
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+/// Per-packet state kept while a packet sits in an input buffer. The routing
+/// options are stored with the packet right after the table access, as the
+/// paper's switch model prescribes.
+struct BufferedPacket {
+  std::uint32_t packet = 0;       // PacketPool index
+  int credits = 0;                // buffer space the packet occupies
+  SimTime routeReady = 0;         // header arrival + routing delay
+  bool deterministic = false;     // DLID LSB clear
+  RouteOptions options;           // result of the interleaved table access
+  PortIndex committedPort = kInvalidPort;  // SelectionTiming::kAtRouting
+};
+
+class VlBuffer {
+ public:
+  VlBuffer(int capacityCredits, int escapeReserveCredits);
+
+  int capacityCredits() const { return capacity_; }
+  int escapeReserveCredits() const { return escapeReserve_; }
+  int adaptiveRegionCredits() const { return capacity_ - escapeReserve_; }
+  int occupiedCredits() const { return occupied_; }
+  int freeCredits() const { return capacity_ - occupied_; }
+  int size() const { return static_cast<int>(entries_.size()); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Append an arriving packet. Throws std::logic_error on overflow — the
+  /// credit protocol must make overflow impossible, so this is an invariant
+  /// check, not flow control.
+  void push(const BufferedPacket& bp);
+
+  const BufferedPacket& at(int idx) const { return entries_[static_cast<std::size_t>(idx)]; }
+  BufferedPacket& at(int idx) { return entries_[static_cast<std::size_t>(idx)]; }
+
+  /// Remove the packet at `idx` (it won arbitration and departs).
+  void remove(int idx);
+
+  /// Index of the escape-queue head: the first packet whose start offset
+  /// lies at or beyond the adaptive region boundary. -1 when every stored
+  /// packet fits inside the adaptive region.
+  int escapeHeadIndex() const;
+
+  /// Crossbar-visible candidates under the given ordering rule: the
+  /// adaptive-queue head (index 0) plus the packet served by the escape
+  /// connection. The deterministic-order pointer (§4.4) redirects the
+  /// escape connection to the oldest deterministic packet in the adaptive
+  /// region — it must depart before any escape-queue packet; when that
+  /// packet is the front itself the escape connection idles. Redirecting
+  /// instead of stalling keeps the escape network live (deadlock freedom).
+  struct Candidates {
+    int count = 0;
+    std::array<int, 2> index{};
+  };
+  Candidates candidateHeads(EscapeOrderRule rule) const;
+
+ private:
+  int capacity_;
+  int escapeReserve_;
+  int occupied_ = 0;
+  std::deque<BufferedPacket> entries_;
+};
+
+}  // namespace ibadapt

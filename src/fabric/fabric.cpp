@@ -1,0 +1,155 @@
+#include "fabric/fabric.hpp"
+
+#include <stdexcept>
+
+namespace ibadapt {
+
+SwitchModel::SwitchModel(int numPorts, int numVls, int bufferCredits,
+                         int escapeReserve, int numBanks, Lid lidLimit)
+    : lft(numBanks, lidLimit), slToVl(numPorts, numVls) {
+  in.reserve(static_cast<std::size_t>(numPorts));
+  out.resize(static_cast<std::size_t>(numPorts));
+  for (int p = 0; p < numPorts; ++p) {
+    SwitchInputPort ip;
+    ip.vls.reserve(static_cast<std::size_t>(numVls));
+    for (int v = 0; v < numVls; ++v) {
+      ip.vls.emplace_back(bufferCredits, escapeReserve);
+    }
+    in.push_back(std::move(ip));
+  }
+}
+
+Fabric::Fabric(Topology topo, FabricParams params)
+    : topo_(std::move(topo)), params_(params), lids_(params.lmc) {
+  params_.validate();
+  if (!params_.adaptiveSwitchMask.empty() &&
+      static_cast<int>(params_.adaptiveSwitchMask.size()) != topo_.numSwitches()) {
+    throw std::invalid_argument("Fabric: adaptiveSwitchMask size mismatch");
+  }
+  selectionRng_ = Rng(params_.selectionSeed);
+  buildSwitches();
+  buildNodes();
+  detSeqCounters_.assign(
+      static_cast<std::size_t>(topo_.numNodes()) * topo_.numNodes(), 0);
+}
+
+void Fabric::buildSwitches() {
+  const int numPorts = topo_.portsPerSwitch();
+  const Lid lidLimit = lids_.lidLimit(topo_.numNodes());
+  switches_.reserve(static_cast<std::size_t>(topo_.numSwitches()));
+  for (SwitchId s = 0; s < topo_.numSwitches(); ++s) {
+    switches_.emplace_back(numPorts, params_.numVls, params_.bufferCredits,
+                           params_.escapeReserveCredits, params_.numOptions,
+                           lidLimit);
+    SwitchModel& sw = switches_.back();
+    sw.adaptiveCapable = params_.adaptiveSwitchMask.empty()
+                             ? params_.adaptiveSwitches
+                             : params_.adaptiveSwitchMask[static_cast<std::size_t>(s)];
+    for (PortIndex p = 0; p < numPorts; ++p) {
+      const Peer& peer = topo_.peer(s, p);
+      auto& ip = sw.in[static_cast<std::size_t>(p)];
+      auto& op = sw.out[static_cast<std::size_t>(p)];
+      switch (peer.kind) {
+        case PeerKind::kUnused:
+          break;
+        case PeerKind::kNode:
+          ip.upKind = PeerKind::kNode;
+          ip.upId = peer.id;
+          op.downKind = PeerKind::kNode;
+          op.downId = peer.id;
+          op.credits.assign(static_cast<std::size_t>(params_.numVls),
+                            params_.caRecvCredits);
+          op.creditsMax = op.credits;
+          break;
+        case PeerKind::kSwitch:
+          ip.upKind = PeerKind::kSwitch;
+          ip.upId = peer.id;
+          ip.upPort = peer.port;
+          op.downKind = PeerKind::kSwitch;
+          op.downId = peer.id;
+          op.downPort = peer.port;
+          op.credits.assign(static_cast<std::size_t>(params_.numVls),
+                            params_.bufferCredits);
+          op.creditsMax = op.credits;
+          break;
+      }
+    }
+  }
+}
+
+void Fabric::buildNodes() {
+  nodes_.resize(static_cast<std::size_t>(topo_.numNodes()));
+  for (auto& n : nodes_) {
+    n.txCredits.assign(static_cast<std::size_t>(params_.numVls),
+                       params_.bufferCredits);
+  }
+}
+
+void Fabric::setLftEntry(SwitchId sw, Lid lid, PortIndex port) {
+  switches_[static_cast<std::size_t>(sw)].lft.setEntry(lid, port);
+}
+
+PortIndex Fabric::lftEntry(SwitchId sw, Lid lid) const {
+  return switches_[static_cast<std::size_t>(sw)].lft.entry(lid);
+}
+
+void Fabric::setSlToVl(SwitchId sw, PortIndex inPort, PortIndex outPort,
+                       int sl, VlIndex vl) {
+  switches_[static_cast<std::size_t>(sw)].slToVl.set(inPort, outPort, sl, vl);
+}
+
+const Peer& Fabric::managementPeer(SwitchId sw, PortIndex port) const {
+  return topo_.peer(sw, port);
+}
+
+void Fabric::failLink(SwitchId sw, PortIndex port) {
+  const Peer peer = topo_.peer(sw, port);
+  if (peer.kind != PeerKind::kSwitch) {
+    throw std::invalid_argument("Fabric::failLink: not an inter-switch link");
+  }
+  topo_.removeLink(sw, port);  // management plane now reports the fault
+  // Stop new transfers in both directions; leave the input sides wired so
+  // in-flight bits drain and credit updates still find their way back.
+  switches_[static_cast<std::size_t>(sw)]
+      .out[static_cast<std::size_t>(port)]
+      .downKind = PeerKind::kUnused;
+  switches_[static_cast<std::size_t>(peer.id)]
+      .out[static_cast<std::size_t>(peer.port)]
+      .downKind = PeerKind::kUnused;
+  // Buffered packets whose only routes died must be discarded eventually;
+  // arbitration handles that, so wake both switches.
+  if (started_) {
+    scheduleArb(sw, now_);
+    scheduleArb(peer.id, now_);
+  }
+}
+
+void Fabric::attachTraffic(ITrafficSource* traffic, std::uint64_t trafficSeed) {
+  traffic_ = traffic;
+  trafficRng_ = Rng(trafficSeed);
+}
+
+int Fabric::outputCredits(SwitchId sw, PortIndex port, VlIndex vl) const {
+  return switches_[static_cast<std::size_t>(sw)]
+      .out[static_cast<std::size_t>(port)]
+      .credits[static_cast<std::size_t>(vl)];
+}
+
+std::uint64_t Fabric::outputBytesSent(SwitchId sw, PortIndex port) const {
+  return switches_[static_cast<std::size_t>(sw)]
+      .out[static_cast<std::size_t>(port)]
+      .bytesSent;
+}
+
+int Fabric::inputBufferOccupancy(SwitchId sw, PortIndex port, VlIndex vl) const {
+  return switches_[static_cast<std::size_t>(sw)]
+      .in[static_cast<std::size_t>(port)]
+      .vls[static_cast<std::size_t>(vl)]
+      .occupiedCredits();
+}
+
+std::size_t Fabric::nodeQueueLength(NodeId n) const {
+  return nodes_[static_cast<std::size_t>(n)].sendQueue.size();
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,245 @@
+#pragma once
+//
+// The IBA subnet model: switches, links, channel adapters, and the
+// discrete-event engine that moves packets through them.
+//
+// Model summary (paper §5.1):
+//  * input-buffered switches; one split VL buffer (adaptive + escape
+//    queues) per input port per VL; 100 ns routing delay from header
+//    arrival; crossbar constraint of one active transfer per input port and
+//    per output port; round-robin arbitration, re-run on every relevant
+//    state change (event driven);
+//  * virtual cut-through: forwarding may start once the header has arrived
+//    and routing has completed, but only when the downstream buffer has
+//    credits for the entire packet;
+//  * credit-based flow control per VL, credits returned when a packet's
+//    tail leaves a buffer, travelling back with wire latency;
+//  * 1X serial links: 4 ns/byte serialization, 100 ns propagation.
+//
+// The Fabric exposes a management plane (setLftEntry / setSlToVl /
+// managementPeer) used by the SubnetManager exactly the way a real SM
+// programs switches, and a data plane driven by ITrafficSource.
+//
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/forwarding_table.hpp"
+#include "core/lid_map.hpp"
+#include "core/sl_to_vl.hpp"
+#include "core/vl_buffer.hpp"
+#include "fabric/interfaces.hpp"
+#include "fabric/packet.hpp"
+#include "fabric/params.hpp"
+#include "sim/event_queue.hpp"
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace ibadapt {
+
+struct SwitchInputPort {
+  std::vector<VlBuffer> vls;
+  SimTime busyUntil = 0;  // crossbar: one departing transfer at a time
+  int rrVl = 0;           // VL round-robin pointer (VlSelection::kRoundRobin)
+  // Upstream entity holding this buffer's credits.
+  PeerKind upKind = PeerKind::kUnused;
+  std::int32_t upId = kInvalidId;
+  PortIndex upPort = kInvalidPort;
+};
+
+struct SwitchOutputPort {
+  std::vector<int> credits;     // per VL: credits left in the downstream buffer
+  std::vector<int> creditsMax;  // per VL: downstream buffer capacity
+  SimTime busyUntil = 0;        // link serialization occupancy
+  std::uint64_t bytesSent = 0;  // lifetime traffic (utilization accounting)
+  PeerKind downKind = PeerKind::kUnused;
+  std::int32_t downId = kInvalidId;
+  PortIndex downPort = kInvalidPort;
+};
+
+struct SwitchModel {
+  SwitchModel(int numPorts, int numVls, int bufferCredits, int escapeReserve,
+              int numBanks, Lid lidLimit);
+
+  std::vector<SwitchInputPort> in;
+  std::vector<SwitchOutputPort> out;
+  AdaptiveForwardingTable lft;
+  SlToVlTable slToVl;
+  bool adaptiveCapable = true;
+  int rrInput = 0;                    // arbitration round-robin pointer
+  SimTime lastArbScheduled = -1;      // duplicate-event suppression
+};
+
+struct NodeModel {
+  std::deque<PacketRef> sendQueue;
+  SimTime txBusyUntil = 0;
+  std::vector<int> txCredits;  // per VL, toward the switch input buffer
+  SimTime lastTryTxScheduled = -1;
+  /// Open-loop generation time deferred past the current run's end; re-armed
+  /// by the next run() call so multi-phase runs keep generating.
+  SimTime pendingGenTime = kTimeNever;
+};
+
+struct RunLimits {
+  SimTime endTime = 0;
+  /// Open-loop sources stop generating after this time; -1 (default) means
+  /// "generate until endTime". Set to 0 for pure drain runs.
+  SimTime generationEndTime = -1;
+  /// Deadlock watchdog: declare a stall after `watchdogStallLimit`
+  /// consecutive periods with in-flight packets but zero deliveries.
+  SimTime watchdogPeriodNs = 1'000'000;
+  int watchdogStallLimit = 8;
+  std::uint64_t maxEvents = ~0ULL;
+  std::size_t maxLivePackets = 4'000'000;
+};
+
+struct FabricCounters {
+  std::uint64_t generated = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t deliveredBytes = 0;
+  std::uint64_t hopSum = 0;
+  /// Switch forwards through an adaptive / the escape routing option.
+  std::uint64_t adaptiveForwards = 0;
+  std::uint64_t escapeForwards = 0;
+  /// Packets discarded because every routing option pointed at failed
+  /// links (the IBA analogue is the switch-lifetime/HOQ timeout discard).
+  std::uint64_t dropped = 0;
+  std::uint64_t events = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(Topology topo, FabricParams params);
+
+  // ---- management plane (SubnetManager) --------------------------------
+  void setLftEntry(SwitchId sw, Lid lid, PortIndex port);
+  PortIndex lftEntry(SwitchId sw, Lid lid) const;
+  void setSlToVl(SwitchId sw, PortIndex inPort, PortIndex outPort, int sl,
+                 VlIndex vl);
+  /// Port-walk discovery, as an SMP Get(NodeInfo/PortInfo) would see it.
+  const Peer& managementPeer(SwitchId sw, PortIndex port) const;
+
+  /// Fail-stop fault on the inter-switch link at (sw, port): both ends stop
+  /// accepting new transfers; bits already on the wire drain normally.
+  /// Packets whose every routing option points at failed links are
+  /// discarded (counted in counters().dropped). Call SubnetManager::
+  /// configure() afterwards to route around the fault; until then senders
+  /// can migrate to an alternate APM path set (paper §4.1).
+  void failLink(SwitchId sw, PortIndex port);
+
+  const LidMapper& lids() const { return lids_; }
+  const Topology& topology() const { return topo_; }
+  const FabricParams& params() const { return params_; }
+
+  // ---- data plane -------------------------------------------------------
+  void attachTraffic(ITrafficSource* traffic, std::uint64_t trafficSeed);
+  void attachObserver(IDeliveryObserver* observer) { observer_ = observer; }
+
+  /// Schedule the initial events (traffic bootstrap). Call once, after
+  /// attachTraffic and after the SubnetManager programmed the tables.
+  void start();
+
+  /// Process events until `limits.endTime`, a stop request, the watchdog,
+  /// or an exhausted event queue.
+  void run(const RunLimits& limits);
+
+  void requestStop() { stopRequested_ = true; }
+
+  SimTime now() const { return now_; }
+  const FabricCounters& counters() const { return counters_; }
+  bool deadlockSuspected() const { return deadlockSuspected_; }
+  bool livePacketLimitHit() const { return livePacketLimitHit_; }
+  std::size_t livePackets() const { return pool_.liveCount(); }
+
+  // ---- introspection (tests / debugging) --------------------------------
+  int outputCredits(SwitchId sw, PortIndex port, VlIndex vl) const;
+  std::uint64_t outputBytesSent(SwitchId sw, PortIndex port) const;
+  int inputBufferOccupancy(SwitchId sw, PortIndex port, VlIndex vl) const;
+  std::size_t nodeQueueLength(NodeId n) const;
+  const Packet& packet(PacketRef ref) const { return pool_.get(ref); }
+
+ private:
+  // construction
+  void buildSwitches();
+  void buildNodes();
+
+  // event handlers (fabric_run.cpp)
+  void dispatch(const Event& ev);
+  void handleHeaderArrive(SwitchId sw, PortIndex port, VlIndex vl,
+                          PacketRef ref);
+  void handleCreditToSwitch(SwitchId sw, PortIndex port, VlIndex vl,
+                            int credits);
+  void handleCreditToNode(NodeId n, VlIndex vl, int credits);
+  void handleNodeTryTx(NodeId n);
+  void handleNodeGenerate(NodeId n);
+  void handleNodeDeliver(NodeId n, VlIndex vl, PacketRef ref);
+  void handleWatchdog();
+
+  // traffic helpers
+  PacketRef generatePacket(NodeId src);
+  void refillSaturationQueue(NodeId n);
+  void tryNodeTx(NodeId n);
+  void scheduleNodeTryTx(NodeId n, SimTime when);
+
+  // arbitration (fabric_arbiter.cpp)
+  void scheduleArb(SwitchId sw, SimTime when);
+  void arbitrate(SwitchId sw);
+  bool tryGrantFromInput(SwitchId swId, PortIndex ip);
+
+  struct Option {
+    PortIndex port = kInvalidPort;
+    VlIndex vl = 0;
+    bool escape = false;
+    int spareCredits = 0;
+  };
+  /// Feasible options right now, adaptive (minimal) entries first.
+  int feasibleOptions(const SwitchModel& sw, PortIndex inPort,
+                      const BufferedPacket& bp,
+                      std::array<Option, kMaxRouteOptions + 1>& out) const;
+  const Option& chooseOption(const std::array<Option, kMaxRouteOptions + 1>& opts,
+                             int count);
+  void grant(SwitchId swId, PortIndex ip, VlIndex vl, int idx,
+             const Option& opt);
+  bool allOptionsDead(const SwitchModel& sw, const BufferedPacket& bp) const;
+  void dropPacket(SwitchId swId, PortIndex ip, VlIndex vl, int idx);
+
+  /// Pick the adaptive port committed at routing time
+  /// (SelectionTiming::kAtRouting).
+  PortIndex commitPortAtRouting(const SwitchModel& sw, PortIndex inPort,
+                                const RouteOptions& options,
+                                const Packet& pkt);
+
+  Topology topo_;
+  FabricParams params_;
+  LidMapper lids_;
+
+  std::vector<SwitchModel> switches_;
+  std::vector<NodeModel> nodes_;
+  PacketPool pool_;
+  EventQueue queue_;
+
+  ITrafficSource* traffic_ = nullptr;
+  IDeliveryObserver* observer_ = nullptr;
+  Rng trafficRng_{1};
+  Rng selectionRng_{2};
+
+  std::vector<std::uint32_t> detSeqCounters_;  // (src * N + dst)
+
+  SimTime now_ = 0;
+  SimTime generationEnd_ = 0;
+  bool started_ = false;
+  bool stopRequested_ = false;
+  bool deadlockSuspected_ = false;
+  bool livePacketLimitHit_ = false;
+
+  // watchdog state
+  SimTime watchdogPeriod_ = 0;
+  int watchdogStallLimit_ = 0;
+  std::uint64_t watchdogLastDelivered_ = 0;
+  int watchdogStallCount_ = 0;
+
+  FabricCounters counters_;
+};
+
+}  // namespace ibadapt

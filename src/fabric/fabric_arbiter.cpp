@@ -1,0 +1,302 @@
+//
+// Switch arbitration: event-driven realization of the paper's §4.3/§4.4
+// output-port selection with credit gating.
+//
+// The pass is input-driven: input ports are scanned in round-robin order;
+// each free input port offers its crossbar-visible buffer heads (adaptive
+// head and, when allowed, escape head); for the first routable candidate the
+// feasible routing options are computed from live credit state:
+//   * an adaptive (minimal) option is feasible when the downstream adaptive
+//     queue has credits for the whole packet and the output is idle;
+//   * the escape option is feasible when the downstream VL has credits for
+//     the whole packet (the packet may land in either logical queue);
+// minimal options are preferred over the escape option (livelock rule),
+// and the configured criterion breaks ties among adaptive options.
+//
+#include <stdexcept>
+
+#include "core/credits.hpp"
+#include "fabric/fabric.hpp"
+
+namespace ibadapt {
+
+void Fabric::scheduleArb(SwitchId sw, SimTime when) {
+  SwitchModel& s = switches_[static_cast<std::size_t>(sw)];
+  if (s.lastArbScheduled == when) return;  // exact-duplicate suppression
+  s.lastArbScheduled = when;
+  queue_.push(Event{when, 0, EventKind::kArbitrate,
+                    static_cast<std::uint32_t>(sw), 0, 0});
+}
+
+void Fabric::arbitrate(SwitchId swId) {
+  SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
+  const int numPorts = topo_.portsPerSwitch();
+  int firstGranted = -1;
+  for (int i = 0; i < numPorts; ++i) {
+    const PortIndex ip = static_cast<PortIndex>((sw.rrInput + i) % numPorts);
+    const SwitchInputPort& in = sw.in[static_cast<std::size_t>(ip)];
+    if (in.upKind == PeerKind::kUnused) continue;
+    if (in.busyUntil > now_) continue;
+    if (tryGrantFromInput(swId, ip) && firstGranted < 0) {
+      firstGranted = ip;
+    }
+  }
+  if (firstGranted >= 0) {
+    sw.rrInput = (firstGranted + 1) % numPorts;
+  }
+}
+
+bool Fabric::tryGrantFromInput(SwitchId swId, PortIndex ip) {
+  SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
+  SwitchInputPort& in = sw.in[static_cast<std::size_t>(ip)];
+  const int vlBase = params_.vlSelection == VlSelection::kRoundRobin
+                         ? in.rrVl
+                         : 0;
+  for (int vlOff = 0; vlOff < params_.numVls; ++vlOff) {
+    const VlIndex vl =
+        static_cast<VlIndex>((vlBase + vlOff) % params_.numVls);
+    VlBuffer& buf = in.vls[static_cast<std::size_t>(vl)];
+    const auto cands = buf.candidateHeads(params_.orderRule);
+    for (int k = 0; k < cands.count; ++k) {
+      const int idx = cands.index[static_cast<std::size_t>(k)];
+      const BufferedPacket& bp = buf.at(idx);
+      if (bp.routeReady > now_) continue;
+      std::array<Option, kMaxRouteOptions + 1> options;
+      const int count = feasibleOptions(sw, ip, bp, options);
+      if (count == 0) {
+        if (allOptionsDead(sw, bp)) {
+          // Every route points at a failed link: discard (IBA switches
+          // time such packets out) and rescan with fresh indices.
+          dropPacket(swId, ip, vl, idx);
+          return tryGrantFromInput(swId, ip);
+        }
+        continue;
+      }
+      const Option opt = chooseOption(options, count);
+      grant(swId, ip, vl, idx, opt);
+      in.rrVl = (vl + 1) % params_.numVls;
+      return true;  // input-port crossbar connection now busy
+    }
+  }
+  return false;
+}
+
+int Fabric::feasibleOptions(const SwitchModel& sw, PortIndex inPort,
+                            const BufferedPacket& bp,
+                            std::array<Option, kMaxRouteOptions + 1>& out) const {
+  const Packet& pkt = pool_.get(bp.packet);
+  int count = 0;
+
+  const bool adaptiveEligible = bp.options.adaptiveRequested &&
+                                sw.adaptiveCapable &&
+                                bp.options.numAdaptive > 0;
+  if (adaptiveEligible) {
+    const bool committed = bp.committedPort != kInvalidPort;
+    for (int i = 0; i < bp.options.numAdaptive; ++i) {
+      const PortIndex p = bp.options.adaptivePorts[static_cast<std::size_t>(i)];
+      if (committed && p != bp.committedPort) continue;
+      const SwitchOutputPort& op = sw.out[static_cast<std::size_t>(p)];
+      if (op.downKind == PeerKind::kUnused) continue;
+      if (op.busyUntil > now_) continue;
+      const VlIndex ovl = sw.slToVl.vl(inPort, p, pkt.sl);
+      // Downstream CA buffers have no escape split; inter-switch links
+      // reserve the escape queue.
+      const int reserve = op.downKind == PeerKind::kNode
+                              ? 0
+                              : params_.escapeReserveCredits;
+      const int avail = adaptiveCredits(
+          op.credits[static_cast<std::size_t>(ovl)], reserve);
+      if (avail >= pkt.credits) {
+        out[static_cast<std::size_t>(count++)] =
+            Option{p, ovl, false, avail - pkt.credits};
+      }
+    }
+  }
+
+  // Escape option: usable by deterministic packets always and by adaptive
+  // packets as the FA fallback; needs total credits for the whole packet.
+  const PortIndex p0 = bp.options.escapePort;
+  if (p0 != kInvalidPort) {
+    const SwitchOutputPort& op = sw.out[static_cast<std::size_t>(p0)];
+    if (op.downKind != PeerKind::kUnused && op.busyUntil <= now_) {
+      const VlIndex ovl = sw.slToVl.vl(inPort, p0, pkt.sl);
+      const int avail = op.credits[static_cast<std::size_t>(ovl)];
+      if (avail >= pkt.credits) {
+        out[static_cast<std::size_t>(count++)] =
+            Option{p0, ovl, true, avail - pkt.credits};
+      }
+    }
+  }
+  return count;
+}
+
+const Fabric::Option& Fabric::chooseOption(
+    const std::array<Option, kMaxRouteOptions + 1>& opts, int count) {
+  // Escape, when feasible, is always the last entry; minimal (adaptive)
+  // options take precedence over it.
+  const int adaptiveCount =
+      count - (opts[static_cast<std::size_t>(count - 1)].escape ? 1 : 0);
+  if (adaptiveCount <= 0) return opts[static_cast<std::size_t>(count - 1)];
+  switch (params_.selectionCriterion) {
+    case SelectionCriterion::kStatic:
+      return opts[0];
+    case SelectionCriterion::kRandom:
+      return opts[selectionRng_.uniformIndex(
+          static_cast<std::uint64_t>(adaptiveCount))];
+    case SelectionCriterion::kCreditAware:
+    default: {
+      int best = 0;
+      for (int i = 1; i < adaptiveCount; ++i) {
+        if (opts[static_cast<std::size_t>(i)].spareCredits >
+            opts[static_cast<std::size_t>(best)].spareCredits) {
+          best = i;
+        }
+      }
+      return opts[static_cast<std::size_t>(best)];
+    }
+  }
+}
+
+bool Fabric::allOptionsDead(const SwitchModel& sw,
+                            const BufferedPacket& bp) const {
+  const bool adaptiveEligible = bp.options.adaptiveRequested &&
+                                sw.adaptiveCapable &&
+                                bp.options.numAdaptive > 0;
+  if (adaptiveEligible) {
+    for (int i = 0; i < bp.options.numAdaptive; ++i) {
+      const PortIndex p = bp.options.adaptivePorts[static_cast<std::size_t>(i)];
+      if (sw.out[static_cast<std::size_t>(p)].downKind != PeerKind::kUnused) {
+        return false;
+      }
+    }
+  }
+  const PortIndex p0 = bp.options.escapePort;
+  return p0 == kInvalidPort ||
+         sw.out[static_cast<std::size_t>(p0)].downKind == PeerKind::kUnused;
+}
+
+void Fabric::dropPacket(SwitchId swId, PortIndex ip, VlIndex vl, int idx) {
+  SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
+  SwitchInputPort& in = sw.in[static_cast<std::size_t>(ip)];
+  VlBuffer& buf = in.vls[static_cast<std::size_t>(vl)];
+  const BufferedPacket bp = buf.at(idx);
+  const Packet& pkt = pool_.get(bp.packet);
+  buf.remove(idx);
+  ++counters_.dropped;
+  // Free the buffer space upstream once the tail can no longer be arriving.
+  const SimTime creditTime =
+      now_ + static_cast<SimTime>(pkt.sizeBytes) * params_.nsPerByte +
+      params_.linkPropagationNs;
+  if (in.upKind == PeerKind::kNode) {
+    queue_.push(Event{creditTime, 0, EventKind::kCreditToNode,
+                      static_cast<std::uint32_t>(in.upId),
+                      static_cast<std::uint32_t>(vl),
+                      static_cast<std::uint32_t>(pkt.credits)});
+  } else if (in.upKind == PeerKind::kSwitch) {
+    queue_.push(Event{creditTime, 0, EventKind::kCreditToSwitch,
+                      static_cast<std::uint32_t>(in.upId),
+                      packPortVl(in.upPort, vl),
+                      static_cast<std::uint32_t>(pkt.credits)});
+  }
+  pool_.release(bp.packet);
+}
+
+PortIndex Fabric::commitPortAtRouting(const SwitchModel& sw, PortIndex inPort,
+                                      const RouteOptions& options,
+                                      const Packet& pkt) {
+  // SelectionTiming::kAtRouting: pick the preferred adaptive option using
+  // the (possibly stale) credit snapshot at table-access time. The escape
+  // fallback stays available at arbitration so deadlock freedom holds.
+  switch (params_.selectionCriterion) {
+    case SelectionCriterion::kStatic:
+      return options.adaptivePorts[0];
+    case SelectionCriterion::kRandom:
+      return options.adaptivePorts[selectionRng_.uniformIndex(
+          static_cast<std::uint64_t>(options.numAdaptive))];
+    case SelectionCriterion::kCreditAware:
+    default: {
+      int best = 0;
+      int bestCredits = -1;
+      for (int i = 0; i < options.numAdaptive; ++i) {
+        const PortIndex p = options.adaptivePorts[static_cast<std::size_t>(i)];
+        const SwitchOutputPort& op = sw.out[static_cast<std::size_t>(p)];
+        if (op.downKind == PeerKind::kUnused) continue;
+        const VlIndex ovl = sw.slToVl.vl(inPort, p, pkt.sl);
+        const int reserve = op.downKind == PeerKind::kNode
+                                ? 0
+                                : params_.escapeReserveCredits;
+        const int avail = adaptiveCredits(
+            op.credits[static_cast<std::size_t>(ovl)], reserve);
+        if (avail > bestCredits) {
+          bestCredits = avail;
+          best = i;
+        }
+      }
+      return options.adaptivePorts[static_cast<std::size_t>(best)];
+    }
+  }
+}
+
+void Fabric::grant(SwitchId swId, PortIndex ip, VlIndex vl, int idx,
+                   const Option& opt) {
+  SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
+  SwitchInputPort& in = sw.in[static_cast<std::size_t>(ip)];
+  VlBuffer& buf = in.vls[static_cast<std::size_t>(vl)];
+  const BufferedPacket bp = buf.at(idx);
+  Packet& pkt = pool_.get(bp.packet);
+  SwitchOutputPort& op = sw.out[static_cast<std::size_t>(opt.port)];
+
+  const SimTime txEnd =
+      now_ + static_cast<SimTime>(pkt.sizeBytes) * params_.nsPerByte;
+  op.busyUntil = txEnd;
+  in.busyUntil = txEnd;
+  op.bytesSent += static_cast<std::uint64_t>(pkt.sizeBytes);
+  op.credits[static_cast<std::size_t>(opt.vl)] -= pkt.credits;
+  if (op.credits[static_cast<std::size_t>(opt.vl)] < 0) {
+    throw std::logic_error("Fabric::grant: negative credits (bug)");
+  }
+  buf.remove(idx);
+
+  // Credits for this input buffer return to the upstream holder when the
+  // packet's tail has left, plus wire latency for the credit update.
+  const SimTime creditTime = txEnd + params_.linkPropagationNs;
+  if (in.upKind == PeerKind::kNode) {
+    queue_.push(Event{creditTime, 0, EventKind::kCreditToNode,
+                      static_cast<std::uint32_t>(in.upId),
+                      static_cast<std::uint32_t>(vl),
+                      static_cast<std::uint32_t>(pkt.credits)});
+  } else {
+    queue_.push(Event{creditTime, 0, EventKind::kCreditToSwitch,
+                      static_cast<std::uint32_t>(in.upId),
+                      packPortVl(in.upPort, vl),
+                      static_cast<std::uint32_t>(pkt.credits)});
+  }
+
+  ++pkt.hops;
+  if (opt.escape) {
+    ++counters_.escapeForwards;
+    if (pkt.adaptive) ++pkt.escapeHops;
+  } else {
+    ++counters_.adaptiveForwards;
+  }
+
+  if (op.downKind == PeerKind::kSwitch) {
+    // Virtual cut-through: the downstream header arrives one wire delay
+    // after transmission starts.
+    queue_.push(Event{now_ + params_.linkPropagationNs, 0,
+                      EventKind::kHeaderArrive,
+                      static_cast<std::uint32_t>(op.downId),
+                      packPortVl(op.downPort, opt.vl), bp.packet});
+  } else {
+    // Tail reaches the CA one wire delay after serialization completes.
+    queue_.push(Event{txEnd + params_.linkPropagationNs, 0,
+                      EventKind::kNodeDeliver,
+                      static_cast<std::uint32_t>(op.downId),
+                      static_cast<std::uint32_t>(opt.vl), bp.packet});
+  }
+
+  // The input and output ports free up at txEnd; re-arm arbitration.
+  scheduleArb(swId, txEnd);
+}
+
+}  // namespace ibadapt

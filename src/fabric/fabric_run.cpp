@@ -1,0 +1,291 @@
+//
+// Event loop, traffic bootstrap, and all non-arbitration event handlers.
+//
+#include <stdexcept>
+
+#include "fabric/fabric.hpp"
+
+namespace ibadapt {
+
+void Fabric::start() {
+  if (started_) throw std::logic_error("Fabric::start called twice");
+  if (traffic_ == nullptr) throw std::logic_error("Fabric: no traffic source");
+  started_ = true;
+
+  if (traffic_->saturationMode()) {
+    for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+      refillSaturationQueue(n);
+      scheduleNodeTryTx(n, 0);
+    }
+  } else {
+    for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+      const SimTime t = traffic_->firstGenTime(n, trafficRng_);
+      if (t != kTimeNever) {
+        queue_.push(Event{t, 0, EventKind::kNodeGenerate,
+                          static_cast<std::uint32_t>(n), 0, 0});
+      }
+    }
+  }
+}
+
+void Fabric::run(const RunLimits& limits) {
+  if (!started_) throw std::logic_error("Fabric::run before start");
+  generationEnd_ = limits.generationEndTime >= 0 ? limits.generationEndTime
+                                                 : limits.endTime;
+  // Re-arm generation chains parked past an earlier, shorter run.
+  for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+    NodeModel& nd = nodes_[static_cast<std::size_t>(n)];
+    if (nd.pendingGenTime != kTimeNever &&
+        nd.pendingGenTime <= generationEnd_) {
+      queue_.push(Event{nd.pendingGenTime, 0, EventKind::kNodeGenerate,
+                        static_cast<std::uint32_t>(n), 0, 0});
+      nd.pendingGenTime = kTimeNever;
+    }
+  }
+  watchdogPeriod_ = limits.watchdogPeriodNs;
+  watchdogStallLimit_ = limits.watchdogStallLimit;
+  watchdogLastDelivered_ = counters_.delivered + counters_.dropped;
+  watchdogStallCount_ = 0;
+  if (watchdogPeriod_ > 0) {
+    queue_.push(Event{now_ + watchdogPeriod_, 0, EventKind::kWatchdog, 0, 0, 0});
+  }
+
+  while (!queue_.empty() && !stopRequested_) {
+    if (queue_.top().time > limits.endTime) break;
+    const Event ev = queue_.pop();
+    now_ = ev.time;
+    if (++counters_.events > limits.maxEvents) break;
+    if (pool_.liveCount() > limits.maxLivePackets) {
+      livePacketLimitHit_ = true;
+      break;
+    }
+    dispatch(ev);
+  }
+}
+
+void Fabric::dispatch(const Event& ev) {
+  switch (ev.kind) {
+    case EventKind::kHeaderArrive:
+      handleHeaderArrive(static_cast<SwitchId>(ev.a), unpackPort(ev.b),
+                         unpackVl(ev.b), ev.c);
+      break;
+    case EventKind::kArbitrate:
+      arbitrate(static_cast<SwitchId>(ev.a));
+      break;
+    case EventKind::kCreditToSwitch:
+      handleCreditToSwitch(static_cast<SwitchId>(ev.a), unpackPort(ev.b),
+                           unpackVl(ev.b), static_cast<int>(ev.c));
+      break;
+    case EventKind::kCreditToNode:
+      handleCreditToNode(static_cast<NodeId>(ev.a),
+                         static_cast<VlIndex>(ev.b), static_cast<int>(ev.c));
+      break;
+    case EventKind::kNodeTryTx:
+      handleNodeTryTx(static_cast<NodeId>(ev.a));
+      break;
+    case EventKind::kNodeGenerate:
+      handleNodeGenerate(static_cast<NodeId>(ev.a));
+      break;
+    case EventKind::kNodeDeliver:
+      handleNodeDeliver(static_cast<NodeId>(ev.a),
+                        static_cast<VlIndex>(ev.b), ev.c);
+      break;
+    case EventKind::kWatchdog:
+      handleWatchdog();
+      break;
+    case EventKind::kNone:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Traffic
+// ---------------------------------------------------------------------------
+
+PacketRef Fabric::generatePacket(NodeId src) {
+  const ITrafficSource::Spec spec = traffic_->makePacket(src, trafficRng_);
+  const PacketRef ref = pool_.alloc();
+  Packet& pkt = pool_.get(ref);
+  pkt.src = src;
+  pkt.dst = spec.dst;
+  pkt.sizeBytes = spec.sizeBytes;
+  pkt.credits = creditsForBytes(spec.sizeBytes);
+  pkt.sl = spec.sl;
+  pkt.msgId = spec.msgId;
+  pkt.segIndex = spec.segIndex;
+  pkt.segCount = spec.segCount;
+  if (spec.pathOffset >= 0) {
+    if (spec.pathOffset >= lids_.lidsPerNode()) {
+      throw std::invalid_argument("Fabric: pathOffset beyond LID block");
+    }
+    // Source-multipath: the sender pins a specific address plane. Ordering
+    // across planes is not guaranteed, so such packets count as adaptive
+    // unless the source says otherwise.
+    pkt.adaptive = spec.adaptive;
+    pkt.dlid = lids_.lidForOption(spec.dst, spec.pathOffset);
+  } else {
+    pkt.adaptive = spec.adaptive && params_.lmc >= 1;
+    pkt.dlid = pkt.adaptive ? lids_.adaptiveLid(spec.dst)
+                            : lids_.deterministicLid(spec.dst);
+  }
+  pkt.genTime = now_;
+  if (!pkt.adaptive) {
+    auto& ctr = detSeqCounters_[static_cast<std::size_t>(src) *
+                                    topo_.numNodes() +
+                                static_cast<std::size_t>(spec.dst)];
+    pkt.detSeq = ++ctr;
+  }
+  ++counters_.generated;
+  if (observer_ != nullptr) observer_->onGenerated(pkt, now_);
+  nodes_[static_cast<std::size_t>(src)].sendQueue.push_back(ref);
+  return ref;
+}
+
+void Fabric::refillSaturationQueue(NodeId n) {
+  NodeModel& nd = nodes_[static_cast<std::size_t>(n)];
+  const int cap = traffic_->saturationQueueCap();
+  while (static_cast<int>(nd.sendQueue.size()) < cap) {
+    generatePacket(n);
+  }
+}
+
+void Fabric::handleNodeGenerate(NodeId n) {
+  generatePacket(n);
+  tryNodeTx(n);
+  const SimTime next = traffic_->nextGenTime(n, now_, trafficRng_);
+  if (next == kTimeNever) return;
+  if (next <= generationEnd_) {
+    queue_.push(Event{next, 0, EventKind::kNodeGenerate,
+                      static_cast<std::uint32_t>(n), 0, 0});
+  } else {
+    // Beyond this run's horizon: park it; a later run() re-arms it.
+    nodes_[static_cast<std::size_t>(n)].pendingGenTime = next;
+  }
+}
+
+void Fabric::scheduleNodeTryTx(NodeId n, SimTime when) {
+  NodeModel& nd = nodes_[static_cast<std::size_t>(n)];
+  if (nd.lastTryTxScheduled == when) return;
+  nd.lastTryTxScheduled = when;
+  queue_.push(Event{when, 0, EventKind::kNodeTryTx,
+                    static_cast<std::uint32_t>(n), 0, 0});
+}
+
+void Fabric::handleNodeTryTx(NodeId n) {
+  tryNodeTx(n);
+}
+
+void Fabric::tryNodeTx(NodeId n) {
+  NodeModel& nd = nodes_[static_cast<std::size_t>(n)];
+  if (nd.sendQueue.empty() || nd.txBusyUntil > now_) return;
+  const PacketRef ref = nd.sendQueue.front();
+  Packet& pkt = pool_.get(ref);
+  const VlIndex vl = static_cast<VlIndex>(pkt.sl % params_.numVls);
+  if (nd.txCredits[static_cast<std::size_t>(vl)] < pkt.credits) return;
+
+  nd.txCredits[static_cast<std::size_t>(vl)] -= pkt.credits;
+  const SimTime txEnd = now_ + static_cast<SimTime>(pkt.sizeBytes) *
+                                   params_.nsPerByte;
+  nd.txBusyUntil = txEnd;
+  nd.sendQueue.pop_front();
+  pkt.injectTime = now_;
+  ++counters_.injected;
+  if (observer_ != nullptr) observer_->onInjected(pkt, now_);
+
+  const SwitchId sw = topo_.switchOfNode(n);
+  const PortIndex port = topo_.portOfNode(n);
+  queue_.push(Event{now_ + params_.linkPropagationNs, 0,
+                    EventKind::kHeaderArrive, static_cast<std::uint32_t>(sw),
+                    packPortVl(port, vl), ref});
+
+  if (traffic_->saturationMode()) refillSaturationQueue(n);
+  scheduleNodeTryTx(n, txEnd);
+}
+
+// ---------------------------------------------------------------------------
+// Switch-side handlers
+// ---------------------------------------------------------------------------
+
+void Fabric::handleHeaderArrive(SwitchId swId, PortIndex port, VlIndex vl,
+                                PacketRef ref) {
+  SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
+  const Packet& pkt = pool_.get(ref);
+
+  // Table access happens on header arrival, before the packet reaches the
+  // head of the buffer; the options travel with the packet (paper §4.3).
+  BufferedPacket bp;
+  bp.packet = ref;
+  bp.credits = pkt.credits;
+  bp.routeReady = now_ + params_.routingDelayNs;
+  bp.deterministic = !LidMapper::adaptiveBit(pkt.dlid);
+  bp.options = sw.lft.lookup(pkt.dlid);
+  if (!bp.options.valid()) {
+    throw std::logic_error("Fabric: packet routed to unprogrammed LID");
+  }
+  if (params_.selectionTiming == SelectionTiming::kAtRouting &&
+      bp.options.adaptiveRequested && sw.adaptiveCapable &&
+      bp.options.numAdaptive > 0) {
+    bp.committedPort = commitPortAtRouting(sw, port, bp.options, pkt);
+  }
+  sw.in[static_cast<std::size_t>(port)].vls[static_cast<std::size_t>(vl)].push(bp);
+  scheduleArb(swId, bp.routeReady);
+}
+
+void Fabric::handleCreditToSwitch(SwitchId swId, PortIndex port, VlIndex vl,
+                                  int credits) {
+  SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
+  auto& op = sw.out[static_cast<std::size_t>(port)];
+  op.credits[static_cast<std::size_t>(vl)] += credits;
+  if (op.credits[static_cast<std::size_t>(vl)] >
+      op.creditsMax[static_cast<std::size_t>(vl)]) {
+    throw std::logic_error("Fabric: credit overflow (protocol bug)");
+  }
+  scheduleArb(swId, now_);
+}
+
+void Fabric::handleCreditToNode(NodeId n, VlIndex vl, int credits) {
+  NodeModel& nd = nodes_[static_cast<std::size_t>(n)];
+  nd.txCredits[static_cast<std::size_t>(vl)] += credits;
+  if (nd.txCredits[static_cast<std::size_t>(vl)] > params_.bufferCredits) {
+    throw std::logic_error("Fabric: node credit overflow (protocol bug)");
+  }
+  tryNodeTx(n);
+}
+
+void Fabric::handleNodeDeliver(NodeId n, VlIndex vl, PacketRef ref) {
+  Packet& pkt = pool_.get(ref);
+  ++counters_.delivered;
+  counters_.deliveredBytes += static_cast<std::uint64_t>(pkt.sizeBytes);
+  counters_.hopSum += pkt.hops;
+  if (observer_ != nullptr) observer_->onDelivered(pkt, now_);
+
+  // The CA consumed the packet: return credits to the switch output port
+  // that feeds this node.
+  const SwitchId sw = topo_.switchOfNode(n);
+  const PortIndex port = topo_.portOfNode(n);
+  queue_.push(Event{now_ + params_.linkPropagationNs, 0,
+                    EventKind::kCreditToSwitch, static_cast<std::uint32_t>(sw),
+                    packPortVl(port, vl),
+                    static_cast<std::uint32_t>(pkt.credits)});
+  pool_.release(ref);
+}
+
+void Fabric::handleWatchdog() {
+  // Drops count as progress and as retirement: a packet discarded at a
+  // failed link is no longer in flight.
+  const std::uint64_t retired = counters_.delivered + counters_.dropped;
+  const bool inFlight = counters_.injected > retired;
+  if (inFlight && retired == watchdogLastDelivered_) {
+    if (++watchdogStallCount_ >= watchdogStallLimit_) {
+      deadlockSuspected_ = true;
+      stopRequested_ = true;
+      return;
+    }
+  } else {
+    watchdogStallCount_ = 0;
+  }
+  watchdogLastDelivered_ = retired;
+  queue_.push(Event{now_ + watchdogPeriod_, 0, EventKind::kWatchdog, 0, 0, 0});
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,56 @@
+#pragma once
+//
+// Callback interfaces decoupling the fabric engine from traffic generation
+// and measurement. Implementations live in src/traffic and src/stats.
+//
+#include "fabric/packet.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+/// Supplies packets for every end node. Called from inside the event loop;
+/// implementations must be deterministic given the Rng stream.
+class ITrafficSource {
+ public:
+  virtual ~ITrafficSource() = default;
+
+  struct Spec {
+    NodeId dst = kInvalidId;
+    int sizeBytes = 0;
+    bool adaptive = false;
+    std::uint8_t sl = 0;
+    /// >= 0 selects an explicit address within the destination's LID block
+    /// (source-multipath baseline); -1 derives the DLID from `adaptive`.
+    int pathOffset = -1;
+    /// Message-layer segment metadata (copied into the packet verbatim).
+    std::uint32_t msgId = 0;
+    std::uint16_t segIndex = 0;
+    std::uint16_t segCount = 0;
+  };
+
+  /// Destination / size / class of the next packet from `src`.
+  virtual Spec makePacket(NodeId src, Rng& rng) = 0;
+
+  /// Open loop: absolute time of node's first generation (>= 0).
+  virtual SimTime firstGenTime(NodeId node, Rng& rng) = 0;
+
+  /// Open loop: next generation time strictly after `now`.
+  virtual SimTime nextGenTime(NodeId node, SimTime now, Rng& rng) = 0;
+
+  /// Saturation mode: sources are always backlogged; generation events are
+  /// replaced by refilling each node's queue up to `saturationQueueCap()`.
+  virtual bool saturationMode() const = 0;
+  virtual int saturationQueueCap() const { return 4; }
+};
+
+/// Observes packet lifecycle milestones for measurement.
+class IDeliveryObserver {
+ public:
+  virtual ~IDeliveryObserver() = default;
+  virtual void onGenerated(const Packet& pkt, SimTime now) = 0;
+  virtual void onInjected(const Packet& pkt, SimTime now) = 0;
+  virtual void onDelivered(const Packet& pkt, SimTime now) = 0;
+};
+
+}  // namespace ibadapt

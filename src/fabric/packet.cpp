@@ -1,0 +1,20 @@
+#include "fabric/packet.hpp"
+
+namespace ibadapt {
+
+PacketRef PacketPool::alloc() {
+  if (!free_.empty()) {
+    const PacketRef ref = free_.back();
+    free_.pop_back();
+    slots_[ref] = Packet{};
+    return ref;
+  }
+  slots_.emplace_back();
+  return static_cast<PacketRef>(slots_.size() - 1);
+}
+
+void PacketPool::release(PacketRef ref) {
+  free_.push_back(ref);
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,52 @@
+#pragma once
+//
+// Packet record and pool. Packets are referenced by 32-bit pool indices in
+// the event payloads; the pool recycles slots so long runs stay allocation
+// free in steady state.
+//
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+using PacketRef = std::uint32_t;
+
+struct Packet {
+  NodeId src = kInvalidId;
+  NodeId dst = kInvalidId;
+  Lid dlid = kInvalidLid;
+  std::int32_t sizeBytes = 0;
+  std::int32_t credits = 0;
+  std::uint8_t sl = 0;
+  bool adaptive = false;
+  SimTime genTime = 0;     // created at the source host
+  SimTime injectTime = 0;  // first byte enters the fabric
+  std::uint16_t hops = 0;        // switch traversals
+  std::uint16_t escapeHops = 0;  // hops forwarded through the escape option
+  std::uint32_t detSeq = 0;      // per-(src,dst) order stamp (deterministic)
+
+  // Host message-layer metadata (0/0/0 when the packet is not a segment).
+  std::uint32_t msgId = 0;
+  std::uint16_t segIndex = 0;
+  std::uint16_t segCount = 0;
+};
+
+class PacketPool {
+ public:
+  PacketRef alloc();
+  void release(PacketRef ref);
+
+  Packet& get(PacketRef ref) { return slots_[ref]; }
+  const Packet& get(PacketRef ref) const { return slots_[ref]; }
+
+  std::size_t liveCount() const { return slots_.size() - free_.size(); }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<Packet> slots_;
+  std::vector<PacketRef> free_;
+};
+
+}  // namespace ibadapt

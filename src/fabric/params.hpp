@@ -1,0 +1,81 @@
+#pragma once
+//
+// Structural and timing parameters of the modeled IBA fabric. Defaults are
+// the paper's evaluation constants (§5.1).
+//
+#include <stdexcept>
+#include <vector>
+
+#include "core/selection.hpp"
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+/// How a switch input port picks among its VLs when several hold routable
+/// packets (a simplified IBA VLArbitration).
+enum class VlSelection : std::uint8_t {
+  kRoundRobin,     // fair rotation (default)
+  kFixedPriority,  // lower VL index always wins (VL0 = highest priority)
+};
+
+struct FabricParams {
+  // --- virtual lanes & buffering -------------------------------------
+  int numVls = 1;  // data VLs (IBA supports up to 16)
+  /// Credits (64 B units) per VL per input buffer: C_max. Default 8 = 512 B,
+  /// so each half of the split buffer holds one 256 B MTU as §4.4 requires.
+  int bufferCredits = 8;
+  /// Escape queue size C0 in credits (paper: C_max / 2).
+  int escapeReserveCredits = 4;
+  /// CA receive buffer, credits per VL.
+  int caRecvCredits = 16;
+
+  // --- timing (paper §5.1) --------------------------------------------
+  SimTime routingDelayNs = 100;  // table access + arbitration + crossbar
+  SimTime linkPropagationNs = 100;  // 20 m copper at 5 ns/m
+  int nsPerByte = 4;  // 1X link: 2.5 Gbps signal, 8b/10b => 2.0 Gbps data
+
+  // --- the paper's mechanism -------------------------------------------
+  /// Routing options per destination = forwarding-table banks (power of 2).
+  int numOptions = 2;
+  /// LID Mask Control: 2^lmc addresses per CA port; needs 2^lmc >= numOptions.
+  int lmc = 1;
+  /// Switches expose adaptive capability at all (false = stock IBA switches:
+  /// the tables are programmed identically but only the escape option is
+  /// ever offered).
+  bool adaptiveSwitches = true;
+  /// Optional per-switch override for mixed fabrics (§4.2): empty = every
+  /// switch follows `adaptiveSwitches`.
+  std::vector<bool> adaptiveSwitchMask;
+
+  SelectionTiming selectionTiming = SelectionTiming::kAtArbitration;
+  SelectionCriterion selectionCriterion = SelectionCriterion::kCreditAware;
+  EscapeOrderRule orderRule = EscapeOrderRule::kPaperStrict;
+  VlSelection vlSelection = VlSelection::kRoundRobin;
+
+  /// Seed for the (only) stochastic switch behavior: kRandom selection.
+  std::uint64_t selectionSeed = 0x5eedULL;
+
+  void validate() const {
+    if (numVls < 1 || numVls > 15) {
+      throw std::invalid_argument("FabricParams: numVls in [1,15]");
+    }
+    if (bufferCredits < 1 || escapeReserveCredits < 0 ||
+        escapeReserveCredits > bufferCredits) {
+      throw std::invalid_argument("FabricParams: buffer/escape credits");
+    }
+    if (caRecvCredits < 1) {
+      throw std::invalid_argument("FabricParams: caRecvCredits");
+    }
+    if (numOptions < 1 || (numOptions & (numOptions - 1)) != 0) {
+      throw std::invalid_argument("FabricParams: numOptions must be 2^k");
+    }
+    if ((1 << lmc) < numOptions) {
+      throw std::invalid_argument("FabricParams: 2^lmc < numOptions");
+    }
+    if (nsPerByte < 1 || routingDelayNs < 0 || linkPropagationNs < 0) {
+      throw std::invalid_argument("FabricParams: timing");
+    }
+  }
+};
+
+}  // namespace ibadapt

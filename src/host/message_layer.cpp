@@ -1,0 +1,112 @@
+#include "host/message_layer.hpp"
+
+#include <stdexcept>
+
+namespace ibadapt {
+
+MessageTraffic::MessageTraffic(const MessageTrafficSpec& spec) : spec_(spec) {
+  if (spec.numNodes < 2) {
+    throw std::invalid_argument("MessageTraffic: need >= 2 nodes");
+  }
+  if (spec.messageBytes <= 0 || spec.mtuBytes <= 0) {
+    throw std::invalid_argument("MessageTraffic: sizes");
+  }
+  if (spec.meanMessageGapNs <= 0.0) {
+    throw std::invalid_argument("MessageTraffic: meanMessageGapNs");
+  }
+  segCount_ = (spec.messageBytes + spec.mtuBytes - 1) / spec.mtuBytes;
+  tailBytes_ = spec.messageBytes - (segCount_ - 1) * spec.mtuBytes;
+  if (segCount_ > 0xFFFF) {
+    throw std::invalid_argument("MessageTraffic: message too large");
+  }
+  nodes_.resize(static_cast<std::size_t>(spec.numNodes));
+  for (auto& n : nodes_) {
+    n.nextMsgIdForDst.assign(static_cast<std::size_t>(spec.numNodes), 1);
+  }
+}
+
+ITrafficSource::Spec MessageTraffic::makePacket(NodeId src, Rng& rng) {
+  NodeState& st = nodes_[static_cast<std::size_t>(src)];
+  if (st.segsLeft == 0) {
+    // Start a new message.
+    auto d = static_cast<NodeId>(rng.uniformIndex(
+        static_cast<std::uint64_t>(spec_.numNodes - 1)));
+    if (d >= src) ++d;
+    st.dst = d;
+    st.msgId = st.nextMsgIdForDst[static_cast<std::size_t>(d)]++;
+    st.segsLeft = segCount_;
+  }
+  Spec s;
+  s.dst = st.dst;
+  s.adaptive = spec_.adaptive;
+  s.msgId = st.msgId;
+  s.segCount = static_cast<std::uint16_t>(segCount_);
+  s.segIndex = static_cast<std::uint16_t>(segCount_ - st.segsLeft);
+  s.sizeBytes = st.segsLeft == 1 ? tailBytes_ : spec_.mtuBytes;
+  --st.segsLeft;
+  return s;
+}
+
+SimTime MessageTraffic::firstGenTime(NodeId node, Rng& rng) {
+  (void)node;
+  return static_cast<SimTime>(rng.exponential(spec_.meanMessageGapNs));
+}
+
+SimTime MessageTraffic::nextGenTime(NodeId node, SimTime now, Rng& rng) {
+  const NodeState& st = nodes_[static_cast<std::size_t>(node)];
+  if (st.segsLeft > 0) {
+    return now;  // remaining segments of the current message: back-to-back
+  }
+  return now + 1 + static_cast<SimTime>(rng.exponential(spec_.meanMessageGapNs));
+}
+
+// ---------------------------------------------------------------------------
+
+void MessageReassembler::onGenerated(const Packet& pkt, SimTime now) {
+  if (pkt.segCount == 0 || pkt.segIndex != 0) return;
+  // First segment generated: remember the message birth time.
+  const FlowKey key{pkt.src, pkt.dst};
+  Assembly& a = assembling_[{key, pkt.msgId}];
+  a.segCount = pkt.segCount;
+  a.genTime = now;
+}
+
+void MessageReassembler::onDelivered(const Packet& pkt, SimTime now) {
+  if (pkt.segCount == 0) return;
+  const FlowKey key{pkt.src, pkt.dst};
+  const auto mapKey = std::make_pair(key, pkt.msgId);
+  const auto it = assembling_.find(mapKey);
+  if (it == assembling_.end()) {
+    ++staleSegments_;
+    return;
+  }
+  Assembly& a = it->second;
+  if (!a.seen.insert(pkt.segIndex).second) {
+    ++staleSegments_;  // duplicate segment
+    return;
+  }
+  if (a.seen.size() < a.segCount) return;
+
+  // Message complete.
+  ++completed_;
+  completion_.add(now - a.genTime);
+  Flow& flow = flows_[key];
+  flow.held.emplace(pkt.msgId, std::make_pair(a.genTime, now));
+  ++held_;
+  maxHeld_ = std::max(maxHeld_, held_);
+  assembling_.erase(it);
+
+  // Release the in-order prefix to the application.
+  while (!flow.held.empty() &&
+         flow.held.begin()->first == flow.nextExpected) {
+    const auto [gen, done] = flow.held.begin()->second;
+    (void)done;
+    app_.add(now - gen);  // released at `now`, when the head filled in
+    ++appDelivered_;
+    ++flow.nextExpected;
+    flow.held.erase(flow.held.begin());
+    --held_;
+  }
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,56 @@
+#include "iba/crc.hpp"
+
+#include <array>
+
+namespace ibadapt::iba {
+
+namespace {
+
+constexpr std::array<std::uint16_t, 256> makeCrc16Table() {
+  std::array<std::uint16_t, 256> table{};
+  for (int i = 0; i < 256; ++i) {
+    std::uint16_t crc = static_cast<std::uint16_t>(i << 8);
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc & 0x8000u) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021u)
+                            : static_cast<std::uint16_t>(crc << 1);
+    }
+    table[static_cast<std::size_t>(i)] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> makeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc & 1u) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;  // reflected
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kCrc16Table = makeCrc16Table();
+constexpr auto kCrc32Table = makeCrc32Table();
+
+}  // namespace
+
+std::uint16_t crc16(std::span<const std::uint8_t> data, std::uint16_t init) {
+  std::uint16_t crc = init;
+  for (std::uint8_t byte : data) {
+    crc = static_cast<std::uint16_t>(
+        (crc << 8) ^ kCrc16Table[static_cast<std::size_t>((crc >> 8) ^ byte)]);
+  }
+  return crc;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc = (crc >> 8) ^ kCrc32Table[(crc ^ byte) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ibadapt::iba

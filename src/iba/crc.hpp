@@ -1,0 +1,25 @@
+#pragma once
+//
+// CRCs used by the InfiniBand link layer:
+//   * VCRC — variant CRC, 16 bits, CCITT polynomial x^16+x^12+x^5+1,
+//     covering the whole packet, recomputed per link;
+//   * ICRC — invariant CRC, 32 bits, IEEE 802.3 polynomial, covering the
+//     fields that do not change in flight.
+// Table-driven implementations; check values validated against the
+// standard "123456789" test vectors in the unit tests.
+//
+#include <cstdint>
+#include <span>
+
+namespace ibadapt::iba {
+
+/// CRC-16/XMODEM (CCITT polynomial 0x1021, init 0, MSB-first) — the
+/// polynomial IBA specifies for the VCRC.
+std::uint16_t crc16(std::span<const std::uint8_t> data,
+                    std::uint16_t init = 0);
+
+/// CRC-32 (IEEE 802.3, reflected, init 0xFFFFFFFF, final xor 0xFFFFFFFF) —
+/// the polynomial IBA specifies for the ICRC.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace ibadapt::iba

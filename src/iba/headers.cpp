@@ -1,0 +1,171 @@
+#include "iba/headers.hpp"
+
+#include <stdexcept>
+
+#include "iba/crc.hpp"
+
+namespace ibadapt::iba {
+
+namespace {
+
+void put16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+std::uint16_t get16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+void put24(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>((v >> 16) & 0xFF);
+  p[1] = static_cast<std::uint8_t>((v >> 8) & 0xFF);
+  p[2] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+std::uint32_t get24(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 16) |
+         (static_cast<std::uint32_t>(p[1]) << 8) | p[2];
+}
+
+}  // namespace
+
+std::array<std::uint8_t, kLrhBytes> encodeLrh(const Lrh& lrh) {
+  if (lrh.vl > 0xF || lrh.lver > 0xF || lrh.sl > 0xF ||
+      lrh.pktLenWords > 0x7FF) {
+    throw std::invalid_argument("encodeLrh: field out of range");
+  }
+  std::array<std::uint8_t, kLrhBytes> out{};
+  out[0] = static_cast<std::uint8_t>((lrh.vl << 4) | lrh.lver);
+  out[1] = static_cast<std::uint8_t>((lrh.sl << 4) |
+                                     static_cast<std::uint8_t>(lrh.lnh));
+  put16(&out[2], lrh.dlid);
+  out[4] = static_cast<std::uint8_t>((lrh.pktLenWords >> 8) & 0x07);
+  out[5] = static_cast<std::uint8_t>(lrh.pktLenWords & 0xFF);
+  put16(&out[6], lrh.slid);
+  return out;
+}
+
+Lrh decodeLrh(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kLrhBytes) {
+    throw std::invalid_argument("decodeLrh: short buffer");
+  }
+  if ((bytes[1] & 0x0C) != 0 || (bytes[4] & 0xF8) != 0) {
+    throw std::invalid_argument("decodeLrh: reserved bits set");
+  }
+  Lrh lrh;
+  lrh.vl = bytes[0] >> 4;
+  lrh.lver = bytes[0] & 0x0F;
+  lrh.sl = bytes[1] >> 4;
+  lrh.lnh = static_cast<NextHeader>(bytes[1] & 0x03);
+  lrh.dlid = get16(&bytes[2]);
+  lrh.pktLenWords =
+      static_cast<std::uint16_t>(((bytes[4] & 0x07) << 8) | bytes[5]);
+  lrh.slid = get16(&bytes[6]);
+  return lrh;
+}
+
+std::array<std::uint8_t, kBthBytes> encodeBth(const Bth& bth) {
+  if (bth.padCount > 3 || bth.tver > 0xF || bth.destQp > 0xFFFFFF ||
+      bth.psn > 0xFFFFFF) {
+    throw std::invalid_argument("encodeBth: field out of range");
+  }
+  std::array<std::uint8_t, kBthBytes> out{};
+  out[0] = bth.opCode;
+  out[1] = static_cast<std::uint8_t>((bth.solicitedEvent ? 0x80 : 0) |
+                                     (bth.migReq ? 0x40 : 0) |
+                                     (bth.padCount << 4) | bth.tver);
+  put16(&out[2], bth.pKey);
+  out[4] = 0;
+  put24(&out[5], bth.destQp);
+  out[8] = static_cast<std::uint8_t>(bth.ackReq ? 0x80 : 0);
+  put24(&out[9], bth.psn);
+  return out;
+}
+
+Bth decodeBth(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kBthBytes) {
+    throw std::invalid_argument("decodeBth: short buffer");
+  }
+  Bth bth;
+  bth.opCode = bytes[0];
+  bth.solicitedEvent = (bytes[1] & 0x80) != 0;
+  bth.migReq = (bytes[1] & 0x40) != 0;
+  bth.padCount = (bytes[1] >> 4) & 0x03;
+  bth.tver = bytes[1] & 0x0F;
+  bth.pKey = get16(&bytes[2]);
+  bth.destQp = get24(&bytes[5]);
+  bth.ackReq = (bytes[8] & 0x80) != 0;
+  bth.psn = get24(&bytes[9]);
+  return bth;
+}
+
+std::vector<std::uint8_t> buildFrame(Lrh lrh, const Bth& bth,
+                                     std::span<const std::uint8_t> payload) {
+  if (payload.size() % 4 != 0) {
+    throw std::invalid_argument("buildFrame: payload must be word aligned");
+  }
+  const std::size_t total =
+      kLrhBytes + kBthBytes + payload.size() + 4 /*ICRC*/ + 2 /*VCRC*/;
+  if (total % 4 != 2) {
+    // LRH(8)+BTH(12)+payload(4k)+ICRC(4) is word aligned; VCRC adds 2.
+    throw std::logic_error("buildFrame: alignment bug");
+  }
+  lrh.pktLenWords = static_cast<std::uint16_t>((total - 2) / 4);
+  lrh.lnh = NextHeader::kBth;
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(total);
+  const auto lrhBytes = encodeLrh(lrh);
+  frame.insert(frame.end(), lrhBytes.begin(), lrhBytes.end());
+  const auto bthBytes = encodeBth(bth);
+  frame.insert(frame.end(), bthBytes.begin(), bthBytes.end());
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  // ICRC over the transport-invariant region. (Simplification: the spec
+  // masks a handful of mutable LRH/BTH bits; we cover BTH + payload, which
+  // preserves the property the tests need — invariance across hops.)
+  const std::uint32_t icrc = crc32(
+      std::span<const std::uint8_t>(frame).subspan(kLrhBytes));
+  frame.push_back(static_cast<std::uint8_t>(icrc >> 24));
+  frame.push_back(static_cast<std::uint8_t>((icrc >> 16) & 0xFF));
+  frame.push_back(static_cast<std::uint8_t>((icrc >> 8) & 0xFF));
+  frame.push_back(static_cast<std::uint8_t>(icrc & 0xFF));
+
+  // VCRC over everything so far (LRH .. ICRC), per link.
+  const std::uint16_t vcrc = crc16(frame);
+  frame.push_back(static_cast<std::uint8_t>(vcrc >> 8));
+  frame.push_back(static_cast<std::uint8_t>(vcrc & 0xFF));
+  return frame;
+}
+
+ParsedFrame parseFrame(std::span<const std::uint8_t> frame) {
+  constexpr std::size_t kMin = kLrhBytes + kBthBytes + 4 + 2;
+  if (frame.size() < kMin) {
+    throw std::invalid_argument("parseFrame: frame too short");
+  }
+  ParsedFrame out;
+  out.lrh = decodeLrh(frame);
+  out.bth = decodeBth(frame.subspan(kLrhBytes));
+  const std::size_t payloadLen = frame.size() - kMin;
+  out.payload.assign(frame.begin() + kLrhBytes + kBthBytes,
+                     frame.begin() + static_cast<std::ptrdiff_t>(
+                                         kLrhBytes + kBthBytes + payloadLen));
+
+  const std::size_t icrcPos = frame.size() - 6;
+  const std::uint32_t icrcStored =
+      (static_cast<std::uint32_t>(frame[icrcPos]) << 24) |
+      (static_cast<std::uint32_t>(frame[icrcPos + 1]) << 16) |
+      (static_cast<std::uint32_t>(frame[icrcPos + 2]) << 8) |
+      frame[icrcPos + 3];
+  out.icrcOk = icrcStored == crc32(frame.subspan(kLrhBytes,
+                                                 kBthBytes + payloadLen));
+
+  const std::size_t vcrcPos = frame.size() - 2;
+  const std::uint16_t vcrcStored =
+      static_cast<std::uint16_t>((frame[vcrcPos] << 8) | frame[vcrcPos + 1]);
+  out.vcrcOk = vcrcStored == crc16(frame.first(vcrcPos));
+  return out;
+}
+
+}  // namespace ibadapt::iba

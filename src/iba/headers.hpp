@@ -1,0 +1,98 @@
+#pragma once
+//
+// IBA link-layer wire format: the Local Route Header (LRH) that switches
+// route on, the Base Transport Header (BTH), and whole-frame assembly with
+// VCRC/ICRC. The simulator models packets symbolically for speed; this
+// module provides the byte-exact encoding for trace export, interoperability
+// tooling, and for tests proving the symbolic model and the wire format
+// agree (the DLID a switch routes on is exactly the DLID on the wire).
+//
+// LRH (8 bytes, fields MSB-first as in the specification):
+//   byte 0: VL[7:4] LVer[3:0]
+//   byte 1: SL[7:4] rsvd[3:2] LNH[1:0]
+//   bytes 2-3: DLID (big endian)
+//   byte 4: rsvd[7:3] PktLen[10:8]
+//   byte 5: PktLen[7:0]           (packet length in 4-byte words)
+//   bytes 6-7: SLID (big endian)
+//
+// BTH (12 bytes):
+//   byte 0: OpCode
+//   byte 1: SE[7] M[6] PadCnt[5:4] TVer[3:0]
+//   bytes 2-3: P_Key
+//   byte 4: rsvd
+//   bytes 5-7: DestQP
+//   byte 8: A[7] rsvd[6:0]
+//   bytes 9-11: PSN
+//
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ibadapt::iba {
+
+inline constexpr int kLrhBytes = 8;
+inline constexpr int kBthBytes = 12;
+
+/// LNH: what follows the LRH.
+enum class NextHeader : std::uint8_t {
+  kRaw = 0,
+  kIpv6 = 1,
+  kBth = 2,       // IBA transport, no GRH
+  kGrhThenBth = 3
+};
+
+struct Lrh {
+  std::uint8_t vl = 0;       // 4 bits
+  std::uint8_t lver = 0;     // 4 bits
+  std::uint8_t sl = 0;       // 4 bits
+  NextHeader lnh = NextHeader::kBth;
+  std::uint16_t dlid = 0;
+  std::uint16_t pktLenWords = 0;  // 11 bits, length in 4-byte words
+  std::uint16_t slid = 0;
+
+  friend bool operator==(const Lrh&, const Lrh&) = default;
+};
+
+struct Bth {
+  std::uint8_t opCode = 0;
+  bool solicitedEvent = false;
+  bool migReq = false;
+  std::uint8_t padCount = 0;  // 2 bits
+  std::uint8_t tver = 0;      // 4 bits
+  std::uint16_t pKey = 0xFFFF;
+  std::uint32_t destQp = 0;  // 24 bits
+  bool ackReq = false;
+  std::uint32_t psn = 0;  // 24 bits
+
+  friend bool operator==(const Bth&, const Bth&) = default;
+};
+
+std::array<std::uint8_t, kLrhBytes> encodeLrh(const Lrh& lrh);
+/// Throws std::invalid_argument when reserved bits are set.
+Lrh decodeLrh(std::span<const std::uint8_t> bytes);
+
+std::array<std::uint8_t, kBthBytes> encodeBth(const Bth& bth);
+Bth decodeBth(std::span<const std::uint8_t> bytes);
+
+/// A complete local frame: LRH + BTH + payload + ICRC(4) + VCRC(2).
+/// Payload must be 4-byte aligned (use padCount for the tail). pktLenWords
+/// is filled in automatically.
+std::vector<std::uint8_t> buildFrame(Lrh lrh, const Bth& bth,
+                                     std::span<const std::uint8_t> payload);
+
+struct ParsedFrame {
+  Lrh lrh;
+  Bth bth;
+  std::vector<std::uint8_t> payload;
+  bool icrcOk = false;
+  bool vcrcOk = false;
+};
+
+/// Parses and checks both CRCs. Throws std::invalid_argument on frames too
+/// short to contain the fixed headers and CRCs.
+ParsedFrame parseFrame(std::span<const std::uint8_t> frame);
+
+}  // namespace ibadapt::iba

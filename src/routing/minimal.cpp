@@ -1,0 +1,22 @@
+#include "routing/minimal.hpp"
+
+namespace ibadapt {
+
+MinimalAdaptiveRouting::MinimalAdaptiveRouting(const Topology& topo)
+    : numSwitches_(topo.numSwitches()), dist_(allPairsDistances(topo)) {
+  ports_.resize(static_cast<std::size_t>(numSwitches_) * numSwitches_);
+  for (SwitchId at = 0; at < numSwitches_; ++at) {
+    const auto neighbors = topo.switchNeighbors(at);
+    for (SwitchId dest = 0; dest < numSwitches_; ++dest) {
+      if (at == dest) continue;
+      auto& list = ports_[static_cast<std::size_t>(at) * numSwitches_ +
+                          static_cast<std::size_t>(dest)];
+      const int d = distance(at, dest);
+      for (const auto& [nb, port] : neighbors) {
+        if (distance(nb, dest) == d - 1) list.push_back(port);
+      }
+    }
+  }
+}
+
+}  // namespace ibadapt

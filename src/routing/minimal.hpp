@@ -1,0 +1,37 @@
+#pragma once
+//
+// Fully adaptive *minimal* routing options (paper §3): at every switch, every
+// output port whose neighbor lies on some shortest path to the destination
+// is a legal adaptive choice. Combined with the up*/down* escape paths this
+// forms the FA routing algorithm.
+//
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+class MinimalAdaptiveRouting {
+ public:
+  explicit MinimalAdaptiveRouting(const Topology& topo);
+
+  /// Shortest switch-to-switch distance in hops.
+  int distance(SwitchId from, SwitchId to) const {
+    return dist_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  }
+
+  /// All minimal output ports at `at` toward `dest` (ascending port order).
+  /// Empty when at == dest.
+  const std::vector<PortIndex>& minimalPorts(SwitchId at, SwitchId dest) const {
+    return ports_[static_cast<std::size_t>(at) * numSwitches_ +
+                  static_cast<std::size_t>(dest)];
+  }
+
+ private:
+  int numSwitches_;
+  std::vector<std::vector<int>> dist_;
+  std::vector<std::vector<PortIndex>> ports_;
+};
+
+}  // namespace ibadapt

@@ -1,0 +1,43 @@
+#include "routing/route_set.hpp"
+
+namespace ibadapt {
+
+RouteSet::RouteSet(const Topology& topo, const UpDownRouting& updown,
+                   const MinimalAdaptiveRouting& minimal)
+    : numSwitches_(topo.numSwitches()), numNodes_(topo.numNodes()) {
+  spec_.resize(static_cast<std::size_t>(numSwitches_) * numNodes_);
+  for (SwitchId sw = 0; sw < numSwitches_; ++sw) {
+    for (NodeId n = 0; n < numNodes_; ++n) {
+      auto& s = spec_[static_cast<std::size_t>(sw) * numNodes_ +
+                      static_cast<std::size_t>(n)];
+      const SwitchId destSw = topo.switchOfNode(n);
+      if (destSw == sw) {
+        s.escapePort = topo.portOfNode(n);
+        // Local delivery: a single option; the adaptive list stays empty.
+      } else {
+        s.escapePort = updown.nextHopPort(sw, destSw);
+        s.adaptivePorts = minimal.minimalPorts(sw, destSw);
+      }
+    }
+  }
+}
+
+std::vector<PortIndex> RouteSet::cappedAdaptivePorts(SwitchId sw, NodeId dest,
+                                                     int numOptions) const {
+  const auto& s = options(sw, dest);
+  const int slots = numOptions - 1;  // bank 0 holds the escape port
+  std::vector<PortIndex> out;
+  if (slots <= 0 || s.adaptivePorts.empty()) return out;
+  const int n = static_cast<int>(s.adaptivePorts.size());
+  const int take = slots < n ? slots : n;
+  // Deterministic rotation keyed on (switch, destination) balances which
+  // minimal ports land in the table when there are more than x-1 of them.
+  const int start = (sw * 31 + dest) % n;
+  out.reserve(static_cast<std::size_t>(take));
+  for (int i = 0; i < take; ++i) {
+    out.push_back(s.adaptivePorts[static_cast<std::size_t>((start + i) % n)]);
+  }
+  return out;
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,49 @@
+#pragma once
+//
+// Per-(switch, destination-node) routing options, ready to be programmed
+// into forwarding tables by the subnet manager:
+//   * escape port — the up*/down* next hop (or the CA port for local
+//     destinations), stored at forwarding-table address `d`;
+//   * adaptive ports — every minimal output port, stored (capped and
+//     rotation-balanced) at addresses `d+1 .. d+x-1`.
+//
+#include <vector>
+
+#include "routing/minimal.hpp"
+#include "routing/updown.hpp"
+#include "topology/topology.hpp"
+
+namespace ibadapt {
+
+struct RouteOptionsSpec {
+  PortIndex escapePort = kInvalidPort;
+  /// Uncapped list of minimal adaptive ports; empty for local destinations.
+  std::vector<PortIndex> adaptivePorts;
+};
+
+class RouteSet {
+ public:
+  RouteSet(const Topology& topo, const UpDownRouting& updown,
+           const MinimalAdaptiveRouting& minimal);
+
+  const RouteOptionsSpec& options(SwitchId sw, NodeId dest) const {
+    return spec_[static_cast<std::size_t>(sw) * numNodes_ +
+                 static_cast<std::size_t>(dest)];
+  }
+
+  /// Adaptive ports to program given x table banks (x-1 adaptive slots):
+  /// a deterministic rotation spreads the capped subset across destinations
+  /// so no single minimal port is systematically favored.
+  std::vector<PortIndex> cappedAdaptivePorts(SwitchId sw, NodeId dest,
+                                             int numOptions) const;
+
+  int numNodes() const { return numNodes_; }
+  int numSwitches() const { return numSwitches_; }
+
+ private:
+  int numSwitches_;
+  int numNodes_;
+  std::vector<RouteOptionsSpec> spec_;
+};
+
+}  // namespace ibadapt

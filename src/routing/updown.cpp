@@ -1,0 +1,206 @@
+#include "routing/updown.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace ibadapt {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+}
+
+SwitchId selectRoot(const Topology& topo, RootSelection sel) {
+  const int s = topo.numSwitches();
+  switch (sel) {
+    case RootSelection::kLowestId:
+      return 0;
+    case RootSelection::kHighestDegree: {
+      SwitchId best = 0;
+      int bestDeg = topo.interSwitchDegree(0);
+      for (SwitchId sw = 1; sw < s; ++sw) {
+        const int deg = topo.interSwitchDegree(sw);
+        if (deg > bestDeg) {
+          best = sw;
+          bestDeg = deg;
+        }
+      }
+      return best;
+    }
+    case RootSelection::kMinEccentricity: {
+      SwitchId best = 0;
+      int bestEcc = kInf;
+      for (SwitchId sw = 0; sw < s; ++sw) {
+        const auto dist = topo.bfsDistances(sw);
+        int ecc = 0;
+        for (int d : dist) ecc = std::max(ecc, d);
+        if (ecc < bestEcc) {
+          best = sw;
+          bestEcc = ecc;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+UpDownRouting::UpDownRouting(const Topology& topo, RootSelection rootSel,
+                             unsigned tieBreakSalt)
+    : topo_(&topo), salt_(tieBreakSalt) {
+  if (!topo.connectedSwitchGraph()) {
+    throw std::invalid_argument("UpDownRouting: switch graph not connected");
+  }
+  root_ = selectRoot(topo, rootSel);
+  computeLevels();
+  computeTables();
+}
+
+void UpDownRouting::computeLevels() {
+  const auto dist = topo_->bfsDistances(root_);
+  levels_.assign(dist.begin(), dist.end());
+}
+
+bool UpDownRouting::isUp(SwitchId from, SwitchId to) const {
+  const int lf = levels_[static_cast<std::size_t>(from)];
+  const int lt = levels_[static_cast<std::size_t>(to)];
+  if (lt != lf) return lt < lf;
+  return to < from;  // deterministic tie-break on equal levels
+}
+
+void UpDownRouting::computeTables() {
+  const int s = topo_->numSwitches();
+  nextPort_.assign(static_cast<std::size_t>(s) * s, kInvalidPort);
+  downDist_.assign(static_cast<std::size_t>(s) * s, -1);
+
+  std::vector<int> downDist(static_cast<std::size_t>(s));
+  std::vector<int> anyDist(static_cast<std::size_t>(s));
+
+  for (SwitchId dest = 0; dest < s; ++dest) {
+    // Phase 1: shortest all-down distances to dest. A hop sw -> nb counts
+    // when it is a *down* hop (!isUp). BFS backward from dest: extend to a
+    // predecessor `u` when u -> v is down.
+    std::fill(downDist.begin(), downDist.end(), kInf);
+    downDist[static_cast<std::size_t>(dest)] = 0;
+    std::deque<SwitchId> queue{dest};
+    while (!queue.empty()) {
+      const SwitchId v = queue.front();
+      queue.pop_front();
+      for (const auto& [u, port] : topo_->switchNeighbors(v)) {
+        (void)port;
+        if (downDist[static_cast<std::size_t>(u)] == kInf && !isUp(u, v)) {
+          downDist[static_cast<std::size_t>(u)] =
+              downDist[static_cast<std::size_t>(v)] + 1;
+          queue.push_back(u);
+        }
+      }
+    }
+
+    // Phase 2: shortest legal distance assuming the packet may still go up.
+    // anyDist[v] = min(downDist[v], 1 + min over up-neighbors u of anyDist[u])
+    // solved with a Dijkstra-style relaxation (unit edges, heterogeneous
+    // seeds).
+    std::fill(anyDist.begin(), anyDist.end(), kInf);
+    using Item = std::pair<int, SwitchId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    for (SwitchId v = 0; v < s; ++v) {
+      if (downDist[static_cast<std::size_t>(v)] < kInf) {
+        anyDist[static_cast<std::size_t>(v)] = downDist[static_cast<std::size_t>(v)];
+        pq.emplace(anyDist[static_cast<std::size_t>(v)], v);
+      }
+    }
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > anyDist[static_cast<std::size_t>(u)]) continue;
+      for (const auto& [v, port] : topo_->switchNeighbors(u)) {
+        (void)port;
+        // Relax v -> u when that hop is "up" for the packet (v to u).
+        if (isUp(v, u) && d + 1 < anyDist[static_cast<std::size_t>(v)]) {
+          anyDist[static_cast<std::size_t>(v)] = d + 1;
+          pq.emplace(d + 1, v);
+        }
+      }
+    }
+
+    // Phase 3: per-switch next hops — down-preferred for table coherence.
+    // Among equally good candidates the tie-break salt rotates the choice,
+    // producing distinct (but individually coherent) table planes.
+    std::vector<PortIndex> candidates;
+    for (SwitchId at = 0; at < s; ++at) {
+      downDist_[static_cast<std::size_t>(dest) * s + at] =
+          downDist[static_cast<std::size_t>(at)] == kInf
+              ? -1
+              : downDist[static_cast<std::size_t>(at)];
+      if (at == dest) continue;
+      candidates.clear();
+      if (downDist[static_cast<std::size_t>(at)] < kInf) {
+        for (const auto& [nb, port] : topo_->switchNeighbors(at)) {
+          if (!isUp(at, nb) &&
+              downDist[static_cast<std::size_t>(nb)] ==
+                  downDist[static_cast<std::size_t>(at)] - 1) {
+            candidates.push_back(port);
+          }
+        }
+      } else {
+        for (const auto& [nb, port] : topo_->switchNeighbors(at)) {
+          if (isUp(at, nb) &&
+              anyDist[static_cast<std::size_t>(nb)] ==
+                  anyDist[static_cast<std::size_t>(at)] - 1) {
+            candidates.push_back(port);
+          }
+        }
+      }
+      if (candidates.empty()) {
+        throw std::logic_error("UpDownRouting: no legal next hop (bug)");
+      }
+      const std::size_t pick =
+          (salt_ + static_cast<unsigned>(dest) * 7u + static_cast<unsigned>(at)) %
+          candidates.size();
+      nextPort_[static_cast<std::size_t>(dest) * s + at] =
+          candidates[salt_ == 0 ? 0 : pick];
+    }
+  }
+}
+
+PortIndex UpDownRouting::nextHopPort(SwitchId at, SwitchId dest) const {
+  return nextPort_[static_cast<std::size_t>(dest) * topo_->numSwitches() + at];
+}
+
+int UpDownRouting::downDistance(SwitchId sw, SwitchId dest) const {
+  return downDist_[static_cast<std::size_t>(dest) * topo_->numSwitches() + sw];
+}
+
+std::vector<SwitchId> UpDownRouting::tableRoute(SwitchId from, SwitchId to) const {
+  std::vector<SwitchId> path{from};
+  SwitchId at = from;
+  const int limit = 4 * topo_->numSwitches() + 8;
+  while (at != to) {
+    if (static_cast<int>(path.size()) > limit) return {};  // cycle
+    const PortIndex p = nextHopPort(at, to);
+    if (p == kInvalidPort) return {};
+    at = topo_->peer(at, p).id;
+    path.push_back(at);
+  }
+  return path;
+}
+
+int UpDownRouting::tableRouteHops(SwitchId from, SwitchId to) const {
+  const auto path = tableRoute(from, to);
+  if (path.empty() && from != to) return -1;
+  return static_cast<int>(path.size()) - 1;
+}
+
+bool UpDownRouting::legalPath(const std::vector<SwitchId>& path) const {
+  bool wentDown = false;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const bool up = isUp(path[i - 1], path[i]);
+    if (up && wentDown) return false;
+    if (!up) wentDown = true;
+  }
+  return true;
+}
+
+}  // namespace ibadapt

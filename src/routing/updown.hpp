@@ -1,0 +1,85 @@
+#pragma once
+//
+// up*/down* routing (Autonet-style) — the deadlock-free base routing the FA
+// algorithm uses for its escape paths (paper §3).
+//
+// A BFS spanning tree is built from a root switch; every link gets an "up"
+// direction (toward the root: lower BFS level wins, ties broken by lower
+// switch id). A legal route is zero or more up hops followed by zero or
+// more down hops — the up/down order makes the channel dependency graph
+// acyclic, hence deadlock freedom.
+//
+// Distributed (table-based) routing needs one next hop per (switch, dest)
+// with no packet state, so the per-destination tables must be *coherent*:
+// any packet that was already sent downward must never be routed upward
+// again. We realize this with the standard down-preferred rule: a switch
+// with a pure-down path to the destination always takes it; only switches
+// with no all-down path route upward. This yields coherent, loop-free,
+// deadlock-free tables (verified exhaustively by the test suite).
+//
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+enum class RootSelection {
+  kLowestId,
+  kHighestDegree,     // most inter-switch links, lowest id on ties (default)
+  kMinEccentricity,   // most central switch
+};
+
+class UpDownRouting {
+ public:
+  /// `tieBreakSalt` varies which of several equally-good next hops the
+  /// table stores (used to build distinct source-multipath planes; every
+  /// salt yields legal, coherent, deadlock-free tables — the union of any
+  /// set of salts stays deadlock-free because all paths are up*-then-down*).
+  explicit UpDownRouting(const Topology& topo,
+                         RootSelection rootSel = RootSelection::kHighestDegree,
+                         unsigned tieBreakSalt = 0);
+
+  SwitchId root() const { return root_; }
+  int level(SwitchId sw) const { return levels_[static_cast<std::size_t>(sw)]; }
+
+  /// True when traversing the link from `from` to `to` is an "up" hop.
+  bool isUp(SwitchId from, SwitchId to) const;
+
+  /// Output port at `at` toward destination switch `dest`.
+  /// Precondition: at != dest (local delivery is handled by the route set).
+  PortIndex nextHopPort(SwitchId at, SwitchId dest) const;
+
+  /// Table-route length in hops from `from` to `to` (follows nextHopPort);
+  /// returns -1 if the table ever cycles (cannot happen for valid tables —
+  /// used by the verification tests).
+  int tableRouteHops(SwitchId from, SwitchId to) const;
+
+  /// Full switch sequence of the table route (for legality verification).
+  std::vector<SwitchId> tableRoute(SwitchId from, SwitchId to) const;
+
+  /// Checks the up*-then-down* legality of an arbitrary switch path.
+  bool legalPath(const std::vector<SwitchId>& path) const;
+
+  /// Shortest all-down distance from `sw` to `dest` (-1 = none) — exposed
+  /// for the tests and the routing-option census.
+  int downDistance(SwitchId sw, SwitchId dest) const;
+
+ private:
+  void computeLevels();
+  void computeTables();
+
+  const Topology* topo_;
+  SwitchId root_ = 0;
+  unsigned salt_ = 0;
+  std::vector<int> levels_;
+  // nextPort_[dest * S + at] = output port at `at` toward `dest`.
+  std::vector<PortIndex> nextPort_;
+  // downDist_[dest * S + at] = all-down distance (or -1).
+  std::vector<int> downDist_;
+};
+
+/// Root choice helper (exposed for tests).
+SwitchId selectRoot(const Topology& topo, RootSelection sel);
+
+}  // namespace ibadapt

@@ -1,0 +1,65 @@
+#pragma once
+//
+// POD event record for the discrete-event kernel.
+//
+// Events carry three opaque 32-bit payload words instead of closures: the
+// hot loop pops millions of these per simulated second, so they must be
+// trivially copyable and allocation-free. The fabric layer defines how the
+// payload words are packed for each kind.
+//
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+enum class EventKind : std::uint8_t {
+  kNone = 0,
+  /// A packet's header reaches a switch input port. a=switch, b=port|vl, c=pkt.
+  kHeaderArrive,
+  /// Run the arbitration pass of a switch. a=switch.
+  kArbitrate,
+  /// Credit update arrives at a switch output port. a=switch, b=port|vl, c=credits.
+  kCreditToSwitch,
+  /// Credit update arrives at a node CA. a=node, b=vl, c=credits.
+  kCreditToNode,
+  /// A node CA may try to start transmitting the queued packet. a=node.
+  kNodeTryTx,
+  /// A node generates its next packet (open-loop traffic). a=node.
+  kNodeGenerate,
+  /// A packet's tail fully arrives at its destination node. a=node, c=pkt.
+  kNodeDeliver,
+  /// Periodic progress / deadlock watchdog tick.
+  kWatchdog,
+};
+
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;  // tie-breaker: FIFO among simultaneous events
+  EventKind kind = EventKind::kNone;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+};
+
+/// Strict weak ordering: earliest time first, then insertion order.
+struct EventLater {
+  bool operator()(const Event& x, const Event& y) const noexcept {
+    if (x.time != y.time) return x.time > y.time;
+    return x.seq > y.seq;
+  }
+};
+
+/// Helpers for packing (port, vl) into one payload word.
+constexpr std::uint32_t packPortVl(PortIndex port, VlIndex vl) noexcept {
+  return (static_cast<std::uint32_t>(port) << 8) |
+         static_cast<std::uint32_t>(vl);
+}
+constexpr PortIndex unpackPort(std::uint32_t w) noexcept {
+  return static_cast<PortIndex>(w >> 8);
+}
+constexpr VlIndex unpackVl(std::uint32_t w) noexcept {
+  return static_cast<VlIndex>(w & 0xff);
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,21 @@
+#include "sim/event_queue.hpp"
+
+namespace ibadapt {
+
+void EventQueue::push(Event ev) {
+  ev.seq = nextSeq_++;
+  heap_.push(ev);
+}
+
+Event EventQueue::pop() {
+  Event ev = heap_.top();
+  heap_.pop();
+  return ev;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  nextSeq_ = 0;
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,33 @@
+#pragma once
+//
+// Binary-heap event queue with deterministic FIFO tie-breaking.
+//
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace ibadapt {
+
+class EventQueue {
+ public:
+  /// Schedule `ev` at ev.time; the queue stamps the tie-break sequence.
+  void push(Event ev);
+
+  /// Pop the earliest event. Precondition: !empty().
+  Event pop();
+
+  const Event& top() const { return heap_.top(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  std::uint64_t pushedTotal() const { return nextSeq_; }
+
+  void clear();
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+  std::uint64_t nextSeq_ = 0;
+};
+
+}  // namespace ibadapt

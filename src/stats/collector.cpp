@@ -1,0 +1,54 @@
+#include "stats/collector.hpp"
+
+namespace ibadapt {
+
+void StatsCollector::onGenerated(const Packet& pkt, SimTime now) {
+  (void)pkt;
+  (void)now;
+}
+
+void StatsCollector::onInjected(const Packet& pkt, SimTime now) {
+  (void)pkt;
+  (void)now;
+}
+
+void StatsCollector::onDelivered(const Packet& pkt, SimTime now) {
+  if (!pkt.adaptive) {
+    inOrder_.record(pkt.src, pkt.dst, pkt.detSeq);
+  }
+  if (!measuring_) {
+    // The first `warmupPackets` deliveries are skipped; measurement starts
+    // with the next one (warmup of 0 measures from the first delivery).
+    if (totalDelivered_ < cfg_.warmupPackets) {
+      ++totalDelivered_;
+      return;
+    }
+    measuring_ = true;
+    windowStart_ = now;
+  }
+  ++totalDelivered_;
+  if (complete_) return;
+
+  all_.add(now - pkt.genTime);
+  if (pkt.adaptive) {
+    adaptive_.add(now - pkt.genTime);
+  } else {
+    det_.add(now - pkt.genTime);
+  }
+  bytes_ += static_cast<std::uint64_t>(pkt.sizeBytes);
+  hopSum_ += pkt.hops;
+  lastDelivery_ = now;
+
+  if (all_.count() >= cfg_.measurePackets) {
+    complete_ = true;
+    if (fabric_ != nullptr) fabric_->requestStop();
+  }
+}
+
+double StatsCollector::acceptedBytesPerNs() const {
+  const SimTime span = lastDelivery_ - windowStart_;
+  if (span <= 0 || all_.count() < 2) return 0.0;
+  return static_cast<double>(bytes_) / static_cast<double>(span);
+}
+
+}  // namespace ibadapt

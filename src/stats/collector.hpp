@@ -1,0 +1,74 @@
+#pragma once
+//
+// Measurement harness: warms up by delivered-packet count, then measures a
+// fixed packet budget. Counting packets instead of wall-clock windows makes
+// run cost independent of network size and load, which keeps full sweeps
+// tractable while leaving statistics stable.
+//
+#include <cstdint>
+
+#include "fabric/fabric.hpp"
+#include "stats/in_order.hpp"
+#include "stats/latency.hpp"
+
+namespace ibadapt {
+
+class StatsCollector final : public IDeliveryObserver {
+ public:
+  struct Config {
+    std::uint64_t warmupPackets = 5000;
+    std::uint64_t measurePackets = 30000;
+  };
+
+  StatsCollector(const Config& cfg, int numNodes)
+      : cfg_(cfg), inOrder_(numNodes) {}
+
+  /// Optional: lets the collector stop the run as soon as the measurement
+  /// budget is reached.
+  void bindFabric(Fabric* fabric) { fabric_ = fabric; }
+
+  void onGenerated(const Packet& pkt, SimTime now) override;
+  void onInjected(const Packet& pkt, SimTime now) override;
+  void onDelivered(const Packet& pkt, SimTime now) override;
+
+  bool measurementComplete() const { return complete_; }
+  bool measuring() const { return measuring_; }
+  SimTime windowStart() const { return windowStart_; }
+  SimTime windowEnd() const { return lastDelivery_; }
+  std::uint64_t measuredPackets() const { return all_.count(); }
+  std::uint64_t measuredBytes() const { return bytes_; }
+  std::uint64_t totalDelivered() const { return totalDelivered_; }
+
+  const LatencyAccumulator& latency() const { return all_; }
+  const LatencyAccumulator& latencyAdaptive() const { return adaptive_; }
+  const LatencyAccumulator& latencyDeterministic() const { return det_; }
+  const InOrderChecker& inOrder() const { return inOrder_; }
+
+  double measuredHopMean() const {
+    return all_.count() ? static_cast<double>(hopSum_) /
+                              static_cast<double>(all_.count())
+                        : 0.0;
+  }
+
+  /// Accepted traffic over the measurement window, bytes/ns (whole subnet).
+  double acceptedBytesPerNs() const;
+
+ private:
+  Config cfg_;
+  Fabric* fabric_ = nullptr;
+
+  std::uint64_t totalDelivered_ = 0;
+  bool measuring_ = false;
+  bool complete_ = false;
+  SimTime windowStart_ = 0;
+  SimTime lastDelivery_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t hopSum_ = 0;
+
+  LatencyAccumulator all_;
+  LatencyAccumulator adaptive_;
+  LatencyAccumulator det_;
+  InOrderChecker inOrder_;
+};
+
+}  // namespace ibadapt

@@ -1,0 +1,3 @@
+#include "stats/in_order.hpp"
+
+// Header-only logic; this TU anchors the library target.

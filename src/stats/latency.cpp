@@ -1,0 +1,57 @@
+#include "stats/latency.hpp"
+
+#include <cmath>
+
+namespace ibadapt {
+
+void LatencyAccumulator::add(SimTime latencyNs) {
+  if (latencyNs < 1) latencyNs = 1;
+  if (count_ == 0) {
+    min_ = max_ = latencyNs;
+  } else {
+    if (latencyNs < min_) min_ = latencyNs;
+    if (latencyNs > max_) max_ = latencyNs;
+  }
+  ++count_;
+  const double delta = static_cast<double>(latencyNs) - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (static_cast<double>(latencyNs) - mean_);
+  ++hist_[static_cast<std::size_t>(bucketOf(latencyNs))];
+}
+
+void LatencyAccumulator::reset() {
+  *this = LatencyAccumulator{};
+}
+
+double LatencyAccumulator::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+int LatencyAccumulator::bucketOf(SimTime v) {
+  const double lg = std::log2(static_cast<double>(v));
+  int b = static_cast<int>(lg * kBucketsPerOctave);
+  if (b < 0) b = 0;
+  if (b >= kNumBuckets) b = kNumBuckets - 1;
+  return b;
+}
+
+double LatencyAccumulator::bucketUpperEdge(int bucket) {
+  return std::exp2(static_cast<double>(bucket + 1) / kBucketsPerOctave);
+}
+
+double LatencyAccumulator::quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const auto target = static_cast<std::uint64_t>(
+      p * static_cast<double>(count_ - 1) + 0.5);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += hist_[static_cast<std::size_t>(b)];
+    if (seen > target) return bucketUpperEdge(b);
+  }
+  return static_cast<double>(max_);
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,44 @@
+#pragma once
+//
+// Streaming latency statistics: Welford mean/variance, min/max, and a
+// log-spaced histogram for approximate percentiles without storing samples.
+//
+#include <array>
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+class LatencyAccumulator {
+ public:
+  void add(SimTime latencyNs);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double stddev() const;
+  SimTime min() const { return count_ ? min_ : 0; }
+  SimTime max() const { return count_ ? max_ : 0; }
+
+  /// Approximate p-quantile (p in [0,1]) from the log histogram. Buckets
+  /// are ~7 % wide (16 per octave), so the answer is within a few percent.
+  double quantile(double p) const;
+
+ private:
+  static constexpr int kBucketsPerOctave = 16;
+  static constexpr int kOctaves = 40;  // covers 1 ns .. ~1e12 ns
+  static constexpr int kNumBuckets = kBucketsPerOctave * kOctaves;
+
+  static int bucketOf(SimTime v);
+  static double bucketUpperEdge(int bucket);
+
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  SimTime min_ = 0;
+  SimTime max_ = 0;
+  std::array<std::uint64_t, kNumBuckets> hist_{};
+};
+
+}  // namespace ibadapt

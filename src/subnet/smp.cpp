@@ -1,0 +1,149 @@
+#include "subnet/smp.hpp"
+
+#include <cstring>
+
+#include "fabric/fabric.hpp"
+
+namespace ibadapt {
+
+namespace {
+
+void put32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>((v >> 16) & 0xFF);
+  p[2] = static_cast<std::uint8_t>((v >> 8) & 0xFF);
+  p[3] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+std::uint32_t get32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+Smp respond(Smp req, SmpStatus status) {
+  req.method = SmpMethod::kGetResp;
+  req.status = status;
+  return req;
+}
+
+}  // namespace
+
+void encodeNodeInfo(const NodeInfoAttr& v, std::array<std::uint8_t, 64>& p) {
+  p.fill(0);
+  p[0] = v.nodeType;
+  p[1] = v.numPorts;
+}
+
+NodeInfoAttr decodeNodeInfo(const std::array<std::uint8_t, 64>& p) {
+  NodeInfoAttr v;
+  v.nodeType = p[0];
+  v.numPorts = p[1];
+  return v;
+}
+
+void encodePortInfo(const PortInfoAttr& v, std::array<std::uint8_t, 64>& p) {
+  p.fill(0);
+  p[0] = v.peerKind;
+  put32(&p[4], static_cast<std::uint32_t>(v.peerId));
+  put32(&p[8], static_cast<std::uint32_t>(v.peerPort));
+}
+
+PortInfoAttr decodePortInfo(const std::array<std::uint8_t, 64>& p) {
+  PortInfoAttr v;
+  v.peerKind = p[0];
+  v.peerId = static_cast<std::int32_t>(get32(&p[4]));
+  v.peerPort = static_cast<std::int32_t>(get32(&p[8]));
+  return v;
+}
+
+Smp processSmp(Fabric& fabric, SwitchId sw, const Smp& request) {
+  const Topology& topo = fabric.topology();
+  switch (request.attr) {
+    case SmpAttr::kNodeInfo: {
+      if (request.method != SmpMethod::kGet) {
+        return respond(request, SmpStatus::kBadMethod);
+      }
+      Smp resp = request;
+      NodeInfoAttr info;
+      info.numPorts = static_cast<std::uint8_t>(topo.portsPerSwitch());
+      encodeNodeInfo(info, resp.payload);
+      return respond(resp, SmpStatus::kOk);
+    }
+
+    case SmpAttr::kPortInfo: {
+      if (request.method != SmpMethod::kGet) {
+        return respond(request, SmpStatus::kBadMethod);
+      }
+      const auto port = static_cast<PortIndex>(request.attrMod);
+      if (port < 0 || port >= topo.portsPerSwitch()) {
+        return respond(request, SmpStatus::kBadModifier);
+      }
+      const Peer& peer = fabric.managementPeer(sw, port);
+      PortInfoAttr info;
+      info.peerKind = static_cast<std::uint8_t>(peer.kind);
+      info.peerId = peer.id;
+      info.peerPort = peer.port;
+      Smp resp = request;
+      encodePortInfo(info, resp.payload);
+      return respond(resp, SmpStatus::kOk);
+    }
+
+    case SmpAttr::kLinearForwardingTable: {
+      const Lid base = static_cast<Lid>(request.attrMod) * kLftBlockSize;
+      const Lid limit = fabric.lids().lidLimit(topo.numNodes());
+      if (base >= limit) return respond(request, SmpStatus::kBadModifier);
+      Smp resp = request;
+      if (request.method == SmpMethod::kSet) {
+        for (int i = 0; i < kLftBlockSize; ++i) {
+          const Lid lid = base + static_cast<Lid>(i);
+          if (lid >= limit) break;
+          const std::uint8_t v = request.payload[static_cast<std::size_t>(i)];
+          if (v == kLftNoPort) continue;
+          if (v >= topo.portsPerSwitch()) {
+            return respond(request, SmpStatus::kBadField);
+          }
+          fabric.setLftEntry(sw, lid, static_cast<PortIndex>(v));
+        }
+        return respond(resp, SmpStatus::kOk);
+      }
+      if (request.method == SmpMethod::kGet) {
+        resp.payload.fill(kLftNoPort);
+        for (int i = 0; i < kLftBlockSize; ++i) {
+          const Lid lid = base + static_cast<Lid>(i);
+          if (lid >= limit) break;
+          const PortIndex p = fabric.lftEntry(sw, lid);
+          if (p != kInvalidPort) {
+            resp.payload[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(p);
+          }
+        }
+        return respond(resp, SmpStatus::kOk);
+      }
+      return respond(request, SmpStatus::kBadMethod);
+    }
+
+    case SmpAttr::kSlToVlTable: {
+      const auto inPort = static_cast<PortIndex>(request.attrMod >> 8);
+      const auto outPort = static_cast<PortIndex>(request.attrMod & 0xFF);
+      if (inPort < 0 || inPort >= topo.portsPerSwitch() || outPort < 0 ||
+          outPort >= topo.portsPerSwitch()) {
+        return respond(request, SmpStatus::kBadModifier);
+      }
+      if (request.method != SmpMethod::kSet) {
+        return respond(request, SmpStatus::kBadMethod);
+      }
+      for (int sl = 0; sl < 16; ++sl) {
+        const std::uint8_t vl = request.payload[static_cast<std::size_t>(sl)];
+        if (vl >= static_cast<std::uint8_t>(fabric.params().numVls)) {
+          return respond(request, SmpStatus::kBadField);
+        }
+        fabric.setSlToVl(sw, inPort, outPort, sl, static_cast<VlIndex>(vl));
+      }
+      return respond(request, SmpStatus::kOk);
+    }
+  }
+  return respond(request, SmpStatus::kBadAttr);
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,80 @@
+#pragma once
+//
+// Subnet Management Packets (SMPs) — the datagrams a real subnet manager
+// uses to discover and program switches. The simulator's direct management
+// API is convenient, but this layer proves the whole subnet bring-up also
+// works through the spec's narrow waist: Get/Set of management attributes
+// with 64-byte payload blocks.
+//
+// Implemented attributes (simplified encodings, faithful granularity):
+//   * NodeInfo                — node type, port count
+//   * PortInfo (attrMod=port) — peer kind/id/port of one switch port
+//   * LinearForwardingTable   — 64 LFT entries per block (attrMod=block)
+//   * SlToVlMappingTable      — (attrMod = inPort<<8 | outPort) 16 SLs
+//
+#include <array>
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+class Fabric;
+
+enum class SmpMethod : std::uint8_t {
+  kGet = 0x01,
+  kSet = 0x02,
+  kGetResp = 0x81,
+};
+
+enum class SmpAttr : std::uint16_t {
+  kNodeInfo = 0x0011,
+  kPortInfo = 0x0015,
+  kSlToVlTable = 0x0017,
+  kLinearForwardingTable = 0x0019,
+};
+
+enum class SmpStatus : std::uint8_t {
+  kOk = 0,
+  kBadMethod = 1,
+  kBadAttr = 2,
+  kBadModifier = 3,
+  kBadField = 7,
+};
+
+/// Entries per LFT block, as in the IBA LinearForwardingTable attribute.
+inline constexpr int kLftBlockSize = 64;
+/// "Port not programmed" marker inside LFT blocks.
+inline constexpr std::uint8_t kLftNoPort = 0xFF;
+
+struct Smp {
+  SmpMethod method = SmpMethod::kGet;
+  SmpAttr attr = SmpAttr::kNodeInfo;
+  std::uint32_t attrMod = 0;
+  SmpStatus status = SmpStatus::kOk;
+  std::array<std::uint8_t, 64> payload{};
+};
+
+/// Switch-side SMP agent: executes one SMP against a switch and returns the
+/// GetResp. Lives beside the Fabric so the management plane has a single
+/// authoritative implementation.
+Smp processSmp(Fabric& fabric, SwitchId sw, const Smp& request);
+
+// --- payload encodings (exposed for the subnet manager and tests) --------
+
+struct NodeInfoAttr {
+  std::uint8_t numPorts = 0;
+  std::uint8_t nodeType = 2;  // 2 = switch, as in IBA
+};
+void encodeNodeInfo(const NodeInfoAttr& v, std::array<std::uint8_t, 64>& p);
+NodeInfoAttr decodeNodeInfo(const std::array<std::uint8_t, 64>& p);
+
+struct PortInfoAttr {
+  std::uint8_t peerKind = 0;  // 0 unused, 1 node, 2 switch
+  std::int32_t peerId = -1;
+  std::int32_t peerPort = -1;
+};
+void encodePortInfo(const PortInfoAttr& v, std::array<std::uint8_t, 64>& p);
+PortInfoAttr decodePortInfo(const std::array<std::uint8_t, 64>& p);
+
+}  // namespace ibadapt

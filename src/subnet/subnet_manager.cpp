@@ -1,0 +1,316 @@
+#include "subnet/subnet_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "routing/minimal.hpp"
+#include "subnet/smp.hpp"
+
+namespace ibadapt {
+
+namespace {
+constexpr std::uint8_t kUnset = 0xFF;
+}
+
+DiscoveredSubnet SubnetManager::discover() const {
+  const Topology& topo = fabric_->topology();
+  DiscoveredSubnet out;
+  out.numSwitches = topo.numSwitches();
+  out.nodeAttach.assign(static_cast<std::size_t>(topo.numNodes()),
+                        {kInvalidId, kInvalidPort});
+  out.consistent = true;
+
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    for (PortIndex p = 0; p < topo.portsPerSwitch(); ++p) {
+      const Peer& peer = fabric_->managementPeer(sw, p);
+      switch (peer.kind) {
+        case PeerKind::kUnused:
+          break;
+        case PeerKind::kNode:
+          out.nodeAttach[static_cast<std::size_t>(peer.id)] = {sw, p};
+          ++out.numNodes;
+          break;
+        case PeerKind::kSwitch: {
+          // Record each link once and verify the reverse view matches.
+          const Peer& back = fabric_->managementPeer(peer.id, peer.port);
+          if (back.kind != PeerKind::kSwitch || back.id != sw ||
+              back.port != p) {
+            out.consistent = false;
+          }
+          if (sw < peer.id) {
+            out.links.emplace_back(sw, p, peer.id, peer.port);
+          }
+          break;
+        }
+      }
+    }
+  }
+  for (const auto& [sw, p] : out.nodeAttach) {
+    (void)p;
+    if (sw == kInvalidId) out.consistent = false;
+  }
+  return out;
+}
+
+DiscoveredSubnet SubnetManager::discoverViaSmp() const {
+  const Topology& topo = fabric_->topology();
+  DiscoveredSubnet out;
+  out.numSwitches = topo.numSwitches();
+  out.nodeAttach.assign(static_cast<std::size_t>(topo.numNodes()),
+                        {kInvalidId, kInvalidPort});
+  out.consistent = true;
+
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    Smp nodeReq;
+    nodeReq.method = SmpMethod::kGet;
+    nodeReq.attr = SmpAttr::kNodeInfo;
+    const Smp nodeResp = processSmp(*fabric_, sw, nodeReq);
+    if (nodeResp.status != SmpStatus::kOk) {
+      out.consistent = false;
+      continue;
+    }
+    const NodeInfoAttr info = decodeNodeInfo(nodeResp.payload);
+    for (PortIndex p = 0; p < info.numPorts; ++p) {
+      Smp portReq;
+      portReq.method = SmpMethod::kGet;
+      portReq.attr = SmpAttr::kPortInfo;
+      portReq.attrMod = static_cast<std::uint32_t>(p);
+      const Smp portResp = processSmp(*fabric_, sw, portReq);
+      if (portResp.status != SmpStatus::kOk) {
+        out.consistent = false;
+        continue;
+      }
+      const PortInfoAttr pi = decodePortInfo(portResp.payload);
+      switch (static_cast<PeerKind>(pi.peerKind)) {
+        case PeerKind::kUnused:
+          break;
+        case PeerKind::kNode:
+          out.nodeAttach[static_cast<std::size_t>(pi.peerId)] = {sw, p};
+          ++out.numNodes;
+          break;
+        case PeerKind::kSwitch:
+          if (sw < pi.peerId) {
+            out.links.emplace_back(sw, p, pi.peerId,
+                                   static_cast<PortIndex>(pi.peerPort));
+          }
+          break;
+      }
+    }
+  }
+  for (const auto& [sw, p] : out.nodeAttach) {
+    (void)p;
+    if (sw == kInvalidId) out.consistent = false;
+  }
+  return out;
+}
+
+SubnetManager::LftImage SubnetManager::buildLftImage(
+    const SubnetParams& params) const {
+  const Topology& topo = fabric_->topology();
+  const FabricParams& fp = fabric_->params();
+  const LidMapper& lids = fabric_->lids();
+  const Lid limit = lids.lidLimit(topo.numNodes());
+
+  LftImage image;
+  image.entries.assign(static_cast<std::size_t>(topo.numSwitches()),
+                       std::vector<std::uint8_t>(limit, kUnset));
+  auto set = [&image](SwitchId sw, Lid lid, PortIndex port) {
+    image.entries[static_cast<std::size_t>(sw)][lid] =
+        static_cast<std::uint8_t>(port);
+  };
+
+  if (params.sourceMultipathPlanes > 0) {
+    if (fp.numOptions != 1) {
+      throw std::invalid_argument(
+          "SubnetManager: source multipath needs numOptions == 1");
+    }
+    const int planes = params.sourceMultipathPlanes;
+    if (planes > lids.lidsPerNode()) {
+      throw std::invalid_argument(
+          "SubnetManager: more multipath planes than LIDs per node");
+    }
+    // One coherent up*/down* plane per address slot; plane 0 is the
+    // canonical (lowest-port tie-break) table so address d behaves exactly
+    // like the deterministic baseline.
+    std::vector<UpDownRouting> tables;
+    tables.reserve(static_cast<std::size_t>(planes));
+    for (int k = 0; k < planes; ++k) {
+      tables.emplace_back(topo, params.rootSelection,
+                          static_cast<unsigned>(k));
+    }
+    image.root = tables.front().root();
+    for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+      for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        const Lid base = lids.baseLid(n);
+        const SwitchId destSw = topo.switchOfNode(n);
+        for (int k = 0; k < lids.lidsPerNode(); ++k) {
+          const PortIndex port =
+              destSw == sw
+                  ? topo.portOfNode(n)
+                  : tables[static_cast<std::size_t>(k % planes)].nextHopPort(
+                        sw, destSw);
+          set(sw, base + static_cast<Lid>(k), port);
+        }
+      }
+    }
+    return image;
+  }
+
+  const int x = fp.numOptions;
+  const int lidsPerNode = lids.lidsPerNode();
+  const int sets = params.apmPathSets;
+  if (sets < 1 || sets * x > lidsPerNode) {
+    throw std::invalid_argument(
+        "SubnetManager: apmPathSets * numOptions exceeds the LID block");
+  }
+
+  // One escape plane per APM path set; all share one orientation (salt-only
+  // variation), so any mixture of sets remains deadlock-free.
+  std::vector<UpDownRouting> updowns;
+  std::vector<RouteSet> routeSets;
+  const MinimalAdaptiveRouting minimal(topo);
+  updowns.reserve(static_cast<std::size_t>(sets));
+  routeSets.reserve(static_cast<std::size_t>(sets));
+  for (int j = 0; j < sets; ++j) {
+    updowns.emplace_back(topo, params.rootSelection, static_cast<unsigned>(j));
+  }
+  for (int j = 0; j < sets; ++j) {
+    routeSets.emplace_back(topo, updowns[static_cast<std::size_t>(j)], minimal);
+  }
+  image.root = updowns.front().root();
+
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    const bool adaptiveCapable =
+        fp.adaptiveSwitchMask.empty()
+            ? fp.adaptiveSwitches
+            : fp.adaptiveSwitchMask[static_cast<std::size_t>(sw)];
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+      const Lid base = lids.baseLid(n);
+      for (int j = 0; j < sets; ++j) {
+        const RouteSet& routes = routeSets[static_cast<std::size_t>(j)];
+        const RouteOptionsSpec& spec = routes.options(sw, n);
+        const Lid sub = base + static_cast<Lid>(j * x);
+        // Sub-block address 0: the deterministic / escape route of set j.
+        set(sw, sub, spec.escapePort);
+        // Addresses 1 .. x-1: adaptive minimal options (escape hop when
+        // this switch is deterministic-only or the destination is local).
+        auto capped = adaptiveCapable ? routes.cappedAdaptivePorts(sw, n, x)
+                                      : std::vector<PortIndex>{};
+        if (!capped.empty() && j > 0) {
+          // Different sets lead with different minimal ports.
+          std::rotate(capped.begin(),
+                      capped.begin() + (j % static_cast<int>(capped.size())),
+                      capped.end());
+        }
+        for (int k = 1; k < x; ++k) {
+          const PortIndex port =
+              capped.empty()
+                  ? spec.escapePort
+                  : capped[static_cast<std::size_t>((k - 1) % capped.size())];
+          set(sw, sub + static_cast<Lid>(k), port);
+        }
+      }
+      // Remaining block addresses: set-0 escape hop, so a stray DLID still
+      // routes deterministically.
+      const PortIndex esc0 = routeSets.front().options(sw, n).escapePort;
+      for (int k = sets * x; k < lidsPerNode; ++k) {
+        set(sw, base + static_cast<Lid>(k), esc0);
+      }
+    }
+  }
+  return image;
+}
+
+SubnetManager::Report SubnetManager::configure(const SubnetParams& params) {
+  const Topology& topo = fabric_->topology();
+  const FabricParams& fp = fabric_->params();
+
+  Report report;
+  report.discoveryConsistent = discover().consistent;
+  report.lidsPerNode = fabric_->lids().lidsPerNode();
+
+  const LftImage image = buildLftImage(params);
+  report.root = image.root;
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    const auto& table = image.entries[static_cast<std::size_t>(sw)];
+    for (Lid lid = 0; lid < table.size(); ++lid) {
+      if (table[lid] == kUnset) continue;
+      fabric_->setLftEntry(sw, lid, static_cast<PortIndex>(table[lid]));
+      ++report.lftEntriesWritten;
+    }
+    // SLtoVL: identity mapping (SL modulo the number of data VLs), set
+    // explicitly for every (input, output) pair as a real SM would.
+    for (PortIndex in = 0; in < topo.portsPerSwitch(); ++in) {
+      for (PortIndex outp = 0; outp < topo.portsPerSwitch(); ++outp) {
+        for (int sl = 0; sl < kMaxServiceLevels; ++sl) {
+          fabric_->setSlToVl(sw, in, outp, sl,
+                             static_cast<VlIndex>(sl % fp.numVls));
+        }
+      }
+    }
+    ++report.switchesProgrammed;
+  }
+  return report;
+}
+
+SubnetManager::Report SubnetManager::configureViaSmp(
+    const SubnetParams& params) {
+  const Topology& topo = fabric_->topology();
+  const FabricParams& fp = fabric_->params();
+
+  Report report;
+  report.discoveryConsistent = discoverViaSmp().consistent;
+  report.lidsPerNode = fabric_->lids().lidsPerNode();
+
+  const LftImage image = buildLftImage(params);
+  report.root = image.root;
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    const auto& table = image.entries[static_cast<std::size_t>(sw)];
+    const auto blocks =
+        (table.size() + kLftBlockSize - 1) / kLftBlockSize;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      Smp smp;
+      smp.method = SmpMethod::kSet;
+      smp.attr = SmpAttr::kLinearForwardingTable;
+      smp.attrMod = static_cast<std::uint32_t>(b);
+      smp.payload.fill(kLftNoPort);
+      bool any = false;
+      for (int i = 0; i < kLftBlockSize; ++i) {
+        const std::size_t lid = b * kLftBlockSize + static_cast<std::size_t>(i);
+        if (lid >= table.size()) break;
+        if (table[lid] == kUnset) continue;
+        smp.payload[static_cast<std::size_t>(i)] = table[lid];
+        any = true;
+        ++report.lftEntriesWritten;
+      }
+      if (!any) continue;
+      const Smp resp = processSmp(*fabric_, sw, smp);
+      ++report.smpsSent;
+      if (resp.status != SmpStatus::kOk) {
+        throw std::runtime_error("SubnetManager: LFT SMP rejected");
+      }
+    }
+    for (PortIndex in = 0; in < topo.portsPerSwitch(); ++in) {
+      for (PortIndex outp = 0; outp < topo.portsPerSwitch(); ++outp) {
+        Smp smp;
+        smp.method = SmpMethod::kSet;
+        smp.attr = SmpAttr::kSlToVlTable;
+        smp.attrMod = (static_cast<std::uint32_t>(in) << 8) |
+                      static_cast<std::uint32_t>(outp);
+        for (int sl = 0; sl < 16; ++sl) {
+          smp.payload[static_cast<std::size_t>(sl)] =
+              static_cast<std::uint8_t>(sl % fp.numVls);
+        }
+        const Smp resp = processSmp(*fabric_, sw, smp);
+        ++report.smpsSent;
+        if (resp.status != SmpStatus::kOk) {
+          throw std::runtime_error("SubnetManager: SLtoVL SMP rejected");
+        }
+      }
+    }
+    ++report.switchesProgrammed;
+  }
+  return report;
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,104 @@
+#pragma once
+//
+// Subnet manager: the entity that, in a real IBA subnet, sweeps the fabric
+// with management datagrams, assigns LIDs, and programs forwarding and
+// SLtoVL tables. Here it drives the Fabric's management plane:
+//
+//  * discovery — a port-walk sweep that rebuilds the connectivity graph and
+//    cross-checks both directions of every link;
+//  * LID assignment — every CA port gets an aligned block of 2^LMC LIDs
+//    (paper §4.1), the whole block per destination is programmed in every
+//    switch;
+//  * route programming — address d gets the up*/down* escape hop, addresses
+//    d+1..d+x-1 get minimal adaptive options (capped, rotation-balanced);
+//    unused block addresses fall back to the escape hop. Switches flagged
+//    non-adaptive get every address set to the escape hop (§4.2: mixed
+//    fabrics).
+//
+// Programming can run through the direct management API (`configure`) or
+// through encoded subnet-management packets (`configureViaSmp`) — the spec
+// path with 64-entry LFT blocks; both produce identical tables (verified
+// by the test suite).
+//
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "routing/route_set.hpp"
+#include "routing/updown.hpp"
+
+namespace ibadapt {
+
+struct SubnetParams {
+  RootSelection rootSelection = RootSelection::kHighestDegree;
+  /// > 0 enables the *source-multipath baseline* the paper's introduction
+  /// dismisses: each of the first `sourceMultipathPlanes` addresses of a
+  /// destination block is programmed with an independent deterministic
+  /// up*/down* plane (distinct tie-break salt); the sender spreads packets
+  /// over the planes by DLID. Requires numOptions == 1 (plain linear
+  /// tables, no switch adaptivity) and 2^lmc >= planes. Every plane is
+  /// up*/down*-legal, so the union stays deadlock-free.
+  int sourceMultipathPlanes = 0;
+  /// Automatic Path Migration coexistence (paper §4.1): the LID block is
+  /// divided into `apmPathSets` sub-blocks of numOptions addresses each.
+  /// Sub-block j carries a complete routing configuration — escape plane
+  /// with tie-break salt j plus adaptive options — so endpoints can migrate
+  /// between path sets without SM involvement. All sets share the same
+  /// up*/down* orientation, keeping their union deadlock-free. Requires
+  /// 2^lmc >= apmPathSets * numOptions.
+  int apmPathSets = 1;
+};
+
+struct DiscoveredSubnet {
+  int numSwitches = 0;
+  int numNodes = 0;
+  /// (swA, portA, swB, portB) with swA < swB.
+  std::vector<std::tuple<SwitchId, PortIndex, SwitchId, PortIndex>> links;
+  /// nodeAttach[n] = (switch, port).
+  std::vector<std::pair<SwitchId, PortIndex>> nodeAttach;
+  /// Every link was seen identically from both ends.
+  bool consistent = false;
+};
+
+class SubnetManager {
+ public:
+  explicit SubnetManager(Fabric& fabric) : fabric_(&fabric) {}
+
+  struct Report {
+    SwitchId root = kInvalidId;
+    int switchesProgrammed = 0;
+    std::size_t lftEntriesWritten = 0;
+    int lidsPerNode = 0;
+    bool discoveryConsistent = false;
+    std::size_t smpsSent = 0;  // configureViaSmp only
+  };
+
+  /// Full subnet initialization through the direct management API; must
+  /// run before Fabric::start().
+  Report configure(const SubnetParams& params = {});
+
+  /// Same result, but every table write travels as an encoded SMP
+  /// (LinearForwardingTable blocks / SlToVlMappingTable attributes) and
+  /// discovery uses NodeInfo/PortInfo Gets.
+  Report configureViaSmp(const SubnetParams& params = {});
+
+  /// Port-walk discovery sweep over the direct management plane.
+  DiscoveredSubnet discover() const;
+
+  /// Discovery through encoded NodeInfo / PortInfo SMPs.
+  DiscoveredSubnet discoverViaSmp() const;
+
+ private:
+  /// The complete LFT image (one byte per LID per switch; 0xFF = unused)
+  /// plus the root, shared by both programming paths.
+  struct LftImage {
+    std::vector<std::vector<std::uint8_t>> entries;  // [switch][lid]
+    SwitchId root = kInvalidId;
+  };
+  LftImage buildLftImage(const SubnetParams& params) const;
+
+  Fabric* fabric_;
+};
+
+}  // namespace ibadapt

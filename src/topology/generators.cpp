@@ -1,0 +1,147 @@
+#include "topology/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace ibadapt {
+
+namespace {
+
+/// One attempt at a d-regular simple graph via random stub matching
+/// (Steger-Wormald style): pick random remaining stub pairs, reject
+/// self-loops and duplicate edges, fail when only invalid pairs remain.
+bool tryMatchStubs(int numSwitches, int degree, Rng& rng,
+                   std::vector<std::pair<SwitchId, SwitchId>>& edges) {
+  edges.clear();
+  std::vector<SwitchId> stubs;
+  stubs.reserve(static_cast<std::size_t>(numSwitches) * degree);
+  for (SwitchId sw = 0; sw < numSwitches; ++sw) {
+    for (int k = 0; k < degree; ++k) stubs.push_back(sw);
+  }
+  std::vector<std::vector<bool>> adj(
+      static_cast<std::size_t>(numSwitches),
+      std::vector<bool>(static_cast<std::size_t>(numSwitches), false));
+
+  while (stubs.size() >= 2) {
+    bool placed = false;
+    // A bounded number of random draws before declaring the attempt stuck.
+    for (int tries = 0; tries < 64 && !placed; ++tries) {
+      const auto i = rng.uniformIndex(stubs.size());
+      auto j = rng.uniformIndex(stubs.size() - 1);
+      if (j >= i) ++j;
+      const SwitchId a = stubs[i];
+      const SwitchId b = stubs[j];
+      if (a == b || adj[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]) {
+        continue;
+      }
+      adj[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = true;
+      adj[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = true;
+      edges.emplace_back(a, b);
+      // Remove the two stubs (larger index first).
+      const auto hi = std::max(i, j);
+      const auto lo = std::min(i, j);
+      stubs[hi] = stubs.back();
+      stubs.pop_back();
+      stubs[lo] = stubs.back();
+      stubs.pop_back();
+      placed = true;
+    }
+    if (!placed) return false;  // stuck: only invalid pairs remain
+  }
+  return stubs.empty();
+}
+
+}  // namespace
+
+Topology makeIrregular(const IrregularSpec& spec, Rng& rng) {
+  if (spec.numSwitches < 2) {
+    throw std::invalid_argument("makeIrregular: need at least 2 switches");
+  }
+  if (spec.linksPerSwitch < 1) {
+    throw std::invalid_argument("makeIrregular: need at least 1 link/switch");
+  }
+  if (spec.linksPerSwitch > spec.numSwitches - 1) {
+    throw std::invalid_argument(
+        "makeIrregular: degree exceeds simple-graph limit");
+  }
+  if ((spec.numSwitches * spec.linksPerSwitch) % 2 != 0) {
+    throw std::invalid_argument(
+        "makeIrregular: numSwitches*linksPerSwitch must be even");
+  }
+
+  std::vector<std::pair<SwitchId, SwitchId>> edges;
+  for (int attempt = 0; attempt < spec.maxAttempts; ++attempt) {
+    if (!tryMatchStubs(spec.numSwitches, spec.linksPerSwitch, rng, edges)) {
+      continue;
+    }
+    Topology topo(spec.numSwitches, spec.nodesPerSwitch + spec.linksPerSwitch,
+                  spec.nodesPerSwitch);
+    bool ok = true;
+    for (const auto& [a, b] : edges) {
+      if (!topo.addLink(a, b)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && topo.connectedSwitchGraph()) return topo;
+  }
+  throw std::runtime_error("makeIrregular: no connected topology found");
+}
+
+Topology makeRing(int numSwitches, int nodesPerSwitch) {
+  if (numSwitches < 3) throw std::invalid_argument("makeRing: need >= 3");
+  Topology topo(numSwitches, nodesPerSwitch + 2, nodesPerSwitch);
+  for (SwitchId sw = 0; sw < numSwitches; ++sw) {
+    topo.addLink(sw, (sw + 1) % numSwitches);
+  }
+  return topo;
+}
+
+Topology makeMesh2D(int width, int height, int nodesPerSwitch) {
+  if (width < 2 || height < 2) {
+    throw std::invalid_argument("makeMesh2D: need width,height >= 2");
+  }
+  Topology topo(width * height, nodesPerSwitch + 4, nodesPerSwitch);
+  auto id = [width](int x, int y) { return y * width + x; };
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (x + 1 < width) topo.addLink(id(x, y), id(x + 1, y));
+      if (y + 1 < height) topo.addLink(id(x, y), id(x, y + 1));
+    }
+  }
+  return topo;
+}
+
+Topology makeTorus2D(int width, int height, int nodesPerSwitch) {
+  if (width < 3 || height < 3) {
+    throw std::invalid_argument("makeTorus2D: need width,height >= 3");
+  }
+  Topology topo(width * height, nodesPerSwitch + 4, nodesPerSwitch);
+  auto id = [width](int x, int y) { return y * width + x; };
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      topo.addLink(id(x, y), id((x + 1) % width, y));
+      topo.addLink(id(x, y), id(x, (y + 1) % height));
+    }
+  }
+  return topo;
+}
+
+Topology makeHypercube(int dim, int nodesPerSwitch) {
+  if (dim < 1 || dim > 10) {
+    throw std::invalid_argument("makeHypercube: dim in [1,10]");
+  }
+  const int n = 1 << dim;
+  Topology topo(n, nodesPerSwitch + dim, nodesPerSwitch);
+  for (SwitchId sw = 0; sw < n; ++sw) {
+    for (int b = 0; b < dim; ++b) {
+      const SwitchId nb = sw ^ (1 << b);
+      if (sw < nb) topo.addLink(sw, nb);
+    }
+  }
+  return topo;
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,47 @@
+#pragma once
+//
+// Topology generators.
+//
+// `makeIrregular` follows the paper's generation rules (§5.1): every switch
+// has the same total port count, the same number of end nodes (4) attaches
+// to every switch, neighboring switches are connected by exactly one link,
+// and the switch graph must be connected.
+//
+// The regular generators (ring / mesh / torus / hypercube) are not used by
+// the paper's evaluation but serve as ground-truth fixtures for routing and
+// deadlock tests: their distance functions and cycle structure are known
+// analytically.
+//
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace ibadapt {
+
+struct IrregularSpec {
+  int numSwitches = 8;
+  /// Ports used for inter-switch links ("4 links" / "6 links" in the paper).
+  int linksPerSwitch = 4;
+  int nodesPerSwitch = 4;
+  /// Restart budget for the stub-matching generator.
+  int maxAttempts = 5000;
+};
+
+/// Random connected irregular topology per the paper's rules. Throws
+/// std::runtime_error if no valid topology is found within maxAttempts
+/// (e.g. infeasible parameter combinations).
+Topology makeIrregular(const IrregularSpec& spec, Rng& rng);
+
+/// Ring of `numSwitches` switches (degree 2).
+Topology makeRing(int numSwitches, int nodesPerSwitch);
+
+/// width x height mesh (no wraparound).
+Topology makeMesh2D(int width, int height, int nodesPerSwitch);
+
+/// width x height torus; requires width >= 3 and height >= 3 so that
+/// wraparound links never duplicate direct links.
+Topology makeTorus2D(int width, int height, int nodesPerSwitch);
+
+/// dim-dimensional hypercube (2^dim switches).
+Topology makeHypercube(int dim, int nodesPerSwitch);
+
+}  // namespace ibadapt

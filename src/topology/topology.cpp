@@ -1,0 +1,140 @@
+#include "topology/topology.hpp"
+
+#include <deque>
+#include <sstream>
+
+namespace ibadapt {
+
+Topology::Topology(int numSwitches, int portsPerSwitch, int nodesPerSwitch)
+    : numSwitches_(numSwitches),
+      portsPerSwitch_(portsPerSwitch),
+      nodesPerSwitch_(nodesPerSwitch) {
+  if (numSwitches <= 0 || portsPerSwitch <= 0 || nodesPerSwitch < 0 ||
+      nodesPerSwitch > portsPerSwitch) {
+    throw std::invalid_argument("Topology: inconsistent dimensions");
+  }
+  ports_.assign(static_cast<std::size_t>(numSwitches),
+                std::vector<Peer>(static_cast<std::size_t>(portsPerSwitch)));
+  for (SwitchId sw = 0; sw < numSwitches_; ++sw) {
+    for (PortIndex p = 0; p < nodesPerSwitch_; ++p) {
+      auto& peer = ports_[static_cast<std::size_t>(sw)][static_cast<std::size_t>(p)];
+      peer.kind = PeerKind::kNode;
+      peer.id = nodeAt(sw, p);
+      peer.port = 0;
+    }
+  }
+}
+
+PortIndex Topology::firstFreePort(SwitchId sw) const {
+  for (PortIndex p = nodesPerSwitch_; p < portsPerSwitch_; ++p) {
+    if (peer(sw, p).kind == PeerKind::kUnused) return p;
+  }
+  return kInvalidPort;
+}
+
+bool Topology::addLink(SwitchId a, SwitchId b) {
+  if (a == b) throw std::invalid_argument("Topology::addLink: self-link");
+  if (a < 0 || b < 0 || a >= numSwitches_ || b >= numSwitches_) {
+    throw std::invalid_argument("Topology::addLink: switch id out of range");
+  }
+  if (linked(a, b)) return false;
+  const PortIndex pa = firstFreePort(a);
+  const PortIndex pb = firstFreePort(b);
+  if (pa == kInvalidPort || pb == kInvalidPort) return false;
+  ports_[static_cast<std::size_t>(a)][static_cast<std::size_t>(pa)] =
+      Peer{PeerKind::kSwitch, b, pb};
+  ports_[static_cast<std::size_t>(b)][static_cast<std::size_t>(pb)] =
+      Peer{PeerKind::kSwitch, a, pa};
+  ++numLinks_;
+  return true;
+}
+
+void Topology::removeLink(SwitchId sw, PortIndex port) {
+  Peer& p = ports_[static_cast<std::size_t>(sw)][static_cast<std::size_t>(port)];
+  if (p.kind != PeerKind::kSwitch) {
+    throw std::invalid_argument("Topology::removeLink: not an inter-switch port");
+  }
+  Peer& q = ports_[static_cast<std::size_t>(p.id)][static_cast<std::size_t>(p.port)];
+  q = Peer{};
+  p = Peer{};
+  --numLinks_;
+}
+
+bool Topology::linked(SwitchId a, SwitchId b) const {
+  for (PortIndex p = nodesPerSwitch_; p < portsPerSwitch_; ++p) {
+    const Peer& pe = peer(a, p);
+    if (pe.kind == PeerKind::kSwitch && pe.id == b) return true;
+  }
+  return false;
+}
+
+int Topology::interSwitchDegree(SwitchId sw) const {
+  int deg = 0;
+  for (PortIndex p = nodesPerSwitch_; p < portsPerSwitch_; ++p) {
+    if (peer(sw, p).kind == PeerKind::kSwitch) ++deg;
+  }
+  return deg;
+}
+
+std::vector<std::pair<SwitchId, PortIndex>> Topology::switchNeighbors(
+    SwitchId sw) const {
+  std::vector<std::pair<SwitchId, PortIndex>> out;
+  for (PortIndex p = nodesPerSwitch_; p < portsPerSwitch_; ++p) {
+    const Peer& pe = peer(sw, p);
+    if (pe.kind == PeerKind::kSwitch) out.emplace_back(pe.id, p);
+  }
+  return out;
+}
+
+bool Topology::connectedSwitchGraph() const {
+  const auto dist = bfsDistances(0);
+  for (int d : dist) {
+    if (d < 0) return false;
+  }
+  return true;
+}
+
+std::vector<int> Topology::bfsDistances(SwitchId from) const {
+  std::vector<int> dist(static_cast<std::size_t>(numSwitches_), -1);
+  std::deque<SwitchId> queue;
+  dist[static_cast<std::size_t>(from)] = 0;
+  queue.push_back(from);
+  while (!queue.empty()) {
+    const SwitchId sw = queue.front();
+    queue.pop_front();
+    for (const auto& [nb, port] : switchNeighbors(sw)) {
+      (void)port;
+      if (dist[static_cast<std::size_t>(nb)] < 0) {
+        dist[static_cast<std::size_t>(nb)] = dist[static_cast<std::size_t>(sw)] + 1;
+        queue.push_back(nb);
+      }
+    }
+  }
+  return dist;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << "Topology: " << numSwitches_ << " switches x " << portsPerSwitch_
+     << " ports, " << nodesPerSwitch_ << " nodes/switch, " << numLinks_
+     << " inter-switch links\n";
+  for (SwitchId sw = 0; sw < numSwitches_; ++sw) {
+    os << "  sw" << sw << " ->";
+    for (const auto& [nb, port] : switchNeighbors(sw)) {
+      os << " sw" << nb << "(p" << port << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::vector<std::vector<int>> allPairsDistances(const Topology& topo) {
+  std::vector<std::vector<int>> dist;
+  dist.reserve(static_cast<std::size_t>(topo.numSwitches()));
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    dist.push_back(topo.bfsDistances(sw));
+  }
+  return dist;
+}
+
+}  // namespace ibadapt

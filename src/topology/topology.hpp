@@ -1,0 +1,98 @@
+#pragma once
+//
+// Subnet topology: switches with a fixed port count, end nodes (CA ports)
+// attached to the low-numbered switch ports, and full-duplex inter-switch
+// links on the remaining ports.
+//
+// Conventions (matching the paper's evaluation setup):
+//   * every switch has the same number of ports,
+//   * the same number of end nodes hangs off every switch (default 4),
+//   * at most one link connects any pair of switches,
+//   * node `n` attaches to switch `n / nodesPerSwitch` at port
+//     `n % nodesPerSwitch`.
+//
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+enum class PeerKind : std::uint8_t { kUnused, kNode, kSwitch };
+
+/// What is on the far side of a switch port.
+struct Peer {
+  PeerKind kind = PeerKind::kUnused;
+  std::int32_t id = kInvalidId;       // NodeId or SwitchId
+  PortIndex port = kInvalidPort;      // peer's port (switch peers only)
+};
+
+class Topology {
+ public:
+  /// Creates `numSwitches` switches with `portsPerSwitch` ports each and
+  /// attaches `nodesPerSwitch` end nodes per switch on the low ports.
+  Topology(int numSwitches, int portsPerSwitch, int nodesPerSwitch);
+
+  int numSwitches() const { return numSwitches_; }
+  int portsPerSwitch() const { return portsPerSwitch_; }
+  int nodesPerSwitch() const { return nodesPerSwitch_; }
+  int numNodes() const { return numSwitches_ * nodesPerSwitch_; }
+
+  SwitchId switchOfNode(NodeId n) const { return n / nodesPerSwitch_; }
+  PortIndex portOfNode(NodeId n) const { return n % nodesPerSwitch_; }
+
+  /// Node attached at (sw, port); precondition: that port hosts a node.
+  NodeId nodeAt(SwitchId sw, PortIndex port) const {
+    return sw * nodesPerSwitch_ + port;
+  }
+
+  const Peer& peer(SwitchId sw, PortIndex port) const {
+    return ports_[static_cast<std::size_t>(sw)][static_cast<std::size_t>(port)];
+  }
+
+  /// Connects switches a and b on their first free ports.
+  /// Throws std::invalid_argument on self-link; returns false when the pair
+  /// is already linked or either switch has no free port.
+  bool addLink(SwitchId a, SwitchId b);
+
+  /// Removes the inter-switch link attached at (sw, port); both endpoints
+  /// become unused. Models a fail-stop link fault. Throws when the port
+  /// does not host an inter-switch link.
+  void removeLink(SwitchId sw, PortIndex port);
+
+  bool linked(SwitchId a, SwitchId b) const;
+
+  /// Number of inter-switch links on `sw`.
+  int interSwitchDegree(SwitchId sw) const;
+
+  /// Total number of inter-switch links in the subnet.
+  int numLinks() const { return numLinks_; }
+
+  /// Neighbor switches of `sw` as (neighbor, local port) pairs.
+  std::vector<std::pair<SwitchId, PortIndex>> switchNeighbors(SwitchId sw) const;
+
+  /// True when the switch graph is connected (single switch counts as true).
+  bool connectedSwitchGraph() const;
+
+  /// Hop distances from `from` to every switch (-1 = unreachable).
+  std::vector<int> bfsDistances(SwitchId from) const;
+
+  /// Human-readable dump (for examples / debugging).
+  std::string describe() const;
+
+ private:
+  PortIndex firstFreePort(SwitchId sw) const;
+
+  int numSwitches_;
+  int portsPerSwitch_;
+  int nodesPerSwitch_;
+  int numLinks_ = 0;
+  std::vector<std::vector<Peer>> ports_;
+};
+
+/// All-pairs shortest switch-to-switch distances (BFS per switch).
+std::vector<std::vector<int>> allPairsDistances(const Topology& topo);
+
+}  // namespace ibadapt

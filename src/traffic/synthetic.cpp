@@ -1,0 +1,170 @@
+#include "traffic/synthetic.hpp"
+
+#include <cmath>
+
+namespace ibadapt {
+
+NodeId bitReverse(NodeId v, int bits) {
+  NodeId out = 0;
+  for (int b = 0; b < bits; ++b) {
+    out = (out << 1) | ((v >> b) & 1);
+  }
+  return out;
+}
+
+NodeId bitTranspose(NodeId v, int bits) {
+  const int half = bits / 2;
+  const NodeId lowMask = (1 << half) - 1;
+  return ((v & lowMask) << half) | ((v >> half) & lowMask);
+}
+
+NodeId bitShuffle(NodeId v, int bits) {
+  const NodeId msb = (v >> (bits - 1)) & 1;
+  return ((v << 1) | msb) & ((1 << bits) - 1);
+}
+
+SyntheticTraffic::SyntheticTraffic(const TrafficSpec& spec, std::uint64_t seed)
+    : spec_(spec) {
+  if (spec.numNodes < 2) {
+    throw std::invalid_argument("SyntheticTraffic: need >= 2 nodes");
+  }
+  if (spec.packetBytes <= 0) {
+    throw std::invalid_argument("SyntheticTraffic: packetBytes");
+  }
+  if (spec.adaptiveFraction < 0.0 || spec.adaptiveFraction > 1.0) {
+    throw std::invalid_argument("SyntheticTraffic: adaptiveFraction");
+  }
+  if (spec.pattern == TrafficPattern::kBitReversal ||
+      spec.pattern == TrafficPattern::kTranspose ||
+      spec.pattern == TrafficPattern::kShuffle) {
+    if ((spec.numNodes & (spec.numNodes - 1)) != 0) {
+      throw std::invalid_argument(
+          "SyntheticTraffic: bit-permutation patterns need a power-of-two "
+          "node count");
+    }
+    while ((1 << addrBits_) < spec.numNodes) ++addrBits_;
+    if (spec.pattern == TrafficPattern::kTranspose && addrBits_ % 2 != 0) {
+      throw std::invalid_argument(
+          "SyntheticTraffic: transpose needs an even number of index bits");
+    }
+  }
+  if (spec.pattern == TrafficPattern::kLocality &&
+      (spec.localityWindow < 1 || spec.localityWindow >= spec.numNodes)) {
+    throw std::invalid_argument("SyntheticTraffic: localityWindow");
+  }
+  if (spec.burstiness < 0.0 || spec.burstiness >= 1.0) {
+    throw std::invalid_argument("SyntheticTraffic: burstiness in [0,1)");
+  }
+  Rng setup(seed);
+  if (spec.pattern == TrafficPattern::kHotspot) {
+    hotspot_ = spec.hotspotNode != kInvalidId
+                   ? spec.hotspotNode
+                   : static_cast<NodeId>(setup.uniformIndex(
+                         static_cast<std::uint64_t>(spec.numNodes)));
+  }
+  if (!spec.saturation) {
+    if (spec.loadBytesPerNsPerNode <= 0.0) {
+      throw std::invalid_argument("SyntheticTraffic: load must be > 0");
+    }
+    meanGapNs_ = spec.packetBytes / spec.loadBytesPerNsPerNode;
+    if (spec.burstiness > 0.0) {
+      // Keep the average rate: base gap + burstiness * pauseMean == meanGap.
+      baseGapNs_ = meanGapNs_ - spec.burstiness * spec.burstGapMeanNs;
+      if (baseGapNs_ <= 0.0) {
+        throw std::invalid_argument(
+            "SyntheticTraffic: burst pause too long for the offered load");
+      }
+    } else {
+      baseGapNs_ = meanGapNs_;
+    }
+  }
+}
+
+NodeId SyntheticTraffic::pickDestination(NodeId src, Rng& rng) const {
+  const int n = spec_.numNodes;
+  auto uniformOther = [&]() {
+    auto d = static_cast<NodeId>(rng.uniformIndex(
+        static_cast<std::uint64_t>(n - 1)));
+    if (d >= src) ++d;
+    return d;
+  };
+  switch (spec_.pattern) {
+    case TrafficPattern::kUniform:
+      return uniformOther();
+    case TrafficPattern::kBitReversal: {
+      NodeId d = bitReverse(src, addrBits_);
+      // Palindromic indices map to themselves; redirect across the machine
+      // so every source still offers load.
+      if (d == src) d = (src + n / 2) % n;
+      return d;
+    }
+    case TrafficPattern::kHotspot: {
+      if (src != hotspot_ && rng.uniformReal() < spec_.hotspotFraction) {
+        return hotspot_;
+      }
+      return uniformOther();
+    }
+    case TrafficPattern::kTranspose: {
+      NodeId d = bitTranspose(src, addrBits_);
+      if (d == src) d = (src + n / 2) % n;  // diagonal fixed points
+      return d;
+    }
+    case TrafficPattern::kShuffle: {
+      NodeId d = bitShuffle(src, addrBits_);
+      if (d == src) d = (src + n / 2) % n;  // all-0s / all-1s fixed points
+      return d;
+    }
+    case TrafficPattern::kLocality: {
+      const int w = spec_.localityWindow;
+      int off = 1 + static_cast<int>(rng.uniformIndex(
+                        static_cast<std::uint64_t>(2 * w)));
+      if (off > w) off = w - off;  // -w .. -1
+      return static_cast<NodeId>(((src + off) % n + n) % n);
+    }
+  }
+  return uniformOther();
+}
+
+ITrafficSource::Spec SyntheticTraffic::makePacket(NodeId src, Rng& rng) {
+  Spec s;
+  s.dst = pickDestination(src, rng);
+  s.sizeBytes = spec_.packetBytes;
+  if (spec_.multipathPlanes > 0) {
+    s.pathOffset = spec_.multipathPlanes == 1
+                       ? 0
+                       : static_cast<int>(rng.uniformIndex(
+                             static_cast<std::uint64_t>(spec_.multipathPlanes)));
+    s.adaptive = spec_.multipathPlanes > 1;  // no cross-plane ordering
+    s.sl = 0;
+    return s;
+  }
+  s.adaptive = spec_.adaptiveFraction > 0.0 &&
+               (spec_.adaptiveFraction >= 1.0 ||
+                rng.bernoulli(spec_.adaptiveFraction));
+  if (spec_.pathSetOffset > 0) {
+    // Alternate APM path set: pin the DLID inside that set's sub-block,
+    // keeping the adaptive bit in the low address bit.
+    s.pathOffset = spec_.pathSetOffset + (s.adaptive ? 1 : 0);
+  }
+  s.sl = spec_.numSls > 1
+             ? static_cast<std::uint8_t>(rng.uniformIndex(
+                   static_cast<std::uint64_t>(spec_.numSls)))
+             : 0;
+  return s;
+}
+
+SimTime SyntheticTraffic::firstGenTime(NodeId node, Rng& rng) {
+  (void)node;
+  return static_cast<SimTime>(rng.exponential(meanGapNs_));
+}
+
+SimTime SyntheticTraffic::nextGenTime(NodeId node, SimTime now, Rng& rng) {
+  (void)node;
+  double gap = rng.exponential(baseGapNs_);
+  if (spec_.burstiness > 0.0 && rng.uniformReal() < spec_.burstiness) {
+    gap += rng.exponential(spec_.burstGapMeanNs);
+  }
+  return now + 1 + static_cast<SimTime>(gap);
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,92 @@
+#pragma once
+//
+// Synthetic traffic generation (paper §5.1): uniform, bit-reversal, and
+// hot-spot destination distributions; Poisson (exponential interarrival)
+// open-loop injection for latency curves; always-backlogged saturation mode
+// for throughput measurement. Each packet is independently marked adaptive
+// with probability `adaptiveFraction` — the paper's "percentage of adaptive
+// traffic" knob.
+//
+#include <stdexcept>
+
+#include "fabric/interfaces.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+enum class TrafficPattern {
+  kUniform,      // uniform over all other nodes
+  kBitReversal,  // dst = bit-reverse(src); needs a power-of-two node count
+  kHotspot,      // fraction of traffic to one randomly chosen node
+  kTranspose,    // dst = swap the two halves of the index bits (needs 4^k)
+  kShuffle,      // dst = rotate index bits left by one (perfect shuffle)
+  kLocality,     // dst uniform within +-localityWindow node indices
+};
+
+struct TrafficSpec {
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  int numNodes = 0;
+  int packetBytes = 32;
+  /// Probability that a packet is marked adaptive (0 = pure deterministic).
+  double adaptiveFraction = 1.0;
+  /// Open-loop injection rate per node; ignored in saturation mode.
+  double loadBytesPerNsPerNode = 0.05;
+  bool saturation = false;
+  int saturationQueueCap = 4;
+  /// Hot-spot share of traffic (paper tried 5 %, 10 %, 20 %).
+  double hotspotFraction = 0.1;
+  /// Hot-spot node; kInvalidId picks one at random from `seed`.
+  NodeId hotspotNode = kInvalidId;
+  /// Service levels used round-robin (1 = everything on SL0/VL0).
+  int numSls = 1;
+  /// > 0: source-multipath baseline — every packet picks one of this many
+  /// DLID planes uniformly at random (needs a subnet configured with
+  /// SubnetParams::sourceMultipathPlanes). Overrides adaptiveFraction.
+  int multipathPlanes = 0;
+  /// APM: offset of the active path set's sub-block within each LID block
+  /// (= set index * numOptions). 0 uses the primary set.
+  int pathSetOffset = 0;
+  /// kLocality: destinations land within src +- localityWindow (mod N).
+  int localityWindow = 8;
+  /// Compound-Poisson burst model for open-loop injection: with probability
+  /// `burstiness` an interarrival gets an extra exponential pause of mean
+  /// `burstGapMeanNs`; the base interarrival is shrunk so the average rate
+  /// still matches `loadBytesPerNsPerNode`. 0 = plain Poisson.
+  double burstiness = 0.0;
+  double burstGapMeanNs = 20'000.0;
+};
+
+/// Bit reversal within ceil(log2(n)) bits (exposed for tests).
+NodeId bitReverse(NodeId v, int bits);
+
+/// Swap the low and high halves of an index of `bits` bits (bits even).
+NodeId bitTranspose(NodeId v, int bits);
+
+/// Rotate an index of `bits` bits left by one (perfect shuffle).
+NodeId bitShuffle(NodeId v, int bits);
+
+class SyntheticTraffic final : public ITrafficSource {
+ public:
+  SyntheticTraffic(const TrafficSpec& spec, std::uint64_t seed);
+
+  Spec makePacket(NodeId src, Rng& rng) override;
+  SimTime firstGenTime(NodeId node, Rng& rng) override;
+  SimTime nextGenTime(NodeId node, SimTime now, Rng& rng) override;
+  bool saturationMode() const override { return spec_.saturation; }
+  int saturationQueueCap() const override { return spec_.saturationQueueCap; }
+
+  NodeId hotspotNode() const { return hotspot_; }
+  double meanInterarrivalNs() const { return meanGapNs_; }
+
+ private:
+  NodeId pickDestination(NodeId src, Rng& rng) const;
+
+  TrafficSpec spec_;
+  NodeId hotspot_ = kInvalidId;
+  int addrBits_ = 0;
+  double meanGapNs_ = 0.0;  // average interarrival (rate-defining)
+  double baseGapNs_ = 0.0;  // Poisson component after burst compensation
+};
+
+}  // namespace ibadapt

@@ -1,0 +1,103 @@
+#include "traffic/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ibadapt {
+
+void writeTrace(std::ostream& os, const std::vector<TraceRecord>& records) {
+  os << "# ibadapt trace v1: genTimeNs src dst sizeBytes adaptive sl\n";
+  for (const TraceRecord& r : records) {
+    os << r.genTime << ' ' << r.src << ' ' << r.dst << ' ' << r.sizeBytes
+       << ' ' << (r.adaptive ? 1 : 0) << ' ' << static_cast<int>(r.sl)
+       << '\n';
+  }
+}
+
+std::vector<TraceRecord> readTrace(std::istream& is) {
+  std::vector<TraceRecord> out;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    TraceRecord r;
+    int adaptive = 0;
+    int sl = 0;
+    if (!(ls >> r.genTime)) continue;  // blank / comment-only line
+    if (!(ls >> r.src >> r.dst >> r.sizeBytes >> adaptive >> sl)) {
+      throw std::runtime_error("readTrace: malformed line " +
+                               std::to_string(lineNo));
+    }
+    if (r.genTime < 0 || r.src < 0 || r.dst < 0 || r.sizeBytes <= 0 ||
+        sl < 0 || sl >= 16) {
+      throw std::runtime_error("readTrace: out-of-range field at line " +
+                               std::to_string(lineNo));
+    }
+    r.adaptive = adaptive != 0;
+    r.sl = static_cast<std::uint8_t>(sl);
+    out.push_back(r);
+  }
+  return out;
+}
+
+TraceTraffic::TraceTraffic(std::vector<TraceRecord> records) {
+  for (TraceRecord& r : records) {
+    perNode_[r.src].push_back(r);
+  }
+  for (auto& [node, list] : perNode_) {
+    (void)node;
+    std::stable_sort(list.begin(), list.end(),
+                     [](const TraceRecord& a, const TraceRecord& b) {
+                       return a.genTime < b.genTime;
+                     });
+    total_ += list.size();
+  }
+}
+
+ITrafficSource::Spec TraceTraffic::makePacket(NodeId src, Rng& rng) {
+  (void)rng;
+  auto& list = perNode_.at(src);
+  const TraceRecord& r = list[cursor_[src]];
+  ++cursor_[src];
+  Spec s;
+  s.dst = r.dst;
+  s.sizeBytes = r.sizeBytes;
+  s.adaptive = r.adaptive;
+  s.sl = r.sl;
+  return s;
+}
+
+SimTime TraceTraffic::firstGenTime(NodeId node, Rng& rng) {
+  (void)rng;
+  const auto it = perNode_.find(node);
+  if (it == perNode_.end() || it->second.empty()) return kTimeNever;
+  return it->second.front().genTime;
+}
+
+SimTime TraceTraffic::nextGenTime(NodeId node, SimTime now, Rng& rng) {
+  (void)now;
+  (void)rng;
+  const auto& list = perNode_.at(node);
+  const std::size_t next = cursor_[node];
+  if (next >= list.size()) return kTimeNever;
+  return list[next].genTime;
+}
+
+void TraceCapture::onGenerated(const Packet& pkt, SimTime now) {
+  TraceRecord r;
+  r.genTime = now;
+  r.src = pkt.src;
+  r.dst = pkt.dst;
+  r.sizeBytes = pkt.sizeBytes;
+  r.adaptive = pkt.adaptive;
+  r.sl = pkt.sl;
+  records_.push_back(r);
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,88 @@
+#pragma once
+//
+// Trace-driven workloads: capture the packet stream of any run and replay
+// it bit-exactly under a different fabric/routing configuration. This is
+// how configurations are compared on *identical* offered traffic instead of
+// merely identically-distributed traffic.
+//
+// Text format, one record per line, '#' comments allowed:
+//     <genTimeNs> <src> <dst> <sizeBytes> <adaptive:0|1> <sl>
+//
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+#include "fabric/interfaces.hpp"
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+struct TraceRecord {
+  SimTime genTime = 0;
+  NodeId src = kInvalidId;
+  NodeId dst = kInvalidId;
+  std::int32_t sizeBytes = 0;
+  bool adaptive = false;
+  std::uint8_t sl = 0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+void writeTrace(std::ostream& os, const std::vector<TraceRecord>& records);
+
+/// Throws std::runtime_error on malformed input.
+std::vector<TraceRecord> readTrace(std::istream& is);
+
+/// Replays a trace: each record is generated at its src node at its time.
+/// Records are grouped per node and sorted by time on construction.
+class TraceTraffic final : public ITrafficSource {
+ public:
+  explicit TraceTraffic(std::vector<TraceRecord> records);
+
+  Spec makePacket(NodeId src, Rng& rng) override;
+  SimTime firstGenTime(NodeId node, Rng& rng) override;
+  SimTime nextGenTime(NodeId node, SimTime now, Rng& rng) override;
+  bool saturationMode() const override { return false; }
+
+  std::size_t totalRecords() const { return total_; }
+
+ private:
+  std::map<NodeId, std::vector<TraceRecord>> perNode_;
+  std::map<NodeId, std::size_t> cursor_;
+  std::size_t total_ = 0;
+};
+
+/// Observer that records every generated packet as a trace (and forwards
+/// nothing else). Attach via ObserverFanout to combine with measurement.
+class TraceCapture final : public IDeliveryObserver {
+ public:
+  void onGenerated(const Packet& pkt, SimTime now) override;
+  void onInjected(const Packet&, SimTime) override {}
+  void onDelivered(const Packet&, SimTime) override {}
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Broadcasts observer callbacks to several observers (capture + stats).
+class ObserverFanout final : public IDeliveryObserver {
+ public:
+  void add(IDeliveryObserver* obs) { observers_.push_back(obs); }
+
+  void onGenerated(const Packet& pkt, SimTime now) override {
+    for (auto* o : observers_) o->onGenerated(pkt, now);
+  }
+  void onInjected(const Packet& pkt, SimTime now) override {
+    for (auto* o : observers_) o->onInjected(pkt, now);
+  }
+  void onDelivered(const Packet& pkt, SimTime now) override {
+    for (auto* o : observers_) o->onDelivered(pkt, now);
+  }
+
+ private:
+  std::vector<IDeliveryObserver*> observers_;
+};
+
+}  // namespace ibadapt

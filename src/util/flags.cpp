@@ -1,0 +1,81 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ibadapt {
+
+namespace {
+std::string stripDashes(const std::string& s) {
+  std::size_t i = 0;
+  while (i < s.size() && s[i] == '-') ++i;
+  return s.substr(i);
+}
+}  // namespace
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = stripDashes(argv[i]);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";  // bare flag
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Flags::has(const std::string& key) const {
+  queried_[key] = true;
+  return values_.count(key) > 0;
+}
+
+std::string Flags::str(const std::string& key, const std::string& dflt) const {
+  queried_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? dflt : it->second;
+}
+
+int Flags::integer(const std::string& key, int dflt) const {
+  queried_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? dflt : std::atoi(it->second.c_str());
+}
+
+double Flags::real(const std::string& key, double dflt) const {
+  queried_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? dflt : std::atof(it->second.c_str());
+}
+
+bool Flags::boolean(const std::string& key, bool dflt) const {
+  queried_[key] = true;
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+std::vector<int> Flags::intList(const std::string& key,
+                                const std::vector<int>& dflt) const {
+  queried_[key] = true;
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  std::vector<int> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::atoi(item.c_str()));
+  }
+  return out;
+}
+
+std::vector<std::string> Flags::unknownKeys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    (void)v;
+    if (!queried_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace ibadapt

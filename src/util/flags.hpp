@@ -1,0 +1,37 @@
+#pragma once
+//
+// Tiny key=value command-line parser shared by benches and examples.
+//
+// Usage:   ./bench_table1 --mode=paper sizes=8,16 seed=7
+// Both "--key=value" and "key=value" forms are accepted.
+//
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ibadapt {
+
+class Flags {
+ public:
+  Flags() = default;
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string str(const std::string& key, const std::string& dflt) const;
+  int integer(const std::string& key, int dflt) const;
+  double real(const std::string& key, double dflt) const;
+  bool boolean(const std::string& key, bool dflt) const;
+
+  /// Comma-separated integer list, e.g. sizes=8,16,32.
+  std::vector<int> intList(const std::string& key,
+                           const std::vector<int>& dflt) const;
+
+  /// Keys that were supplied but never queried — typo detection for benches.
+  std::vector<std::string> unknownKeys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace ibadapt

@@ -1,0 +1,18 @@
+#include "util/rng.hpp"
+
+namespace ibadapt {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::fork() {
+  std::uint64_t s = engine_();
+  return splitmix64(s);
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,64 @@
+#pragma once
+//
+// Deterministic random-number utilities.
+//
+// Every stochastic component (topology generation, traffic, selection
+// policies) draws from an explicitly seeded Rng so that simulations are
+// bit-reproducible: same seed => same event trace.
+//
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ibadapt {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniformInt(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform 64-bit integer in [0, n) — n must be > 0.
+  std::uint64_t uniformIndex(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniformIndex(i)]);
+    }
+  }
+
+  /// Derive an independent child seed (for per-run / per-node streams).
+  std::uint64_t fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// SplitMix64 step — used to derive well-separated seeds from one master seed.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace ibadapt

@@ -1,0 +1,51 @@
+#pragma once
+//
+// Minimal fixed-size thread pool used to run *independent* simulations
+// (different topologies / load points) in parallel. Individual simulations
+// stay single-threaded and deterministic; parallelism lives strictly at the
+// sweep level, so results are identical regardless of the worker count.
+//
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ibadapt {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` threads; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Safe from any thread.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has completed.
+  void wait();
+
+  std::size_t workerCount() const { return threads_.size(); }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::size_t inFlight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across the pool and wait for completion.
+void parallelForIndex(ThreadPool& pool, std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
+
+}  // namespace ibadapt

@@ -1,0 +1,47 @@
+#pragma once
+//
+// Fundamental identifier and time types shared across the library.
+//
+// The simulator models time as integer nanoseconds: every timing constant in
+// the paper (100 ns routing delay, 4 ns/byte 1X serialization, 100 ns wire
+// propagation) is an exact integer, so no floating-point clock is needed.
+//
+#include <cstdint>
+#include <limits>
+
+namespace ibadapt {
+
+/// Simulation time in nanoseconds.
+using SimTime = std::int64_t;
+
+/// Sentinel "never" timestamp.
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
+
+/// Switch index within a subnet (0-based, dense).
+using SwitchId = std::int32_t;
+
+/// End-node (channel-adapter port) index within a subnet (0-based, dense).
+using NodeId = std::int32_t;
+
+/// Port index within a switch or CA.
+using PortIndex = std::int32_t;
+
+/// InfiniBand local identifier. Real IBA LIDs are 16-bit; LID 0 is reserved.
+using Lid = std::uint32_t;
+
+/// Virtual-lane index (IBA supports up to 16 VLs, VL15 is management-only).
+using VlIndex = std::int32_t;
+
+inline constexpr PortIndex kInvalidPort = -1;
+inline constexpr Lid kInvalidLid = 0;
+inline constexpr std::int32_t kInvalidId = -1;
+
+/// 64-byte flow-control credit blocks (IBA: FCCL counts 64-byte units).
+inline constexpr int kBytesPerCredit = 64;
+
+/// Number of credits needed to buffer a packet of `bytes` bytes.
+constexpr int creditsForBytes(int bytes) noexcept {
+  return (bytes + kBytesPerCredit - 1) / kBytesPerCredit;
+}
+
+}  // namespace ibadapt

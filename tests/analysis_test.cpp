@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/option_census.hpp"
+#include "routing/minimal.hpp"
+#include "routing/updown.hpp"
+#include "topology/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ibadapt {
+namespace {
+
+RouteSet makeRoutes(const Topology& topo) {
+  static thread_local std::vector<std::unique_ptr<UpDownRouting>> keepUd;
+  static thread_local std::vector<std::unique_ptr<MinimalAdaptiveRouting>> keepMr;
+  keepUd.push_back(std::make_unique<UpDownRouting>(topo));
+  keepMr.push_back(std::make_unique<MinimalAdaptiveRouting>(topo));
+  return RouteSet(topo, *keepUd.back(), *keepMr.back());
+}
+
+TEST(OptionCensus, PercentagesSumToHundred) {
+  Rng rng(51);
+  IrregularSpec spec;
+  spec.numSwitches = 16;
+  spec.linksPerSwitch = 4;
+  const Topology topo = makeIrregular(spec, rng);
+  const RouteSet routes = makeRoutes(topo);
+  for (int mr : {2, 3, 4}) {
+    const OptionCensus c = routingOptionCensus(topo, routes, mr);
+    double sum = 0;
+    for (int k = 1; k <= OptionCensus::kMaxCensusOptions; ++k) {
+      sum += c.pct[static_cast<std::size_t>(k)];
+      if (k > mr) {
+        EXPECT_DOUBLE_EQ(c.pct[static_cast<std::size_t>(k)], 0.0)
+            << "cannot exceed MR options";
+      }
+    }
+    EXPECT_NEAR(sum, 100.0, 1e-9);
+    EXPECT_EQ(c.pairs, 16L * 15L);
+    EXPECT_GE(c.avgOptions, 1.0);
+    EXPECT_LE(c.avgOptions, mr);
+  }
+}
+
+TEST(OptionCensus, RingHasLimitedAdaptivity) {
+  // On a ring, most destinations have a unique minimal direction; only the
+  // antipode (even rings) offers two. With MR=2 nearly all pairs still
+  // show >= 1 option, and the 2-option share equals the antipode share
+  // plus pairs where escape differs from the minimal hop.
+  const Topology topo = makeRing(8, 2);
+  const RouteSet routes = makeRoutes(topo);
+  const OptionCensus c = routingOptionCensus(topo, routes, 2);
+  EXPECT_GT(c.pct[1], 0.0);
+  EXPECT_GT(c.pct[2], 0.0);
+  EXPECT_NEAR(c.pct[1] + c.pct[2], 100.0, 1e-9);
+}
+
+TEST(OptionCensus, MoreConnectivityMoreOptions) {
+  // The paper's Table 2 trend: 6 links/switch gives a larger share of
+  // multi-option pairs than 4 links/switch.
+  auto avgFor = [](int links) {
+    double sum = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      Rng rng(seed);
+      IrregularSpec spec;
+      spec.numSwitches = 16;
+      spec.linksPerSwitch = links;
+      const Topology topo = makeIrregular(spec, rng);
+      const RouteSet routes = makeRoutes(topo);
+      sum += routingOptionCensus(topo, routes, 4).avgOptions;
+    }
+    return sum / 5;
+  };
+  EXPECT_GT(avgFor(6), avgFor(4));
+}
+
+TEST(OptionCensus, HigherMrNeverReducesOptions) {
+  Rng rng(52);
+  IrregularSpec spec;
+  spec.numSwitches = 16;
+  spec.linksPerSwitch = 6;
+  const Topology topo = makeIrregular(spec, rng);
+  const RouteSet routes = makeRoutes(topo);
+  double prev = 0;
+  for (int mr : {1, 2, 3, 4}) {
+    const double avg = routingOptionCensus(topo, routes, mr).avgOptions;
+    EXPECT_GE(avg, prev);
+    prev = avg;
+  }
+}
+
+TEST(OptionCensus, RejectsBadMr) {
+  const Topology topo = makeRing(4, 2);
+  const RouteSet routes = makeRoutes(topo);
+  EXPECT_THROW(routingOptionCensus(topo, routes, 0), std::invalid_argument);
+  EXPECT_THROW(routingOptionCensus(topo, routes, 99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ibadapt

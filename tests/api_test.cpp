@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "api/simulation.hpp"
+#include "api/sweep.hpp"
+
+namespace ibadapt {
+namespace {
+
+TEST(ApiTopology, BuildsEveryKind) {
+  SimParams p;
+  p.topoKind = TopologyKind::kIrregular;
+  EXPECT_EQ(buildTopology(p).numSwitches(), 8);
+  p.topoKind = TopologyKind::kRing;
+  p.numSwitches = 6;
+  EXPECT_EQ(buildTopology(p).numSwitches(), 6);
+  p.topoKind = TopologyKind::kMesh2D;
+  p.meshWidth = 3;
+  p.meshHeight = 5;
+  EXPECT_EQ(buildTopology(p).numSwitches(), 15);
+  p.topoKind = TopologyKind::kTorus2D;
+  p.meshWidth = 4;
+  p.meshHeight = 4;
+  EXPECT_EQ(buildTopology(p).numSwitches(), 16);
+  p.topoKind = TopologyKind::kHypercube;
+  p.hypercubeDim = 5;
+  EXPECT_EQ(buildTopology(p).numSwitches(), 32);
+}
+
+TEST(ApiTopology, IrregularDeterministicInSeed) {
+  SimParams p;
+  p.numSwitches = 16;
+  EXPECT_EQ(buildTopology(p).describe(), buildTopology(p).describe());
+  SimParams q = p;
+  q.topoSeed = 2;
+  EXPECT_NE(buildTopology(p).describe(), buildTopology(q).describe());
+}
+
+TEST(Sweep, RunsAllAndKeepsOrder) {
+  std::vector<SimParams> params;
+  for (int i = 0; i < 3; ++i) {
+    SimParams p;
+    p.warmupPackets = 200;
+    p.measurePackets = 1000;
+    p.loadBytesPerNsPerNode = 0.02 + 0.02 * i;
+    params.push_back(p);
+  }
+  const auto results = runSweep(params, 2);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.measurementComplete);
+  }
+  // Higher offered load -> higher accepted (all below saturation here).
+  EXPECT_LT(results[0].acceptedBytesPerNsPerSwitch,
+            results[2].acceptedBytesPerNsPerSwitch);
+}
+
+TEST(Sweep, ParallelMatchesSerial) {
+  std::vector<SimParams> params(2);
+  for (auto& p : params) {
+    p.warmupPackets = 200;
+    p.measurePackets = 1000;
+  }
+  params[1].trafficSeed = 99;
+  const auto serial = runSweep(params, 1);
+  const auto parallel = runSweep(params, 4);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].avgLatencyNs, parallel[i].avgLatencyNs);
+    EXPECT_EQ(serial[i].delivered, parallel[i].delivered);
+  }
+}
+
+TEST(Sweep, SummarizeMinAvgMax) {
+  const MinAvgMax s = summarize({2.0, 4.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.avg, 5.0);
+  const MinAvgMax e = summarize({});
+  EXPECT_DOUBLE_EQ(e.avg, 0.0);
+}
+
+TEST(Sweep, PeakThroughputCurveShape) {
+  SimParams p;
+  p.numSwitches = 8;
+  p.warmupPackets = 500;
+  p.measurePackets = 3000;
+  p.adaptiveFraction = 1.0;
+  const Topology topo = buildTopology(p);
+  RampOptions ramp;
+  ramp.growth = 1.6;
+  const PeakThroughput peak = measurePeakThroughput(topo, p, ramp);
+  ASSERT_GE(peak.curve.size(), 3u);
+  EXPECT_GT(peak.peakAccepted, 0.0);
+  // The returned curve is sorted by offered load.
+  for (std::size_t i = 1; i < peak.curve.size(); ++i) {
+    EXPECT_GE(peak.curve[i].offeredBytesPerNsPerSwitch,
+              peak.curve[i - 1].offeredBytesPerNsPerSwitch);
+  }
+  // The knee is the best *stable* point on the curve.
+  double bestStable = 0.0;
+  bool sawSaturated = false;
+  for (const auto& cp : peak.curve) {
+    if (!cp.saturated) {
+      bestStable = std::max(bestStable, cp.acceptedBytesPerNsPerSwitch);
+    } else {
+      sawSaturated = true;
+    }
+  }
+  EXPECT_DOUBLE_EQ(peak.peakAccepted, bestStable);
+  EXPECT_TRUE(sawSaturated) << "ramp should push past the knee";
+}
+
+TEST(Sweep, ThroughputFactorsPositive) {
+  SimParams p;
+  p.numSwitches = 8;
+  p.warmupPackets = 300;
+  p.measurePackets = 2000;
+  RampOptions ramp;
+  ramp.growth = 1.7;
+  const ThroughputFactors f = measureThroughputFactors(p, 2, 1, ramp, 1);
+  ASSERT_EQ(f.adaptiveThroughput.size(), 2u);
+  EXPECT_GT(f.factor.min, 0.0);
+  EXPECT_GE(f.factor.max, f.factor.avg);
+  EXPECT_GE(f.factor.avg, f.factor.min);
+  for (double v : f.deterministicThroughput) EXPECT_GT(v, 0.0);
+}
+
+TEST(Api, MeasureSaturationThroughputRuns) {
+  SimParams p;
+  p.numSwitches = 8;
+  p.warmupPackets = 300;
+  p.measurePackets = 2000;
+  const Topology topo = buildTopology(p);
+  EXPECT_GT(measureSaturationThroughput(topo, p), 0.0);
+}
+
+}  // namespace
+}  // namespace ibadapt

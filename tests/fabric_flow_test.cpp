@@ -1,0 +1,292 @@
+//
+// Flow control and adaptive-mechanism behaviour: credit blocking, adaptive
+// vs escape option usage, deterministic in-order delivery, mixed fabrics,
+// and the selection policies.
+//
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fabric/fabric.hpp"
+#include "subnet/subnet_manager.hpp"
+#include "test_helpers.hpp"
+#include "topology/generators.hpp"
+
+namespace ibadapt {
+namespace {
+
+using testing::RecordingObserver;
+using testing::ScriptedTraffic;
+
+struct Harness {
+  explicit Harness(Topology t, FabricParams fp = {})
+      : fabric(std::move(t), fp) {
+    SubnetManager sm(fabric);
+    sm.configure();
+    fabric.attachObserver(&observer);
+  }
+
+  void run(SimTime until = 10'000'000) {
+    fabric.attachTraffic(&traffic, /*seed=*/1);
+    fabric.start();
+    RunLimits limits;
+    limits.endTime = until;
+    fabric.run(limits);
+  }
+
+  Fabric fabric;
+  ScriptedTraffic traffic;
+  RecordingObserver observer;
+};
+
+/// Diamond: 0 - {1,2} - 3, so switch 0 has two minimal ports toward 3.
+Topology diamondTopology(int nodesPerSwitch = 2) {
+  Topology topo(4, nodesPerSwitch + 2, nodesPerSwitch);
+  topo.addLink(0, 1);
+  topo.addLink(0, 2);
+  topo.addLink(1, 3);
+  topo.addLink(2, 3);
+  return topo;
+}
+
+TEST(FabricFlow, CreditExhaustionBlocksWithoutOverflow) {
+  // Tiny buffers: 2 credits per VL, reserve 1. Blast ten 32-byte packets
+  // from one CA to a remote node; flow control must pace them and every
+  // packet must arrive (any overflow throws inside the fabric).
+  FabricParams fp;
+  fp.bufferCredits = 2;
+  fp.escapeReserveCredits = 1;
+  Harness h(testing::lineTopology(2), fp);
+  for (int i = 0; i < 10; ++i) h.traffic.add(0, 0, 5, 32, false);
+  h.run();
+  EXPECT_EQ(h.observer.deliveries.size(), 10u);
+}
+
+TEST(FabricFlow, VctRequiresWholePacketCredits) {
+  // 256-byte packet = 4 credits; a 2-credit buffer can never accept it.
+  // Construction is fine; the packet must simply never be injected, and the
+  // run ends with it stuck at the source (watchdog off for this check).
+  FabricParams fp;
+  fp.bufferCredits = 2;
+  fp.escapeReserveCredits = 1;
+  Harness h(testing::twoSwitchTopology(2), fp);
+  h.traffic.add(0, 0, 2, 256, false);
+  h.fabric.attachTraffic(&h.traffic, 1);
+  h.fabric.start();
+  RunLimits limits;
+  limits.endTime = 1'000'000;
+  limits.watchdogPeriodNs = 0;  // disabled
+  h.fabric.run(limits);
+  EXPECT_EQ(h.observer.deliveries.size(), 0u);
+  EXPECT_EQ(h.fabric.counters().injected, 0u);
+  EXPECT_EQ(h.fabric.nodeQueueLength(0), 1u);
+}
+
+TEST(FabricFlow, CreditsRestoredAfterDrain) {
+  Harness h(testing::lineTopology(2));
+  for (int i = 0; i < 6; ++i) h.traffic.add(0, 0, 5, 256, false);
+  h.run();
+  EXPECT_EQ(h.observer.deliveries.size(), 6u);
+  // All buffers drained: every output port must be back to full credit.
+  const FabricParams& fp = h.fabric.params();
+  for (SwitchId sw = 0; sw < 3; ++sw) {
+    for (PortIndex p = 0; p < h.fabric.topology().portsPerSwitch(); ++p) {
+      const Peer& peer = h.fabric.topology().peer(sw, p);
+      if (peer.kind == PeerKind::kSwitch) {
+        EXPECT_EQ(h.fabric.outputCredits(sw, p, 0), fp.bufferCredits);
+      } else if (peer.kind == PeerKind::kNode) {
+        EXPECT_EQ(h.fabric.outputCredits(sw, p, 0), fp.caRecvCredits);
+      }
+    }
+  }
+}
+
+TEST(FabricFlow, AdaptivePacketsUseMultipleMinimalPaths) {
+  // Saturate the diamond with adaptive traffic 0->dest on switch 3: with
+  // credit-aware selection both middle switches must carry packets.
+  Harness h(diamondTopology());
+  const NodeId dst = 6;  // first node of switch 3
+  for (int i = 0; i < 200; ++i) {
+    h.traffic.add(0, i * 16, dst, 32, /*adaptive=*/true);
+  }
+  h.run();
+  EXPECT_EQ(h.observer.deliveries.size(), 200u);
+  // Both adaptive forwards happened, and (given contention) some packets
+  // must have taken each middle switch. We infer usage from the forward
+  // counters: 200 packets x 3 hops, all offered adaptive options.
+  const auto& c = h.fabric.counters();
+  EXPECT_GT(c.adaptiveForwards, 0u);
+}
+
+TEST(FabricFlow, DeterministicTrafficNeverUsesAdaptiveOptions) {
+  Harness h(diamondTopology());
+  for (int i = 0; i < 100; ++i) {
+    h.traffic.add(0, i * 200, 6, 32, /*adaptive=*/false);
+  }
+  h.run();
+  EXPECT_EQ(h.observer.deliveries.size(), 100u);
+  EXPECT_EQ(h.fabric.counters().adaptiveForwards, 0u);
+  EXPECT_GT(h.fabric.counters().escapeForwards, 0u);
+}
+
+TEST(FabricFlow, DeterministicDeliveredInOrder) {
+  // Heavy deterministic stream across a contended fabric must arrive in
+  // generation order per (src,dst).
+  Harness h(diamondTopology());
+  for (int i = 0; i < 300; ++i) {
+    h.traffic.add(0, i * 8, 6, 32, false);   // deliberately over-offered
+    h.traffic.add(1, i * 8, 6, 32, false);   // cross traffic, same dest
+  }
+  h.run(50'000'000);
+  ASSERT_EQ(h.observer.deliveries.size(), 600u);
+  std::map<NodeId, std::uint32_t> lastSeq;
+  for (const auto& d : h.observer.deliveries) {
+    if (d.pkt.adaptive) continue;
+    auto& last = lastSeq[d.pkt.src];
+    EXPECT_GT(d.pkt.detSeq, last) << "out-of-order deterministic delivery";
+    last = d.pkt.detSeq;
+  }
+}
+
+TEST(FabricFlow, MixedTrafficPreservesDeterministicOrder) {
+  FabricParams fp;
+  fp.orderRule = EscapeOrderRule::kPaperStrict;
+  Harness h(diamondTopology(), fp);
+  for (int i = 0; i < 200; ++i) {
+    h.traffic.add(0, i * 10, 6, 32, /*adaptive=*/(i % 2) == 0);
+    h.traffic.add(2, i * 10, 6, 32, /*adaptive=*/(i % 3) == 0);
+  }
+  h.run(50'000'000);
+  ASSERT_EQ(h.observer.deliveries.size(), 400u);
+  std::map<NodeId, std::uint32_t> lastSeq;
+  for (const auto& d : h.observer.deliveries) {
+    if (d.pkt.adaptive) continue;
+    auto& last = lastSeq[d.pkt.src];
+    EXPECT_GT(d.pkt.detSeq, last);
+    last = d.pkt.detSeq;
+  }
+}
+
+TEST(FabricFlow, RelaxedOrderRuleAlsoPreservesDetOrder) {
+  FabricParams fp;
+  fp.orderRule = EscapeOrderRule::kDeterministicOnly;
+  Harness h(diamondTopology(), fp);
+  for (int i = 0; i < 200; ++i) {
+    h.traffic.add(0, i * 10, 6, 32, /*adaptive=*/(i % 2) == 0);
+  }
+  h.run(50'000'000);
+  ASSERT_EQ(h.observer.deliveries.size(), 200u);
+  std::map<NodeId, std::uint32_t> lastSeq;
+  for (const auto& d : h.observer.deliveries) {
+    if (d.pkt.adaptive) continue;
+    auto& last = lastSeq[d.pkt.src];
+    EXPECT_GT(d.pkt.detSeq, last);
+    last = d.pkt.detSeq;
+  }
+}
+
+TEST(FabricFlow, NonAdaptiveSwitchesOfferOnlyEscape) {
+  FabricParams fp;
+  fp.adaptiveSwitches = false;  // stock IBA switches everywhere
+  Harness h(diamondTopology(), fp);
+  for (int i = 0; i < 100; ++i) {
+    h.traffic.add(0, i * 50, 6, 32, /*adaptive=*/true);
+  }
+  h.run();
+  EXPECT_EQ(h.observer.deliveries.size(), 100u);
+  EXPECT_EQ(h.fabric.counters().adaptiveForwards, 0u);
+}
+
+TEST(FabricFlow, MixedFabricOnlyAdaptiveSwitchesAdapt) {
+  // §4.2: adaptive and deterministic switches can coexist. Make only
+  // switch 0 adaptive; packets still arrive, and adaptive forwards occur
+  // only at switch 0 (we can't observe per-switch directly, but with only
+  // one adaptive-capable switch the count is bounded by packets injected
+  // there).
+  FabricParams fp;
+  fp.adaptiveSwitchMask = {true, false, false, false};
+  Harness h(diamondTopology(), fp);
+  for (int i = 0; i < 50; ++i) {
+    h.traffic.add(0, i * 100, 6, 32, true);   // passes switch 0 first
+    h.traffic.add(6, i * 100, 0, 32, true);   // reverse direction
+  }
+  h.run();
+  EXPECT_EQ(h.observer.deliveries.size(), 100u);
+  EXPECT_LE(h.fabric.counters().adaptiveForwards, 100u);
+}
+
+TEST(FabricFlow, SelectionPoliciesAllDeliver) {
+  for (auto timing : {SelectionTiming::kAtArbitration,
+                      SelectionTiming::kAtRouting}) {
+    for (auto crit : {SelectionCriterion::kCreditAware,
+                      SelectionCriterion::kStatic,
+                      SelectionCriterion::kRandom}) {
+      FabricParams fp;
+      fp.selectionTiming = timing;
+      fp.selectionCriterion = crit;
+      Harness h(diamondTopology(), fp);
+      for (int i = 0; i < 100; ++i) {
+        h.traffic.add(0, i * 20, 6, 32, true);
+        h.traffic.add(1, i * 20, 7, 32, true);
+      }
+      h.run();
+      EXPECT_EQ(h.observer.deliveries.size(), 200u)
+          << "timing=" << static_cast<int>(timing)
+          << " crit=" << static_cast<int>(crit);
+    }
+  }
+}
+
+TEST(FabricFlow, FourRoutingOptionsWork) {
+  FabricParams fp;
+  fp.numOptions = 4;
+  fp.lmc = 2;
+  Harness h(diamondTopology(), fp);
+  for (int i = 0; i < 100; ++i) h.traffic.add(0, i * 20, 6, 32, true);
+  h.run();
+  EXPECT_EQ(h.observer.deliveries.size(), 100u);
+}
+
+TEST(FabricFlow, MultipleVirtualLanes) {
+  FabricParams fp;
+  fp.numVls = 4;
+  Harness h(diamondTopology(), fp);
+  for (int i = 0; i < 100; ++i) {
+    h.traffic.add(0, i * 20, 6, 32, true, /*sl=*/static_cast<std::uint8_t>(i % 4));
+  }
+  h.run();
+  EXPECT_EQ(h.observer.deliveries.size(), 100u);
+}
+
+TEST(FabricFlow, LargePacketsWithSmallMtuBuffers) {
+  // MTU-sized packets exactly fill each half of the default split buffer.
+  Harness h(diamondTopology());
+  for (int i = 0; i < 60; ++i) h.traffic.add(0, i * 100, 6, 256, true);
+  h.run();
+  EXPECT_EQ(h.observer.deliveries.size(), 60u);
+}
+
+TEST(FabricFlow, UnprogrammedLidThrows) {
+  // Bypass the subnet manager: routing to a LID nobody programmed is an
+  // invariant violation, not silent misrouting.
+  Topology topo = testing::twoSwitchTopology();
+  FabricParams fp;
+  Fabric fabric(topo, fp);  // tables left unprogrammed
+  ScriptedTraffic traffic;
+  traffic.add(0, 0, 4, 32, false);
+  fabric.attachTraffic(&traffic, 1);
+  fabric.start();
+  RunLimits limits;
+  limits.endTime = 10'000;
+  EXPECT_THROW(fabric.run(limits), std::logic_error);
+}
+
+TEST(FabricFlow, WatchdogDoesNotFireOnHealthyRun) {
+  Harness h(diamondTopology());
+  for (int i = 0; i < 100; ++i) h.traffic.add(0, i * 500, 6, 32, true);
+  h.run(60'000'000);
+  EXPECT_FALSE(h.fabric.deadlockSuspected());
+}
+
+}  // namespace
+}  // namespace ibadapt

@@ -1,0 +1,193 @@
+//
+// The paper's core mechanism, part 1: LMC virtual addressing and the
+// interleaved forwarding table (Fig. 1).
+//
+#include <gtest/gtest.h>
+
+#include "core/forwarding_table.hpp"
+#include "core/lid_map.hpp"
+
+namespace ibadapt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LidMapper
+// ---------------------------------------------------------------------------
+
+TEST(LidMapper, BlocksAreAlignedAndDisjoint) {
+  for (int lmc = 0; lmc <= 3; ++lmc) {
+    const LidMapper m(lmc);
+    const int per = 1 << lmc;
+    EXPECT_EQ(m.lidsPerNode(), per);
+    Lid prevEnd = 0;
+    for (NodeId n = 0; n < 10; ++n) {
+      const Lid base = m.baseLid(n);
+      EXPECT_EQ(base % per, 0u) << "block not aligned";
+      EXPECT_GE(base, prevEnd);  // disjoint, ascending
+      EXPECT_NE(base, 0u);       // LID 0 reserved
+      prevEnd = base + static_cast<Lid>(per);
+      for (int k = 0; k < per; ++k) {
+        EXPECT_EQ(m.nodeOfLid(base + static_cast<Lid>(k)), n);
+        EXPECT_EQ(m.alignedBase(base + static_cast<Lid>(k)), base);
+      }
+    }
+  }
+}
+
+TEST(LidMapper, AdaptiveBitIsLsb) {
+  const LidMapper m(1);
+  for (NodeId n = 0; n < 8; ++n) {
+    EXPECT_FALSE(LidMapper::adaptiveBit(m.deterministicLid(n)));
+    EXPECT_TRUE(LidMapper::adaptiveBit(m.adaptiveLid(n)));
+    EXPECT_EQ(m.adaptiveLid(n), m.deterministicLid(n) + 1);
+  }
+}
+
+TEST(LidMapper, AdaptiveLidNeedsLmc) {
+  const LidMapper m(0);
+  EXPECT_THROW(m.adaptiveLid(0), std::logic_error);
+}
+
+TEST(LidMapper, RejectsBadLmc) {
+  EXPECT_THROW(LidMapper(-1), std::invalid_argument);
+  EXPECT_THROW(LidMapper(8), std::invalid_argument);
+}
+
+TEST(LidMapper, LidLimitCoversAllBlocks) {
+  const LidMapper m(2);
+  const Lid limit = m.lidLimit(10);
+  for (NodeId n = 0; n < 10; ++n) {
+    EXPECT_LT(m.lidForOption(n, 3), limit);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveForwardingTable
+// ---------------------------------------------------------------------------
+
+TEST(ForwardingTable, LinearInterfaceRoundTrips) {
+  AdaptiveForwardingTable t(2, 64);
+  for (Lid lid = 1; lid < 64; ++lid) {
+    t.setEntry(lid, static_cast<PortIndex>(lid % 7));
+  }
+  for (Lid lid = 1; lid < 64; ++lid) {
+    EXPECT_EQ(t.entry(lid), static_cast<PortIndex>(lid % 7));
+  }
+}
+
+TEST(ForwardingTable, UnprogrammedReadsInvalid) {
+  AdaptiveForwardingTable t(2, 16);
+  EXPECT_EQ(t.entry(4), kInvalidPort);
+  EXPECT_FALSE(t.lookup(4).valid());
+}
+
+TEST(ForwardingTable, InterleavedLookupReturnsAllBanks) {
+  // Destination block at LIDs 8..11 with 4 banks: escape at 8,
+  // adaptive options at 9, 10, 11.
+  AdaptiveForwardingTable t(4, 32);
+  t.setEntry(8, 5);
+  t.setEntry(9, 1);
+  t.setEntry(10, 2);
+  t.setEntry(11, 3);
+  for (Lid dlid = 8; dlid < 12; ++dlid) {
+    const RouteOptions opts = t.lookup(dlid);
+    EXPECT_EQ(opts.escapePort, 5);
+    ASSERT_EQ(opts.numAdaptive, 3);
+    EXPECT_EQ(opts.adaptivePorts[0], 1);
+    EXPECT_EQ(opts.adaptivePorts[1], 2);
+    EXPECT_EQ(opts.adaptivePorts[2], 3);
+  }
+}
+
+TEST(ForwardingTable, AdaptiveBitDecodedFromDlid) {
+  AdaptiveForwardingTable t(2, 16);
+  t.setEntry(4, 0);
+  t.setEntry(5, 1);
+  EXPECT_FALSE(t.lookup(4).adaptiveRequested);  // address d
+  EXPECT_TRUE(t.lookup(5).adaptiveRequested);   // address d+1
+}
+
+TEST(ForwardingTable, DuplicateAdaptiveEntriesDeduplicated) {
+  AdaptiveForwardingTable t(4, 16);
+  t.setEntry(4, 7);
+  t.setEntry(5, 2);
+  t.setEntry(6, 2);  // duplicate of bank 1
+  t.setEntry(7, 3);
+  const RouteOptions opts = t.lookup(5);
+  EXPECT_EQ(opts.numAdaptive, 2);
+  EXPECT_EQ(opts.adaptivePorts[0], 2);
+  EXPECT_EQ(opts.adaptivePorts[1], 3);
+}
+
+TEST(ForwardingTable, PartiallyProgrammedBanksSkipped) {
+  AdaptiveForwardingTable t(4, 16);
+  t.setEntry(4, 7);
+  t.setEntry(6, 1);  // bank 2 only
+  const RouteOptions opts = t.lookup(5);
+  EXPECT_EQ(opts.escapePort, 7);
+  EXPECT_EQ(opts.numAdaptive, 1);
+  EXPECT_EQ(opts.adaptivePorts[0], 1);
+}
+
+TEST(ForwardingTable, SingleBankIsPlainLinearTable) {
+  AdaptiveForwardingTable t(1, 16);
+  t.setEntry(4, 3);
+  t.setEntry(5, 3);
+  const RouteOptions d = t.lookup(4);
+  const RouteOptions a = t.lookup(5);
+  EXPECT_EQ(d.escapePort, 3);
+  EXPECT_EQ(d.numAdaptive, 0);
+  // Address d+1 maps to its own row in a 1-bank table; the deterministic
+  // switch still yields exactly one option.
+  EXPECT_EQ(a.escapePort, 3);
+  EXPECT_EQ(a.numAdaptive, 0);
+  EXPECT_TRUE(a.adaptiveRequested);
+}
+
+TEST(ForwardingTable, RejectsBadConstruction) {
+  EXPECT_THROW(AdaptiveForwardingTable(3, 16), std::invalid_argument);
+  EXPECT_THROW(AdaptiveForwardingTable(16, 16), std::invalid_argument);
+  EXPECT_THROW(AdaptiveForwardingTable(0, 16), std::invalid_argument);
+}
+
+TEST(ForwardingTable, RangeAndPortValidation) {
+  AdaptiveForwardingTable t(2, 16);
+  EXPECT_THROW(t.setEntry(16, 0), std::out_of_range);
+  EXPECT_THROW(t.entry(16), std::out_of_range);
+  EXPECT_THROW(t.lookup(16), std::out_of_range);
+  EXPECT_THROW(t.setEntry(4, -1), std::invalid_argument);
+  EXPECT_THROW(t.setEntry(4, 255), std::invalid_argument);
+}
+
+class BankSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BankSweepTest, LinearAndInterleavedViewsAgree) {
+  const int banks = GetParam();
+  const LidMapper m(3);  // 8 addresses per node >= any bank count here
+  AdaptiveForwardingTable t(banks, m.lidLimit(6));
+  // Program node blocks with distinct per-address ports.
+  for (NodeId n = 0; n < 6; ++n) {
+    for (int k = 0; k < banks; ++k) {
+      t.setEntry(m.lidForOption(n, k), static_cast<PortIndex>((n + k) % 5));
+    }
+  }
+  for (NodeId n = 0; n < 6; ++n) {
+    const RouteOptions opts = t.lookup(m.lidForOption(n, banks > 1 ? 1 : 0));
+    EXPECT_EQ(opts.escapePort, t.entry(m.baseLid(n)));
+    // Every adaptive port must equal some linear entry of the block.
+    for (int i = 0; i < opts.numAdaptive; ++i) {
+      bool found = false;
+      for (int k = 1; k < banks; ++k) {
+        if (t.entry(m.lidForOption(n, k)) == opts.adaptivePorts[i]) {
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Banks, BankSweepTest, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace ibadapt

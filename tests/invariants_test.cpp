@@ -1,0 +1,196 @@
+//
+// Cross-cutting invariants, property-style: packet conservation, credit
+// restoration, routing-table sanity over many random topologies, and
+// deterministic replay of whole simulations.
+//
+#include <gtest/gtest.h>
+
+#include "api/simulation.hpp"
+#include "fabric/fabric.hpp"
+#include "routing/minimal.hpp"
+#include "routing/updown.hpp"
+#include "stats/collector.hpp"
+#include "subnet/subnet_manager.hpp"
+#include "test_helpers.hpp"
+#include "topology/generators.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace ibadapt {
+namespace {
+
+Topology irregular(int switches, int links, std::uint64_t seed) {
+  Rng rng(seed);
+  IrregularSpec spec;
+  spec.numSwitches = switches;
+  spec.linksPerSwitch = links;
+  spec.nodesPerSwitch = 4;
+  return makeIrregular(spec, rng);
+}
+
+class SeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedSweep, PacketConservationAfterDrain) {
+  // Run an open-loop burst, then let the network drain completely: every
+  // generated packet must be delivered (no faults => no drops), every
+  // buffer empty, every credit restored.
+  const Topology topo = irregular(16, 4, static_cast<std::uint64_t>(GetParam()));
+  FabricParams fp;
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  TrafficSpec ts;
+  ts.numNodes = topo.numNodes();
+  ts.loadBytesPerNsPerNode = 0.08;
+  ts.adaptiveFraction = 0.7;
+  SyntheticTraffic traffic(ts, static_cast<std::uint64_t>(GetParam()) * 13 + 1);
+  fabric.attachTraffic(&traffic, static_cast<std::uint64_t>(GetParam()));
+  fabric.start();
+
+  // Generation horizon 300 us, drain horizon far beyond.
+  RunLimits gen;
+  gen.endTime = 300'000;
+  fabric.run(gen);
+  RunLimits drain;
+  drain.endTime = 300'000'000;
+  drain.generationEndTime = 0;  // pure drain
+  fabric.run(drain);
+
+  const auto& c = fabric.counters();
+  EXPECT_GT(c.generated, 500u);
+  EXPECT_EQ(c.generated, c.delivered) << "conservation violated";
+  EXPECT_EQ(c.dropped, 0u);
+  EXPECT_EQ(fabric.livePackets(), 0u);
+  EXPECT_FALSE(fabric.deadlockSuspected());
+
+  // Every output port back to full credits; every buffer empty.
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    for (PortIndex p = 0; p < topo.portsPerSwitch(); ++p) {
+      const Peer& peer = topo.peer(sw, p);
+      if (peer.kind == PeerKind::kUnused) continue;
+      const int expect = peer.kind == PeerKind::kNode ? fp.caRecvCredits
+                                                      : fp.bufferCredits;
+      for (VlIndex vl = 0; vl < fp.numVls; ++vl) {
+        EXPECT_EQ(fabric.outputCredits(sw, p, vl), expect)
+            << "sw" << sw << " port" << p;
+        EXPECT_EQ(fabric.inputBufferOccupancy(sw, p, vl), 0);
+      }
+    }
+  }
+}
+
+TEST_P(SeedSweep, EscapePortsAlwaysLegalUpDown) {
+  const Topology topo = irregular(24, 4, static_cast<std::uint64_t>(GetParam()) + 100);
+  const UpDownRouting ud(topo);
+  const MinimalAdaptiveRouting mr(topo);
+  const RouteSet routes(topo, ud, mr);
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+      const auto& spec = routes.options(sw, n);
+      const SwitchId destSw = topo.switchOfNode(n);
+      if (destSw == sw) continue;
+      // Escape hop continues a legal up*/down* route.
+      EXPECT_EQ(spec.escapePort, ud.nextHopPort(sw, destSw));
+      // Every adaptive port is strictly distance-decreasing.
+      for (PortIndex p : spec.adaptivePorts) {
+        const SwitchId nb = topo.peer(sw, p).id;
+        EXPECT_EQ(mr.distance(nb, destSw), mr.distance(sw, destSw) - 1);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range(1, 9));
+
+TEST(Invariants, HopCountsBoundedByUpDownWorstCase) {
+  // Adaptive packets prefer minimal hops; even escape detours cannot exceed
+  // the longest up*/down* table route. Verify measured hop counts stay
+  // within that bound at moderate load.
+  const Topology topo = irregular(16, 4, 301);
+  const UpDownRouting ud(topo);
+  int worst = 0;
+  for (SwitchId a = 0; a < topo.numSwitches(); ++a) {
+    for (SwitchId b = 0; b < topo.numSwitches(); ++b) {
+      if (a != b) worst = std::max(worst, ud.tableRouteHops(a, b));
+    }
+  }
+
+  FabricParams fp;
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  sm.configure();
+  TrafficSpec ts;
+  ts.numNodes = topo.numNodes();
+  ts.loadBytesPerNsPerNode = 0.05;
+  SyntheticTraffic traffic(ts, 5);
+  testing::RecordingObserver obs;
+  fabric.attachTraffic(&traffic, 5);
+  fabric.attachObserver(&obs);
+  fabric.start();
+  RunLimits limits;
+  limits.endTime = 300'000;
+  fabric.run(limits);
+  RunLimits drain;
+  drain.endTime = 100'000'000;
+  drain.generationEndTime = 0;  // pure drain
+  fabric.run(drain);
+
+  ASSERT_GT(obs.deliveries.size(), 100u);
+  for (const auto& d : obs.deliveries) {
+    // A packet may alternate between adaptive and escape segments, but
+    // with minimal-preference its hop count is bounded by the worst legal
+    // escape route plus the minimal distance it already covered — use the
+    // generous structural bound of worst + diameter.
+    EXPECT_LE(d.pkt.hops, worst + topo.numSwitches());
+    EXPECT_GE(d.pkt.hops, 1);
+    EXPECT_GE(d.pkt.escapeHops, 0);
+    EXPECT_LE(d.pkt.escapeHops, d.pkt.hops);
+  }
+}
+
+TEST(Invariants, SimulationsAreReplayableAcrossProcessesShape) {
+  // Determinism probed through the public API at three loads.
+  for (double load : {0.02, 0.05, 0.09}) {
+    SimParams p;
+    p.numSwitches = 8;
+    p.loadBytesPerNsPerNode = load;
+    p.warmupPackets = 200;
+    p.measurePackets = 2000;
+    const SimResults a = runSimulation(p);
+    const SimResults b = runSimulation(p);
+    EXPECT_DOUBLE_EQ(a.avgLatencyNs, b.avgLatencyNs) << load;
+    EXPECT_EQ(a.generated, b.generated) << load;
+    EXPECT_EQ(a.simEndTimeNs, b.simEndTimeNs) << load;
+  }
+}
+
+TEST(Invariants, AdaptiveForwardsDominateAtLowLoad) {
+  // With empty buffers, adaptive packets should almost always find adaptive
+  // credits — escape usage stays marginal (it includes final-hop CA
+  // deliveries... those count as escape only if the CA port is the escape
+  // entry; the census below just requires adaptive forwards to be the
+  // majority of inter-switch forwards).
+  SimParams p;
+  p.numSwitches = 16;
+  p.adaptiveFraction = 1.0;
+  p.loadBytesPerNsPerNode = 0.01;
+  p.warmupPackets = 200;
+  p.measurePackets = 3000;
+  const SimResults r = runSimulation(p);
+  EXPECT_GT(r.adaptiveForwardFraction, 0.5);
+}
+
+TEST(Invariants, ZeroAdaptiveTrafficNeverUsesAdaptiveOptions) {
+  SimParams p;
+  p.numSwitches = 16;
+  p.adaptiveFraction = 0.0;
+  p.saturation = true;
+  p.warmupPackets = 300;
+  p.measurePackets = 3000;
+  const SimResults r = runSimulation(p);
+  EXPECT_DOUBLE_EQ(r.adaptiveForwardFraction, 0.0);
+  EXPECT_EQ(r.inOrderViolations, 0u);
+}
+
+}  // namespace
+}  // namespace ibadapt

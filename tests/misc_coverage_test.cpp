@@ -1,0 +1,154 @@
+//
+// Edge cases and smaller components: packet pool recycling, topology
+// mutation paths, up*/down* path-length properties, census on analytic
+// topologies, and API validation paths.
+//
+#include <gtest/gtest.h>
+
+#include "analysis/option_census.hpp"
+#include "api/simulation.hpp"
+#include "fabric/fabric.hpp"
+#include "fabric/packet.hpp"
+#include "routing/minimal.hpp"
+#include "routing/updown.hpp"
+#include "topology/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ibadapt {
+namespace {
+
+TEST(PacketPool, RecyclesSlots) {
+  PacketPool pool;
+  const PacketRef a = pool.alloc();
+  const PacketRef b = pool.alloc();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.liveCount(), 2u);
+  pool.release(a);
+  EXPECT_EQ(pool.liveCount(), 1u);
+  const PacketRef c = pool.alloc();
+  EXPECT_EQ(c, a);  // LIFO reuse
+  EXPECT_EQ(pool.capacity(), 2u);
+}
+
+TEST(PacketPool, ReusedSlotIsCleared) {
+  PacketPool pool;
+  const PacketRef a = pool.alloc();
+  pool.get(a).hops = 99;
+  pool.get(a).msgId = 7;
+  pool.release(a);
+  const PacketRef b = pool.alloc();
+  EXPECT_EQ(pool.get(b).hops, 0);
+  EXPECT_EQ(pool.get(b).msgId, 0u);
+}
+
+TEST(Topology, RemoveLinkClearsBothEnds) {
+  Topology topo(3, 6, 2);
+  topo.addLink(0, 1);
+  topo.addLink(1, 2);
+  const auto nbs = topo.switchNeighbors(0);
+  ASSERT_EQ(nbs.size(), 1u);
+  topo.removeLink(0, nbs[0].second);
+  EXPECT_EQ(topo.numLinks(), 1);
+  EXPECT_FALSE(topo.linked(0, 1));
+  EXPECT_TRUE(topo.linked(1, 2));
+  EXPECT_EQ(topo.interSwitchDegree(0), 0);
+  // Node ports cannot be removed.
+  EXPECT_THROW(topo.removeLink(0, 0), std::invalid_argument);
+  // The freed port is reusable.
+  EXPECT_TRUE(topo.addLink(0, 2));
+}
+
+TEST(Topology, DescribeMentionsEveryNeighbor) {
+  const Topology topo = makeRing(4, 2);
+  const std::string d = topo.describe();
+  EXPECT_NE(d.find("4 switches"), std::string::npos);
+  EXPECT_NE(d.find("sw0"), std::string::npos);
+  EXPECT_NE(d.find("sw3"), std::string::npos);
+}
+
+TEST(UpDown, TableRoutesNeverShorterThanShortestPath) {
+  Rng rng(401);
+  IrregularSpec spec;
+  spec.numSwitches = 32;
+  spec.linksPerSwitch = 4;
+  const Topology topo = makeIrregular(spec, rng);
+  const UpDownRouting ud(topo);
+  const auto dist = allPairsDistances(topo);
+  double stretchSum = 0;
+  int pairs = 0;
+  for (SwitchId a = 0; a < 32; ++a) {
+    for (SwitchId b = 0; b < 32; ++b) {
+      if (a == b) continue;
+      const int hops = ud.tableRouteHops(a, b);
+      const int shortest = dist[static_cast<std::size_t>(a)]
+                               [static_cast<std::size_t>(b)];
+      EXPECT_GE(hops, shortest);
+      stretchSum += static_cast<double>(hops) / shortest;
+      ++pairs;
+    }
+  }
+  // The paper's diagnosis: up*/down* takes non-minimal paths. The average
+  // stretch must show it (strictly > 1) but stay structurally sane.
+  const double stretch = stretchSum / pairs;
+  EXPECT_GT(stretch, 1.0);
+  EXPECT_LT(stretch, 2.5);
+}
+
+TEST(OptionCensus, HypercubeMatchesAnalyticCounts) {
+  // From any switch, a destination k bits away has exactly k minimal ports.
+  // With MR=4 the distinct-option count is min(4, k + (escape not among
+  // minimal ? 1 : 0)) — but on a hypercube the up*/down* escape hop is
+  // always one of the minimal ports? Not necessarily; just verify the
+  // lower/upper bounds analytically derivable: count >= min(MR, k).
+  const Topology topo = makeHypercube(4, 1);
+  const UpDownRouting ud(topo);
+  const MinimalAdaptiveRouting mr(topo);
+  const RouteSet routes(topo, ud, mr);
+  for (SwitchId dest = 1; dest < 16; ++dest) {
+    const int k = __builtin_popcount(static_cast<unsigned>(dest));
+    const auto capped = routes.cappedAdaptivePorts(0, topo.nodeAt(dest, 0), 4);
+    EXPECT_EQ(static_cast<int>(capped.size()), std::min(3, k));
+  }
+}
+
+TEST(Api, RejectsInvalidFabricParams) {
+  SimParams p;
+  p.fabric.numOptions = 3;  // not a power of two
+  EXPECT_THROW(runSimulation(p), std::invalid_argument);
+  SimParams q;
+  q.fabric.numOptions = 4;
+  q.fabric.lmc = 1;  // 2^1 < 4
+  EXPECT_THROW(runSimulation(q), std::invalid_argument);
+  SimParams r;
+  r.fabric.escapeReserveCredits = 99;
+  EXPECT_THROW(runSimulation(r), std::invalid_argument);
+}
+
+TEST(Api, OfferedLoadReportedInPaperUnits) {
+  SimParams p;
+  p.numSwitches = 8;
+  p.loadBytesPerNsPerNode = 0.05;
+  p.warmupPackets = 100;
+  p.measurePackets = 500;
+  const SimResults r = runSimulation(p);
+  EXPECT_DOUBLE_EQ(r.offeredBytesPerNsPerSwitch, 0.2);  // 4 nodes x 0.05
+}
+
+TEST(Fabric, StartRequiresTrafficAndRunRequiresStart) {
+  const Topology topo = makeRing(4, 2);
+  Fabric fabric(topo, FabricParams{});
+  EXPECT_THROW(fabric.start(), std::logic_error);
+  RunLimits limits;
+  limits.endTime = 1000;
+  EXPECT_THROW(fabric.run(limits), std::logic_error);
+}
+
+TEST(Fabric, AdaptiveSwitchMaskSizeValidated) {
+  const Topology topo = makeRing(4, 2);
+  FabricParams fp;
+  fp.adaptiveSwitchMask = {true, false};  // 2 entries for 4 switches
+  EXPECT_THROW(Fabric(topo, fp), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ibadapt

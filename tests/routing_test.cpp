@@ -1,0 +1,181 @@
+//
+// Minimal adaptive routing + route-set composition tests.
+//
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "routing/minimal.hpp"
+#include "routing/route_set.hpp"
+#include "routing/updown.hpp"
+#include "topology/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ibadapt {
+namespace {
+
+Topology irregular(int switches, int links, std::uint64_t seed) {
+  Rng rng(seed);
+  IrregularSpec spec;
+  spec.numSwitches = switches;
+  spec.linksPerSwitch = links;
+  spec.nodesPerSwitch = 4;
+  return makeIrregular(spec, rng);
+}
+
+TEST(MinimalRouting, DistancesMatchBfs) {
+  const Topology topo = makeTorus2D(4, 4, 2);
+  const MinimalAdaptiveRouting mr(topo);
+  const auto dist = allPairsDistances(topo);
+  for (SwitchId a = 0; a < 16; ++a) {
+    for (SwitchId b = 0; b < 16; ++b) {
+      EXPECT_EQ(mr.distance(a, b),
+                dist[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]);
+    }
+  }
+}
+
+TEST(MinimalRouting, EveryMinimalPortDecreasesDistance) {
+  const Topology topo = irregular(16, 4, 31);
+  const MinimalAdaptiveRouting mr(topo);
+  for (SwitchId a = 0; a < 16; ++a) {
+    for (SwitchId b = 0; b < 16; ++b) {
+      if (a == b) {
+        EXPECT_TRUE(mr.minimalPorts(a, b).empty());
+        continue;
+      }
+      const auto& ports = mr.minimalPorts(a, b);
+      ASSERT_FALSE(ports.empty());
+      for (PortIndex p : ports) {
+        const SwitchId nb = topo.peer(a, p).id;
+        EXPECT_EQ(mr.distance(nb, b), mr.distance(a, b) - 1);
+      }
+    }
+  }
+}
+
+TEST(MinimalRouting, FindsEveryMinimalPort) {
+  // Exhaustive cross-check: a port is minimal iff listed.
+  const Topology topo = irregular(8, 4, 32);
+  const MinimalAdaptiveRouting mr(topo);
+  for (SwitchId a = 0; a < 8; ++a) {
+    for (SwitchId b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      const auto& listed = mr.minimalPorts(a, b);
+      for (const auto& [nb, port] : topo.switchNeighbors(a)) {
+        const bool minimal = mr.distance(nb, b) == mr.distance(a, b) - 1;
+        const bool present =
+            std::find(listed.begin(), listed.end(), port) != listed.end();
+        EXPECT_EQ(minimal, present);
+      }
+    }
+  }
+}
+
+TEST(MinimalRouting, TorusHasTwoMinimalPortsOffAxis) {
+  const Topology topo = makeTorus2D(4, 4, 1);
+  const MinimalAdaptiveRouting mr(topo);
+  // From (0,0) to (1,1) = switch 5: x and y steps both minimal.
+  EXPECT_EQ(mr.minimalPorts(0, 5).size(), 2u);
+  // From (0,0) to (1,0) = switch 1: only the +x hop is minimal.
+  EXPECT_EQ(mr.minimalPorts(0, 1).size(), 1u);
+}
+
+TEST(MinimalRouting, HypercubeMinimalPortCount) {
+  const Topology topo = makeHypercube(4, 1);
+  const MinimalAdaptiveRouting mr(topo);
+  for (SwitchId b = 1; b < 16; ++b) {
+    // From 0 to b: exactly popcount(b) minimal directions.
+    EXPECT_EQ(mr.minimalPorts(0, b).size(),
+              static_cast<std::size_t>(__builtin_popcount(
+                  static_cast<unsigned>(b))));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RouteSet
+// ---------------------------------------------------------------------------
+
+class RouteSetFixture : public ::testing::Test {
+ protected:
+  RouteSetFixture()
+      : topo(irregular(16, 4, 33)),
+        updown(topo),
+        minimal(topo),
+        routes(topo, updown, minimal) {}
+
+  Topology topo;
+  UpDownRouting updown;
+  MinimalAdaptiveRouting minimal;
+  RouteSet routes;
+};
+
+TEST_F(RouteSetFixture, EscapeMatchesUpDown) {
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+      const auto& spec = routes.options(sw, n);
+      if (topo.switchOfNode(n) == sw) {
+        EXPECT_EQ(spec.escapePort, topo.portOfNode(n));
+        EXPECT_TRUE(spec.adaptivePorts.empty());
+      } else {
+        EXPECT_EQ(spec.escapePort, updown.nextHopPort(sw, topo.switchOfNode(n)));
+        EXPECT_EQ(spec.adaptivePorts,
+                  minimal.minimalPorts(sw, topo.switchOfNode(n)));
+      }
+    }
+  }
+}
+
+TEST_F(RouteSetFixture, CappedPortsAreSubsetOfMinimal) {
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+      if (topo.switchOfNode(n) == sw) continue;
+      const auto& full = routes.options(sw, n).adaptivePorts;
+      for (int x : {2, 4}) {
+        const auto capped = routes.cappedAdaptivePorts(sw, n, x);
+        EXPECT_LE(static_cast<int>(capped.size()), x - 1);
+        EXPECT_EQ(capped.size(),
+                  std::min<std::size_t>(full.size(),
+                                        static_cast<std::size_t>(x - 1)));
+        for (PortIndex p : capped) {
+          EXPECT_NE(std::find(full.begin(), full.end(), p), full.end());
+        }
+        // No duplicates within the cap.
+        std::set<PortIndex> uniq(capped.begin(), capped.end());
+        EXPECT_EQ(uniq.size(), capped.size());
+      }
+    }
+  }
+}
+
+TEST_F(RouteSetFixture, CapOfOneLeavesOnlyEscape) {
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    EXPECT_TRUE(routes.cappedAdaptivePorts(sw, 0, 1).empty());
+  }
+}
+
+TEST_F(RouteSetFixture, RotationSpreadsPortChoice) {
+  // Across many (sw, dest) pairs with >= 2 minimal ports and a cap of 2,
+  // the rotation must not always pick the same index.
+  int firstIdx = 0, otherIdx = 0;
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+      if (topo.switchOfNode(n) == sw) continue;
+      const auto& full = routes.options(sw, n).adaptivePorts;
+      if (full.size() < 2) continue;
+      const auto capped = routes.cappedAdaptivePorts(sw, n, 2);
+      ASSERT_EQ(capped.size(), 1u);
+      if (capped[0] == full[0]) {
+        ++firstIdx;
+      } else {
+        ++otherIdx;
+      }
+    }
+  }
+  EXPECT_GT(firstIdx, 0);
+  EXPECT_GT(otherIdx, 0);  // rotation actually rotates
+}
+
+}  // namespace
+}  // namespace ibadapt

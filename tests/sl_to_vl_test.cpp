@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "core/sl_to_vl.hpp"
+
+namespace ibadapt {
+namespace {
+
+TEST(SlToVl, DefaultIsIdentityModulo) {
+  const SlToVlTable t(4, 2);
+  for (PortIndex in = 0; in < 4; ++in) {
+    for (PortIndex out = 0; out < 4; ++out) {
+      for (int sl = 0; sl < kMaxServiceLevels; ++sl) {
+        EXPECT_EQ(t.vl(in, out, sl), sl % 2);
+      }
+    }
+  }
+}
+
+TEST(SlToVl, SetOverridesSingleTriple) {
+  SlToVlTable t(4, 4);
+  t.set(1, 2, 5, 3);
+  EXPECT_EQ(t.vl(1, 2, 5), 3);
+  EXPECT_EQ(t.vl(1, 2, 4), 0);  // neighbors untouched
+  EXPECT_EQ(t.vl(2, 1, 5), 1);
+}
+
+TEST(SlToVl, DependsOnAllThreeInputs) {
+  SlToVlTable t(3, 4);
+  t.set(0, 1, 0, 1);
+  t.set(0, 2, 0, 2);
+  t.set(1, 2, 0, 3);
+  EXPECT_EQ(t.vl(0, 1, 0), 1);
+  EXPECT_EQ(t.vl(0, 2, 0), 2);
+  EXPECT_EQ(t.vl(1, 2, 0), 3);
+}
+
+TEST(SlToVl, Validation) {
+  EXPECT_THROW(SlToVlTable(0, 1), std::invalid_argument);
+  EXPECT_THROW(SlToVlTable(4, 0), std::invalid_argument);
+  EXPECT_THROW(SlToVlTable(4, 17), std::invalid_argument);
+  SlToVlTable t(4, 2);
+  EXPECT_THROW(t.set(0, 0, 0, 5), std::invalid_argument);
+  EXPECT_THROW(t.vl(4, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.vl(0, 0, 16), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ibadapt

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/collector.hpp"
+#include "stats/in_order.hpp"
+#include "stats/latency.hpp"
+
+namespace ibadapt {
+namespace {
+
+TEST(LatencyAccumulator, BasicMoments) {
+  LatencyAccumulator acc;
+  for (SimTime v : {100, 200, 300, 400, 500}) acc.add(v);
+  EXPECT_EQ(acc.count(), 5u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 300.0);
+  EXPECT_EQ(acc.min(), 100);
+  EXPECT_EQ(acc.max(), 500);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(25000.0), 1e-9);
+}
+
+TEST(LatencyAccumulator, EmptyIsZero) {
+  const LatencyAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.quantile(0.5), 0.0);
+}
+
+TEST(LatencyAccumulator, QuantilesApproximate) {
+  LatencyAccumulator acc;
+  for (int i = 1; i <= 10000; ++i) acc.add(i);
+  EXPECT_NEAR(acc.quantile(0.5), 5000.0, 5000.0 * 0.08);
+  EXPECT_NEAR(acc.quantile(0.95), 9500.0, 9500.0 * 0.08);
+  EXPECT_NEAR(acc.quantile(0.99), 9900.0, 9900.0 * 0.08);
+}
+
+TEST(LatencyAccumulator, ResetClearsEverything) {
+  LatencyAccumulator acc;
+  acc.add(100);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+TEST(LatencyAccumulator, WideDynamicRange) {
+  LatencyAccumulator acc;
+  acc.add(1);
+  acc.add(1'000'000'000);
+  EXPECT_EQ(acc.min(), 1);
+  EXPECT_EQ(acc.max(), 1'000'000'000);
+  EXPECT_GT(acc.quantile(0.99), 1e8);
+}
+
+TEST(InOrderChecker, DetectsReordering) {
+  InOrderChecker chk(4);
+  EXPECT_TRUE(chk.record(0, 1, 1));
+  EXPECT_TRUE(chk.record(0, 1, 2));
+  EXPECT_FALSE(chk.record(0, 1, 2));  // duplicate
+  EXPECT_FALSE(chk.record(0, 1, 1));  // regression
+  EXPECT_EQ(chk.violations(), 2u);
+}
+
+TEST(InOrderChecker, PairsIndependent) {
+  InOrderChecker chk(4);
+  EXPECT_TRUE(chk.record(0, 1, 5));
+  EXPECT_TRUE(chk.record(1, 0, 1));
+  EXPECT_TRUE(chk.record(0, 2, 1));
+  EXPECT_TRUE(chk.record(0, 1, 6));
+  EXPECT_EQ(chk.violations(), 0u);
+}
+
+Packet mkPacket(NodeId src, NodeId dst, SimTime gen, bool adaptive,
+                std::uint32_t seq = 0) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.genTime = gen;
+  p.adaptive = adaptive;
+  p.detSeq = seq;
+  p.sizeBytes = 32;
+  p.hops = 2;
+  return p;
+}
+
+TEST(StatsCollector, WarmupThenMeasureThenComplete) {
+  // Semantics: the first `warmupPackets` deliveries are skipped; the next
+  // delivery opens the measurement window and is counted.
+  StatsCollector::Config cfg;
+  cfg.warmupPackets = 10;
+  cfg.measurePackets = 20;
+  StatsCollector sc(cfg, 4);
+  SimTime now = 1000;
+  std::uint32_t seq = 0;
+  for (int i = 0; i < 10; ++i) {
+    sc.onDelivered(mkPacket(0, 1, now - 100, false, ++seq), now);
+    now += 10;
+  }
+  EXPECT_FALSE(sc.measuring());
+  EXPECT_EQ(sc.measuredPackets(), 0u);
+  for (int i = 0; i < 20; ++i) {
+    sc.onDelivered(mkPacket(0, 1, now - 250, false, ++seq), now);
+    if (i == 0) {
+      EXPECT_TRUE(sc.measuring());
+      EXPECT_EQ(sc.windowStart(), now);  // opens with the 11th delivery
+    }
+    now += 10;
+  }
+  EXPECT_TRUE(sc.measurementComplete());
+  EXPECT_EQ(sc.measuredPackets(), 20u);
+  EXPECT_DOUBLE_EQ(sc.latency().mean(), 250.0);
+  EXPECT_EQ(sc.measuredBytes(), 20u * 32u);
+  EXPECT_DOUBLE_EQ(sc.measuredHopMean(), 2.0);
+  EXPECT_DOUBLE_EQ(
+      sc.acceptedBytesPerNs(),
+      640.0 / static_cast<double>(sc.windowEnd() - sc.windowStart()));
+}
+
+TEST(StatsCollector, ExtraDeliveriesAfterCompleteIgnored) {
+  StatsCollector::Config cfg;
+  cfg.warmupPackets = 0;
+  cfg.measurePackets = 5;
+  StatsCollector sc(cfg, 4);
+  // Warmup of 0 means measurement starts at the first delivery.
+  SimTime now = 0;
+  for (int i = 0; i < 10; ++i) {
+    now += 10;
+    sc.onDelivered(mkPacket(0, 1, 0, true), now);
+  }
+  EXPECT_LE(sc.measuredPackets(), 6u);
+  EXPECT_TRUE(sc.measurementComplete());
+}
+
+TEST(StatsCollector, PerClassAccumulators) {
+  StatsCollector::Config cfg;
+  cfg.warmupPackets = 0;
+  cfg.measurePackets = 100;
+  StatsCollector sc(cfg, 4);
+  SimTime now = 100;
+  std::uint32_t seq = 0;
+  sc.onDelivered(mkPacket(0, 1, 0, true), now);        // latency 100
+  sc.onDelivered(mkPacket(0, 1, 0, false, ++seq), 200);  // latency 200
+  EXPECT_DOUBLE_EQ(sc.latencyAdaptive().mean(), 100.0);
+  EXPECT_DOUBLE_EQ(sc.latencyDeterministic().mean(), 200.0);
+}
+
+TEST(StatsCollector, TracksInOrderViolations) {
+  StatsCollector::Config cfg;
+  StatsCollector sc(cfg, 4);
+  sc.onDelivered(mkPacket(0, 1, 0, false, 2), 10);
+  sc.onDelivered(mkPacket(0, 1, 0, false, 1), 20);  // reordered
+  EXPECT_EQ(sc.inOrder().violations(), 1u);
+}
+
+}  // namespace
+}  // namespace ibadapt

@@ -1,0 +1,156 @@
+//
+// Subnet manager: discovery sweep consistency, and cross-checking every
+// programmed forwarding-table entry against the routing oracle.
+//
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "routing/minimal.hpp"
+#include "routing/route_set.hpp"
+#include "routing/updown.hpp"
+#include "subnet/subnet_manager.hpp"
+#include "topology/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ibadapt {
+namespace {
+
+Topology irregular(int switches, int links, std::uint64_t seed) {
+  Rng rng(seed);
+  IrregularSpec spec;
+  spec.numSwitches = switches;
+  spec.linksPerSwitch = links;
+  spec.nodesPerSwitch = 4;
+  return makeIrregular(spec, rng);
+}
+
+TEST(SubnetManager, DiscoveryMatchesTopology) {
+  const Topology topo = irregular(16, 4, 41);
+  FabricParams fp;
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  const DiscoveredSubnet d = sm.discover();
+  EXPECT_TRUE(d.consistent);
+  EXPECT_EQ(d.numSwitches, 16);
+  EXPECT_EQ(d.numNodes, 64);
+  EXPECT_EQ(static_cast<int>(d.links.size()), topo.numLinks());
+  for (NodeId n = 0; n < topo.numNodes(); ++n) {
+    EXPECT_EQ(d.nodeAttach[static_cast<std::size_t>(n)].first,
+              topo.switchOfNode(n));
+    EXPECT_EQ(d.nodeAttach[static_cast<std::size_t>(n)].second,
+              topo.portOfNode(n));
+  }
+}
+
+TEST(SubnetManager, ReportContents) {
+  const Topology topo = irregular(8, 4, 42);
+  FabricParams fp;  // numOptions=2, lmc=1
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  const auto report = sm.configure();
+  EXPECT_TRUE(report.discoveryConsistent);
+  EXPECT_EQ(report.switchesProgrammed, 8);
+  EXPECT_EQ(report.lidsPerNode, 2);
+  // 8 switches x 32 nodes x 2 addresses.
+  EXPECT_EQ(report.lftEntriesWritten, 8u * 32u * 2u);
+  EXPECT_GE(report.root, 0);
+}
+
+class SubnetProgramTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubnetProgramTest, TablesMatchRoutingOracle) {
+  const int numOptions = GetParam();
+  const Topology topo = irregular(16, 6, 43);
+  FabricParams fp;
+  fp.numOptions = numOptions;
+  fp.lmc = 3;  // 8 addresses per node, enough for every option count
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  SubnetParams sp;
+  sm.configure(sp);
+
+  const UpDownRouting updown(topo, sp.rootSelection);
+  const MinimalAdaptiveRouting minimal(topo);
+  const RouteSet routes(topo, updown, minimal);
+  const LidMapper& lids = fabric.lids();
+
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+      const Lid base = lids.baseLid(n);
+      const auto& spec = routes.options(sw, n);
+      // Address d: escape hop.
+      EXPECT_EQ(fabric.lftEntry(sw, base), spec.escapePort);
+      // Addresses d+1..d+x-1: minimal adaptive ports.
+      for (int k = 1; k < numOptions; ++k) {
+        const PortIndex p = fabric.lftEntry(sw, base + static_cast<Lid>(k));
+        ASSERT_NE(p, kInvalidPort);
+        if (topo.switchOfNode(n) == sw || spec.adaptivePorts.empty()) {
+          EXPECT_EQ(p, spec.escapePort);
+        } else {
+          EXPECT_NE(std::find(spec.adaptivePorts.begin(),
+                              spec.adaptivePorts.end(), p),
+                    spec.adaptivePorts.end())
+              << "programmed adaptive entry is not a minimal port";
+        }
+      }
+      // Spare addresses (x .. 2^lmc-1): escape fallback.
+      for (int k = numOptions; k < lids.lidsPerNode(); ++k) {
+        EXPECT_EQ(fabric.lftEntry(sw, base + static_cast<Lid>(k)),
+                  spec.escapePort);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Options, SubnetProgramTest, ::testing::Values(1, 2, 4));
+
+TEST(SubnetManager, DeterministicSwitchesGetEscapeEverywhere) {
+  const Topology topo = irregular(8, 4, 44);
+  FabricParams fp;
+  fp.numOptions = 2;
+  fp.adaptiveSwitches = false;
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  sm.configure();
+  const LidMapper& lids = fabric.lids();
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+      const Lid base = lids.baseLid(n);
+      EXPECT_EQ(fabric.lftEntry(sw, base),
+                fabric.lftEntry(sw, base + 1))
+          << "deterministic switch must store one port at all addresses";
+    }
+  }
+}
+
+TEST(SubnetManager, LookupSeesProgrammedOptions) {
+  // End-to-end through the interleaved table: a lookup at a switch away
+  // from the destination returns the up*/down* escape and minimal options.
+  const Topology topo = irregular(8, 4, 45);
+  FabricParams fp;
+  fp.numOptions = 2;
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  const UpDownRouting updown(topo);
+  const MinimalAdaptiveRouting minimal(topo);
+  const LidMapper& lids = fabric.lids();
+  int remoteChecked = 0;
+  for (SwitchId sw = 0; sw < topo.numSwitches() && remoteChecked < 20; ++sw) {
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+      if (topo.switchOfNode(n) == sw) continue;
+      const PortIndex esc = fabric.lftEntry(sw, lids.deterministicLid(n));
+      EXPECT_EQ(esc, updown.nextHopPort(sw, topo.switchOfNode(n)));
+      const PortIndex adapt = fabric.lftEntry(sw, lids.adaptiveLid(n));
+      const auto& mins = minimal.minimalPorts(sw, topo.switchOfNode(n));
+      EXPECT_NE(std::find(mins.begin(), mins.end(), adapt), mins.end());
+      ++remoteChecked;
+    }
+  }
+  EXPECT_GT(remoteChecked, 0);
+}
+
+}  // namespace
+}  // namespace ibadapt

@@ -1,0 +1,92 @@
+#pragma once
+//
+// Shared fixtures for the test suite: scripted traffic sources and
+// recording observers so fabric behaviour can be asserted packet by packet.
+//
+#include <map>
+#include <vector>
+
+#include "fabric/interfaces.hpp"
+#include "topology/topology.hpp"
+
+namespace ibadapt::testing {
+
+/// Injects an explicit script of packets: each node gets an ordered list of
+/// (generation time, spec). Useful for exact-timing and ordering tests.
+class ScriptedTraffic final : public ITrafficSource {
+ public:
+  struct Item {
+    SimTime at = 0;
+    Spec spec;
+  };
+
+  void add(NodeId src, SimTime at, NodeId dst, int bytes, bool adaptive,
+           std::uint8_t sl = 0, int pathOffset = -1) {
+    script_[src].push_back(Item{at, Spec{dst, bytes, adaptive, sl, pathOffset}});
+  }
+
+  Spec makePacket(NodeId src, Rng& rng) override {
+    (void)rng;
+    auto& items = script_[src];
+    const Spec s = items[cursor_[src]].spec;
+    ++cursor_[src];
+    return s;
+  }
+
+  SimTime firstGenTime(NodeId node, Rng& rng) override {
+    (void)rng;
+    auto it = script_.find(node);
+    if (it == script_.end() || it->second.empty()) return kTimeNever;
+    return it->second.front().at;
+  }
+
+  SimTime nextGenTime(NodeId node, SimTime now, Rng& rng) override {
+    (void)now;
+    (void)rng;
+    const auto& items = script_[node];
+    const std::size_t next = cursor_[node];
+    if (next >= items.size()) return kTimeNever;
+    return items[next].at;
+  }
+
+  bool saturationMode() const override { return false; }
+
+ private:
+  std::map<NodeId, std::vector<Item>> script_;
+  std::map<NodeId, std::size_t> cursor_;
+};
+
+/// Records every delivery (packet copy + time) for later assertions.
+class RecordingObserver final : public IDeliveryObserver {
+ public:
+  struct Delivery {
+    Packet pkt;
+    SimTime at = 0;
+  };
+
+  void onGenerated(const Packet&, SimTime) override {}
+  void onInjected(const Packet&, SimTime) override {}
+  void onDelivered(const Packet& pkt, SimTime now) override {
+    deliveries.push_back(Delivery{pkt, now});
+  }
+
+  std::vector<Delivery> deliveries;
+};
+
+/// Two switches, one link, `nodesPerSwitch` CAs each — the smallest fabric
+/// with an inter-switch hop.
+inline Topology twoSwitchTopology(int nodesPerSwitch = 4) {
+  Topology topo(2, nodesPerSwitch + 1, nodesPerSwitch);
+  topo.addLink(0, 1);
+  return topo;
+}
+
+/// Three switches in a line: 0 - 1 - 2.
+inline Topology lineTopology(int nodesPerSwitch = 4) {
+  Topology topo(3, nodesPerSwitch + 2, nodesPerSwitch);
+  topo.addLink(0, 1);
+  topo.addLink(1, 2);
+  return topo;
+}
+
+}  // namespace ibadapt::testing

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/generators.hpp"
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace ibadapt {
+namespace {
+
+TEST(Topology, NodeAttachmentConvention) {
+  Topology topo(4, 8, 4);
+  EXPECT_EQ(topo.numNodes(), 16);
+  for (NodeId n = 0; n < topo.numNodes(); ++n) {
+    const SwitchId sw = topo.switchOfNode(n);
+    const PortIndex p = topo.portOfNode(n);
+    EXPECT_EQ(topo.nodeAt(sw, p), n);
+    const Peer& peer = topo.peer(sw, p);
+    EXPECT_EQ(peer.kind, PeerKind::kNode);
+    EXPECT_EQ(peer.id, n);
+  }
+}
+
+TEST(Topology, AddLinkWiresBothDirections) {
+  Topology topo(2, 6, 4);
+  ASSERT_TRUE(topo.addLink(0, 1));
+  const Peer& p0 = topo.peer(0, 4);
+  const Peer& p1 = topo.peer(1, 4);
+  EXPECT_EQ(p0.kind, PeerKind::kSwitch);
+  EXPECT_EQ(p0.id, 1);
+  EXPECT_EQ(p0.port, 4);
+  EXPECT_EQ(p1.id, 0);
+  EXPECT_EQ(p1.port, 4);
+  EXPECT_EQ(topo.numLinks(), 1);
+}
+
+TEST(Topology, AddLinkRejectsDuplicates) {
+  Topology topo(2, 8, 4);
+  EXPECT_TRUE(topo.addLink(0, 1));
+  EXPECT_FALSE(topo.addLink(0, 1));  // single link per switch pair
+  EXPECT_FALSE(topo.addLink(1, 0));
+  EXPECT_EQ(topo.numLinks(), 1);
+}
+
+TEST(Topology, AddLinkRejectsSelfLoop) {
+  Topology topo(2, 8, 4);
+  EXPECT_THROW(topo.addLink(0, 0), std::invalid_argument);
+}
+
+TEST(Topology, AddLinkFailsWhenPortsExhausted) {
+  Topology topo(3, 5, 4);  // exactly one inter-switch port per switch
+  EXPECT_TRUE(topo.addLink(0, 1));
+  EXPECT_FALSE(topo.addLink(0, 2));  // switch 0 has no free port left
+}
+
+TEST(Topology, InvalidDimensionsThrow) {
+  EXPECT_THROW(Topology(0, 8, 4), std::invalid_argument);
+  EXPECT_THROW(Topology(4, 2, 4), std::invalid_argument);  // nodes > ports
+}
+
+TEST(Topology, BfsDistancesOnLine) {
+  Topology topo(3, 6, 4);
+  topo.addLink(0, 1);
+  topo.addLink(1, 2);
+  const auto d = topo.bfsDistances(0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(topo.connectedSwitchGraph());
+}
+
+TEST(Topology, DisconnectedDetected) {
+  Topology topo(4, 6, 4);
+  topo.addLink(0, 1);
+  topo.addLink(2, 3);
+  EXPECT_FALSE(topo.connectedSwitchGraph());
+  EXPECT_EQ(topo.bfsDistances(0)[2], -1);
+}
+
+TEST(Topology, AllPairsSymmetric) {
+  Topology topo(4, 7, 4);
+  topo.addLink(0, 1);
+  topo.addLink(1, 2);
+  topo.addLink(2, 3);
+  topo.addLink(3, 0);
+  const auto dist = allPairsDistances(topo);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(dist[a][b], dist[b][a]);
+    }
+  }
+  EXPECT_EQ(dist[0][2], 2);
+  EXPECT_EQ(dist[0][3], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Regular generators: analytically known structure.
+// ---------------------------------------------------------------------------
+
+TEST(Generators, RingStructure) {
+  const Topology topo = makeRing(6, 4);
+  EXPECT_EQ(topo.numSwitches(), 6);
+  EXPECT_EQ(topo.numLinks(), 6);
+  for (SwitchId sw = 0; sw < 6; ++sw) {
+    EXPECT_EQ(topo.interSwitchDegree(sw), 2);
+  }
+  EXPECT_EQ(topo.bfsDistances(0)[3], 3);  // opposite side of the ring
+}
+
+TEST(Generators, Mesh2DStructure) {
+  const Topology topo = makeMesh2D(3, 3, 2);
+  EXPECT_EQ(topo.numSwitches(), 9);
+  EXPECT_EQ(topo.numLinks(), 12);  // 2*w*h - w - h
+  EXPECT_EQ(topo.interSwitchDegree(4), 4);  // center
+  EXPECT_EQ(topo.interSwitchDegree(0), 2);  // corner
+  EXPECT_EQ(topo.bfsDistances(0)[8], 4);    // manhattan distance
+}
+
+TEST(Generators, Torus2DStructure) {
+  const Topology topo = makeTorus2D(4, 4, 2);
+  EXPECT_EQ(topo.numSwitches(), 16);
+  EXPECT_EQ(topo.numLinks(), 32);  // 2*w*h
+  for (SwitchId sw = 0; sw < 16; ++sw) {
+    EXPECT_EQ(topo.interSwitchDegree(sw), 4);
+  }
+  EXPECT_EQ(topo.bfsDistances(0)[2], 2);   // wrap makes max x-dist 2
+  EXPECT_EQ(topo.bfsDistances(0)[10], 4);  // (2,2): 2+2
+}
+
+TEST(Generators, TorusRejectsTinyDimensions) {
+  EXPECT_THROW(makeTorus2D(2, 4, 2), std::invalid_argument);
+}
+
+TEST(Generators, HypercubeStructure) {
+  const Topology topo = makeHypercube(4, 1);
+  EXPECT_EQ(topo.numSwitches(), 16);
+  EXPECT_EQ(topo.numLinks(), 32);  // n * dim / 2
+  const auto d = topo.bfsDistances(0);
+  for (SwitchId sw = 0; sw < 16; ++sw) {
+    EXPECT_EQ(d[sw], __builtin_popcount(static_cast<unsigned>(sw)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Irregular generator: the paper's construction rules, across sizes/seeds.
+// ---------------------------------------------------------------------------
+
+struct IrregularCase {
+  int switches;
+  int links;
+  std::uint64_t seed;
+};
+
+class IrregularGenTest : public ::testing::TestWithParam<IrregularCase> {};
+
+TEST_P(IrregularGenTest, SatisfiesPaperConstraints) {
+  const auto c = GetParam();
+  Rng rng(c.seed);
+  IrregularSpec spec;
+  spec.numSwitches = c.switches;
+  spec.linksPerSwitch = c.links;
+  spec.nodesPerSwitch = 4;
+  const Topology topo = makeIrregular(spec, rng);
+
+  EXPECT_EQ(topo.numSwitches(), c.switches);
+  EXPECT_EQ(topo.numNodes(), c.switches * 4);
+  EXPECT_EQ(topo.numLinks(), c.switches * c.links / 2);
+  EXPECT_TRUE(topo.connectedSwitchGraph());
+  for (SwitchId sw = 0; sw < c.switches; ++sw) {
+    EXPECT_EQ(topo.interSwitchDegree(sw), c.links);
+    // No duplicate neighbors (single link per switch pair).
+    std::set<SwitchId> nbs;
+    for (const auto& [nb, port] : topo.switchNeighbors(sw)) {
+      (void)port;
+      EXPECT_NE(nb, sw);
+      EXPECT_TRUE(nbs.insert(nb).second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, IrregularGenTest,
+    ::testing::Values(IrregularCase{8, 4, 1}, IrregularCase{8, 4, 2},
+                      IrregularCase{8, 6, 3}, IrregularCase{16, 4, 4},
+                      IrregularCase{16, 6, 5}, IrregularCase{32, 4, 6},
+                      IrregularCase{32, 6, 7}, IrregularCase{64, 4, 8},
+                      IrregularCase{64, 6, 9}, IrregularCase{24, 4, 10}));
+
+TEST(IrregularGen, DeterministicInSeed) {
+  IrregularSpec spec;
+  spec.numSwitches = 16;
+  spec.linksPerSwitch = 4;
+  Rng r1(99), r2(99);
+  const Topology a = makeIrregular(spec, r1);
+  const Topology b = makeIrregular(spec, r2);
+  EXPECT_EQ(a.describe(), b.describe());
+}
+
+TEST(IrregularGen, DifferentSeedsUsuallyDiffer) {
+  IrregularSpec spec;
+  spec.numSwitches = 16;
+  spec.linksPerSwitch = 4;
+  Rng r1(1), r2(2);
+  EXPECT_NE(makeIrregular(spec, r1).describe(),
+            makeIrregular(spec, r2).describe());
+}
+
+TEST(IrregularGen, RejectsInfeasibleParameters) {
+  Rng rng(1);
+  IrregularSpec odd;
+  odd.numSwitches = 5;
+  odd.linksPerSwitch = 3;  // odd stub count
+  EXPECT_THROW(makeIrregular(odd, rng), std::invalid_argument);
+
+  IrregularSpec tooDense;
+  tooDense.numSwitches = 4;
+  tooDense.linksPerSwitch = 4;  // > numSwitches - 1
+  EXPECT_THROW(makeIrregular(tooDense, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ibadapt

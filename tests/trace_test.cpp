@@ -1,0 +1,196 @@
+//
+// Trace capture / replay: file-format round trips, replay fidelity, and
+// cross-configuration comparison on identical offered traffic.
+//
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fabric/fabric.hpp"
+#include "stats/collector.hpp"
+#include "subnet/subnet_manager.hpp"
+#include "test_helpers.hpp"
+#include "topology/generators.hpp"
+#include "traffic/synthetic.hpp"
+#include "traffic/trace.hpp"
+#include "util/rng.hpp"
+
+namespace ibadapt {
+namespace {
+
+TEST(TraceFormat, RoundTripsThroughText) {
+  std::vector<TraceRecord> records{
+      {0, 0, 5, 32, true, 0},
+      {100, 3, 1, 256, false, 2},
+      {250, 0, 2, 64, true, 1},
+  };
+  std::stringstream ss;
+  writeTrace(ss, records);
+  const auto back = readTrace(ss);
+  EXPECT_EQ(back, records);
+}
+
+TEST(TraceFormat, SkipsCommentsAndBlanks) {
+  std::stringstream ss("# header\n\n10 0 1 32 1 0\n   \n20 1 0 32 0 0 # tail\n");
+  const auto records = readTrace(ss);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].genTime, 10);
+  EXPECT_EQ(records[1].genTime, 20);
+  EXPECT_FALSE(records[1].adaptive);
+}
+
+TEST(TraceFormat, RejectsMalformedLines) {
+  std::stringstream truncated("10 0 1 32\n");
+  EXPECT_THROW(readTrace(truncated), std::runtime_error);
+  std::stringstream badSize("10 0 1 0 1 0\n");
+  EXPECT_THROW(readTrace(badSize), std::runtime_error);
+  std::stringstream badSl("10 0 1 32 1 99\n");
+  EXPECT_THROW(readTrace(badSl), std::runtime_error);
+}
+
+Topology smallTopo() {
+  Rng rng(81);
+  IrregularSpec spec;
+  spec.numSwitches = 8;
+  spec.linksPerSwitch = 4;
+  return makeIrregular(spec, rng);
+}
+
+/// Captures a synthetic run and returns the trace + delivered count.
+std::vector<TraceRecord> captureRun(const Topology& topo,
+                                    std::uint64_t* delivered = nullptr) {
+  FabricParams fp;
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  sm.configure();
+  TrafficSpec ts;
+  ts.numNodes = topo.numNodes();
+  ts.loadBytesPerNsPerNode = 0.03;
+  ts.adaptiveFraction = 0.5;
+  SyntheticTraffic traffic(ts, 9);
+  TraceCapture capture;
+  fabric.attachTraffic(&traffic, 9);
+  fabric.attachObserver(&capture);
+  fabric.start();
+  RunLimits limits;
+  limits.endTime = 400'000;
+  fabric.run(limits);
+  if (delivered != nullptr) *delivered = fabric.counters().delivered;
+  return capture.records();
+}
+
+TEST(TraceReplay, ReproducesTheCapturedRunExactly) {
+  const Topology topo = smallTopo();
+  std::uint64_t deliveredOriginal = 0;
+  const auto trace = captureRun(topo, &deliveredOriginal);
+  ASSERT_GT(trace.size(), 100u);
+
+  // Replay on an identical fabric: same generation times, same deliveries.
+  FabricParams fp;
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  sm.configure();
+  TraceTraffic replay(trace);
+  TraceCapture recapture;
+  fabric.attachTraffic(&replay, /*seed irrelevant*/ 1);
+  fabric.attachObserver(&recapture);
+  fabric.start();
+  RunLimits limits;
+  limits.endTime = 400'000;
+  fabric.run(limits);
+  EXPECT_EQ(recapture.records(), trace);
+  EXPECT_EQ(fabric.counters().delivered, deliveredOriginal);
+}
+
+TEST(TraceReplay, SameTraceDifferentRoutingConfigs) {
+  // The point of traces: compare configurations on identical offered
+  // traffic. Adaptive switches must deliver the same packets (counted by
+  // trace length) as deterministic ones, with both runs completing.
+  const Topology topo = smallTopo();
+  const auto trace = captureRun(topo);
+
+  auto runWith = [&](bool adaptiveSwitches) {
+    FabricParams fp;
+    fp.adaptiveSwitches = adaptiveSwitches;
+    Fabric fabric(topo, fp);
+    SubnetManager sm(fabric);
+    sm.configure();
+    TraceTraffic replay(trace);
+    fabric.attachTraffic(&replay, 1);
+    fabric.start();
+    RunLimits limits;
+    limits.endTime = 100'000'000;
+    fabric.run(limits);
+    EXPECT_FALSE(fabric.deadlockSuspected());
+    return fabric.counters().delivered;
+  };
+  const auto withAdaptive = runWith(true);
+  const auto withoutAdaptive = runWith(false);
+  EXPECT_EQ(withAdaptive, trace.size());
+  EXPECT_EQ(withoutAdaptive, trace.size());
+}
+
+TEST(TraceReplay, PerNodeOrderPreserved) {
+  std::vector<TraceRecord> records{
+      {300, 0, 1, 32, false, 0},
+      {100, 0, 2, 32, false, 0},  // out of order in the file
+      {200, 0, 3, 32, false, 0},
+  };
+  TraceTraffic replay(records);
+  Rng rng(1);
+  EXPECT_EQ(replay.firstGenTime(0, rng), 100);
+  EXPECT_EQ(replay.makePacket(0, rng).dst, 2);
+  EXPECT_EQ(replay.nextGenTime(0, 100, rng), 200);
+  EXPECT_EQ(replay.makePacket(0, rng).dst, 3);
+  EXPECT_EQ(replay.makePacket(0, rng).dst, 1);
+  EXPECT_EQ(replay.nextGenTime(0, 300, rng), kTimeNever);
+  EXPECT_EQ(replay.firstGenTime(7, rng), kTimeNever);  // silent node
+}
+
+TEST(ObserverFanout, BroadcastsToAll) {
+  testing::RecordingObserver a;
+  testing::RecordingObserver b;
+  ObserverFanout fan;
+  fan.add(&a);
+  fan.add(&b);
+  Packet pkt;
+  pkt.src = 1;
+  pkt.dst = 2;
+  pkt.sizeBytes = 32;
+  fan.onDelivered(pkt, 123);
+  EXPECT_EQ(a.deliveries.size(), 1u);
+  EXPECT_EQ(b.deliveries.size(), 1u);
+  EXPECT_EQ(a.deliveries[0].at, 123);
+}
+
+TEST(TraceWithStats, FanoutCombinesCaptureAndMeasurement) {
+  const Topology topo = smallTopo();
+  FabricParams fp;
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  sm.configure();
+  TrafficSpec ts;
+  ts.numNodes = topo.numNodes();
+  ts.loadBytesPerNsPerNode = 0.03;
+  SyntheticTraffic traffic(ts, 5);
+  TraceCapture capture;
+  StatsCollector::Config sc;
+  sc.warmupPackets = 100;
+  sc.measurePackets = 500;
+  StatsCollector stats(sc, topo.numNodes());
+  stats.bindFabric(&fabric);
+  ObserverFanout fan;
+  fan.add(&capture);
+  fan.add(&stats);
+  fabric.attachTraffic(&traffic, 5);
+  fabric.attachObserver(&fan);
+  fabric.start();
+  RunLimits limits;
+  limits.endTime = 100'000'000;
+  fabric.run(limits);
+  EXPECT_TRUE(stats.measurementComplete());
+  EXPECT_GE(capture.records().size(), 600u);
+}
+
+}  // namespace
+}  // namespace ibadapt

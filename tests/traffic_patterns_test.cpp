@@ -1,0 +1,199 @@
+//
+// Extended traffic patterns (transpose / shuffle / locality) and the
+// compound-Poisson burst model.
+//
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "api/simulation.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace ibadapt {
+namespace {
+
+TEST(BitTranspose, SwapsHalves) {
+  EXPECT_EQ(bitTranspose(0b001011, 6), 0b011001);
+  EXPECT_EQ(bitTranspose(0b111000, 6), 0b000111);
+  EXPECT_EQ(bitTranspose(0, 6), 0);
+  for (NodeId v = 0; v < 64; ++v) {
+    EXPECT_EQ(bitTranspose(bitTranspose(v, 6), 6), v);  // involution
+  }
+}
+
+TEST(BitShuffle, RotatesLeft) {
+  EXPECT_EQ(bitShuffle(0b00001, 5), 0b00010);
+  EXPECT_EQ(bitShuffle(0b10000, 5), 0b00001);
+  EXPECT_EQ(bitShuffle(0b10110, 5), 0b01101);
+  // Applying `bits` times returns to the start.
+  NodeId v = 0b01101;
+  for (int i = 0; i < 5; ++i) v = bitShuffle(v, 5);
+  EXPECT_EQ(v, 0b01101);
+}
+
+TrafficSpec baseSpec(TrafficPattern p, int nodes = 64) {
+  TrafficSpec s;
+  s.pattern = p;
+  s.numNodes = nodes;
+  s.packetBytes = 32;
+  s.loadBytesPerNsPerNode = 0.05;
+  return s;
+}
+
+TEST(PatternTranspose, FixedMappingAndNoSelfSend) {
+  SyntheticTraffic t(baseSpec(TrafficPattern::kTranspose), 1);
+  Rng rng(2);
+  for (NodeId src = 0; src < 64; ++src) {
+    const NodeId dst = t.makePacket(src, rng).dst;
+    EXPECT_NE(dst, src);
+    const NodeId expected = bitTranspose(src, 6);
+    if (expected != src) {
+      EXPECT_EQ(dst, expected);
+    }
+  }
+}
+
+TEST(PatternTranspose, RequiresEvenBits) {
+  EXPECT_THROW(SyntheticTraffic(baseSpec(TrafficPattern::kTranspose, 32), 1),
+               std::invalid_argument);
+}
+
+TEST(PatternShuffle, FixedMappingAndNoSelfSend) {
+  SyntheticTraffic t(baseSpec(TrafficPattern::kShuffle, 32), 1);
+  Rng rng(2);
+  for (NodeId src = 0; src < 32; ++src) {
+    const NodeId dst = t.makePacket(src, rng).dst;
+    EXPECT_NE(dst, src);
+  }
+  EXPECT_EQ(t.makePacket(1, rng).dst, 2);
+  EXPECT_EQ(t.makePacket(16, rng).dst, 1);
+}
+
+TEST(PatternLocality, StaysInWindow) {
+  auto spec = baseSpec(TrafficPattern::kLocality);
+  spec.localityWindow = 4;
+  SyntheticTraffic t(spec, 1);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const NodeId src = static_cast<NodeId>(i % 64);
+    const NodeId dst = t.makePacket(src, rng).dst;
+    EXPECT_NE(dst, src);
+    const int fwd = ((dst - src) % 64 + 64) % 64;
+    const int bwd = ((src - dst) % 64 + 64) % 64;
+    EXPECT_LE(std::min(fwd, bwd), 4);
+  }
+}
+
+TEST(PatternLocality, WindowValidation) {
+  auto spec = baseSpec(TrafficPattern::kLocality);
+  spec.localityWindow = 0;
+  EXPECT_THROW(SyntheticTraffic(spec, 1), std::invalid_argument);
+  spec.localityWindow = 64;
+  EXPECT_THROW(SyntheticTraffic(spec, 1), std::invalid_argument);
+}
+
+TEST(Burstiness, PreservesAverageRate) {
+  auto spec = baseSpec(TrafficPattern::kUniform);
+  spec.loadBytesPerNsPerNode = 0.05;  // mean gap 640 ns
+  spec.burstiness = 0.02;
+  spec.burstGapMeanNs = 10'000.0;
+  SyntheticTraffic t(spec, 1);
+  Rng rng(4);
+  SimTime now = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) now = t.nextGenTime(0, now, rng);
+  EXPECT_NEAR(static_cast<double>(now) / n, 640.0, 25.0);
+}
+
+TEST(Burstiness, IncreasesVariance) {
+  auto mkVariance = [](double burstiness) {
+    auto spec = baseSpec(TrafficPattern::kUniform);
+    spec.burstiness = burstiness;
+    spec.burstGapMeanNs = 5'000.0;
+    SyntheticTraffic t(spec, 1);
+    Rng rng(5);
+    SimTime prev = 0;
+    double mean = 0, m2 = 0;
+    const int n = 100000;
+    for (int i = 1; i <= n; ++i) {
+      const SimTime next = t.nextGenTime(0, prev, rng);
+      const double gap = static_cast<double>(next - prev);
+      const double d = gap - mean;
+      mean += d / i;
+      m2 += d * (gap - mean);
+      prev = next;
+    }
+    return m2 / (n - 1);
+  };
+  EXPECT_GT(mkVariance(0.05), 2.0 * mkVariance(0.0));
+}
+
+TEST(Burstiness, RejectsImpossibleCompensation) {
+  auto spec = baseSpec(TrafficPattern::kUniform);
+  spec.loadBytesPerNsPerNode = 0.05;  // mean gap 640 ns
+  spec.burstiness = 0.5;
+  spec.burstGapMeanNs = 10'000.0;  // 0.5*10000 > 640: cannot compensate
+  EXPECT_THROW(SyntheticTraffic(spec, 1), std::invalid_argument);
+}
+
+TEST(PatternsEndToEnd, AllPatternsSimulateHealthily) {
+  for (TrafficPattern pat :
+       {TrafficPattern::kTranspose, TrafficPattern::kShuffle,
+        TrafficPattern::kLocality}) {
+    SimParams p;
+    p.numSwitches = 16;  // 64 nodes: power of two with even bit count
+    p.pattern = pat;
+    p.warmupPackets = 300;
+    p.measurePackets = 3000;
+    p.loadBytesPerNsPerNode = 0.03;
+    const SimResults r = runSimulation(p);
+    EXPECT_TRUE(r.measurementComplete) << static_cast<int>(pat);
+    EXPECT_FALSE(r.deadlockSuspected) << static_cast<int>(pat);
+    EXPECT_EQ(r.inOrderViolations, 0u) << static_cast<int>(pat);
+  }
+}
+
+TEST(BurstyEndToEnd, HigherLatencyThanSmoothAtSameLoad) {
+  SimParams p;
+  p.numSwitches = 8;
+  p.loadBytesPerNsPerNode = 0.05;
+  p.warmupPackets = 500;
+  p.measurePackets = 8000;
+  SimParams bursty = p;
+  bursty.burstiness = 0.02;
+  bursty.burstGapMeanNs = 10'000.0;
+  const SimResults smooth = runSimulation(p);
+  const SimResults burst = runSimulation(bursty);
+  EXPECT_TRUE(burst.measurementComplete);
+  EXPECT_GT(burst.avgLatencyNs, smooth.avgLatencyNs)
+      << "clumped arrivals should queue more";
+}
+
+TEST(Utilization, ReportedAndBounded) {
+  SimParams p;
+  p.numSwitches = 8;
+  p.loadBytesPerNsPerNode = 0.05;
+  p.warmupPackets = 300;
+  p.measurePackets = 4000;
+  const SimResults r = runSimulation(p);
+  EXPECT_GT(r.meanLinkUtilization, 0.0);
+  EXPECT_GE(r.maxLinkUtilization, r.meanLinkUtilization);
+  EXPECT_LE(r.maxLinkUtilization, 1.0 + 1e-9);
+}
+
+TEST(Utilization, ScalesWithLoad) {
+  SimParams lo;
+  lo.numSwitches = 8;
+  lo.loadBytesPerNsPerNode = 0.02;
+  lo.warmupPackets = 300;
+  lo.measurePackets = 3000;
+  SimParams hi = lo;
+  hi.loadBytesPerNsPerNode = 0.06;
+  const SimResults a = runSimulation(lo);
+  const SimResults b = runSimulation(hi);
+  EXPECT_GT(b.meanLinkUtilization, a.meanLinkUtilization);
+}
+
+}  // namespace
+}  // namespace ibadapt

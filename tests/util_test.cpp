@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace ibadapt {
+namespace {
+
+TEST(Types, CreditsForBytes) {
+  EXPECT_EQ(creditsForBytes(1), 1);
+  EXPECT_EQ(creditsForBytes(32), 1);
+  EXPECT_EQ(creditsForBytes(64), 1);
+  EXPECT_EQ(creditsForBytes(65), 2);
+  EXPECT_EQ(creditsForBytes(256), 4);
+  EXPECT_EQ(creditsForBytes(4096), 64);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniformInt(0, 1 << 30) == b.uniformInt(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformIndex(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values reachable
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(Rng, BernoulliFraction) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(5);
+  Rng c1(parent.fork());
+  Rng c2(parent.fork());
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.uniformInt(0, 1 << 30) == c2.uniformInt(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(3);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+TEST(Splitmix, KnownNonZeroAndDistinct) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversIndexSpace) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  parallelForIndex(pool, 50, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(Flags, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--mode=paper", "sizes=8,16,32", "verbose"};
+  Flags f(4, const_cast<char**>(argv));
+  EXPECT_EQ(f.str("mode", "quick"), "paper");
+  EXPECT_TRUE(f.boolean("verbose", false));
+  EXPECT_EQ(f.intList("sizes", {}), (std::vector<int>{8, 16, 32}));
+  EXPECT_EQ(f.integer("absent", 5), 5);
+  EXPECT_DOUBLE_EQ(f.real("absent2", 1.5), 1.5);
+}
+
+TEST(Flags, UnknownKeysReported) {
+  const char* argv[] = {"prog", "typo=1", "used=2"};
+  Flags f(3, const_cast<char**>(argv));
+  (void)f.integer("used", 0);
+  const auto unknown = f.unknownKeys();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Flags, BooleanSpellings) {
+  const char* argv[] = {"prog", "a=1", "b=true", "c=yes", "d=0", "e=false"};
+  Flags f(6, const_cast<char**>(argv));
+  EXPECT_TRUE(f.boolean("a", false));
+  EXPECT_TRUE(f.boolean("b", false));
+  EXPECT_TRUE(f.boolean("c", false));
+  EXPECT_FALSE(f.boolean("d", true));
+  EXPECT_FALSE(f.boolean("e", true));
+}
+
+}  // namespace
+}  // namespace ibadapt

@@ -1,0 +1,122 @@
+//
+// Virtual-lane arbitration (simplified IBA VLArbitration): round-robin VL
+// service vs fixed priority, exercised with two service levels mapped to
+// two VLs.
+//
+#include <gtest/gtest.h>
+
+#include "fabric/fabric.hpp"
+#include "subnet/subnet_manager.hpp"
+#include "test_helpers.hpp"
+
+namespace ibadapt {
+namespace {
+
+using testing::RecordingObserver;
+using testing::ScriptedTraffic;
+
+/// VL selection is a per-input-port choice, so the two service levels must
+/// share one input port while the output link is oversubscribed: CA 0 sends
+/// an interleaved SL0/SL1 stream (its packets land in the two VL buffers of
+/// the same switch input port) and CA 1 floods the shared inter-switch link
+/// so a backlog builds in both VL buffers.
+struct TwoVlHarness {
+  explicit TwoVlHarness(VlSelection vlSel) : fabric(makeFabric(vlSel)) {
+    SubnetManager sm(fabric);
+    sm.configure();
+    for (int i = 0; i < 100; ++i) {
+      traffic.add(/*src=*/0, i * 128, /*dst=*/4, 32, false,
+                  /*sl=*/static_cast<std::uint8_t>(i % 2));
+      traffic.add(/*src=*/1, i * 128, /*dst=*/5, 32, false, /*sl=*/0);
+    }
+    fabric.attachTraffic(&traffic, 1);
+    fabric.attachObserver(&observer);
+    fabric.start();
+    RunLimits limits;
+    limits.endTime = 100'000'000;
+    fabric.run(limits);
+  }
+
+  static Fabric makeFabric(VlSelection vlSel) {
+    FabricParams fp;
+    fp.numVls = 2;
+    fp.vlSelection = vlSel;
+    return Fabric(testing::twoSwitchTopology(), fp);
+  }
+
+  /// Last delivery time of CA 0's packets on the given SL.
+  SimTime lastDeliveryOfSl(int sl) const {
+    SimTime last = 0;
+    for (const auto& d : observer.deliveries) {
+      if (d.pkt.src == 0 && d.pkt.sl == sl) last = std::max(last, d.at);
+    }
+    return last;
+  }
+
+  Fabric fabric;
+  ScriptedTraffic traffic;
+  RecordingObserver observer;
+};
+
+TEST(VlArbitration, RoundRobinSharesTheInputPortFairly) {
+  TwoVlHarness h(VlSelection::kRoundRobin);
+  ASSERT_EQ(h.observer.deliveries.size(), 200u);
+  const SimTime sl0 = h.lastDeliveryOfSl(0);
+  const SimTime sl1 = h.lastDeliveryOfSl(1);
+  // Fair interleaving: both classes finish at roughly the same time.
+  EXPECT_LT(std::llabs(sl0 - sl1), 2'000);
+}
+
+TEST(VlArbitration, FixedPriorityFavorsVl0) {
+  TwoVlHarness h(VlSelection::kFixedPriority);
+  ASSERT_EQ(h.observer.deliveries.size(), 200u);
+  const SimTime sl0 = h.lastDeliveryOfSl(0);
+  const SimTime sl1 = h.lastDeliveryOfSl(1);
+  // CA 0's VL0 packets clear out well before its VL1 packets.
+  EXPECT_LT(sl0 + 2'000, sl1);
+}
+
+TEST(VlArbitration, FixedPriorityDoesNotStarveForever) {
+  TwoVlHarness h(VlSelection::kFixedPriority);
+  int sl1Count = 0;
+  for (const auto& d : h.observer.deliveries) {
+    if (d.pkt.sl == 1) ++sl1Count;
+  }
+  EXPECT_EQ(sl1Count, 50);  // eventually everything drains
+}
+
+TEST(VlArbitration, VlsIsolateCreditStalls) {
+  // Stall VL1 by filling the destination CA of its flow... not directly
+  // possible with infinite-sink CAs; instead check independence: a burst on
+  // VL1 does not delay a lone VL0 packet beyond one packet's worth of
+  // crossbar/link occupancy.
+  FabricParams fp;
+  fp.numVls = 2;
+  fp.vlSelection = VlSelection::kRoundRobin;
+  Fabric fabric(testing::twoSwitchTopology(), fp);
+  SubnetManager sm(fabric);
+  sm.configure();
+  ScriptedTraffic traffic;
+  for (int i = 0; i < 50; ++i) {
+    traffic.add(0, i * 128, 4, 32, false, /*sl=*/1);  // VL1 burst, src CA 0
+  }
+  traffic.add(1, 3'000, 5, 32, false, /*sl=*/0);  // lone VL0 packet, CA 1
+  RecordingObserver obs;
+  fabric.attachTraffic(&traffic, 1);
+  fabric.attachObserver(&obs);
+  fabric.start();
+  RunLimits limits;
+  limits.endTime = 100'000'000;
+  fabric.run(limits);
+  SimTime loneAt = 0;
+  for (const auto& d : obs.deliveries) {
+    if (d.pkt.sl == 0) loneAt = d.at;
+  }
+  ASSERT_GT(loneAt, 0);
+  // Unloaded latency would be 3'000 + 628; allow a few packets of skew from
+  // sharing the physical link, but far less than waiting out the burst.
+  EXPECT_LT(loneAt, 3'000 + 628 + 10 * 128);
+}
+
+}  // namespace
+}  // namespace ibadapt

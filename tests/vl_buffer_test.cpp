@@ -1,0 +1,231 @@
+//
+// The paper's core mechanism, part 2: split VL buffer (Fig. 2) and the
+// credit arithmetic of §4.4.
+//
+#include <gtest/gtest.h>
+
+#include "core/credits.hpp"
+#include "core/vl_buffer.hpp"
+
+namespace ibadapt {
+namespace {
+
+BufferedPacket pkt(std::uint32_t id, int credits, bool deterministic = false) {
+  BufferedPacket bp;
+  bp.packet = id;
+  bp.credits = credits;
+  bp.deterministic = deterministic;
+  return bp;
+}
+
+// ---------------------------------------------------------------------------
+// Credit arithmetic (paper formulas)
+// ---------------------------------------------------------------------------
+
+TEST(Credits, PaperFormulas) {
+  // C_max = 8, C0 = 4 (halves). C = available credits.
+  EXPECT_EQ(adaptiveCredits(8, 4), 4);
+  EXPECT_EQ(adaptiveCredits(5, 4), 1);
+  EXPECT_EQ(adaptiveCredits(4, 4), 0);
+  EXPECT_EQ(adaptiveCredits(0, 4), 0);
+  EXPECT_EQ(escapeCredits(8, 4), 4);
+  EXPECT_EQ(escapeCredits(3, 4), 3);
+  EXPECT_EQ(escapeCredits(0, 4), 0);
+}
+
+class CreditPartitionTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CreditPartitionTest, AdaptivePlusEscapeEqualsAvailable) {
+  const auto [cmax, reserve] = GetParam();
+  for (int c = 0; c <= cmax; ++c) {
+    EXPECT_TRUE(creditsPartitionExactly(c, reserve));
+    EXPECT_EQ(adaptiveCredits(c, reserve) + escapeCredits(c, reserve), c);
+    EXPECT_GE(adaptiveCredits(c, reserve), 0);
+    EXPECT_LE(escapeCredits(c, reserve), reserve);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CreditPartitionTest,
+    ::testing::Values(std::pair{8, 4}, std::pair{8, 2}, std::pair{8, 6},
+                      std::pair{16, 8}, std::pair{4, 2}, std::pair{2, 1},
+                      std::pair{8, 0}, std::pair{8, 8}));
+
+// ---------------------------------------------------------------------------
+// VlBuffer structure
+// ---------------------------------------------------------------------------
+
+TEST(VlBuffer, ConstructionValidation) {
+  EXPECT_THROW(VlBuffer(0, 0), std::invalid_argument);
+  EXPECT_THROW(VlBuffer(4, 5), std::invalid_argument);
+  EXPECT_THROW(VlBuffer(4, -1), std::invalid_argument);
+  const VlBuffer b(8, 4);
+  EXPECT_EQ(b.adaptiveRegionCredits(), 4);
+  EXPECT_EQ(b.freeCredits(), 8);
+}
+
+TEST(VlBuffer, PushTracksOccupancy) {
+  VlBuffer b(8, 4);
+  b.push(pkt(1, 4));
+  EXPECT_EQ(b.occupiedCredits(), 4);
+  b.push(pkt(2, 4));
+  EXPECT_EQ(b.occupiedCredits(), 8);
+  EXPECT_EQ(b.freeCredits(), 0);
+  EXPECT_EQ(b.size(), 2);
+}
+
+TEST(VlBuffer, OverflowIsInvariantViolation) {
+  VlBuffer b(8, 4);
+  b.push(pkt(1, 8));
+  EXPECT_THROW(b.push(pkt(2, 1)), std::logic_error);
+}
+
+TEST(VlBuffer, RemoveMiddleCompacts) {
+  VlBuffer b(8, 4);
+  b.push(pkt(1, 2));
+  b.push(pkt(2, 2));
+  b.push(pkt(3, 2));
+  b.remove(1);
+  EXPECT_EQ(b.size(), 2);
+  EXPECT_EQ(b.at(0).packet, 1u);
+  EXPECT_EQ(b.at(1).packet, 3u);
+  EXPECT_EQ(b.occupiedCredits(), 4);
+  EXPECT_THROW(b.remove(5), std::out_of_range);
+}
+
+TEST(VlBuffer, EscapeHeadBoundary) {
+  // Capacity 8, reserve 4 => adaptive region = credits [0,4).
+  VlBuffer b(8, 4);
+  EXPECT_EQ(b.escapeHeadIndex(), -1);  // empty
+  b.push(pkt(1, 4));                   // occupies [0,4): adaptive region
+  EXPECT_EQ(b.escapeHeadIndex(), -1);
+  b.push(pkt(2, 4));  // starts at offset 4: first escape-region packet
+  EXPECT_EQ(b.escapeHeadIndex(), 1);
+}
+
+TEST(VlBuffer, EscapeHeadWithSmallPackets) {
+  VlBuffer b(8, 4);
+  for (std::uint32_t i = 0; i < 8; ++i) b.push(pkt(i, 1));
+  EXPECT_EQ(b.escapeHeadIndex(), 4);  // offsets 0..7; first >= 4 is index 4
+  b.remove(0);                        // everyone advances
+  EXPECT_EQ(b.escapeHeadIndex(), 4);  // the packet now at offset 4
+}
+
+TEST(VlBuffer, EscapeToAdaptiveTransition) {
+  // A packet initially in the escape region becomes the adaptive head once
+  // packets ahead of it leave (paper: escape -> adaptive queue transition).
+  VlBuffer b(8, 4);
+  b.push(pkt(1, 4));
+  b.push(pkt(2, 4));
+  EXPECT_EQ(b.escapeHeadIndex(), 1);
+  b.remove(0);
+  EXPECT_EQ(b.escapeHeadIndex(), -1);  // pkt 2 advanced into adaptive region
+  EXPECT_EQ(b.at(0).packet, 2u);
+}
+
+TEST(VlBuffer, ZeroReserveMeansNoEscapeQueue) {
+  VlBuffer b(8, 0);
+  b.push(pkt(1, 2));
+  b.push(pkt(2, 2));
+  // Region boundary at 8: nothing ever starts at or beyond it... except the
+  // boundary equals capacity, so escapeHeadIndex stays -1.
+  EXPECT_EQ(b.escapeHeadIndex(), -1);
+}
+
+TEST(VlBuffer, FullReserveMakesFrontTheOnlyHead) {
+  VlBuffer b(8, 8);  // adaptive region empty
+  b.push(pkt(1, 2));
+  b.push(pkt(2, 2));
+  // First packet starts at offset 0 >= boundary 0 => escape head is index 0,
+  // which coincides with the adaptive head; only one candidate results.
+  const auto c = b.candidateHeads(EscapeOrderRule::kPaperStrict);
+  EXPECT_EQ(c.count, 1);
+  EXPECT_EQ(c.index[0], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Candidate heads & ordering rules (paper §4.4 last paragraph)
+// ---------------------------------------------------------------------------
+
+TEST(VlBuffer, TwoCandidatesWhenEscapeHeadDistinct) {
+  VlBuffer b(8, 4);
+  b.push(pkt(1, 4, /*det=*/false));
+  b.push(pkt(2, 4, /*det=*/false));
+  const auto c = b.candidateHeads(EscapeOrderRule::kPaperStrict);
+  ASSERT_EQ(c.count, 2);
+  EXPECT_EQ(c.index[0], 0);
+  EXPECT_EQ(c.index[1], 1);
+}
+
+TEST(VlBuffer, StrictRuleBlocksEscapeBehindDeterministic) {
+  VlBuffer b(8, 4);
+  b.push(pkt(1, 4, /*det=*/true));   // deterministic in adaptive region
+  b.push(pkt(2, 4, /*det=*/false));  // adaptive packet at escape head
+  const auto strict = b.candidateHeads(EscapeOrderRule::kPaperStrict);
+  EXPECT_EQ(strict.count, 1);  // escape head blocked by the det pointer
+  const auto relaxed = b.candidateHeads(EscapeOrderRule::kDeterministicOnly);
+  EXPECT_EQ(relaxed.count, 2);  // adaptive packets may still bypass
+}
+
+TEST(VlBuffer, BothRulesBlockDeterministicBypassingDeterministic) {
+  VlBuffer b(8, 4);
+  b.push(pkt(1, 4, /*det=*/true));
+  b.push(pkt(2, 4, /*det=*/true));  // younger det packet at escape head
+  for (auto rule : {EscapeOrderRule::kPaperStrict,
+                    EscapeOrderRule::kDeterministicOnly}) {
+    const auto c = b.candidateHeads(rule);
+    EXPECT_EQ(c.count, 1) << "younger det packet must not overtake";
+    EXPECT_EQ(c.index[0], 0);
+  }
+}
+
+TEST(VlBuffer, AdaptiveAheadDoesNotBlockEscape) {
+  VlBuffer b(8, 4);
+  b.push(pkt(1, 4, /*det=*/false));  // adaptive ahead
+  b.push(pkt(2, 4, /*det=*/true));   // deterministic at escape head
+  for (auto rule : {EscapeOrderRule::kPaperStrict,
+                    EscapeOrderRule::kDeterministicOnly}) {
+    const auto c = b.candidateHeads(rule);
+    EXPECT_EQ(c.count, 2) << "no deterministic packet ahead: nothing blocks";
+  }
+}
+
+TEST(VlBuffer, StrictRuleRedirectsEscapeConnectionToMidQueueDet) {
+  // Adaptive front, deterministic packet mid-queue (adaptive region),
+  // adaptive packet at the escape head. The paper's pointer rule must make
+  // the escape connection serve the deterministic packet directly — it is
+  // selectable from RAM — rather than stall the escape queue (stalling
+  // would break the escape network's drain guarantee).
+  VlBuffer b(8, 4);
+  b.push(pkt(1, 2, /*det=*/false));  // front, offsets [0,2)
+  b.push(pkt(2, 2, /*det=*/true));   // mid adaptive region, offsets [2,4)
+  b.push(pkt(3, 4, /*det=*/false));  // escape head, offsets [4,8)
+  EXPECT_EQ(b.escapeHeadIndex(), 2);
+  const auto strict = b.candidateHeads(EscapeOrderRule::kPaperStrict);
+  ASSERT_EQ(strict.count, 2);
+  EXPECT_EQ(strict.index[0], 0);
+  EXPECT_EQ(strict.index[1], 1);  // redirected to the deterministic packet
+  const auto relaxed = b.candidateHeads(EscapeOrderRule::kDeterministicOnly);
+  ASSERT_EQ(relaxed.count, 2);
+  EXPECT_EQ(relaxed.index[1], 2);  // adaptive escape head may bypass
+}
+
+TEST(VlBuffer, RelaxedRuleRedirectsWhenEscapeHeadIsDeterministic) {
+  VlBuffer b(8, 4);
+  b.push(pkt(1, 2, /*det=*/false));
+  b.push(pkt(2, 2, /*det=*/true));  // older deterministic, mid-queue
+  b.push(pkt(3, 4, /*det=*/true));  // deterministic escape head
+  const auto relaxed = b.candidateHeads(EscapeOrderRule::kDeterministicOnly);
+  ASSERT_EQ(relaxed.count, 2);
+  EXPECT_EQ(relaxed.index[1], 1)
+      << "det-det order: the older det packet must be served first";
+}
+
+TEST(VlBuffer, EmptyBufferHasNoCandidates) {
+  VlBuffer b(8, 4);
+  EXPECT_EQ(b.candidateHeads(EscapeOrderRule::kPaperStrict).count, 0);
+}
+
+}  // namespace
+}  // namespace ibadapt
