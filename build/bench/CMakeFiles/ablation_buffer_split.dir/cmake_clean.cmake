@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer_split.dir/ablation_buffer_split.cpp.o"
+  "CMakeFiles/ablation_buffer_split.dir/ablation_buffer_split.cpp.o.d"
+  "ablation_buffer_split"
+  "ablation_buffer_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

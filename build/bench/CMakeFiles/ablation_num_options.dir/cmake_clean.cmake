@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_num_options.dir/ablation_num_options.cpp.o"
+  "CMakeFiles/ablation_num_options.dir/ablation_num_options.cpp.o.d"
+  "ablation_num_options"
+  "ablation_num_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_num_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ordering_rule.dir/ablation_ordering_rule.cpp.o"
+  "CMakeFiles/ablation_ordering_rule.dir/ablation_ordering_rule.cpp.o.d"
+  "ablation_ordering_rule"
+  "ablation_ordering_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ordering_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_message_reorder.dir/extension_message_reorder.cpp.o"
+  "CMakeFiles/extension_message_reorder.dir/extension_message_reorder.cpp.o.d"
+  "extension_message_reorder"
+  "extension_message_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_message_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_traffic_patterns.dir/extension_traffic_patterns.cpp.o"
+  "CMakeFiles/extension_traffic_patterns.dir/extension_traffic_patterns.cpp.o.d"
+  "extension_traffic_patterns"
+  "extension_traffic_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_traffic_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

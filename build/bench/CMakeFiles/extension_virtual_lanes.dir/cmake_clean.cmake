@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_virtual_lanes.dir/extension_virtual_lanes.cpp.o"
+  "CMakeFiles/extension_virtual_lanes.dir/extension_virtual_lanes.cpp.o.d"
+  "extension_virtual_lanes"
+  "extension_virtual_lanes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_virtual_lanes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

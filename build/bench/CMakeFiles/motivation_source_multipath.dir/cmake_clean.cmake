@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_source_multipath.dir/motivation_source_multipath.cpp.o"
+  "CMakeFiles/motivation_source_multipath.dir/motivation_source_multipath.cpp.o.d"
+  "motivation_source_multipath"
+  "motivation_source_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_source_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_routing_options.dir/table2_routing_options.cpp.o"
+  "CMakeFiles/table2_routing_options.dir/table2_routing_options.cpp.o.d"
+  "table2_routing_options"
+  "table2_routing_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_routing_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

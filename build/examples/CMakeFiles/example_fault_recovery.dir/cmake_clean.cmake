@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fault_recovery.dir/fault_recovery.cpp.o"
+  "CMakeFiles/example_fault_recovery.dir/fault_recovery.cpp.o.d"
+  "example_fault_recovery"
+  "example_fault_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fault_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

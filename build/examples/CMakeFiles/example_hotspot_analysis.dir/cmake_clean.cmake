@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hotspot_analysis.dir/hotspot_analysis.cpp.o"
+  "CMakeFiles/example_hotspot_analysis.dir/hotspot_analysis.cpp.o.d"
+  "example_hotspot_analysis"
+  "example_hotspot_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hotspot_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ibadapt_sim.dir/ibadapt_sim.cpp.o"
+  "CMakeFiles/example_ibadapt_sim.dir/ibadapt_sim.cpp.o.d"
+  "example_ibadapt_sim"
+  "example_ibadapt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ibadapt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

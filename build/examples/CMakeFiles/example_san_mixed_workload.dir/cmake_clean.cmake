@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_san_mixed_workload.dir/san_mixed_workload.cpp.o"
+  "CMakeFiles/example_san_mixed_workload.dir/san_mixed_workload.cpp.o.d"
+  "example_san_mixed_workload"
+  "example_san_mixed_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_san_mixed_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibadapt_analysis.dir/option_census.cpp.o"
+  "CMakeFiles/ibadapt_analysis.dir/option_census.cpp.o.d"
+  "libibadapt_analysis.a"
+  "libibadapt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibadapt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

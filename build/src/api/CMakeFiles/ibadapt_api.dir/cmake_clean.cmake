@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibadapt_api.dir/simulation.cpp.o"
+  "CMakeFiles/ibadapt_api.dir/simulation.cpp.o.d"
+  "CMakeFiles/ibadapt_api.dir/sweep.cpp.o"
+  "CMakeFiles/ibadapt_api.dir/sweep.cpp.o.d"
+  "libibadapt_api.a"
+  "libibadapt_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibadapt_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

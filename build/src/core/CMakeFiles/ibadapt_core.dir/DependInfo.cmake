@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/forwarding_table.cpp" "src/core/CMakeFiles/ibadapt_core.dir/forwarding_table.cpp.o" "gcc" "src/core/CMakeFiles/ibadapt_core.dir/forwarding_table.cpp.o.d"
+  "/root/repo/src/core/sl_to_vl.cpp" "src/core/CMakeFiles/ibadapt_core.dir/sl_to_vl.cpp.o" "gcc" "src/core/CMakeFiles/ibadapt_core.dir/sl_to_vl.cpp.o.d"
+  "/root/repo/src/core/vl_buffer.cpp" "src/core/CMakeFiles/ibadapt_core.dir/vl_buffer.cpp.o" "gcc" "src/core/CMakeFiles/ibadapt_core.dir/vl_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibadapt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibadapt_core.dir/forwarding_table.cpp.o"
+  "CMakeFiles/ibadapt_core.dir/forwarding_table.cpp.o.d"
+  "CMakeFiles/ibadapt_core.dir/sl_to_vl.cpp.o"
+  "CMakeFiles/ibadapt_core.dir/sl_to_vl.cpp.o.d"
+  "CMakeFiles/ibadapt_core.dir/vl_buffer.cpp.o"
+  "CMakeFiles/ibadapt_core.dir/vl_buffer.cpp.o.d"
+  "libibadapt_core.a"
+  "libibadapt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibadapt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/fabric.cpp" "src/fabric/CMakeFiles/ibadapt_fabric.dir/fabric.cpp.o" "gcc" "src/fabric/CMakeFiles/ibadapt_fabric.dir/fabric.cpp.o.d"
+  "/root/repo/src/fabric/fabric_arbiter.cpp" "src/fabric/CMakeFiles/ibadapt_fabric.dir/fabric_arbiter.cpp.o" "gcc" "src/fabric/CMakeFiles/ibadapt_fabric.dir/fabric_arbiter.cpp.o.d"
+  "/root/repo/src/fabric/fabric_run.cpp" "src/fabric/CMakeFiles/ibadapt_fabric.dir/fabric_run.cpp.o" "gcc" "src/fabric/CMakeFiles/ibadapt_fabric.dir/fabric_run.cpp.o.d"
+  "/root/repo/src/fabric/packet.cpp" "src/fabric/CMakeFiles/ibadapt_fabric.dir/packet.cpp.o" "gcc" "src/fabric/CMakeFiles/ibadapt_fabric.dir/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ibadapt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ibadapt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibadapt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibadapt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibadapt_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/ibadapt_fabric.dir/fabric.cpp.o.d"
+  "CMakeFiles/ibadapt_fabric.dir/fabric_arbiter.cpp.o"
+  "CMakeFiles/ibadapt_fabric.dir/fabric_arbiter.cpp.o.d"
+  "CMakeFiles/ibadapt_fabric.dir/fabric_run.cpp.o"
+  "CMakeFiles/ibadapt_fabric.dir/fabric_run.cpp.o.d"
+  "CMakeFiles/ibadapt_fabric.dir/packet.cpp.o"
+  "CMakeFiles/ibadapt_fabric.dir/packet.cpp.o.d"
+  "libibadapt_fabric.a"
+  "libibadapt_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibadapt_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/message_layer.cpp" "src/host/CMakeFiles/ibadapt_host.dir/message_layer.cpp.o" "gcc" "src/host/CMakeFiles/ibadapt_host.dir/message_layer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/ibadapt_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ibadapt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ibadapt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ibadapt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibadapt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibadapt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibadapt_host.dir/message_layer.cpp.o"
+  "CMakeFiles/ibadapt_host.dir/message_layer.cpp.o.d"
+  "libibadapt_host.a"
+  "libibadapt_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibadapt_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

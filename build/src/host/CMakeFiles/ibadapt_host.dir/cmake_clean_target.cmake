@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libibadapt_host.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibadapt_iba.dir/crc.cpp.o"
+  "CMakeFiles/ibadapt_iba.dir/crc.cpp.o.d"
+  "CMakeFiles/ibadapt_iba.dir/headers.cpp.o"
+  "CMakeFiles/ibadapt_iba.dir/headers.cpp.o.d"
+  "libibadapt_iba.a"
+  "libibadapt_iba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibadapt_iba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/minimal.cpp" "src/routing/CMakeFiles/ibadapt_routing.dir/minimal.cpp.o" "gcc" "src/routing/CMakeFiles/ibadapt_routing.dir/minimal.cpp.o.d"
+  "/root/repo/src/routing/route_set.cpp" "src/routing/CMakeFiles/ibadapt_routing.dir/route_set.cpp.o" "gcc" "src/routing/CMakeFiles/ibadapt_routing.dir/route_set.cpp.o.d"
+  "/root/repo/src/routing/updown.cpp" "src/routing/CMakeFiles/ibadapt_routing.dir/updown.cpp.o" "gcc" "src/routing/CMakeFiles/ibadapt_routing.dir/updown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/ibadapt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibadapt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

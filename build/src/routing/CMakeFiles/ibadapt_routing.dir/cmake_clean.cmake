@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibadapt_routing.dir/minimal.cpp.o"
+  "CMakeFiles/ibadapt_routing.dir/minimal.cpp.o.d"
+  "CMakeFiles/ibadapt_routing.dir/route_set.cpp.o"
+  "CMakeFiles/ibadapt_routing.dir/route_set.cpp.o.d"
+  "CMakeFiles/ibadapt_routing.dir/updown.cpp.o"
+  "CMakeFiles/ibadapt_routing.dir/updown.cpp.o.d"
+  "libibadapt_routing.a"
+  "libibadapt_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibadapt_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibadapt_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ibadapt_sim.dir/event_queue.cpp.o.d"
+  "libibadapt_sim.a"
+  "libibadapt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibadapt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibadapt_stats.dir/collector.cpp.o"
+  "CMakeFiles/ibadapt_stats.dir/collector.cpp.o.d"
+  "CMakeFiles/ibadapt_stats.dir/in_order.cpp.o"
+  "CMakeFiles/ibadapt_stats.dir/in_order.cpp.o.d"
+  "CMakeFiles/ibadapt_stats.dir/latency.cpp.o"
+  "CMakeFiles/ibadapt_stats.dir/latency.cpp.o.d"
+  "libibadapt_stats.a"
+  "libibadapt_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibadapt_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibadapt_subnet.dir/smp.cpp.o"
+  "CMakeFiles/ibadapt_subnet.dir/smp.cpp.o.d"
+  "CMakeFiles/ibadapt_subnet.dir/subnet_manager.cpp.o"
+  "CMakeFiles/ibadapt_subnet.dir/subnet_manager.cpp.o.d"
+  "libibadapt_subnet.a"
+  "libibadapt_subnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibadapt_subnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

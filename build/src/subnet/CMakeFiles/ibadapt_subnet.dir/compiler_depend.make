@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ibadapt_subnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibadapt_topology.dir/generators.cpp.o"
+  "CMakeFiles/ibadapt_topology.dir/generators.cpp.o.d"
+  "CMakeFiles/ibadapt_topology.dir/topology.cpp.o"
+  "CMakeFiles/ibadapt_topology.dir/topology.cpp.o.d"
+  "libibadapt_topology.a"
+  "libibadapt_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibadapt_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

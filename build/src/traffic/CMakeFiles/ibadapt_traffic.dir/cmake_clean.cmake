@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibadapt_traffic.dir/synthetic.cpp.o"
+  "CMakeFiles/ibadapt_traffic.dir/synthetic.cpp.o.d"
+  "CMakeFiles/ibadapt_traffic.dir/trace.cpp.o"
+  "CMakeFiles/ibadapt_traffic.dir/trace.cpp.o.d"
+  "libibadapt_traffic.a"
+  "libibadapt_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibadapt_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

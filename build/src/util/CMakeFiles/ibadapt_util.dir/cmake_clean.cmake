@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibadapt_util.dir/flags.cpp.o"
+  "CMakeFiles/ibadapt_util.dir/flags.cpp.o.d"
+  "CMakeFiles/ibadapt_util.dir/rng.cpp.o"
+  "CMakeFiles/ibadapt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ibadapt_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ibadapt_util.dir/thread_pool.cpp.o.d"
+  "libibadapt_util.a"
+  "libibadapt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibadapt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

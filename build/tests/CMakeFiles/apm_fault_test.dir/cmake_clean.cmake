@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apm_fault_test.dir/apm_fault_test.cpp.o"
+  "CMakeFiles/apm_fault_test.dir/apm_fault_test.cpp.o.d"
+  "apm_fault_test"
+  "apm_fault_test.pdb"
+  "apm_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apm_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_timing_test.dir/fabric_timing_test.cpp.o"
+  "CMakeFiles/fabric_timing_test.dir/fabric_timing_test.cpp.o.d"
+  "fabric_timing_test"
+  "fabric_timing_test.pdb"
+  "fabric_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forwarding_table_test.dir/forwarding_table_test.cpp.o"
+  "CMakeFiles/forwarding_table_test.dir/forwarding_table_test.cpp.o.d"
+  "forwarding_table_test"
+  "forwarding_table_test.pdb"
+  "forwarding_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forwarding_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iba_wire_test.dir/iba_wire_test.cpp.o"
+  "CMakeFiles/iba_wire_test.dir/iba_wire_test.cpp.o.d"
+  "iba_wire_test"
+  "iba_wire_test.pdb"
+  "iba_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iba_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_layer_test.dir/message_layer_test.cpp.o"
+  "CMakeFiles/message_layer_test.dir/message_layer_test.cpp.o.d"
+  "message_layer_test"
+  "message_layer_test.pdb"
+  "message_layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_behavior_test.dir/selection_behavior_test.cpp.o"
+  "CMakeFiles/selection_behavior_test.dir/selection_behavior_test.cpp.o.d"
+  "selection_behavior_test"
+  "selection_behavior_test.pdb"
+  "selection_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

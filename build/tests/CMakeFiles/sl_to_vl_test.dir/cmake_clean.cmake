@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_to_vl_test.dir/sl_to_vl_test.cpp.o"
+  "CMakeFiles/sl_to_vl_test.dir/sl_to_vl_test.cpp.o.d"
+  "sl_to_vl_test"
+  "sl_to_vl_test.pdb"
+  "sl_to_vl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_to_vl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

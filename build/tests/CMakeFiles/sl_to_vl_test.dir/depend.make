@@ -1,0 +1,2 @@
+# Empty dependencies file for sl_to_vl_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subnet_manager_test.dir/subnet_manager_test.cpp.o"
+  "CMakeFiles/subnet_manager_test.dir/subnet_manager_test.cpp.o.d"
+  "subnet_manager_test"
+  "subnet_manager_test.pdb"
+  "subnet_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subnet_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/trace_test.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/ibadapt_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/subnet/CMakeFiles/ibadapt_subnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/ibadapt_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ibadapt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ibadapt_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/iba/CMakeFiles/ibadapt_iba.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ibadapt_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ibadapt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/ibadapt_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ibadapt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ibadapt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibadapt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibadapt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_patterns_test.dir/traffic_patterns_test.cpp.o"
+  "CMakeFiles/traffic_patterns_test.dir/traffic_patterns_test.cpp.o.d"
+  "traffic_patterns_test"
+  "traffic_patterns_test.pdb"
+  "traffic_patterns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

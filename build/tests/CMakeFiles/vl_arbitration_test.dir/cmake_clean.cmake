@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_arbitration_test.dir/vl_arbitration_test.cpp.o"
+  "CMakeFiles/vl_arbitration_test.dir/vl_arbitration_test.cpp.o.d"
+  "vl_arbitration_test"
+  "vl_arbitration_test.pdb"
+  "vl_arbitration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_arbitration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_buffer_test.dir/vl_buffer_test.cpp.o"
+  "CMakeFiles/vl_buffer_test.dir/vl_buffer_test.cpp.o.d"
+  "vl_buffer_test"
+  "vl_buffer_test.pdb"
+  "vl_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
