@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+#
+# Build the library and run the tier-1 test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (the IBADAPT_SANITIZE CMake option). Any leak,
+# heap error, or UB aborts the offending test.
+#
+# Usage: scripts/run_sanitized.sh [build-dir] [extra ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+shift || true
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DIBADAPT_SANITIZE=ON
+cmake --build "${build_dir}" -j
+
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$@"

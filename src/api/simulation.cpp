@@ -1,5 +1,6 @@
 #include "api/simulation.hpp"
 
+#include <optional>
 #include <sstream>
 
 #include "fabric/fabric.hpp"
@@ -68,17 +69,58 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
   StatsCollector stats(sc, topo.numNodes());
   stats.bindFabric(&fabric);
 
-  fabric.attachTraffic(&traffic, p.trafficSeed);
-  fabric.attachObserver(&stats);
+  // With reliability enabled the transport interposes on both planes: it
+  // is the fabric's traffic source (sequence stamping + retransmissions)
+  // and its delivery observer (dedup before the stats collector).
+  std::optional<ReliableTransport> transport;
+  if (p.reliableTransport) {
+    transport.emplace(traffic, topo.numNodes(), p.transport);
+    transport->attachObserver(&stats);
+    fabric.attachTraffic(&*transport, p.trafficSeed);
+    fabric.attachObserver(&*transport);
+  } else {
+    fabric.attachTraffic(&traffic, p.trafficSeed);
+    fabric.attachObserver(&stats);
+  }
   fabric.start();
 
   RunLimits limits;
   limits.endTime = p.maxSimTimeNs;
   limits.watchdogPeriodNs = p.watchdogPeriodNs;
   limits.watchdogStallLimit = p.watchdogStallLimit;
-  fabric.run(limits);
+
+  const bool runCampaign = !p.scriptedFaults.empty() || p.faultMtbfNs > 0.0;
+  std::optional<FaultCampaign> campaign;
+  if (runCampaign) {
+    FaultCampaignSpec fc;
+    fc.scripted = p.scriptedFaults;
+    fc.mtbfNs = p.faultMtbfNs;
+    fc.mttrNs = p.faultMttrNs;
+    fc.seed = p.faultSeed;
+    fc.maxStochasticFaults = p.maxStochasticFaults;
+    fc.keepConnected = p.faultKeepConnected;
+    fc.sweepDelayNs = p.sweepDelayNs;
+    fc.subnet = sp;
+    fc.auditAfterSweep = p.auditAfterSweep;
+    campaign.emplace(fabric, sm, fc);
+    campaign->run(limits);
+  } else {
+    fabric.run(limits);
+  }
 
   SimResults r;
+  if (campaign) {
+    r.faultCampaignRan = true;
+    r.resilience = campaign->stats();
+  }
+  if (transport) {
+    r.resilience.retransmitsSent = transport->retransmitsSent();
+    r.resilience.duplicatesSuppressed = transport->duplicatesSuppressed();
+    r.resilience.abandonedPackets = transport->abandoned();
+    r.resilience.uniqueSent = transport->uniqueSent();
+    r.resilience.uniqueDelivered = transport->uniqueDelivered();
+    r.e2eLatencyNs = transport->endToEndLatency().mean();
+  }
   const auto& lat = stats.latency();
   r.avgLatencyNs = lat.mean();
   r.minLatencyNs = static_cast<double>(lat.min());
@@ -160,6 +202,9 @@ std::string SimResults::summary() const {
   if (deadlockSuspected) os << " [DEADLOCK]";
   if (!measurementComplete) os << " [incomplete]";
   if (inOrderViolations) os << " [OOO=" << inOrderViolations << "]";
+  if (faultCampaignRan || resilience.uniqueSent > 0) {
+    os << " | " << resilience.summary();
+  }
   return os.str();
 }
 

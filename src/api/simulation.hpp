@@ -7,7 +7,10 @@
 #include <string>
 
 #include "fabric/params.hpp"
+#include "fault/fault_campaign.hpp"
+#include "host/reliable_transport.hpp"
 #include "routing/updown.hpp"
+#include "stats/resilience.hpp"
 #include "topology/generators.hpp"
 #include "traffic/synthetic.hpp"
 #include "util/types.hpp"
@@ -63,6 +66,27 @@ struct SimParams {
   SimTime maxSimTimeNs = 200'000'000;
   SimTime watchdogPeriodNs = 500'000;
   int watchdogStallLimit = 10;
+
+  // ---- robustness (fault campaign + end-to-end reliability) -------------
+  /// Scripted link faults/recoveries; non-empty (or faultMtbfNs > 0) runs
+  /// the simulation under a FaultCampaign instead of a plain Fabric::run.
+  std::vector<ScriptedFault> scriptedFaults;
+  /// Stochastic fault layer (0 = off): mean time between link failures and
+  /// mean time to repair, exponential, deterministic in faultSeed.
+  double faultMtbfNs = 0.0;
+  double faultMttrNs = 0.0;
+  std::uint64_t faultSeed = 99;
+  int maxStochasticFaults = 64;
+  bool faultKeepConnected = true;
+  /// SM re-sweep latency after each fault/recovery; < 0 disables automatic
+  /// re-sweeps (stale tables persist; only APM/retransmission mask faults).
+  SimTime sweepDelayNs = 50'000;
+  /// Run the escape-plane/credit audit after every sweep.
+  bool auditAfterSweep = true;
+  /// Wrap traffic in the host-side retransmission layer (open-loop traffic
+  /// only; incompatible with saturation mode).
+  bool reliableTransport = false;
+  ReliableTransportSpec transport;
 };
 
 struct SimResults {
@@ -103,6 +127,13 @@ struct SimResults {
   bool livePacketLimitHit = false;
   std::uint64_t inOrderViolations = 0;
   SimTime simEndTimeNs = 0;
+
+  // Resilience (fault campaign + reliable transport; zeros when neither
+  // was configured).
+  bool faultCampaignRan = false;
+  ResilienceStats resilience;
+  /// First-transmission-to-first-delivery mean of transport-tracked packets.
+  double e2eLatencyNs = 0.0;
 
   std::string summary() const;
 };

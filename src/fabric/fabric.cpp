@@ -103,9 +103,31 @@ const Peer& Fabric::managementPeer(SwitchId sw, PortIndex port) const {
 }
 
 void Fabric::failLink(SwitchId sw, PortIndex port) {
+  if (sw < 0 || sw >= topo_.numSwitches() || port < 0 ||
+      port >= topo_.portsPerSwitch()) {
+    throw std::invalid_argument("Fabric::failLink: switch/port out of range");
+  }
   const Peer peer = topo_.peer(sw, port);
+  if (peer.kind == PeerKind::kNode) {
+    // Documented rejection: a CA has a single physical link, so its loss
+    // partitions the host — nothing LMC/APM addressing or an SM sweep can
+    // route around. Callers model host death by excluding the node from
+    // traffic, not by failing its link.
+    throw std::invalid_argument(
+        "Fabric::failLink: CA-facing port — host-link faults cannot be "
+        "masked by rerouting; exclude the node from traffic instead");
+  }
   if (peer.kind != PeerKind::kSwitch) {
-    throw std::invalid_argument("Fabric::failLink: not an inter-switch link");
+    throw std::invalid_argument(
+        "Fabric::failLink: port has no live inter-switch link");
+  }
+  {
+    FailedLink rec;
+    rec.swA = sw < peer.id ? sw : peer.id;
+    rec.portA = sw < peer.id ? port : peer.port;
+    rec.swB = sw < peer.id ? peer.id : sw;
+    rec.portB = sw < peer.id ? peer.port : port;
+    failedLinks_.push_back(rec);
   }
   topo_.removeLink(sw, port);  // management plane now reports the fault
   // Stop new transfers in both directions; leave the input sides wired so
@@ -124,15 +146,61 @@ void Fabric::failLink(SwitchId sw, PortIndex port) {
   }
 }
 
+void Fabric::recoverLink(SwitchId sw, PortIndex port) {
+  auto it = failedLinks_.begin();
+  for (; it != failedLinks_.end(); ++it) {
+    if ((it->swA == sw && it->portA == port) ||
+        (it->swB == sw && it->portB == port)) {
+      break;
+    }
+  }
+  if (it == failedLinks_.end()) {
+    throw std::invalid_argument(
+        "Fabric::recoverLink: no failed link at this port");
+  }
+  const FailedLink rec = *it;
+  failedLinks_.erase(it);
+  topo_.restoreLink(rec.swA, rec.portA, rec.swB, rec.portB);
+  // Re-wire the output sides; the input sides stayed wired through the
+  // fault (failLink leaves them so credits keep draining back), and the
+  // credit counts tracked the downstream buffers the whole time.
+  auto& opA = switches_[static_cast<std::size_t>(rec.swA)]
+                  .out[static_cast<std::size_t>(rec.portA)];
+  opA.downKind = PeerKind::kSwitch;
+  opA.downId = rec.swB;
+  opA.downPort = rec.portB;
+  auto& opB = switches_[static_cast<std::size_t>(rec.swB)]
+                  .out[static_cast<std::size_t>(rec.portB)];
+  opB.downKind = PeerKind::kSwitch;
+  opB.downId = rec.swA;
+  opB.downPort = rec.portA;
+  if (started_) {
+    scheduleArb(rec.swA, now_);
+    scheduleArb(rec.swB, now_);
+  }
+}
+
 void Fabric::attachTraffic(ITrafficSource* traffic, std::uint64_t trafficSeed) {
   traffic_ = traffic;
   trafficRng_ = Rng(trafficSeed);
 }
 
 int Fabric::outputCredits(SwitchId sw, PortIndex port, VlIndex vl) const {
-  return switches_[static_cast<std::size_t>(sw)]
-      .out[static_cast<std::size_t>(port)]
-      .credits[static_cast<std::size_t>(vl)];
+  const auto& credits = switches_[static_cast<std::size_t>(sw)]
+                            .out[static_cast<std::size_t>(port)]
+                            .credits;
+  // Never-wired ports have no credit vector; report 0 so audits can scan
+  // every (switch, port, vl) uniformly.
+  if (static_cast<std::size_t>(vl) >= credits.size()) return 0;
+  return credits[static_cast<std::size_t>(vl)];
+}
+
+int Fabric::outputCreditsMax(SwitchId sw, PortIndex port, VlIndex vl) const {
+  const auto& max = switches_[static_cast<std::size_t>(sw)]
+                        .out[static_cast<std::size_t>(port)]
+                        .creditsMax;
+  if (static_cast<std::size_t>(vl) >= max.size()) return 0;
+  return max[static_cast<std::size_t>(vl)];
 }
 
 std::uint64_t Fabric::outputBytesSent(SwitchId sw, PortIndex port) const {

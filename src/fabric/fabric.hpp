@@ -126,7 +126,33 @@ class Fabric {
   /// discarded (counted in counters().dropped). Call SubnetManager::
   /// configure() afterwards to route around the fault; until then senders
   /// can migrate to an alternate APM path set (paper §4.1).
+  ///
+  /// Only inter-switch links can fail. CA-facing ports are rejected with
+  /// std::invalid_argument by design: a CA port owns exactly one physical
+  /// link, so losing it partitions the host — no LMC path set or SM re-sweep
+  /// can mask that (paper §4.1 assumes redundancy *between* switches).
+  /// Model a dead host by excluding it from traffic instead. Unused ports
+  /// and already-failed links are also rejected.
   void failLink(SwitchId sw, PortIndex port);
+
+  /// Brings a previously failed inter-switch link back up — the inverse of
+  /// failLink. `sw`/`port` may name either end of the failed link. The link
+  /// is rewired on the same port pair it occupied before the fault and both
+  /// switches re-arbitrate; credit state is preserved (credits kept flowing
+  /// while the link was down, so the downstream counts are still exact).
+  /// Throws std::invalid_argument when no such failed link exists.
+  /// The forwarding tables are NOT touched: run a SubnetManager sweep to
+  /// make the recovered link carry traffic again.
+  void recoverLink(SwitchId sw, PortIndex port);
+
+  /// One record per currently-failed inter-switch link (swA < swB).
+  struct FailedLink {
+    SwitchId swA = kInvalidId;
+    PortIndex portA = kInvalidPort;
+    SwitchId swB = kInvalidId;
+    PortIndex portB = kInvalidPort;
+  };
+  const std::vector<FailedLink>& failedLinks() const { return failedLinks_; }
 
   const LidMapper& lids() const { return lids_; }
   const Topology& topology() const { return topo_; }
@@ -145,6 +171,7 @@ class Fabric {
   void run(const RunLimits& limits);
 
   void requestStop() { stopRequested_ = true; }
+  bool stopRequested() const { return stopRequested_; }
 
   SimTime now() const { return now_; }
   const FabricCounters& counters() const { return counters_; }
@@ -152,8 +179,9 @@ class Fabric {
   bool livePacketLimitHit() const { return livePacketLimitHit_; }
   std::size_t livePackets() const { return pool_.liveCount(); }
 
-  // ---- introspection (tests / debugging) --------------------------------
+  // ---- introspection (tests / debugging / audits) -----------------------
   int outputCredits(SwitchId sw, PortIndex port, VlIndex vl) const;
+  int outputCreditsMax(SwitchId sw, PortIndex port, VlIndex vl) const;
   std::uint64_t outputBytesSent(SwitchId sw, PortIndex port) const;
   int inputBufferOccupancy(SwitchId sw, PortIndex port, VlIndex vl) const;
   std::size_t nodeQueueLength(NodeId n) const;
@@ -174,7 +202,7 @@ class Fabric {
   void handleNodeTryTx(NodeId n);
   void handleNodeGenerate(NodeId n);
   void handleNodeDeliver(NodeId n, VlIndex vl, PacketRef ref);
-  void handleWatchdog();
+  void handleWatchdog(std::uint32_t epoch);
 
   // traffic helpers
   PacketRef generatePacket(NodeId src);
@@ -233,11 +261,16 @@ class Fabric {
   bool deadlockSuspected_ = false;
   bool livePacketLimitHit_ = false;
 
-  // watchdog state
+  // watchdog state; the epoch invalidates watchdog chains left in the queue
+  // by earlier run() calls, so multi-phase runs (fault campaigns) keep one
+  // live chain and exact stall semantics.
   SimTime watchdogPeriod_ = 0;
   int watchdogStallLimit_ = 0;
   std::uint64_t watchdogLastDelivered_ = 0;
   int watchdogStallCount_ = 0;
+  std::uint32_t watchdogEpoch_ = 0;
+
+  std::vector<FailedLink> failedLinks_;
 
   FabricCounters counters_;
 };

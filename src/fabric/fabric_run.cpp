@@ -46,8 +46,13 @@ void Fabric::run(const RunLimits& limits) {
   watchdogStallLimit_ = limits.watchdogStallLimit;
   watchdogLastDelivered_ = counters_.delivered + counters_.dropped;
   watchdogStallCount_ = 0;
+  // A fresh epoch orphans watchdog chains queued by earlier run() calls
+  // (multi-phase runs would otherwise stack one chain per phase and count
+  // stalls several times per period).
+  ++watchdogEpoch_;
   if (watchdogPeriod_ > 0) {
-    queue_.push(Event{now_ + watchdogPeriod_, 0, EventKind::kWatchdog, 0, 0, 0});
+    queue_.push(Event{now_ + watchdogPeriod_, 0, EventKind::kWatchdog,
+                      watchdogEpoch_, 0, 0});
   }
 
   while (!queue_.empty() && !stopRequested_) {
@@ -91,7 +96,7 @@ void Fabric::dispatch(const Event& ev) {
                         static_cast<VlIndex>(ev.b), ev.c);
       break;
     case EventKind::kWatchdog:
-      handleWatchdog();
+      handleWatchdog(ev.a);
       break;
     case EventKind::kNone:
       break;
@@ -104,6 +109,7 @@ void Fabric::dispatch(const Event& ev) {
 
 PacketRef Fabric::generatePacket(NodeId src) {
   const ITrafficSource::Spec spec = traffic_->makePacket(src, trafficRng_);
+  if (spec.dst == kInvalidId) return kInvalidPacketRef;  // idle wake
   const PacketRef ref = pool_.alloc();
   Packet& pkt = pool_.get(ref);
   pkt.src = src;
@@ -114,6 +120,7 @@ PacketRef Fabric::generatePacket(NodeId src) {
   pkt.msgId = spec.msgId;
   pkt.segIndex = spec.segIndex;
   pkt.segCount = spec.segCount;
+  pkt.e2eSeq = spec.e2eSeq;
   if (spec.pathOffset >= 0) {
     if (spec.pathOffset >= lids_.lidsPerNode()) {
       throw std::invalid_argument("Fabric: pathOffset beyond LID block");
@@ -145,7 +152,7 @@ void Fabric::refillSaturationQueue(NodeId n) {
   NodeModel& nd = nodes_[static_cast<std::size_t>(n)];
   const int cap = traffic_->saturationQueueCap();
   while (static_cast<int>(nd.sendQueue.size()) < cap) {
-    generatePacket(n);
+    if (generatePacket(n) == kInvalidPacketRef) break;  // source declined
   }
 }
 
@@ -270,7 +277,8 @@ void Fabric::handleNodeDeliver(NodeId n, VlIndex vl, PacketRef ref) {
   pool_.release(ref);
 }
 
-void Fabric::handleWatchdog() {
+void Fabric::handleWatchdog(std::uint32_t epoch) {
+  if (epoch != watchdogEpoch_) return;  // stale chain from an earlier run()
   // Drops count as progress and as retirement: a packet discarded at a
   // failed link is no longer in flight.
   const std::uint64_t retired = counters_.delivered + counters_.dropped;
@@ -285,7 +293,8 @@ void Fabric::handleWatchdog() {
     watchdogStallCount_ = 0;
   }
   watchdogLastDelivered_ = retired;
-  queue_.push(Event{now_ + watchdogPeriod_, 0, EventKind::kWatchdog, 0, 0, 0});
+  queue_.push(Event{now_ + watchdogPeriod_, 0, EventKind::kWatchdog, epoch, 0,
+                    0});
 }
 
 }  // namespace ibadapt

@@ -27,9 +27,15 @@ class ITrafficSource {
     std::uint32_t msgId = 0;
     std::uint16_t segIndex = 0;
     std::uint16_t segCount = 0;
+    /// End-to-end reliability sequence (host ReliableTransport; 0 = none).
+    std::uint32_t e2eSeq = 0;
   };
 
-  /// Destination / size / class of the next packet from `src`.
+  /// Destination / size / class of the next packet from `src`. A source may
+  /// decline to send at this wake by returning a Spec with
+  /// `dst == kInvalidId` (used by the reliable transport for retransmit
+  /// timers that were satisfied before they fired); the generation chain
+  /// continues via nextGenTime as usual.
   virtual Spec makePacket(NodeId src, Rng& rng) = 0;
 
   /// Open loop: absolute time of node's first generation (>= 0).

@@ -13,6 +13,9 @@ namespace ibadapt {
 
 using PacketRef = std::uint32_t;
 
+/// Sentinel returned when a traffic source declines to generate (idle wake).
+inline constexpr PacketRef kInvalidPacketRef = 0xFFFFFFFFu;
+
 struct Packet {
   NodeId src = kInvalidId;
   NodeId dst = kInvalidId;
@@ -31,6 +34,11 @@ struct Packet {
   std::uint32_t msgId = 0;
   std::uint16_t segIndex = 0;
   std::uint16_t segCount = 0;
+
+  /// End-to-end reliability sequence number, per (src, dst) flow, assigned
+  /// by the host ReliableTransport (0 = untracked traffic). Retransmitted
+  /// copies carry the original sequence so receivers can deduplicate.
+  std::uint32_t e2eSeq = 0;
 };
 
 class PacketPool {

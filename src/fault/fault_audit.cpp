@@ -1,0 +1,99 @@
+#include "fault/fault_audit.hpp"
+
+#include <sstream>
+
+namespace ibadapt {
+
+namespace {
+
+void firstDetail(AuditReport& report, const std::string& msg) {
+  if (report.detail.empty()) report.detail = msg;
+}
+
+void auditEscapePlane(const Fabric& fabric, AuditReport& report) {
+  const Topology& topo = fabric.topology();
+  const LidMapper& lids = fabric.lids();
+  for (NodeId dst = 0; dst < topo.numNodes(); ++dst) {
+    const SwitchId destSw = topo.switchOfNode(dst);
+    const Lid dlid = lids.deterministicLid(dst);
+    for (SwitchId start = 0; start < topo.numSwitches(); ++start) {
+      SwitchId at = start;
+      int hops = 0;
+      bool reached = true;
+      while (at != destSw) {
+        if (++hops > topo.numSwitches()) {
+          reached = false;  // forwarding loop
+          break;
+        }
+        const PortIndex port = fabric.lftEntry(at, dlid);
+        if (port == kInvalidPort) {
+          reached = false;  // unprogrammed entry
+          break;
+        }
+        const Peer& peer = fabric.managementPeer(at, port);
+        if (peer.kind != PeerKind::kSwitch) {
+          reached = false;  // escape hop crosses a failed link
+          break;
+        }
+        at = peer.id;
+      }
+      if (!reached) {
+        report.escapeReachable = false;
+        ++report.unreachablePairs;
+        if (report.detail.empty()) {
+          std::ostringstream os;
+          os << "escape plane: sw" << start << " cannot reach node " << dst
+             << " (dead hop, loop, or unprogrammed LFT entry)";
+          report.detail = os.str();
+        }
+      }
+    }
+  }
+}
+
+void auditCredits(const Fabric& fabric, AuditReport& report,
+                  bool expectQuiescent) {
+  const Topology& topo = fabric.topology();
+  const int numVls = fabric.params().numVls;
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    for (PortIndex port = 0; port < topo.portsPerSwitch(); ++port) {
+      for (VlIndex vl = 0; vl < numVls; ++vl) {
+        const int max = fabric.outputCreditsMax(sw, port, vl);
+        if (max == 0) continue;  // port was never wired
+        const int credits = fabric.outputCredits(sw, port, vl);
+        if (credits < 0 || credits > max) {
+          report.creditsInRange = false;
+          std::ostringstream os;
+          os << "credits: sw" << sw << " port " << port << " vl " << vl
+             << " holds " << credits << " of " << max;
+          firstDetail(report, os.str());
+        } else if (expectQuiescent && credits != max) {
+          report.quiescent = false;
+          std::ostringstream os;
+          os << "stuck credits: sw" << sw << " port " << port << " vl " << vl
+             << " drained to " << credits << " of " << max;
+          firstDetail(report, os.str());
+        }
+        if (expectQuiescent &&
+            fabric.inputBufferOccupancy(sw, port, vl) != 0) {
+          report.quiescent = false;
+          std::ostringstream os;
+          os << "stuck packet: sw" << sw << " input port " << port << " vl "
+             << vl << " still occupied";
+          firstDetail(report, os.str());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AuditReport auditFabric(const Fabric& fabric, bool expectQuiescent) {
+  AuditReport report;
+  auditEscapePlane(fabric, report);
+  auditCredits(fabric, report, expectQuiescent);
+  return report;
+}
+
+}  // namespace ibadapt

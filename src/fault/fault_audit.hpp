@@ -1,0 +1,42 @@
+#pragma once
+//
+// Degraded-mode invariant audits. After any fault, recovery, or SM sweep
+// the fabric must still satisfy the properties the paper's deadlock
+// argument rests on:
+//
+//   * escape connectivity — from every switch, following the deterministic
+//     base-LID forwarding entry hop by hop reaches every live destination
+//     over live links (the up*/down* escape plane is whole);
+//   * credit sanity — every output port's per-VL credit count is within
+//     [0, capacity]; on a quiescent (fully drained) fabric, every count is
+//     back at capacity and every input buffer is empty ("zero stuck
+//     credits": a fault that leaked credits would slowly strangle a VL).
+//
+// The audit only uses the Fabric's public management/introspection API, so
+// it checks exactly what an external controller could check.
+//
+#include <string>
+
+#include "fabric/fabric.hpp"
+
+namespace ibadapt {
+
+struct AuditReport {
+  bool escapeReachable = true;
+  bool creditsInRange = true;
+  /// Only meaningful when the audit ran with expectQuiescent = true.
+  bool quiescent = true;
+  int unreachablePairs = 0;
+  /// First violation, human readable; empty when the audit passed.
+  std::string detail;
+
+  bool ok() const { return escapeReachable && creditsInRange && quiescent; }
+};
+
+/// Audits the fabric's escape plane and credit state. With
+/// `expectQuiescent` the fabric must also be fully drained: all credits
+/// returned and all input buffers empty (run the fabric with generation
+/// stopped first).
+AuditReport auditFabric(const Fabric& fabric, bool expectQuiescent = false);
+
+}  // namespace ibadapt

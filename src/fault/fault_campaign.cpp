@@ -1,0 +1,286 @@
+#include "fault/fault_campaign.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "fault/fault_audit.hpp"
+#include "util/rng.hpp"
+
+namespace ibadapt {
+
+void FaultCampaignSpec::validate() const {
+  if (mtbfNs < 0.0 || mttrNs < 0.0) {
+    throw std::invalid_argument("FaultCampaignSpec: negative MTBF/MTTR");
+  }
+  if (maxStochasticFaults < 0) {
+    throw std::invalid_argument("FaultCampaignSpec: maxStochasticFaults");
+  }
+  for (const ScriptedFault& f : scripted) {
+    if (f.sw == kInvalidId || f.port == kInvalidPort) {
+      throw std::invalid_argument("FaultCampaignSpec: scripted fault target");
+    }
+    if (f.recoverAtNs != kTimeNever && f.recoverAtNs <= f.failAtNs) {
+      throw std::invalid_argument(
+          "FaultCampaignSpec: recovery not after failure");
+    }
+  }
+}
+
+FaultCampaign::FaultCampaign(Fabric& fabric, SubnetManager& sm,
+                             const FaultCampaignSpec& spec)
+    : fabric_(&fabric), sm_(&sm), spec_(spec) {
+  spec_.validate();
+  buildTimeline();
+}
+
+namespace {
+
+/// All live inter-switch links of `topo` as (sw, port) with sw < peer.
+std::vector<std::pair<SwitchId, PortIndex>> liveLinks(const Topology& topo) {
+  std::vector<std::pair<SwitchId, PortIndex>> links;
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    for (const auto& [nb, port] : topo.switchNeighbors(sw)) {
+      if (sw < nb) links.emplace_back(sw, port);
+    }
+  }
+  return links;
+}
+
+}  // namespace
+
+void FaultCampaign::buildTimeline() {
+  // Evolve a private topology copy chronologically so stochastic link
+  // choices and connectivity checks see the fabric exactly as it will be
+  // at injection time (scripted faults included).
+  Topology sim = fabric_->topology();
+  Rng rng(spec_.seed);
+
+  struct Pending {
+    SimTime at;
+    int order;  // tiebreak: recoveries before fails at the same instant
+    TimelineEntry entry;
+  };
+  auto later = [](const Pending& x, const Pending& y) {
+    if (x.at != y.at) return x.at > y.at;
+    return x.order > y.order;
+  };
+  std::priority_queue<Pending, std::vector<Pending>, decltype(later)> pending(
+      later);
+  int order = 0;
+  for (const ScriptedFault& f : spec_.scripted) {
+    pending.push({f.failAtNs, order++,
+                  TimelineEntry{f.failAtNs, true, f.sw, f.port, kInvalidId}});
+    if (f.recoverAtNs != kTimeNever) {
+      pending.push(
+          {f.recoverAtNs, order++,
+           TimelineEntry{f.recoverAtNs, false, f.sw, f.port, kInvalidId}});
+    }
+  }
+
+  SimTime nextStochastic = kTimeNever;
+  int stochasticLeft = 0;
+  if (spec_.mtbfNs > 0.0 && spec_.maxStochasticFaults > 0) {
+    stochasticLeft = spec_.maxStochasticFaults;
+    nextStochastic = static_cast<SimTime>(rng.exponential(spec_.mtbfNs));
+  }
+
+  // Failed links indexed by either endpoint so recovery entries resolve.
+  struct Failed {
+    SwitchId sw;
+    PortIndex port;
+    SwitchId peerSw;
+    PortIndex peerPort;
+  };
+  std::vector<Failed> failed;
+  auto findFailed = [&failed](SwitchId sw, PortIndex port) {
+    return std::find_if(failed.begin(), failed.end(), [&](const Failed& f) {
+      return (f.sw == sw && f.port == port) ||
+             (f.peerSw == sw && f.peerPort == port);
+    });
+  };
+
+  while (!pending.empty() || nextStochastic != kTimeNever) {
+    const SimTime scriptedAt = pending.empty() ? kTimeNever : pending.top().at;
+    if (nextStochastic < scriptedAt) {
+      // Draw a stochastic fault against the current link population.
+      const SimTime at = nextStochastic;
+      nextStochastic =
+          --stochasticLeft > 0
+              ? at + static_cast<SimTime>(rng.exponential(spec_.mtbfNs))
+              : kTimeNever;
+      auto links = liveLinks(sim);
+      // Reject choices that would split the switch graph; a few redraws
+      // cover fabrics where only some links are critical.
+      const int kTries = 8;
+      bool injected = false;
+      for (int t = 0; t < kTries && !links.empty() && !injected; ++t) {
+        const std::size_t pick = rng.uniformIndex(links.size());
+        const auto [sw, port] = links[static_cast<std::size_t>(pick)];
+        const Peer peer = sim.peer(sw, port);
+        sim.removeLink(sw, port);
+        if (spec_.keepConnected && !sim.connectedSwitchGraph()) {
+          sim.restoreLink(sw, port, peer.id, peer.port);
+          links.erase(links.begin() + static_cast<std::ptrdiff_t>(pick));
+          continue;
+        }
+        failed.push_back(Failed{sw, port, peer.id, peer.port});
+        timeline_.push_back(TimelineEntry{at, true, sw, port, peer.id});
+        if (spec_.mttrNs > 0.0) {
+          const SimTime recoverAt =
+              at + 1 + static_cast<SimTime>(rng.exponential(spec_.mttrNs));
+          pending.push({recoverAt, order++,
+                        TimelineEntry{recoverAt, false, sw, port, peer.id}});
+        }
+        injected = true;
+      }
+      continue;
+    }
+
+    const Pending p = pending.top();
+    pending.pop();
+    if (p.entry.fail) {
+      const Peer peer = sim.peer(p.entry.sw, p.entry.port);
+      if (peer.kind != PeerKind::kSwitch) {
+        throw std::invalid_argument(
+            "FaultCampaign: scripted fault targets a port with no live "
+            "inter-switch link at its failure time");
+      }
+      sim.removeLink(p.entry.sw, p.entry.port);
+      failed.push_back(Failed{p.entry.sw, p.entry.port, peer.id, peer.port});
+      TimelineEntry e = p.entry;
+      e.peerSw = peer.id;
+      timeline_.push_back(e);
+    } else {
+      const auto it = findFailed(p.entry.sw, p.entry.port);
+      if (it == failed.end()) {
+        throw std::invalid_argument(
+            "FaultCampaign: scripted recovery for a link that is not down");
+      }
+      sim.restoreLink(it->sw, it->port, it->peerSw, it->peerPort);
+      TimelineEntry e = p.entry;
+      e.peerSw = it->sw == p.entry.sw ? it->peerSw : it->sw;
+      timeline_.push_back(e);
+      failed.erase(it);
+    }
+  }
+
+  std::stable_sort(timeline_.begin(), timeline_.end(),
+                   [](const TimelineEntry& x, const TimelineEntry& y) {
+                     return x.at < y.at;
+                   });
+}
+
+void FaultCampaign::run(const RunLimits& limits) {
+  if (ran_) throw std::logic_error("FaultCampaign::run called twice");
+  ran_ = true;
+
+  // Action schedule: the precomputed timeline plus sweeps added on the fly.
+  // At one instant sweeps apply before recoveries before fails — a sweep
+  // completing the same nanosecond a fault hits cannot have seen it.
+  enum : int { kSweep = 0, kRecover = 1, kFail = 2 };
+  struct Action {
+    SimTime at;
+    int kind;
+    int seq;
+    std::size_t idx;  // timeline index for kFail/kRecover
+  };
+  auto later = [](const Action& x, const Action& y) {
+    if (x.at != y.at) return x.at > y.at;
+    if (x.kind != y.kind) return x.kind > y.kind;
+    return x.seq > y.seq;
+  };
+  std::priority_queue<Action, std::vector<Action>, decltype(later)> actions(
+      later);
+  int seq = 0;
+  for (std::size_t i = 0; i < timeline_.size(); ++i) {
+    actions.push(Action{timeline_[i].at,
+                        timeline_[i].fail ? kFail : kRecover, seq++, i});
+  }
+
+  const std::uint64_t droppedAtStart = fabric_->counters().dropped;
+  std::vector<SimTime> openFaults;  // fail times awaiting their first sweep
+  SimTime degradedStart = 0;
+  std::uint64_t droppedAtDegradedStart = 0;
+
+  auto runAudit = [this]() {
+    ++stats_.auditsRun;
+    const AuditReport audit = auditFabric(*fabric_);
+    if (audit.ok()) {
+      ++stats_.auditsPassed;
+    } else if (stats_.firstAuditFailure.empty()) {
+      stats_.firstAuditFailure = audit.detail;
+    }
+  };
+
+  SimTime endedAt = limits.endTime;
+  while (true) {
+    const SimTime next = actions.empty() ? kTimeNever : actions.top().at;
+    RunLimits slice = limits;
+    slice.endTime = std::min(next, limits.endTime);
+    fabric_->run(slice);
+    if (fabric_->stopRequested() || fabric_->deadlockSuspected() ||
+        fabric_->livePacketLimitHit()) {
+      endedAt = fabric_->now();  // cut short of the horizon
+      break;
+    }
+    if (next >= limits.endTime) break;
+    while (!actions.empty() && actions.top().at == next) {
+      const Action a = actions.top();
+      actions.pop();
+      switch (a.kind) {
+        case kFail: {
+          const TimelineEntry& e = timeline_[a.idx];
+          fabric_->failLink(e.sw, e.port);
+          ++stats_.faultsInjected;
+          if (openFaults.empty()) {
+            degradedStart = next;
+            droppedAtDegradedStart = fabric_->counters().dropped;
+          }
+          openFaults.push_back(next);
+          if (spec_.sweepDelayNs >= 0) {
+            actions.push(
+                Action{next + spec_.sweepDelayNs, kSweep, seq++, 0});
+          }
+          break;
+        }
+        case kRecover: {
+          const TimelineEntry& e = timeline_[a.idx];
+          fabric_->recoverLink(e.sw, e.port);
+          ++stats_.linksRecovered;
+          if (spec_.sweepDelayNs >= 0) {
+            actions.push(
+                Action{next + spec_.sweepDelayNs, kSweep, seq++, 0});
+          }
+          break;
+        }
+        case kSweep: {
+          sm_->configure(spec_.subnet);
+          ++stats_.smSweeps;
+          for (const SimTime failAt : openFaults) {
+            stats_.timeToRecovery.add(next - failAt);
+          }
+          if (!openFaults.empty()) {
+            stats_.degradedTimeNs += next - degradedStart;
+            stats_.droppedWhileDegraded +=
+                fabric_->counters().dropped - droppedAtDegradedStart;
+            openFaults.clear();
+          }
+          if (spec_.auditAfterSweep) runAudit();
+          break;
+        }
+      }
+    }
+  }
+
+  // Close an unswept degraded window at wherever the run actually ended.
+  if (!openFaults.empty()) {
+    stats_.degradedTimeNs += endedAt - degradedStart;
+    stats_.droppedWhileDegraded +=
+        fabric_->counters().dropped - droppedAtDegradedStart;
+  }
+  stats_.droppedWhileHealthy = fabric_->counters().dropped - droppedAtStart -
+                               stats_.droppedWhileDegraded;
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,107 @@
+#pragma once
+//
+// Fault-injection campaigns: scripted and stochastic link failures *and
+// recoveries*, driven through the fabric as timed events, with automatic
+// latency-modeled subnet-manager re-sweeps and post-sweep invariant audits.
+//
+// The campaign closes the loop the paper's §4.1 APM discussion leaves to
+// the reader: a link dies, endpoints are exposed to stale forwarding
+// tables for a configurable sweep delay (during which APM path sets and
+// host retransmission carry the traffic), then the SM reprograms every
+// switch around the fault; later the link may come back and a further
+// sweep reclaims it. Everything — failure times, link choices, repair
+// times — is deterministic in the campaign seed, so fault experiments are
+// exactly reproducible and diffable.
+//
+// Usage:
+//   Fabric fabric(topo, fp);
+//   SubnetManager sm(fabric);
+//   sm.configure(sp);                      // initial healthy tables
+//   FaultCampaignSpec spec; ...
+//   FaultCampaign campaign(fabric, sm, spec);
+//   fabric.attachTraffic(...); fabric.start();
+//   campaign.run(limits);                  // instead of fabric.run(limits)
+//   campaign.stats();                      // resilience metrics
+//
+#include <cstdint>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "stats/resilience.hpp"
+#include "subnet/subnet_manager.hpp"
+
+namespace ibadapt {
+
+/// One scripted link fault; the link is named by either endpoint.
+struct ScriptedFault {
+  SimTime failAtNs = 0;
+  /// kTimeNever = the link never comes back.
+  SimTime recoverAtNs = kTimeNever;
+  SwitchId sw = kInvalidId;
+  PortIndex port = kInvalidPort;
+};
+
+struct FaultCampaignSpec {
+  std::vector<ScriptedFault> scripted;
+
+  /// Stochastic fault layer, off when mtbfNs == 0: fabric-wide failure
+  /// arrivals with exponential inter-arrival times of mean `mtbfNs`; each
+  /// fault picks a live inter-switch link uniformly at random and repairs
+  /// after an exponential `mttrNs` (mttrNs == 0 -> permanent faults).
+  double mtbfNs = 0.0;
+  double mttrNs = 0.0;
+  std::uint64_t seed = 1;
+  int maxStochasticFaults = 64;
+  /// Skip stochastic faults that would disconnect the switch graph (the
+  /// subnet manager cannot route a partitioned fabric).
+  bool keepConnected = true;
+
+  /// SM re-sweep latency after each fault/recovery — the window endpoints
+  /// are exposed to stale LFTs. < 0 disables automatic re-sweeps entirely
+  /// (then only APM migration / retransmission mask faults).
+  SimTime sweepDelayNs = 50'000;
+  /// Routing configuration the SM re-applies on every sweep.
+  SubnetParams subnet;
+  /// Audit escape connectivity + credit sanity after every sweep.
+  bool auditAfterSweep = true;
+
+  void validate() const;
+};
+
+class FaultCampaign {
+ public:
+  /// Builds the deterministic fault/recovery timeline up front (topology
+  /// evolution is simulated on a copy; the fabric is not touched yet).
+  FaultCampaign(Fabric& fabric, SubnetManager& sm,
+                const FaultCampaignSpec& spec);
+
+  struct TimelineEntry {
+    SimTime at = 0;
+    bool fail = true;  // false = recovery
+    SwitchId sw = kInvalidId;
+    PortIndex port = kInvalidPort;
+    SwitchId peerSw = kInvalidId;  // informational (fail entries)
+  };
+  /// The full injection plan, time-ordered. Same spec -> same timeline.
+  const std::vector<TimelineEntry>& timeline() const { return timeline_; }
+
+  /// Drives the fabric to limits.endTime exactly like Fabric::run, but
+  /// interleaves the fault timeline, delayed SM re-sweeps, and post-sweep
+  /// audits. Returns when the horizon, a stop request (e.g. a stats
+  /// budget), the watchdog, or the live-packet limit ends the run.
+  void run(const RunLimits& limits);
+
+  const ResilienceStats& stats() const { return stats_; }
+
+ private:
+  void buildTimeline();
+
+  Fabric* fabric_;
+  SubnetManager* sm_;
+  FaultCampaignSpec spec_;
+  std::vector<TimelineEntry> timeline_;
+  ResilienceStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace ibadapt

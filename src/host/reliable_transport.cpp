@@ -1,0 +1,196 @@
+#include "host/reliable_transport.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ibadapt {
+
+void ReliableTransportSpec::validate() const {
+  if (baseRtoNs <= 0 || maxRtoNs < baseRtoNs) {
+    throw std::invalid_argument("ReliableTransportSpec: RTO bounds");
+  }
+  if (backoffFactor < 1.0) {
+    throw std::invalid_argument("ReliableTransportSpec: backoffFactor >= 1");
+  }
+  if (maxRetries < 0) {
+    throw std::invalid_argument("ReliableTransportSpec: maxRetries");
+  }
+  if (ackDelayNs < 0) {
+    throw std::invalid_argument("ReliableTransportSpec: ackDelayNs");
+  }
+}
+
+ReliableTransport::ReliableTransport(ITrafficSource& inner, int numNodes,
+                                     const ReliableTransportSpec& spec)
+    : inner_(&inner), numNodes_(numNodes), spec_(spec) {
+  spec_.validate();
+  if (numNodes < 2) {
+    throw std::invalid_argument("ReliableTransport: need >= 2 nodes");
+  }
+  if (inner.saturationMode()) {
+    throw std::invalid_argument(
+        "ReliableTransport: saturation sources are unsupported (retransmit "
+        "timers need an open-loop generation clock)");
+  }
+  nodes_.resize(static_cast<std::size_t>(numNodes));
+  const std::size_t flows =
+      static_cast<std::size_t>(numNodes) * static_cast<std::size_t>(numNodes);
+  nextSeq_.assign(flows, 1);
+  recv_.assign(flows, FlowRecv{});
+}
+
+SimTime ReliableTransport::rtoFor(int attempts) const {
+  double rto = static_cast<double>(spec_.baseRtoNs);
+  for (int i = 0; i < attempts; ++i) {
+    rto *= spec_.backoffFactor;
+    if (rto >= static_cast<double>(spec_.maxRtoNs)) break;
+  }
+  return std::min(spec_.maxRtoNs, static_cast<SimTime>(rto));
+}
+
+void ReliableTransport::drainAcks(SimTime now) {
+  while (!acks_.empty() && acks_.top().learnAt <= now) {
+    const Ack ack = acks_.top();
+    acks_.pop();
+    auto& outst = nodes_[static_cast<std::size_t>(ack.src)].outstanding;
+    for (std::size_t i = 0; i < outst.size(); ++i) {
+      if (outst[i].spec.dst == ack.dst && outst[i].spec.e2eSeq == ack.seq) {
+        outst[i] = outst.back();
+        outst.pop_back();
+        break;  // abandoned entries may already be gone: that's fine
+      }
+    }
+  }
+}
+
+SimTime ReliableTransport::firstGenTime(NodeId node, Rng& rng) {
+  NodeSend& st = nodes_[static_cast<std::size_t>(node)];
+  st.innerNext = inner_->firstGenTime(node, rng);
+  st.wakeAt = st.innerNext;
+  return st.wakeAt;
+}
+
+ITrafficSource::Spec ReliableTransport::makePacket(NodeId src, Rng& rng) {
+  NodeSend& st = nodes_[static_cast<std::size_t>(src)];
+  const SimTime now = st.wakeAt;  // makePacket fires exactly at the wake we
+                                  // returned from first/nextGenTime
+  drainAcks(now);
+
+  // Due retransmissions take priority over fresh generation: the flow's
+  // oldest unacknowledged packet is what downstream reorder buffers wait on.
+  while (true) {
+    std::size_t due = st.outstanding.size();
+    for (std::size_t i = 0; i < st.outstanding.size(); ++i) {
+      if (st.outstanding[i].deadline > now) continue;
+      if (due == st.outstanding.size() ||
+          st.outstanding[i].deadline < st.outstanding[due].deadline) {
+        due = i;
+      }
+    }
+    if (due == st.outstanding.size()) break;
+    OutPkt& op = st.outstanding[due];
+    if (op.attempts >= spec_.maxRetries) {
+      ++abandoned_;
+      st.outstanding[due] = st.outstanding.back();
+      st.outstanding.pop_back();
+      continue;
+    }
+    ++op.attempts;
+    op.deadline = now + rtoFor(op.attempts);
+    ++retransmitsSent_;
+    lastMakeWasRetransmit_ = true;
+    return op.spec;
+  }
+
+  lastMakeWasRetransmit_ = false;
+  if (!st.innerPending && st.innerNext <= now && st.innerNext != kTimeNever) {
+    Spec s = inner_->makePacket(src, rng);
+    st.innerPending = true;
+    if (s.dst != kInvalidId) {
+      s.e2eSeq = nextSeq_[flowIndex(src, s.dst)]++;
+      st.outstanding.push_back(OutPkt{s, now, now + rtoFor(0), 0});
+      ++uniqueSent_;
+    }
+    return s;
+  }
+  return Spec{};  // idle wake: a timer fired for an already-acked packet
+}
+
+SimTime ReliableTransport::nextGenTime(NodeId node, SimTime now, Rng& rng) {
+  NodeSend& st = nodes_[static_cast<std::size_t>(node)];
+  drainAcks(now);
+  if (st.innerPending) {
+    st.innerNext = inner_->nextGenTime(node, now, rng);
+    st.innerPending = false;
+  }
+  SimTime wake = st.innerNext;
+  for (const OutPkt& op : st.outstanding) {
+    wake = std::min(wake, op.deadline);
+  }
+  st.wakeAt = wake;
+  return wake;
+}
+
+void ReliableTransport::onGenerated(const Packet& pkt, SimTime now) {
+  // Retransmitted copies are internal: the exactly-once observer chain sees
+  // each application packet generated once.
+  if (!lastMakeWasRetransmit_ && chained_ != nullptr) {
+    chained_->onGenerated(pkt, now);
+  }
+}
+
+void ReliableTransport::onInjected(const Packet& pkt, SimTime now) {
+  if (chained_ != nullptr) chained_->onInjected(pkt, now);
+}
+
+void ReliableTransport::onDelivered(const Packet& pkt, SimTime now) {
+  if (pkt.e2eSeq == 0) {  // untracked (pre-transport or foreign) traffic
+    if (chained_ != nullptr) chained_->onDelivered(pkt, now);
+    return;
+  }
+  FlowRecv& flow = recv_[flowIndex(pkt.src, pkt.dst)];
+  if (flowSeen(flow, pkt.e2eSeq)) {
+    ++duplicatesSuppressed_;
+    return;
+  }
+  flowMark(flow, pkt.e2eSeq);
+  ++uniqueDelivered_;
+
+  // End-to-end latency against the first transmission, while the sender
+  // still remembers it (the ack, below, is what clears the record).
+  const auto& outst = nodes_[static_cast<std::size_t>(pkt.src)].outstanding;
+  for (const OutPkt& op : outst) {
+    if (op.spec.dst == pkt.dst && op.spec.e2eSeq == pkt.e2eSeq) {
+      e2eLatency_.add(now - op.firstSent);
+      break;
+    }
+  }
+  acks_.push(Ack{now + spec_.ackDelayNs, pkt.src, pkt.dst, pkt.e2eSeq});
+  if (chained_ != nullptr) chained_->onDelivered(pkt, now);
+}
+
+bool ReliableTransport::flowSeen(const FlowRecv& flow,
+                                 std::uint32_t seq) const {
+  return seq <= flow.contiguous || flow.beyond.count(seq) != 0;
+}
+
+void ReliableTransport::flowMark(FlowRecv& flow, std::uint32_t seq) {
+  if (seq != flow.contiguous + 1) {
+    flow.beyond.insert(seq);
+    return;
+  }
+  ++flow.contiguous;
+  auto it = flow.beyond.begin();
+  while (it != flow.beyond.end() && *it == flow.contiguous + 1) {
+    ++flow.contiguous;
+    it = flow.beyond.erase(it);
+  }
+}
+
+std::size_t ReliableTransport::outstanding() const {
+  std::size_t n = 0;
+  for (const NodeSend& st : nodes_) n += st.outstanding.size();
+  return n;
+}
+
+}  // namespace ibadapt

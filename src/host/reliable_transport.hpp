@@ -1,0 +1,156 @@
+#pragma once
+//
+// Host-side end-to-end reliability (the missing half of the paper's §4.1
+// fault story): LMC/APM virtual addressing lets senders migrate around a
+// dead link, but segments already stranded on it are discarded by the
+// switches. This layer makes adaptive traffic survive that degraded
+// window the way a real transport does:
+//
+//   * per-flow (src, dst) sequence numbers stamped into every packet,
+//   * a retransmit timer per outstanding packet with exponential backoff,
+//   * duplicate suppression at the receiver (a late original plus its
+//     retransmitted copy deliver exactly once to the layers above).
+//
+// ReliableTransport sits between the fabric and both host endpoints of
+// every flow: it wraps the application ITrafficSource (stamping sequence
+// numbers, injecting retransmissions into the generation schedule) and
+// interposes on the IDeliveryObserver chain (deduplicating before the
+// stats / message-reassembly observers see the packet). Acknowledgements
+// are modeled out of band with a configurable delay instead of as wire
+// packets: the simulator's subject is the fabric, not the verbs layer,
+// and out-of-band acks keep the offered load of every experiment
+// comparable with and without reliability enabled.
+//
+#include <cstdint>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "fabric/interfaces.hpp"
+#include "stats/latency.hpp"
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+struct ReliableTransportSpec {
+  /// Retransmit timeout for the first attempt. Should comfortably exceed
+  /// the uncongested round trip (packet latency + ackDelayNs).
+  SimTime baseRtoNs = 50'000;
+  /// Timeout multiplier per retransmission (exponential backoff).
+  double backoffFactor = 2.0;
+  /// Backoff ceiling.
+  SimTime maxRtoNs = 1'600'000;
+  /// Retransmissions per packet before the transport gives up (counted in
+  /// abandoned()); generous by default so recovered fabrics converge to
+  /// exactly-once delivery.
+  int maxRetries = 24;
+  /// Delay from delivery at the destination CA until the source learns of
+  /// it (out-of-band ack model).
+  SimTime ackDelayNs = 2'000;
+
+  void validate() const;
+};
+
+/// Wraps an application traffic source with sequence tracking, timeout +
+/// retransmit, and receive-side duplicate suppression. Attach to the
+/// fabric as BOTH the traffic source and the delivery observer; chain the
+/// measurement observer behind it with attachObserver().
+class ReliableTransport final : public ITrafficSource,
+                                public IDeliveryObserver {
+ public:
+  /// `inner` must be an open-loop source (saturation sources pull packets
+  /// in bursts with no per-wake clock, which the retransmit timers need).
+  ReliableTransport(ITrafficSource& inner, int numNodes,
+                    const ReliableTransportSpec& spec);
+
+  /// Observer that sees exactly-once traffic (stats collector, message
+  /// reassembler, ...). Duplicate deliveries are suppressed before it.
+  void attachObserver(IDeliveryObserver* observer) { chained_ = observer; }
+
+  // ---- ITrafficSource ----------------------------------------------------
+  Spec makePacket(NodeId src, Rng& rng) override;
+  SimTime firstGenTime(NodeId node, Rng& rng) override;
+  SimTime nextGenTime(NodeId node, SimTime now, Rng& rng) override;
+  bool saturationMode() const override { return false; }
+
+  // ---- IDeliveryObserver -------------------------------------------------
+  void onGenerated(const Packet& pkt, SimTime now) override;
+  void onInjected(const Packet& pkt, SimTime now) override;
+  void onDelivered(const Packet& pkt, SimTime now) override;
+
+  // ---- reliability metrics ----------------------------------------------
+  /// Application packets handed to the fabric for the first time.
+  std::uint64_t uniqueSent() const { return uniqueSent_; }
+  /// Distinct application packets delivered (first copy only).
+  std::uint64_t uniqueDelivered() const { return uniqueDelivered_; }
+  /// Retransmitted copies injected.
+  std::uint64_t retransmitsSent() const { return retransmitsSent_; }
+  /// Deliveries suppressed as duplicates of an earlier copy.
+  std::uint64_t duplicatesSuppressed() const { return duplicatesSuppressed_; }
+  /// Packets the transport gave up on after maxRetries.
+  std::uint64_t abandoned() const { return abandoned_; }
+  /// Packets sent, unacknowledged, and not yet abandoned.
+  std::size_t outstanding() const;
+  /// First-transmission-to-first-delivery latency of tracked packets.
+  const LatencyAccumulator& endToEndLatency() const { return e2eLatency_; }
+
+ private:
+  struct OutPkt {
+    Spec spec;               // verbatim respec for retransmission
+    SimTime firstSent = 0;
+    SimTime deadline = 0;    // next retransmit time
+    int attempts = 0;        // retransmissions so far
+  };
+  struct NodeSend {
+    SimTime innerNext = kTimeNever;  // inner source's next generation time
+    bool innerPending = false;       // inner.makePacket consumed, next time
+                                     // not yet asked for
+    SimTime wakeAt = kTimeNever;     // the time we returned to the fabric;
+                                     // equals `now` inside makePacket
+    std::vector<OutPkt> outstanding;
+  };
+  struct FlowRecv {
+    std::uint32_t contiguous = 0;        // every seq <= contiguous received
+    std::set<std::uint32_t> beyond;      // received past the contiguous edge
+  };
+  struct Ack {
+    SimTime learnAt = 0;  // when the source finds out
+    NodeId src = kInvalidId;
+    NodeId dst = kInvalidId;
+    std::uint32_t seq = 0;
+  };
+  struct AckLater {
+    bool operator()(const Ack& x, const Ack& y) const noexcept {
+      return x.learnAt > y.learnAt;
+    }
+  };
+
+  std::size_t flowIndex(NodeId src, NodeId dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(numNodes_) +
+           static_cast<std::size_t>(dst);
+  }
+  SimTime rtoFor(int attempts) const;
+  void drainAcks(SimTime now);
+  bool flowSeen(const FlowRecv& flow, std::uint32_t seq) const;
+  void flowMark(FlowRecv& flow, std::uint32_t seq);
+
+  ITrafficSource* inner_;
+  IDeliveryObserver* chained_ = nullptr;
+  int numNodes_;
+  ReliableTransportSpec spec_;
+
+  std::vector<NodeSend> nodes_;
+  std::vector<std::uint32_t> nextSeq_;  // per flow, next seq to assign (from 1)
+  std::vector<FlowRecv> recv_;
+  std::priority_queue<Ack, std::vector<Ack>, AckLater> acks_;
+  bool lastMakeWasRetransmit_ = false;
+
+  std::uint64_t uniqueSent_ = 0;
+  std::uint64_t uniqueDelivered_ = 0;
+  std::uint64_t retransmitsSent_ = 0;
+  std::uint64_t duplicatesSuppressed_ = 0;
+  std::uint64_t abandoned_ = 0;
+  LatencyAccumulator e2eLatency_;
+};
+
+}  // namespace ibadapt

@@ -1,0 +1,27 @@
+#include "stats/resilience.hpp"
+
+#include <sstream>
+
+namespace ibadapt {
+
+std::string ResilienceStats::summary() const {
+  std::ostringstream os;
+  os << "faults=" << faultsInjected << " recovered=" << linksRecovered
+     << " sweeps=" << smSweeps;
+  if (timeToRecovery.count() > 0) {
+    os << " ttrAvg=" << timeToRecovery.mean() << "ns";
+  }
+  os << " degraded=" << degradedTimeNs << "ns"
+     << " droppedDegraded=" << droppedWhileDegraded;
+  if (uniqueSent > 0) {
+    os << " delivered=" << uniqueDelivered << "/" << uniqueSent
+       << " retx=" << retransmitsSent << " dups=" << duplicatesSuppressed;
+  }
+  if (auditsRun > 0) {
+    os << " audits=" << auditsPassed << "/" << auditsRun;
+    if (!allAuditsPassed()) os << " [AUDIT-FAIL: " << firstAuditFailure << "]";
+  }
+  return os.str();
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,61 @@
+#pragma once
+//
+// Resilience metrics: what a fault-injection campaign accumulates about how
+// the fabric rode through link failures and recoveries. Filled in by
+// fault::FaultCampaign and surfaced through SimResults.
+//
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/latency.hpp"
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+struct ResilienceStats {
+  // ---- event counts ------------------------------------------------------
+  int faultsInjected = 0;
+  int linksRecovered = 0;
+  int smSweeps = 0;
+
+  // ---- exposure ----------------------------------------------------------
+  /// Per fault: time from the failure until the next completed SM sweep —
+  /// the window endpoints were exposed to a stale LFT ("time-to-recovery").
+  LatencyAccumulator timeToRecovery;
+  /// Total simulated time during which at least one fault was not yet
+  /// swept around (union of the degraded windows).
+  SimTime degradedTimeNs = 0;
+  /// Packets discarded at switches inside degraded windows.
+  std::uint64_t droppedWhileDegraded = 0;
+  /// ... and outside them (stale path sets, in-flight stragglers).
+  std::uint64_t droppedWhileHealthy = 0;
+
+  // ---- end-to-end reliability (zeros when no ReliableTransport) ---------
+  std::uint64_t retransmitsSent = 0;
+  std::uint64_t duplicatesSuppressed = 0;
+  std::uint64_t abandonedPackets = 0;
+  std::uint64_t uniqueSent = 0;
+  std::uint64_t uniqueDelivered = 0;
+
+  // ---- invariants --------------------------------------------------------
+  /// Post-sweep audits that passed / total run.
+  int auditsPassed = 0;
+  int auditsRun = 0;
+  /// First audit failure, empty when none (auditsPassed == auditsRun).
+  std::string firstAuditFailure;
+
+  bool allAuditsPassed() const { return auditsPassed == auditsRun; }
+
+  /// Fraction of transport-tracked packets that were delivered (1.0 when
+  /// everything arrived; counts unique packets, not copies).
+  double deliveredFraction() const {
+    return uniqueSent ? static_cast<double>(uniqueDelivered) /
+                            static_cast<double>(uniqueSent)
+                      : 0.0;
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace ibadapt

@@ -60,6 +60,31 @@ void Topology::removeLink(SwitchId sw, PortIndex port) {
   --numLinks_;
 }
 
+void Topology::restoreLink(SwitchId a, PortIndex portA, SwitchId b,
+                           PortIndex portB) {
+  if (a == b) throw std::invalid_argument("Topology::restoreLink: self-link");
+  if (a < 0 || b < 0 || a >= numSwitches_ || b >= numSwitches_) {
+    throw std::invalid_argument("Topology::restoreLink: switch id out of range");
+  }
+  if (portA < nodesPerSwitch_ || portA >= portsPerSwitch_ ||
+      portB < nodesPerSwitch_ || portB >= portsPerSwitch_) {
+    throw std::invalid_argument(
+        "Topology::restoreLink: port outside the inter-switch range");
+  }
+  if (peer(a, portA).kind != PeerKind::kUnused ||
+      peer(b, portB).kind != PeerKind::kUnused) {
+    throw std::invalid_argument("Topology::restoreLink: port already wired");
+  }
+  if (linked(a, b)) {
+    throw std::invalid_argument("Topology::restoreLink: pair already linked");
+  }
+  ports_[static_cast<std::size_t>(a)][static_cast<std::size_t>(portA)] =
+      Peer{PeerKind::kSwitch, b, portB};
+  ports_[static_cast<std::size_t>(b)][static_cast<std::size_t>(portB)] =
+      Peer{PeerKind::kSwitch, a, portA};
+  ++numLinks_;
+}
+
 bool Topology::linked(SwitchId a, SwitchId b) const {
   for (PortIndex p = nodesPerSwitch_; p < portsPerSwitch_; ++p) {
     const Peer& pe = peer(a, p);

@@ -62,6 +62,13 @@ class Topology {
   /// does not host an inter-switch link.
   void removeLink(SwitchId sw, PortIndex port);
 
+  /// Reconnects a specific port pair — the inverse of removeLink, used when
+  /// a failed link comes back up. Unlike addLink the ports are explicit so
+  /// the restored link occupies exactly the ports it had before the fault.
+  /// Throws when either port is out of the inter-switch range, already
+  /// wired, or the switches are already linked elsewhere.
+  void restoreLink(SwitchId a, PortIndex portA, SwitchId b, PortIndex portB);
+
   bool linked(SwitchId a, SwitchId b) const;
 
   /// Number of inter-switch links on `sw`.

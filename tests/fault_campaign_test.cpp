@@ -1,0 +1,347 @@
+//
+// Fault-injection campaigns: deterministic timelines, link recovery,
+// latency-modeled SM re-sweeps, degraded-mode audits, and the end-to-end
+// acceptance run — a scripted campaign failing and recovering >= 10 % of
+// the inter-switch links with exactly-once delivery throughout.
+//
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "api/simulation.hpp"
+#include "fault/fault_audit.hpp"
+#include "fault/fault_campaign.hpp"
+#include "host/reliable_transport.hpp"
+#include "test_helpers.hpp"
+#include "topology/generators.hpp"
+
+namespace ibadapt {
+namespace {
+
+Topology irregular(int switches, int links, std::uint64_t seed) {
+  Rng rng(seed);
+  IrregularSpec spec;
+  spec.numSwitches = switches;
+  spec.linksPerSwitch = links;
+  spec.nodesPerSwitch = 4;
+  return makeIrregular(spec, rng);
+}
+
+/// Live inter-switch links whose individual removal keeps the graph
+/// connected (safe to fail one at a time).
+std::vector<std::pair<SwitchId, PortIndex>> nonCriticalLinks(
+    const Topology& topo) {
+  std::vector<std::pair<SwitchId, PortIndex>> out;
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    for (const auto& [nb, port] : topo.switchNeighbors(sw)) {
+      if (sw > nb) continue;
+      Topology probe = topo;
+      const Peer peer = probe.peer(sw, port);
+      probe.removeLink(sw, port);
+      if (probe.connectedSwitchGraph()) out.emplace_back(sw, port);
+      probe.restoreLink(sw, port, peer.id, peer.port);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// recoverLink (inverse of failLink)
+// ---------------------------------------------------------------------------
+
+TEST(RecoverLink, RoundTripRestoresTheExactPortPair) {
+  const Topology topo = testing::twoSwitchTopology(2);
+  Fabric fabric(topo, FabricParams{});
+  const PortIndex port = 2;  // the only inter-switch link: (0,2)-(1,2)
+  ASSERT_EQ(topo.peer(0, port).kind, PeerKind::kSwitch);
+
+  fabric.failLink(0, port);
+  ASSERT_EQ(fabric.failedLinks().size(), 1u);
+  EXPECT_EQ(fabric.managementPeer(0, port).kind, PeerKind::kUnused);
+  // Failing the same (now dead) port again is rejected.
+  EXPECT_THROW(fabric.failLink(0, port), std::invalid_argument);
+
+  // Recovery may name either endpoint; use the peer side.
+  fabric.recoverLink(1, port);
+  EXPECT_TRUE(fabric.failedLinks().empty());
+  EXPECT_TRUE(fabric.topology().linked(0, 1));
+  EXPECT_EQ(fabric.managementPeer(0, port).id, 1);
+  EXPECT_EQ(fabric.managementPeer(0, port).port, port);
+
+  // Nothing left to recover; the link can fail again.
+  EXPECT_THROW(fabric.recoverLink(0, port), std::invalid_argument);
+  fabric.failLink(0, port);
+  EXPECT_EQ(fabric.failedLinks().size(), 1u);
+}
+
+TEST(RecoverLink, CreditsSurviveAFaultRecoveryCycle) {
+  // Credits kept flowing while the link was down, so a drained fabric has
+  // full credit on the recovered link in both directions.
+  const Topology topo = testing::lineTopology(2);
+  FabricParams fp;
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  testing::ScriptedTraffic traffic;
+  for (int i = 0; i < 10; ++i) {
+    traffic.add(0, i * 300, /*dst=*/4, 32, /*adaptive=*/false);
+  }
+  testing::RecordingObserver obs;
+  fabric.attachTraffic(&traffic, 1);
+  fabric.attachObserver(&obs);
+  fabric.start();
+  RunLimits limits;
+  limits.endTime = 1'500;  // some packets in flight toward switch 2
+  fabric.run(limits);
+
+  PortIndex toSw2 = kInvalidPort;
+  for (const auto& [nb, port] : fabric.topology().switchNeighbors(1)) {
+    if (nb == 2) toSw2 = port;
+  }
+  ASSERT_NE(toSw2, kInvalidPort);
+  fabric.failLink(1, toSw2);
+  limits.endTime = 1'000'000;
+  fabric.run(limits);  // strand + drop, drain credit returns
+  fabric.recoverLink(1, toSw2);
+  limits.endTime = 5'000'000;
+  fabric.run(limits);
+
+  const AuditReport audit = auditFabric(fabric, /*expectQuiescent=*/true);
+  EXPECT_TRUE(audit.ok()) << audit.detail;
+  EXPECT_EQ(fabric.outputCredits(1, toSw2, 0),
+            fabric.outputCreditsMax(1, toSw2, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Campaign timeline
+// ---------------------------------------------------------------------------
+
+TEST(FaultCampaign, TimelineIsDeterministicInTheSeed) {
+  const Topology topo = irregular(16, 4, 78);
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+
+  FaultCampaignSpec spec;
+  spec.mtbfNs = 500'000;
+  spec.mttrNs = 200'000;
+  spec.seed = 5;
+  spec.maxStochasticFaults = 10;
+  const FaultCampaign a(fabric, sm, spec);
+  const FaultCampaign b(fabric, sm, spec);
+
+  ASSERT_FALSE(a.timeline().empty());
+  ASSERT_EQ(a.timeline().size(), b.timeline().size());
+  bool sawRecovery = false;
+  for (std::size_t i = 0; i < a.timeline().size(); ++i) {
+    EXPECT_EQ(a.timeline()[i].at, b.timeline()[i].at);
+    EXPECT_EQ(a.timeline()[i].fail, b.timeline()[i].fail);
+    EXPECT_EQ(a.timeline()[i].sw, b.timeline()[i].sw);
+    EXPECT_EQ(a.timeline()[i].port, b.timeline()[i].port);
+    if (i > 0) {
+      EXPECT_LE(a.timeline()[i - 1].at, a.timeline()[i].at);
+    }
+    sawRecovery |= !a.timeline()[i].fail;
+  }
+  EXPECT_TRUE(sawRecovery) << "MTTR layer produced no repairs";
+
+  spec.seed = 6;
+  const FaultCampaign c(fabric, sm, spec);
+  ASSERT_FALSE(c.timeline().empty());
+  EXPECT_NE(c.timeline().front().at, a.timeline().front().at)
+      << "different seeds drew identical first arrival";
+}
+
+TEST(FaultCampaign, RejectsBadSpecs) {
+  const Topology topo = irregular(8, 4, 79);
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+
+  FaultCampaignSpec caPort;
+  caPort.scripted.push_back(ScriptedFault{1'000, kTimeNever, 0, 0});
+  EXPECT_THROW(FaultCampaign(fabric, sm, caPort), std::invalid_argument);
+
+  FaultCampaignSpec backwards;
+  backwards.scripted.push_back(ScriptedFault{2'000, 1'000, 0, 4});
+  EXPECT_THROW(FaultCampaign(fabric, sm, backwards), std::invalid_argument);
+
+  FaultCampaignSpec negative;
+  negative.mtbfNs = -1.0;
+  EXPECT_THROW(FaultCampaign(fabric, sm, negative), std::invalid_argument);
+}
+
+TEST(FaultCampaign, DisabledSweepLeavesTablesStale) {
+  // sweepDelayNs < 0: the fault is never swept around, the degraded window
+  // runs to the horizon, and no audit fires.
+  const Topology topo = irregular(8, 4, 80);
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  const auto safe = nonCriticalLinks(topo);
+  ASSERT_FALSE(safe.empty());
+  FaultCampaignSpec spec;
+  spec.scripted.push_back(
+      ScriptedFault{100'000, kTimeNever, safe[0].first, safe[0].second});
+  spec.sweepDelayNs = -1;
+  FaultCampaign campaign(fabric, sm, spec);
+
+  testing::ScriptedTraffic traffic;  // no packets: topology-only run
+  fabric.attachTraffic(&traffic, 1);
+  fabric.start();
+  RunLimits limits;
+  limits.endTime = 1'000'000;
+  campaign.run(limits);
+
+  EXPECT_EQ(campaign.stats().faultsInjected, 1);
+  EXPECT_EQ(campaign.stats().smSweeps, 0);
+  EXPECT_EQ(campaign.stats().timeToRecovery.count(), 0u);
+  EXPECT_EQ(campaign.stats().auditsRun, 0);
+  EXPECT_EQ(campaign.stats().degradedTimeNs, 1'000'000 - 100'000);
+  EXPECT_EQ(fabric.failedLinks().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: >= 10 % of links fail and recover; exactly-once end to end
+// ---------------------------------------------------------------------------
+
+TEST(FaultCampaign, TenPercentOfLinksFailAndRecoverExactlyOnce) {
+  const Topology topo = irregular(16, 4, 77);
+  const int tenPercent = (topo.numLinks() + 9) / 10;
+  const auto safe = nonCriticalLinks(topo);
+  ASSERT_GE(static_cast<int>(safe.size()), tenPercent)
+      << "topology too fragile for the campaign";
+
+  FabricParams fp;
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  // Sequential fail->sweep->recover->sweep cycles, one per chosen link, so
+  // connectivity holds throughout and every fault's sweep latency is exact.
+  FaultCampaignSpec spec;
+  spec.sweepDelayNs = 50'000;
+  for (int i = 0; i < tenPercent; ++i) {
+    ScriptedFault f;
+    f.failAtNs = 200'000 + static_cast<SimTime>(i) * 600'000;
+    f.recoverAtNs = f.failAtNs + 300'000;
+    f.sw = safe[static_cast<std::size_t>(i)].first;
+    f.port = safe[static_cast<std::size_t>(i)].second;
+    spec.scripted.push_back(f);
+  }
+  FaultCampaign campaign(fabric, sm, spec);
+  const SimTime lastAction = spec.scripted.back().recoverAtNs + 50'000;
+
+  // Deterministic cross-fabric flows spanning the whole campaign, under the
+  // reliable transport: packets stranded on failed links are retransmitted.
+  testing::ScriptedTraffic inner;
+  const NodeId n = topo.numNodes();
+  for (NodeId src = 0; src < n; ++src) {
+    const NodeId dst = (src + n / 2) % n;
+    for (int i = 0; i < 10; ++i) {
+      inner.add(src, src * 37 + static_cast<SimTime>(i) * (lastAction / 10),
+                dst, 32, /*adaptive=*/false);
+    }
+  }
+  ReliableTransportSpec rts;
+  rts.baseRtoNs = 30'000;
+  rts.maxRtoNs = 480'000;
+  ReliableTransport rt(inner, n, rts);
+  testing::RecordingObserver obs;
+  rt.attachObserver(&obs);
+  fabric.attachTraffic(&rt, 1);
+  fabric.attachObserver(&rt);
+  fabric.start();
+
+  RunLimits limits;
+  limits.endTime = lastAction + 8'000'000;  // generous retransmit tail
+  campaign.run(limits);
+
+  const ResilienceStats& rs = campaign.stats();
+  EXPECT_FALSE(fabric.deadlockSuspected());
+  EXPECT_EQ(rs.faultsInjected, tenPercent);
+  EXPECT_EQ(rs.linksRecovered, tenPercent);
+  EXPECT_EQ(rs.smSweeps, 2 * tenPercent);  // one per fault + one per repair
+  EXPECT_TRUE(fabric.failedLinks().empty());
+
+  // Per-fault time-to-recovery: cycles never overlap, so every fault was
+  // swept exactly sweepDelayNs after it hit.
+  ASSERT_EQ(rs.timeToRecovery.count(), static_cast<std::uint64_t>(tenPercent));
+  EXPECT_EQ(rs.timeToRecovery.min(), 50'000);
+  EXPECT_EQ(rs.timeToRecovery.max(), 50'000);
+  EXPECT_EQ(rs.degradedTimeNs, static_cast<SimTime>(tenPercent) * 50'000);
+
+  // Every post-sweep audit passed (escape plane whole, credits in range).
+  EXPECT_EQ(rs.auditsRun, 2 * tenPercent);
+  EXPECT_TRUE(rs.allAuditsPassed()) << rs.firstAuditFailure;
+
+  // Exactly-once delivery end to end despite the drops.
+  EXPECT_EQ(rt.uniqueSent(), static_cast<std::uint64_t>(n) * 10);
+  EXPECT_EQ(rt.uniqueDelivered(), rt.uniqueSent());
+  EXPECT_EQ(rt.abandoned(), 0u);
+  EXPECT_EQ(rt.outstanding(), 0u);
+  std::map<std::tuple<NodeId, NodeId, std::uint32_t>, int> seen;
+  for (const auto& d : obs.deliveries) ++seen[{d.pkt.src, d.pkt.dst, d.pkt.e2eSeq}];
+  EXPECT_EQ(obs.deliveries.size(), static_cast<std::size_t>(n) * 10);
+  for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+
+  // The drained fabric holds zero stuck credits.
+  const AuditReport quiescent = auditFabric(fabric, /*expectQuiescent=*/true);
+  EXPECT_TRUE(quiescent.ok()) << quiescent.detail;
+
+  // Degraded/healthy drop accounting is exhaustive.
+  EXPECT_EQ(rs.droppedWhileDegraded + rs.droppedWhileHealthy,
+            fabric.counters().dropped);
+}
+
+// ---------------------------------------------------------------------------
+// API-level determinism
+// ---------------------------------------------------------------------------
+
+SimParams stochasticParams() {
+  SimParams p;
+  p.numSwitches = 8;
+  p.linksPerSwitch = 4;
+  p.loadBytesPerNsPerNode = 0.02;
+  p.warmupPackets = 100;
+  p.measurePackets = 1'000'000;  // never reached: run to the horizon
+  p.maxSimTimeNs = 3'000'000;
+  p.faultMtbfNs = 400'000;
+  p.faultMttrNs = 150'000;
+  p.faultSeed = 3;
+  p.sweepDelayNs = 30'000;
+  p.reliableTransport = true;
+  return p;
+}
+
+TEST(FaultCampaign, SameSeedSameCountersThroughTheApi) {
+  const SimParams p = stochasticParams();
+  const SimResults a = runSimulation(p);
+  const SimResults b = runSimulation(p);
+
+  EXPECT_TRUE(a.faultCampaignRan);
+  EXPECT_GT(a.resilience.faultsInjected, 0);
+  EXPECT_GT(a.resilience.smSweeps, 0);
+  EXPECT_GT(a.resilience.uniqueDelivered, 0u);
+
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.simEndTimeNs, b.simEndTimeNs);
+  EXPECT_EQ(a.resilience.faultsInjected, b.resilience.faultsInjected);
+  EXPECT_EQ(a.resilience.linksRecovered, b.resilience.linksRecovered);
+  EXPECT_EQ(a.resilience.smSweeps, b.resilience.smSweeps);
+  EXPECT_EQ(a.resilience.degradedTimeNs, b.resilience.degradedTimeNs);
+  EXPECT_EQ(a.resilience.droppedWhileDegraded,
+            b.resilience.droppedWhileDegraded);
+  EXPECT_EQ(a.resilience.retransmitsSent, b.resilience.retransmitsSent);
+  EXPECT_EQ(a.resilience.duplicatesSuppressed,
+            b.resilience.duplicatesSuppressed);
+  EXPECT_EQ(a.resilience.uniqueSent, b.resilience.uniqueSent);
+  EXPECT_EQ(a.resilience.uniqueDelivered, b.resilience.uniqueDelivered);
+  EXPECT_EQ(a.resilience.auditsRun, b.resilience.auditsRun);
+  EXPECT_EQ(a.resilience.auditsPassed, b.resilience.auditsPassed);
+}
+
+}  // namespace
+}  // namespace ibadapt

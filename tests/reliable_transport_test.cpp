@@ -1,0 +1,209 @@
+//
+// Host-side end-to-end reliability: sequence tracking, timeout +
+// retransmit with exponential backoff, and receive-side duplicate
+// suppression, exercised against real link faults.
+//
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fabric/fabric.hpp"
+#include "host/reliable_transport.hpp"
+#include "subnet/subnet_manager.hpp"
+#include "test_helpers.hpp"
+
+namespace ibadapt {
+namespace {
+
+/// Minimal saturation source (the transport must refuse to wrap one).
+class SaturationStub final : public ITrafficSource {
+ public:
+  Spec makePacket(NodeId, Rng&) override { return Spec{1, 32, true}; }
+  SimTime firstGenTime(NodeId, Rng&) override { return 0; }
+  SimTime nextGenTime(NodeId, SimTime, Rng&) override { return kTimeNever; }
+  bool saturationMode() const override { return true; }
+};
+
+/// Exactly-once assertion: every (src, dst, seq) delivered precisely once.
+void expectExactlyOnce(const testing::RecordingObserver& obs,
+                       std::size_t expected) {
+  std::map<std::tuple<NodeId, NodeId, std::uint32_t>, int> seen;
+  for (const auto& d : obs.deliveries) {
+    ASSERT_NE(d.pkt.e2eSeq, 0u) << "untracked packet leaked past transport";
+    ++seen[{d.pkt.src, d.pkt.dst, d.pkt.e2eSeq}];
+  }
+  EXPECT_EQ(obs.deliveries.size(), expected);
+  for (const auto& [key, count] : seen) {
+    EXPECT_EQ(count, 1) << "seq " << std::get<2>(key) << " delivered "
+                        << count << " times";
+  }
+}
+
+TEST(ReliableTransport, SpecValidation) {
+  testing::ScriptedTraffic inner;
+  ReliableTransportSpec bad;
+  bad.baseRtoNs = 0;
+  EXPECT_THROW(ReliableTransport(inner, 4, bad), std::invalid_argument);
+  bad = ReliableTransportSpec{};
+  bad.maxRtoNs = bad.baseRtoNs - 1;
+  EXPECT_THROW(ReliableTransport(inner, 4, bad), std::invalid_argument);
+  bad = ReliableTransportSpec{};
+  bad.backoffFactor = 0.5;
+  EXPECT_THROW(ReliableTransport(inner, 4, bad), std::invalid_argument);
+}
+
+TEST(ReliableTransport, RejectsSaturationSources) {
+  SaturationStub sat;
+  EXPECT_THROW(ReliableTransport(sat, 4, ReliableTransportSpec{}),
+               std::invalid_argument);
+}
+
+TEST(ReliableTransport, ExactlyOnceOnHealthyFabricNoRetransmits) {
+  const Topology topo = testing::twoSwitchTopology(2);
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  testing::ScriptedTraffic inner;
+  for (int i = 0; i < 20; ++i) {
+    inner.add(0, i * 1'000, /*dst=*/2, 32, /*adaptive=*/false);
+    inner.add(1, i * 1'000 + 500, /*dst=*/3, 32, /*adaptive=*/false);
+  }
+  ReliableTransport rt(inner, topo.numNodes(), ReliableTransportSpec{});
+  testing::RecordingObserver obs;
+  rt.attachObserver(&obs);
+  fabric.attachTraffic(&rt, 1);
+  fabric.attachObserver(&rt);
+  fabric.start();
+  RunLimits limits;
+  limits.endTime = 5'000'000;
+  fabric.run(limits);
+
+  EXPECT_EQ(rt.uniqueSent(), 40u);
+  EXPECT_EQ(rt.uniqueDelivered(), 40u);
+  EXPECT_EQ(rt.retransmitsSent(), 0u) << "RTO fired on a healthy fabric";
+  EXPECT_EQ(rt.duplicatesSuppressed(), 0u);
+  EXPECT_EQ(rt.abandoned(), 0u);
+  EXPECT_EQ(rt.outstanding(), 0u);
+  expectExactlyOnce(obs, 40);
+  EXPECT_GT(rt.endToEndLatency().count(), 0u);
+}
+
+TEST(ReliableTransport, RetransmitsAcrossFaultAndRecovery) {
+  // Line 0-1-2: the only route from node 0 to switch-2's nodes crosses the
+  // 1-2 link. Fail it after the tables are built: every copy is dropped at
+  // switch 1 until the link recovers, then retransmission delivers all.
+  const Topology topo = testing::lineTopology(2);
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  PortIndex toSw2 = kInvalidPort;
+  for (const auto& [nb, port] : fabric.topology().switchNeighbors(1)) {
+    if (nb == 2) toSw2 = port;
+  }
+  ASSERT_NE(toSw2, kInvalidPort);
+  fabric.failLink(1, toSw2);
+
+  testing::ScriptedTraffic inner;
+  for (int i = 0; i < 10; ++i) {
+    inner.add(0, i * 500, /*dst=*/4, 32, /*adaptive=*/false);
+  }
+  ReliableTransportSpec spec;
+  spec.baseRtoNs = 20'000;
+  spec.maxRtoNs = 160'000;
+  spec.ackDelayNs = 1'000;
+  ReliableTransport rt(inner, topo.numNodes(), spec);
+  testing::RecordingObserver obs;
+  rt.attachObserver(&obs);
+  fabric.attachTraffic(&rt, 1);
+  fabric.attachObserver(&rt);
+  fabric.start();
+
+  RunLimits limits;
+  limits.endTime = 60'000;  // a few RTOs expire against the dead link
+  fabric.run(limits);
+  EXPECT_GT(fabric.counters().dropped, 0u);
+  EXPECT_EQ(rt.uniqueDelivered(), 0u);
+  EXPECT_GT(rt.retransmitsSent(), 0u);
+
+  fabric.recoverLink(1, toSw2);  // tables still point at this port
+
+  limits.endTime = 5'000'000;
+  fabric.run(limits);
+  EXPECT_FALSE(fabric.deadlockSuspected());
+  EXPECT_EQ(rt.uniqueSent(), 10u);
+  EXPECT_EQ(rt.uniqueDelivered(), 10u);
+  EXPECT_EQ(rt.abandoned(), 0u);
+  EXPECT_EQ(rt.outstanding(), 0u);
+  expectExactlyOnce(obs, 10);
+}
+
+TEST(ReliableTransport, DuplicateSuppressionDeliversOnceUpward) {
+  // An RTO far below the round trip makes the transport retransmit packets
+  // that are not lost; the receiver must suppress every extra copy.
+  const Topology topo = testing::twoSwitchTopology(2);
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  testing::ScriptedTraffic inner;
+  for (int i = 0; i < 5; ++i) {
+    inner.add(0, i * 20'000, /*dst=*/2, 32, /*adaptive=*/false);
+  }
+  ReliableTransportSpec spec;
+  spec.baseRtoNs = 300;  // < round trip: spurious retransmissions guaranteed
+  spec.maxRtoNs = 2'000;
+  spec.ackDelayNs = 5'000;
+  ReliableTransport rt(inner, topo.numNodes(), spec);
+  testing::RecordingObserver obs;
+  rt.attachObserver(&obs);
+  fabric.attachTraffic(&rt, 1);
+  fabric.attachObserver(&rt);
+  fabric.start();
+  RunLimits limits;
+  limits.endTime = 5'000'000;
+  fabric.run(limits);
+
+  EXPECT_GT(rt.retransmitsSent(), 0u);
+  EXPECT_GT(rt.duplicatesSuppressed(), 0u);
+  EXPECT_EQ(rt.uniqueDelivered(), 5u);
+  expectExactlyOnce(obs, 5);
+}
+
+TEST(ReliableTransport, BackoffCapsAndAbandonsOnPermanentFault) {
+  // Permanent fault, no re-sweep: after maxRetries the transport gives the
+  // packet up instead of retrying forever.
+  const Topology topo = testing::lineTopology(2);
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+  sm.configure();
+  PortIndex toSw2 = kInvalidPort;
+  for (const auto& [nb, port] : fabric.topology().switchNeighbors(1)) {
+    if (nb == 2) toSw2 = port;
+  }
+  ASSERT_NE(toSw2, kInvalidPort);
+  fabric.failLink(1, toSw2);
+
+  testing::ScriptedTraffic inner;
+  inner.add(0, 0, /*dst=*/4, 32, /*adaptive=*/false);
+  ReliableTransportSpec spec;
+  spec.baseRtoNs = 1'000;
+  spec.maxRtoNs = 4'000;
+  spec.maxRetries = 3;
+  ReliableTransport rt(inner, topo.numNodes(), spec);
+  fabric.attachTraffic(&rt, 1);
+  fabric.attachObserver(&rt);
+  fabric.start();
+  RunLimits limits;
+  limits.endTime = 1'000'000;
+  fabric.run(limits);
+
+  EXPECT_EQ(rt.retransmitsSent(), 3u);  // exactly maxRetries copies
+  EXPECT_EQ(rt.abandoned(), 1u);
+  EXPECT_EQ(rt.outstanding(), 0u);
+  EXPECT_EQ(rt.uniqueDelivered(), 0u);
+}
+
+}  // namespace
+}  // namespace ibadapt
