@@ -1,7 +1,8 @@
 #pragma once
 //
 // Shared plumbing for the paper-reproduction benches: quick/paper mode
-// selection and table formatting.
+// selection, table formatting, and the machine-readable JSON records the
+// perf baseline uses to detect kernel regressions.
 //
 // Every bench accepts:
 //   --mode=quick   (default) small sweep sized for a laptop-class machine
@@ -9,6 +10,8 @@
 // plus bench-specific key=value overrides.
 //
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -76,6 +79,106 @@ inline RampOptions defaultRamp(bool paper) {
 inline void printRule(char c = '-', int n = 78) {
   for (int i = 0; i < n; ++i) std::putchar(c);
   std::putchar('\n');
+}
+
+// ---- machine-readable kernel-perf records ---------------------------------
+//
+// One record per (switch count, kernel) macro-bench run. The writer emits a
+// stable JSON layout (one case object per line) so the committed baseline
+// diffs cleanly; the reader is deliberately naive — it only understands the
+// writer's own output, which is all a regression check needs.
+
+struct KernelBenchRecord {
+  int switches = 0;
+  std::string kernel;  // "calendar" | "legacy-heap"
+  std::uint64_t events = 0;
+  double wallMs = 0.0;
+  double eventsPerSec = 0.0;
+  double simulatedMs = 0.0;
+  double wallMsPerSimMs = 0.0;
+  long peakRssKb = 0;
+};
+
+inline void writeKernelBenchJson(const std::string& path,
+                                 const std::string& benchName,
+                                 const std::string& config,
+                                 const std::vector<KernelBenchRecord>& cases) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"bench\": \"" << benchName << "\",\n";
+  out << "  \"config\": \"" << config << "\",\n";
+  out << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const KernelBenchRecord& r = cases[i];
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "    {\"switches\": %d, \"kernel\": \"%s\", "
+                  "\"events\": %llu, \"wallMs\": %.3f, "
+                  "\"eventsPerSec\": %.1f, \"simulatedMs\": %.3f, "
+                  "\"wallMsPerSimMs\": %.4f, \"peakRssKb\": %ld}",
+                  r.switches, r.kernel.c_str(),
+                  static_cast<unsigned long long>(r.events), r.wallMs,
+                  r.eventsPerSec, r.simulatedMs, r.wallMsPerSimMs,
+                  r.peakRssKb);
+    out << line << (i + 1 < cases.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+namespace detail {
+inline bool extractJsonField(const std::string& obj, const std::string& key,
+                             std::string& out) {
+  const std::string needle = "\"" + key + "\": ";
+  const auto pos = obj.find(needle);
+  if (pos == std::string::npos) return false;
+  auto start = pos + needle.size();
+  bool quoted = start < obj.size() && obj[start] == '"';
+  if (quoted) ++start;
+  auto end = start;
+  while (end < obj.size() && obj[end] != (quoted ? '"' : ',') &&
+         obj[end] != '}') {
+    ++end;
+  }
+  out = obj.substr(start, end - start);
+  return true;
+}
+}  // namespace detail
+
+/// Reads records back from writeKernelBenchJson output. Returns an empty
+/// vector when the file is missing or not in the writer's layout.
+inline std::vector<KernelBenchRecord> readKernelBenchJson(
+    const std::string& path) {
+  std::vector<KernelBenchRecord> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"switches\"") == std::string::npos) continue;
+    KernelBenchRecord r;
+    std::string v;
+    if (!detail::extractJsonField(line, "switches", v)) continue;
+    r.switches = std::stoi(v);
+    if (!detail::extractJsonField(line, "kernel", v)) continue;
+    r.kernel = v;
+    if (detail::extractJsonField(line, "events", v)) {
+      r.events = std::stoull(v);
+    }
+    if (detail::extractJsonField(line, "wallMs", v)) r.wallMs = std::stod(v);
+    if (detail::extractJsonField(line, "eventsPerSec", v)) {
+      r.eventsPerSec = std::stod(v);
+    }
+    if (detail::extractJsonField(line, "simulatedMs", v)) {
+      r.simulatedMs = std::stod(v);
+    }
+    if (detail::extractJsonField(line, "wallMsPerSimMs", v)) {
+      r.wallMsPerSimMs = std::stod(v);
+    }
+    if (detail::extractJsonField(line, "peakRssKb", v)) {
+      r.peakRssKb = std::stol(v);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
 }
 
 }  // namespace ibadapt::bench

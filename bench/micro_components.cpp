@@ -61,12 +61,14 @@ void BM_VlBufferPushCandidatesRemove(benchmark::State& state) {
 BENCHMARK(BM_VlBufferPushCandidatesRemove);
 
 void BM_EventQueueChurn(benchmark::State& state) {
-  EventQueue q;
+  // Arg 0 selects the kernel: calendar (fast) vs the seed's binary heap.
+  const auto kernel = static_cast<SimKernel>(state.range(0));
+  EventQueue q(kernel);
   Rng rng(7);
   Event ev;
   ev.kind = EventKind::kArbitrate;
   SimTime now = 0;
-  // Steady-state heap of ~1k events, push/pop mix as in simulation.
+  // Steady-state population of ~1k events, push/pop mix as in simulation.
   for (int i = 0; i < 1000; ++i) {
     ev.time = static_cast<SimTime>(rng.uniformIndex(10000));
     q.push(ev);
@@ -78,8 +80,34 @@ void BM_EventQueueChurn(benchmark::State& state) {
   }
   benchmark::DoNotOptimize(now);
   state.SetItemsProcessed(state.iterations());
+  state.SetLabel(kernel == SimKernel::kCalendar ? "calendar" : "legacy-heap");
 }
-BENCHMARK(BM_EventQueueChurn);
+BENCHMARK(BM_EventQueueChurn)
+    ->Arg(static_cast<int>(SimKernel::kCalendar))
+    ->Arg(static_cast<int>(SimKernel::kLegacyHeap));
+
+void BM_EventQueueSameTimeBurst(benchmark::State& state) {
+  // Arbitration rounds schedule bursts at one timestamp; the tie-break path
+  // (bucket sorted-insert vs heap sift) dominates here.
+  const auto kernel = static_cast<SimKernel>(state.range(0));
+  EventQueue q(kernel);
+  Event ev;
+  ev.kind = EventKind::kArbitrate;
+  SimTime now = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 32; ++i) {
+      ev.time = now + 100;
+      q.push(ev);
+    }
+    for (int i = 0; i < 32; ++i) now = q.pop().time;
+  }
+  benchmark::DoNotOptimize(now);
+  state.SetItemsProcessed(state.iterations() * 32);
+  state.SetLabel(kernel == SimKernel::kCalendar ? "calendar" : "legacy-heap");
+}
+BENCHMARK(BM_EventQueueSameTimeBurst)
+    ->Arg(static_cast<int>(SimKernel::kCalendar))
+    ->Arg(static_cast<int>(SimKernel::kLegacyHeap));
 
 void BM_UpDownConstruction(benchmark::State& state) {
   const int size = static_cast<int>(state.range(0));
@@ -110,21 +138,29 @@ void BM_MinimalRoutingConstruction(benchmark::State& state) {
 BENCHMARK(BM_MinimalRoutingConstruction)->Arg(16)->Arg(64);
 
 void BM_EndToEndSimulation(benchmark::State& state) {
-  // Whole-stack cost per delivered packet at moderate load.
+  // Whole-stack cost per delivered packet at moderate load; the second arg
+  // picks the kernel so the old/new hot paths are directly comparable.
   const int size = static_cast<int>(state.range(0));
+  const auto kernel = static_cast<SimKernel>(state.range(1));
   for (auto _ : state) {
     SimParams p;
     p.numSwitches = size;
     p.loadBytesPerNsPerNode = 0.05;
     p.warmupPackets = 200;
     p.measurePackets = 2000;
+    p.fabric.kernel = kernel;
     const SimResults r = runSimulation(p);
     benchmark::DoNotOptimize(r.delivered);
   }
   state.SetItemsProcessed(state.iterations() * 2200);
-  state.SetLabel("items = delivered packets");
+  state.SetLabel(kernel == SimKernel::kCalendar ? "calendar" : "legacy-heap");
 }
-BENCHMARK(BM_EndToEndSimulation)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EndToEndSimulation)
+    ->Args({8, static_cast<int>(SimKernel::kCalendar)})
+    ->Args({8, static_cast<int>(SimKernel::kLegacyHeap)})
+    ->Args({32, static_cast<int>(SimKernel::kCalendar)})
+    ->Args({32, static_cast<int>(SimKernel::kLegacyHeap)})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,195 @@
+// Kernel perf baseline: end-to-end simulator throughput (events/sec) for the
+// calendar kernel vs the seed's binary-heap kernel, on saturated uniform
+// traffic at 8/16/32/64 switches. Emits machine-readable BENCH_kernel.json
+// (see bench_common.hpp for the record layout) so scripts/run_perf_baseline.sh
+// can fail the build when the fast kernel regresses.
+//
+// Flags:
+//   --sizes=8,16,32,64     switch counts
+//   --warmup=N --measure=N packet budget per run
+//   --repeats=N            take the best-of-N wall time per case
+//   --json=PATH            output record path (default BENCH_kernel.json)
+//   --baseline=PATH        committed record to compare against; exits 1 when
+//                          any calendar case loses >10% events/sec
+//   --min-speedup=X        exits 1 when the 32-switch calendar/legacy ratio
+//                          falls below X (0 disables; default 0)
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ibadapt;
+using namespace ibadapt::bench;
+
+long peakRssKb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+SimParams baseParams(int switches, SimKernel kernel, std::uint64_t warmup,
+                     std::uint64_t measure) {
+  SimParams p;
+  p.topoKind = TopologyKind::kIrregular;
+  p.numSwitches = switches;
+  p.linksPerSwitch = 4;
+  p.nodesPerSwitch = 4;
+  p.pattern = TrafficPattern::kUniform;
+  p.saturation = true;  // densest event schedule: the kernel-bound regime
+  p.warmupPackets = warmup;
+  p.measurePackets = measure;
+  p.fabric.kernel = kernel;
+  return p;
+}
+
+struct CaseResult {
+  KernelBenchRecord rec;
+  SimResults sim;
+};
+
+CaseResult runCase(int switches, SimKernel kernel, std::uint64_t warmup,
+                   std::uint64_t measure, int repeats) {
+  const SimParams p = baseParams(switches, kernel, warmup, measure);
+  CaseResult best;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    SimResults r = runSimulation(p);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || wallMs < best.rec.wallMs) {
+      best.rec.wallMs = wallMs;
+      best.sim = r;
+    }
+  }
+  best.rec.switches = switches;
+  best.rec.kernel =
+      kernel == SimKernel::kCalendar ? "calendar" : "legacy-heap";
+  best.rec.events = best.sim.kernelEvents;
+  best.rec.eventsPerSec = best.rec.wallMs > 0.0
+                              ? static_cast<double>(best.rec.events) /
+                                    (best.rec.wallMs / 1000.0)
+                              : 0.0;
+  best.rec.simulatedMs =
+      static_cast<double>(best.sim.simEndTimeNs) / 1e6;
+  best.rec.wallMsPerSimMs = best.rec.simulatedMs > 0.0
+                                ? best.rec.wallMs / best.rec.simulatedMs
+                                : 0.0;
+  best.rec.peakRssKb = peakRssKb();
+  return best;
+}
+
+const KernelBenchRecord* findCase(const std::vector<KernelBenchRecord>& v,
+                                  int switches, const std::string& kernel) {
+  for (const auto& r : v) {
+    if (r.switches == switches && r.kernel == kernel) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::vector<int> sizes = flags.intList("sizes", {8, 16, 32, 64});
+  const auto warmup =
+      static_cast<std::uint64_t>(flags.integer("warmup", 2000));
+  const auto measure =
+      static_cast<std::uint64_t>(flags.integer("measure", 12000));
+  const int repeats = flags.integer("repeats", 3);
+  const std::string jsonPath = flags.str("json", "BENCH_kernel.json");
+  const std::string baselinePath = flags.str("baseline", "");
+  const double minSpeedup = flags.real("min-speedup", 0.0);
+  warnUnknownFlags(flags);
+
+  std::printf("kernel perf baseline: saturated uniform, warmup=%llu "
+              "measure=%llu repeats=%d\n",
+              static_cast<unsigned long long>(warmup),
+              static_cast<unsigned long long>(measure), repeats);
+  printRule();
+  std::printf("%9s  %-11s  %12s  %9s  %12s  %10s  %9s\n", "switches",
+              "kernel", "events", "wall ms", "events/sec", "ms/sim-ms",
+              "rss KiB");
+
+  std::vector<KernelBenchRecord> records;
+  double speedup32 = 0.0;
+  bool identical = true;
+  for (int n : sizes) {
+    const CaseResult fast =
+        runCase(n, SimKernel::kCalendar, warmup, measure, repeats);
+    const CaseResult ref =
+        runCase(n, SimKernel::kLegacyHeap, warmup, measure, repeats);
+    // The two kernels must agree event-for-event; a mismatch means the
+    // calendar queue broke determinism and the numbers are meaningless.
+    if (fast.sim.kernelEvents != ref.sim.kernelEvents ||
+        fast.sim.delivered != ref.sim.delivered ||
+        fast.sim.avgLatencyNs != ref.sim.avgLatencyNs) {
+      identical = false;
+    }
+    for (const KernelBenchRecord* r : {&fast.rec, &ref.rec}) {
+      std::printf("%9d  %-11s  %12llu  %9.1f  %12.0f  %10.4f  %9ld\n",
+                  r->switches, r->kernel.c_str(),
+                  static_cast<unsigned long long>(r->events), r->wallMs,
+                  r->eventsPerSec, r->wallMsPerSimMs, r->peakRssKb);
+      records.push_back(*r);
+    }
+    const double ratio = ref.rec.eventsPerSec > 0.0
+                             ? fast.rec.eventsPerSec / ref.rec.eventsPerSec
+                             : 0.0;
+    std::printf("%9s  speedup %.2fx\n", "", ratio);
+    if (n == 32) speedup32 = ratio;
+  }
+  printRule();
+
+  char config[128];
+  std::snprintf(config, sizeof(config),
+                "saturated uniform, warmup=%llu measure=%llu repeats=%d",
+                static_cast<unsigned long long>(warmup),
+                static_cast<unsigned long long>(measure), repeats);
+  writeKernelBenchJson(jsonPath, "perf_baseline", config, records);
+  std::printf("wrote %s\n", jsonPath.c_str());
+
+  int rc = 0;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: calendar and legacy-heap kernels diverged — results "
+                 "are not bit-identical\n");
+    rc = 1;
+  }
+  if (minSpeedup > 0.0 && speedup32 < minSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: 32-switch calendar speedup %.2fx below required "
+                 "%.2fx\n",
+                 speedup32, minSpeedup);
+    rc = 1;
+  }
+  if (!baselinePath.empty()) {
+    const auto baseline = readKernelBenchJson(baselinePath);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "note: no readable baseline at %s — skipping "
+                           "regression check\n",
+                   baselinePath.c_str());
+    }
+    for (const auto& r : records) {
+      if (r.kernel != "calendar") continue;
+      const KernelBenchRecord* b = findCase(baseline, r.switches, r.kernel);
+      if (b == nullptr || b->eventsPerSec <= 0.0) continue;
+      const double rel = r.eventsPerSec / b->eventsPerSec;
+      if (rel < 0.90) {
+        std::fprintf(stderr,
+                     "FAIL: %d-switch calendar events/sec regressed to "
+                     "%.0f (%.0f%% of baseline %.0f)\n",
+                     r.switches, r.eventsPerSec, rel * 100.0,
+                     b->eventsPerSec);
+        rc = 1;
+      }
+    }
+  }
+  return rc;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+#
+# Tier-1 gate: the ROADMAP verify line (configure, build, full ctest) plus a
+# sanitized build of the kernel-sensitive suites. Run before merging any
+# change that touches the simulator hot path.
+#
+# Usage: scripts/check_tier1.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j
+ctest --test-dir "${build_dir}" --output-on-failure -j
+
+echo "== tier-1: sanitized kernel suites (ASan+UBSan) =="
+asan_dir="${repo_root}/build-asan"
+cmake -B "${asan_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DIBADAPT_SANITIZE=ON
+cmake --build "${asan_dir}" -j
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1"
+# The suites most exposed to the hot-path overhaul: event kernel, fabric,
+# stats, traffic, util (thread pool), api (sweep exception path).
+ctest --test-dir "${asan_dir}" --output-on-failure -j \
+  -R 'KernelEquivalence|EventQueue|ThreadPool|StatsCollector|SyntheticTraffic|Sweep|Fabric'
+
+echo "tier-1 gate passed"

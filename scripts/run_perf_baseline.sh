@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+#
+# Refresh the committed kernel perf baseline (BENCH_kernel.json).
+#
+# Builds Release, runs bench/perf_baseline (calendar vs legacy-heap kernels,
+# saturated uniform traffic at 8/16/32/64 switches), and compares the fresh
+# numbers against the committed BENCH_kernel.json: any calendar case losing
+# more than 10% events/sec fails the script with a non-zero exit, BEFORE the
+# committed file is replaced. On success the fresh record overwrites the
+# committed one.
+#
+# Usage: scripts/run_perf_baseline.sh [build-dir] [extra perf_baseline flags]
+# e.g.   scripts/run_perf_baseline.sh build --repeats=5 --min-speedup=1.5
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j --target perf_baseline
+
+baseline="${repo_root}/BENCH_kernel.json"
+fresh="$(mktemp /tmp/BENCH_kernel.XXXXXX.json)"
+trap 'rm -f "${fresh}"' EXIT
+
+baseline_flag=()
+if [[ -f "${baseline}" ]]; then
+  baseline_flag=(--baseline="${baseline}")
+fi
+
+"${build_dir}/bench/perf_baseline" --json="${fresh}" "${baseline_flag[@]}" "$@"
+
+mv "${fresh}" "${baseline}"
+trap - EXIT
+echo "refreshed ${baseline}"

@@ -144,6 +144,7 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
   r.delivered = c.delivered;
   r.dropped = c.dropped;
   r.measured = stats.measuredPackets();
+  r.kernelEvents = c.events;
   r.avgHops = c.delivered
                   ? static_cast<double>(c.hopSum) /
                         static_cast<double>(c.delivered)

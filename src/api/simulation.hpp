@@ -111,6 +111,10 @@ struct SimResults {
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
   std::uint64_t measured = 0;
+  /// Discrete events processed by the kernel — the numerator of the
+  /// events/sec figure the perf baseline reports. Identical across
+  /// SimKernel choices (both kernels process the same event stream).
+  std::uint64_t kernelEvents = 0;
 
   // Path behaviour.
   double avgHops = 0.0;

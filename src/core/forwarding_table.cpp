@@ -25,8 +25,7 @@ AdaptiveForwardingTable::AdaptiveForwardingTable(int numBanks, Lid lidLimit)
   bankShift_ = log2OfPowerOfTwo(numBanks);
   const std::size_t rows = (static_cast<std::size_t>(lidLimit) + numBanks - 1) >>
                            bankShift_;
-  banks_.assign(static_cast<std::size_t>(numBanks),
-                std::vector<std::uint8_t>(rows, kUnprogrammed));
+  cells_.assign(rows << bankShift_, kUnprogrammed);
 }
 
 void AdaptiveForwardingTable::setEntry(Lid lid, PortIndex port) {
@@ -36,18 +35,14 @@ void AdaptiveForwardingTable::setEntry(Lid lid, PortIndex port) {
   if (port < 0 || port >= 0xff) {
     throw std::invalid_argument("AdaptiveForwardingTable::setEntry: port");
   }
-  const std::size_t bank = lid & static_cast<Lid>(numBanks_ - 1);
-  const std::size_t row = lid >> bankShift_;
-  banks_[bank][row] = static_cast<std::uint8_t>(port);
+  cells_[static_cast<std::size_t>(lid)] = static_cast<std::uint8_t>(port);
 }
 
 PortIndex AdaptiveForwardingTable::entry(Lid lid) const {
   if (lid >= lidLimit_) {
     throw std::out_of_range("AdaptiveForwardingTable::entry: LID");
   }
-  const std::size_t bank = lid & static_cast<Lid>(numBanks_ - 1);
-  const std::size_t row = lid >> bankShift_;
-  const std::uint8_t v = banks_[bank][row];
+  const std::uint8_t v = cells_[static_cast<std::size_t>(lid)];
   return v == kUnprogrammed ? kInvalidPort : static_cast<PortIndex>(v);
 }
 
@@ -57,12 +52,16 @@ RouteOptions AdaptiveForwardingTable::lookup(Lid dlid) const {
   }
   RouteOptions out;
   out.adaptiveRequested = (dlid & 1u) != 0;
-  const std::size_t row = dlid >> bankShift_;
-  const std::uint8_t esc = banks_[0][row];
+  // The destination's aligned block: bank 0 (escape) through bank x-1, all
+  // adjacent in memory — the single interleaved access of paper §4.1.
+  const std::uint8_t* block =
+      cells_.data() +
+      (static_cast<std::size_t>(dlid) & ~static_cast<std::size_t>(numBanks_ - 1));
+  const std::uint8_t esc = block[0];
   out.escapePort = esc == kUnprogrammed ? kInvalidPort
                                         : static_cast<PortIndex>(esc);
   for (int bank = 1; bank < numBanks_; ++bank) {
-    const std::uint8_t v = banks_[static_cast<std::size_t>(bank)][row];
+    const std::uint8_t v = block[bank];
     if (v == kUnprogrammed) continue;
     const auto port = static_cast<PortIndex>(v);
     bool dup = false;

@@ -61,9 +61,13 @@ class AdaptiveForwardingTable {
   int numBanks_;
   int bankShift_;  // log2(numBanks_)
   Lid lidLimit_;
-  // banks_[k][row] = output port for LID (row << bankShift_) + k.
+  // Interleaved banks stored as one flat row-major array: cells_[lid] is
+  // bank (lid & (numBanks-1)), row (lid >> bankShift_) — i.e. exactly the
+  // linear table layout, so a lookup reads the destination's whole aligned
+  // block (escape + every adaptive option) from `numBanks` contiguous
+  // bytes, one cache line, without re-deriving per-bank offsets.
   // 0xff encodes "not programmed".
-  std::vector<std::vector<std::uint8_t>> banks_;
+  std::vector<std::uint8_t> cells_;
 };
 
 }  // namespace ibadapt

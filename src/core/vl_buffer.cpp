@@ -19,6 +19,7 @@ void VlBuffer::push(const BufferedPacket& bp) {
   }
   entries_.push_back(bp);
   occupied_ += bp.credits;
+  cacheValid_ = false;
 }
 
 void VlBuffer::remove(int idx) {
@@ -27,6 +28,7 @@ void VlBuffer::remove(int idx) {
   }
   occupied_ -= entries_[static_cast<std::size_t>(idx)].credits;
   entries_.erase(entries_.begin() + idx);
+  cacheValid_ = false;
 }
 
 int VlBuffer::escapeHeadIndex() const {

@@ -74,11 +74,27 @@ class VlBuffer {
   };
   Candidates candidateHeads(EscapeOrderRule rule) const;
 
+  /// Same result as candidateHeads, memoized until the next push/remove.
+  /// Used by the fast kernel, whose arbitration passes re-examine unchanged
+  /// buffers far more often than they mutate them; the legacy kernel keeps
+  /// the seed's recompute-every-pass behavior.
+  Candidates candidateHeadsCached(EscapeOrderRule rule) const {
+    if (!cacheValid_ || cachedRule_ != rule) {
+      cached_ = candidateHeads(rule);
+      cachedRule_ = rule;
+      cacheValid_ = true;
+    }
+    return cached_;
+  }
+
  private:
   int capacity_;
   int escapeReserve_;
   int occupied_ = 0;
   std::deque<BufferedPacket> entries_;
+  mutable Candidates cached_;
+  mutable EscapeOrderRule cachedRule_ = EscapeOrderRule::kPaperStrict;
+  mutable bool cacheValid_ = false;
 };
 
 }  // namespace ibadapt

@@ -20,7 +20,11 @@ SwitchModel::SwitchModel(int numPorts, int numVls, int bufferCredits,
 }
 
 Fabric::Fabric(Topology topo, FabricParams params)
-    : topo_(std::move(topo)), params_(params), lids_(params.lmc) {
+    : topo_(std::move(topo)),
+      params_(params),
+      lids_(params.lmc),
+      fastArb_(params.kernel == SimKernel::kCalendar),
+      queue_(params.kernel) {
   params_.validate();
   if (!params_.adaptiveSwitchMask.empty() &&
       static_cast<int>(params_.adaptiveSwitchMask.size()) != topo_.numSwitches()) {
@@ -29,6 +33,9 @@ Fabric::Fabric(Topology topo, FabricParams params)
   selectionRng_ = Rng(params_.selectionSeed);
   buildSwitches();
   buildNodes();
+  // Typical live-packet population: a few per node queue plus in-flight
+  // buffers; the pool doubles beyond this without harm.
+  pool_.reserve(static_cast<std::size_t>(topo_.numNodes()) * 8);
   detSeqCounters_.assign(
       static_cast<std::size_t>(topo_.numNodes()) * topo_.numNodes(), 0);
 }
@@ -96,6 +103,8 @@ PortIndex Fabric::lftEntry(SwitchId sw, Lid lid) const {
 void Fabric::setSlToVl(SwitchId sw, PortIndex inPort, PortIndex outPort,
                        int sl, VlIndex vl) {
   switches_[static_cast<std::size_t>(sw)].slToVl.set(inPort, outPort, sl, vl);
+  // Remapping can redirect a blocked packet to a VL with credits.
+  clearArbMemos(sw);
 }
 
 const Peer& Fabric::managementPeer(SwitchId sw, PortIndex port) const {
@@ -138,6 +147,10 @@ void Fabric::failLink(SwitchId sw, PortIndex port) {
   switches_[static_cast<std::size_t>(peer.id)]
       .out[static_cast<std::size_t>(peer.port)]
       .downKind = PeerKind::kUnused;
+  // Route liveness changed on both sides: failed-grant memos are stale
+  // (dead options must be rediscovered so doomed packets get dropped).
+  clearArbMemos(sw);
+  clearArbMemos(peer.id);
   // Buffered packets whose only routes died must be discarded eventually;
   // arbitration handles that, so wake both switches.
   if (started_) {
@@ -174,6 +187,8 @@ void Fabric::recoverLink(SwitchId sw, PortIndex port) {
   opB.downKind = PeerKind::kSwitch;
   opB.downId = rec.swA;
   opB.downPort = rec.portA;
+  clearArbMemos(rec.swA);
+  clearArbMemos(rec.swB);
   if (started_) {
     scheduleArb(rec.swA, now_);
     scheduleArb(rec.swB, now_);

@@ -41,6 +41,25 @@ struct SwitchInputPort {
   std::vector<VlBuffer> vls;
   SimTime busyUntil = 0;  // crossbar: one departing transfer at a time
   int rrVl = 0;           // VL round-robin pointer (VlSelection::kRoundRobin)
+  // Arbitration work list (SimKernel::kCalendar): packets buffered across
+  // all VLs of this port, and a bitmask of non-empty VLs, so arbitration
+  // passes skip empty ports/VLs without touching their buffers. Maintained
+  // unconditionally (cheap), consulted only by the fast kernel so the
+  // legacy kernel keeps the seed's exact full-scan behavior.
+  int buffered = 0;
+  std::uint32_t vlOccupied = 0;
+  // Failed-grant memo (fast kernel only): after a grant pass finds nothing
+  // feasible here, the port is skipped until the earliest time-blocker
+  // (routeReady / output busyUntil) passes, a credit arrives at one of the
+  // output ports recorded in blockPorts, or link state / SL-to-VL mapping
+  // changes (which clear every memo on the switch). Skipping is sound
+  // because a failed pass has no side effects and nothing else can turn
+  // the port grantable: credits only grow via credit events, busyUntil
+  // only extends, and buffer pushes/removes reset the memo. retryAt = 0
+  // means "no memo". blockPorts is a bitmask over output-port index & 63 —
+  // aliasing on >64-port switches only causes extra retries, never misses.
+  SimTime retryAt = 0;
+  std::uint64_t blockPorts = 0;
   // Upstream entity holding this buffer's credits.
   PeerKind upKind = PeerKind::kUnused;
   std::int32_t upId = kInvalidId;
@@ -221,10 +240,21 @@ class Fabric {
     bool escape = false;
     int spareCredits = 0;
   };
-  /// Feasible options right now, adaptive (minimal) entries first.
+  /// Feasible options right now, adaptive (minimal) entries first. When
+  /// `earliestUnblock` is non-null (fast kernel), options blocked only by a
+  /// busy output lower it to their busyUntil so the failed-grant memo knows
+  /// when a retry could first succeed; options blocked only by missing
+  /// credits set their output port's bit in `creditBlockMask` so a credit
+  /// arrival at that port (and only such an arrival) clears the memo.
   int feasibleOptions(const SwitchModel& sw, PortIndex inPort,
                       const BufferedPacket& bp,
-                      std::array<Option, kMaxRouteOptions + 1>& out) const;
+                      std::array<Option, kMaxRouteOptions + 1>& out,
+                      SimTime* earliestUnblock = nullptr,
+                      std::uint64_t* creditBlockMask = nullptr) const;
+  /// Drop every input port's failed-grant memo on `sw` — used when grant
+  /// feasibility changes for reasons the memo cannot attribute to a single
+  /// output port (link fail/recover, SL-to-VL reprogramming).
+  void clearArbMemos(SwitchId sw);
   const Option& chooseOption(const std::array<Option, kMaxRouteOptions + 1>& opts,
                              int count);
   void grant(SwitchId swId, PortIndex ip, VlIndex vl, int idx,
@@ -241,6 +271,9 @@ class Fabric {
   Topology topo_;
   FabricParams params_;
   LidMapper lids_;
+  /// Fast-kernel arbitration: consult the active-port/VL work lists instead
+  /// of scanning every port buffer (identical grants either way).
+  bool fastArb_ = true;
 
   std::vector<SwitchModel> switches_;
   std::vector<NodeModel> nodes_;

@@ -28,6 +28,12 @@ void Fabric::scheduleArb(SwitchId sw, SimTime when) {
                     static_cast<std::uint32_t>(sw), 0, 0});
 }
 
+void Fabric::clearArbMemos(SwitchId sw) {
+  for (auto& ip : switches_[static_cast<std::size_t>(sw)].in) {
+    ip.retryAt = 0;
+  }
+}
+
 void Fabric::arbitrate(SwitchId swId) {
   SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
   const int numPorts = topo_.portsPerSwitch();
@@ -35,6 +41,15 @@ void Fabric::arbitrate(SwitchId swId) {
   for (int i = 0; i < numPorts; ++i) {
     const PortIndex ip = static_cast<PortIndex>((sw.rrInput + i) % numPorts);
     const SwitchInputPort& in = sw.in[static_cast<std::size_t>(ip)];
+    // Fast kernel: skip ports that provably cannot grant — nothing
+    // buffered, or a failed pass whose blockers (earliest routeReady /
+    // output busyUntil, credit state on the blocking outputs) haven't
+    // moved. Same outcome as the legacy full scan because failed passes
+    // have no side effects.
+    if (fastArb_) {
+      if (in.buffered == 0) continue;
+      if (now_ < in.retryAt) continue;
+    }
     if (in.upKind == PeerKind::kUnused) continue;
     if (in.busyUntil > now_) continue;
     if (tryGrantFromInput(swId, ip) && firstGranted < 0) {
@@ -52,17 +67,29 @@ bool Fabric::tryGrantFromInput(SwitchId swId, PortIndex ip) {
   const int vlBase = params_.vlSelection == VlSelection::kRoundRobin
                          ? in.rrVl
                          : 0;
+  // Fast kernel: earliest future instant at which any blocked candidate
+  // could become grantable (kTimeNever when only credits can unblock it),
+  // and the set of output ports whose credit arrivals could unblock one.
+  SimTime retryAt = kTimeNever;
+  std::uint64_t blockMask = 0;
   for (int vlOff = 0; vlOff < params_.numVls; ++vlOff) {
     const VlIndex vl =
         static_cast<VlIndex>((vlBase + vlOff) % params_.numVls);
+    if (fastArb_ && (in.vlOccupied & (1u << vl)) == 0) continue;
     VlBuffer& buf = in.vls[static_cast<std::size_t>(vl)];
-    const auto cands = buf.candidateHeads(params_.orderRule);
+    const auto cands = fastArb_ ? buf.candidateHeadsCached(params_.orderRule)
+                                : buf.candidateHeads(params_.orderRule);
     for (int k = 0; k < cands.count; ++k) {
       const int idx = cands.index[static_cast<std::size_t>(k)];
       const BufferedPacket& bp = buf.at(idx);
-      if (bp.routeReady > now_) continue;
+      if (bp.routeReady > now_) {
+        if (bp.routeReady < retryAt) retryAt = bp.routeReady;
+        continue;
+      }
       std::array<Option, kMaxRouteOptions + 1> options;
-      const int count = feasibleOptions(sw, ip, bp, options);
+      const int count =
+          feasibleOptions(sw, ip, bp, options, fastArb_ ? &retryAt : nullptr,
+                          fastArb_ ? &blockMask : nullptr);
       if (count == 0) {
         if (allOptionsDead(sw, bp)) {
           // Every route points at a failed link: discard (IBA switches
@@ -78,12 +105,18 @@ bool Fabric::tryGrantFromInput(SwitchId swId, PortIndex ip) {
       return true;  // input-port crossbar connection now busy
     }
   }
+  if (fastArb_) {
+    in.retryAt = retryAt;
+    in.blockPorts = blockMask;
+  }
   return false;
 }
 
 int Fabric::feasibleOptions(const SwitchModel& sw, PortIndex inPort,
                             const BufferedPacket& bp,
-                            std::array<Option, kMaxRouteOptions + 1>& out) const {
+                            std::array<Option, kMaxRouteOptions + 1>& out,
+                            SimTime* earliestUnblock,
+                            std::uint64_t* creditBlockMask) const {
   const Packet& pkt = pool_.get(bp.packet);
   int count = 0;
 
@@ -97,7 +130,12 @@ int Fabric::feasibleOptions(const SwitchModel& sw, PortIndex inPort,
       if (committed && p != bp.committedPort) continue;
       const SwitchOutputPort& op = sw.out[static_cast<std::size_t>(p)];
       if (op.downKind == PeerKind::kUnused) continue;
-      if (op.busyUntil > now_) continue;
+      if (op.busyUntil > now_) {
+        if (earliestUnblock != nullptr && op.busyUntil < *earliestUnblock) {
+          *earliestUnblock = op.busyUntil;
+        }
+        continue;
+      }
       const VlIndex ovl = sw.slToVl.vl(inPort, p, pkt.sl);
       // Downstream CA buffers have no escape split; inter-switch links
       // reserve the escape queue.
@@ -109,6 +147,8 @@ int Fabric::feasibleOptions(const SwitchModel& sw, PortIndex inPort,
       if (avail >= pkt.credits) {
         out[static_cast<std::size_t>(count++)] =
             Option{p, ovl, false, avail - pkt.credits};
+      } else if (creditBlockMask != nullptr) {
+        *creditBlockMask |= 1ull << (p & 63);
       }
     }
   }
@@ -118,12 +158,20 @@ int Fabric::feasibleOptions(const SwitchModel& sw, PortIndex inPort,
   const PortIndex p0 = bp.options.escapePort;
   if (p0 != kInvalidPort) {
     const SwitchOutputPort& op = sw.out[static_cast<std::size_t>(p0)];
-    if (op.downKind != PeerKind::kUnused && op.busyUntil <= now_) {
-      const VlIndex ovl = sw.slToVl.vl(inPort, p0, pkt.sl);
-      const int avail = op.credits[static_cast<std::size_t>(ovl)];
-      if (avail >= pkt.credits) {
-        out[static_cast<std::size_t>(count++)] =
-            Option{p0, ovl, true, avail - pkt.credits};
+    if (op.downKind != PeerKind::kUnused) {
+      if (op.busyUntil > now_) {
+        if (earliestUnblock != nullptr && op.busyUntil < *earliestUnblock) {
+          *earliestUnblock = op.busyUntil;
+        }
+      } else {
+        const VlIndex ovl = sw.slToVl.vl(inPort, p0, pkt.sl);
+        const int avail = op.credits[static_cast<std::size_t>(ovl)];
+        if (avail >= pkt.credits) {
+          out[static_cast<std::size_t>(count++)] =
+              Option{p0, ovl, true, avail - pkt.credits};
+        } else if (creditBlockMask != nullptr) {
+          *creditBlockMask |= 1ull << (p0 & 63);
+        }
       }
     }
   }
@@ -182,6 +230,9 @@ void Fabric::dropPacket(SwitchId swId, PortIndex ip, VlIndex vl, int idx) {
   const BufferedPacket bp = buf.at(idx);
   const Packet& pkt = pool_.get(bp.packet);
   buf.remove(idx);
+  --in.buffered;
+  if (buf.empty()) in.vlOccupied &= ~(1u << vl);
+  in.retryAt = 0;  // buffer content changed: failed-grant memo stale
   ++counters_.dropped;
   // Free the buffer space upstream once the tail can no longer be arriving.
   const SimTime creditTime =
@@ -256,6 +307,9 @@ void Fabric::grant(SwitchId swId, PortIndex ip, VlIndex vl, int idx,
     throw std::logic_error("Fabric::grant: negative credits (bug)");
   }
   buf.remove(idx);
+  --in.buffered;
+  if (buf.empty()) in.vlOccupied &= ~(1u << vl);
+  in.retryAt = 0;  // buffer content changed: failed-grant memo stale
 
   // Credits for this input buffer return to the upstream holder when the
   // packet's tail has left, plus wire latency for the credit update.

@@ -234,7 +234,11 @@ void Fabric::handleHeaderArrive(SwitchId swId, PortIndex port, VlIndex vl,
       bp.options.numAdaptive > 0) {
     bp.committedPort = commitPortAtRouting(sw, port, bp.options, pkt);
   }
-  sw.in[static_cast<std::size_t>(port)].vls[static_cast<std::size_t>(vl)].push(bp);
+  SwitchInputPort& in = sw.in[static_cast<std::size_t>(port)];
+  in.vls[static_cast<std::size_t>(vl)].push(bp);
+  ++in.buffered;
+  in.vlOccupied |= 1u << vl;
+  in.retryAt = 0;  // new candidate: failed-grant memo no longer holds
   scheduleArb(swId, bp.routeReady);
 }
 
@@ -246,6 +250,12 @@ void Fabric::handleCreditToSwitch(SwitchId swId, PortIndex port, VlIndex vl,
   if (op.credits[static_cast<std::size_t>(vl)] >
       op.creditsMax[static_cast<std::size_t>(vl)]) {
     throw std::logic_error("Fabric: credit overflow (protocol bug)");
+  }
+  // Wake only the inputs whose failed pass was blocked on this output's
+  // credits; memos blocked elsewhere stay valid.
+  const std::uint64_t bit = 1ull << (port & 63);
+  for (auto& inp : sw.in) {
+    if ((inp.blockPorts & bit) != 0) inp.retryAt = 0;
   }
   scheduleArb(swId, now_);
 }

@@ -2,19 +2,9 @@
 
 namespace ibadapt {
 
-PacketRef PacketPool::alloc() {
-  if (!free_.empty()) {
-    const PacketRef ref = free_.back();
-    free_.pop_back();
-    slots_[ref] = Packet{};
-    return ref;
-  }
-  slots_.emplace_back();
-  return static_cast<PacketRef>(slots_.size() - 1);
-}
-
-void PacketPool::release(PacketRef ref) {
-  free_.push_back(ref);
+void PacketPool::reserve(std::size_t n) {
+  slots_.reserve(n);
+  free_.reserve(n);
 }
 
 }  // namespace ibadapt

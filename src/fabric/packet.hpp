@@ -43,8 +43,24 @@ struct Packet {
 
 class PacketPool {
  public:
-  PacketRef alloc();
-  void release(PacketRef ref);
+  /// alloc/release are on the kernel hot path (one pair per packet
+  /// lifetime), so they live in the header for inlining.
+  PacketRef alloc() {
+    if (!free_.empty()) {
+      const PacketRef ref = free_.back();
+      free_.pop_back();
+      slots_[ref] = Packet{};
+      return ref;
+    }
+    slots_.emplace_back();
+    return static_cast<PacketRef>(slots_.size() - 1);
+  }
+
+  void release(PacketRef ref) { free_.push_back(ref); }
+
+  /// Pre-size both the slot and free vectors so steady-state runs never
+  /// reallocate mid-simulation.
+  void reserve(std::size_t n);
 
   Packet& get(PacketRef ref) { return slots_[ref]; }
   const Packet& get(PacketRef ref) const { return slots_[ref]; }

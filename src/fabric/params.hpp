@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/selection.hpp"
+#include "sim/event_queue.hpp"
 #include "util/types.hpp"
 
 namespace ibadapt {
@@ -54,6 +55,13 @@ struct FabricParams {
 
   /// Seed for the (only) stochastic switch behavior: kRandom selection.
   std::uint64_t selectionSeed = 0x5eedULL;
+
+  /// Discrete-event kernel. kCalendar (default) is the fast indexed bucket
+  /// queue plus active-port/VL arbitration work lists; kLegacyHeap is the
+  /// seed binary-heap kernel with full port scans, kept as a bit-exact
+  /// reference — both produce identical event traces and SimResults
+  /// (tests/kernel_equivalence_test.cpp), differing only in speed.
+  SimKernel kernel = SimKernel::kCalendar;
 
   void validate() const {
     if (numVls < 1 || numVls > 15) {

@@ -1,21 +1,78 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 namespace ibadapt {
 
-void EventQueue::push(Event ev) {
-  ev.seq = nextSeq_++;
-  heap_.push(ev);
+EventQueue::EventQueue(SimKernel kind) : kind_(kind) {
+  if (kind_ == SimKernel::kCalendar) buckets_.resize(kNumBuckets);
 }
 
-Event EventQueue::pop() {
-  Event ev = heap_.top();
-  heap_.pop();
-  return ev;
+void EventQueue::insertWheel(const Event& ev) {
+  std::int64_t day = ev.time >> kDayShift;
+  // Pushes at or before the last popped timestamp land in the cursor day so
+  // they are (like in a heap) the very next events popped; the sorted
+  // insert below keeps them ordered among themselves by (time, seq).
+  if (day < baseDay_) day = baseDay_;
+  const std::size_t idx = static_cast<std::size_t>(day) & kIndexMask;
+  Bucket& b = buckets_[idx];
+  if (b.events.empty() || !EventLater{}(b.events.back(), ev)) {
+    b.events.push_back(ev);  // common case: latest (time, seq) in its day
+  } else {
+    // EventLater(a, b) == "a pops after b", so ascending pop order is the
+    // range partitioned by EventLater(ev, *it).
+    const auto pos = std::upper_bound(
+        b.events.begin() + static_cast<std::ptrdiff_t>(b.head),
+        b.events.end(), ev,
+        [](const Event& x, const Event& y) { return EventLater{}(y, x); });
+    b.events.insert(pos, ev);
+  }
+  setBit(idx);
+  ++wheelCount_;
+}
+
+void EventQueue::migrateOverflow() {
+  const std::int64_t limit = baseDay_ + static_cast<std::int64_t>(kNumBuckets);
+  while (!overflow_.empty() && (overflow_.top().time >> kDayShift) < limit) {
+    insertWheel(overflow_.top());
+    overflow_.pop();
+  }
+}
+
+std::size_t EventQueue::findOccupiedFrom(std::size_t startIdx) const {
+  // First set bit at or after startIdx in circular index order. Wheel
+  // events all lie within one window, so circular order == day order.
+  // Precondition: wheelCount_ > 0, hence some bit is set.
+  const std::size_t startWord = startIdx >> 6;
+  std::uint64_t word = bitmap_[startWord] & (~0ULL << (startIdx & 63));
+  if (word != 0) {
+    return (startWord << 6) +
+           static_cast<std::size_t>(__builtin_ctzll(word));
+  }
+  for (std::size_t w = 1; w <= kBitmapWords; ++w) {
+    const std::size_t i = (startWord + w) & (kBitmapWords - 1);
+    if (bitmap_[i] != 0) {
+      return (i << 6) + static_cast<std::size_t>(__builtin_ctzll(bitmap_[i]));
+    }
+  }
+  return startIdx;  // unreachable under the precondition
 }
 
 void EventQueue::clear() {
-  heap_ = {};
   nextSeq_ = 0;
+  size_ = 0;
+  if (kind_ == SimKernel::kLegacyHeap) {
+    heap_ = {};
+    return;
+  }
+  for (Bucket& b : buckets_) {
+    b.events.clear();
+    b.head = 0;
+  }
+  bitmap_.fill(0);
+  baseDay_ = 0;
+  wheelCount_ = 0;
+  overflow_ = {};
 }
 
 }  // namespace ibadapt

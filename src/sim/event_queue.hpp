@@ -1,7 +1,25 @@
 #pragma once
 //
-// Binary-heap event queue with deterministic FIFO tie-breaking.
+// Discrete-event queue with deterministic FIFO tie-breaking, in two
+// implementations behind one interface:
 //
+//  * SimKernel::kCalendar (default) — an indexed bucket ("calendar") queue.
+//    Integer-ns timestamps hash into fixed-width day buckets on a circular
+//    wheel; pops advance a cursor over an occupancy bitmap instead of
+//    sifting a heap, so push and pop are O(1) amortized for the near-future
+//    events a fabric simulation generates. Events beyond the wheel horizon
+//    wait in a small min-heap and migrate onto the wheel as it turns.
+//
+//  * SimKernel::kLegacyHeap — the seed's std::priority_queue binary heap,
+//    kept verbatim as the bit-exact reference for old-vs-new equivalence
+//    tests and for before/after perf baselines (bench/perf_baseline).
+//
+// Both realize the same strict weak order — earliest time first, then push
+// sequence — for arbitrary push/pop interleavings (including pushes at or
+// before the last popped timestamp), so a simulation's event trace is
+// identical under either kernel.
+//
+#include <array>
 #include <cstddef>
 #include <queue>
 #include <vector>
@@ -10,24 +28,139 @@
 
 namespace ibadapt {
 
+/// Which event-kernel implementation a simulation runs on. Selecting
+/// kLegacyHeap also makes the Fabric use the seed's full-port arbitration
+/// scans instead of the active-port/VL work lists, so the pair of modes
+/// brackets the whole hot-path overhaul, not just the queue.
+enum class SimKernel : std::uint8_t {
+  kCalendar = 0,    // fast indexed bucket queue + arbitration work lists
+  kLegacyHeap = 1,  // seed binary heap + full port scans (reference)
+};
+
 class EventQueue {
  public:
+  explicit EventQueue(SimKernel kind = SimKernel::kCalendar);
+
   /// Schedule `ev` at ev.time; the queue stamps the tie-break sequence.
   void push(Event ev);
 
   /// Pop the earliest event. Precondition: !empty().
   Event pop();
 
-  const Event& top() const { return heap_.top(); }
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  /// Earliest event without popping. Positions the wheel cursor, hence
+  /// non-const. Precondition: !empty().
+  const Event& top();
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
   std::uint64_t pushedTotal() const { return nextSeq_; }
+  SimKernel kind() const { return kind_; }
 
   void clear();
 
  private:
-  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+  // --- wheel geometry ----------------------------------------------------
+  // 128 ns days x 2048 buckets = a 262 us horizon. Fabric events are
+  // scheduled a few hundred ns out (routing delay, serialization, wire
+  // latency), so in practice only watchdog ticks and very light open-loop
+  // generation gaps overflow into the far heap.
+  static constexpr int kDayShift = 7;
+  static constexpr std::size_t kNumBuckets = 2048;  // power of two
+  static constexpr std::size_t kIndexMask = kNumBuckets - 1;
+  static constexpr std::size_t kBitmapWords = kNumBuckets / 64;
+
+  // One wheel day. `head` indexes the first unpopped event; the vector is
+  // kept sorted ascending by (time, seq) and cleared (capacity retained)
+  // when drained, so steady-state operation allocates nothing.
+  struct Bucket {
+    std::vector<Event> events;
+    std::size_t head = 0;
+  };
+
+  void insertWheel(const Event& ev);
+  void migrateOverflow();
+  /// Advance baseDay_ to the day of the earliest stored event and migrate
+  /// any overflow events that the move pulled inside the horizon.
+  void positionCursor();
+  std::size_t findOccupiedFrom(std::size_t startIdx) const;
+
+  void setBit(std::size_t idx) { bitmap_[idx >> 6] |= 1ULL << (idx & 63); }
+  void clearBit(std::size_t idx) { bitmap_[idx >> 6] &= ~(1ULL << (idx & 63)); }
+
+  SimKernel kind_;
   std::uint64_t nextSeq_ = 0;
+  std::size_t size_ = 0;
+
+  // calendar state
+  std::vector<Bucket> buckets_;
+  std::array<std::uint64_t, kBitmapWords> bitmap_{};
+  std::int64_t baseDay_ = 0;  // earliest day the wheel window covers
+  std::size_t wheelCount_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> overflow_;
+
+  // legacy-heap state
+  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
 };
+
+inline void EventQueue::push(Event ev) {
+  ev.seq = nextSeq_++;
+  ++size_;
+  if (kind_ == SimKernel::kLegacyHeap) {
+    heap_.push(ev);
+    return;
+  }
+  const std::int64_t day = ev.time >> kDayShift;
+  if (day < baseDay_ + static_cast<std::int64_t>(kNumBuckets)) {
+    insertWheel(ev);
+  } else {
+    overflow_.push(ev);
+  }
+}
+
+inline Event EventQueue::pop() {
+  --size_;
+  if (kind_ == SimKernel::kLegacyHeap) {
+    Event ev = heap_.top();
+    heap_.pop();
+    return ev;
+  }
+  positionCursor();
+  const std::size_t idx = static_cast<std::size_t>(baseDay_) & kIndexMask;
+  Bucket& b = buckets_[idx];
+  const Event ev = b.events[b.head++];
+  --wheelCount_;
+  if (b.head == b.events.size()) {
+    b.events.clear();
+    b.head = 0;
+    clearBit(idx);
+  }
+  return ev;
+}
+
+inline const Event& EventQueue::top() {
+  if (kind_ == SimKernel::kLegacyHeap) return heap_.top();
+  positionCursor();
+  const Bucket& b = buckets_[static_cast<std::size_t>(baseDay_) & kIndexMask];
+  return b.events[b.head];
+}
+
+inline void EventQueue::positionCursor() {
+  if (wheelCount_ == 0) {
+    // Everything lives beyond the horizon: jump the wheel to the earliest
+    // far event and pull its cohort in.
+    baseDay_ = overflow_.top().time >> kDayShift;
+    migrateOverflow();
+    return;
+  }
+  const std::size_t baseIdx = static_cast<std::size_t>(baseDay_) & kIndexMask;
+  const std::size_t idx = findOccupiedFrom(baseIdx);
+  const std::size_t delta = (idx - baseIdx) & kIndexMask;
+  if (delta != 0) {
+    baseDay_ += static_cast<std::int64_t>(delta);
+    // Advancing the window may bring far events inside the horizon; they
+    // are all later than the newly found day, so the cursor stays minimal.
+    if (!overflow_.empty()) migrateOverflow();
+  }
+}
 
 }  // namespace ibadapt

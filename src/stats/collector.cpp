@@ -29,13 +29,20 @@ void StatsCollector::onDelivered(const Packet& pkt, SimTime now) {
   ++totalDelivered_;
   if (complete_) return;
 
+  // N measured deliveries bound N-1 inter-delivery spans. The delivery that
+  // opens the window contributes its timestamp (windowStart_) but not its
+  // bytes: counting them would credit traffic from before the window to the
+  // window's span and overstate accepted throughput.
+  const bool opensWindow = all_.count() == 0;
   all_.add(now - pkt.genTime);
   if (pkt.adaptive) {
     adaptive_.add(now - pkt.genTime);
   } else {
     det_.add(now - pkt.genTime);
   }
-  bytes_ += static_cast<std::uint64_t>(pkt.sizeBytes);
+  if (!opensWindow) {
+    bytes_ += static_cast<std::uint64_t>(pkt.sizeBytes);
+  }
   hopSum_ += pkt.hops;
   lastDelivery_ = now;
 

@@ -155,11 +155,34 @@ ITrafficSource::Spec SyntheticTraffic::makePacket(NodeId src, Rng& rng) {
 
 SimTime SyntheticTraffic::firstGenTime(NodeId node, Rng& rng) {
   (void)node;
-  return static_cast<SimTime>(rng.exponential(meanGapNs_));
+  if (spec_.saturation) {
+    // meanGapNs_/baseGapNs_ are never assigned in saturation mode (the
+    // constructor skips the rate computation); an exponential draw from a
+    // zero mean would silently return 0 for every node. Backlogged sources
+    // have no interarrival process — the kernel injects on credit
+    // availability and must not ask for gaps.
+    throw std::logic_error(
+        "SyntheticTraffic::firstGenTime: no interarrival process in "
+        "saturation mode");
+  }
+  // Mirror nextGenTime's draw (base gap plus optional burst pause) so the
+  // first interarrival follows the same compound-Poisson law as the rest of
+  // the stream; with burstiness == 0 this is the plain exponential of mean
+  // meanGapNs_ as before.
+  double gap = rng.exponential(baseGapNs_);
+  if (spec_.burstiness > 0.0 && rng.uniformReal() < spec_.burstiness) {
+    gap += rng.exponential(spec_.burstGapMeanNs);
+  }
+  return static_cast<SimTime>(gap);
 }
 
 SimTime SyntheticTraffic::nextGenTime(NodeId node, SimTime now, Rng& rng) {
   (void)node;
+  if (spec_.saturation) {
+    throw std::logic_error(
+        "SyntheticTraffic::nextGenTime: no interarrival process in "
+        "saturation mode");
+  }
   double gap = rng.exponential(baseGapNs_);
   if (spec_.burstiness > 0.0 && rng.uniformReal() < spec_.burstiness) {
     gap += rng.exponential(spec_.burstGapMeanNs);

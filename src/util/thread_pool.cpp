@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include <utility>
+
 namespace ibadapt {
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -34,6 +36,9 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait() {
   std::unique_lock lock(mutex_);
   allDone_.wait(lock, [this] { return inFlight_ == 0; });
+  if (firstError_) {
+    std::rethrow_exception(std::exchange(firstError_, nullptr));
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -46,9 +51,18 @@ void ThreadPool::workerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A throwing task must not escape the worker (std::terminate) or skip
+    // the inFlight_ decrement (wait() would deadlock). Capture the first
+    // exception and surface it from wait().
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (err && !firstError_) firstError_ = std::move(err);
       if (--inFlight_ == 0) allDone_.notify_all();
     }
   }

@@ -7,6 +7,7 @@
 //
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -27,7 +28,9 @@ class ThreadPool {
   /// Enqueue a task. Safe from any thread.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has completed.
+  /// Block until every submitted task has completed. If any task threw, the
+  /// first captured exception is rethrown here (and cleared, so the pool
+  /// stays usable for subsequent batches).
   void wait();
 
   std::size_t workerCount() const { return threads_.size(); }
@@ -42,6 +45,7 @@ class ThreadPool {
   std::condition_variable allDone_;
   std::size_t inFlight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr firstError_;  // first task exception, rethrown by wait()
 };
 
 /// Run fn(i) for i in [0, n) across the pool and wait for completion.

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "api/simulation.hpp"
 #include "api/sweep.hpp"
 
@@ -67,6 +70,18 @@ TEST(Sweep, ParallelMatchesSerial) {
     EXPECT_DOUBLE_EQ(serial[i].avgLatencyNs, parallel[i].avgLatencyNs);
     EXPECT_EQ(serial[i].delivered, parallel[i].delivered);
   }
+}
+
+TEST(Sweep, WorkerExceptionPropagatesToCaller) {
+  // Regression: a point whose construction throws inside a pool worker used
+  // to kill the process (exception escaping workerLoop -> std::terminate)
+  // or deadlock wait(). It must surface to the runSweep caller.
+  std::vector<SimParams> params(2);
+  params[0].warmupPackets = 100;
+  params[0].measurePackets = 200;
+  params[1] = params[0];
+  params[1].packetBytes = -1;  // SyntheticTraffic rejects this in the worker
+  EXPECT_THROW(runSweep(params, 2), std::invalid_argument);
 }
 
 TEST(Sweep, SummarizeMinAvgMax) {

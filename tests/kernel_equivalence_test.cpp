@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "api/simulation.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace ibadapt {
+namespace {
+
+// The calendar queue replaces the seed's binary heap on the hot path; these
+// tests pin the contract that makes that safe: for ANY interleaving of
+// pushes and pops the two kernels emit the same event sequence, and a whole
+// simulation therefore produces bit-identical results under either.
+
+Event mkEvent(SimTime t, std::uint32_t tag) {
+  Event ev{};
+  ev.time = t;
+  ev.kind = EventKind::kNodeGenerate;
+  ev.a = tag;
+  return ev;
+}
+
+void expectSameEvent(const Event& c, const Event& h, std::size_t step) {
+  ASSERT_EQ(c.time, h.time) << "step " << step;
+  ASSERT_EQ(c.seq, h.seq) << "step " << step;
+  ASSERT_EQ(c.a, h.a) << "step " << step;
+}
+
+TEST(KernelEquivalence, RandomizedInterleavingMatchesReferenceHeap) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EventQueue cal(SimKernel::kCalendar);
+    EventQueue heap(SimKernel::kLegacyHeap);
+    Rng rng(seed);
+    SimTime now = 0;
+    std::size_t popped = 0;
+    for (int step = 0; step < 20000; ++step) {
+      const bool doPush = cal.empty() || rng.uniformReal() < 0.55;
+      if (doPush) {
+        SimTime t;
+        const double r = rng.uniformReal();
+        if (r < 0.70) {
+          // Near future: the fabric's routing/serialization delays.
+          t = now + static_cast<SimTime>(rng.uniformIndex(2000));
+        } else if (r < 0.85) {
+          // Same-timestamp burst companion (exercises FIFO tie-break).
+          t = now;
+        } else if (r < 0.95) {
+          // Beyond the wheel horizon (262 us): overflow heap + migration.
+          t = now + 300'000 + static_cast<SimTime>(rng.uniformIndex(2'000'000));
+        } else {
+          // At or before the last popped time (re-arm edge case).
+          t = now > 50 ? now - static_cast<SimTime>(rng.uniformIndex(50)) : now;
+        }
+        const auto tag = static_cast<std::uint32_t>(step);
+        cal.push(mkEvent(t, tag));
+        heap.push(mkEvent(t, tag));
+      } else {
+        expectSameEvent(cal.top(), heap.top(), popped);
+        const Event c = cal.pop();
+        const Event h = heap.pop();
+        expectSameEvent(c, h, popped++);
+        // The heap never yields a time earlier than a past-clamped push's
+        // original stamp's pop point, so "now" only moves forward.
+        if (c.time > now) now = c.time;
+      }
+      ASSERT_EQ(cal.size(), heap.size());
+    }
+    while (!cal.empty()) {
+      ASSERT_FALSE(heap.empty());
+      expectSameEvent(cal.pop(), heap.pop(), popped++);
+    }
+    EXPECT_TRUE(heap.empty());
+  }
+}
+
+TEST(KernelEquivalence, SameTimestampBurstIsFifoInBothKernels) {
+  EventQueue cal(SimKernel::kCalendar);
+  EventQueue heap(SimKernel::kLegacyHeap);
+  // A switch arbitration round schedules many events at the same ns.
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    cal.push(mkEvent(1000, i));
+    heap.push(mkEvent(1000, i));
+  }
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const Event c = cal.pop();
+    const Event h = heap.pop();
+    EXPECT_EQ(c.a, i);  // strict push order among equal times
+    expectSameEvent(c, h, i);
+  }
+}
+
+TEST(KernelEquivalence, ClearThenReuseMatches) {
+  EventQueue cal(SimKernel::kCalendar);
+  EventQueue heap(SimKernel::kLegacyHeap);
+  // First campaign: drive both wheels deep into the timeline, half-drain.
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    const SimTime t = static_cast<SimTime>(i) * 977 % 400'000;
+    cal.push(mkEvent(t, i));
+    heap.push(mkEvent(t, i));
+  }
+  for (int i = 0; i < 150; ++i) {
+    expectSameEvent(cal.pop(), heap.pop(), static_cast<std::size_t>(i));
+  }
+  cal.clear();
+  heap.clear();
+  EXPECT_TRUE(cal.empty());
+  EXPECT_EQ(cal.size(), 0u);
+  // Reuse from t=0 as a fresh simulation would; sequence stamps restart in
+  // both kernels, so the merged order must again be identical.
+  Rng rng(77);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    const SimTime t = static_cast<SimTime>(rng.uniformIndex(500'000));
+    cal.push(mkEvent(t, i));
+    heap.push(mkEvent(t, i));
+  }
+  for (std::size_t i = 0; i < 1000; ++i) {
+    expectSameEvent(cal.pop(), heap.pop(), i);
+  }
+}
+
+TEST(KernelEquivalence, FarFutureEventsMigrateInOrder) {
+  EventQueue cal(SimKernel::kCalendar);
+  EventQueue heap(SimKernel::kLegacyHeap);
+  // Everything far beyond the 262 us wheel horizon, out of order, with
+  // collisions — exercises the overflow heap and cohort migration.
+  const SimTime base = 10'000'000;
+  std::uint32_t tag = 0;
+  for (SimTime off : {900'000, 0, 500'000, 500'000, 1, 2'000'000, 0}) {
+    cal.push(mkEvent(base + off, tag));
+    heap.push(mkEvent(base + off, tag));
+    ++tag;
+  }
+  std::size_t i = 0;
+  SimTime prev = 0;
+  while (!cal.empty()) {
+    const Event c = cal.pop();
+    expectSameEvent(c, heap.pop(), i++);
+    EXPECT_GE(c.time, prev);
+    prev = c.time;
+  }
+}
+
+SimParams kernelParams(SimKernel k) {
+  SimParams p;
+  p.topoKind = TopologyKind::kIrregular;
+  p.numSwitches = 16;
+  p.linksPerSwitch = 4;
+  p.nodesPerSwitch = 4;
+  p.pattern = TrafficPattern::kUniform;
+  p.loadBytesPerNsPerNode = 0.04;
+  p.warmupPackets = 500;
+  p.measurePackets = 4000;
+  p.fabric.kernel = k;
+  return p;
+}
+
+TEST(KernelEquivalence, SixteenSwitchSimResultsBitIdentical) {
+  // The whole point of keeping kLegacyHeap: the overhauled kernel must not
+  // change a single decision. Every float compared with ==, not NEAR.
+  const SimResults a = runSimulation(kernelParams(SimKernel::kCalendar));
+  const SimResults b = runSimulation(kernelParams(SimKernel::kLegacyHeap));
+  ASSERT_TRUE(a.measurementComplete);
+  ASSERT_TRUE(b.measurementComplete);
+  EXPECT_EQ(a.avgLatencyNs, b.avgLatencyNs);
+  EXPECT_EQ(a.minLatencyNs, b.minLatencyNs);
+  EXPECT_EQ(a.maxLatencyNs, b.maxLatencyNs);
+  EXPECT_EQ(a.stddevLatencyNs, b.stddevLatencyNs);
+  EXPECT_EQ(a.p50LatencyNs, b.p50LatencyNs);
+  EXPECT_EQ(a.p95LatencyNs, b.p95LatencyNs);
+  EXPECT_EQ(a.p99LatencyNs, b.p99LatencyNs);
+  EXPECT_EQ(a.avgLatencyAdaptiveNs, b.avgLatencyAdaptiveNs);
+  EXPECT_EQ(a.avgLatencyDeterministicNs, b.avgLatencyDeterministicNs);
+  EXPECT_EQ(a.acceptedBytesPerNsPerSwitch, b.acceptedBytesPerNsPerSwitch);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.measured, b.measured);
+  EXPECT_EQ(a.kernelEvents, b.kernelEvents);
+  EXPECT_EQ(a.avgHops, b.avgHops);
+  EXPECT_EQ(a.adaptiveForwardFraction, b.adaptiveForwardFraction);
+  EXPECT_EQ(a.escapeForwardFraction, b.escapeForwardFraction);
+  EXPECT_EQ(a.maxLinkUtilization, b.maxLinkUtilization);
+  EXPECT_EQ(a.meanLinkUtilization, b.meanLinkUtilization);
+  EXPECT_EQ(a.inOrderViolations, b.inOrderViolations);
+  EXPECT_EQ(a.simEndTimeNs, b.simEndTimeNs);
+  EXPECT_GT(a.kernelEvents, 0u);
+}
+
+TEST(KernelEquivalence, SaturationModeBitIdentical) {
+  // Saturation drives the densest event schedule (always-backlogged
+  // sources) — the regime where the calendar queue earns its keep.
+  auto mk = [](SimKernel k) {
+    SimParams p = kernelParams(k);
+    p.saturation = true;
+    p.warmupPackets = 500;
+    p.measurePackets = 3000;
+    return runSimulation(p);
+  };
+  const SimResults a = mk(SimKernel::kCalendar);
+  const SimResults b = mk(SimKernel::kLegacyHeap);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.kernelEvents, b.kernelEvents);
+  EXPECT_EQ(a.avgLatencyNs, b.avgLatencyNs);
+  EXPECT_EQ(a.acceptedBytesPerNsPerSwitch, b.acceptedBytesPerNsPerSwitch);
+  EXPECT_EQ(a.simEndTimeNs, b.simEndTimeNs);
+}
+
+}  // namespace
+}  // namespace ibadapt

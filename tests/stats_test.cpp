@@ -108,11 +108,30 @@ TEST(StatsCollector, WarmupThenMeasureThenComplete) {
   EXPECT_TRUE(sc.measurementComplete());
   EXPECT_EQ(sc.measuredPackets(), 20u);
   EXPECT_DOUBLE_EQ(sc.latency().mean(), 250.0);
-  EXPECT_EQ(sc.measuredBytes(), 20u * 32u);
+  // The window-opening delivery contributes its timestamp but not its
+  // bytes: 20 deliveries bound 19 spans, so 19 packets' worth of bytes.
+  EXPECT_EQ(sc.measuredBytes(), 19u * 32u);
   EXPECT_DOUBLE_EQ(sc.measuredHopMean(), 2.0);
   EXPECT_DOUBLE_EQ(
       sc.acceptedBytesPerNs(),
-      640.0 / static_cast<double>(sc.windowEnd() - sc.windowStart()));
+      608.0 / static_cast<double>(sc.windowEnd() - sc.windowStart()));
+}
+
+TEST(StatsCollector, WindowOpenerBytesExcludedFromThroughput) {
+  // Regression: deliveries at a perfectly regular cadence must report
+  // exactly rate = bytes / gap. With the opener's bytes included the
+  // numerator had N packets over an (N-1)-gap span, overstating accepted
+  // traffic by N/(N-1) — worst with tiny measurement windows.
+  StatsCollector::Config cfg;
+  cfg.warmupPackets = 0;
+  cfg.measurePackets = 2;  // tiny window: one span, worst-case inflation
+  StatsCollector sc(cfg, 4);
+  sc.onDelivered(mkPacket(0, 1, 0, false, 1), 100);  // opens the window
+  sc.onDelivered(mkPacket(0, 1, 0, false, 2), 200);
+  EXPECT_TRUE(sc.measurementComplete());
+  EXPECT_EQ(sc.measuredBytes(), 32u);  // opener excluded
+  // One 32-byte packet crossed the 100 ns window: 0.32 B/ns, not 0.64.
+  EXPECT_DOUBLE_EQ(sc.acceptedBytesPerNs(), 32.0 / 100.0);
 }
 
 TEST(StatsCollector, ExtraDeliveriesAfterCompleteIgnored) {

@@ -147,6 +147,54 @@ TEST(SyntheticTraffic, SaturationModeFlag) {
   EXPECT_EQ(t.saturationQueueCap(), 7);
 }
 
+TEST(SyntheticTraffic, SaturationModeRejectsGapQueries) {
+  // Regression: in saturation mode the rate members are never assigned, so
+  // firstGenTime used to draw exponential(0) and silently return 0 for
+  // every node. Backlogged sources have no interarrival process; asking for
+  // one is a caller bug and must be loud.
+  auto spec = baseSpec(TrafficPattern::kUniform);
+  spec.saturation = true;
+  SyntheticTraffic t(spec, 1);
+  Rng rng(3);
+  EXPECT_THROW(t.firstGenTime(0, rng), std::logic_error);
+  EXPECT_THROW(t.nextGenTime(0, 100, rng), std::logic_error);
+}
+
+TEST(SyntheticTraffic, FirstGapFollowsBurstModel) {
+  // Regression: firstGenTime drew from meanGapNs_ even when burstiness > 0,
+  // so the first interarrival came from a different law (and a different
+  // mean base rate) than every later one. It must mirror nextGenTime:
+  // exponential(baseGapNs_) plus the occasional burst pause, preserving the
+  // configured average rate from the very first packet.
+  auto spec = baseSpec(TrafficPattern::kUniform);
+  spec.packetBytes = 32;
+  spec.loadBytesPerNsPerNode = 0.1;  // mean gap 320 ns
+  spec.burstiness = 0.25;
+  spec.burstGapMeanNs = 400.0;  // base gap = 320 - 0.25*400 = 220 ns
+  SyntheticTraffic t(spec, 1);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    Rng rng(static_cast<std::uint64_t>(i) + 1);  // fresh stream per "node"
+    sum += static_cast<double>(t.firstGenTime(0, rng));
+  }
+  EXPECT_NEAR(sum / n, 320.0, 10.0);
+}
+
+TEST(SyntheticTraffic, FirstGapMatchesPlainPoissonWhenNotBursty) {
+  // With burstiness == 0 the fix must be stream-identical to the old
+  // behaviour: one exponential draw of mean meanGapNs_ (== baseGapNs_).
+  auto spec = baseSpec(TrafficPattern::kUniform);
+  spec.packetBytes = 32;
+  spec.loadBytesPerNsPerNode = 0.1;
+  SyntheticTraffic t(spec, 1);
+  Rng a(42);
+  Rng b(42);
+  const SimTime got = t.firstGenTime(0, a);
+  const auto want = static_cast<SimTime>(b.exponential(320.0));
+  EXPECT_EQ(got, want);
+}
+
 TEST(SyntheticTraffic, Validation) {
   auto bad = baseSpec(TrafficPattern::kUniform);
   bad.numNodes = 1;

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "util/flags.hpp"
 #include "util/rng.hpp"
@@ -124,6 +126,56 @@ TEST(ThreadPool, WaitWithNoTasksReturns) {
   ThreadPool pool(2);
   pool.wait();  // must not hang
   SUCCEED();
+}
+
+TEST(ThreadPool, ThrowingTaskSurfacesFromWait) {
+  // Regression: an exception used to escape workerLoop (std::terminate) and
+  // the inFlight_ decrement was skipped, so wait() deadlocked. Now the
+  // first exception is captured and rethrown from wait().
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterThrow) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first batch"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error must be cleared: a clean second batch completes and a second
+  // wait() returns normally.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, MixedBatchRunsEveryNonThrowingTask) {
+  // Sibling tasks keep running after one throws; only the exception report
+  // is first-wins.
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 30; ++i) {
+    if (i == 7) {
+      pool.submit([] { throw std::runtime_error("one bad task"); });
+    } else {
+      pool.submit([&count] { ++count; });
+    }
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_EQ(count.load(), 29);
+}
+
+TEST(ThreadPool, ParallelForPropagatesTaskException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallelForIndex(pool, 10,
+                                [](std::size_t i) {
+                                  if (i == 3) {
+                                    throw std::invalid_argument("index 3");
+                                  }
+                                }),
+               std::invalid_argument);
 }
 
 TEST(Flags, ParsesKeyValueForms) {
