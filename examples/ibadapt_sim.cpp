@@ -40,6 +40,13 @@ TopologyKind parseTopology(const std::string& s) {
   throw std::invalid_argument("unknown topology: " + s);
 }
 
+WatchdogPolicy parsePolicy(const std::string& s) {
+  if (s == "record") return WatchdogPolicy::kRecord;
+  if (s == "abort") return WatchdogPolicy::kAbort;
+  if (s == "recover") return WatchdogPolicy::kRecover;
+  throw std::invalid_argument("unknown watchdog policy: " + s);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,7 +58,9 @@ int main(int argc, char** argv) {
         "      transpose|shuffle|locality hotfrac hotnode window\n"
         "      load (bytes/ns/node) saturation=0|1 knee=0|1 adaptive=0..1\n"
         "      packet=32|256 burstiness burstgap  options lmc vls buffer\n"
-        "      reserve  multipath apmsets apmset  warmup measure tseed\n");
+        "      reserve  multipath apmsets apmset  warmup measure tseed\n"
+        "      ber creditloss resync_us fseed  retransport=0|1\n"
+        "      wdperiod_us wdpolicy=record|abort|recover\n");
     return 0;
   }
 
@@ -93,6 +102,18 @@ int main(int argc, char** argv) {
   p.warmupPackets = static_cast<std::uint64_t>(flags.integer("warmup", 2000));
   p.measurePackets =
       static_cast<std::uint64_t>(flags.integer("measure", 15000));
+
+  p.berPerBit = flags.real("ber", 0.0);
+  p.creditLossRate = flags.real("creditloss", 0.0);
+  p.creditResyncPeriodNs =
+      static_cast<SimTime>(flags.integer("resync_us", 100)) * 1'000;
+  p.transientFaultSeed = static_cast<std::uint64_t>(
+      flags.integer("fseed", static_cast<int>(p.transientFaultSeed)));
+  p.reliableTransport =
+      flags.boolean("retransport", p.berPerBit > 0 || p.creditLossRate > 0);
+  p.invariantPeriodNs =
+      static_cast<SimTime>(flags.integer("wdperiod_us", 250)) * 1'000;
+  p.invariantPolicy = parsePolicy(flags.str("wdpolicy", "record"));
 
   const bool kneeSearch = flags.boolean("knee", false);
   for (const auto& k : flags.unknownKeys()) {
@@ -150,7 +171,34 @@ int main(int argc, char** argv) {
               r.deadlockSuspected ? ", DEADLOCK SUSPECTED" : "",
               r.livePacketLimitHit ? ", live-packet cap" : "",
               static_cast<unsigned long long>(r.inOrderViolations));
+  if (r.faultCampaignRan) {
+    const auto& rs = r.resilience;
+    std::printf("faults   : %llu corrupted (%llu CRC-dropped, %llu silent), "
+                "%llu credits leaked / %llu resynced, %llu retransmits\n",
+                static_cast<unsigned long long>(rs.packetsCorrupted),
+                static_cast<unsigned long long>(rs.crcDrops),
+                static_cast<unsigned long long>(rs.silentCorruptions),
+                static_cast<unsigned long long>(rs.creditsLeaked),
+                static_cast<unsigned long long>(rs.creditsResynced),
+                static_cast<unsigned long long>(rs.retransmitsSent));
+  }
+  if (r.invariants.checksRun > 0) {
+    std::printf("watchdog : %llu checks, %llu violations "
+                "(%llu deadlock, %llu livelock), %llu congestion stalls%s\n",
+                static_cast<unsigned long long>(r.invariants.checksRun),
+                static_cast<unsigned long long>(r.invariants.violations()),
+                static_cast<unsigned long long>(r.invariants.deadlocksDetected),
+                static_cast<unsigned long long>(r.invariants.livelocksDetected),
+                static_cast<unsigned long long>(r.invariants.congestionStalls),
+                r.invariants.aborted ? ", ABORTED" : "");
+    if (!r.invariants.firstViolation.empty()) {
+      std::printf("           first: %s\n", r.invariants.firstViolation.c_str());
+    }
+  }
   std::printf("sim time : %lld ns\n",
               static_cast<long long>(r.simEndTimeNs));
-  return r.deadlockSuspected || r.inOrderViolations > 0 ? 1 : 0;
+  return r.deadlockSuspected || r.inOrderViolations > 0 ||
+                 r.invariants.violations() > 0
+             ? 1
+             : 0;
 }

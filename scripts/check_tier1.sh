@@ -28,4 +28,11 @@ export UBSAN_OPTIONS="print_stacktrace=1"
 ctest --test-dir "${asan_dir}" --output-on-failure -j \
   -R 'KernelEquivalence|EventQueue|ThreadPool|StatsCollector|SyntheticTraffic|Sweep|Fabric'
 
+echo "== tier-1: sanitized chaos smoke (transient faults + watchdog) =="
+# Robustness stack under ASan/UBSan: mixed fault classes on random
+# topologies with the invariant watchdog standing guard, including the
+# kAbort acceptance campaign and the ring-deadlock negative test.
+ctest --test-dir "${asan_dir}" --output-on-failure -j \
+  -R 'ChaosProperty|InvariantWatchdog|TransientFault'
+
 echo "tier-1 gate passed"

@@ -82,6 +82,15 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
     fabric.attachTraffic(&traffic, p.trafficSeed);
     fabric.attachObserver(&stats);
   }
+  std::optional<InvariantWatchdog> watchdog;
+  if (p.invariantChecks) {
+    WatchdogSpec ws;
+    ws.periodNs = p.invariantPeriodNs;
+    ws.policy = p.invariantPolicy;
+    ws.maxDrainAgeNs = p.invariantMaxDrainAgeNs;
+    watchdog.emplace(ws);
+    watchdog->attachTo(fabric);
+  }
   fabric.start();
 
   RunLimits limits;
@@ -89,7 +98,8 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
   limits.watchdogPeriodNs = p.watchdogPeriodNs;
   limits.watchdogStallLimit = p.watchdogStallLimit;
 
-  const bool runCampaign = !p.scriptedFaults.empty() || p.faultMtbfNs > 0.0;
+  const bool runCampaign = !p.scriptedFaults.empty() || p.faultMtbfNs > 0.0 ||
+                           p.berPerBit > 0.0 || p.creditLossRate > 0.0;
   std::optional<FaultCampaign> campaign;
   if (runCampaign) {
     FaultCampaignSpec fc;
@@ -102,6 +112,11 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
     fc.sweepDelayNs = p.sweepDelayNs;
     fc.subnet = sp;
     fc.auditAfterSweep = p.auditAfterSweep;
+    fc.transient.berPerBit = p.berPerBit;
+    fc.transient.creditLossRate = p.creditLossRate;
+    fc.transient.seed = p.transientFaultSeed;
+    fc.transient.resyncPeriodNs = p.creditResyncPeriodNs;
+    fc.transient.resyncDetectPeriods = p.creditResyncDetectPeriods;
     campaign.emplace(fabric, sm, fc);
     campaign->run(limits);
   } else {
@@ -121,6 +136,7 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
     r.resilience.uniqueDelivered = transport->uniqueDelivered();
     r.e2eLatencyNs = transport->endToEndLatency().mean();
   }
+  if (watchdog) r.invariants = watchdog->stats();
   const auto& lat = stats.latency();
   r.avgLatencyNs = lat.mean();
   r.minLatencyNs = static_cast<double>(lat.min());
@@ -205,6 +221,9 @@ std::string SimResults::summary() const {
   if (inOrderViolations) os << " [OOO=" << inOrderViolations << "]";
   if (faultCampaignRan || resilience.uniqueSent > 0) {
     os << " | " << resilience.summary();
+  }
+  if (invariants.violations() > 0 || invariants.aborted) {
+    os << " | " << invariants.summary();
   }
   return os.str();
 }

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "check/invariant_watchdog.hpp"
 #include "fabric/params.hpp"
 #include "fault/fault_campaign.hpp"
 #include "host/reliable_transport.hpp"
@@ -87,6 +88,29 @@ struct SimParams {
   /// only; incompatible with saturation mode).
   bool reliableTransport = false;
   ReliableTransportSpec transport;
+
+  // ---- transient faults (corruption & credit loss) -----------------------
+  /// Per-bit error rate on every link hop; corrupted frames are judged by
+  /// the receiver's VCRC/ICRC and dropped when caught (end-to-end
+  /// retransmission recovers them). > 0 routes the run through a
+  /// FaultCampaign even with no link failures configured.
+  double berPerBit = 0.0;
+  /// Probability a credit-update token is lost; leaked credits heal via the
+  /// periodic link-level credit resync. > 0 also routes through a campaign.
+  double creditLossRate = 0.0;
+  std::uint64_t transientFaultSeed = 0x7a11;
+  SimTime creditResyncPeriodNs = 100'000;
+  int creditResyncDetectPeriods = 2;
+
+  // ---- invariant watchdog (always on by default) --------------------------
+  /// Periodic runtime invariant checks: credit conservation, split-buffer
+  /// bounds, and forward progress with wait-for-graph deadlock/livelock
+  /// classification. On by default — the checks are pure reads under
+  /// WatchdogPolicy::kRecord and never perturb the event trace.
+  bool invariantChecks = true;
+  SimTime invariantPeriodNs = 250'000;
+  WatchdogPolicy invariantPolicy = WatchdogPolicy::kRecord;
+  SimTime invariantMaxDrainAgeNs = 50'000'000;
 };
 
 struct SimResults {
@@ -138,6 +162,9 @@ struct SimResults {
   ResilienceStats resilience;
   /// First-transmission-to-first-delivery mean of transport-tracked packets.
   double e2eLatencyNs = 0.0;
+
+  /// Invariant watchdog verdict (zeros when invariantChecks was off).
+  WatchdogStats invariants;
 
   std::string summary() const;
 };

@@ -1,0 +1,393 @@
+#include "check/invariant_watchdog.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/credits.hpp"
+#include "fabric/fabric.hpp"
+
+namespace ibadapt {
+
+void WatchdogSpec::validate() const {
+  if (periodNs <= 0) {
+    throw std::invalid_argument("WatchdogSpec: periodNs must be > 0");
+  }
+  if (maxDrainAgeNs <= 0) {
+    throw std::invalid_argument("WatchdogSpec: maxDrainAgeNs must be > 0");
+  }
+}
+
+std::string WatchdogStats::summary() const {
+  std::ostringstream os;
+  os << "checks=" << checksRun << " violations=" << violations()
+     << " (credit=" << creditConservationViolations
+     << " split=" << splitBoundViolations << " deadlock=" << deadlocksDetected
+     << " livelock=" << livelocksDetected << ")"
+     << " congestionStalls=" << congestionStalls;
+  if (creditsRecovered > 0) os << " recovered=" << creditsRecovered;
+  if (aborted) os << " [ABORTED]";
+  if (!firstViolation.empty()) os << " first=[" << firstViolation << "]";
+  return os.str();
+}
+
+InvariantWatchdog::InvariantWatchdog(const WatchdogSpec& spec) : spec_(spec) {
+  spec_.validate();
+}
+
+void InvariantWatchdog::attachTo(Fabric& fabric) {
+  fabric.attachChecker(this, spec_.periodNs);
+}
+
+void InvariantWatchdog::recordViolation(Fabric& fabric,
+                                        std::uint64_t* counter,
+                                        const std::string& what) {
+  ++*counter;
+  if (stats_.firstViolation.empty()) stats_.firstViolation = what;
+  if (spec_.policy == WatchdogPolicy::kAbort && !stats_.aborted) {
+    stats_.aborted = true;
+    fabric.requestStop();
+  }
+}
+
+void InvariantWatchdog::check(Fabric& fabric, SimTime now) {
+  ++stats_.checksRun;
+  if (spec_.checkCreditConservation) checkCredits(fabric);
+  if (spec_.checkSplitBounds) checkSplit(fabric);
+  if (spec_.checkProgress) checkProgress(fabric, now);
+}
+
+namespace {
+
+/// Downstream input-buffer occupancy seen by output port (sw, port, vl).
+/// Failed links keep their credit books (failLink leaves the input sides
+/// wired), so the peer is resolved through the failed-link records.
+/// Returns -1 when the port is wired but no peer can be found (itself a
+/// bookkeeping violation).
+int downstreamOccupancy(const Fabric& fabric, SwitchId sw, PortIndex port,
+                        const SwitchOutputPort& op, VlIndex vl) {
+  if (op.downKind == PeerKind::kNode) return 0;  // CA consumes on delivery
+  if (op.downKind == PeerKind::kSwitch) {
+    return fabric.switchModel(op.downId)
+        .in[static_cast<std::size_t>(op.downPort)]
+        .vls[static_cast<std::size_t>(vl)]
+        .occupiedCredits();
+  }
+  for (const Fabric::FailedLink& fl : fabric.failedLinks()) {
+    if (fl.swA == sw && fl.portA == port) {
+      return fabric.switchModel(fl.swB)
+          .in[static_cast<std::size_t>(fl.portB)]
+          .vls[static_cast<std::size_t>(vl)]
+          .occupiedCredits();
+    }
+    if (fl.swB == sw && fl.portB == port) {
+      return fabric.switchModel(fl.swA)
+          .in[static_cast<std::size_t>(fl.portA)]
+          .vls[static_cast<std::size_t>(vl)]
+          .occupiedCredits();
+    }
+  }
+  return -1;
+}
+
+std::string bufName(const char* side, SwitchId sw, PortIndex port,
+                    VlIndex vl) {
+  std::ostringstream os;
+  os << "sw" << sw << "." << side << port << ".vl" << vl;
+  return os.str();
+}
+
+}  // namespace
+
+void InvariantWatchdog::checkCredits(Fabric& fabric) {
+  const FabricParams& fp = fabric.params();
+  const Topology& topo = fabric.topology();
+
+  for (SwitchId s = 0; s < topo.numSwitches(); ++s) {
+    const SwitchModel& sw = fabric.switchModel(s);
+    for (PortIndex p = 0; p < topo.portsPerSwitch(); ++p) {
+      const SwitchOutputPort& op = sw.out[static_cast<std::size_t>(p)];
+      if (op.credits.empty()) continue;  // never wired
+      for (VlIndex vl = 0; vl < fp.numVls; ++vl) {
+        const auto v = static_cast<std::size_t>(vl);
+        const int occ = downstreamOccupancy(fabric, s, p, op, vl);
+        if (occ < 0) {
+          recordViolation(
+              fabric, &stats_.creditConservationViolations,
+              bufName("out", s, p, vl) +
+                  ": wired port has no peer and no failed-link record");
+          continue;
+        }
+        const int sum = op.credits[v] + op.wireCredits[v] +
+                        op.pendingCredits[v] + op.lostCredits[v] + occ;
+        if (sum == op.creditsMax[v]) continue;
+        std::ostringstream os;
+        os << bufName("out", s, p, vl) << ": credits " << op.credits[v]
+           << " + wire " << op.wireCredits[v] << " + pending "
+           << op.pendingCredits[v] << " + lost " << op.lostCredits[v]
+           << " + downstream " << occ << " = " << sum << " != max "
+           << op.creditsMax[v];
+        recordViolation(fabric, &stats_.creditConservationViolations,
+                        os.str());
+        if (spec_.policy == WatchdogPolicy::kRecover) {
+          const int delta = op.creditsMax[v] - sum;
+          const int repaired = op.credits[v] + delta;
+          if (repaired >= 0 && repaired <= op.creditsMax[v]) {
+            fabric.repairOutputCredits(s, p, vl, delta);
+            stats_.creditsRecovered +=
+                static_cast<std::uint64_t>(delta > 0 ? delta : -delta);
+          }
+        }
+      }
+    }
+
+    // CA injection path: the node-side ledger against this switch's input
+    // buffer (each input buffer has exactly one upstream holder).
+    for (PortIndex p = 0; p < topo.portsPerSwitch(); ++p) {
+      const SwitchInputPort& in = sw.in[static_cast<std::size_t>(p)];
+      if (in.upKind != PeerKind::kNode) continue;
+      const NodeModel& nd = fabric.nodeModel(in.upId);
+      for (VlIndex vl = 0; vl < fp.numVls; ++vl) {
+        const auto v = static_cast<std::size_t>(vl);
+        const int occ = in.vls[v].occupiedCredits();
+        const int sum =
+            nd.txCredits[v] + nd.wireCredits[v] + nd.pendingCredits[v] + occ;
+        if (sum == fp.bufferCredits) continue;
+        std::ostringstream os;
+        os << "node" << in.upId << "->" << bufName("in", s, p, vl)
+           << ": tx " << nd.txCredits[v] << " + wire " << nd.wireCredits[v]
+           << " + pending " << nd.pendingCredits[v] << " + buffered " << occ
+           << " = " << sum << " != max " << fp.bufferCredits;
+        recordViolation(fabric, &stats_.creditConservationViolations,
+                        os.str());
+      }
+    }
+  }
+}
+
+void InvariantWatchdog::checkSplit(Fabric& fabric) {
+  const FabricParams& fp = fabric.params();
+  const Topology& topo = fabric.topology();
+  for (SwitchId s = 0; s < topo.numSwitches(); ++s) {
+    const SwitchModel& sw = fabric.switchModel(s);
+    for (PortIndex p = 0; p < topo.portsPerSwitch(); ++p) {
+      const SwitchInputPort& in = sw.in[static_cast<std::size_t>(p)];
+      if (in.upKind == PeerKind::kUnused) continue;
+      for (VlIndex vl = 0; vl < fp.numVls; ++vl) {
+        const VlBuffer& buf = in.vls[static_cast<std::size_t>(vl)];
+        int sum = 0;
+        int expectEscapeHead = -1;
+        for (int i = 0; i < buf.size(); ++i) {
+          if (expectEscapeHead < 0 && sum >= buf.adaptiveRegionCredits()) {
+            expectEscapeHead = i;
+          }
+          sum += buf.at(i).credits;
+        }
+        const std::string name = bufName("in", s, p, vl);
+        if (sum != buf.occupiedCredits() ||
+            buf.occupiedCredits() > buf.capacityCredits()) {
+          std::ostringstream os;
+          os << name << ": stored packets occupy " << sum
+             << " credits but the buffer reports " << buf.occupiedCredits()
+             << " of " << buf.capacityCredits();
+          recordViolation(fabric, &stats_.splitBoundViolations, os.str());
+        }
+        if (buf.escapeHeadIndex() != expectEscapeHead) {
+          std::ostringstream os;
+          os << name << ": escape head index " << buf.escapeHeadIndex()
+             << " but the first packet past the adaptive region ("
+             << buf.adaptiveRegionCredits() << " credits) is at "
+             << expectEscapeHead;
+          recordViolation(fabric, &stats_.splitBoundViolations, os.str());
+        }
+      }
+    }
+  }
+}
+
+void InvariantWatchdog::checkProgress(Fabric& fabric, SimTime now) {
+  const FabricParams& fp = fabric.params();
+  const Topology& topo = fabric.topology();
+  const int numPorts = topo.portsPerSwitch();
+  const int numVls = fp.numVls;
+
+  // One node per input VL buffer whose crossbar-visible heads are all
+  // blocked on downstream credits (waits bounded by time — routing delay,
+  // link serialization — are progress, not blockage).
+  struct BlockedBuf {
+    SwitchId sw = kInvalidId;
+    PortIndex ip = kInvalidPort;
+    VlIndex vl = 0;
+    int escapeEdge = -1;  // buffer id of the awaited escape-resource buffer
+    bool escapeAged = false;  // escape head older than the drain-age bound
+    SimTime escapeAge = 0;
+  };
+  auto bufId = [numPorts, numVls](SwitchId s, PortIndex p, VlIndex v) {
+    return (static_cast<int>(s) * numPorts + static_cast<int>(p)) * numVls +
+           static_cast<int>(v);
+  };
+  std::vector<int> blockedAt(
+      static_cast<std::size_t>(topo.numSwitches() * numPorts * numVls), -1);
+  std::vector<BlockedBuf> blocked;
+
+  for (SwitchId s = 0; s < topo.numSwitches(); ++s) {
+    const SwitchModel& sw = fabric.switchModel(s);
+    for (PortIndex ip = 0; ip < numPorts; ++ip) {
+      const SwitchInputPort& in = sw.in[static_cast<std::size_t>(ip)];
+      if (in.upKind == PeerKind::kUnused) continue;
+      if (in.busyUntil > now) continue;  // a transfer is departing: progress
+      for (VlIndex vl = 0; vl < numVls; ++vl) {
+        const VlBuffer& buf = in.vls[static_cast<std::size_t>(vl)];
+        if (buf.empty()) continue;
+        const VlBuffer::Candidates cands = buf.candidateHeads(fp.orderRule);
+        bool creditBlocked = cands.count > 0;
+        int escapeEdge = -1;
+        for (int k = 0; k < cands.count && creditBlocked; ++k) {
+          const BufferedPacket& bp =
+              buf.at(cands.index[static_cast<std::size_t>(k)]);
+          if (bp.routeReady > now) {
+            creditBlocked = false;  // still routing: bounded wait
+            break;
+          }
+          const Packet& pkt = fabric.packet(bp.packet);
+          // Mirror of Fabric::feasibleOptions, read-only: any feasible or
+          // merely-busy option means the head is not credit-blocked.
+          const bool adaptiveEligible = bp.options.adaptiveRequested &&
+                                        sw.adaptiveCapable &&
+                                        bp.options.numAdaptive > 0;
+          if (adaptiveEligible) {
+            const bool committed = bp.committedPort != kInvalidPort;
+            for (int i = 0; i < bp.options.numAdaptive && creditBlocked;
+                 ++i) {
+              const PortIndex p =
+                  bp.options.adaptivePorts[static_cast<std::size_t>(i)];
+              if (committed && p != bp.committedPort) continue;
+              const SwitchOutputPort& op =
+                  sw.out[static_cast<std::size_t>(p)];
+              if (op.downKind == PeerKind::kUnused) continue;
+              if (op.busyUntil > now) {
+                creditBlocked = false;
+                break;
+              }
+              const VlIndex ovl = sw.slToVl.vl(ip, p, pkt.sl);
+              const int reserve = op.downKind == PeerKind::kNode
+                                      ? 0
+                                      : fp.escapeReserveCredits;
+              if (adaptiveCredits(
+                      op.credits[static_cast<std::size_t>(ovl)], reserve) >=
+                  pkt.credits) {
+                creditBlocked = false;
+              }
+            }
+          }
+          const PortIndex p0 = bp.options.escapePort;
+          if (creditBlocked && p0 != kInvalidPort) {
+            const SwitchOutputPort& op =
+                sw.out[static_cast<std::size_t>(p0)];
+            if (op.downKind != PeerKind::kUnused) {
+              if (op.busyUntil > now) {
+                creditBlocked = false;
+              } else {
+                const VlIndex ovl = sw.slToVl.vl(ip, p0, pkt.sl);
+                if (op.credits[static_cast<std::size_t>(ovl)] >=
+                    pkt.credits) {
+                  creditBlocked = false;
+                } else if (op.downKind == PeerKind::kSwitch &&
+                           escapeEdge < 0) {
+                  // The escape resource this head waits for: the
+                  // downstream input buffer on the escape VL.
+                  escapeEdge = bufId(op.downId, op.downPort, ovl);
+                }
+              }
+            }
+          }
+        }
+        if (!creditBlocked) continue;
+        BlockedBuf bb;
+        bb.sw = s;
+        bb.ip = ip;
+        bb.vl = vl;
+        bb.escapeEdge = escapeEdge;
+        const int ehi = buf.escapeHeadIndex();
+        if (ehi >= 0) {
+          const SimTime age = now - buf.at(ehi).routeReady;
+          bb.escapeAge = age;
+          bb.escapeAged = age > spec_.maxDrainAgeNs;
+        }
+        blockedAt[static_cast<std::size_t>(bufId(s, ip, vl))] =
+            static_cast<int>(blocked.size());
+        blocked.push_back(bb);
+      }
+    }
+  }
+
+  if (blocked.empty()) return;
+
+  // Walk the escape-resource wait-for edges (at most one per blocked
+  // buffer) looking for a cycle: blocked escape waits chained back onto
+  // themselves mean no escape resource in the loop can ever free — the
+  // definition of deadlock. Edges into non-blocked buffers are dropped:
+  // their owner is draining, so the wait is congestion.
+  std::vector<int> next(blocked.size(), -1);
+  for (std::size_t i = 0; i < blocked.size(); ++i) {
+    const int e = blocked[i].escapeEdge;
+    if (e >= 0) next[i] = blockedAt[static_cast<std::size_t>(e)];
+  }
+  std::vector<int> color(blocked.size(), 0);  // 0 new, 1 on path, 2 done
+  std::vector<bool> inCycle(blocked.size(), false);
+  int cycleStart = -1;
+  for (std::size_t r = 0; r < blocked.size() && cycleStart < 0; ++r) {
+    if (color[r] != 0) continue;
+    int u = static_cast<int>(r);
+    std::vector<int> path;
+    while (u >= 0 && color[static_cast<std::size_t>(u)] == 0) {
+      color[static_cast<std::size_t>(u)] = 1;
+      path.push_back(u);
+      u = next[static_cast<std::size_t>(u)];
+    }
+    if (u >= 0 && color[static_cast<std::size_t>(u)] == 1) {
+      cycleStart = u;
+      bool tail = true;
+      for (const int v : path) {
+        if (v == cycleStart) tail = false;
+        if (!tail) inCycle[static_cast<std::size_t>(v)] = true;
+      }
+    }
+    for (const int v : path) color[static_cast<std::size_t>(v)] = 2;
+  }
+
+  if (cycleStart >= 0) {
+    std::ostringstream os;
+    os << "deadlock cycle (escape-credit waits): ";
+    int u = cycleStart;
+    do {
+      const BlockedBuf& bb = blocked[static_cast<std::size_t>(u)];
+      os << bufName("in", bb.sw, bb.ip, bb.vl) << " -> ";
+      u = next[static_cast<std::size_t>(u)];
+    } while (u != cycleStart);
+    const BlockedBuf& bb = blocked[static_cast<std::size_t>(cycleStart)];
+    os << bufName("in", bb.sw, bb.ip, bb.vl);
+    recordViolation(fabric, &stats_.deadlocksDetected, os.str());
+    if (spec_.policy == WatchdogPolicy::kRecover) {
+      // Leaked credits are the one deadlock cause the model can undo.
+      fabric.forceCreditResync();
+    }
+  }
+
+  std::uint64_t stalls = 0;
+  for (std::size_t i = 0; i < blocked.size(); ++i) {
+    if (inCycle[i]) continue;
+    ++stalls;
+    if (blocked[i].escapeAged) {
+      std::ostringstream os;
+      os << bufName("in", blocked[i].sw, blocked[i].ip, blocked[i].vl)
+         << ": escape head blocked for " << blocked[i].escapeAge
+         << "ns > maxDrainAge " << spec_.maxDrainAgeNs
+         << "ns with no deadlock cycle (livelock)";
+      recordViolation(fabric, &stats_.livelocksDetected, os.str());
+    }
+  }
+  stats_.congestionStalls += stalls;
+}
+
+}  // namespace ibadapt

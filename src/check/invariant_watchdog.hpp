@@ -1,0 +1,104 @@
+#pragma once
+//
+// Always-on runtime invariant watchdog: a periodic simulator event that
+// audits the live fabric state against the properties the paper's design
+// arguments rest on, and attributes any failure to a concrete culprit.
+//
+// Checked invariants (see EXPERIMENTS.md for the paper-section mapping):
+//  * credit conservation — for every output port and VL, the downstream
+//    credits the sender believes in, plus credits bound up in packets on
+//    the wire, credit updates in flight back, credits stolen by a
+//    transient-fault model awaiting resync, and the downstream buffer
+//    occupancy must sum exactly to the buffer capacity (§3 credit-based
+//    flow control); the CA injection path has the same ledger;
+//  * split-buffer bounds — each VL buffer's occupancy equals the sum of
+//    its stored packets' credits, never exceeds capacity, and the escape
+//    head really is the first packet at or past the adaptive-region
+//    boundary (§4.4 split buffer);
+//  * forward progress — blocked buffer heads are explained: the
+//    blocked-input -> awaited-output-credit wait-for graph is built, and a
+//    cycle confined to escape resources is flagged as a deadlock (the
+//    situation §4.4's up*/down* escape paths exist to preclude), while
+//    cycle-free waiting is classified as congestion; an escape head older
+//    than the drain-age bound is flagged as livelock (§4.3's preference
+//    rule exists to bound escape service time).
+//
+// Because the checks run as simulator events, a run under
+// SimKernel::kCalendar and one under kLegacyHeap see identical state at
+// identical instants — the watchdog is itself part of the reproducible
+// event trace.
+//
+#include <cstdint>
+#include <string>
+
+#include "fabric/interfaces.hpp"
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+/// What the watchdog does beyond counting when an invariant fails.
+enum class WatchdogPolicy : std::uint8_t {
+  kRecord,   // count + keep the first culprit trace, run on
+  kAbort,    // additionally stop the simulation at the failing check
+  kRecover,  // additionally repair credit books / force a credit resync
+};
+
+struct WatchdogSpec {
+  /// Check period; also the granularity of deadlock/livelock detection.
+  SimTime periodNs = 250'000;
+  WatchdogPolicy policy = WatchdogPolicy::kRecord;
+  bool checkCreditConservation = true;
+  bool checkSplitBounds = true;
+  bool checkProgress = true;
+  /// Livelock bound: an escape-queue head that has been serviceable for
+  /// longer than this without departing is flagged.
+  SimTime maxDrainAgeNs = 50'000'000;
+
+  void validate() const;
+};
+
+struct WatchdogStats {
+  std::uint64_t checksRun = 0;
+  std::uint64_t creditConservationViolations = 0;
+  std::uint64_t splitBoundViolations = 0;
+  std::uint64_t deadlocksDetected = 0;
+  std::uint64_t livelocksDetected = 0;
+  /// Blocked-but-cycle-free observations — congestion, not a violation.
+  std::uint64_t congestionStalls = 0;
+  /// Credits restored under WatchdogPolicy::kRecover.
+  std::uint64_t creditsRecovered = 0;
+  bool aborted = false;
+  /// Human-readable culprit trace of the first violation, empty when clean.
+  std::string firstViolation;
+
+  std::uint64_t violations() const {
+    return creditConservationViolations + splitBoundViolations +
+           deadlocksDetected + livelocksDetected;
+  }
+  std::string summary() const;
+};
+
+class InvariantWatchdog final : public IInvariantChecker {
+ public:
+  explicit InvariantWatchdog(const WatchdogSpec& spec);
+
+  /// Attach shorthand: fabric.attachChecker(&dog, dog.spec().periodNs).
+  void attachTo(Fabric& fabric);
+
+  void check(Fabric& fabric, SimTime now) override;
+
+  const WatchdogSpec& spec() const { return spec_; }
+  const WatchdogStats& stats() const { return stats_; }
+
+ private:
+  void checkCredits(Fabric& fabric);
+  void checkSplit(Fabric& fabric);
+  void checkProgress(Fabric& fabric, SimTime now);
+  void recordViolation(Fabric& fabric, std::uint64_t* counter,
+                       const std::string& what);
+
+  WatchdogSpec spec_;
+  WatchdogStats stats_;
+};
+
+}  // namespace ibadapt

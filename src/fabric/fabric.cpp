@@ -67,6 +67,9 @@ void Fabric::buildSwitches() {
           op.credits.assign(static_cast<std::size_t>(params_.numVls),
                             params_.caRecvCredits);
           op.creditsMax = op.credits;
+          op.wireCredits.assign(static_cast<std::size_t>(params_.numVls), 0);
+          op.pendingCredits = op.wireCredits;
+          op.lostCredits = op.wireCredits;
           break;
         case PeerKind::kSwitch:
           ip.upKind = PeerKind::kSwitch;
@@ -78,6 +81,9 @@ void Fabric::buildSwitches() {
           op.credits.assign(static_cast<std::size_t>(params_.numVls),
                             params_.bufferCredits);
           op.creditsMax = op.credits;
+          op.wireCredits.assign(static_cast<std::size_t>(params_.numVls), 0);
+          op.pendingCredits = op.wireCredits;
+          op.lostCredits = op.wireCredits;
           break;
       }
     }
@@ -89,6 +95,8 @@ void Fabric::buildNodes() {
   for (auto& n : nodes_) {
     n.txCredits.assign(static_cast<std::size_t>(params_.numVls),
                        params_.bufferCredits);
+    n.wireCredits.assign(static_cast<std::size_t>(params_.numVls), 0);
+    n.pendingCredits = n.wireCredits;
   }
 }
 
@@ -233,6 +241,62 @@ int Fabric::inputBufferOccupancy(SwitchId sw, PortIndex port, VlIndex vl) const 
 
 std::size_t Fabric::nodeQueueLength(NodeId n) const {
   return nodes_[static_cast<std::size_t>(n)].sendQueue.size();
+}
+
+int Fabric::leakedCreditsOutstanding() const {
+  int total = 0;
+  for (const LeakRecord& rec : leakLedger_) total += rec.credits;
+  return total;
+}
+
+void Fabric::applyResyncs(bool force) {
+  std::size_t kept = 0;
+  for (const LeakRecord& rec : leakLedger_) {
+    if (!force && rec.dueAt > now_) {
+      leakLedger_[kept++] = rec;
+      continue;
+    }
+    auto& op = switches_[static_cast<std::size_t>(rec.sw)]
+                   .out[static_cast<std::size_t>(rec.port)];
+    op.lostCredits[static_cast<std::size_t>(rec.vl)] -= rec.credits;
+    op.credits[static_cast<std::size_t>(rec.vl)] += rec.credits;
+    if (op.credits[static_cast<std::size_t>(rec.vl)] >
+        op.creditsMax[static_cast<std::size_t>(rec.vl)]) {
+      throw std::logic_error("Fabric: credit resync overflow (ledger bug)");
+    }
+    creditsResynced_ += static_cast<std::uint64_t>(rec.credits);
+    // Restored credits can unblock memo-parked inputs, exactly like a
+    // normal credit arrival at this output port.
+    const std::uint64_t bit = 1ull << (rec.port & 63);
+    for (auto& inp : switches_[static_cast<std::size_t>(rec.sw)].in) {
+      if ((inp.blockPorts & bit) != 0) inp.retryAt = 0;
+    }
+    if (started_) scheduleArb(rec.sw, now_);
+  }
+  leakLedger_.resize(kept);
+}
+
+void Fabric::forceCreditResync() { applyResyncs(true); }
+
+void Fabric::repairOutputCredits(SwitchId sw, PortIndex port, VlIndex vl,
+                                 int delta) {
+  auto& op = switches_[static_cast<std::size_t>(sw)]
+                 .out[static_cast<std::size_t>(port)];
+  if (static_cast<std::size_t>(vl) >= op.credits.size()) {
+    throw std::invalid_argument("Fabric::repairOutputCredits: unwired port");
+  }
+  op.credits[static_cast<std::size_t>(vl)] += delta;
+  if (op.credits[static_cast<std::size_t>(vl)] < 0 ||
+      op.credits[static_cast<std::size_t>(vl)] >
+          op.creditsMax[static_cast<std::size_t>(vl)]) {
+    throw std::invalid_argument(
+        "Fabric::repairOutputCredits: repair leaves credits out of range");
+  }
+  const std::uint64_t bit = 1ull << (port & 63);
+  for (auto& inp : switches_[static_cast<std::size_t>(sw)].in) {
+    if ((inp.blockPorts & bit) != 0) inp.retryAt = 0;
+  }
+  if (started_) scheduleArb(sw, now_);
 }
 
 }  // namespace ibadapt

@@ -69,6 +69,14 @@ struct SwitchInputPort {
 struct SwitchOutputPort {
   std::vector<int> credits;     // per VL: credits left in the downstream buffer
   std::vector<int> creditsMax;  // per VL: downstream buffer capacity
+  // Conservation ledger (always maintained; checked by src/check): per VL,
+  // credits bound up in packets currently serializing toward the downstream
+  // buffer, credit updates in flight back toward this port, and credits
+  // stolen by a transient-fault model awaiting resync. Together with the
+  // downstream buffer occupancy these must always sum to creditsMax.
+  std::vector<int> wireCredits;
+  std::vector<int> pendingCredits;
+  std::vector<int> lostCredits;
   SimTime busyUntil = 0;        // link serialization occupancy
   std::uint64_t bytesSent = 0;  // lifetime traffic (utilization accounting)
   PeerKind downKind = PeerKind::kUnused;
@@ -93,6 +101,10 @@ struct NodeModel {
   std::deque<PacketRef> sendQueue;
   SimTime txBusyUntil = 0;
   std::vector<int> txCredits;  // per VL, toward the switch input buffer
+  // Conservation ledger, mirroring SwitchOutputPort (the CA-side credit
+  // path is modeled lossless, so there is no lostCredits here).
+  std::vector<int> wireCredits;
+  std::vector<int> pendingCredits;
   SimTime lastTryTxScheduled = -1;
   /// Open-loop generation time deferred past the current run's end; re-armed
   /// by the next run() call so multi-phase runs keep generating.
@@ -124,6 +136,9 @@ struct FabricCounters {
   /// Packets discarded because every routing option pointed at failed
   /// links (the IBA analogue is the switch-lifetime/HOQ timeout discard).
   std::uint64_t dropped = 0;
+  /// Packets a receiver discarded after a transient corruption was caught
+  /// by VCRC/ICRC (end-to-end retransmission recovers them).
+  std::uint64_t crcDropped = 0;
   std::uint64_t events = 0;
 };
 
@@ -181,6 +196,19 @@ class Fabric {
   void attachTraffic(ITrafficSource* traffic, std::uint64_t trafficSeed);
   void attachObserver(IDeliveryObserver* observer) { observer_ = observer; }
 
+  /// Transient link-fault model (bit errors, credit-update loss). Consulted
+  /// on every link hop and credit arrival; when its resyncPeriodNs() > 0 a
+  /// periodic credit-resync chain repairs leaked credits. Attach before
+  /// run(); pass nullptr to detach.
+  void attachLinkFaults(ILinkFaultModel* faults) { linkFaults_ = faults; }
+
+  /// Runtime invariant checker, driven every `periodNs` as a simulator
+  /// event (identical under both kernels). Attach before run().
+  void attachChecker(IInvariantChecker* checker, SimTime periodNs) {
+    checker_ = checker;
+    checkPeriod_ = periodNs;
+  }
+
   /// Schedule the initial events (traffic bootstrap). Call once, after
   /// attachTraffic and after the SubnetManager programmed the tables.
   void start();
@@ -205,6 +233,29 @@ class Fabric {
   int inputBufferOccupancy(SwitchId sw, PortIndex port, VlIndex vl) const;
   std::size_t nodeQueueLength(NodeId n) const;
   const Packet& packet(PacketRef ref) const { return pool_.get(ref); }
+  /// Read-only model state for the invariant watchdog and audits.
+  const SwitchModel& switchModel(SwitchId sw) const {
+    return switches_[static_cast<std::size_t>(sw)];
+  }
+  const NodeModel& nodeModel(NodeId n) const {
+    return nodes_[static_cast<std::size_t>(n)];
+  }
+
+  // ---- credit-leak ledger (transient faults + resync watchdog) ----------
+  /// Lifetime credits stolen from flow-control updates / restored by the
+  /// resync watchdog. leaked == resynced means every leak healed.
+  std::uint64_t creditsLeaked() const { return creditsLeaked_; }
+  std::uint64_t creditsResynced() const { return creditsResynced_; }
+  /// Credits currently leaked and not yet repaired.
+  int leakedCreditsOutstanding() const;
+  /// Repair every outstanding leak immediately, without waiting for the
+  /// detection window (used by WatchdogPolicy::kRecover and by drain code).
+  void forceCreditResync();
+  /// Directed credit repair for the invariant watchdog's kRecover policy:
+  /// adds `delta` to the output port's credit count (books must end up in
+  /// [0, creditsMax]) and re-arbitrates the switch.
+  void repairOutputCredits(SwitchId sw, PortIndex port, VlIndex vl,
+                           int delta);
 
  private:
   // construction
@@ -222,6 +273,17 @@ class Fabric {
   void handleNodeGenerate(NodeId n);
   void handleNodeDeliver(NodeId n, VlIndex vl, PacketRef ref);
   void handleWatchdog(std::uint32_t epoch);
+  void handleCreditResync(std::uint32_t epoch);
+  void handleInvariantCheck(std::uint32_t epoch);
+
+  // credit scheduling (keeps the pending-credit ledger exact)
+  void scheduleCreditToSwitch(SwitchId sw, PortIndex port, VlIndex vl,
+                              int credits, SimTime when);
+  void scheduleCreditToNode(NodeId n, VlIndex vl, int credits, SimTime when);
+  void returnCreditUpstream(const SwitchInputPort& in, VlIndex vl,
+                            int credits, SimTime when);
+  /// Restore ledger entries due by now (or all of them when `force`).
+  void applyResyncs(bool force);
 
   // traffic helpers
   PacketRef generatePacket(NodeId src);
@@ -282,6 +344,8 @@ class Fabric {
 
   ITrafficSource* traffic_ = nullptr;
   IDeliveryObserver* observer_ = nullptr;
+  ILinkFaultModel* linkFaults_ = nullptr;
+  IInvariantChecker* checker_ = nullptr;
   Rng trafficRng_{1};
   Rng selectionRng_{2};
 
@@ -302,6 +366,26 @@ class Fabric {
   std::uint64_t watchdogLastDelivered_ = 0;
   int watchdogStallCount_ = 0;
   std::uint32_t watchdogEpoch_ = 0;
+
+  // credit-resync and invariant-check chains, epoch-guarded like the
+  // watchdog so multi-phase runs keep exactly one live chain of each.
+  SimTime resyncPeriod_ = 0;
+  std::uint32_t resyncEpoch_ = 0;
+  SimTime checkPeriod_ = 0;
+  std::uint32_t checkEpoch_ = 0;
+
+  /// One entry per stolen credit-update token, repaired by the resync
+  /// chain once `dueAt` passes (the IBA-style detection delay).
+  struct LeakRecord {
+    SwitchId sw = kInvalidId;
+    PortIndex port = kInvalidPort;
+    VlIndex vl = 0;
+    int credits = 0;
+    SimTime dueAt = 0;
+  };
+  std::vector<LeakRecord> leakLedger_;
+  std::uint64_t creditsLeaked_ = 0;
+  std::uint64_t creditsResynced_ = 0;
 
   std::vector<FailedLink> failedLinks_;
 

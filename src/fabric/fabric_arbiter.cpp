@@ -238,16 +238,8 @@ void Fabric::dropPacket(SwitchId swId, PortIndex ip, VlIndex vl, int idx) {
   const SimTime creditTime =
       now_ + static_cast<SimTime>(pkt.sizeBytes) * params_.nsPerByte +
       params_.linkPropagationNs;
-  if (in.upKind == PeerKind::kNode) {
-    queue_.push(Event{creditTime, 0, EventKind::kCreditToNode,
-                      static_cast<std::uint32_t>(in.upId),
-                      static_cast<std::uint32_t>(vl),
-                      static_cast<std::uint32_t>(pkt.credits)});
-  } else if (in.upKind == PeerKind::kSwitch) {
-    queue_.push(Event{creditTime, 0, EventKind::kCreditToSwitch,
-                      static_cast<std::uint32_t>(in.upId),
-                      packPortVl(in.upPort, vl),
-                      static_cast<std::uint32_t>(pkt.credits)});
+  if (in.upKind != PeerKind::kUnused) {
+    returnCreditUpstream(in, vl, pkt.credits, creditTime);
   }
   pool_.release(bp.packet);
 }
@@ -303,6 +295,7 @@ void Fabric::grant(SwitchId swId, PortIndex ip, VlIndex vl, int idx,
   in.busyUntil = txEnd;
   op.bytesSent += static_cast<std::uint64_t>(pkt.sizeBytes);
   op.credits[static_cast<std::size_t>(opt.vl)] -= pkt.credits;
+  op.wireCredits[static_cast<std::size_t>(opt.vl)] += pkt.credits;
   if (op.credits[static_cast<std::size_t>(opt.vl)] < 0) {
     throw std::logic_error("Fabric::grant: negative credits (bug)");
   }
@@ -313,18 +306,7 @@ void Fabric::grant(SwitchId swId, PortIndex ip, VlIndex vl, int idx,
 
   // Credits for this input buffer return to the upstream holder when the
   // packet's tail has left, plus wire latency for the credit update.
-  const SimTime creditTime = txEnd + params_.linkPropagationNs;
-  if (in.upKind == PeerKind::kNode) {
-    queue_.push(Event{creditTime, 0, EventKind::kCreditToNode,
-                      static_cast<std::uint32_t>(in.upId),
-                      static_cast<std::uint32_t>(vl),
-                      static_cast<std::uint32_t>(pkt.credits)});
-  } else {
-    queue_.push(Event{creditTime, 0, EventKind::kCreditToSwitch,
-                      static_cast<std::uint32_t>(in.upId),
-                      packPortVl(in.upPort, vl),
-                      static_cast<std::uint32_t>(pkt.credits)});
-  }
+  returnCreditUpstream(in, vl, pkt.credits, txEnd + params_.linkPropagationNs);
 
   ++pkt.hops;
   if (opt.escape) {

@@ -44,7 +44,8 @@ void Fabric::run(const RunLimits& limits) {
   }
   watchdogPeriod_ = limits.watchdogPeriodNs;
   watchdogStallLimit_ = limits.watchdogStallLimit;
-  watchdogLastDelivered_ = counters_.delivered + counters_.dropped;
+  watchdogLastDelivered_ =
+      counters_.delivered + counters_.dropped + counters_.crcDropped;
   watchdogStallCount_ = 0;
   // A fresh epoch orphans watchdog chains queued by earlier run() calls
   // (multi-phase runs would otherwise stack one chain per phase and count
@@ -53,6 +54,18 @@ void Fabric::run(const RunLimits& limits) {
   if (watchdogPeriod_ > 0) {
     queue_.push(Event{now_ + watchdogPeriod_, 0, EventKind::kWatchdog,
                       watchdogEpoch_, 0, 0});
+  }
+  // Credit-resync and invariant-check chains follow the same epoch scheme.
+  ++resyncEpoch_;
+  resyncPeriod_ = linkFaults_ != nullptr ? linkFaults_->resyncPeriodNs() : 0;
+  if (resyncPeriod_ > 0) {
+    queue_.push(Event{now_ + resyncPeriod_, 0, EventKind::kCreditResync,
+                      resyncEpoch_, 0, 0});
+  }
+  ++checkEpoch_;
+  if (checker_ != nullptr && checkPeriod_ > 0) {
+    queue_.push(Event{now_ + checkPeriod_, 0, EventKind::kInvariantCheck,
+                      checkEpoch_, 0, 0});
   }
 
   while (!queue_.empty() && !stopRequested_) {
@@ -97,6 +110,12 @@ void Fabric::dispatch(const Event& ev) {
       break;
     case EventKind::kWatchdog:
       handleWatchdog(ev.a);
+      break;
+    case EventKind::kCreditResync:
+      handleCreditResync(ev.a);
+      break;
+    case EventKind::kInvariantCheck:
+      handleInvariantCheck(ev.a);
       break;
     case EventKind::kNone:
       break;
@@ -191,6 +210,7 @@ void Fabric::tryNodeTx(NodeId n) {
   if (nd.txCredits[static_cast<std::size_t>(vl)] < pkt.credits) return;
 
   nd.txCredits[static_cast<std::size_t>(vl)] -= pkt.credits;
+  nd.wireCredits[static_cast<std::size_t>(vl)] += pkt.credits;
   const SimTime txEnd = now_ + static_cast<SimTime>(pkt.sizeBytes) *
                                    params_.nsPerByte;
   nd.txBusyUntil = txEnd;
@@ -216,7 +236,37 @@ void Fabric::tryNodeTx(NodeId n) {
 void Fabric::handleHeaderArrive(SwitchId swId, PortIndex port, VlIndex vl,
                                 PacketRef ref) {
   SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
+  SwitchInputPort& in = sw.in[static_cast<std::size_t>(port)];
   const Packet& pkt = pool_.get(ref);
+
+  // The packet is off the upstream wire and in this buffer now.
+  if (in.upKind == PeerKind::kNode) {
+    nodes_[static_cast<std::size_t>(in.upId)]
+        .wireCredits[static_cast<std::size_t>(vl)] -= pkt.credits;
+  } else {
+    switches_[static_cast<std::size_t>(in.upId)]
+        .out[static_cast<std::size_t>(in.upPort)]
+        .wireCredits[static_cast<std::size_t>(vl)] -= pkt.credits;
+  }
+
+  // Transient bit errors on the hop just completed: a corruption the
+  // VCRC/ICRC catches makes the receiver drop the frame silently — the
+  // buffer space frees once the (garbled) tail has fully arrived, exactly
+  // like a routing drop, and end-to-end retransmission recovers the loss.
+  if (linkFaults_ != nullptr) {
+    const auto verdict = linkFaults_->onPacketRx(pkt, vl, now_);
+    if (verdict == ILinkFaultModel::RxVerdict::kCrcDrop) {
+      ++counters_.crcDropped;
+      const SimTime creditTime =
+          now_ + static_cast<SimTime>(pkt.sizeBytes) * params_.nsPerByte +
+          params_.linkPropagationNs;
+      returnCreditUpstream(in, vl, pkt.credits, creditTime);
+      pool_.release(ref);
+      return;
+    }
+    // kSilentCorrupt frames sail through — the model counts them; the
+    // simulator's symbolic payload is unaffected.
+  }
 
   // Table access happens on header arrival, before the packet reaches the
   // head of the buffer; the options travel with the packet (paper §4.3).
@@ -234,7 +284,6 @@ void Fabric::handleHeaderArrive(SwitchId swId, PortIndex port, VlIndex vl,
       bp.options.numAdaptive > 0) {
     bp.committedPort = commitPortAtRouting(sw, port, bp.options, pkt);
   }
-  SwitchInputPort& in = sw.in[static_cast<std::size_t>(port)];
   in.vls[static_cast<std::size_t>(vl)].push(bp);
   ++in.buffered;
   in.vlOccupied |= 1u << vl;
@@ -246,6 +295,21 @@ void Fabric::handleCreditToSwitch(SwitchId swId, PortIndex port, VlIndex vl,
                                   int credits) {
   SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
   auto& op = sw.out[static_cast<std::size_t>(port)];
+  op.pendingCredits[static_cast<std::size_t>(vl)] -= credits;
+  // Flow-control corruption: a lost credit-update token leaks its credits
+  // until the periodic resync notices the downstream total disagrees and
+  // repairs the count (IBA flow-control packets carry absolute totals).
+  if (linkFaults_ != nullptr && credits > 0) {
+    const int stolen = linkFaults_->onCreditUpdateRx(credits, now_);
+    if (stolen > 0) {
+      op.lostCredits[static_cast<std::size_t>(vl)] += stolen;
+      creditsLeaked_ += static_cast<std::uint64_t>(stolen);
+      leakLedger_.push_back(LeakRecord{swId, port, vl, stolen,
+                                       now_ + linkFaults_->resyncDetectNs()});
+      credits -= stolen;
+      if (credits == 0) return;  // whole token lost: nothing to arbitrate on
+    }
+  }
   op.credits[static_cast<std::size_t>(vl)] += credits;
   if (op.credits[static_cast<std::size_t>(vl)] >
       op.creditsMax[static_cast<std::size_t>(vl)]) {
@@ -262,6 +326,7 @@ void Fabric::handleCreditToSwitch(SwitchId swId, PortIndex port, VlIndex vl,
 
 void Fabric::handleCreditToNode(NodeId n, VlIndex vl, int credits) {
   NodeModel& nd = nodes_[static_cast<std::size_t>(n)];
+  nd.pendingCredits[static_cast<std::size_t>(vl)] -= credits;
   nd.txCredits[static_cast<std::size_t>(vl)] += credits;
   if (nd.txCredits[static_cast<std::size_t>(vl)] > params_.bufferCredits) {
     throw std::logic_error("Fabric: node credit overflow (protocol bug)");
@@ -271,6 +336,24 @@ void Fabric::handleCreditToNode(NodeId n, VlIndex vl, int credits) {
 
 void Fabric::handleNodeDeliver(NodeId n, VlIndex vl, PacketRef ref) {
   Packet& pkt = pool_.get(ref);
+  const SwitchId sw = topo_.switchOfNode(n);
+  const PortIndex port = topo_.portOfNode(n);
+  switches_[static_cast<std::size_t>(sw)]
+      .out[static_cast<std::size_t>(port)]
+      .wireCredits[static_cast<std::size_t>(vl)] -= pkt.credits;
+
+  // Transient bit errors on the final switch-to-CA hop: a CRC-caught
+  // corruption drops the frame at the CA; buffer credits still return.
+  if (linkFaults_ != nullptr &&
+      linkFaults_->onPacketRx(pkt, vl, now_) ==
+          ILinkFaultModel::RxVerdict::kCrcDrop) {
+    ++counters_.crcDropped;
+    scheduleCreditToSwitch(sw, port, vl, pkt.credits,
+                           now_ + params_.linkPropagationNs);
+    pool_.release(ref);
+    return;
+  }
+
   ++counters_.delivered;
   counters_.deliveredBytes += static_cast<std::uint64_t>(pkt.sizeBytes);
   counters_.hopSum += pkt.hops;
@@ -278,20 +361,62 @@ void Fabric::handleNodeDeliver(NodeId n, VlIndex vl, PacketRef ref) {
 
   // The CA consumed the packet: return credits to the switch output port
   // that feeds this node.
-  const SwitchId sw = topo_.switchOfNode(n);
-  const PortIndex port = topo_.portOfNode(n);
-  queue_.push(Event{now_ + params_.linkPropagationNs, 0,
-                    EventKind::kCreditToSwitch, static_cast<std::uint32_t>(sw),
-                    packPortVl(port, vl),
-                    static_cast<std::uint32_t>(pkt.credits)});
+  scheduleCreditToSwitch(sw, port, vl, pkt.credits,
+                         now_ + params_.linkPropagationNs);
   pool_.release(ref);
+}
+
+void Fabric::scheduleCreditToSwitch(SwitchId sw, PortIndex port, VlIndex vl,
+                                    int credits, SimTime when) {
+  switches_[static_cast<std::size_t>(sw)]
+      .out[static_cast<std::size_t>(port)]
+      .pendingCredits[static_cast<std::size_t>(vl)] += credits;
+  queue_.push(Event{when, 0, EventKind::kCreditToSwitch,
+                    static_cast<std::uint32_t>(sw), packPortVl(port, vl),
+                    static_cast<std::uint32_t>(credits)});
+}
+
+void Fabric::scheduleCreditToNode(NodeId n, VlIndex vl, int credits,
+                                  SimTime when) {
+  nodes_[static_cast<std::size_t>(n)]
+      .pendingCredits[static_cast<std::size_t>(vl)] += credits;
+  queue_.push(Event{when, 0, EventKind::kCreditToNode,
+                    static_cast<std::uint32_t>(n),
+                    static_cast<std::uint32_t>(vl),
+                    static_cast<std::uint32_t>(credits)});
+}
+
+void Fabric::returnCreditUpstream(const SwitchInputPort& in, VlIndex vl,
+                                  int credits, SimTime when) {
+  if (in.upKind == PeerKind::kNode) {
+    scheduleCreditToNode(in.upId, vl, credits, when);
+  } else {
+    scheduleCreditToSwitch(in.upId, in.upPort, vl, credits, when);
+  }
+}
+
+void Fabric::handleCreditResync(std::uint32_t epoch) {
+  if (epoch != resyncEpoch_) return;  // stale chain from an earlier run()
+  applyResyncs(false);
+  queue_.push(Event{now_ + resyncPeriod_, 0, EventKind::kCreditResync, epoch,
+                    0, 0});
+}
+
+void Fabric::handleInvariantCheck(std::uint32_t epoch) {
+  if (epoch != checkEpoch_) return;  // stale chain from an earlier run()
+  checker_->check(*this, now_);
+  if (!stopRequested_) {
+    queue_.push(Event{now_ + checkPeriod_, 0, EventKind::kInvariantCheck,
+                      epoch, 0, 0});
+  }
 }
 
 void Fabric::handleWatchdog(std::uint32_t epoch) {
   if (epoch != watchdogEpoch_) return;  // stale chain from an earlier run()
   // Drops count as progress and as retirement: a packet discarded at a
-  // failed link is no longer in flight.
-  const std::uint64_t retired = counters_.delivered + counters_.dropped;
+  // failed link or by a receiver CRC check is no longer in flight.
+  const std::uint64_t retired =
+      counters_.delivered + counters_.dropped + counters_.crcDropped;
   const bool inFlight = counters_.injected > retired;
   if (inFlight && retired == watchdogLastDelivered_) {
     if (++watchdogStallCount_ >= watchdogStallLimit_) {

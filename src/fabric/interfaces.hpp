@@ -59,4 +59,45 @@ class IDeliveryObserver {
   virtual void onDelivered(const Packet& pkt, SimTime now) = 0;
 };
 
+/// Transient link-fault model consulted by the fabric on every link hop.
+/// All randomness must be drawn inside these calls, which happen at event
+/// handlers (identical across SimKernel choices), never from arbitration
+/// scan paths (whose call counts differ between kernels) — that keeps fault
+/// runs bit-identical under kCalendar and kLegacyHeap.
+class ILinkFaultModel {
+ public:
+  virtual ~ILinkFaultModel() = default;
+
+  enum class RxVerdict : std::uint8_t {
+    kClean,          // frame arrived intact
+    kCrcDrop,        // corrupted and caught by VCRC/ICRC: receiver drops it
+    kSilentCorrupt,  // corrupted but both CRCs passed: delivered as-is
+  };
+
+  /// Receiver-side verdict for a packet completing a link hop.
+  virtual RxVerdict onPacketRx(const Packet& pkt, VlIndex vl, SimTime now) = 0;
+
+  /// Credits stolen from an arriving credit-update token (whole-token
+  /// semantics: returns 0 or `credits`). Stolen credits leak until the
+  /// periodic credit resync repairs them.
+  virtual int onCreditUpdateRx(int credits, SimTime now) = 0;
+
+  /// Period of the link-level credit-resync watchdog; 0 disables the chain.
+  virtual SimTime resyncPeriodNs() const = 0;
+  /// Age a leak must reach before a resync tick repairs it (detection takes
+  /// a configurable number of sync periods).
+  virtual SimTime resyncDetectNs() const = 0;
+};
+
+class Fabric;
+
+/// Runtime invariant checker driven as a periodic simulator event
+/// (EventKind::kInvariantCheck) — identical under both kernels. The
+/// implementation lives in src/check.
+class IInvariantChecker {
+ public:
+  virtual ~IInvariantChecker() = default;
+  virtual void check(Fabric& fabric, SimTime now) = 0;
+};
+
 }  // namespace ibadapt

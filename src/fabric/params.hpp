@@ -27,6 +27,13 @@ struct FabricParams {
   int bufferCredits = 8;
   /// Escape queue size C0 in credits (paper: C_max / 2).
   int escapeReserveCredits = 4;
+  /// escapeReserveCredits == 0 voids the paper's deadlock-freedom
+  /// precondition (§4.4: each half of the split buffer must hold one full
+  /// MTU, so the escape sub-network can always make progress). validate()
+  /// rejects it unless this flag is set explicitly — then the run is only
+  /// safe if something else (e.g. the invariant watchdog in kAbort mode)
+  /// stands guard against the resulting deadlocks.
+  bool allowUnsafeSplit = false;
   /// CA receive buffer, credits per VL.
   int caRecvCredits = 16;
 
@@ -70,6 +77,12 @@ struct FabricParams {
     if (bufferCredits < 1 || escapeReserveCredits < 0 ||
         escapeReserveCredits > bufferCredits) {
       throw std::invalid_argument("FabricParams: buffer/escape credits");
+    }
+    if (escapeReserveCredits == 0 && !allowUnsafeSplit) {
+      throw std::invalid_argument(
+          "FabricParams: escapeReserveCredits == 0 removes the escape "
+          "queue and with it the deadlock-freedom guarantee (paper §4.4); "
+          "set allowUnsafeSplit to run anyway");
     }
     if (caRecvCredits < 1) {
       throw std::invalid_argument("FabricParams: caRecvCredits");

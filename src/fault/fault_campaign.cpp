@@ -25,12 +25,17 @@ void FaultCampaignSpec::validate() const {
           "FaultCampaignSpec: recovery not after failure");
     }
   }
+  transient.validate();
 }
 
 FaultCampaign::FaultCampaign(Fabric& fabric, SubnetManager& sm,
                              const FaultCampaignSpec& spec)
     : fabric_(&fabric), sm_(&sm), spec_(spec) {
   spec_.validate();
+  if (spec_.transient.enabled()) {
+    transient_ = std::make_unique<TransientLinkFaults>(spec_.transient);
+    fabric_->attachLinkFaults(transient_.get());
+  }
   buildTimeline();
 }
 
@@ -281,6 +286,16 @@ void FaultCampaign::run(const RunLimits& limits) {
   }
   stats_.droppedWhileHealthy = fabric_->counters().dropped - droppedAtStart -
                                stats_.droppedWhileDegraded;
+
+  if (transient_) {
+    const TransientFaultStats& t = transient_->stats();
+    stats_.packetsCorrupted = t.packetsCorrupted;
+    stats_.crcDrops = t.crcDrops;
+    stats_.silentCorruptions = t.silentCorruptions;
+    stats_.creditUpdatesLost = t.creditUpdatesLost;
+  }
+  stats_.creditsLeaked = fabric_->creditsLeaked();
+  stats_.creditsResynced = fabric_->creditsResynced();
 }
 
 }  // namespace ibadapt

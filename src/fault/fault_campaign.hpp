@@ -24,9 +24,11 @@
 //   campaign.stats();                      // resilience metrics
 //
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fabric/fabric.hpp"
+#include "fault/transient.hpp"
 #include "stats/resilience.hpp"
 #include "subnet/subnet_manager.hpp"
 
@@ -65,6 +67,11 @@ struct FaultCampaignSpec {
   /// Audit escape connectivity + credit sanity after every sweep.
   bool auditAfterSweep = true;
 
+  /// Transient fault layer (bit errors + credit-update loss); off by
+  /// default. The campaign owns the model and attaches it to the fabric
+  /// for the duration of the run.
+  TransientFaultSpec transient;
+
   void validate() const;
 };
 
@@ -100,6 +107,7 @@ class FaultCampaign {
   SubnetManager* sm_;
   FaultCampaignSpec spec_;
   std::vector<TimelineEntry> timeline_;
+  std::unique_ptr<TransientLinkFaults> transient_;
   ResilienceStats stats_;
   bool ran_ = false;
 };

@@ -1,0 +1,112 @@
+#include "fault/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "iba/headers.hpp"
+
+namespace ibadapt {
+
+void TransientFaultSpec::validate() const {
+  if (berPerBit < 0.0 || berPerBit >= 1.0) {
+    throw std::invalid_argument("TransientFaultSpec: berPerBit in [0,1)");
+  }
+  if (creditLossRate < 0.0 || creditLossRate > 1.0) {
+    throw std::invalid_argument(
+        "TransientFaultSpec: creditLossRate in [0,1]");
+  }
+  if (creditLossRate > 0.0 && resyncPeriodNs <= 0) {
+    throw std::invalid_argument(
+        "TransientFaultSpec: credit loss needs resyncPeriodNs > 0 (leaks "
+        "would never heal)");
+  }
+  if (resyncDetectPeriods < 1) {
+    throw std::invalid_argument(
+        "TransientFaultSpec: resyncDetectPeriods >= 1");
+  }
+  if (maxFlipsPerCorruption < 1 || maxFlipsPerCorruption > 64) {
+    throw std::invalid_argument(
+        "TransientFaultSpec: maxFlipsPerCorruption in [1,64]");
+  }
+}
+
+TransientLinkFaults::TransientLinkFaults(const TransientFaultSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  spec_.validate();
+  if (spec_.berPerBit > 0.0) {
+    logOneMinusBer_ = std::log1p(-spec_.berPerBit);
+  }
+}
+
+ILinkFaultModel::RxVerdict TransientLinkFaults::onPacketRx(const Packet& pkt,
+                                                           VlIndex vl,
+                                                           SimTime /*now*/) {
+  if (spec_.berPerBit <= 0.0) return RxVerdict::kClean;
+  // Wire frame size: LRH + BTH + word-aligned payload + ICRC + VCRC.
+  const int payloadBytes = ((pkt.sizeBytes + 3) / 4) * 4;
+  const int frameBytes =
+      iba::kLrhBytes + iba::kBthBytes + payloadBytes + 4 + 2;
+  // P(at least one flipped bit) = 1 - (1 - ber)^(8 * frameBytes).
+  const double pCorrupt =
+      -std::expm1(static_cast<double>(frameBytes) * 8.0 * logOneMinusBer_);
+  if (!rng_.bernoulli(pCorrupt)) return RxVerdict::kClean;
+  ++stats_.packetsCorrupted;
+
+  // Materialize the frame the symbolic packet corresponds to. The payload
+  // is a deterministic function of the packet identity so retransmitted
+  // copies corrupt independently but encode identically.
+  iba::Lrh lrh;
+  lrh.vl = static_cast<std::uint8_t>(vl & 0xF);
+  lrh.sl = static_cast<std::uint8_t>(pkt.sl & 0xF);
+  lrh.dlid = static_cast<std::uint16_t>(pkt.dlid);
+  lrh.slid = static_cast<std::uint16_t>((pkt.src + 1) & 0xFFFF);
+  iba::Bth bth;
+  bth.destQp = static_cast<std::uint32_t>(pkt.dst) & 0xFFFFFF;
+  bth.psn = pkt.e2eSeq & 0xFFFFFF;
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(payloadBytes));
+  std::uint64_t state = (static_cast<std::uint64_t>(pkt.src) << 40) ^
+                        (static_cast<std::uint64_t>(pkt.dst) << 20) ^
+                        static_cast<std::uint64_t>(pkt.genTime) ^
+                        (static_cast<std::uint64_t>(pkt.e2eSeq) << 32);
+  for (std::size_t i = 0; i < payload.size(); i += 8) {
+    const std::uint64_t word = splitmix64(state);
+    const std::size_t n = std::min<std::size_t>(8, payload.size() - i);
+    std::memcpy(payload.data() + i, &word, n);
+  }
+  std::vector<std::uint8_t> frame = iba::buildFrame(lrh, bth, payload);
+
+  // Inject the burst and let the receiver's real CRC checks judge it.
+  const int flips =
+      1 + static_cast<int>(rng_.uniformIndex(
+              static_cast<std::uint64_t>(spec_.maxFlipsPerCorruption)));
+  for (int f = 0; f < flips; ++f) {
+    const std::uint64_t bit = rng_.uniformIndex(frame.size() * 8);
+    frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  bool passes = false;
+  try {
+    const iba::ParsedFrame parsed = iba::parseFrame(frame);
+    passes = parsed.icrcOk && parsed.vcrcOk;
+  } catch (const std::exception&) {
+    passes = false;  // header unparseable (reserved bits flipped): drop
+  }
+  if (!passes) {
+    ++stats_.crcDrops;
+    return RxVerdict::kCrcDrop;
+  }
+  ++stats_.silentCorruptions;
+  return RxVerdict::kSilentCorrupt;
+}
+
+int TransientLinkFaults::onCreditUpdateRx(int credits, SimTime /*now*/) {
+  if (spec_.creditLossRate <= 0.0) return 0;
+  if (!rng_.bernoulli(spec_.creditLossRate)) return 0;
+  ++stats_.creditUpdatesLost;
+  stats_.creditsLost += static_cast<std::uint64_t>(credits);
+  return credits;  // whole-token loss
+}
+
+}  // namespace ibadapt

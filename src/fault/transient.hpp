@@ -1,0 +1,82 @@
+#pragma once
+//
+// Transient link-fault classes: per-link bit errors that corrupt packets in
+// flight, and flow-control corruption that loses credit-update tokens.
+//
+// Corruption is resolved the way a real IBA receiver resolves it: the
+// packet's wire frame (LRH + BTH + payload + ICRC + VCRC, src/iba/headers)
+// is materialized, a burst of 1..maxFlipsPerCorruption random bit flips is
+// applied, and the frame is re-validated. If either CRC fails the receiver
+// drops the frame silently — only end-to-end retransmission can recover
+// it. If both CRCs still pass (possible only for >= 4-bit bursts with
+// CRC-16/XMODEM at these frame lengths) the corruption is *silent* and the
+// packet is delivered as-is; the model counts these separately because they
+// are exactly the failures link-level protection cannot see.
+//
+// Credit-update loss uses whole-token semantics: a lost token leaks its
+// credits at the receiving output port until the IBA-style periodic credit
+// resync (flow-control packets carry absolute totals) detects the
+// discrepancy after `resyncDetectPeriods` sync periods and repairs it.
+//
+// All randomness is drawn in event-handler order, so runs are bit-identical
+// under SimKernel::kCalendar and kLegacyHeap.
+//
+#include <cstdint>
+
+#include "fabric/interfaces.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+struct TransientFaultSpec {
+  /// Per-bit error probability on every link hop (0 = no corruption).
+  double berPerBit = 0.0;
+  /// Probability that a credit-update token is lost (0 = lossless).
+  double creditLossRate = 0.0;
+  std::uint64_t seed = 0x7a11;
+  /// Link-level credit-resync period; every `resyncDetectPeriods`-th old
+  /// leak is repaired on the tick after its detection window passes.
+  SimTime resyncPeriodNs = 100'000;
+  int resyncDetectPeriods = 2;
+  /// Corruption burst size: 1..maxFlipsPerCorruption uniformly random bit
+  /// flips per corrupted frame.
+  int maxFlipsPerCorruption = 4;
+
+  bool enabled() const { return berPerBit > 0.0 || creditLossRate > 0.0; }
+  void validate() const;
+};
+
+struct TransientFaultStats {
+  std::uint64_t packetsCorrupted = 0;   // corruption events injected
+  std::uint64_t crcDrops = 0;           // caught by VCRC/ICRC -> dropped
+  std::uint64_t silentCorruptions = 0;  // both CRCs passed despite flips
+  std::uint64_t creditUpdatesLost = 0;  // flow-control tokens lost
+  std::uint64_t creditsLost = 0;        // credits those tokens carried
+};
+
+class TransientLinkFaults final : public ILinkFaultModel {
+ public:
+  explicit TransientLinkFaults(const TransientFaultSpec& spec);
+
+  RxVerdict onPacketRx(const Packet& pkt, VlIndex vl, SimTime now) override;
+  int onCreditUpdateRx(int credits, SimTime now) override;
+  SimTime resyncPeriodNs() const override {
+    return spec_.creditLossRate > 0.0 ? spec_.resyncPeriodNs : 0;
+  }
+  SimTime resyncDetectNs() const override {
+    return spec_.resyncPeriodNs *
+           static_cast<SimTime>(spec_.resyncDetectPeriods);
+  }
+
+  const TransientFaultSpec& spec() const { return spec_; }
+  const TransientFaultStats& stats() const { return stats_; }
+
+ private:
+  TransientFaultSpec spec_;
+  Rng rng_;
+  TransientFaultStats stats_;
+  double logOneMinusBer_ = 0.0;  // precomputed for the per-frame probability
+};
+
+}  // namespace ibadapt

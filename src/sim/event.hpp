@@ -31,6 +31,12 @@ enum class EventKind : std::uint8_t {
   kNodeDeliver,
   /// Periodic progress / deadlock watchdog tick.
   kWatchdog,
+  /// Periodic link-level credit-resync tick (IBA flow-control packets carry
+  /// absolute totals, so leaked credits heal after a few sync periods).
+  /// a=epoch.
+  kCreditResync,
+  /// Periodic runtime invariant check (src/check). a=epoch.
+  kInvariantCheck,
 };
 
 struct Event {

@@ -13,6 +13,12 @@ std::string ResilienceStats::summary() const {
   }
   os << " degraded=" << degradedTimeNs << "ns"
      << " droppedDegraded=" << droppedWhileDegraded;
+  if (packetsCorrupted > 0 || creditUpdatesLost > 0) {
+    os << " corrupted=" << packetsCorrupted << " crcDrops=" << crcDrops
+       << " silent=" << silentCorruptions
+       << " creditsLeaked=" << creditsLeaked
+       << " creditsResynced=" << creditsResynced;
+  }
   if (uniqueSent > 0) {
     os << " delivered=" << uniqueDelivered << "/" << uniqueSent
        << " retx=" << retransmitsSent << " dups=" << duplicatesSuppressed;

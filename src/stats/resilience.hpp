@@ -31,6 +31,19 @@ struct ResilienceStats {
   /// ... and outside them (stale path sets, in-flight stragglers).
   std::uint64_t droppedWhileHealthy = 0;
 
+  // ---- transient faults (zeros when no TransientLinkFaults) -------------
+  /// Corruption events injected on link receive paths.
+  std::uint64_t packetsCorrupted = 0;
+  /// Corrupted frames the receiver's VCRC/ICRC caught and dropped.
+  std::uint64_t crcDrops = 0;
+  /// Corrupted frames both CRCs failed to catch (delivered corrupted).
+  std::uint64_t silentCorruptions = 0;
+  /// Flow-control tokens lost to corruption, and the credits they carried.
+  std::uint64_t creditUpdatesLost = 0;
+  std::uint64_t creditsLeaked = 0;
+  /// Credits restored by the periodic link-level credit resync.
+  std::uint64_t creditsResynced = 0;
+
   // ---- end-to-end reliability (zeros when no ReliableTransport) ---------
   std::uint64_t retransmitsSent = 0;
   std::uint64_t duplicatesSuppressed = 0;
@@ -47,12 +60,13 @@ struct ResilienceStats {
 
   bool allAuditsPassed() const { return auditsPassed == auditsRun; }
 
-  /// Fraction of transport-tracked packets that were delivered (1.0 when
-  /// everything arrived; counts unique packets, not copies).
+  /// Fraction of transport-tracked packets that were delivered (counts
+  /// unique packets, not copies). Vacuously 1.0 when nothing was tracked —
+  /// "all zero of them arrived" must read as success, not total loss.
   double deliveredFraction() const {
     return uniqueSent ? static_cast<double>(uniqueDelivered) /
                             static_cast<double>(uniqueSent)
-                      : 0.0;
+                      : 1.0;
   }
 
   std::string summary() const;

@@ -1,0 +1,261 @@
+//
+// Runtime invariant watchdog: credit conservation, split-buffer bounds, and
+// wait-for-graph forward-progress classification (deadlock vs congestion vs
+// livelock), plus the kRecord / kAbort / kRecover policies.
+//
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "api/simulation.hpp"
+#include "check/invariant_watchdog.hpp"
+#include "fault/fault_audit.hpp"
+#include "fault/fault_campaign.hpp"
+#include "host/reliable_transport.hpp"
+#include "test_helpers.hpp"
+#include "topology/generators.hpp"
+
+namespace ibadapt {
+namespace {
+
+Topology irregular(int switches, int links, std::uint64_t seed) {
+  Rng rng(seed);
+  IrregularSpec spec;
+  spec.numSwitches = switches;
+  spec.linksPerSwitch = links;
+  spec.nodesPerSwitch = 4;
+  return makeIrregular(spec, rng);
+}
+
+TEST(WatchdogSpec, ValidateRejectsBadKnobs) {
+  WatchdogSpec ok;
+  EXPECT_NO_THROW(ok.validate());
+  WatchdogSpec s;
+  s.periodNs = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = ok;
+  s.maxDrainAgeNs = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  // The constructor validates too.
+  EXPECT_THROW(InvariantWatchdog{s}, std::invalid_argument);
+}
+
+TEST(InvariantWatchdog, HealthyRunStaysCleanUnderAbort) {
+  // A healthy loaded fabric must produce zero violations even with the
+  // strictest policy — the checker may never cry wolf.
+  SimParams p;
+  p.numSwitches = 8;
+  p.loadBytesPerNsPerNode = 0.05;
+  p.warmupPackets = 500;
+  p.measurePackets = 3000;
+  p.invariantPolicy = WatchdogPolicy::kAbort;
+  p.invariantPeriodNs = 20'000;  // many checks inside the short stats budget
+  const SimResults r = runSimulation(p);
+  EXPECT_TRUE(r.measurementComplete);
+  EXPECT_GT(r.invariants.checksRun, 0u);
+  EXPECT_EQ(r.invariants.violations(), 0u) << r.invariants.summary();
+  EXPECT_FALSE(r.invariants.aborted);
+}
+
+TEST(InvariantWatchdog, RecoverRepairsAnInjectedCreditLeak) {
+  // Corrupt the credit books directly (2 credits vanish from the
+  // inter-switch output port) and let the kRecover watchdog both flag the
+  // conservation breach and restore the exact balance.
+  const Topology topo = testing::twoSwitchTopology(2);
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  const PortIndex isl = 2;  // the only inter-switch link: (0,2)-(1,2)
+  ASSERT_EQ(topo.peer(0, isl).kind, PeerKind::kSwitch);
+  fabric.repairOutputCredits(0, isl, 0, -2);  // raw leak, no ledger entry
+  ASSERT_EQ(fabric.outputCredits(0, isl, 0),
+            fabric.outputCreditsMax(0, isl, 0) - 2);
+
+  WatchdogSpec ws;
+  ws.policy = WatchdogPolicy::kRecover;
+  InvariantWatchdog dog(ws);
+  dog.check(fabric, 0);
+  EXPECT_EQ(dog.stats().creditConservationViolations, 1u);
+  EXPECT_EQ(dog.stats().creditsRecovered, 2u);
+  EXPECT_NE(dog.stats().firstViolation.find("sw0.out2.vl0"),
+            std::string::npos)
+      << dog.stats().firstViolation;
+  EXPECT_EQ(fabric.outputCredits(0, isl, 0),
+            fabric.outputCreditsMax(0, isl, 0));
+
+  // The repaired books pass the next audit; nothing new accumulates.
+  dog.check(fabric, 0);
+  EXPECT_EQ(dog.stats().checksRun, 2u);
+  EXPECT_EQ(dog.stats().violations(), 1u);
+  EXPECT_FALSE(dog.stats().aborted);
+}
+
+TEST(InvariantWatchdog, AbortPolicyStopsTheFabric) {
+  const Topology topo = testing::twoSwitchTopology(2);
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+  sm.configure();
+  fabric.repairOutputCredits(1, 2, 0, -1);
+
+  WatchdogSpec ws;
+  ws.policy = WatchdogPolicy::kAbort;
+  InvariantWatchdog dog(ws);
+  EXPECT_FALSE(fabric.stopRequested());
+  dog.check(fabric, 0);
+  EXPECT_TRUE(dog.stats().aborted);
+  EXPECT_TRUE(fabric.stopRequested());
+  EXPECT_EQ(dog.stats().creditConservationViolations, 1u);
+}
+
+TEST(InvariantWatchdog, MisorderedRingEscapeIsDeadlockNotCongestion) {
+  // Negative test: break the paper's escape-plane discipline on purpose.
+  // A 4-switch ring whose every inter-switch route points clockwise is the
+  // canonical cyclic credit dependency up*/down* escape paths exist to
+  // preclude (§4.4). Full-buffer packets two hops from home wedge all four
+  // ring buffers; the wait-for graph must classify that as a deadlock
+  // cycle, not as congestion.
+  const Topology topo = makeRing(4, 1);
+  FabricParams fp;
+  fp.numVls = 1;
+  fp.bufferCredits = 4;          // one 256 B packet fills a buffer exactly
+  fp.escapeReserveCredits = 4;
+  fp.numOptions = 1;             // deterministic-only routing
+  fp.lmc = 0;
+  Fabric fabric(topo, fp);
+  SubnetManager sm(fabric);
+  sm.configure();  // correct up*/down* tables (and local CA delivery)...
+
+  // ...then override every remote route to the clockwise ring port.
+  PortIndex cw[4];
+  for (SwitchId s = 0; s < 4; ++s) {
+    cw[s] = kInvalidPort;
+    for (PortIndex p = 1; p <= 2; ++p) {
+      if (topo.peer(s, p).kind == PeerKind::kSwitch &&
+          topo.peer(s, p).id == (s + 1) % 4) {
+        cw[s] = p;
+      }
+    }
+    ASSERT_NE(cw[s], kInvalidPort);
+  }
+  for (SwitchId s = 0; s < 4; ++s) {
+    for (NodeId d = 0; d < 4; ++d) {
+      if (topo.switchOfNode(d) == s) continue;
+      fabric.setLftEntry(s, fabric.lids().baseLid(d), cw[s]);
+    }
+  }
+
+  // Every node sends one full-buffer packet two hops clockwise at t=0.
+  testing::ScriptedTraffic traffic;
+  for (NodeId i = 0; i < 4; ++i) {
+    traffic.add(i, 0, (i + 2) % 4, 256, /*adaptive=*/false);
+  }
+  fabric.attachTraffic(&traffic, 1);
+  fabric.start();
+
+  WatchdogSpec ws;
+  ws.periodNs = 100'000;
+  ws.policy = WatchdogPolicy::kRecord;
+  InvariantWatchdog dog(ws);
+  dog.attachTo(fabric);
+
+  RunLimits limits;
+  limits.endTime = 1'000'000;
+  fabric.run(limits);
+
+  EXPECT_EQ(fabric.counters().delivered, 0u);
+  const WatchdogStats& st = dog.stats();
+  EXPECT_GT(st.checksRun, 0u);
+  EXPECT_GE(st.deadlocksDetected, 1u);
+  EXPECT_EQ(st.congestionStalls, 0u);  // the cycle IS the whole blockage
+  EXPECT_EQ(st.livelocksDetected, 0u);
+  EXPECT_EQ(st.creditConservationViolations, 0u);
+  EXPECT_EQ(st.splitBoundViolations, 0u);
+  EXPECT_NE(st.firstViolation.find("deadlock cycle"), std::string::npos)
+      << st.firstViolation;
+}
+
+TEST(InvariantWatchdog, AcceptanceMixedTransientCampaignCleanUnderAbort) {
+  // The PR's acceptance bar: a seeded campaign mixing bit errors and
+  // credit-update loss, with the watchdog in kAbort mode, completes with
+  // zero invariant violations, every leaked credit resynced, and
+  // deliveredFraction() == 1.0 under the reliable transport.
+  const Topology topo = irregular(16, 4, 77);
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  FaultCampaignSpec spec;
+  spec.transient.berPerBit = 5e-5;
+  spec.transient.creditLossRate = 0.1;
+  spec.transient.resyncPeriodNs = 50'000;
+  spec.transient.resyncDetectPeriods = 2;
+  spec.transient.seed = 11;
+  FaultCampaign campaign(fabric, sm, spec);
+
+  WatchdogSpec ws;
+  ws.periodNs = 250'000;
+  ws.policy = WatchdogPolicy::kAbort;
+  InvariantWatchdog dog(ws);
+  dog.attachTo(fabric);
+
+  testing::ScriptedTraffic inner;
+  const NodeId n = topo.numNodes();
+  const SimTime lastGen = 2'500'000;
+  for (NodeId src = 0; src < n; ++src) {
+    for (int i = 0; i < 8; ++i) {
+      inner.add(src, src * 211 + static_cast<SimTime>(i) * (lastGen / 8),
+                (src + n / 2) % n, 32, /*adaptive=*/false);
+    }
+  }
+  ReliableTransportSpec rts;
+  rts.baseRtoNs = 30'000;
+  rts.maxRtoNs = 480'000;
+  ReliableTransport rt(inner, n, rts);
+  testing::RecordingObserver obs;
+  rt.attachObserver(&obs);
+  fabric.attachTraffic(&rt, 1);
+  fabric.attachObserver(&rt);
+  fabric.start();
+
+  RunLimits limits;
+  limits.endTime = lastGen + 8'000'000;
+  campaign.run(limits);
+
+  // Watchdog: many checks, zero violations, never aborted.
+  const WatchdogStats& st = dog.stats();
+  EXPECT_GT(st.checksRun, 10u);
+  EXPECT_EQ(st.violations(), 0u) << st.summary();
+  EXPECT_FALSE(st.aborted);
+  EXPECT_FALSE(fabric.stopRequested());
+
+  // Both fault classes actually fired, and every leak healed.
+  ResilienceStats rs = campaign.stats();
+  EXPECT_GT(rs.crcDrops, 0u);
+  EXPECT_GT(rs.creditUpdatesLost, 0u);
+  EXPECT_GT(rs.creditsLeaked, 0u);
+  EXPECT_EQ(rs.creditsResynced, rs.creditsLeaked);
+  EXPECT_EQ(fabric.leakedCreditsOutstanding(), 0);
+
+  // Exactly-once delivery; the stats answer reads 1.0.
+  EXPECT_EQ(rt.uniqueSent(), static_cast<std::uint64_t>(n) * 8);
+  EXPECT_EQ(rt.uniqueDelivered(), rt.uniqueSent());
+  EXPECT_EQ(rt.abandoned(), 0u);
+  EXPECT_EQ(rt.outstanding(), 0u);
+  rs.uniqueSent = rt.uniqueSent();
+  rs.uniqueDelivered = rt.uniqueDelivered();
+  EXPECT_DOUBLE_EQ(rs.deliveredFraction(), 1.0);
+  std::map<std::tuple<NodeId, NodeId, std::uint32_t>, int> seen;
+  for (const auto& d : obs.deliveries) {
+    ++seen[{d.pkt.src, d.pkt.dst, d.pkt.e2eSeq}];
+  }
+  for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+
+  const AuditReport audit = auditFabric(fabric, /*expectQuiescent=*/true);
+  EXPECT_TRUE(audit.ok()) << audit.detail;
+}
+
+}  // namespace
+}  // namespace ibadapt

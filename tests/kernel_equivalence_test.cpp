@@ -190,6 +190,64 @@ TEST(KernelEquivalence, SixteenSwitchSimResultsBitIdentical) {
   EXPECT_GT(a.kernelEvents, 0u);
 }
 
+TEST(KernelEquivalence, FaultCampaignWithTransientsBitIdentical) {
+  // The robustness stack end to end — stochastic link faults + SM
+  // re-sweeps, bit-error corruption, credit-update loss + resync, the
+  // reliable transport, and the invariant watchdog — must not cost a
+  // single bit of kernel equivalence: every fault-model RNG draw happens
+  // in event-handler order, and the resync/check chains are themselves
+  // simulator events.
+  auto mk = [](SimKernel k) {
+    SimParams p = kernelParams(k);
+    p.numSwitches = 8;
+    p.loadBytesPerNsPerNode = 0.02;
+    p.warmupPackets = 200;
+    p.measurePackets = 2000;
+    p.maxSimTimeNs = 3'000'000;
+    p.faultMtbfNs = 400'000;
+    p.faultMttrNs = 150'000;
+    p.faultSeed = 3;
+    p.sweepDelayNs = 30'000;
+    p.berPerBit = 2e-5;
+    p.creditLossRate = 0.05;
+    p.creditResyncPeriodNs = 50'000;
+    p.reliableTransport = true;
+    p.invariantPolicy = WatchdogPolicy::kRecord;
+    p.invariantPeriodNs = 20'000;  // checks inside the short stats budget
+    return runSimulation(p);
+  };
+  const SimResults a = mk(SimKernel::kCalendar);
+  const SimResults b = mk(SimKernel::kLegacyHeap);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.kernelEvents, b.kernelEvents);
+  EXPECT_EQ(a.avgLatencyNs, b.avgLatencyNs);
+  EXPECT_EQ(a.e2eLatencyNs, b.e2eLatencyNs);
+  EXPECT_EQ(a.simEndTimeNs, b.simEndTimeNs);
+  EXPECT_EQ(a.resilience.faultsInjected, b.resilience.faultsInjected);
+  EXPECT_EQ(a.resilience.linksRecovered, b.resilience.linksRecovered);
+  EXPECT_EQ(a.resilience.smSweeps, b.resilience.smSweeps);
+  EXPECT_EQ(a.resilience.packetsCorrupted, b.resilience.packetsCorrupted);
+  EXPECT_EQ(a.resilience.crcDrops, b.resilience.crcDrops);
+  EXPECT_EQ(a.resilience.silentCorruptions, b.resilience.silentCorruptions);
+  EXPECT_EQ(a.resilience.creditUpdatesLost, b.resilience.creditUpdatesLost);
+  EXPECT_EQ(a.resilience.creditsLeaked, b.resilience.creditsLeaked);
+  EXPECT_EQ(a.resilience.creditsResynced, b.resilience.creditsResynced);
+  EXPECT_EQ(a.resilience.retransmitsSent, b.resilience.retransmitsSent);
+  EXPECT_EQ(a.resilience.duplicatesSuppressed,
+            b.resilience.duplicatesSuppressed);
+  EXPECT_EQ(a.resilience.uniqueSent, b.resilience.uniqueSent);
+  EXPECT_EQ(a.resilience.uniqueDelivered, b.resilience.uniqueDelivered);
+  EXPECT_EQ(a.invariants.checksRun, b.invariants.checksRun);
+  EXPECT_EQ(a.invariants.violations(), b.invariants.violations());
+  EXPECT_EQ(a.invariants.congestionStalls, b.invariants.congestionStalls);
+  // The scenario is only interesting if the fault classes actually fired.
+  EXPECT_GT(a.resilience.packetsCorrupted, 0u);
+  EXPECT_GT(a.resilience.creditUpdatesLost, 0u);
+  EXPECT_GT(a.invariants.checksRun, 0u);
+}
+
 TEST(KernelEquivalence, SaturationModeBitIdentical) {
   // Saturation drives the densest event schedule (always-backlogged
   // sources) — the regime where the calendar queue earns its keep.

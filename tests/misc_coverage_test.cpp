@@ -124,6 +124,27 @@ TEST(Api, RejectsInvalidFabricParams) {
   EXPECT_THROW(runSimulation(r), std::invalid_argument);
 }
 
+TEST(FabricParams, ZeroEscapeReserveNeedsExplicitUnsafeOptIn) {
+  // Regression: escapeReserveCredits == 0 deletes the escape queue and with
+  // it the §4.4 deadlock-freedom precondition; it used to validate quietly.
+  FabricParams fp;
+  fp.escapeReserveCredits = 0;
+  EXPECT_THROW(fp.validate(), std::invalid_argument);
+
+  // The explicit opt-in (e.g. for watchdog deadlock experiments) passes.
+  fp.allowUnsafeSplit = true;
+  EXPECT_NO_THROW(fp.validate());
+
+  // The flag gates only the zero-reserve case; other bounds still hold.
+  fp.escapeReserveCredits = fp.bufferCredits + 1;
+  EXPECT_THROW(fp.validate(), std::invalid_argument);
+
+  // A normal split ignores the flag entirely.
+  FabricParams ok;
+  ok.allowUnsafeSplit = true;
+  EXPECT_NO_THROW(ok.validate());
+}
+
 TEST(Api, OfferedLoadReportedInPaperUnits) {
   SimParams p;
   p.numSwitches = 8;

@@ -5,6 +5,7 @@
 #include "stats/collector.hpp"
 #include "stats/in_order.hpp"
 #include "stats/latency.hpp"
+#include "stats/resilience.hpp"
 
 namespace ibadapt {
 namespace {
@@ -168,6 +169,19 @@ TEST(StatsCollector, TracksInOrderViolations) {
   sc.onDelivered(mkPacket(0, 1, 0, false, 2), 10);
   sc.onDelivered(mkPacket(0, 1, 0, false, 1), 20);  // reordered
   EXPECT_EQ(sc.inOrder().violations(), 1u);
+}
+
+TEST(ResilienceStats, DeliveredFractionIsVacuouslyPerfectWhenUntracked) {
+  // Regression: an idle transport ("all zero packets arrived") used to
+  // read as 0.0 — total loss — and fail healthy-run acceptance gates.
+  ResilienceStats rs;
+  EXPECT_DOUBLE_EQ(rs.deliveredFraction(), 1.0);
+
+  rs.uniqueSent = 10;
+  rs.uniqueDelivered = 7;
+  EXPECT_DOUBLE_EQ(rs.deliveredFraction(), 0.7);
+  rs.uniqueDelivered = 10;
+  EXPECT_DOUBLE_EQ(rs.deliveredFraction(), 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,218 @@
+//
+// Transient fault classes: per-link bit errors caught (or missed) by the
+// receiver's VCRC/ICRC, and flow-control corruption that leaks credits
+// until the periodic link-level credit resync repairs them.
+//
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "api/simulation.hpp"
+#include "fault/fault_audit.hpp"
+#include "fault/fault_campaign.hpp"
+#include "fault/transient.hpp"
+#include "host/reliable_transport.hpp"
+#include "test_helpers.hpp"
+#include "topology/generators.hpp"
+
+namespace ibadapt {
+namespace {
+
+TEST(TransientFaultSpec, ValidateRejectsBadKnobs) {
+  TransientFaultSpec ok;
+  ok.berPerBit = 1e-5;
+  ok.creditLossRate = 0.1;
+  EXPECT_NO_THROW(ok.validate());
+
+  TransientFaultSpec s = ok;
+  s.berPerBit = -1e-9;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = ok;
+  s.berPerBit = 1.0;  // must stay < 1
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = ok;
+  s.creditLossRate = 1.5;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = ok;
+  s.resyncPeriodNs = 0;  // required while creditLossRate > 0
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = ok;
+  s.resyncDetectPeriods = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = ok;
+  s.maxFlipsPerCorruption = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = ok;
+  s.maxFlipsPerCorruption = 65;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  // Disabled spec: the resync knobs are irrelevant.
+  TransientFaultSpec off;
+  off.resyncPeriodNs = 0;
+  EXPECT_NO_THROW(off.validate());
+}
+
+TEST(TransientFaultSpec, ResyncOnlyArmedWhenCreditLossIsOn) {
+  TransientFaultSpec s;
+  s.berPerBit = 1e-4;  // corruption alone needs no credit resync
+  TransientLinkFaults berOnly(s);
+  EXPECT_EQ(berOnly.resyncPeriodNs(), 0);
+
+  s.creditLossRate = 0.05;
+  TransientLinkFaults both(s);
+  EXPECT_EQ(both.resyncPeriodNs(), 100'000);
+  EXPECT_EQ(both.resyncDetectNs(), 200'000);
+}
+
+TEST(TransientFaults, BitErrorsAreCaughtByCrcAndRecoveredEndToEnd) {
+  // 3-switch line, deterministic cross-fabric flows under the reliable
+  // transport. A high BER corrupts a visible fraction of the hops; every
+  // CRC-caught drop must be retransmitted into exactly-once delivery.
+  const Topology topo = testing::lineTopology(2);  // 6 nodes
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  FaultCampaignSpec spec;
+  spec.transient.berPerBit = 1e-4;
+  spec.transient.seed = 5;
+  FaultCampaign campaign(fabric, sm, spec);
+
+  testing::ScriptedTraffic inner;
+  const NodeId n = topo.numNodes();
+  const int perNode = 40;
+  for (NodeId src = 0; src < n; ++src) {
+    for (int i = 0; i < perNode; ++i) {
+      inner.add(src, src * 97 + static_cast<SimTime>(i) * 4'000,
+                (src + n / 2) % n, 32, /*adaptive=*/false);
+    }
+  }
+  ReliableTransportSpec rts;
+  rts.baseRtoNs = 30'000;
+  rts.maxRtoNs = 480'000;
+  ReliableTransport rt(inner, n, rts);
+  testing::RecordingObserver obs;
+  rt.attachObserver(&obs);
+  fabric.attachTraffic(&rt, 1);
+  fabric.attachObserver(&rt);
+  fabric.start();
+
+  RunLimits limits;
+  limits.endTime = static_cast<SimTime>(perNode) * 4'000 + 8'000'000;
+  campaign.run(limits);
+
+  const ResilienceStats& rs = campaign.stats();
+  // ~0.045 corruption probability per 58-byte hop over 240 packets x 2-4
+  // hops: corruption must have happened, and CRC must have caught drops.
+  EXPECT_GT(rs.packetsCorrupted, 0u);
+  EXPECT_GT(rs.crcDrops, 0u);
+  EXPECT_EQ(rs.crcDrops + rs.silentCorruptions, rs.packetsCorrupted);
+  EXPECT_EQ(fabric.counters().crcDropped, rs.crcDrops);
+  // No credit loss configured: the credit books never leak.
+  EXPECT_EQ(rs.creditUpdatesLost, 0u);
+  EXPECT_EQ(rs.creditsLeaked, 0u);
+
+  // End-to-end retransmission turned every drop into exactly-once delivery.
+  EXPECT_GT(rt.retransmitsSent(), 0u);
+  EXPECT_EQ(rt.uniqueSent(), static_cast<std::uint64_t>(n) * perNode);
+  EXPECT_EQ(rt.uniqueDelivered(), rt.uniqueSent());
+  EXPECT_EQ(rt.abandoned(), 0u);
+  EXPECT_EQ(rt.outstanding(), 0u);
+  std::map<std::tuple<NodeId, NodeId, std::uint32_t>, int> seen;
+  for (const auto& d : obs.deliveries) {
+    ++seen[{d.pkt.src, d.pkt.dst, d.pkt.e2eSeq}];
+  }
+  for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+
+  // Drops returned their credits: the drained fabric holds none hostage.
+  const AuditReport audit = auditFabric(fabric, /*expectQuiescent=*/true);
+  EXPECT_TRUE(audit.ok()) << audit.detail;
+}
+
+TEST(TransientFaults, CreditLossLeaksAndResyncHeals) {
+  // Flow-control corruption only: packets are never dropped, but lost
+  // credit-update tokens strand credits until the periodic resync notices
+  // the discrepancy (after resyncDetectPeriods windows) and repairs it.
+  const Topology topo = testing::twoSwitchTopology(2);  // 4 nodes
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  FaultCampaignSpec spec;
+  spec.transient.creditLossRate = 0.25;
+  spec.transient.resyncPeriodNs = 50'000;
+  spec.transient.resyncDetectPeriods = 2;
+  spec.transient.seed = 9;
+  FaultCampaign campaign(fabric, sm, spec);
+
+  testing::ScriptedTraffic traffic;
+  for (int i = 0; i < 30; ++i) {
+    traffic.add(0, static_cast<SimTime>(i) * 2'000, 2, 32, /*adaptive=*/true);
+    traffic.add(1, 500 + static_cast<SimTime>(i) * 2'000, 3, 32,
+                /*adaptive=*/true);
+  }
+  testing::RecordingObserver obs;
+  fabric.attachTraffic(&traffic, 1);
+  fabric.attachObserver(&obs);
+  fabric.start();
+
+  RunLimits limits;
+  limits.endTime = 2'000'000;  // >> last generation + detection window
+  campaign.run(limits);
+
+  const ResilienceStats& rs = campaign.stats();
+  EXPECT_GT(rs.creditUpdatesLost, 0u);
+  EXPECT_GT(rs.creditsLeaked, 0u);
+  // Every leak detected and repaired before the horizon.
+  EXPECT_EQ(rs.creditsResynced, rs.creditsLeaked);
+  EXPECT_EQ(fabric.leakedCreditsOutstanding(), 0);
+  // Corruption off: no packet was touched, all 60 arrive exactly once.
+  EXPECT_EQ(rs.packetsCorrupted, 0u);
+  EXPECT_EQ(obs.deliveries.size(), 60u);
+
+  // Post-resync, the drained credit books are full again everywhere.
+  const AuditReport audit = auditFabric(fabric, /*expectQuiescent=*/true);
+  EXPECT_TRUE(audit.ok()) << audit.detail;
+  for (VlIndex vl = 0; vl < fabric.params().numVls; ++vl) {
+    EXPECT_EQ(fabric.outputCredits(0, 2, vl), fabric.outputCreditsMax(0, 2, vl));
+    EXPECT_EQ(fabric.outputCredits(1, 2, vl), fabric.outputCreditsMax(1, 2, vl));
+  }
+}
+
+TEST(TransientFaults, ApiRunIsDeterministicInTheSeeds) {
+  // Same knobs, same seeds -> bit-identical results, including every
+  // transient-fault and watchdog counter.
+  auto mk = [] {
+    SimParams p;
+    p.numSwitches = 8;
+    p.loadBytesPerNsPerNode = 0.02;
+    p.warmupPackets = 100;
+    p.measurePackets = 800;
+    p.maxSimTimeNs = 5'000'000;
+    p.berPerBit = 2e-5;
+    p.creditLossRate = 0.05;
+    p.creditResyncPeriodNs = 50'000;
+    p.reliableTransport = true;
+    return runSimulation(p);
+  };
+  const SimResults a = mk();
+  const SimResults b = mk();
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.kernelEvents, b.kernelEvents);
+  EXPECT_EQ(a.simEndTimeNs, b.simEndTimeNs);
+  EXPECT_EQ(a.resilience.packetsCorrupted, b.resilience.packetsCorrupted);
+  EXPECT_EQ(a.resilience.crcDrops, b.resilience.crcDrops);
+  EXPECT_EQ(a.resilience.creditUpdatesLost, b.resilience.creditUpdatesLost);
+  EXPECT_EQ(a.resilience.creditsLeaked, b.resilience.creditsLeaked);
+  EXPECT_EQ(a.resilience.creditsResynced, b.resilience.creditsResynced);
+  EXPECT_EQ(a.resilience.retransmitsSent, b.resilience.retransmitsSent);
+  EXPECT_EQ(a.invariants.checksRun, b.invariants.checksRun);
+  EXPECT_EQ(a.invariants.violations(), b.invariants.violations());
+  EXPECT_GT(a.resilience.packetsCorrupted, 0u);
+  EXPECT_GT(a.resilience.creditUpdatesLost, 0u);
+}
+
+}  // namespace
+}  // namespace ibadapt
