@@ -9,8 +9,13 @@
 //   --mode=paper   the paper's full configuration (10 topologies, all sizes)
 // plus bench-specific key=value overrides.
 //
+#include <malloc.h>
+
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <new>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -18,6 +23,75 @@
 #include "api/simulation.hpp"
 #include "api/sweep.hpp"
 #include "util/flags.hpp"
+
+namespace ibadapt::bench {
+
+// ---- per-case heap gauge --------------------------------------------------
+//
+// getrusage's ru_maxrss is a process-lifetime high-water mark: in a bench
+// running many cases back to back, every case at or after the hungriest one
+// reports the same number. The benches instead meter the heap directly —
+// the global allocator (replaced below; bench binaries are single-TU, so
+// the replacement covers the whole executable) keeps a live-byte counter
+// with a high-water mark that each case resets on entry. Aligned-new
+// allocations pass through untracked; the simulator doesn't use them on
+// the hot path.
+
+namespace heap {
+
+inline std::atomic<long long>& liveBytes() {
+  static std::atomic<long long> v{0};
+  return v;
+}
+inline std::atomic<long long>& peakBytes() {
+  static std::atomic<long long> v{0};
+  return v;
+}
+inline void onAlloc(long long n) {
+  const long long now = liveBytes().fetch_add(n, std::memory_order_relaxed) + n;
+  long long p = peakBytes().load(std::memory_order_relaxed);
+  while (now > p && !peakBytes().compare_exchange_weak(
+                        p, now, std::memory_order_relaxed)) {
+  }
+}
+inline void onFree(long long n) {
+  liveBytes().fetch_sub(n, std::memory_order_relaxed);
+}
+/// Start a measurement interval: the next peakKb() reports the high-water
+/// mark of live heap bytes since this call (seeded with what is live now).
+inline void resetPeak() {
+  peakBytes().store(liveBytes().load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+}
+inline long peakKb() {
+  return static_cast<long>(peakBytes().load(std::memory_order_relaxed) / 1024);
+}
+
+}  // namespace heap
+}  // namespace ibadapt::bench
+
+// Replaceable global allocation functions. The tracked size is the actual
+// usable block size (malloc_usable_size), so the gauge reflects allocator
+// rounding the same way RSS would.
+inline void* ibadaptBenchAlloc(std::size_t n) {
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  ibadapt::bench::heap::onAlloc(
+      static_cast<long long>(malloc_usable_size(p)));
+  return p;
+}
+inline void ibadaptBenchFree(void* p) noexcept {
+  if (p == nullptr) return;
+  ibadapt::bench::heap::onFree(
+      static_cast<long long>(malloc_usable_size(p)));
+  std::free(p);
+}
+void* operator new(std::size_t n) { return ibadaptBenchAlloc(n); }
+void* operator new[](std::size_t n) { return ibadaptBenchAlloc(n); }
+void operator delete(void* p) noexcept { ibadaptBenchFree(p); }
+void operator delete[](void* p) noexcept { ibadaptBenchFree(p); }
+void operator delete(void* p, std::size_t) noexcept { ibadaptBenchFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { ibadaptBenchFree(p); }
 
 namespace ibadapt::bench {
 
@@ -90,13 +164,16 @@ inline void printRule(char c = '-', int n = 78) {
 
 struct KernelBenchRecord {
   int switches = 0;
-  std::string kernel;  // "calendar" | "legacy-heap"
+  std::string kernel;  // "calendar" | "legacy-heap" | "parallel"
+  int threads = 1;     // engine shard threads (1 for sequential kernels)
   std::uint64_t events = 0;
   double wallMs = 0.0;
   double eventsPerSec = 0.0;
   double simulatedMs = 0.0;
   double wallMsPerSimMs = 0.0;
-  long peakRssKb = 0;
+  /// Case-local heap high-water mark (live bytes over the case, KiB) — see
+  /// the heap gauge above; NOT the process-lifetime RSS.
+  long heapPeakKb = 0;
 };
 
 inline void writeKernelBenchJson(const std::string& path,
@@ -113,13 +190,13 @@ inline void writeKernelBenchJson(const std::string& path,
     char line[512];
     std::snprintf(line, sizeof(line),
                   "    {\"switches\": %d, \"kernel\": \"%s\", "
-                  "\"events\": %llu, \"wallMs\": %.3f, "
+                  "\"threads\": %d, \"events\": %llu, \"wallMs\": %.3f, "
                   "\"eventsPerSec\": %.1f, \"simulatedMs\": %.3f, "
-                  "\"wallMsPerSimMs\": %.4f, \"peakRssKb\": %ld}",
-                  r.switches, r.kernel.c_str(),
+                  "\"wallMsPerSimMs\": %.4f, \"heapPeakKb\": %ld}",
+                  r.switches, r.kernel.c_str(), r.threads,
                   static_cast<unsigned long long>(r.events), r.wallMs,
                   r.eventsPerSec, r.simulatedMs, r.wallMsPerSimMs,
-                  r.peakRssKb);
+                  r.heapPeakKb);
     out << line << (i + 1 < cases.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
@@ -160,6 +237,7 @@ inline std::vector<KernelBenchRecord> readKernelBenchJson(
     r.switches = std::stoi(v);
     if (!detail::extractJsonField(line, "kernel", v)) continue;
     r.kernel = v;
+    if (detail::extractJsonField(line, "threads", v)) r.threads = std::stoi(v);
     if (detail::extractJsonField(line, "events", v)) {
       r.events = std::stoull(v);
     }
@@ -173,8 +251,8 @@ inline std::vector<KernelBenchRecord> readKernelBenchJson(
     if (detail::extractJsonField(line, "wallMsPerSimMs", v)) {
       r.wallMsPerSimMs = std::stod(v);
     }
-    if (detail::extractJsonField(line, "peakRssKb", v)) {
-      r.peakRssKb = std::stol(v);
+    if (detail::extractJsonField(line, "heapPeakKb", v)) {
+      r.heapPeakKb = std::stol(v);
     }
     out.push_back(std::move(r));
   }

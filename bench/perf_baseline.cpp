@@ -1,23 +1,30 @@
 // Kernel perf baseline: end-to-end simulator throughput (events/sec) for the
-// calendar kernel vs the seed's binary-heap kernel, on saturated uniform
-// traffic at 8/16/32/64 switches. Emits machine-readable BENCH_kernel.json
-// (see bench_common.hpp for the record layout) so scripts/run_perf_baseline.sh
-// can fail the build when the fast kernel regresses.
+// calendar kernel vs the seed's binary-heap kernel, plus the strong-scaling
+// axis of the sharded parallel kernel, on saturated uniform traffic at
+// 8/16/32/64 switches. Emits machine-readable BENCH_kernel.json and
+// BENCH_parallel.json (see bench_common.hpp for the record layout) so
+// scripts/run_perf_baseline.sh can fail the build when either kernel
+// regresses.
 //
 // Flags:
 //   --sizes=8,16,32,64     switch counts
 //   --warmup=N --measure=N packet budget per run
 //   --repeats=N            take the best-of-N wall time per case
-//   --json=PATH            output record path (default BENCH_kernel.json)
+//   --json=PATH            sequential record path (default BENCH_kernel.json)
+//   --parallel-json=PATH   parallel record path (default BENCH_parallel.json)
+//   --threads=1,2,4,8      parallel-kernel thread counts ("" skips the axis)
 //   --baseline=PATH        committed record to compare against; exits 1 when
 //                          any calendar case loses >10% events/sec
 //   --min-speedup=X        exits 1 when the 32-switch calendar/legacy ratio
 //                          falls below X (0 disables; default 0)
-#include <sys/resource.h>
-
+//   --min-parallel-speedup=X
+//                          exits 1 when the largest-size 4-thread parallel
+//                          speedup over calendar falls below X (0 disables)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -27,14 +34,8 @@ namespace {
 using namespace ibadapt;
 using namespace ibadapt::bench;
 
-long peakRssKb() {
-  rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-  return ru.ru_maxrss;  // KiB on Linux
-}
-
 SimParams baseParams(int switches, SimKernel kernel, std::uint64_t warmup,
-                     std::uint64_t measure) {
+                     std::uint64_t measure, int threads) {
   SimParams p;
   p.topoKind = TopologyKind::kIrregular;
   p.numSwitches = switches;
@@ -45,6 +46,7 @@ SimParams baseParams(int switches, SimKernel kernel, std::uint64_t warmup,
   p.warmupPackets = warmup;
   p.measurePackets = measure;
   p.fabric.kernel = kernel;
+  p.fabric.threads = threads;
   return p;
 }
 
@@ -54,23 +56,28 @@ struct CaseResult {
 };
 
 CaseResult runCase(int switches, SimKernel kernel, std::uint64_t warmup,
-                   std::uint64_t measure, int repeats) {
-  const SimParams p = baseParams(switches, kernel, warmup, measure);
+                   std::uint64_t measure, int repeats, int threads) {
+  const SimParams p = baseParams(switches, kernel, warmup, measure, threads);
   CaseResult best;
   for (int rep = 0; rep < repeats; ++rep) {
+    heap::resetPeak();
     const auto t0 = std::chrono::steady_clock::now();
     SimResults r = runSimulation(p);
     const auto t1 = std::chrono::steady_clock::now();
+    const long heapKb = heap::peakKb();
     const double wallMs =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (rep == 0 || wallMs < best.rec.wallMs) {
       best.rec.wallMs = wallMs;
+      best.rec.heapPeakKb = heapKb;
       best.sim = r;
     }
   }
   best.rec.switches = switches;
-  best.rec.kernel =
-      kernel == SimKernel::kCalendar ? "calendar" : "legacy-heap";
+  best.rec.kernel = kernel == SimKernel::kCalendar    ? "calendar"
+                    : kernel == SimKernel::kLegacyHeap ? "legacy-heap"
+                                                       : "parallel";
+  best.rec.threads = best.sim.threadsUsed;
   best.rec.events = best.sim.kernelEvents;
   best.rec.eventsPerSec = best.rec.wallMs > 0.0
                               ? static_cast<double>(best.rec.events) /
@@ -81,7 +88,6 @@ CaseResult runCase(int switches, SimKernel kernel, std::uint64_t warmup,
   best.rec.wallMsPerSimMs = best.rec.simulatedMs > 0.0
                                 ? best.rec.wallMs / best.rec.simulatedMs
                                 : 0.0;
-  best.rec.peakRssKb = peakRssKb();
   return best;
 }
 
@@ -91,6 +97,20 @@ const KernelBenchRecord* findCase(const std::vector<KernelBenchRecord>& v,
     if (r.switches == switches && r.kernel == kernel) return &r;
   }
   return nullptr;
+}
+
+bool sameDecisions(const SimResults& a, const SimResults& b) {
+  return a.kernelEvents == b.kernelEvents && a.delivered == b.delivered &&
+         a.avgLatencyNs == b.avgLatencyNs &&
+         a.acceptedBytesPerNsPerSwitch == b.acceptedBytesPerNsPerSwitch &&
+         a.simEndTimeNs == b.simEndTimeNs;
+}
+
+void printRecord(const KernelBenchRecord& r) {
+  std::printf("%9d  %-11s  %7d  %12llu  %9.1f  %12.0f  %10.4f  %9ld\n",
+              r.switches, r.kernel.c_str(), r.threads,
+              static_cast<unsigned long long>(r.events), r.wallMs,
+              r.eventsPerSec, r.wallMsPerSimMs, r.heapPeakKb);
 }
 
 }  // namespace
@@ -104,8 +124,12 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(flags.integer("measure", 12000));
   const int repeats = flags.integer("repeats", 3);
   const std::string jsonPath = flags.str("json", "BENCH_kernel.json");
+  const std::string parallelJsonPath =
+      flags.str("parallel-json", "BENCH_parallel.json");
+  const std::vector<int> threadCounts = flags.intList("threads", {1, 2, 4, 8});
   const std::string baselinePath = flags.str("baseline", "");
   const double minSpeedup = flags.real("min-speedup", 0.0);
+  const double minParallelSpeedup = flags.real("min-parallel-speedup", 0.0);
   warnUnknownFlags(flags);
 
   std::printf("kernel perf baseline: saturated uniform, warmup=%llu "
@@ -113,53 +137,86 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(warmup),
               static_cast<unsigned long long>(measure), repeats);
   printRule();
-  std::printf("%9s  %-11s  %12s  %9s  %12s  %10s  %9s\n", "switches",
-              "kernel", "events", "wall ms", "events/sec", "ms/sim-ms",
-              "rss KiB");
+  std::printf("%9s  %-11s  %7s  %12s  %9s  %12s  %10s  %9s\n", "switches",
+              "kernel", "threads", "events", "wall ms", "events/sec",
+              "ms/sim-ms", "heap KiB");
 
   std::vector<KernelBenchRecord> records;
+  std::vector<CaseResult> calendarBySize;  // index-matched with `sizes`
   double speedup32 = 0.0;
   bool identical = true;
   for (int n : sizes) {
     const CaseResult fast =
-        runCase(n, SimKernel::kCalendar, warmup, measure, repeats);
+        runCase(n, SimKernel::kCalendar, warmup, measure, repeats, 1);
     const CaseResult ref =
-        runCase(n, SimKernel::kLegacyHeap, warmup, measure, repeats);
+        runCase(n, SimKernel::kLegacyHeap, warmup, measure, repeats, 1);
     // The two kernels must agree event-for-event; a mismatch means the
     // calendar queue broke determinism and the numbers are meaningless.
-    if (fast.sim.kernelEvents != ref.sim.kernelEvents ||
-        fast.sim.delivered != ref.sim.delivered ||
-        fast.sim.avgLatencyNs != ref.sim.avgLatencyNs) {
-      identical = false;
-    }
-    for (const KernelBenchRecord* r : {&fast.rec, &ref.rec}) {
-      std::printf("%9d  %-11s  %12llu  %9.1f  %12.0f  %10.4f  %9ld\n",
-                  r->switches, r->kernel.c_str(),
-                  static_cast<unsigned long long>(r->events), r->wallMs,
-                  r->eventsPerSec, r->wallMsPerSimMs, r->peakRssKb);
-      records.push_back(*r);
-    }
+    if (!sameDecisions(fast.sim, ref.sim)) identical = false;
+    printRecord(fast.rec);
+    printRecord(ref.rec);
+    records.push_back(fast.rec);
+    records.push_back(ref.rec);
     const double ratio = ref.rec.eventsPerSec > 0.0
                              ? fast.rec.eventsPerSec / ref.rec.eventsPerSec
                              : 0.0;
     std::printf("%9s  speedup %.2fx\n", "", ratio);
     if (n == 32) speedup32 = ratio;
+    calendarBySize.push_back(fast);
   }
   printRule();
 
-  char config[128];
+  // The host core count travels with the record: parallel-kernel speedups
+  // are only meaningful relative to the cores the measuring machine had.
+  char config[160];
   std::snprintf(config, sizeof(config),
-                "saturated uniform, warmup=%llu measure=%llu repeats=%d",
+                "saturated uniform, warmup=%llu measure=%llu repeats=%d "
+                "cores=%u",
                 static_cast<unsigned long long>(warmup),
-                static_cast<unsigned long long>(measure), repeats);
+                static_cast<unsigned long long>(measure), repeats,
+                std::thread::hardware_concurrency());
   writeKernelBenchJson(jsonPath, "perf_baseline", config, records);
   std::printf("wrote %s\n", jsonPath.c_str());
+
+  // ---- parallel kernel: strong scaling over the calendar baseline --------
+  double largest4ThreadSpeedup = 0.0;
+  std::vector<KernelBenchRecord> parRecords;
+  if (!threadCounts.empty()) {
+    std::printf("\nparallel kernel strong scaling (speedup vs calendar, "
+                "same saturated workload)\n");
+    printRule();
+    std::printf("%9s  %-11s  %7s  %12s  %9s  %12s  %10s  %9s\n", "switches",
+                "kernel", "threads", "events", "wall ms", "events/sec",
+                "ms/sim-ms", "heap KiB");
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      const int n = sizes[si];
+      const CaseResult& cal = calendarBySize[si];
+      for (int t : threadCounts) {
+        const CaseResult par =
+            runCase(n, SimKernel::kParallel, warmup, measure, repeats, t);
+        // Bit-identity is the parallel kernel's contract; enforce it on
+        // every bench case so the scaling numbers can be trusted.
+        if (!sameDecisions(par.sim, cal.sim)) identical = false;
+        printRecord(par.rec);
+        parRecords.push_back(par.rec);
+        const double sp = par.rec.wallMs > 0.0
+                              ? cal.rec.wallMs / par.rec.wallMs
+                              : 0.0;
+        std::printf("%9s  speedup %.2fx (threads used: %d)\n", "", sp,
+                    par.rec.threads);
+        if (t == 4 && n == sizes.back()) largest4ThreadSpeedup = sp;
+      }
+    }
+    printRule();
+    writeKernelBenchJson(parallelJsonPath, "perf_baseline_parallel", config,
+                         parRecords);
+    std::printf("wrote %s\n", parallelJsonPath.c_str());
+  }
 
   int rc = 0;
   if (!identical) {
     std::fprintf(stderr,
-                 "FAIL: calendar and legacy-heap kernels diverged — results "
-                 "are not bit-identical\n");
+                 "FAIL: kernels diverged — results are not bit-identical\n");
     rc = 1;
   }
   if (minSpeedup > 0.0 && speedup32 < minSpeedup) {
@@ -167,6 +224,15 @@ int main(int argc, char** argv) {
                  "FAIL: 32-switch calendar speedup %.2fx below required "
                  "%.2fx\n",
                  speedup32, minSpeedup);
+    rc = 1;
+  }
+  if (minParallelSpeedup > 0.0 &&
+      largest4ThreadSpeedup < minParallelSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: %d-switch 4-thread parallel speedup %.2fx below "
+                 "required %.2fx\n",
+                 sizes.empty() ? 0 : sizes.back(), largest4ThreadSpeedup,
+                 minParallelSpeedup);
     rc = 1;
   }
   if (!baselinePath.empty()) {

@@ -35,4 +35,18 @@ echo "== tier-1: sanitized chaos smoke (transient faults + watchdog) =="
 ctest --test-dir "${asan_dir}" --output-on-failure -j \
   -R 'ChaosProperty|InvariantWatchdog|TransientFault'
 
+echo "== tier-1: TSan parallel-kernel smoke (2-thread bit-identity) =="
+# The parallel kernel's data-sharing discipline (epoch barriers + SPSC
+# mailboxes) under ThreadSanitizer: the 2-thread bit-identity suite drives
+# real cross-shard traffic, and the thread-pool suite hammers submit from
+# many threads. TSan and ASan cannot share a build, hence the third tree.
+tsan_dir="${repo_root}/build-tsan"
+cmake -B "${tsan_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DIBADAPT_SANITIZE=thread
+cmake --build "${tsan_dir}" -j
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+ctest --test-dir "${tsan_dir}" --output-on-failure -j \
+  -R 'ParallelKernel|ThreadPool|Sweep'
+
 echo "tier-1 gate passed"

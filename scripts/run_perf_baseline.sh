@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
 #
-# Refresh the committed kernel perf baseline (BENCH_kernel.json).
+# Refresh the committed kernel perf baselines (BENCH_kernel.json and
+# BENCH_parallel.json).
 #
-# Builds Release, runs bench/perf_baseline (calendar vs legacy-heap kernels,
-# saturated uniform traffic at 8/16/32/64 switches), and compares the fresh
-# numbers against the committed BENCH_kernel.json: any calendar case losing
-# more than 10% events/sec fails the script with a non-zero exit, BEFORE the
-# committed file is replaced. On success the fresh record overwrites the
-# committed one.
+# Builds Release, runs bench/perf_baseline (calendar vs legacy-heap kernels
+# plus the parallel kernel's strong-scaling axis, saturated uniform traffic
+# at 8/16/32/64 switches), and compares the fresh numbers against the
+# committed BENCH_kernel.json: any calendar case losing more than 10%
+# events/sec fails the script with a non-zero exit, BEFORE the committed
+# files are replaced. On success the fresh records overwrite the committed
+# ones.
+#
+# The parallel-kernel speedup gate (4-thread speedup over calendar at the
+# largest size must reach 1.8x) only applies when the machine actually has
+# >= 4 cores: strong scaling is physically impossible on fewer, so on a
+# small box the bench still runs — and still enforces bit-identity — but
+# the wall-clock ratio is recorded rather than gated.
 #
 # Usage: scripts/run_perf_baseline.sh [build-dir] [extra perf_baseline flags]
 # e.g.   scripts/run_perf_baseline.sh build --repeats=5 --min-speedup=1.5
@@ -21,16 +29,30 @@ cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j --target perf_baseline
 
 baseline="${repo_root}/BENCH_kernel.json"
+parallel_baseline="${repo_root}/BENCH_parallel.json"
 fresh="$(mktemp /tmp/BENCH_kernel.XXXXXX.json)"
-trap 'rm -f "${fresh}"' EXIT
+fresh_parallel="$(mktemp /tmp/BENCH_parallel.XXXXXX.json)"
+trap 'rm -f "${fresh}" "${fresh_parallel}"' EXIT
 
 baseline_flag=()
 if [[ -f "${baseline}" ]]; then
   baseline_flag=(--baseline="${baseline}")
 fi
 
-"${build_dir}/bench/perf_baseline" --json="${fresh}" "${baseline_flag[@]}" "$@"
+cores="$(nproc 2>/dev/null || echo 1)"
+parallel_gate=()
+if [[ "${cores}" -ge 4 ]]; then
+  parallel_gate=(--min-parallel-speedup=1.8)
+else
+  echo "note: only ${cores} core(s) — parallel speedup gate skipped" \
+       "(bit-identity still enforced)"
+fi
+
+"${build_dir}/bench/perf_baseline" \
+  --json="${fresh}" --parallel-json="${fresh_parallel}" \
+  "${baseline_flag[@]}" "${parallel_gate[@]}" "$@"
 
 mv "${fresh}" "${baseline}"
+mv "${fresh_parallel}" "${parallel_baseline}"
 trap - EXIT
-echo "refreshed ${baseline}"
+echo "refreshed ${baseline} and ${parallel_baseline}"

@@ -74,7 +74,15 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
   // and its delivery observer (dedup before the stats collector).
   std::optional<ReliableTransport> transport;
   if (p.reliableTransport) {
-    transport.emplace(traffic, topo.numNodes(), p.transport);
+    // Keep the out-of-band ack delay at or above the wire latency: acks are
+    // then never visible inside the lookahead window that produced them,
+    // which keeps transport runs bit-identical for every fabric.threads
+    // value (see the threading note in host/reliable_transport.hpp).
+    ReliableTransportSpec tspec = p.transport;
+    if (tspec.ackDelayNs < p.fabric.linkPropagationNs) {
+      tspec.ackDelayNs = p.fabric.linkPropagationNs;
+    }
+    transport.emplace(traffic, topo.numNodes(), tspec);
     transport->attachObserver(&stats);
     fabric.attachTraffic(&*transport, p.trafficSeed);
     fabric.attachObserver(&*transport);
@@ -201,6 +209,7 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
   r.livePacketLimitHit = fabric.livePacketLimitHit();
   r.inOrderViolations = stats.inOrder().violations();
   r.simEndTimeNs = fabric.now();
+  r.threadsUsed = fabric.shardCount();
   return r;
 }
 

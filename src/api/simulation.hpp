@@ -155,6 +155,10 @@ struct SimResults {
   bool livePacketLimitHit = false;
   std::uint64_t inOrderViolations = 0;
   SimTime simEndTimeNs = 0;
+  /// Worker threads (shards) the engine actually used: fabric.threads
+  /// clamped to the switch count; 1 for the sequential kernels. Results are
+  /// bit-identical whatever this value — it only reports the parallelism.
+  int threadsUsed = 1;
 
   // Resilience (fault campaign + reliable transport; zeros when neither
   // was configured).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <thread>
 
 #include "util/thread_pool.hpp"
 
@@ -10,7 +11,22 @@ namespace ibadapt {
 std::vector<SimResults> runSweep(const std::vector<SimParams>& params,
                                  int threads) {
   std::vector<SimResults> results(params.size());
-  ThreadPool pool(threads <= 0 ? 0 : static_cast<std::size_t>(threads));
+  // Bounded oversubscription: a sweep worker running a kParallel simulation
+  // spawns that simulation's shard threads itself, so divide the thread
+  // budget by the widest simulation in the batch instead of letting the two
+  // levels multiply. Purely a scheduling choice — per-simulation results
+  // are identical for any worker count.
+  int widest = 1;
+  for (const SimParams& p : params) {
+    if (p.fabric.kernel == SimKernel::kParallel) {
+      widest = std::max(widest, std::max(1, p.fabric.threads));
+    }
+  }
+  std::size_t budget = threads <= 0
+                           ? std::max(1u, std::thread::hardware_concurrency())
+                           : static_cast<std::size_t>(threads);
+  ThreadPool pool(std::max<std::size_t>(
+      1, budget / static_cast<std::size_t>(widest)));
   parallelForIndex(pool, params.size(), [&](std::size_t i) {
     results[i] = runSimulation(params[i]);
   });

@@ -1,8 +1,14 @@
 #pragma once
 //
 // Parameter-sweep helpers: run many independent simulations (optionally in
-// parallel — each simulation stays single-threaded and deterministic) and
-// aggregate throughput factors the way the paper's Table 1 does.
+// parallel) and aggregate throughput factors the way the paper's Table 1
+// does. Results are deterministic and independent of the worker count —
+// every simulation is a pure function of its SimParams, including the
+// in-simulation parallel kernel (SimKernel::kParallel is bit-identical for
+// any fabric.threads). When the sweep batch contains parallel-kernel
+// simulations, the pool is scaled down so pool workers times the widest
+// simulation's shard threads stays within the requested thread budget
+// (bounded oversubscription) — this changes only wall-clock, never output.
 //
 // Throughput is measured the way the paper reads it off its latency vs
 // accepted-traffic curves: the knee — the largest accepted traffic at which

@@ -1,5 +1,6 @@
 #include "fabric/fabric.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ibadapt {
@@ -23,21 +24,68 @@ Fabric::Fabric(Topology topo, FabricParams params)
     : topo_(std::move(topo)),
       params_(params),
       lids_(params.lmc),
-      fastArb_(params.kernel == SimKernel::kCalendar),
-      queue_(params.kernel) {
+      fastArb_(params.kernel != SimKernel::kLegacyHeap) {
   params_.validate();
   if (!params_.adaptiveSwitchMask.empty() &&
       static_cast<int>(params_.adaptiveSwitchMask.size()) != topo_.numSwitches()) {
     throw std::invalid_argument("Fabric: adaptiveSwitchMask size mismatch");
   }
-  selectionRng_ = Rng(params_.selectionSeed);
+  buildShards();
   buildSwitches();
   buildNodes();
-  // Typical live-packet population: a few per node queue plus in-flight
-  // buffers; the pool doubles beyond this without harm.
-  pool_.reserve(static_cast<std::size_t>(topo_.numNodes()) * 8);
+  // Per-switch selection streams: seeds depend only on the configured seed
+  // and the switch index, never on consult order, so kRandom selection is
+  // identical for every kernel and thread count.
+  switchRngs_.reserve(static_cast<std::size_t>(topo_.numSwitches()));
+  std::uint64_t chain = params_.selectionSeed;
+  for (SwitchId s = 0; s < topo_.numSwitches(); ++s) {
+    switchRngs_.emplace_back(splitmix64(chain));
+  }
   detSeqCounters_.assign(
       static_cast<std::size_t>(topo_.numNodes()) * topo_.numNodes(), 0);
+  stampCounters_.assign(
+      1 + static_cast<std::size_t>(topo_.numSwitches()) +
+          static_cast<std::size_t>(topo_.numNodes()),
+      0);
+}
+
+void Fabric::buildShards() {
+  const int numSwitches = topo_.numSwitches();
+  int t = 1;
+  if (params_.kernel == SimKernel::kParallel) {
+    t = std::min({params_.threads, numSwitches, kMaxShards});
+    if (t < 1) t = 1;
+    // Zero wire latency leaves no conservative lookahead to shard on.
+    if (params_.linkPropagationNs < 1) t = 1;
+  }
+  // Typical scheduling horizon: routing delay / wire latency dominate the
+  // gap between now and a pushed event's timestamp.
+  const int dayShift = EventQueue::suggestDayShift(
+      params_.routingDelayNs + params_.linkPropagationNs);
+  const SimKernel queueKind = params_.kernel == SimKernel::kLegacyHeap
+                                  ? SimKernel::kLegacyHeap
+                                  : SimKernel::kCalendar;
+  shards_.reserve(static_cast<std::size_t>(t));
+  for (int i = 0; i < t; ++i) {
+    shards_.emplace_back(i, queueKind, dayShift);
+  }
+  for (Shard& sh : shards_) {
+    sh.outbox.resize(static_cast<std::size_t>(t));
+    // Typical live-packet population: a few per node queue plus in-flight
+    // buffers; the pool doubles beyond this without harm.
+    sh.pool.reserve(
+        static_cast<std::size_t>(topo_.numNodes()) * 8 / static_cast<std::size_t>(t) + 8);
+  }
+  shardOfSwitch_.resize(static_cast<std::size_t>(numSwitches));
+  for (SwitchId s = 0; s < numSwitches; ++s) {
+    shardOfSwitch_[static_cast<std::size_t>(s)] =
+        static_cast<int>(static_cast<std::int64_t>(s) * t / numSwitches);
+  }
+  shardOfNode_.resize(static_cast<std::size_t>(topo_.numNodes()));
+  for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+    shardOfNode_[static_cast<std::size_t>(n)] =
+        shardOfSwitch_[static_cast<std::size_t>(topo_.switchOfNode(n))];
+  }
 }
 
 void Fabric::buildSwitches() {
@@ -162,8 +210,8 @@ void Fabric::failLink(SwitchId sw, PortIndex port) {
   // Buffered packets whose only routes died must be discarded eventually;
   // arbitration handles that, so wake both switches.
   if (started_) {
-    scheduleArb(sw, now_);
-    scheduleArb(peer.id, now_);
+    scheduleArb(nullptr, sw, now_);
+    scheduleArb(nullptr, peer.id, now_);
   }
 }
 
@@ -198,14 +246,51 @@ void Fabric::recoverLink(SwitchId sw, PortIndex port) {
   clearArbMemos(rec.swA);
   clearArbMemos(rec.swB);
   if (started_) {
-    scheduleArb(rec.swA, now_);
-    scheduleArb(rec.swB, now_);
+    scheduleArb(nullptr, rec.swA, now_);
+    scheduleArb(nullptr, rec.swB, now_);
   }
 }
 
 void Fabric::attachTraffic(ITrafficSource* traffic, std::uint64_t trafficSeed) {
   traffic_ = traffic;
-  trafficRng_ = Rng(trafficSeed);
+  // One traffic stream per node, chained from the seed exactly like the
+  // fault-model lanes: identical draws for every kernel and thread count.
+  nodeRngs_.clear();
+  nodeRngs_.reserve(static_cast<std::size_t>(topo_.numNodes()));
+  std::uint64_t chain = trafficSeed;
+  for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+    nodeRngs_.emplace_back(splitmix64(chain));
+  }
+}
+
+FabricCounters Fabric::counters() const {
+  FabricCounters total;
+  for (const Shard& sh : shards_) {
+    total.generated += sh.counters.generated;
+    total.injected += sh.counters.injected;
+    total.delivered += sh.counters.delivered;
+    total.deliveredBytes += sh.counters.deliveredBytes;
+    total.hopSum += sh.counters.hopSum;
+    total.adaptiveForwards += sh.counters.adaptiveForwards;
+    total.escapeForwards += sh.counters.escapeForwards;
+    total.dropped += sh.counters.dropped;
+    total.crcDropped += sh.counters.crcDropped;
+    total.events += sh.counters.events;
+  }
+  total.events += coordEvents_;
+  return total;
+}
+
+std::size_t Fabric::livePackets() const {
+  std::size_t live = 0;
+  for (const Shard& sh : shards_) live += sh.pool.liveCount();
+  return live;
+}
+
+std::uint64_t Fabric::creditsLeaked() const {
+  std::uint64_t total = 0;
+  for (const Shard& sh : shards_) total += sh.creditsLeaked;
+  return total;
 }
 
 int Fabric::outputCredits(SwitchId sw, PortIndex port, VlIndex vl) const {
@@ -246,10 +331,36 @@ std::size_t Fabric::nodeQueueLength(NodeId n) const {
 int Fabric::leakedCreditsOutstanding() const {
   int total = 0;
   for (const LeakRecord& rec : leakLedger_) total += rec.credits;
+  // Leaks recorded since the last barrier harvest (only possible while a
+  // window is open; external callers always see an empty shard ledger).
+  for (const Shard& sh : shards_) {
+    for (const LeakRecord& rec : sh.leaks) total += rec.credits;
+  }
   return total;
 }
 
+void Fabric::harvestLeaks() {
+  bool any = false;
+  for (const Shard& sh : shards_) any = any || !sh.leaks.empty();
+  if (!any) return;
+  // Every record harvested now was created after everything already in the
+  // ledger (windows never move backwards), so sorting the new batch by its
+  // triggering-event stamp and appending keeps the ledger globally ordered
+  // — the order the one-shard engine would have appended in.
+  const std::size_t oldSize = leakLedger_.size();
+  for (Shard& sh : shards_) {
+    leakLedger_.insert(leakLedger_.end(), sh.leaks.begin(), sh.leaks.end());
+    sh.leaks.clear();
+  }
+  std::sort(leakLedger_.begin() + static_cast<std::ptrdiff_t>(oldSize),
+            leakLedger_.end(), [](const LeakRecord& x, const LeakRecord& y) {
+              if (x.atTime != y.atTime) return x.atTime < y.atTime;
+              return x.atSeq < y.atSeq;
+            });
+}
+
 void Fabric::applyResyncs(bool force) {
+  harvestLeaks();
   std::size_t kept = 0;
   for (const LeakRecord& rec : leakLedger_) {
     if (!force && rec.dueAt > now_) {
@@ -271,7 +382,7 @@ void Fabric::applyResyncs(bool force) {
     for (auto& inp : switches_[static_cast<std::size_t>(rec.sw)].in) {
       if ((inp.blockPorts & bit) != 0) inp.retryAt = 0;
     }
-    if (started_) scheduleArb(rec.sw, now_);
+    if (started_) scheduleArb(nullptr, rec.sw, now_);
   }
   leakLedger_.resize(kept);
 }
@@ -296,7 +407,7 @@ void Fabric::repairOutputCredits(SwitchId sw, PortIndex port, VlIndex vl,
   for (auto& inp : switches_[static_cast<std::size_t>(sw)].in) {
     if ((inp.blockPorts & bit) != 0) inp.retryAt = 0;
   }
-  if (started_) scheduleArb(sw, now_);
+  if (started_) scheduleArb(nullptr, sw, now_);
 }
 
 }  // namespace ibadapt

@@ -20,8 +20,33 @@
 // managementPeer) used by the SubnetManager exactly the way a real SM
 // programs switches, and a data plane driven by ITrafficSource.
 //
+// --- engine architecture ----------------------------------------------------
+//
+// Every kernel runs the same *windowed* event loop. The fabric's entities
+// (switches plus their attached CAs) are partitioned into shards; each shard
+// owns a private event queue, packet pool, and counters. Simulated time
+// advances in windows no wider than the conservative lookahead L =
+// max(1, linkPropagationNs): within a window each shard processes its own
+// events independently, because any event one entity schedules on an entity
+// of another shard is at least L in the future (packets and credit updates
+// both cross links). Cross-shard events travel through per-edge mailboxes
+// drained at the window barrier in fixed (source shard, destination shard)
+// order. "Global" events — watchdog, credit-resync, and invariant-check
+// chains — live in a coordinator queue and are dispatched between windows,
+// when every shard has quiesced at exactly their timestamp.
+//
+// The sequential kernels (kCalendar, kLegacyHeap) are the one-shard special
+// case of the same loop, and every event is stamped with a producer-local
+// sequence number (sim/event.hpp) whose values do not depend on the shard
+// count. Together these make SimKernel::kParallel bit-identical to
+// kCalendar for every thread count: identical event order per entity,
+// identical RNG streams (one per node / switch / fault lane), identical
+// observer callback order (buffered per shard and replayed at each barrier
+// in global order), identical counters at every barrier.
+//
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <vector>
 
 #include "core/forwarding_table.hpp"
@@ -34,6 +59,7 @@
 #include "sim/event_queue.hpp"
 #include "topology/topology.hpp"
 #include "util/rng.hpp"
+#include "util/spsc_mailbox.hpp"
 
 namespace ibadapt {
 
@@ -44,11 +70,11 @@ struct SwitchInputPort {
   // Arbitration work list (SimKernel::kCalendar): packets buffered across
   // all VLs of this port, and a bitmask of non-empty VLs, so arbitration
   // passes skip empty ports/VLs without touching their buffers. Maintained
-  // unconditionally (cheap), consulted only by the fast kernel so the
+  // unconditionally (cheap), consulted only by the fast kernels so the
   // legacy kernel keeps the seed's exact full-scan behavior.
   int buffered = 0;
   std::uint32_t vlOccupied = 0;
-  // Failed-grant memo (fast kernel only): after a grant pass finds nothing
+  // Failed-grant memo (fast kernels only): after a grant pass finds nothing
   // feasible here, the port is skipped until the earliest time-blocker
   // (routeReady / output busyUntil) passes, a credit arrives at one of the
   // output ports recorded in blockPorts, or link state / SL-to-VL mapping
@@ -199,11 +225,17 @@ class Fabric {
   /// Transient link-fault model (bit errors, credit-update loss). Consulted
   /// on every link hop and credit arrival; when its resyncPeriodNs() > 0 a
   /// periodic credit-resync chain repairs leaked credits. Attach before
-  /// run(); pass nullptr to detach.
-  void attachLinkFaults(ILinkFaultModel* faults) { linkFaults_ = faults; }
+  /// run(); pass nullptr to detach. The model's per-lane state is bound to
+  /// this fabric's lane count (switches + CAs) here.
+  void attachLinkFaults(ILinkFaultModel* faults) {
+    linkFaults_ = faults;
+    if (faults != nullptr) {
+      faults->bindLanes(topo_.numSwitches() + topo_.numNodes());
+    }
+  }
 
   /// Runtime invariant checker, driven every `periodNs` as a simulator
-  /// event (identical under both kernels). Attach before run().
+  /// event (identical under every kernel). Attach before run().
   void attachChecker(IInvariantChecker* checker, SimTime periodNs) {
     checker_ = checker;
     checkPeriod_ = periodNs;
@@ -221,10 +253,17 @@ class Fabric {
   bool stopRequested() const { return stopRequested_; }
 
   SimTime now() const { return now_; }
-  const FabricCounters& counters() const { return counters_; }
+  /// Counters merged over all shards (by value: the per-shard cells stay
+  /// private to their owning threads). `const auto& c = fabric.counters()`
+  /// keeps working via lifetime extension.
+  FabricCounters counters() const;
   bool deadlockSuspected() const { return deadlockSuspected_; }
   bool livePacketLimitHit() const { return livePacketLimitHit_; }
-  std::size_t livePackets() const { return pool_.liveCount(); }
+  std::size_t livePackets() const;
+  /// Shards (worker threads) the engine actually uses: params().threads
+  /// clamped to the switch count and the packet-ref tag width; 1 for the
+  /// sequential kernels.
+  int shardCount() const { return static_cast<int>(shards_.size()); }
 
   // ---- introspection (tests / debugging / audits) -----------------------
   int outputCredits(SwitchId sw, PortIndex port, VlIndex vl) const;
@@ -232,7 +271,12 @@ class Fabric {
   std::uint64_t outputBytesSent(SwitchId sw, PortIndex port) const;
   int inputBufferOccupancy(SwitchId sw, PortIndex port, VlIndex vl) const;
   std::size_t nodeQueueLength(NodeId n) const;
-  const Packet& packet(PacketRef ref) const { return pool_.get(ref); }
+  /// Decode a (possibly shard-tagged) packet reference. Refs carried in
+  /// events and buffers embed their owning shard in the top bits; with one
+  /// shard the tag is zero, so refs equal raw pool indices.
+  const Packet& packet(PacketRef ref) const {
+    return shards_[ref >> kShardTagShift].pool.get(ref & kShardRefMask);
+  }
   /// Read-only model state for the invariant watchdog and audits.
   const SwitchModel& switchModel(SwitchId sw) const {
     return switches_[static_cast<std::size_t>(sw)];
@@ -244,7 +288,7 @@ class Fabric {
   // ---- credit-leak ledger (transient faults + resync watchdog) ----------
   /// Lifetime credits stolen from flow-control updates / restored by the
   /// resync watchdog. leaked == resynced means every leak healed.
-  std::uint64_t creditsLeaked() const { return creditsLeaked_; }
+  std::uint64_t creditsLeaked() const;
   std::uint64_t creditsResynced() const { return creditsResynced_; }
   /// Credits currently leaked and not yet repaired.
   int leakedCreditsOutstanding() const;
@@ -258,43 +302,174 @@ class Fabric {
                            int delta);
 
  private:
+  // --- sharding geometry --------------------------------------------------
+  /// Packet refs carry their owning shard in the top bits; 28 bits of local
+  /// index leave room for 268M live packets per shard (the engine caps live
+  /// packets orders of magnitude below that).
+  static constexpr int kShardTagShift = 28;
+  static constexpr PacketRef kShardRefMask =
+      (PacketRef{1} << kShardTagShift) - 1;
+  /// Shard-count ceiling; well below the tag width so kInvalidPacketRef
+  /// (tag 0xF) never aliases a real shard.
+  static constexpr int kMaxShards = 8;
+
+  enum class ObsType : std::uint8_t { kGenerated, kInjected, kDelivered };
+
+  /// One buffered observer callback, replayed at the next window barrier in
+  /// global (event time, event stamp, call ordinal) order — the order the
+  /// one-shard engine makes the same calls inline.
+  struct ObsRecord {
+    SimTime evTime = 0;
+    std::uint64_t evSeq = 0;
+    std::uint32_t subIdx = 0;
+    ObsType type = ObsType::kGenerated;
+    SimTime now = 0;
+    Packet pkt;
+  };
+
+  /// One entry per stolen credit-update token, repaired by the resync
+  /// chain once `dueAt` passes (the IBA-style detection delay). Stamped
+  /// with the triggering event so the coordinator can merge per-shard
+  /// ledgers back into global event order.
+  struct LeakRecord {
+    SwitchId sw = kInvalidId;
+    PortIndex port = kInvalidPort;
+    VlIndex vl = 0;
+    int credits = 0;
+    SimTime dueAt = 0;
+    SimTime atTime = 0;
+    std::uint64_t atSeq = 0;
+  };
+
+  /// A cross-shard event in flight between two window barriers. Packet
+  /// payloads move pools here: the source shard released its slot when it
+  /// pushed the entry; the destination shard allocates one at drain.
+  struct MailboxEntry {
+    Event ev;
+    Packet pkt;
+    bool hasPacket = false;
+  };
+
+  /// Everything one worker thread owns: entities are partitioned into
+  /// contiguous switch blocks (CAs ride with their attached switch), and
+  /// within a window a shard touches only its own members plus its
+  /// outboxes. The window barrier orders all cross-shard handoffs.
+  struct Shard {
+    Shard(int idx, SimKernel kind, int dayShift)
+        : index(idx), queue(kind, dayShift) {}
+
+    int index;
+    EventQueue queue;
+    PacketPool pool;
+    FabricCounters counters;
+    SimTime now = 0;
+    std::uint64_t creditsLeaked = 0;
+    // Producer context of the event being dispatched (stamping + replay).
+    std::uint32_t producer = 0;
+    SimTime evTime = 0;
+    std::uint64_t evSeq = 0;
+    std::uint32_t subIdx = 0;
+    std::vector<LeakRecord> leaks;
+    std::vector<ObsRecord> obs;
+    std::vector<SpscMailbox<MailboxEntry>> outbox;  // one per peer shard
+    std::exception_ptr error;  // first exception thrown by this shard
+  };
+
   // construction
+  void buildShards();
   void buildSwitches();
   void buildNodes();
 
+  int shardOfSwitch(SwitchId sw) const {
+    return shardOfSwitch_[static_cast<std::size_t>(sw)];
+  }
+  int shardOfNode(NodeId n) const {
+    return shardOfNode_[static_cast<std::size_t>(n)];
+  }
+  std::uint32_t producerOfSwitch(SwitchId sw) const {
+    return 1u + static_cast<std::uint32_t>(sw);
+  }
+  std::uint32_t producerOfNode(NodeId n) const {
+    return 1u + static_cast<std::uint32_t>(topo_.numSwitches()) +
+           static_cast<std::uint32_t>(n);
+  }
+  std::uint64_t nextStamp(std::uint32_t producer) {
+    return makeStamp(producer,
+                     stampCounters_[static_cast<std::size_t>(producer)]++);
+  }
+
+  Packet& packetMut(PacketRef ref) {
+    return shards_[ref >> kShardTagShift].pool.get(ref & kShardRefMask);
+  }
+  PacketRef allocPacket(Shard& sh) {
+    return (static_cast<PacketRef>(sh.index) << kShardTagShift) |
+           sh.pool.alloc();
+  }
+  void releasePacket(PacketRef ref) {
+    shards_[ref >> kShardTagShift].pool.release(ref & kShardRefMask);
+  }
+
+  // event routing (fabric_run.cpp)
+  /// Stamp with the shard's current producer and route to the target
+  /// entity's queue; cross-shard credit events go through the outbox.
+  void pushFrom(Shard& sh, Event ev);
+  /// Coordinator-context push (producer 0): management actions, start(),
+  /// run() re-arms, and the periodic chains. Only legal between windows.
+  void pushCoord(Event ev);
+
+  // windowed engine (fabric_run.cpp)
+  void runWindows(const RunLimits& limits, SimTime lookahead);
+  void processShardWindow(Shard& sh, SimTime windowEnd);
+  /// Mailbox drain + ledger harvest + observer replay + control checks at a
+  /// window barrier; false = stop the run.
+  bool postWindow(const RunLimits& limits);
+  void drainMailboxes();
+  void harvestLeaks();
+  void replayObservers();
+  /// Earliest pending event over every shard and the coordinator queue.
+  SimTime nextEventTime();
+  bool controlChecks(const RunLimits& limits);
+
+  void dispatchShard(Shard& sh, const Event& ev);
+  void dispatchCoord(const Event& ev);
+
+  void notifyObserver(Shard& sh, ObsType type, const Packet& pkt);
+
   // event handlers (fabric_run.cpp)
-  void dispatch(const Event& ev);
-  void handleHeaderArrive(SwitchId sw, PortIndex port, VlIndex vl,
+  void handleHeaderArrive(Shard& sh, SwitchId sw, PortIndex port, VlIndex vl,
                           PacketRef ref);
-  void handleCreditToSwitch(SwitchId sw, PortIndex port, VlIndex vl,
-                            int credits);
-  void handleCreditToNode(NodeId n, VlIndex vl, int credits);
-  void handleNodeTryTx(NodeId n);
-  void handleNodeGenerate(NodeId n);
-  void handleNodeDeliver(NodeId n, VlIndex vl, PacketRef ref);
+  void handleCreditToSwitch(Shard& sh, SwitchId sw, PortIndex port,
+                            VlIndex vl, int credits);
+  void handleWireDebit(SwitchId sw, PortIndex port, VlIndex vl, int credits);
+  void handleCreditToNode(Shard& sh, NodeId n, VlIndex vl, int credits);
+  void handleNodeTryTx(Shard& sh, NodeId n);
+  void handleNodeGenerate(Shard& sh, NodeId n);
+  void handleNodeDeliver(Shard& sh, NodeId n, VlIndex vl, PacketRef ref);
   void handleWatchdog(std::uint32_t epoch);
   void handleCreditResync(std::uint32_t epoch);
   void handleInvariantCheck(std::uint32_t epoch);
 
   // credit scheduling (keeps the pending-credit ledger exact)
-  void scheduleCreditToSwitch(SwitchId sw, PortIndex port, VlIndex vl,
-                              int credits, SimTime when);
-  void scheduleCreditToNode(NodeId n, VlIndex vl, int credits, SimTime when);
-  void returnCreditUpstream(const SwitchInputPort& in, VlIndex vl,
+  void scheduleCreditToSwitch(Shard& sh, SwitchId sw, PortIndex port,
+                              VlIndex vl, int credits, SimTime when);
+  void scheduleCreditToNode(Shard& sh, NodeId n, VlIndex vl, int credits,
+                            SimTime when);
+  void returnCreditUpstream(Shard& sh, const SwitchInputPort& in, VlIndex vl,
                             int credits, SimTime when);
   /// Restore ledger entries due by now (or all of them when `force`).
   void applyResyncs(bool force);
 
   // traffic helpers
-  PacketRef generatePacket(NodeId src);
-  void refillSaturationQueue(NodeId n);
-  void tryNodeTx(NodeId n);
-  void scheduleNodeTryTx(NodeId n, SimTime when);
+  PacketRef generatePacket(Shard& sh, NodeId src);
+  void refillSaturationQueue(Shard& sh, NodeId n);
+  void tryNodeTx(Shard& sh, NodeId n);
+  void scheduleNodeTryTx(Shard& sh, NodeId n, SimTime when);
 
   // arbitration (fabric_arbiter.cpp)
-  void scheduleArb(SwitchId sw, SimTime when);
-  void arbitrate(SwitchId sw);
-  bool tryGrantFromInput(SwitchId swId, PortIndex ip);
+  /// `sh == nullptr` means coordinator context (management plane, resync).
+  void scheduleArb(Shard* sh, SwitchId sw, SimTime when);
+  void arbitrate(Shard& sh, SwitchId sw);
+  bool tryGrantFromInput(Shard& sh, SwitchId swId, PortIndex ip);
 
   struct Option {
     PortIndex port = kInvalidPort;
@@ -303,13 +478,13 @@ class Fabric {
     int spareCredits = 0;
   };
   /// Feasible options right now, adaptive (minimal) entries first. When
-  /// `earliestUnblock` is non-null (fast kernel), options blocked only by a
-  /// busy output lower it to their busyUntil so the failed-grant memo knows
-  /// when a retry could first succeed; options blocked only by missing
-  /// credits set their output port's bit in `creditBlockMask` so a credit
-  /// arrival at that port (and only such an arrival) clears the memo.
+  /// `earliestUnblock` is non-null (fast kernels), options blocked only by
+  /// a busy output lower it to their busyUntil so the failed-grant memo
+  /// knows when a retry could first succeed; options blocked only by
+  /// missing credits set their output port's bit in `creditBlockMask` so a
+  /// credit arrival at that port (and only such an arrival) clears the memo.
   int feasibleOptions(const SwitchModel& sw, PortIndex inPort,
-                      const BufferedPacket& bp,
+                      const BufferedPacket& bp, SimTime now,
                       std::array<Option, kMaxRouteOptions + 1>& out,
                       SimTime* earliestUnblock = nullptr,
                       std::uint64_t* creditBlockMask = nullptr) const;
@@ -317,37 +492,57 @@ class Fabric {
   /// feasibility changes for reasons the memo cannot attribute to a single
   /// output port (link fail/recover, SL-to-VL reprogramming).
   void clearArbMemos(SwitchId sw);
-  const Option& chooseOption(const std::array<Option, kMaxRouteOptions + 1>& opts,
+  const Option& chooseOption(SwitchId swId,
+                             const std::array<Option, kMaxRouteOptions + 1>& opts,
                              int count);
-  void grant(SwitchId swId, PortIndex ip, VlIndex vl, int idx,
+  void grant(Shard& sh, SwitchId swId, PortIndex ip, VlIndex vl, int idx,
              const Option& opt);
   bool allOptionsDead(const SwitchModel& sw, const BufferedPacket& bp) const;
-  void dropPacket(SwitchId swId, PortIndex ip, VlIndex vl, int idx);
+  void dropPacket(Shard& sh, SwitchId swId, PortIndex ip, VlIndex vl,
+                  int idx);
 
   /// Pick the adaptive port committed at routing time
   /// (SelectionTiming::kAtRouting).
-  PortIndex commitPortAtRouting(const SwitchModel& sw, PortIndex inPort,
+  PortIndex commitPortAtRouting(SwitchId swId, PortIndex inPort,
                                 const RouteOptions& options,
                                 const Packet& pkt);
 
   Topology topo_;
   FabricParams params_;
   LidMapper lids_;
-  /// Fast-kernel arbitration: consult the active-port/VL work lists instead
-  /// of scanning every port buffer (identical grants either way).
+  /// Fast arbitration: consult the active-port/VL work lists instead of
+  /// scanning every port buffer (identical grants either way). On for every
+  /// kernel except the legacy-heap reference.
   bool fastArb_ = true;
 
   std::vector<SwitchModel> switches_;
   std::vector<NodeModel> nodes_;
-  PacketPool pool_;
-  EventQueue queue_;
+
+  std::vector<Shard> shards_;
+  std::vector<int> shardOfSwitch_;
+  std::vector<int> shardOfNode_;
+  EventQueue coordQueue_;
+  std::uint64_t coordEvents_ = 0;
+  /// Per-producer stamp counters (0 = coordinator, then switches, then
+  /// nodes); each cell is written only by the thread owning its producer.
+  std::vector<std::uint64_t> stampCounters_;
+  /// True while worker threads may be inside a window: observer callbacks
+  /// buffer for barrier replay instead of running inline.
+  bool windowsActive_ = false;
+  /// Window bounds / shutdown flag shared with the workers; plain members
+  /// because every access is ordered by the epoch barrier.
+  SimTime windowEnd_ = 0;
+  bool runDone_ = false;
 
   ITrafficSource* traffic_ = nullptr;
   IDeliveryObserver* observer_ = nullptr;
   ILinkFaultModel* linkFaults_ = nullptr;
   IInvariantChecker* checker_ = nullptr;
-  Rng trafficRng_{1};
-  Rng selectionRng_{2};
+  /// One RNG stream per node (traffic) and per switch (adaptive selection):
+  /// each stream is consulted only by its owning entity's handlers, so the
+  /// draw sequences are identical for every kernel and thread count.
+  std::vector<Rng> nodeRngs_;
+  std::vector<Rng> switchRngs_;
 
   std::vector<std::uint32_t> detSeqCounters_;  // (src * N + dst)
 
@@ -374,22 +569,13 @@ class Fabric {
   SimTime checkPeriod_ = 0;
   std::uint32_t checkEpoch_ = 0;
 
-  /// One entry per stolen credit-update token, repaired by the resync
-  /// chain once `dueAt` passes (the IBA-style detection delay).
-  struct LeakRecord {
-    SwitchId sw = kInvalidId;
-    PortIndex port = kInvalidPort;
-    VlIndex vl = 0;
-    int credits = 0;
-    SimTime dueAt = 0;
-  };
+  /// Coordinator-side leak ledger, merged from the shard ledgers at every
+  /// window barrier, globally sorted by triggering-event stamp so resync
+  /// repairs run in an order independent of the shard count.
   std::vector<LeakRecord> leakLedger_;
-  std::uint64_t creditsLeaked_ = 0;
   std::uint64_t creditsResynced_ = 0;
 
   std::vector<FailedLink> failedLinks_;
-
-  FabricCounters counters_;
 };
 
 }  // namespace ibadapt

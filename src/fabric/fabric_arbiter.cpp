@@ -13,6 +13,11 @@
 // minimal options are preferred over the escape option (livelock rule),
 // and the configured criterion breaks ties among adaptive options.
 //
+// Arbitration only ever runs on the shard owning the switch, so all state
+// it touches — buffers, credits, memos, the per-switch selection RNG — is
+// thread-private; the only shard-crossing side effects (downstream header
+// arrival, upstream credit return) go through pushFrom's mailbox routing.
+//
 #include <stdexcept>
 
 #include "core/credits.hpp"
@@ -20,12 +25,17 @@
 
 namespace ibadapt {
 
-void Fabric::scheduleArb(SwitchId sw, SimTime when) {
+void Fabric::scheduleArb(Shard* sh, SwitchId sw, SimTime when) {
   SwitchModel& s = switches_[static_cast<std::size_t>(sw)];
   if (s.lastArbScheduled == when) return;  // exact-duplicate suppression
   s.lastArbScheduled = when;
-  queue_.push(Event{when, 0, EventKind::kArbitrate,
-                    static_cast<std::uint32_t>(sw), 0, 0});
+  Event ev{when, 0, EventKind::kArbitrate, static_cast<std::uint32_t>(sw), 0,
+           0};
+  if (sh != nullptr) {
+    pushFrom(*sh, ev);
+  } else {
+    pushCoord(ev);  // management plane / resync: between windows
+  }
 }
 
 void Fabric::clearArbMemos(SwitchId sw) {
@@ -34,7 +44,7 @@ void Fabric::clearArbMemos(SwitchId sw) {
   }
 }
 
-void Fabric::arbitrate(SwitchId swId) {
+void Fabric::arbitrate(Shard& sh, SwitchId swId) {
   SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
   const int numPorts = topo_.portsPerSwitch();
   int firstGranted = -1;
@@ -48,11 +58,11 @@ void Fabric::arbitrate(SwitchId swId) {
     // have no side effects.
     if (fastArb_) {
       if (in.buffered == 0) continue;
-      if (now_ < in.retryAt) continue;
+      if (sh.now < in.retryAt) continue;
     }
     if (in.upKind == PeerKind::kUnused) continue;
-    if (in.busyUntil > now_) continue;
-    if (tryGrantFromInput(swId, ip) && firstGranted < 0) {
+    if (in.busyUntil > sh.now) continue;
+    if (tryGrantFromInput(sh, swId, ip) && firstGranted < 0) {
       firstGranted = ip;
     }
   }
@@ -61,7 +71,7 @@ void Fabric::arbitrate(SwitchId swId) {
   }
 }
 
-bool Fabric::tryGrantFromInput(SwitchId swId, PortIndex ip) {
+bool Fabric::tryGrantFromInput(Shard& sh, SwitchId swId, PortIndex ip) {
   SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
   SwitchInputPort& in = sw.in[static_cast<std::size_t>(ip)];
   const int vlBase = params_.vlSelection == VlSelection::kRoundRobin
@@ -82,25 +92,25 @@ bool Fabric::tryGrantFromInput(SwitchId swId, PortIndex ip) {
     for (int k = 0; k < cands.count; ++k) {
       const int idx = cands.index[static_cast<std::size_t>(k)];
       const BufferedPacket& bp = buf.at(idx);
-      if (bp.routeReady > now_) {
+      if (bp.routeReady > sh.now) {
         if (bp.routeReady < retryAt) retryAt = bp.routeReady;
         continue;
       }
       std::array<Option, kMaxRouteOptions + 1> options;
-      const int count =
-          feasibleOptions(sw, ip, bp, options, fastArb_ ? &retryAt : nullptr,
-                          fastArb_ ? &blockMask : nullptr);
+      const int count = feasibleOptions(sw, ip, bp, sh.now, options,
+                                        fastArb_ ? &retryAt : nullptr,
+                                        fastArb_ ? &blockMask : nullptr);
       if (count == 0) {
         if (allOptionsDead(sw, bp)) {
           // Every route points at a failed link: discard (IBA switches
           // time such packets out) and rescan with fresh indices.
-          dropPacket(swId, ip, vl, idx);
-          return tryGrantFromInput(swId, ip);
+          dropPacket(sh, swId, ip, vl, idx);
+          return tryGrantFromInput(sh, swId, ip);
         }
         continue;
       }
-      const Option opt = chooseOption(options, count);
-      grant(swId, ip, vl, idx, opt);
+      const Option opt = chooseOption(swId, options, count);
+      grant(sh, swId, ip, vl, idx, opt);
       in.rrVl = (vl + 1) % params_.numVls;
       return true;  // input-port crossbar connection now busy
     }
@@ -113,11 +123,11 @@ bool Fabric::tryGrantFromInput(SwitchId swId, PortIndex ip) {
 }
 
 int Fabric::feasibleOptions(const SwitchModel& sw, PortIndex inPort,
-                            const BufferedPacket& bp,
+                            const BufferedPacket& bp, SimTime now,
                             std::array<Option, kMaxRouteOptions + 1>& out,
                             SimTime* earliestUnblock,
                             std::uint64_t* creditBlockMask) const {
-  const Packet& pkt = pool_.get(bp.packet);
+  const Packet& pkt = packet(bp.packet);
   int count = 0;
 
   const bool adaptiveEligible = bp.options.adaptiveRequested &&
@@ -130,7 +140,7 @@ int Fabric::feasibleOptions(const SwitchModel& sw, PortIndex inPort,
       if (committed && p != bp.committedPort) continue;
       const SwitchOutputPort& op = sw.out[static_cast<std::size_t>(p)];
       if (op.downKind == PeerKind::kUnused) continue;
-      if (op.busyUntil > now_) {
+      if (op.busyUntil > now) {
         if (earliestUnblock != nullptr && op.busyUntil < *earliestUnblock) {
           *earliestUnblock = op.busyUntil;
         }
@@ -159,7 +169,7 @@ int Fabric::feasibleOptions(const SwitchModel& sw, PortIndex inPort,
   if (p0 != kInvalidPort) {
     const SwitchOutputPort& op = sw.out[static_cast<std::size_t>(p0)];
     if (op.downKind != PeerKind::kUnused) {
-      if (op.busyUntil > now_) {
+      if (op.busyUntil > now) {
         if (earliestUnblock != nullptr && op.busyUntil < *earliestUnblock) {
           *earliestUnblock = op.busyUntil;
         }
@@ -179,7 +189,8 @@ int Fabric::feasibleOptions(const SwitchModel& sw, PortIndex inPort,
 }
 
 const Fabric::Option& Fabric::chooseOption(
-    const std::array<Option, kMaxRouteOptions + 1>& opts, int count) {
+    SwitchId swId, const std::array<Option, kMaxRouteOptions + 1>& opts,
+    int count) {
   // Escape, when feasible, is always the last entry; minimal (adaptive)
   // options take precedence over it.
   const int adaptiveCount =
@@ -189,7 +200,9 @@ const Fabric::Option& Fabric::chooseOption(
     case SelectionCriterion::kStatic:
       return opts[0];
     case SelectionCriterion::kRandom:
-      return opts[selectionRng_.uniformIndex(
+      // The per-switch stream keeps kRandom draws independent of how other
+      // switches interleave (i.e. of the shard count).
+      return opts[switchRngs_[static_cast<std::size_t>(swId)].uniformIndex(
           static_cast<std::uint64_t>(adaptiveCount))];
     case SelectionCriterion::kCreditAware:
     default: {
@@ -223,30 +236,32 @@ bool Fabric::allOptionsDead(const SwitchModel& sw,
          sw.out[static_cast<std::size_t>(p0)].downKind == PeerKind::kUnused;
 }
 
-void Fabric::dropPacket(SwitchId swId, PortIndex ip, VlIndex vl, int idx) {
+void Fabric::dropPacket(Shard& sh, SwitchId swId, PortIndex ip, VlIndex vl,
+                        int idx) {
   SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
   SwitchInputPort& in = sw.in[static_cast<std::size_t>(ip)];
   VlBuffer& buf = in.vls[static_cast<std::size_t>(vl)];
   const BufferedPacket bp = buf.at(idx);
-  const Packet& pkt = pool_.get(bp.packet);
+  const Packet& pkt = packet(bp.packet);
   buf.remove(idx);
   --in.buffered;
   if (buf.empty()) in.vlOccupied &= ~(1u << vl);
   in.retryAt = 0;  // buffer content changed: failed-grant memo stale
-  ++counters_.dropped;
+  ++sh.counters.dropped;
   // Free the buffer space upstream once the tail can no longer be arriving.
   const SimTime creditTime =
-      now_ + static_cast<SimTime>(pkt.sizeBytes) * params_.nsPerByte +
+      sh.now + static_cast<SimTime>(pkt.sizeBytes) * params_.nsPerByte +
       params_.linkPropagationNs;
   if (in.upKind != PeerKind::kUnused) {
-    returnCreditUpstream(in, vl, pkt.credits, creditTime);
+    returnCreditUpstream(sh, in, vl, pkt.credits, creditTime);
   }
-  pool_.release(bp.packet);
+  releasePacket(bp.packet);
 }
 
-PortIndex Fabric::commitPortAtRouting(const SwitchModel& sw, PortIndex inPort,
+PortIndex Fabric::commitPortAtRouting(SwitchId swId, PortIndex inPort,
                                       const RouteOptions& options,
                                       const Packet& pkt) {
+  const SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
   // SelectionTiming::kAtRouting: pick the preferred adaptive option using
   // the (possibly stale) credit snapshot at table-access time. The escape
   // fallback stays available at arbitration so deadlock freedom holds.
@@ -254,8 +269,9 @@ PortIndex Fabric::commitPortAtRouting(const SwitchModel& sw, PortIndex inPort,
     case SelectionCriterion::kStatic:
       return options.adaptivePorts[0];
     case SelectionCriterion::kRandom:
-      return options.adaptivePorts[selectionRng_.uniformIndex(
-          static_cast<std::uint64_t>(options.numAdaptive))];
+      return options.adaptivePorts[
+          switchRngs_[static_cast<std::size_t>(swId)].uniformIndex(
+              static_cast<std::uint64_t>(options.numAdaptive))];
     case SelectionCriterion::kCreditAware:
     default: {
       int best = 0;
@@ -280,17 +296,17 @@ PortIndex Fabric::commitPortAtRouting(const SwitchModel& sw, PortIndex inPort,
   }
 }
 
-void Fabric::grant(SwitchId swId, PortIndex ip, VlIndex vl, int idx,
-                   const Option& opt) {
+void Fabric::grant(Shard& sh, SwitchId swId, PortIndex ip, VlIndex vl,
+                   int idx, const Option& opt) {
   SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
   SwitchInputPort& in = sw.in[static_cast<std::size_t>(ip)];
   VlBuffer& buf = in.vls[static_cast<std::size_t>(vl)];
   const BufferedPacket bp = buf.at(idx);
-  Packet& pkt = pool_.get(bp.packet);
+  Packet& pkt = packetMut(bp.packet);
   SwitchOutputPort& op = sw.out[static_cast<std::size_t>(opt.port)];
 
   const SimTime txEnd =
-      now_ + static_cast<SimTime>(pkt.sizeBytes) * params_.nsPerByte;
+      sh.now + static_cast<SimTime>(pkt.sizeBytes) * params_.nsPerByte;
   op.busyUntil = txEnd;
   in.busyUntil = txEnd;
   op.bytesSent += static_cast<std::uint64_t>(pkt.sizeBytes);
@@ -306,33 +322,46 @@ void Fabric::grant(SwitchId swId, PortIndex ip, VlIndex vl, int idx,
 
   // Credits for this input buffer return to the upstream holder when the
   // packet's tail has left, plus wire latency for the credit update.
-  returnCreditUpstream(in, vl, pkt.credits, txEnd + params_.linkPropagationNs);
+  returnCreditUpstream(sh, in, vl, pkt.credits,
+                       txEnd + params_.linkPropagationNs);
 
   ++pkt.hops;
   if (opt.escape) {
-    ++counters_.escapeForwards;
+    ++sh.counters.escapeForwards;
     if (pkt.adaptive) ++pkt.escapeHops;
   } else {
-    ++counters_.adaptiveForwards;
+    ++sh.counters.adaptiveForwards;
   }
 
   if (op.downKind == PeerKind::kSwitch) {
+    // This port's wire ledger is debited by a self-targeted event at header
+    // arrival time, so the write stays on this shard whichever shard owns
+    // the downstream switch. Scheduled before the header event — fixed
+    // order, fixed stamps.
+    pushFrom(sh, Event{sh.now + params_.linkPropagationNs, 0,
+                       EventKind::kWireDebit,
+                       static_cast<std::uint32_t>(swId),
+                       packPortVl(opt.port, opt.vl),
+                       static_cast<std::uint32_t>(pkt.credits)});
     // Virtual cut-through: the downstream header arrives one wire delay
-    // after transmission starts.
-    queue_.push(Event{now_ + params_.linkPropagationNs, 0,
-                      EventKind::kHeaderArrive,
-                      static_cast<std::uint32_t>(op.downId),
-                      packPortVl(op.downPort, opt.vl), bp.packet});
+    // after transmission starts. NOTE: a cross-shard push moves the packet
+    // out of this pool — `pkt` must not be touched after this call.
+    pushFrom(sh, Event{sh.now + params_.linkPropagationNs, 0,
+                       EventKind::kHeaderArrive,
+                       static_cast<std::uint32_t>(op.downId),
+                       packPortVl(op.downPort, opt.vl), bp.packet});
   } else {
     // Tail reaches the CA one wire delay after serialization completes.
-    queue_.push(Event{txEnd + params_.linkPropagationNs, 0,
-                      EventKind::kNodeDeliver,
-                      static_cast<std::uint32_t>(op.downId),
-                      static_cast<std::uint32_t>(opt.vl), bp.packet});
+    // (CAs ride with this switch's shard; the ledger debit happens inline
+    // at delivery.)
+    pushFrom(sh, Event{txEnd + params_.linkPropagationNs, 0,
+                       EventKind::kNodeDeliver,
+                       static_cast<std::uint32_t>(op.downId),
+                       static_cast<std::uint32_t>(opt.vl), bp.packet});
   }
 
   // The input and output ports free up at txEnd; re-arm arbitration.
-  scheduleArb(swId, txEnd);
+  scheduleArb(&sh, swId, txEnd);
 }
 
 }  // namespace ibadapt

@@ -1,28 +1,125 @@
 //
-// Event loop, traffic bootstrap, and all non-arbitration event handlers.
+// Windowed event engine, traffic bootstrap, and all non-arbitration event
+// handlers. See the architecture note at the top of fabric/fabric.hpp: every
+// kernel runs the same conservative-lookahead window loop, the sequential
+// kernels being the one-shard special case, so the sharded kernel is
+// bit-identical by construction rather than by a separate code path.
 //
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 #include "fabric/fabric.hpp"
+#include "util/epoch_barrier.hpp"
 
 namespace ibadapt {
+
+// ---------------------------------------------------------------------------
+// Event routing
+// ---------------------------------------------------------------------------
+
+void Fabric::pushFrom(Shard& sh, Event ev) {
+  ev.seq = nextStamp(sh.producer);
+  int target = 0;
+  switch (ev.kind) {
+    case EventKind::kHeaderArrive:
+    case EventKind::kArbitrate:
+    case EventKind::kCreditToSwitch:
+    case EventKind::kWireDebit:
+      target = shardOfSwitch(static_cast<SwitchId>(ev.a));
+      break;
+    case EventKind::kCreditToNode:
+    case EventKind::kNodeTryTx:
+    case EventKind::kNodeGenerate:
+    case EventKind::kNodeDeliver:
+      target = shardOfNode(static_cast<NodeId>(ev.a));
+      break;
+    default:
+      throw std::logic_error("Fabric: global event pushed from shard context");
+  }
+  if (target == sh.index) {
+    sh.queue.pushStamped(ev);
+    return;
+  }
+  // Only link-crossing events can land on a foreign shard (nodes ride with
+  // their attached switch), and links impose >= lookahead latency, so the
+  // event is due strictly after the current window: the barrier drain gets
+  // it into the target queue in time.
+  switch (ev.kind) {
+    case EventKind::kHeaderArrive: {
+      MailboxEntry e;
+      e.ev = ev;
+      e.pkt = packet(ev.c);
+      e.hasPacket = true;
+      releasePacket(ev.c);  // payload moves pools: source slot is free now
+      sh.outbox[static_cast<std::size_t>(target)].push(e);
+      return;
+    }
+    case EventKind::kCreditToSwitch:
+      sh.outbox[static_cast<std::size_t>(target)].push(
+          MailboxEntry{ev, Packet{}, false});
+      return;
+    default:
+      throw std::logic_error("Fabric: unexpected cross-shard event kind");
+  }
+}
+
+void Fabric::pushCoord(Event ev) {
+  ev.seq = nextStamp(0);
+  switch (ev.kind) {
+    case EventKind::kWatchdog:
+    case EventKind::kCreditResync:
+    case EventKind::kInvariantCheck:
+      coordQueue_.pushStamped(ev);
+      return;
+    case EventKind::kHeaderArrive:
+    case EventKind::kArbitrate:
+    case EventKind::kCreditToSwitch:
+    case EventKind::kWireDebit:
+      shards_[static_cast<std::size_t>(
+                  shardOfSwitch(static_cast<SwitchId>(ev.a)))]
+          .queue.pushStamped(ev);
+      return;
+    case EventKind::kCreditToNode:
+    case EventKind::kNodeTryTx:
+    case EventKind::kNodeGenerate:
+    case EventKind::kNodeDeliver:
+      shards_[static_cast<std::size_t>(shardOfNode(static_cast<NodeId>(ev.a)))]
+          .queue.pushStamped(ev);
+      return;
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap and run
+// ---------------------------------------------------------------------------
 
 void Fabric::start() {
   if (started_) throw std::logic_error("Fabric::start called twice");
   if (traffic_ == nullptr) throw std::logic_error("Fabric: no traffic source");
   started_ = true;
 
+  // windowsActive_ is false here, so the observer callbacks fired by the
+  // bootstrap (saturation pre-fills generate packets) run inline, in node
+  // order, identically for every shard count.
   if (traffic_->saturationMode()) {
     for (NodeId n = 0; n < topo_.numNodes(); ++n) {
-      refillSaturationQueue(n);
-      scheduleNodeTryTx(n, 0);
+      Shard& sh = shards_[static_cast<std::size_t>(shardOfNode(n))];
+      sh.producer = producerOfNode(n);
+      refillSaturationQueue(sh, n);
+      scheduleNodeTryTx(sh, n, 0);
     }
   } else {
     for (NodeId n = 0; n < topo_.numNodes(); ++n) {
-      const SimTime t = traffic_->firstGenTime(n, trafficRng_);
+      const SimTime t = traffic_->firstGenTime(
+          n, nodeRngs_[static_cast<std::size_t>(n)]);
       if (t != kTimeNever) {
-        queue_.push(Event{t, 0, EventKind::kNodeGenerate,
-                          static_cast<std::uint32_t>(n), 0, 0});
+        Shard& sh = shards_[static_cast<std::size_t>(shardOfNode(n))];
+        sh.producer = producerOfNode(n);
+        pushFrom(sh, Event{t, 0, EventKind::kNodeGenerate,
+                           static_cast<std::uint32_t>(n), 0, 0});
       }
     }
   }
@@ -37,77 +134,245 @@ void Fabric::run(const RunLimits& limits) {
     NodeModel& nd = nodes_[static_cast<std::size_t>(n)];
     if (nd.pendingGenTime != kTimeNever &&
         nd.pendingGenTime <= generationEnd_) {
-      queue_.push(Event{nd.pendingGenTime, 0, EventKind::kNodeGenerate,
-                        static_cast<std::uint32_t>(n), 0, 0});
+      pushCoord(Event{nd.pendingGenTime, 0, EventKind::kNodeGenerate,
+                      static_cast<std::uint32_t>(n), 0, 0});
       nd.pendingGenTime = kTimeNever;
     }
   }
   watchdogPeriod_ = limits.watchdogPeriodNs;
   watchdogStallLimit_ = limits.watchdogStallLimit;
-  watchdogLastDelivered_ =
-      counters_.delivered + counters_.dropped + counters_.crcDropped;
+  {
+    const FabricCounters c = counters();
+    watchdogLastDelivered_ = c.delivered + c.dropped + c.crcDropped;
+  }
   watchdogStallCount_ = 0;
   // A fresh epoch orphans watchdog chains queued by earlier run() calls
   // (multi-phase runs would otherwise stack one chain per phase and count
   // stalls several times per period).
   ++watchdogEpoch_;
   if (watchdogPeriod_ > 0) {
-    queue_.push(Event{now_ + watchdogPeriod_, 0, EventKind::kWatchdog,
-                      watchdogEpoch_, 0, 0});
+    pushCoord(Event{now_ + watchdogPeriod_, 0, EventKind::kWatchdog,
+                    watchdogEpoch_, 0, 0});
   }
   // Credit-resync and invariant-check chains follow the same epoch scheme.
   ++resyncEpoch_;
   resyncPeriod_ = linkFaults_ != nullptr ? linkFaults_->resyncPeriodNs() : 0;
   if (resyncPeriod_ > 0) {
-    queue_.push(Event{now_ + resyncPeriod_, 0, EventKind::kCreditResync,
-                      resyncEpoch_, 0, 0});
+    pushCoord(Event{now_ + resyncPeriod_, 0, EventKind::kCreditResync,
+                    resyncEpoch_, 0, 0});
   }
   ++checkEpoch_;
   if (checker_ != nullptr && checkPeriod_ > 0) {
-    queue_.push(Event{now_ + checkPeriod_, 0, EventKind::kInvariantCheck,
-                      checkEpoch_, 0, 0});
+    pushCoord(Event{now_ + checkPeriod_, 0, EventKind::kInvariantCheck,
+                    checkEpoch_, 0, 0});
   }
 
-  while (!queue_.empty() && !stopRequested_) {
-    if (queue_.top().time > limits.endTime) break;
-    const Event ev = queue_.pop();
-    now_ = ev.time;
-    if (++counters_.events > limits.maxEvents) break;
-    if (pool_.liveCount() > limits.maxLivePackets) {
-      livePacketLimitHit_ = true;
-      break;
+  const SimTime lookahead =
+      params_.linkPropagationNs > 0 ? params_.linkPropagationNs : 1;
+  runWindows(limits, lookahead);
+}
+
+SimTime Fabric::nextEventTime() {
+  SimTime t = kTimeNever;
+  for (Shard& sh : shards_) {
+    if (!sh.queue.empty() && sh.queue.top().time < t) t = sh.queue.top().time;
+  }
+  if (!coordQueue_.empty() && coordQueue_.top().time < t) {
+    t = coordQueue_.top().time;
+  }
+  return t;
+}
+
+bool Fabric::controlChecks(const RunLimits& limits) {
+  std::uint64_t events = coordEvents_;
+  for (const Shard& sh : shards_) events += sh.counters.events;
+  if (events > limits.maxEvents) return false;
+  if (livePackets() > limits.maxLivePackets) {
+    livePacketLimitHit_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool Fabric::postWindow(const RunLimits& limits) {
+  drainMailboxes();
+  harvestLeaks();
+  replayObservers();
+  for (const Shard& sh : shards_) now_ = std::max(now_, sh.now);
+  return controlChecks(limits);
+}
+
+void Fabric::runWindows(const RunLimits& limits, SimTime lookahead) {
+  const int numShards = static_cast<int>(shards_.size());
+
+  // One loop body for both paths. Returns false when the run is over. The
+  // window bounds are computed from the *global* queue state, never from the
+  // shard count, so the sequence of windows — and hence the state every
+  // barrier-side consumer (observers, checker, watchdog, leak ledger) sees —
+  // is identical for every thread count.
+  const auto planWindow = [&](SimTime& wEnd) -> bool {
+    while (!stopRequested_) {
+      const SimTime tNext = nextEventTime();
+      if (tNext == kTimeNever || tNext > limits.endTime) return false;
+      if (!coordQueue_.empty() && coordQueue_.top().time == tNext) {
+        // Global events dispatch between windows, with every shard quiesced
+        // at exactly their timestamp (shards have processed everything
+        // earlier; their next events are at or after tNext).
+        now_ = tNext;
+        while (!coordQueue_.empty() && coordQueue_.top().time == tNext &&
+               !stopRequested_) {
+          dispatchCoord(coordQueue_.pop());
+        }
+        continue;  // the dispatch may have queued work anywhere: replan
+      }
+      wEnd = tNext + lookahead;
+      if (!coordQueue_.empty() && coordQueue_.top().time < wEnd) {
+        wEnd = coordQueue_.top().time;
+      }
+      if (limits.endTime + 1 < wEnd) wEnd = limits.endTime + 1;
+      return true;
     }
-    dispatch(ev);
+    return false;
+  };
+
+  if (numShards == 1) {
+    Shard& sh = shards_[0];
+    SimTime wEnd = 0;
+    while (planWindow(wEnd)) {
+      processShardWindow(sh, wEnd);
+      if (!postWindow(limits)) break;
+    }
+    return;
+  }
+
+  // Parallel path: spawn numShards-1 workers for this run. Spawning per
+  // run() keeps the engine free of persistent thread state; runs are long
+  // (millions of events) so the spawn cost is noise.
+  EpochBarrier barrier(numShards);
+  runDone_ = false;
+  windowsActive_ = true;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(numShards - 1));
+  for (int i = 1; i < numShards; ++i) {
+    workers.emplace_back([this, i, &barrier] {
+      Shard& sh = shards_[static_cast<std::size_t>(i)];
+      for (;;) {
+        barrier.arriveAndWait();  // A: window published (or shutdown)
+        if (runDone_) return;
+        try {
+          processShardWindow(sh, windowEnd_);
+        } catch (...) {
+          sh.error = std::current_exception();
+        }
+        barrier.arriveAndWait();  // B: window complete
+      }
+    });
+  }
+
+  std::exception_ptr fatal;
+  try {
+    SimTime wEnd = 0;
+    while (planWindow(wEnd)) {
+      windowEnd_ = wEnd;
+      barrier.arriveAndWait();  // A
+      try {
+        processShardWindow(shards_[0], wEnd);
+      } catch (...) {
+        shards_[0].error = std::current_exception();
+      }
+      barrier.arriveAndWait();  // B
+      for (Shard& sh : shards_) {
+        if (sh.error != nullptr && fatal == nullptr) fatal = sh.error;
+        sh.error = nullptr;
+      }
+      if (fatal != nullptr) break;
+      if (!postWindow(limits)) break;
+    }
+  } catch (...) {
+    // Thrown between barriers (coordinator dispatch, observer replay):
+    // the workers are parked at barrier A, so the shutdown below is safe.
+    fatal = std::current_exception();
+  }
+  runDone_ = true;
+  barrier.arriveAndWait();
+  for (std::thread& w : workers) w.join();
+  windowsActive_ = false;
+  if (fatal != nullptr) std::rethrow_exception(fatal);
+}
+
+void Fabric::processShardWindow(Shard& sh, SimTime windowEnd) {
+  EventQueue& q = sh.queue;
+  while (!q.empty() && q.top().time < windowEnd) {
+    const Event ev = q.pop();
+    sh.now = ev.time;
+    ++sh.counters.events;
+    dispatchShard(sh, ev);
   }
 }
 
-void Fabric::dispatch(const Event& ev) {
+void Fabric::dispatchShard(Shard& sh, const Event& ev) {
+  // Producer context: stamps for pushes and the replay key for observer
+  // callbacks made while handling this event.
+  sh.evTime = ev.time;
+  sh.evSeq = ev.seq;
+  sh.subIdx = 0;
   switch (ev.kind) {
     case EventKind::kHeaderArrive:
-      handleHeaderArrive(static_cast<SwitchId>(ev.a), unpackPort(ev.b),
+      sh.producer = producerOfSwitch(static_cast<SwitchId>(ev.a));
+      handleHeaderArrive(sh, static_cast<SwitchId>(ev.a), unpackPort(ev.b),
                          unpackVl(ev.b), ev.c);
       break;
-    case EventKind::kArbitrate:
-      arbitrate(static_cast<SwitchId>(ev.a));
+    case EventKind::kArbitrate: {
+      sh.producer = producerOfSwitch(static_cast<SwitchId>(ev.a));
+      // Consume the duplicate-suppression memo: a *later* event at this
+      // same instant (e.g. a credit arrival ordered after us) must be able
+      // to re-arm arbitration — its wake would otherwise be swallowed and
+      // the input could strand with credits in hand.
+      SwitchModel& s = switches_[static_cast<std::size_t>(ev.a)];
+      if (s.lastArbScheduled == ev.time) s.lastArbScheduled = -1;
+      arbitrate(sh, static_cast<SwitchId>(ev.a));
       break;
+    }
     case EventKind::kCreditToSwitch:
-      handleCreditToSwitch(static_cast<SwitchId>(ev.a), unpackPort(ev.b),
+      sh.producer = producerOfSwitch(static_cast<SwitchId>(ev.a));
+      handleCreditToSwitch(sh, static_cast<SwitchId>(ev.a), unpackPort(ev.b),
                            unpackVl(ev.b), static_cast<int>(ev.c));
       break;
+    case EventKind::kWireDebit:
+      sh.producer = producerOfSwitch(static_cast<SwitchId>(ev.a));
+      handleWireDebit(static_cast<SwitchId>(ev.a), unpackPort(ev.b),
+                      unpackVl(ev.b), static_cast<int>(ev.c));
+      break;
     case EventKind::kCreditToNode:
-      handleCreditToNode(static_cast<NodeId>(ev.a),
+      sh.producer = producerOfNode(static_cast<NodeId>(ev.a));
+      handleCreditToNode(sh, static_cast<NodeId>(ev.a),
                          static_cast<VlIndex>(ev.b), static_cast<int>(ev.c));
       break;
-    case EventKind::kNodeTryTx:
-      handleNodeTryTx(static_cast<NodeId>(ev.a));
+    case EventKind::kNodeTryTx: {
+      sh.producer = producerOfNode(static_cast<NodeId>(ev.a));
+      // Memo consumed on dispatch, same as kArbitrate above.
+      NodeModel& nd = nodes_[static_cast<std::size_t>(ev.a)];
+      if (nd.lastTryTxScheduled == ev.time) nd.lastTryTxScheduled = -1;
+      handleNodeTryTx(sh, static_cast<NodeId>(ev.a));
       break;
+    }
     case EventKind::kNodeGenerate:
-      handleNodeGenerate(static_cast<NodeId>(ev.a));
+      sh.producer = producerOfNode(static_cast<NodeId>(ev.a));
+      handleNodeGenerate(sh, static_cast<NodeId>(ev.a));
       break;
     case EventKind::kNodeDeliver:
-      handleNodeDeliver(static_cast<NodeId>(ev.a),
+      sh.producer = producerOfNode(static_cast<NodeId>(ev.a));
+      handleNodeDeliver(sh, static_cast<NodeId>(ev.a),
                         static_cast<VlIndex>(ev.b), ev.c);
       break;
+    default:
+      break;  // global kinds never land in shard queues
+  }
+}
+
+void Fabric::dispatchCoord(const Event& ev) {
+  ++coordEvents_;
+  switch (ev.kind) {
     case EventKind::kWatchdog:
       handleWatchdog(ev.a);
       break;
@@ -117,20 +382,123 @@ void Fabric::dispatch(const Event& ev) {
     case EventKind::kInvariantCheck:
       handleInvariantCheck(ev.a);
       break;
-    case EventKind::kNone:
+    default:
       break;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Window barrier work (coordinator only, workers parked)
+// ---------------------------------------------------------------------------
+
+void Fabric::drainMailboxes() {
+  const int numShards = static_cast<int>(shards_.size());
+  if (numShards == 1) return;
+  for (int src = 0; src < numShards; ++src) {
+    for (int dst = 0; dst < numShards; ++dst) {
+      auto& mb = shards_[static_cast<std::size_t>(src)]
+                     .outbox[static_cast<std::size_t>(dst)];
+      if (mb.empty()) continue;
+      Shard& dsh = shards_[static_cast<std::size_t>(dst)];
+      for (const MailboxEntry& e : mb.entries()) {
+        Event ev = e.ev;
+        if (e.hasPacket) {
+          const PacketRef ref = allocPacket(dsh);
+          packetMut(ref) = e.pkt;
+          ev.c = ref;
+        } else if (ev.kind == EventKind::kCreditToSwitch) {
+          // The pending-credit ledger entry was deferred from push time so
+          // only threads owning the receiving switch ever write its cells.
+          switches_[ev.a]
+              .out[static_cast<std::size_t>(unpackPort(ev.b))]
+              .pendingCredits[static_cast<std::size_t>(unpackVl(ev.b))] +=
+              static_cast<int>(ev.c);
+        }
+        dsh.queue.pushStamped(ev);
+      }
+      mb.reset();
+    }
+  }
+}
+
+void Fabric::replayObservers() {
+  bool any = false;
+  for (const Shard& sh : shards_) any = any || !sh.obs.empty();
+  if (!any) return;
+  // K-way merge on (event time, event stamp, call ordinal): each shard's
+  // buffer is already sorted (events process in stamp order, ordinals count
+  // up within an event), and the merged order is exactly the inline call
+  // order of the one-shard engine — same callbacks, same order, same
+  // floating-point accumulation in the stats layer.
+  const auto before = [](const ObsRecord& x, const ObsRecord& y) {
+    if (x.evTime != y.evTime) return x.evTime < y.evTime;
+    if (x.evSeq != y.evSeq) return x.evSeq < y.evSeq;
+    return x.subIdx < y.subIdx;
+  };
+  std::vector<std::size_t> pos(shards_.size(), 0);
+  for (;;) {
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
+      const Shard& sh = shards_[static_cast<std::size_t>(i)];
+      if (pos[static_cast<std::size_t>(i)] >= sh.obs.size()) continue;
+      if (best < 0 ||
+          before(sh.obs[pos[static_cast<std::size_t>(i)]],
+                 shards_[static_cast<std::size_t>(best)]
+                     .obs[pos[static_cast<std::size_t>(best)]])) {
+        best = i;
+      }
+    }
+    if (best < 0) break;
+    const ObsRecord& r = shards_[static_cast<std::size_t>(best)]
+                             .obs[pos[static_cast<std::size_t>(best)]++];
+    switch (r.type) {
+      case ObsType::kGenerated:
+        observer_->onGenerated(r.pkt, r.now);
+        break;
+      case ObsType::kInjected:
+        observer_->onInjected(r.pkt, r.now);
+        break;
+      case ObsType::kDelivered:
+        observer_->onDelivered(r.pkt, r.now);
+        break;
+    }
+  }
+  for (Shard& sh : shards_) sh.obs.clear();
+}
+
+void Fabric::notifyObserver(Shard& sh, ObsType type, const Packet& pkt) {
+  if (observer_ == nullptr) return;
+  // One shard (or bootstrap before any window): the inline call IS the
+  // global order. Buffering the bootstrap would lose the node iteration
+  // order (its records all stamp time 0 / pre-event context).
+  if (shards_.size() == 1 || !windowsActive_) {
+    switch (type) {
+      case ObsType::kGenerated:
+        observer_->onGenerated(pkt, sh.now);
+        break;
+      case ObsType::kInjected:
+        observer_->onInjected(pkt, sh.now);
+        break;
+      case ObsType::kDelivered:
+        observer_->onDelivered(pkt, sh.now);
+        break;
+    }
+    return;
+  }
+  sh.obs.push_back(
+      ObsRecord{sh.evTime, sh.evSeq, sh.subIdx++, type, sh.now, pkt});
 }
 
 // ---------------------------------------------------------------------------
 // Traffic
 // ---------------------------------------------------------------------------
 
-PacketRef Fabric::generatePacket(NodeId src) {
-  const ITrafficSource::Spec spec = traffic_->makePacket(src, trafficRng_);
+PacketRef Fabric::generatePacket(Shard& sh, NodeId src) {
+  const ITrafficSource::Spec spec =
+      traffic_->makePacket(src, nodeRngs_[static_cast<std::size_t>(src)]);
   if (spec.dst == kInvalidId) return kInvalidPacketRef;  // idle wake
-  const PacketRef ref = pool_.alloc();
-  Packet& pkt = pool_.get(ref);
+  const PacketRef ref = allocPacket(sh);
+  Packet& pkt = packetMut(ref);
   pkt.src = src;
   pkt.dst = spec.dst;
   pkt.sizeBytes = spec.sizeBytes;
@@ -140,6 +508,8 @@ PacketRef Fabric::generatePacket(NodeId src) {
   pkt.segIndex = spec.segIndex;
   pkt.segCount = spec.segCount;
   pkt.e2eSeq = spec.e2eSeq;
+  pkt.retransmit = spec.retransmit;
+  pkt.e2eFirstSent = spec.e2eFirstSent;
   if (spec.pathOffset >= 0) {
     if (spec.pathOffset >= lids_.lidsPerNode()) {
       throw std::invalid_argument("Fabric: pathOffset beyond LID block");
@@ -154,98 +524,97 @@ PacketRef Fabric::generatePacket(NodeId src) {
     pkt.dlid = pkt.adaptive ? lids_.adaptiveLid(spec.dst)
                             : lids_.deterministicLid(spec.dst);
   }
-  pkt.genTime = now_;
+  pkt.genTime = sh.now;
   if (!pkt.adaptive) {
     auto& ctr = detSeqCounters_[static_cast<std::size_t>(src) *
                                     topo_.numNodes() +
                                 static_cast<std::size_t>(spec.dst)];
     pkt.detSeq = ++ctr;
   }
-  ++counters_.generated;
-  if (observer_ != nullptr) observer_->onGenerated(pkt, now_);
+  ++sh.counters.generated;
+  notifyObserver(sh, ObsType::kGenerated, pkt);
   nodes_[static_cast<std::size_t>(src)].sendQueue.push_back(ref);
   return ref;
 }
 
-void Fabric::refillSaturationQueue(NodeId n) {
+void Fabric::refillSaturationQueue(Shard& sh, NodeId n) {
   NodeModel& nd = nodes_[static_cast<std::size_t>(n)];
   const int cap = traffic_->saturationQueueCap();
   while (static_cast<int>(nd.sendQueue.size()) < cap) {
-    if (generatePacket(n) == kInvalidPacketRef) break;  // source declined
+    if (generatePacket(sh, n) == kInvalidPacketRef) break;  // declined
   }
 }
 
-void Fabric::handleNodeGenerate(NodeId n) {
-  generatePacket(n);
-  tryNodeTx(n);
-  const SimTime next = traffic_->nextGenTime(n, now_, trafficRng_);
+void Fabric::handleNodeGenerate(Shard& sh, NodeId n) {
+  generatePacket(sh, n);
+  tryNodeTx(sh, n);
+  const SimTime next = traffic_->nextGenTime(
+      n, sh.now, nodeRngs_[static_cast<std::size_t>(n)]);
   if (next == kTimeNever) return;
   if (next <= generationEnd_) {
-    queue_.push(Event{next, 0, EventKind::kNodeGenerate,
-                      static_cast<std::uint32_t>(n), 0, 0});
+    pushFrom(sh, Event{next, 0, EventKind::kNodeGenerate,
+                       static_cast<std::uint32_t>(n), 0, 0});
   } else {
     // Beyond this run's horizon: park it; a later run() re-arms it.
     nodes_[static_cast<std::size_t>(n)].pendingGenTime = next;
   }
 }
 
-void Fabric::scheduleNodeTryTx(NodeId n, SimTime when) {
+void Fabric::scheduleNodeTryTx(Shard& sh, NodeId n, SimTime when) {
   NodeModel& nd = nodes_[static_cast<std::size_t>(n)];
   if (nd.lastTryTxScheduled == when) return;
   nd.lastTryTxScheduled = when;
-  queue_.push(Event{when, 0, EventKind::kNodeTryTx,
-                    static_cast<std::uint32_t>(n), 0, 0});
+  pushFrom(sh, Event{when, 0, EventKind::kNodeTryTx,
+                     static_cast<std::uint32_t>(n), 0, 0});
 }
 
-void Fabric::handleNodeTryTx(NodeId n) {
-  tryNodeTx(n);
-}
+void Fabric::handleNodeTryTx(Shard& sh, NodeId n) { tryNodeTx(sh, n); }
 
-void Fabric::tryNodeTx(NodeId n) {
+void Fabric::tryNodeTx(Shard& sh, NodeId n) {
   NodeModel& nd = nodes_[static_cast<std::size_t>(n)];
-  if (nd.sendQueue.empty() || nd.txBusyUntil > now_) return;
+  if (nd.sendQueue.empty() || nd.txBusyUntil > sh.now) return;
   const PacketRef ref = nd.sendQueue.front();
-  Packet& pkt = pool_.get(ref);
+  Packet& pkt = packetMut(ref);
   const VlIndex vl = static_cast<VlIndex>(pkt.sl % params_.numVls);
   if (nd.txCredits[static_cast<std::size_t>(vl)] < pkt.credits) return;
 
   nd.txCredits[static_cast<std::size_t>(vl)] -= pkt.credits;
   nd.wireCredits[static_cast<std::size_t>(vl)] += pkt.credits;
-  const SimTime txEnd = now_ + static_cast<SimTime>(pkt.sizeBytes) *
-                                   params_.nsPerByte;
+  const SimTime txEnd =
+      sh.now + static_cast<SimTime>(pkt.sizeBytes) * params_.nsPerByte;
   nd.txBusyUntil = txEnd;
   nd.sendQueue.pop_front();
-  pkt.injectTime = now_;
-  ++counters_.injected;
-  if (observer_ != nullptr) observer_->onInjected(pkt, now_);
+  pkt.injectTime = sh.now;
+  ++sh.counters.injected;
+  notifyObserver(sh, ObsType::kInjected, pkt);
 
   const SwitchId sw = topo_.switchOfNode(n);
   const PortIndex port = topo_.portOfNode(n);
-  queue_.push(Event{now_ + params_.linkPropagationNs, 0,
-                    EventKind::kHeaderArrive, static_cast<std::uint32_t>(sw),
-                    packPortVl(port, vl), ref});
+  pushFrom(sh, Event{sh.now + params_.linkPropagationNs, 0,
+                     EventKind::kHeaderArrive, static_cast<std::uint32_t>(sw),
+                     packPortVl(port, vl), ref});
 
-  if (traffic_->saturationMode()) refillSaturationQueue(n);
-  scheduleNodeTryTx(n, txEnd);
+  if (traffic_->saturationMode()) refillSaturationQueue(sh, n);
+  scheduleNodeTryTx(sh, n, txEnd);
 }
 
 // ---------------------------------------------------------------------------
 // Switch-side handlers
 // ---------------------------------------------------------------------------
 
-void Fabric::handleHeaderArrive(SwitchId swId, PortIndex port, VlIndex vl,
-                                PacketRef ref) {
+void Fabric::handleHeaderArrive(Shard& sh, SwitchId swId, PortIndex port,
+                                VlIndex vl, PacketRef ref) {
   SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
   SwitchInputPort& in = sw.in[static_cast<std::size_t>(port)];
-  const Packet& pkt = pool_.get(ref);
+  const Packet& pkt = packet(ref);
 
-  // The packet is off the upstream wire and in this buffer now.
+  // The packet is off the upstream wire and in this buffer now. A CA
+  // upstream lives on this shard (nodes ride with their switch), so its
+  // ledger is debited inline; a *switch* upstream may be on another shard —
+  // it debits its own ledger via the kWireDebit event it scheduled for
+  // itself when it granted (sim/event.hpp).
   if (in.upKind == PeerKind::kNode) {
     nodes_[static_cast<std::size_t>(in.upId)]
-        .wireCredits[static_cast<std::size_t>(vl)] -= pkt.credits;
-  } else {
-    switches_[static_cast<std::size_t>(in.upId)]
-        .out[static_cast<std::size_t>(in.upPort)]
         .wireCredits[static_cast<std::size_t>(vl)] -= pkt.credits;
   }
 
@@ -254,14 +623,15 @@ void Fabric::handleHeaderArrive(SwitchId swId, PortIndex port, VlIndex vl,
   // buffer space frees once the (garbled) tail has fully arrived, exactly
   // like a routing drop, and end-to-end retransmission recovers the loss.
   if (linkFaults_ != nullptr) {
-    const auto verdict = linkFaults_->onPacketRx(pkt, vl, now_);
+    const auto verdict =
+        linkFaults_->onPacketRx(pkt, vl, sh.now, static_cast<int>(swId));
     if (verdict == ILinkFaultModel::RxVerdict::kCrcDrop) {
-      ++counters_.crcDropped;
+      ++sh.counters.crcDropped;
       const SimTime creditTime =
-          now_ + static_cast<SimTime>(pkt.sizeBytes) * params_.nsPerByte +
+          sh.now + static_cast<SimTime>(pkt.sizeBytes) * params_.nsPerByte +
           params_.linkPropagationNs;
-      returnCreditUpstream(in, vl, pkt.credits, creditTime);
-      pool_.release(ref);
+      returnCreditUpstream(sh, in, vl, pkt.credits, creditTime);
+      releasePacket(ref);
       return;
     }
     // kSilentCorrupt frames sail through — the model counts them; the
@@ -273,7 +643,7 @@ void Fabric::handleHeaderArrive(SwitchId swId, PortIndex port, VlIndex vl,
   BufferedPacket bp;
   bp.packet = ref;
   bp.credits = pkt.credits;
-  bp.routeReady = now_ + params_.routingDelayNs;
+  bp.routeReady = sh.now + params_.routingDelayNs;
   bp.deterministic = !LidMapper::adaptiveBit(pkt.dlid);
   bp.options = sw.lft.lookup(pkt.dlid);
   if (!bp.options.valid()) {
@@ -282,17 +652,17 @@ void Fabric::handleHeaderArrive(SwitchId swId, PortIndex port, VlIndex vl,
   if (params_.selectionTiming == SelectionTiming::kAtRouting &&
       bp.options.adaptiveRequested && sw.adaptiveCapable &&
       bp.options.numAdaptive > 0) {
-    bp.committedPort = commitPortAtRouting(sw, port, bp.options, pkt);
+    bp.committedPort = commitPortAtRouting(swId, port, bp.options, pkt);
   }
   in.vls[static_cast<std::size_t>(vl)].push(bp);
   ++in.buffered;
   in.vlOccupied |= 1u << vl;
   in.retryAt = 0;  // new candidate: failed-grant memo no longer holds
-  scheduleArb(swId, bp.routeReady);
+  scheduleArb(&sh, swId, bp.routeReady);
 }
 
-void Fabric::handleCreditToSwitch(SwitchId swId, PortIndex port, VlIndex vl,
-                                  int credits) {
+void Fabric::handleCreditToSwitch(Shard& sh, SwitchId swId, PortIndex port,
+                                  VlIndex vl, int credits) {
   SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
   auto& op = sw.out[static_cast<std::size_t>(port)];
   op.pendingCredits[static_cast<std::size_t>(vl)] -= credits;
@@ -300,12 +670,14 @@ void Fabric::handleCreditToSwitch(SwitchId swId, PortIndex port, VlIndex vl,
   // until the periodic resync notices the downstream total disagrees and
   // repairs the count (IBA flow-control packets carry absolute totals).
   if (linkFaults_ != nullptr && credits > 0) {
-    const int stolen = linkFaults_->onCreditUpdateRx(credits, now_);
+    const int stolen =
+        linkFaults_->onCreditUpdateRx(credits, sh.now, static_cast<int>(swId));
     if (stolen > 0) {
       op.lostCredits[static_cast<std::size_t>(vl)] += stolen;
-      creditsLeaked_ += static_cast<std::uint64_t>(stolen);
-      leakLedger_.push_back(LeakRecord{swId, port, vl, stolen,
-                                       now_ + linkFaults_->resyncDetectNs()});
+      sh.creditsLeaked += static_cast<std::uint64_t>(stolen);
+      sh.leaks.push_back(LeakRecord{swId, port, vl, stolen,
+                                    sh.now + linkFaults_->resyncDetectNs(),
+                                    sh.evTime, sh.evSeq});
       credits -= stolen;
       if (credits == 0) return;  // whole token lost: nothing to arbitrate on
     }
@@ -321,23 +693,33 @@ void Fabric::handleCreditToSwitch(SwitchId swId, PortIndex port, VlIndex vl,
   for (auto& inp : sw.in) {
     if ((inp.blockPorts & bit) != 0) inp.retryAt = 0;
   }
-  scheduleArb(swId, now_);
+  scheduleArb(&sh, swId, sh.now);
 }
 
-void Fabric::handleCreditToNode(NodeId n, VlIndex vl, int credits) {
+void Fabric::handleWireDebit(SwitchId swId, PortIndex port, VlIndex vl,
+                             int credits) {
+  switches_[static_cast<std::size_t>(swId)]
+      .out[static_cast<std::size_t>(port)]
+      .wireCredits[static_cast<std::size_t>(vl)] -= credits;
+}
+
+void Fabric::handleCreditToNode(Shard& sh, NodeId n, VlIndex vl,
+                                int credits) {
   NodeModel& nd = nodes_[static_cast<std::size_t>(n)];
   nd.pendingCredits[static_cast<std::size_t>(vl)] -= credits;
   nd.txCredits[static_cast<std::size_t>(vl)] += credits;
   if (nd.txCredits[static_cast<std::size_t>(vl)] > params_.bufferCredits) {
     throw std::logic_error("Fabric: node credit overflow (protocol bug)");
   }
-  tryNodeTx(n);
+  tryNodeTx(sh, n);
 }
 
-void Fabric::handleNodeDeliver(NodeId n, VlIndex vl, PacketRef ref) {
-  Packet& pkt = pool_.get(ref);
+void Fabric::handleNodeDeliver(Shard& sh, NodeId n, VlIndex vl,
+                               PacketRef ref) {
+  Packet& pkt = packetMut(ref);
   const SwitchId sw = topo_.switchOfNode(n);
   const PortIndex port = topo_.portOfNode(n);
+  // The feeding switch is this node's own switch: same shard, inline debit.
   switches_[static_cast<std::size_t>(sw)]
       .out[static_cast<std::size_t>(port)]
       .wireCredits[static_cast<std::size_t>(vl)] -= pkt.credits;
@@ -345,69 +727,78 @@ void Fabric::handleNodeDeliver(NodeId n, VlIndex vl, PacketRef ref) {
   // Transient bit errors on the final switch-to-CA hop: a CRC-caught
   // corruption drops the frame at the CA; buffer credits still return.
   if (linkFaults_ != nullptr &&
-      linkFaults_->onPacketRx(pkt, vl, now_) ==
+      linkFaults_->onPacketRx(pkt, vl, sh.now,
+                              topo_.numSwitches() + static_cast<int>(n)) ==
           ILinkFaultModel::RxVerdict::kCrcDrop) {
-    ++counters_.crcDropped;
-    scheduleCreditToSwitch(sw, port, vl, pkt.credits,
-                           now_ + params_.linkPropagationNs);
-    pool_.release(ref);
+    ++sh.counters.crcDropped;
+    scheduleCreditToSwitch(sh, sw, port, vl, pkt.credits,
+                           sh.now + params_.linkPropagationNs);
+    releasePacket(ref);
     return;
   }
 
-  ++counters_.delivered;
-  counters_.deliveredBytes += static_cast<std::uint64_t>(pkt.sizeBytes);
-  counters_.hopSum += pkt.hops;
-  if (observer_ != nullptr) observer_->onDelivered(pkt, now_);
+  ++sh.counters.delivered;
+  sh.counters.deliveredBytes += static_cast<std::uint64_t>(pkt.sizeBytes);
+  sh.counters.hopSum += pkt.hops;
+  notifyObserver(sh, ObsType::kDelivered, pkt);
 
   // The CA consumed the packet: return credits to the switch output port
   // that feeds this node.
-  scheduleCreditToSwitch(sw, port, vl, pkt.credits,
-                         now_ + params_.linkPropagationNs);
-  pool_.release(ref);
+  scheduleCreditToSwitch(sh, sw, port, vl, pkt.credits,
+                         sh.now + params_.linkPropagationNs);
+  releasePacket(ref);
 }
 
-void Fabric::scheduleCreditToSwitch(SwitchId sw, PortIndex port, VlIndex vl,
-                                    int credits, SimTime when) {
-  switches_[static_cast<std::size_t>(sw)]
-      .out[static_cast<std::size_t>(port)]
-      .pendingCredits[static_cast<std::size_t>(vl)] += credits;
-  queue_.push(Event{when, 0, EventKind::kCreditToSwitch,
-                    static_cast<std::uint32_t>(sw), packPortVl(port, vl),
-                    static_cast<std::uint32_t>(credits)});
+void Fabric::scheduleCreditToSwitch(Shard& sh, SwitchId sw, PortIndex port,
+                                    VlIndex vl, int credits, SimTime when) {
+  // Cross-shard: the ledger entry is deferred to the barrier drain so only
+  // threads owning the receiving switch write its pending-credit cells.
+  if (shardOfSwitch(sw) == sh.index) {
+    switches_[static_cast<std::size_t>(sw)]
+        .out[static_cast<std::size_t>(port)]
+        .pendingCredits[static_cast<std::size_t>(vl)] += credits;
+  }
+  pushFrom(sh, Event{when, 0, EventKind::kCreditToSwitch,
+                     static_cast<std::uint32_t>(sw), packPortVl(port, vl),
+                     static_cast<std::uint32_t>(credits)});
 }
 
-void Fabric::scheduleCreditToNode(NodeId n, VlIndex vl, int credits,
-                                  SimTime when) {
+void Fabric::scheduleCreditToNode(Shard& sh, NodeId n, VlIndex vl,
+                                  int credits, SimTime when) {
   nodes_[static_cast<std::size_t>(n)]
       .pendingCredits[static_cast<std::size_t>(vl)] += credits;
-  queue_.push(Event{when, 0, EventKind::kCreditToNode,
-                    static_cast<std::uint32_t>(n),
-                    static_cast<std::uint32_t>(vl),
-                    static_cast<std::uint32_t>(credits)});
+  pushFrom(sh, Event{when, 0, EventKind::kCreditToNode,
+                     static_cast<std::uint32_t>(n),
+                     static_cast<std::uint32_t>(vl),
+                     static_cast<std::uint32_t>(credits)});
 }
 
-void Fabric::returnCreditUpstream(const SwitchInputPort& in, VlIndex vl,
-                                  int credits, SimTime when) {
+void Fabric::returnCreditUpstream(Shard& sh, const SwitchInputPort& in,
+                                  VlIndex vl, int credits, SimTime when) {
   if (in.upKind == PeerKind::kNode) {
-    scheduleCreditToNode(in.upId, vl, credits, when);
+    scheduleCreditToNode(sh, in.upId, vl, credits, when);
   } else {
-    scheduleCreditToSwitch(in.upId, in.upPort, vl, credits, when);
+    scheduleCreditToSwitch(sh, in.upId, in.upPort, vl, credits, when);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Coordinator chains (dispatched between windows)
+// ---------------------------------------------------------------------------
 
 void Fabric::handleCreditResync(std::uint32_t epoch) {
   if (epoch != resyncEpoch_) return;  // stale chain from an earlier run()
   applyResyncs(false);
-  queue_.push(Event{now_ + resyncPeriod_, 0, EventKind::kCreditResync, epoch,
-                    0, 0});
+  pushCoord(Event{now_ + resyncPeriod_, 0, EventKind::kCreditResync, epoch,
+                  0, 0});
 }
 
 void Fabric::handleInvariantCheck(std::uint32_t epoch) {
   if (epoch != checkEpoch_) return;  // stale chain from an earlier run()
   checker_->check(*this, now_);
   if (!stopRequested_) {
-    queue_.push(Event{now_ + checkPeriod_, 0, EventKind::kInvariantCheck,
-                      epoch, 0, 0});
+    pushCoord(Event{now_ + checkPeriod_, 0, EventKind::kInvariantCheck, epoch,
+                    0, 0});
   }
 }
 
@@ -415,9 +806,9 @@ void Fabric::handleWatchdog(std::uint32_t epoch) {
   if (epoch != watchdogEpoch_) return;  // stale chain from an earlier run()
   // Drops count as progress and as retirement: a packet discarded at a
   // failed link or by a receiver CRC check is no longer in flight.
-  const std::uint64_t retired =
-      counters_.delivered + counters_.dropped + counters_.crcDropped;
-  const bool inFlight = counters_.injected > retired;
+  const FabricCounters c = counters();
+  const std::uint64_t retired = c.delivered + c.dropped + c.crcDropped;
+  const bool inFlight = c.injected > retired;
   if (inFlight && retired == watchdogLastDelivered_) {
     if (++watchdogStallCount_ >= watchdogStallLimit_) {
       deadlockSuspected_ = true;
@@ -428,8 +819,8 @@ void Fabric::handleWatchdog(std::uint32_t epoch) {
     watchdogStallCount_ = 0;
   }
   watchdogLastDelivered_ = retired;
-  queue_.push(Event{now_ + watchdogPeriod_, 0, EventKind::kWatchdog, epoch, 0,
-                    0});
+  pushCoord(Event{now_ + watchdogPeriod_, 0, EventKind::kWatchdog, epoch, 0,
+                  0});
 }
 
 }  // namespace ibadapt

@@ -10,7 +10,11 @@
 namespace ibadapt {
 
 /// Supplies packets for every end node. Called from inside the event loop;
-/// implementations must be deterministic given the Rng stream.
+/// implementations must be deterministic given the Rng stream. The fabric
+/// passes a per-node Rng, and under SimKernel::kParallel these calls run on
+/// the shard thread owning `src`/`node` — so any mutable state must be
+/// per-node (cross-node shared mutable state would race between shards).
+/// Pure per-call state (reads of immutable config) is always fine.
 class ITrafficSource {
  public:
   virtual ~ITrafficSource() = default;
@@ -29,6 +33,10 @@ class ITrafficSource {
     std::uint16_t segCount = 0;
     /// End-to-end reliability sequence (host ReliableTransport; 0 = none).
     std::uint32_t e2eSeq = 0;
+    /// Host-level retransmission marker + first-transmission time (see the
+    /// matching Packet fields in fabric/packet.hpp).
+    bool retransmit = false;
+    SimTime e2eFirstSent = 0;
   };
 
   /// Destination / size / class of the next packet from `src`. A source may
@@ -50,7 +58,11 @@ class ITrafficSource {
   virtual int saturationQueueCap() const { return 4; }
 };
 
-/// Observes packet lifecycle milestones for measurement.
+/// Observes packet lifecycle milestones for measurement. Callbacks always
+/// run on the coordinating thread in global (event time, event stamp, call
+/// ordinal) order: the sequential kernels call inline, the parallel kernel
+/// buffers per shard and replays at each epoch barrier — same order, same
+/// floating-point accumulation, so observers need no synchronization.
 class IDeliveryObserver {
  public:
   virtual ~IDeliveryObserver() = default;
@@ -63,7 +75,14 @@ class IDeliveryObserver {
 /// All randomness must be drawn inside these calls, which happen at event
 /// handlers (identical across SimKernel choices), never from arbitration
 /// scan paths (whose call counts differ between kernels) — that keeps fault
-/// runs bit-identical under kCalendar and kLegacyHeap.
+/// runs bit-identical under kCalendar, kLegacyHeap, and kParallel.
+///
+/// `lane` identifies the *receiving entity* of the hop: the switch id for
+/// hops terminating at a switch input port or credit return, and
+/// numSwitches + nodeId for final CA deliveries. Each lane is only ever
+/// consulted by the shard that owns its entity, so implementations keep one
+/// RNG stream (and stats cell) per lane and stay both thread-safe and
+/// bit-identical for every thread count.
 class ILinkFaultModel {
  public:
   virtual ~ILinkFaultModel() = default;
@@ -74,13 +93,19 @@ class ILinkFaultModel {
     kSilentCorrupt,  // corrupted but both CRCs passed: delivered as-is
   };
 
+  /// Called once by the fabric before the first hop is simulated, with the
+  /// total lane count (numSwitches + numNodes). Implementations size their
+  /// per-lane state here.
+  virtual void bindLanes(int numLanes) { (void)numLanes; }
+
   /// Receiver-side verdict for a packet completing a link hop.
-  virtual RxVerdict onPacketRx(const Packet& pkt, VlIndex vl, SimTime now) = 0;
+  virtual RxVerdict onPacketRx(const Packet& pkt, VlIndex vl, SimTime now,
+                               int lane) = 0;
 
   /// Credits stolen from an arriving credit-update token (whole-token
   /// semantics: returns 0 or `credits`). Stolen credits leak until the
   /// periodic credit resync repairs them.
-  virtual int onCreditUpdateRx(int credits, SimTime now) = 0;
+  virtual int onCreditUpdateRx(int credits, SimTime now, int lane) = 0;
 
   /// Period of the link-level credit-resync watchdog; 0 disables the chain.
   virtual SimTime resyncPeriodNs() const = 0;

@@ -39,6 +39,15 @@ struct Packet {
   /// by the host ReliableTransport (0 = untracked traffic). Retransmitted
   /// copies carry the original sequence so receivers can deduplicate.
   std::uint32_t e2eSeq = 0;
+  /// True when this copy is a host-level retransmission. Carried in the
+  /// packet (not transport-side state) so observer chains can classify the
+  /// copy wherever and whenever the callback runs — the parallel kernel
+  /// replays observers at epoch barriers, long after makePacket returned.
+  bool retransmit = false;
+  /// First transmission time of this packet's e2e sequence (== genTime for
+  /// fresh copies); lets the receive side compute end-to-end latency without
+  /// reaching into the sender's retransmit ledger.
+  SimTime e2eFirstSent = 0;
 };
 
 class PacketPool {

@@ -66,9 +66,17 @@ struct FabricParams {
   /// Discrete-event kernel. kCalendar (default) is the fast indexed bucket
   /// queue plus active-port/VL arbitration work lists; kLegacyHeap is the
   /// seed binary-heap kernel with full port scans, kept as a bit-exact
-  /// reference — both produce identical event traces and SimResults
-  /// (tests/kernel_equivalence_test.cpp), differing only in speed.
+  /// reference; kParallel shards switches and CAs across `threads` worker
+  /// threads in conservative-lookahead epochs. All three produce identical
+  /// event traces and SimResults (tests/kernel_equivalence_test.cpp),
+  /// differing only in speed.
   SimKernel kernel = SimKernel::kCalendar;
+
+  /// Worker threads for SimKernel::kParallel (ignored by the sequential
+  /// kernels). The fabric clamps this to the switch count, and falls back
+  /// to one shard when linkPropagationNs == 0 (no conservative lookahead).
+  /// Results are bit-identical for every value.
+  int threads = 1;
 
   void validate() const {
     if (numVls < 1 || numVls > 15) {
@@ -95,6 +103,9 @@ struct FabricParams {
     }
     if (nsPerByte < 1 || routingDelayNs < 0 || linkPropagationNs < 0) {
       throw std::invalid_argument("FabricParams: timing");
+    }
+    if (threads < 1) {
+      throw std::invalid_argument("FabricParams: threads >= 1");
     }
   }
 };

@@ -34,17 +34,54 @@ void TransientFaultSpec::validate() const {
 }
 
 TransientLinkFaults::TransientLinkFaults(const TransientFaultSpec& spec)
-    : spec_(spec), rng_(spec.seed) {
+    : spec_(spec) {
   spec_.validate();
   if (spec_.berPerBit > 0.0) {
     logOneMinusBer_ = std::log1p(-spec_.berPerBit);
   }
 }
 
+void TransientLinkFaults::bindLanes(int numLanes) {
+  if (numLanes < 1) {
+    throw std::invalid_argument("TransientLinkFaults: numLanes >= 1");
+  }
+  lanes_.clear();
+  lanes_.resize(static_cast<std::size_t>(numLanes));
+  // One splitmix64-derived stream per lane: the seeds depend only on
+  // spec_.seed and the lane index, never on consult order, so every kernel
+  // and thread count sees identical streams.
+  std::uint64_t chain = spec_.seed;
+  for (Lane& l : lanes_) {
+    l.rng = Rng(splitmix64(chain));
+  }
+}
+
+TransientLinkFaults::Lane& TransientLinkFaults::lane(int idx) {
+  if (lanes_.empty()) {
+    // Direct (non-Fabric) use without bindLanes: one lane covers everything.
+    bindLanes(idx + 1);
+  }
+  return lanes_[static_cast<std::size_t>(idx) % lanes_.size()];
+}
+
+TransientFaultStats TransientLinkFaults::stats() const {
+  TransientFaultStats total;
+  for (const Lane& l : lanes_) {
+    total.packetsCorrupted += l.stats.packetsCorrupted;
+    total.crcDrops += l.stats.crcDrops;
+    total.silentCorruptions += l.stats.silentCorruptions;
+    total.creditUpdatesLost += l.stats.creditUpdatesLost;
+    total.creditsLost += l.stats.creditsLost;
+  }
+  return total;
+}
+
 ILinkFaultModel::RxVerdict TransientLinkFaults::onPacketRx(const Packet& pkt,
                                                            VlIndex vl,
-                                                           SimTime /*now*/) {
+                                                           SimTime /*now*/,
+                                                           int laneIdx) {
   if (spec_.berPerBit <= 0.0) return RxVerdict::kClean;
+  Lane& ln = lane(laneIdx);
   // Wire frame size: LRH + BTH + word-aligned payload + ICRC + VCRC.
   const int payloadBytes = ((pkt.sizeBytes + 3) / 4) * 4;
   const int frameBytes =
@@ -52,8 +89,8 @@ ILinkFaultModel::RxVerdict TransientLinkFaults::onPacketRx(const Packet& pkt,
   // P(at least one flipped bit) = 1 - (1 - ber)^(8 * frameBytes).
   const double pCorrupt =
       -std::expm1(static_cast<double>(frameBytes) * 8.0 * logOneMinusBer_);
-  if (!rng_.bernoulli(pCorrupt)) return RxVerdict::kClean;
-  ++stats_.packetsCorrupted;
+  if (!ln.rng.bernoulli(pCorrupt)) return RxVerdict::kClean;
+  ++ln.stats.packetsCorrupted;
 
   // Materialize the frame the symbolic packet corresponds to. The payload
   // is a deterministic function of the packet identity so retransmitted
@@ -80,10 +117,10 @@ ILinkFaultModel::RxVerdict TransientLinkFaults::onPacketRx(const Packet& pkt,
 
   // Inject the burst and let the receiver's real CRC checks judge it.
   const int flips =
-      1 + static_cast<int>(rng_.uniformIndex(
+      1 + static_cast<int>(ln.rng.uniformIndex(
               static_cast<std::uint64_t>(spec_.maxFlipsPerCorruption)));
   for (int f = 0; f < flips; ++f) {
-    const std::uint64_t bit = rng_.uniformIndex(frame.size() * 8);
+    const std::uint64_t bit = ln.rng.uniformIndex(frame.size() * 8);
     frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
   }
   bool passes = false;
@@ -94,18 +131,20 @@ ILinkFaultModel::RxVerdict TransientLinkFaults::onPacketRx(const Packet& pkt,
     passes = false;  // header unparseable (reserved bits flipped): drop
   }
   if (!passes) {
-    ++stats_.crcDrops;
+    ++ln.stats.crcDrops;
     return RxVerdict::kCrcDrop;
   }
-  ++stats_.silentCorruptions;
+  ++ln.stats.silentCorruptions;
   return RxVerdict::kSilentCorrupt;
 }
 
-int TransientLinkFaults::onCreditUpdateRx(int credits, SimTime /*now*/) {
+int TransientLinkFaults::onCreditUpdateRx(int credits, SimTime /*now*/,
+                                          int laneIdx) {
   if (spec_.creditLossRate <= 0.0) return 0;
-  if (!rng_.bernoulli(spec_.creditLossRate)) return 0;
-  ++stats_.creditUpdatesLost;
-  stats_.creditsLost += static_cast<std::uint64_t>(credits);
+  Lane& ln = lane(laneIdx);
+  if (!ln.rng.bernoulli(spec_.creditLossRate)) return 0;
+  ++ln.stats.creditUpdatesLost;
+  ln.stats.creditsLost += static_cast<std::uint64_t>(credits);
   return credits;  // whole-token loss
 }
 

@@ -18,10 +18,14 @@
 // resync (flow-control packets carry absolute totals) detects the
 // discrepancy after `resyncDetectPeriods` sync periods and repairs it.
 //
-// All randomness is drawn in event-handler order, so runs are bit-identical
-// under SimKernel::kCalendar and kLegacyHeap.
+// Randomness and counters are kept per receive *lane* (one per switch and
+// one per CA — see ILinkFaultModel::bindLanes): each lane is consulted only
+// by the event handlers of its owning entity, in handler order. That keeps
+// fault runs bit-identical under SimKernel::kCalendar, kLegacyHeap, and
+// kParallel at any thread count, with no synchronization in the model.
 //
 #include <cstdint>
+#include <vector>
 
 #include "fabric/interfaces.hpp"
 #include "util/rng.hpp"
@@ -59,8 +63,10 @@ class TransientLinkFaults final : public ILinkFaultModel {
  public:
   explicit TransientLinkFaults(const TransientFaultSpec& spec);
 
-  RxVerdict onPacketRx(const Packet& pkt, VlIndex vl, SimTime now) override;
-  int onCreditUpdateRx(int credits, SimTime now) override;
+  void bindLanes(int numLanes) override;
+  RxVerdict onPacketRx(const Packet& pkt, VlIndex vl, SimTime now,
+                       int lane) override;
+  int onCreditUpdateRx(int credits, SimTime now, int lane) override;
   SimTime resyncPeriodNs() const override {
     return spec_.creditLossRate > 0.0 ? spec_.resyncPeriodNs : 0;
   }
@@ -70,12 +76,18 @@ class TransientLinkFaults final : public ILinkFaultModel {
   }
 
   const TransientFaultSpec& spec() const { return spec_; }
-  const TransientFaultStats& stats() const { return stats_; }
+  /// Merged over all lanes (by value: the per-lane cells stay private).
+  TransientFaultStats stats() const;
 
  private:
+  struct Lane {
+    Rng rng{0};
+    TransientFaultStats stats;
+  };
+  Lane& lane(int idx);
+
   TransientFaultSpec spec_;
-  Rng rng_;
-  TransientFaultStats stats_;
+  std::vector<Lane> lanes_;
   double logOneMinusBer_ = 0.0;  // precomputed for the per-frame probability
 };
 

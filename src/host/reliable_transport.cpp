@@ -48,11 +48,11 @@ SimTime ReliableTransport::rtoFor(int attempts) const {
   return std::min(spec_.maxRtoNs, static_cast<SimTime>(rto));
 }
 
-void ReliableTransport::drainAcks(SimTime now) {
-  while (!acks_.empty() && acks_.top().learnAt <= now) {
-    const Ack ack = acks_.top();
-    acks_.pop();
-    auto& outst = nodes_[static_cast<std::size_t>(ack.src)].outstanding;
+void ReliableTransport::drainAcks(NodeSend& st, SimTime now) {
+  while (!st.acks.empty() && st.acks.front().learnAt <= now) {
+    const Ack ack = st.acks.front();
+    st.acks.pop_front();
+    auto& outst = st.outstanding;
     for (std::size_t i = 0; i < outst.size(); ++i) {
       if (outst[i].spec.dst == ack.dst && outst[i].spec.e2eSeq == ack.seq) {
         outst[i] = outst.back();
@@ -74,7 +74,7 @@ ITrafficSource::Spec ReliableTransport::makePacket(NodeId src, Rng& rng) {
   NodeSend& st = nodes_[static_cast<std::size_t>(src)];
   const SimTime now = st.wakeAt;  // makePacket fires exactly at the wake we
                                   // returned from first/nextGenTime
-  drainAcks(now);
+  drainAcks(st, now);
 
   // Due retransmissions take priority over fresh generation: the flow's
   // oldest unacknowledged packet is what downstream reorder buffers wait on.
@@ -90,26 +90,30 @@ ITrafficSource::Spec ReliableTransport::makePacket(NodeId src, Rng& rng) {
     if (due == st.outstanding.size()) break;
     OutPkt& op = st.outstanding[due];
     if (op.attempts >= spec_.maxRetries) {
-      ++abandoned_;
+      ++st.abandoned;
       st.outstanding[due] = st.outstanding.back();
       st.outstanding.pop_back();
       continue;
     }
     ++op.attempts;
     op.deadline = now + rtoFor(op.attempts);
-    ++retransmitsSent_;
-    lastMakeWasRetransmit_ = true;
-    return op.spec;
+    ++st.retransmitsSent;
+    // The stored spec stays in fresh-copy form; only the emitted copy is
+    // marked, so the packet itself tells the observer chain what it is.
+    Spec s = op.spec;
+    s.retransmit = true;
+    return s;
   }
 
-  lastMakeWasRetransmit_ = false;
   if (!st.innerPending && st.innerNext <= now && st.innerNext != kTimeNever) {
     Spec s = inner_->makePacket(src, rng);
     st.innerPending = true;
     if (s.dst != kInvalidId) {
       s.e2eSeq = nextSeq_[flowIndex(src, s.dst)]++;
-      st.outstanding.push_back(OutPkt{s, now, now + rtoFor(0), 0});
-      ++uniqueSent_;
+      s.retransmit = false;
+      s.e2eFirstSent = now;
+      st.outstanding.push_back(OutPkt{s, now + rtoFor(0), 0});
+      ++st.uniqueSent;
     }
     return s;
   }
@@ -118,7 +122,7 @@ ITrafficSource::Spec ReliableTransport::makePacket(NodeId src, Rng& rng) {
 
 SimTime ReliableTransport::nextGenTime(NodeId node, SimTime now, Rng& rng) {
   NodeSend& st = nodes_[static_cast<std::size_t>(node)];
-  drainAcks(now);
+  drainAcks(st, now);
   if (st.innerPending) {
     st.innerNext = inner_->nextGenTime(node, now, rng);
     st.innerPending = false;
@@ -133,8 +137,10 @@ SimTime ReliableTransport::nextGenTime(NodeId node, SimTime now, Rng& rng) {
 
 void ReliableTransport::onGenerated(const Packet& pkt, SimTime now) {
   // Retransmitted copies are internal: the exactly-once observer chain sees
-  // each application packet generated once.
-  if (!lastMakeWasRetransmit_ && chained_ != nullptr) {
+  // each application packet generated once. The marker travels in the
+  // packet, so this classification is sound wherever the callback runs
+  // (inline or replayed at a window barrier).
+  if (!pkt.retransmit && chained_ != nullptr) {
     chained_->onGenerated(pkt, now);
   }
 }
@@ -156,16 +162,13 @@ void ReliableTransport::onDelivered(const Packet& pkt, SimTime now) {
   flowMark(flow, pkt.e2eSeq);
   ++uniqueDelivered_;
 
-  // End-to-end latency against the first transmission, while the sender
-  // still remembers it (the ack, below, is what clears the record).
-  const auto& outst = nodes_[static_cast<std::size_t>(pkt.src)].outstanding;
-  for (const OutPkt& op : outst) {
-    if (op.spec.dst == pkt.dst && op.spec.e2eSeq == pkt.e2eSeq) {
-      e2eLatency_.add(now - op.firstSent);
-      break;
-    }
-  }
-  acks_.push(Ack{now + spec_.ackDelayNs, pkt.src, pkt.dst, pkt.e2eSeq});
+  // End-to-end latency against the first transmission, carried in the
+  // packet itself — no reach into the sender's ledger.
+  e2eLatency_.add(now - pkt.e2eFirstSent);
+  // Deliveries replay in nondecreasing `now`, so appending keeps the ack
+  // inbox sorted by learnAt.
+  nodes_[static_cast<std::size_t>(pkt.src)].acks.push_back(
+      Ack{now + spec_.ackDelayNs, pkt.dst, pkt.e2eSeq});
   if (chained_ != nullptr) chained_->onDelivered(pkt, now);
 }
 
@@ -185,6 +188,24 @@ void ReliableTransport::flowMark(FlowRecv& flow, std::uint32_t seq) {
     ++flow.contiguous;
     it = flow.beyond.erase(it);
   }
+}
+
+std::uint64_t ReliableTransport::uniqueSent() const {
+  std::uint64_t n = 0;
+  for (const NodeSend& st : nodes_) n += st.uniqueSent;
+  return n;
+}
+
+std::uint64_t ReliableTransport::retransmitsSent() const {
+  std::uint64_t n = 0;
+  for (const NodeSend& st : nodes_) n += st.retransmitsSent;
+  return n;
+}
+
+std::uint64_t ReliableTransport::abandoned() const {
+  std::uint64_t n = 0;
+  for (const NodeSend& st : nodes_) n += st.abandoned;
+  return n;
 }
 
 std::size_t ReliableTransport::outstanding() const {

@@ -21,8 +21,22 @@
 // and out-of-band acks keep the offered load of every experiment
 // comparable with and without reliability enabled.
 //
+// Threading (SimKernel::kParallel): the ITrafficSource half runs on the
+// shard thread owning each source node, the IDeliveryObserver half on the
+// coordinating thread at window barriers (see fabric/interfaces.hpp). All
+// send-side state is therefore kept strictly per source node — retransmit
+// ledger, ack inbox, sequence rows, counters — and the only cross-side
+// hand-off is the per-node ack deque, written by the observer side between
+// windows and drained by the owning shard inside them (the same barrier
+// discipline that orders the fabric's own mailboxes). For the ack hand-off
+// to be *bit-identical* across thread counts, ackDelayNs must be at least
+// the fabric's conservative lookahead (linkPropagationNs), so an ack never
+// becomes visible inside the window that generated it; the API layer
+// clamps it accordingly. Receive-side state (dedup windows, latency) is
+// touched only by the observer side and needs no partitioning.
+//
 #include <cstdint>
-#include <queue>
+#include <deque>
 #include <set>
 #include <vector>
 
@@ -45,7 +59,8 @@ struct ReliableTransportSpec {
   /// exactly-once delivery.
   int maxRetries = 24;
   /// Delay from delivery at the destination CA until the source learns of
-  /// it (out-of-band ack model).
+  /// it (out-of-band ack model). Keep >= the fabric's linkPropagationNs for
+  /// thread-count-invariant results (see the threading note above).
   SimTime ackDelayNs = 2'000;
 
   void validate() const;
@@ -80,27 +95,38 @@ class ReliableTransport final : public ITrafficSource,
 
   // ---- reliability metrics ----------------------------------------------
   /// Application packets handed to the fabric for the first time.
-  std::uint64_t uniqueSent() const { return uniqueSent_; }
+  std::uint64_t uniqueSent() const;
   /// Distinct application packets delivered (first copy only).
   std::uint64_t uniqueDelivered() const { return uniqueDelivered_; }
   /// Retransmitted copies injected.
-  std::uint64_t retransmitsSent() const { return retransmitsSent_; }
+  std::uint64_t retransmitsSent() const;
   /// Deliveries suppressed as duplicates of an earlier copy.
   std::uint64_t duplicatesSuppressed() const { return duplicatesSuppressed_; }
   /// Packets the transport gave up on after maxRetries.
-  std::uint64_t abandoned() const { return abandoned_; }
+  std::uint64_t abandoned() const;
   /// Packets sent, unacknowledged, and not yet abandoned.
   std::size_t outstanding() const;
-  /// First-transmission-to-first-delivery latency of tracked packets.
+  /// First-transmission-to-first-delivery latency of tracked packets
+  /// (computed from the packet's own e2eFirstSent stamp, so it includes
+  /// packets delivered after the sender already abandoned them).
   const LatencyAccumulator& endToEndLatency() const { return e2eLatency_; }
 
  private:
   struct OutPkt {
-    Spec spec;               // verbatim respec for retransmission
-    SimTime firstSent = 0;
-    SimTime deadline = 0;    // next retransmit time
-    int attempts = 0;        // retransmissions so far
+    Spec spec;            // verbatim respec for retransmission (fresh-copy
+                          // form: retransmit=false, original e2eFirstSent)
+    SimTime deadline = 0;  // next retransmit time
+    int attempts = 0;      // retransmissions so far
   };
+  struct Ack {
+    SimTime learnAt = 0;  // when the source finds out
+    NodeId dst = kInvalidId;
+    std::uint32_t seq = 0;
+  };
+  /// All send-side state of one source node, touched only by that node's
+  /// traffic-source calls — except `acks`, which the observer side appends
+  /// to between windows. Deliveries replay in time order, so the deque is
+  /// sorted by learnAt by construction and draining is a pop-front scan.
   struct NodeSend {
     SimTime innerNext = kTimeNever;  // inner source's next generation time
     bool innerPending = false;       // inner.makePacket consumed, next time
@@ -108,21 +134,14 @@ class ReliableTransport final : public ITrafficSource,
     SimTime wakeAt = kTimeNever;     // the time we returned to the fabric;
                                      // equals `now` inside makePacket
     std::vector<OutPkt> outstanding;
+    std::deque<Ack> acks;
+    std::uint64_t uniqueSent = 0;
+    std::uint64_t retransmitsSent = 0;
+    std::uint64_t abandoned = 0;
   };
   struct FlowRecv {
     std::uint32_t contiguous = 0;        // every seq <= contiguous received
     std::set<std::uint32_t> beyond;      // received past the contiguous edge
-  };
-  struct Ack {
-    SimTime learnAt = 0;  // when the source finds out
-    NodeId src = kInvalidId;
-    NodeId dst = kInvalidId;
-    std::uint32_t seq = 0;
-  };
-  struct AckLater {
-    bool operator()(const Ack& x, const Ack& y) const noexcept {
-      return x.learnAt > y.learnAt;
-    }
   };
 
   std::size_t flowIndex(NodeId src, NodeId dst) const {
@@ -130,7 +149,7 @@ class ReliableTransport final : public ITrafficSource,
            static_cast<std::size_t>(dst);
   }
   SimTime rtoFor(int attempts) const;
-  void drainAcks(SimTime now);
+  void drainAcks(NodeSend& st, SimTime now);
   bool flowSeen(const FlowRecv& flow, std::uint32_t seq) const;
   void flowMark(FlowRecv& flow, std::uint32_t seq);
 
@@ -140,16 +159,12 @@ class ReliableTransport final : public ITrafficSource,
   ReliableTransportSpec spec_;
 
   std::vector<NodeSend> nodes_;
-  std::vector<std::uint32_t> nextSeq_;  // per flow, next seq to assign (from 1)
+  std::vector<std::uint32_t> nextSeq_;  // per flow, next seq to assign
+                                        // (from 1; row src*N owned by src)
+  // Receive side (observer-thread only).
   std::vector<FlowRecv> recv_;
-  std::priority_queue<Ack, std::vector<Ack>, AckLater> acks_;
-  bool lastMakeWasRetransmit_ = false;
-
-  std::uint64_t uniqueSent_ = 0;
   std::uint64_t uniqueDelivered_ = 0;
-  std::uint64_t retransmitsSent_ = 0;
   std::uint64_t duplicatesSuppressed_ = 0;
-  std::uint64_t abandoned_ = 0;
   LatencyAccumulator e2eLatency_;
 };
 

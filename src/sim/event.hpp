@@ -37,6 +37,11 @@ enum class EventKind : std::uint8_t {
   kCreditResync,
   /// Periodic runtime invariant check (src/check). a=epoch.
   kInvariantCheck,
+  /// A packet's tail has fully left the wire of a switch output port: debit
+  /// the in-flight (wire) credits. Scheduled by the *granting* switch for
+  /// itself at arrival time, so the bookkeeping write never crosses a shard
+  /// boundary in the parallel kernel. a=switch, b=port|vl, c=credits.
+  kWireDebit,
 };
 
 struct Event {
@@ -47,6 +52,32 @@ struct Event {
   std::uint32_t b = 0;
   std::uint32_t c = 0;
 };
+
+// --- canonical producer stamps ---------------------------------------------
+//
+// The fabric stamps every event it schedules with a *producer-local*
+// sequence number instead of a queue-global one:
+//
+//     seq = (producer << kProducerShift) | perProducerCounter
+//
+// Producer 0 is the coordinator (start()/run() re-arms, watchdog chains,
+// management actions); entity producers are 1+switchId and
+// 1+numSwitches+nodeId. Each entity's handler executions occur in the same
+// relative order whatever the thread count, so its counter sequence — and
+// hence every stamp — is identical for the sequential and sharded kernels.
+// The stamps form a total order (unique producer counters), which makes the
+// (time, seq) dispatch order reproducible bit-for-bit across shardings; the
+// coordinator's low producer id makes its events sort *first* among
+// same-time events, mirroring its dispatch slot at the epoch boundary.
+constexpr int kProducerShift = 40;
+constexpr std::uint64_t kProducerCounterMask =
+    (std::uint64_t{1} << kProducerShift) - 1;
+
+constexpr std::uint64_t makeStamp(std::uint32_t producer,
+                                  std::uint64_t counter) noexcept {
+  return (static_cast<std::uint64_t>(producer) << kProducerShift) |
+         (counter & kProducerCounterMask);
+}
 
 /// Strict weak ordering: earliest time first, then insertion order.
 struct EventLater {

@@ -1,15 +1,33 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace ibadapt {
 
-EventQueue::EventQueue(SimKernel kind) : kind_(kind) {
-  if (kind_ == SimKernel::kCalendar) buckets_.resize(kNumBuckets);
+EventQueue::EventQueue(SimKernel kind, int dayShift)
+    : kind_(kind), dayShift_(dayShift) {
+  if (dayShift < kMinDayShift || dayShift > kMaxDayShift) {
+    throw std::invalid_argument("EventQueue: dayShift out of range");
+  }
+  if (kind_ != SimKernel::kLegacyHeap) buckets_.resize(kNumBuckets);
+}
+
+int EventQueue::suggestDayShift(SimTime meanHorizonNs) {
+  if (meanHorizonNs <= 0) return kDefaultDayShift;
+  // Smallest shift with 2^shift >= meanHorizon/2, i.e. a day holds roughly
+  // one scheduling horizon: cohorts stay within a bucket or two and the
+  // cursor rarely scans empty days.
+  int shift = kMinDayShift;
+  while (shift < kMaxDayShift &&
+         (SimTime{1} << shift) < (meanHorizonNs + 1) / 2) {
+    ++shift;
+  }
+  return shift;
 }
 
 void EventQueue::insertWheel(const Event& ev) {
-  std::int64_t day = ev.time >> kDayShift;
+  std::int64_t day = ev.time >> dayShift_;
   // Pushes at or before the last popped timestamp land in the cursor day so
   // they are (like in a heap) the very next events popped; the sorted
   // insert below keeps them ordered among themselves by (time, seq).
@@ -33,7 +51,7 @@ void EventQueue::insertWheel(const Event& ev) {
 
 void EventQueue::migrateOverflow() {
   const std::int64_t limit = baseDay_ + static_cast<std::int64_t>(kNumBuckets);
-  while (!overflow_.empty() && (overflow_.top().time >> kDayShift) < limit) {
+  while (!overflow_.empty() && (overflow_.top().time >> dayShift_) < limit) {
     insertWheel(overflow_.top());
     overflow_.pop();
   }

@@ -14,10 +14,14 @@
 //    kept verbatim as the bit-exact reference for old-vs-new equivalence
 //    tests and for before/after perf baselines (bench/perf_baseline).
 //
-// Both realize the same strict weak order — earliest time first, then push
-// sequence — for arbitrary push/pop interleavings (including pushes at or
-// before the last popped timestamp), so a simulation's event trace is
-// identical under either kernel.
+// SimKernel::kParallel shards the fabric across worker threads; each shard
+// owns a private calendar queue (this class, calendar layout), so the queue
+// itself has no third implementation.
+//
+// Both layouts realize the same strict weak order — earliest time first,
+// then push sequence — for arbitrary push/pop interleavings (including
+// pushes at or before the last popped timestamp), so a simulation's event
+// trace is identical under either kernel.
 //
 #include <array>
 #include <cstddef>
@@ -31,18 +35,45 @@ namespace ibadapt {
 /// Which event-kernel implementation a simulation runs on. Selecting
 /// kLegacyHeap also makes the Fabric use the seed's full-port arbitration
 /// scans instead of the active-port/VL work lists, so the pair of modes
-/// brackets the whole hot-path overhaul, not just the queue.
+/// brackets the whole hot-path overhaul, not just the queue. kParallel is
+/// the calendar kernel sharded across worker threads in conservative
+/// lookahead epochs; it produces bit-identical results to kCalendar for any
+/// thread count.
 enum class SimKernel : std::uint8_t {
   kCalendar = 0,    // fast indexed bucket queue + arbitration work lists
   kLegacyHeap = 1,  // seed binary heap + full port scans (reference)
+  kParallel = 2,    // sharded calendar queues, barrier-synchronized epochs
 };
 
 class EventQueue {
  public:
-  explicit EventQueue(SimKernel kind = SimKernel::kCalendar);
+  /// Default day (bucket) width exponent: 128 ns days x 2048 buckets = a
+  /// 262 us horizon. Fabric events are scheduled a few hundred ns out
+  /// (routing delay, serialization, wire latency), so in practice only
+  /// watchdog ticks and very light open-loop generation gaps overflow into
+  /// the far heap.
+  static constexpr int kDefaultDayShift = 7;
+  static constexpr int kMinDayShift = 0;
+  static constexpr int kMaxDayShift = 20;
+
+  explicit EventQueue(SimKernel kind = SimKernel::kCalendar,
+                      int dayShift = kDefaultDayShift);
+
+  /// Pick a day width from the mean scheduling horizon (the typical gap
+  /// between now and a pushed event's timestamp): a day about as wide as
+  /// the horizon keeps each event's cohort in one or two buckets (O(1)
+  /// pops) while the 2048-day wheel still spans thousands of horizons for
+  /// stragglers. Any value in [kMinDayShift, kMaxDayShift] is *correct* —
+  /// the bucket sort degrades gracefully — this only tunes constants.
+  static int suggestDayShift(SimTime meanHorizonNs);
 
   /// Schedule `ev` at ev.time; the queue stamps the tie-break sequence.
   void push(Event ev);
+
+  /// Schedule `ev` keeping the caller's seq stamp (canonical producer
+  /// stamps, see sim/event.hpp). Stamps must be unique per queue or pop
+  /// order among equal (time, seq) pairs is unspecified.
+  void pushStamped(const Event& ev);
 
   /// Pop the earliest event. Precondition: !empty().
   Event pop();
@@ -55,16 +86,12 @@ class EventQueue {
   std::size_t size() const { return size_; }
   std::uint64_t pushedTotal() const { return nextSeq_; }
   SimKernel kind() const { return kind_; }
+  int dayShift() const { return dayShift_; }
 
   void clear();
 
  private:
   // --- wheel geometry ----------------------------------------------------
-  // 128 ns days x 2048 buckets = a 262 us horizon. Fabric events are
-  // scheduled a few hundred ns out (routing delay, serialization, wire
-  // latency), so in practice only watchdog ticks and very light open-loop
-  // generation gaps overflow into the far heap.
-  static constexpr int kDayShift = 7;
   static constexpr std::size_t kNumBuckets = 2048;  // power of two
   static constexpr std::size_t kIndexMask = kNumBuckets - 1;
   static constexpr std::size_t kBitmapWords = kNumBuckets / 64;
@@ -88,6 +115,7 @@ class EventQueue {
   void clearBit(std::size_t idx) { bitmap_[idx >> 6] &= ~(1ULL << (idx & 63)); }
 
   SimKernel kind_;
+  int dayShift_;
   std::uint64_t nextSeq_ = 0;
   std::size_t size_ = 0;
 
@@ -102,19 +130,23 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
 };
 
-inline void EventQueue::push(Event ev) {
-  ev.seq = nextSeq_++;
+inline void EventQueue::pushStamped(const Event& ev) {
   ++size_;
   if (kind_ == SimKernel::kLegacyHeap) {
     heap_.push(ev);
     return;
   }
-  const std::int64_t day = ev.time >> kDayShift;
+  const std::int64_t day = ev.time >> dayShift_;
   if (day < baseDay_ + static_cast<std::int64_t>(kNumBuckets)) {
     insertWheel(ev);
   } else {
     overflow_.push(ev);
   }
+}
+
+inline void EventQueue::push(Event ev) {
+  ev.seq = nextSeq_++;
+  pushStamped(ev);
 }
 
 inline Event EventQueue::pop() {
@@ -148,7 +180,7 @@ inline void EventQueue::positionCursor() {
   if (wheelCount_ == 0) {
     // Everything lives beyond the horizon: jump the wheel to the earliest
     // far event and pull its cohort in.
-    baseDay_ = overflow_.top().time >> kDayShift;
+    baseDay_ = overflow_.top().time >> dayShift_;
     migrateOverflow();
     return;
   }

@@ -1,0 +1,71 @@
+#pragma once
+//
+// Sense-reversing spin barrier for the parallel event kernel's epoch loop.
+//
+// The kernel crosses two barriers per epoch (shards -> coordinator hand-off
+// and back), typically every few microseconds of wall time, so the barrier
+// must cost far less than a condition-variable round trip. Arrival is a
+// single fetch_sub; waiters spin on the phase word with an acquire load and
+// back off to yield() after a bounded number of polls, so an oversubscribed
+// machine still makes progress.
+//
+// Memory ordering: the last arriver bumps `phase_` with release after every
+// other party's acq_rel fetch_sub, and waiters leave only after an acquire
+// load observes the bump — so all writes made by any party before the
+// barrier happen-before all reads made by any party after it. That property
+// is what lets the mailboxes (util/spsc_mailbox.hpp) and the shard state
+// hand-off use plain unsynchronized accesses between barriers.
+//
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace ibadapt {
+
+class EpochBarrier {
+ public:
+  explicit EpochBarrier(int parties)
+      : parties_(parties),
+        // Spinning only helps when every party can actually run at once;
+        // on an oversubscribed machine the fastest way to let the laggard
+        // arrive is to give up the core immediately.
+        spinPolls_(std::thread::hardware_concurrency() >=
+                           static_cast<unsigned>(parties)
+                       ? kSpinPolls
+                       : 1),
+        remaining_(parties) {}
+
+  EpochBarrier(const EpochBarrier&) = delete;
+  EpochBarrier& operator=(const EpochBarrier&) = delete;
+
+  /// Block (spin) until all `parties` threads have arrived.
+  void arriveAndWait() {
+    const std::uint64_t myPhase = phase_.load(std::memory_order_acquire);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Reset before releasing the others: they re-arm only after observing
+      // the phase bump, so the store cannot race their next arrival.
+      remaining_.store(parties_, std::memory_order_relaxed);
+      phase_.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    int polls = 0;
+    while (phase_.load(std::memory_order_acquire) == myPhase) {
+      if (++polls >= spinPolls_) {
+        polls = 0;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  int parties() const { return parties_; }
+
+ private:
+  static constexpr int kSpinPolls = 4096;
+
+  const int parties_;
+  const int spinPolls_;
+  std::atomic<int> remaining_;
+  std::atomic<std::uint64_t> phase_{0};
+};
+
+}  // namespace ibadapt

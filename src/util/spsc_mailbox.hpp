@@ -1,0 +1,45 @@
+#pragma once
+//
+// Single-producer / single-consumer mailbox for cross-shard event hand-off
+// in the parallel kernel.
+//
+// One mailbox exists per (source shard, destination shard) edge. Access is
+// *phase-disciplined* rather than lock-free: during an epoch only the
+// source shard's thread pushes; at the epoch barrier only the coordinator
+// drains. The EpochBarrier's release/acquire hand-off orders the two phases
+// (every pre-barrier write happens-before every post-barrier read), so the
+// storage can be a plain vector — no per-push atomics on the hot path, no
+// false sharing beyond the vector header.
+//
+// The entry capacity is retained across epochs: steady-state traffic
+// allocates nothing.
+//
+#include <cstddef>
+#include <vector>
+
+namespace ibadapt {
+
+template <typename T>
+class SpscMailbox {
+ public:
+  /// Producer phase (owning shard thread only).
+  void push(const T& item) { items_.push_back(item); }
+  template <typename... Args>
+  void emplace(Args&&... args) {
+    items_.emplace_back(static_cast<Args&&>(args)...);
+  }
+
+  /// Consumer phase (coordinator only, between barriers). The returned
+  /// entries stay valid until reset().
+  const std::vector<T>& entries() const { return items_; }
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  /// Consumer phase: discard the drained entries, keeping capacity.
+  void reset() { items_.clear(); }
+
+ private:
+  std::vector<T> items_;
+};
+
+}  // namespace ibadapt

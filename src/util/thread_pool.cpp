@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace ibadapt {
@@ -27,6 +28,12 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
+    if (stopping_) {
+      // Failing loudly beats the alternative: a task queued after the
+      // destructor has begun may never run (workers exit once the queue
+      // drains), so a silent accept would deadlock a later wait().
+      throw std::logic_error("ThreadPool::submit: pool is shutting down");
+    }
     tasks_.push(std::move(task));
     ++inFlight_;
   }

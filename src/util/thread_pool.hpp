@@ -1,9 +1,15 @@
 #pragma once
 //
-// Minimal fixed-size thread pool used to run *independent* simulations
-// (different topologies / load points) in parallel. Individual simulations
-// stay single-threaded and deterministic; parallelism lives strictly at the
-// sweep level, so results are identical regardless of the worker count.
+// Minimal fixed-size thread pool with two users:
+//
+//  * sweeps run *independent* simulations (different topologies / load
+//    points) as one task each;
+//  * a SimKernel::kParallel fabric keeps a lazily created pool whose
+//    workers run the shard epoch loops of fabric/fabric_run.cpp.
+//
+// Either way results are identical regardless of the worker count: sweep
+// tasks don't share state, and the parallel kernel is bit-deterministic by
+// construction (conservative lookahead epochs + canonical event stamps).
 //
 #include <condition_variable>
 #include <cstddef>
@@ -25,7 +31,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task. Safe from any thread.
+  /// Enqueue a task. Safe from any thread. Throws std::logic_error once
+  /// destruction has begun (a silently dropped task would deadlock wait()).
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has completed. If any task threw, the

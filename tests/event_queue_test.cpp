@@ -90,5 +90,77 @@ TEST(EventQueue, LargeVolumeOrdering) {
   }
 }
 
+// The day shift is a performance knob, never a correctness knob: every value
+// in [kMinDayShift, kMaxDayShift] must produce the exact pop sequence of the
+// reference heap. Exercise both pathological extremes — 1 ns buckets (every
+// event its own day, cursor scans many empty days) and ~1 ms buckets (whole
+// run in one day, bucket degenerates to a linear scan) — with interleaved
+// push/pop so the cursor-day and overflow paths both run.
+class EventQueueDayShift : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventQueueDayShift, PathologicalBucketWidthsPreserveOrder) {
+  EventQueue q(SimKernel::kCalendar, GetParam());
+  EventQueue ref(SimKernel::kLegacyHeap);
+  ASSERT_EQ(q.dayShift(), GetParam());
+
+  std::uint64_t state = 987654321;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state;
+  };
+  SimTime now = 0;
+  std::uint32_t tag = 0;
+  for (int round = 0; round < 400; ++round) {
+    // A burst of pushes at and ahead of `now`, including same-time cohorts.
+    const int burst = 1 + static_cast<int>(next() % 8);
+    for (int i = 0; i < burst; ++i) {
+      const SimTime t = now + static_cast<SimTime>(next() % 5000);
+      q.push(at(t, tag));
+      ref.push(at(t, tag));
+      ++tag;
+    }
+    // Drain a few and compare against the reference heap, event for event.
+    const int drain = static_cast<int>(next() % 4);
+    for (int i = 0; i < drain && !q.empty(); ++i) {
+      const Event got = q.pop();
+      const Event want = ref.pop();
+      ASSERT_EQ(got.time, want.time);
+      ASSERT_EQ(got.a, want.a);
+      now = got.time;
+    }
+  }
+  while (!q.empty()) {
+    const Event got = q.pop();
+    const Event want = ref.pop();
+    ASSERT_EQ(got.time, want.time);
+    ASSERT_EQ(got.a, want.a);
+  }
+  EXPECT_TRUE(ref.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketWidths, EventQueueDayShift,
+                         ::testing::Values(EventQueue::kMinDayShift,
+                                           EventQueue::kMaxDayShift,
+                                           EventQueue::kDefaultDayShift));
+
+TEST(EventQueue, SuggestDayShiftTracksHorizon) {
+  // Degenerate horizons fall back to the default.
+  EXPECT_EQ(EventQueue::suggestDayShift(0), EventQueue::kDefaultDayShift);
+  EXPECT_EQ(EventQueue::suggestDayShift(-5), EventQueue::kDefaultDayShift);
+  // A day holds roughly one scheduling horizon: 2^shift >= horizon/2.
+  EXPECT_EQ(EventQueue::suggestDayShift(1), EventQueue::kMinDayShift);
+  EXPECT_EQ(EventQueue::suggestDayShift(256), 7);
+  // Monotone in the horizon, and clamped to the legal range.
+  int prev = EventQueue::kMinDayShift;
+  for (SimTime h = 1; h <= (SimTime{1} << 24); h *= 2) {
+    const int s = EventQueue::suggestDayShift(h);
+    EXPECT_GE(s, prev);
+    EXPECT_GE(s, EventQueue::kMinDayShift);
+    EXPECT_LE(s, EventQueue::kMaxDayShift);
+    prev = s;
+  }
+  EXPECT_EQ(prev, EventQueue::kMaxDayShift);
+}
+
 }  // namespace
 }  // namespace ibadapt

@@ -3,7 +3,10 @@
 #include <cstdint>
 #include <vector>
 
+#include <algorithm>
+
 #include "api/simulation.hpp"
+#include "api/sweep.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 
@@ -265,6 +268,155 @@ TEST(KernelEquivalence, SaturationModeBitIdentical) {
   EXPECT_EQ(a.avgLatencyNs, b.avgLatencyNs);
   EXPECT_EQ(a.acceptedBytesPerNsPerSwitch, b.acceptedBytesPerNsPerSwitch);
   EXPECT_EQ(a.simEndTimeNs, b.simEndTimeNs);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel kernel: sharded execution must not change a single bit.
+// ---------------------------------------------------------------------------
+
+// Every numeric field of SimResults compared with ==, never NEAR — the
+// parallel kernel's claim is bitwise determinism, not statistical agreement.
+void expectBitIdentical(const SimResults& a, const SimResults& b,
+                        const char* what) {
+  EXPECT_EQ(a.avgLatencyNs, b.avgLatencyNs) << what;
+  EXPECT_EQ(a.minLatencyNs, b.minLatencyNs) << what;
+  EXPECT_EQ(a.maxLatencyNs, b.maxLatencyNs) << what;
+  EXPECT_EQ(a.stddevLatencyNs, b.stddevLatencyNs) << what;
+  EXPECT_EQ(a.p50LatencyNs, b.p50LatencyNs) << what;
+  EXPECT_EQ(a.p95LatencyNs, b.p95LatencyNs) << what;
+  EXPECT_EQ(a.p99LatencyNs, b.p99LatencyNs) << what;
+  EXPECT_EQ(a.avgLatencyAdaptiveNs, b.avgLatencyAdaptiveNs) << what;
+  EXPECT_EQ(a.avgLatencyDeterministicNs, b.avgLatencyDeterministicNs) << what;
+  EXPECT_EQ(a.acceptedBytesPerNsPerSwitch, b.acceptedBytesPerNsPerSwitch)
+      << what;
+  EXPECT_EQ(a.generated, b.generated) << what;
+  EXPECT_EQ(a.injected, b.injected) << what;
+  EXPECT_EQ(a.delivered, b.delivered) << what;
+  EXPECT_EQ(a.dropped, b.dropped) << what;
+  EXPECT_EQ(a.measured, b.measured) << what;
+  EXPECT_EQ(a.kernelEvents, b.kernelEvents) << what;
+  EXPECT_EQ(a.avgHops, b.avgHops) << what;
+  EXPECT_EQ(a.adaptiveForwardFraction, b.adaptiveForwardFraction) << what;
+  EXPECT_EQ(a.escapeForwardFraction, b.escapeForwardFraction) << what;
+  EXPECT_EQ(a.maxLinkUtilization, b.maxLinkUtilization) << what;
+  EXPECT_EQ(a.meanLinkUtilization, b.meanLinkUtilization) << what;
+  EXPECT_EQ(a.measurementComplete, b.measurementComplete) << what;
+  EXPECT_EQ(a.deadlockSuspected, b.deadlockSuspected) << what;
+  EXPECT_EQ(a.livePacketLimitHit, b.livePacketLimitHit) << what;
+  EXPECT_EQ(a.inOrderViolations, b.inOrderViolations) << what;
+  EXPECT_EQ(a.simEndTimeNs, b.simEndTimeNs) << what;
+  EXPECT_EQ(a.e2eLatencyNs, b.e2eLatencyNs) << what;
+  EXPECT_EQ(a.faultCampaignRan, b.faultCampaignRan) << what;
+  EXPECT_EQ(a.resilience.faultsInjected, b.resilience.faultsInjected) << what;
+  EXPECT_EQ(a.resilience.linksRecovered, b.resilience.linksRecovered) << what;
+  EXPECT_EQ(a.resilience.smSweeps, b.resilience.smSweeps) << what;
+  EXPECT_EQ(a.resilience.packetsCorrupted, b.resilience.packetsCorrupted)
+      << what;
+  EXPECT_EQ(a.resilience.crcDrops, b.resilience.crcDrops) << what;
+  EXPECT_EQ(a.resilience.silentCorruptions, b.resilience.silentCorruptions)
+      << what;
+  EXPECT_EQ(a.resilience.creditUpdatesLost, b.resilience.creditUpdatesLost)
+      << what;
+  EXPECT_EQ(a.resilience.creditsLeaked, b.resilience.creditsLeaked) << what;
+  EXPECT_EQ(a.resilience.creditsResynced, b.resilience.creditsResynced)
+      << what;
+  EXPECT_EQ(a.resilience.retransmitsSent, b.resilience.retransmitsSent)
+      << what;
+  EXPECT_EQ(a.resilience.duplicatesSuppressed,
+            b.resilience.duplicatesSuppressed)
+      << what;
+  EXPECT_EQ(a.resilience.uniqueSent, b.resilience.uniqueSent) << what;
+  EXPECT_EQ(a.resilience.uniqueDelivered, b.resilience.uniqueDelivered)
+      << what;
+  EXPECT_EQ(a.invariants.checksRun, b.invariants.checksRun) << what;
+  EXPECT_EQ(a.invariants.violations(), b.invariants.violations()) << what;
+  EXPECT_EQ(a.invariants.congestionStalls, b.invariants.congestionStalls)
+      << what;
+}
+
+class ParallelKernelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelKernelTest, SixteenSwitchBitIdenticalToCalendar) {
+  const int threads = GetParam();
+  const SimResults ref = runSimulation(kernelParams(SimKernel::kCalendar));
+  SimParams p = kernelParams(SimKernel::kParallel);
+  p.fabric.threads = threads;
+  const SimResults par = runSimulation(p);
+  ASSERT_TRUE(ref.measurementComplete);
+  EXPECT_EQ(par.threadsUsed, std::min(threads, 8));
+  expectBitIdentical(ref, par, "16-switch uniform");
+}
+
+TEST_P(ParallelKernelTest, SaturationBitIdenticalToCalendar) {
+  const int threads = GetParam();
+  auto mk = [&](SimKernel k) {
+    SimParams p = kernelParams(k);
+    p.saturation = true;
+    p.warmupPackets = 500;
+    p.measurePackets = 3000;
+    if (k == SimKernel::kParallel) p.fabric.threads = threads;
+    return runSimulation(p);
+  };
+  expectBitIdentical(mk(SimKernel::kCalendar), mk(SimKernel::kParallel),
+                     "saturation");
+}
+
+TEST_P(ParallelKernelTest, FullFaultCampaignBitIdenticalToCalendar) {
+  // The hardest case: stochastic link failures + SM re-sweeps (management
+  // events between windows), CRC corruption and credit loss (per-lane fault
+  // RNGs), leak resync chains, the reliable transport (ack hand-off across
+  // the shard/observer split), and the invariant watchdog reading merged
+  // state at barriers. Any ordering leak shows up here as a diverged bit.
+  const int threads = GetParam();
+  auto mk = [&](SimKernel k) {
+    SimParams p = kernelParams(k);
+    p.numSwitches = 8;
+    p.loadBytesPerNsPerNode = 0.02;
+    p.warmupPackets = 200;
+    p.measurePackets = 2000;
+    p.maxSimTimeNs = 3'000'000;
+    p.faultMtbfNs = 400'000;
+    p.faultMttrNs = 150'000;
+    p.faultSeed = 3;
+    p.sweepDelayNs = 30'000;
+    p.berPerBit = 2e-5;
+    p.creditLossRate = 0.05;
+    p.creditResyncPeriodNs = 50'000;
+    p.reliableTransport = true;
+    p.invariantPolicy = WatchdogPolicy::kRecord;
+    p.invariantPeriodNs = 20'000;
+    if (k == SimKernel::kParallel) p.fabric.threads = threads;
+    return runSimulation(p);
+  };
+  const SimResults ref = mk(SimKernel::kCalendar);
+  const SimResults par = mk(SimKernel::kParallel);
+  expectBitIdentical(ref, par, "fault campaign");
+  EXPECT_GT(ref.resilience.packetsCorrupted, 0u);
+  EXPECT_GT(ref.resilience.creditUpdatesLost, 0u);
+  EXPECT_GT(ref.invariants.checksRun, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelKernelTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ParallelKernel, SweepResultsIndependentOfWorkerCount) {
+  // runSweep distributes simulations over a pool; neither the pool size nor
+  // the in-simulation shard count may leak into any result.
+  std::vector<SimParams> batch;
+  for (int t = 0; t < 3; ++t) {
+    SimParams p = kernelParams(SimKernel::kParallel);
+    p.topoSeed = static_cast<std::uint64_t>(t + 1);
+    p.fabric.threads = 4;
+    p.warmupPackets = 200;
+    p.measurePackets = 1500;
+    batch.push_back(p);
+  }
+  const std::vector<SimResults> serial = runSweep(batch, 1);
+  const std::vector<SimResults> parallel = runSweep(batch, 0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expectBitIdentical(serial[i], parallel[i], "sweep case");
+  }
 }
 
 }  // namespace

@@ -134,7 +134,10 @@ TEST(SelectionBehavior, LivePacketCapStopsRunawayRuns) {
   limits.maxLivePackets = 2000;
   fabric.run(limits);
   EXPECT_TRUE(fabric.livePacketLimitHit());
-  EXPECT_LE(fabric.livePackets(), 2002u);
+  // The cap is enforced at lookahead-window boundaries (the same instants
+  // for every kernel and thread count), so the overshoot is bounded by one
+  // window of generation: 4 nodes * (10 B/ns / 32 B) * 100 ns = 125.
+  EXPECT_LE(fabric.livePackets(), 2000u + 130u);
 }
 
 TEST(SelectionBehavior, RandomSelectionIsSeededDeterministically) {

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/flags.hpp"
@@ -165,6 +167,59 @@ TEST(ThreadPool, MixedBatchRunsEveryNonThrowingTask) {
   }
   EXPECT_THROW(pool.wait(), std::runtime_error);
   EXPECT_EQ(count.load(), 29);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersFromManyThreads) {
+  // submit() is documented safe from any thread: hammer it from several
+  // external producers at once (as runSweep and the parallel kernel do) and
+  // check nothing is lost or double-run.
+  ThreadPool pool(3);
+  constexpr int kProducers = 8;
+  constexpr int kTasksEach = 500;
+  std::atomic<int> count{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &count] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait();
+  EXPECT_EQ(count.load(), kProducers * kTasksEach);
+}
+
+TEST(ThreadPool, SubmitDuringDestructionThrowsLogicError) {
+  // Once ~ThreadPool has set stopping_, a late submit must fail loudly
+  // (std::logic_error) instead of queueing a task that may never run. The
+  // probe task keeps submitting no-ops from inside a worker while the main
+  // thread destroys the pool; its own execution blocks the join until it
+  // has observed the throw.
+  std::atomic<bool> started{false};
+  std::atomic<bool> sawLogicError{false};
+  {
+    ThreadPool pool(2);
+    pool.submit([&pool, &started, &sawLogicError] {
+      started.store(true);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (std::chrono::steady_clock::now() < deadline) {
+        try {
+          pool.submit([] {});
+        } catch (const std::logic_error&) {
+          sawLogicError.store(true);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+    while (!started.load()) std::this_thread::yield();
+    // Destructor runs here: sets stopping_, then joins — which cannot
+    // complete until the probe task has seen submit() throw and returned.
+  }
+  EXPECT_TRUE(sawLogicError.load());
 }
 
 TEST(ThreadPool, ParallelForPropagatesTaskException) {
