@@ -202,6 +202,56 @@ inline void writeKernelBenchJson(const std::string& path,
   out << "  ]\n}\n";
 }
 
+// ---- reconfiguration-comparison records -----------------------------------
+//
+// One record per (switch count, sweep-execution mode) of the robustness
+// bench's reconfiguration axis. Same one-object-per-line layout as the
+// kernel records so the committed BENCH_reconfig.json diffs cleanly.
+
+struct ReconfigBenchRecord {
+  int switches = 0;
+  std::string mode;  // "instant" | "drain" | "live"
+  double faults = 0.0;
+  double sweeps = 0.0;
+  double epochsInstalled = 0.0;
+  /// Unique transport packets undelivered at the horizon (mean/topology).
+  double packetsLost = 0.0;
+  double lostFraction = 0.0;
+  /// Raw switch drops (stale-route discards), mean per topology.
+  double droppedSwitch = 0.0;
+  /// Percent of the horizon with an uncovered fault outstanding.
+  double degradedPct = 0.0;
+  double pausedUs = 0.0;
+  double reconfigLatencyUs = 0.0;
+  double wdViolations = 0.0;
+};
+
+inline void writeReconfigBenchJson(
+    const std::string& path, const std::string& benchName,
+    const std::string& config, const std::vector<ReconfigBenchRecord>& cases) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"bench\": \"" << benchName << "\",\n";
+  out << "  \"config\": \"" << config << "\",\n";
+  out << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const ReconfigBenchRecord& r = cases[i];
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"switches\": %d, \"mode\": \"%s\", \"faults\": %.2f, "
+        "\"sweeps\": %.2f, \"epochsInstalled\": %.2f, \"packetsLost\": %.2f, "
+        "\"lostFraction\": %.5f, \"droppedSwitch\": %.2f, "
+        "\"degradedPct\": %.3f, \"pausedUs\": %.2f, "
+        "\"reconfigLatencyUs\": %.2f, \"wdViolations\": %.2f}",
+        r.switches, r.mode.c_str(), r.faults, r.sweeps, r.epochsInstalled,
+        r.packetsLost, r.lostFraction, r.droppedSwitch, r.degradedPct,
+        r.pausedUs, r.reconfigLatencyUs, r.wdViolations);
+    out << line << (i + 1 < cases.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
 namespace detail {
 inline bool extractJsonField(const std::string& obj, const std::string& key,
                              std::string& out) {

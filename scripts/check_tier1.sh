@@ -35,6 +35,14 @@ echo "== tier-1: sanitized chaos smoke (transient faults + watchdog) =="
 ctest --test-dir "${asan_dir}" --output-on-failure -j \
   -R 'ChaosProperty|InvariantWatchdog|TransientFault'
 
+echo "== tier-1: sanitized live-reconfiguration smoke =="
+# The epoch-based LFT swap under ASan/UBSan: dual-bank table selection,
+# faults racing an in-flight compute/install, and the live campaign with
+# the cross-epoch deadlock check — the paths where a stale-bank read or a
+# mis-freed staged image would surface as a memory error.
+ctest --test-dir "${asan_dir}" --output-on-failure -j \
+  -R 'VersionedTable|ReconfigManager|LiveReconfig'
+
 echo "== tier-1: TSan parallel-kernel smoke (2-thread bit-identity) =="
 # The parallel kernel's data-sharing discipline (epoch barriers + SPSC
 # mailboxes) under ThreadSanitizer: the 2-thread bit-identity suite drives

@@ -120,6 +120,7 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
     fc.sweepDelayNs = p.sweepDelayNs;
     fc.subnet = sp;
     fc.auditAfterSweep = p.auditAfterSweep;
+    fc.reconfig = p.reconfig;
     fc.transient.berPerBit = p.berPerBit;
     fc.transient.creditLossRate = p.creditLossRate;
     fc.transient.seed = p.transientFaultSeed;

@@ -84,6 +84,11 @@ struct SimParams {
   SimTime sweepDelayNs = 50'000;
   /// Run the escape-plane/credit audit after every sweep.
   bool auditAfterSweep = true;
+  /// How SM sweeps execute: kInstantSweep (seed semantics, zero-cost
+  /// in-place rewrite), kDrainAndSweep (pause injection, drain, rewrite),
+  /// or kLiveEpochSwap (background replan + staged SMP install + epoch
+  /// swap under traffic). See subnet/reconfig.hpp.
+  ReconfigSpec reconfig;
   /// Wrap traffic in the host-side retransmission layer (open-loop traffic
   /// only; incompatible with saturation mode).
   bool reliableTransport = false;

@@ -25,6 +25,10 @@ std::string WatchdogStats::summary() const {
      << " split=" << splitBoundViolations << " deadlock=" << deadlocksDetected
      << " livelock=" << livelocksDetected << ")"
      << " congestionStalls=" << congestionStalls;
+  if (crossEpochWaitEdges > 0) {
+    os << " crossEpochWaits=" << crossEpochWaitEdges
+       << " crossEpochDeadlocks=" << crossEpochDeadlocks;
+  }
   if (creditsRecovered > 0) os << " recovered=" << creditsRecovered;
   if (aborted) os << " [ABORTED]";
   if (!firstViolation.empty()) os << " first=[" << firstViolation << "]";
@@ -221,6 +225,9 @@ void InvariantWatchdog::checkProgress(Fabric& fabric, SimTime now) {
     int escapeEdge = -1;  // buffer id of the awaited escape-resource buffer
     bool escapeAged = false;  // escape head older than the drain-age bound
     SimTime escapeAge = 0;
+    /// Reconfiguration epoch of the head that owns the escape wait —
+    /// classifies wait-for edges/cycles as same-epoch or cross-epoch.
+    std::uint32_t headEpoch = 0;
   };
   auto bufId = [numPorts, numVls](SwitchId s, PortIndex p, VlIndex v) {
     return (static_cast<int>(s) * numPorts + static_cast<int>(p)) * numVls +
@@ -242,6 +249,7 @@ void InvariantWatchdog::checkProgress(Fabric& fabric, SimTime now) {
         const VlBuffer::Candidates cands = buf.candidateHeads(fp.orderRule);
         bool creditBlocked = cands.count > 0;
         int escapeEdge = -1;
+        std::uint32_t escapeEdgeEpoch = 0;
         for (int k = 0; k < cands.count && creditBlocked; ++k) {
           const BufferedPacket& bp =
               buf.at(cands.index[static_cast<std::size_t>(k)]);
@@ -297,6 +305,7 @@ void InvariantWatchdog::checkProgress(Fabric& fabric, SimTime now) {
                   // The escape resource this head waits for: the
                   // downstream input buffer on the escape VL.
                   escapeEdge = bufId(op.downId, op.downPort, ovl);
+                  escapeEdgeEpoch = pkt.epoch;
                 }
               }
             }
@@ -308,6 +317,7 @@ void InvariantWatchdog::checkProgress(Fabric& fabric, SimTime now) {
         bb.ip = ip;
         bb.vl = vl;
         bb.escapeEdge = escapeEdge;
+        bb.headEpoch = escapeEdgeEpoch;
         const int ehi = buf.escapeHeadIndex();
         if (ehi >= 0) {
           const SimTime age = now - buf.at(ehi).routeReady;
@@ -332,6 +342,13 @@ void InvariantWatchdog::checkProgress(Fabric& fabric, SimTime now) {
   for (std::size_t i = 0; i < blocked.size(); ++i) {
     const int e = blocked[i].escapeEdge;
     if (e >= 0) next[i] = blockedAt[static_cast<std::size_t>(e)];
+    if (next[i] >= 0 &&
+        blocked[i].headEpoch !=
+            blocked[static_cast<std::size_t>(next[i])].headEpoch) {
+      // Old-epoch and new-epoch heads waiting on adjacent escape
+      // resources: the live-swap transition window, observed.
+      ++stats_.crossEpochWaitEdges;
+    }
   }
   std::vector<int> color(blocked.size(), 0);  // 0 new, 1 on path, 2 done
   std::vector<bool> inCycle(blocked.size(), false);
@@ -358,15 +375,26 @@ void InvariantWatchdog::checkProgress(Fabric& fabric, SimTime now) {
 
   if (cycleStart >= 0) {
     std::ostringstream os;
+    bool crossEpoch = false;
     os << "deadlock cycle (escape-credit waits): ";
     int u = cycleStart;
     do {
       const BlockedBuf& bb = blocked[static_cast<std::size_t>(u)];
       os << bufName("in", bb.sw, bb.ip, bb.vl) << " -> ";
+      if (bb.headEpoch !=
+          blocked[static_cast<std::size_t>(cycleStart)].headEpoch) {
+        crossEpoch = true;
+      }
       u = next[static_cast<std::size_t>(u)];
     } while (u != cycleStart);
     const BlockedBuf& bb = blocked[static_cast<std::size_t>(cycleStart)];
     os << bufName("in", bb.sw, bb.ip, bb.vl);
+    if (crossEpoch) {
+      // A cycle mixing epochs would mean the two escape trees interlock —
+      // exactly what per-packet route consistency is supposed to preclude.
+      ++stats_.crossEpochDeadlocks;
+      os << " [CROSS-EPOCH]";
+    }
     recordViolation(fabric, &stats_.deadlocksDetected, os.str());
     if (spec_.policy == WatchdogPolicy::kRecover) {
       // Leaked credits are the one deadlock cause the model can undo.

@@ -65,6 +65,16 @@ struct WatchdogStats {
   std::uint64_t livelocksDetected = 0;
   /// Blocked-but-cycle-free observations — congestion, not a violation.
   std::uint64_t congestionStalls = 0;
+  /// Escape wait-for edges whose two blocked heads carry different
+  /// reconfiguration epochs — packets of the old and new routing coexisting
+  /// on adjacent resources. Expected (and harmless) during a live LFT
+  /// swap's transition window; recorded to make the window observable.
+  std::uint64_t crossEpochWaitEdges = 0;
+  /// Deadlock cycles whose members span more than one epoch. Per-packet
+  /// route consistency (a packet resolves every hop in its injection
+  /// epoch's table) keeps each epoch's escape tree acyclic, so any such
+  /// cycle would break the live-reconfiguration deadlock argument.
+  std::uint64_t crossEpochDeadlocks = 0;
   /// Credits restored under WatchdogPolicy::kRecover.
   std::uint64_t creditsRecovered = 0;
   bool aborted = false;

@@ -1,5 +1,6 @@
 #include "core/forwarding_table.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ibadapt {
@@ -46,6 +47,10 @@ PortIndex AdaptiveForwardingTable::entry(Lid lid) const {
   return v == kUnprogrammed ? kInvalidPort : static_cast<PortIndex>(v);
 }
 
+void AdaptiveForwardingTable::clear() {
+  std::fill(cells_.begin(), cells_.end(), kUnprogrammed);
+}
+
 RouteOptions AdaptiveForwardingTable::lookup(Lid dlid) const {
   if (dlid >= lidLimit_) {
     throw std::out_of_range("AdaptiveForwardingTable::lookup: LID");
@@ -76,6 +81,33 @@ RouteOptions AdaptiveForwardingTable::lookup(Lid dlid) const {
     }
   }
   return out;
+}
+
+void VersionedForwardingTable::stageBegin() {
+  tables_[static_cast<std::size_t>(active_ ^ 1)].clear();
+  staging_ = true;
+}
+
+void VersionedForwardingTable::stageEntry(Lid lid, PortIndex port) {
+  if (!staging_) {
+    throw std::logic_error(
+        "VersionedForwardingTable::stageEntry: no staging in progress");
+  }
+  tables_[static_cast<std::size_t>(active_ ^ 1)].setEntry(lid, port);
+}
+
+void VersionedForwardingTable::commitStaged(std::uint32_t newEpoch) {
+  if (!staging_) {
+    throw std::logic_error(
+        "VersionedForwardingTable::commitStaged: no staging in progress");
+  }
+  if (newEpoch != epochs_[static_cast<std::size_t>(active_)] + 1) {
+    throw std::logic_error(
+        "VersionedForwardingTable::commitStaged: epochs must advance by one");
+  }
+  epochs_[static_cast<std::size_t>(active_ ^ 1)] = newEpoch;
+  active_ ^= 1;
+  staging_ = false;
 }
 
 }  // namespace ibadapt

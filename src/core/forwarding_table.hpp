@@ -57,6 +57,9 @@ class AdaptiveForwardingTable {
   /// block plus the decoded per-packet adaptive bit.
   RouteOptions lookup(Lid dlid) const;
 
+  /// Reset every entry to "not programmed" (staging reuse).
+  void clear();
+
  private:
   int numBanks_;
   int bankShift_;  // log2(numBanks_)
@@ -68,6 +71,68 @@ class AdaptiveForwardingTable {
   // bytes, one cache line, without re-deriving per-bank offsets.
   // 0xff encodes "not programmed".
   std::vector<std::uint8_t> cells_;
+};
+
+/// Epoch-versioned forwarding table: the dual-bank LFT a switch needs for
+/// live reconfiguration. Two full interleaved tables are kept; one is
+/// *active* (the table the current injection epoch routes on), the other is
+/// the *shadow* that the subnet manager stages the next routing image into.
+/// Committing the shadow tags it with the new epoch and makes it the active
+/// buffer, but packets keep selecting by their own injection-epoch stamp:
+/// a packet stamped at epoch e uses the newest table whose epoch is <= e,
+/// so in-flight traffic finishes on the tables it started on and never
+/// mixes old and new escape paths. The subnet manager guarantees at most
+/// two epochs coexist in flight (it drains epoch e-1 before staging e+1
+/// over its buffer), which is exactly what two banks can discriminate.
+class VersionedForwardingTable {
+ public:
+  VersionedForwardingTable(int numBanks, Lid lidLimit)
+      : tables_{AdaptiveForwardingTable(numBanks, lidLimit),
+                AdaptiveForwardingTable(numBanks, lidLimit)} {}
+
+  int numBanks() const { return tables_[0].numBanks(); }
+  Lid lidLimit() const { return tables_[0].lidLimit(); }
+
+  /// Epoch of the active table (what freshly injected packets route on).
+  std::uint32_t epoch() const { return epochs_[active_]; }
+  bool staging() const { return staging_; }
+
+  // --- active-table API: the classic single-table SM surface. ------------
+  /// In-place write to the active table (instant stop-and-resweep path).
+  void setEntry(Lid lid, PortIndex port) {
+    tables_[active_].setEntry(lid, port);
+  }
+  PortIndex entry(Lid lid) const { return tables_[active_].entry(lid); }
+  RouteOptions lookup(Lid dlid) const { return tables_[active_].lookup(dlid); }
+
+  // --- shadow staging (live epoch swap) -----------------------------------
+  /// Open the shadow buffer for a new image; wipes whatever old-epoch
+  /// table it held (caller must have drained that epoch first).
+  void stageBegin();
+  /// Program one entry of the staged image.
+  void stageEntry(Lid lid, PortIndex port);
+  /// Tag the staged image with `newEpoch` (must be exactly epoch()+1) and
+  /// make it the active buffer. The previous table stays readable for
+  /// packets still stamped with the old epoch.
+  void commitStaged(std::uint32_t newEpoch);
+
+  /// Epoch-aware lookup: selects the table matching the packet's injection
+  /// epoch (the newest table whose epoch is <= pktEpoch).
+  RouteOptions lookup(Lid dlid, std::uint32_t pktEpoch) const {
+    const int idx = epochs_[active_] <= pktEpoch ? active_ : (active_ ^ 1);
+    return tables_[static_cast<std::size_t>(idx)].lookup(dlid);
+  }
+  /// Same selection, linear read (audits / tests).
+  PortIndex entry(Lid lid, std::uint32_t pktEpoch) const {
+    const int idx = epochs_[active_] <= pktEpoch ? active_ : (active_ ^ 1);
+    return tables_[static_cast<std::size_t>(idx)].entry(lid);
+  }
+
+ private:
+  std::array<AdaptiveForwardingTable, 2> tables_;
+  std::array<std::uint32_t, 2> epochs_{{0, 0}};
+  int active_ = 0;
+  bool staging_ = false;
 };
 
 }  // namespace ibadapt

@@ -167,6 +167,88 @@ const Peer& Fabric::managementPeer(SwitchId sw, PortIndex port) const {
   return topo_.peer(sw, port);
 }
 
+void Fabric::stageLftBegin(SwitchId sw) {
+  if (sw < 0 || sw >= topo_.numSwitches()) {
+    throw std::invalid_argument("Fabric::stageLftBegin: switch out of range");
+  }
+  if (oldEpochInFlight() != 0) {
+    // The shadow bank still serves packets of epoch injectionEpoch_-1; the
+    // reconfiguration protocol must drain them before restaging.
+    throw std::logic_error(
+        "Fabric::stageLftBegin: previous epoch still in flight");
+  }
+  switches_[static_cast<std::size_t>(sw)].lft.stageBegin();
+}
+
+void Fabric::stageLftEntry(SwitchId sw, Lid lid, PortIndex port) {
+  switches_[static_cast<std::size_t>(sw)].lft.stageEntry(lid, port);
+}
+
+void Fabric::commitStagedLft(SwitchId sw, std::uint32_t epoch) {
+  if (epoch != injectionEpoch_ + 1) {
+    throw std::logic_error(
+        "Fabric::commitStagedLft: epoch must be injectionEpoch()+1");
+  }
+  switches_[static_cast<std::size_t>(sw)].lft.commitStaged(epoch);
+  // No memo clear / re-arbitration: buffered packets keep the route options
+  // resolved at their header arrival, and no packet carries `epoch` yet, so
+  // grant feasibility is unchanged until advanceInjectionEpoch.
+}
+
+void Fabric::advanceInjectionEpoch(std::uint32_t epoch) {
+  if (epoch != injectionEpoch_ + 1) {
+    throw std::logic_error(
+        "Fabric::advanceInjectionEpoch: epoch must advance by one");
+  }
+  for (SwitchId s = 0; s < topo_.numSwitches(); ++s) {
+    if (switches_[static_cast<std::size_t>(s)].lft.epoch() != epoch) {
+      throw std::logic_error(
+          "Fabric::advanceInjectionEpoch: switch has not committed the "
+          "new epoch (missing install ack)");
+    }
+  }
+  injectionEpoch_ = epoch;
+}
+
+std::uint64_t Fabric::oldEpochInFlight() const {
+  if (injectionEpoch_ == 0) return 0;
+  const std::size_t parity = (injectionEpoch_ - 1) & 1;
+  std::uint64_t injected = 0;
+  std::uint64_t retired = 0;
+  for (const Shard& sh : shards_) {
+    injected += sh.epochInjected[parity];
+    retired += sh.epochRetired[parity];
+  }
+  return injected - retired;
+}
+
+std::uint64_t Fabric::inFlightPackets() const {
+  std::uint64_t injected = 0;
+  std::uint64_t retired = 0;
+  for (const Shard& sh : shards_) {
+    injected += sh.epochInjected[0] + sh.epochInjected[1];
+    retired += sh.epochRetired[0] + sh.epochRetired[1];
+  }
+  return injected - retired;
+}
+
+void Fabric::setInjectionPaused(bool paused) {
+  if (injectionPaused_ == paused) return;
+  injectionPaused_ = paused;
+  if (paused || !started_) return;
+  // Unpausing: every CA with queued work stalled silently while the gate
+  // was closed; wake them all. tryNodeTx is idempotent, so waking an idle
+  // node is harmless.
+  for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+    if (nodes_[static_cast<std::size_t>(n)].sendQueue.empty()) continue;
+    Event ev;
+    ev.time = now_;
+    ev.kind = EventKind::kNodeTryTx;
+    ev.a = static_cast<std::uint32_t>(n);
+    pushCoord(ev);
+  }
+}
+
 void Fabric::failLink(SwitchId sw, PortIndex port) {
   if (sw < 0 || sw >= topo_.numSwitches() || port < 0 ||
       port >= topo_.portsPerSwitch()) {

@@ -116,7 +116,7 @@ struct SwitchModel {
 
   std::vector<SwitchInputPort> in;
   std::vector<SwitchOutputPort> out;
-  AdaptiveForwardingTable lft;
+  VersionedForwardingTable lft;
   SlToVlTable slToVl;
   bool adaptiveCapable = true;
   int rrInput = 0;                    // arbitration round-robin pointer
@@ -213,6 +213,47 @@ class Fabric {
     PortIndex portB = kInvalidPort;
   };
   const std::vector<FailedLink>& failedLinks() const { return failedLinks_; }
+
+  // ---- live reconfiguration (epoch-based two-phase LFT swap) ------------
+  //
+  // Each switch holds two full LFT banks (VersionedForwardingTable). The
+  // subnet manager stages a new image into every switch's shadow bank
+  // (stageLftBegin / stageLftEntry), commits each switch at the modeled SMP
+  // ack time (commitStagedLft), and — once every switch acked — advances
+  // the fabric injection epoch. From that instant freshly injected packets
+  // are stamped with the new epoch and route on the new tables, while
+  // packets already in flight keep resolving the old bank at every
+  // remaining hop. All of these are coordinator-context calls: legal before
+  // start() or between run() slices, never mid-window.
+
+  /// Open switch `sw`'s shadow LFT bank for a new image. The caller must
+  /// have drained epoch (injectionEpoch()-1) first — the shadow bank still
+  /// holds that epoch's table.
+  void stageLftBegin(SwitchId sw);
+  /// Program one entry of the staged image on `sw`.
+  void stageLftEntry(SwitchId sw, Lid lid, PortIndex port);
+  /// Commit `sw`'s staged image under `epoch` (must be injectionEpoch()+1).
+  /// Forwarding behavior does not change yet: no packet carries `epoch`
+  /// until advanceInjectionEpoch.
+  void commitStagedLft(SwitchId sw, std::uint32_t epoch);
+  /// Advance the fabric epoch: packets injected from now on are stamped
+  /// `epoch` and route on the newly committed tables. Throws unless every
+  /// switch has committed `epoch`.
+  void advanceInjectionEpoch(std::uint32_t epoch);
+  std::uint32_t injectionEpoch() const { return injectionEpoch_; }
+  /// Packets of the previous epoch (injectionEpoch()-1) still in flight.
+  /// Zero means the old tables are dead weight and the shadow banks may be
+  /// restaged. Counts injected-but-not-yet-retired packets only; queued
+  /// packets are stamped at injection and therefore never go stale.
+  std::uint64_t oldEpochInFlight() const;
+  /// Injected packets of any epoch still in flight (drain barrier for the
+  /// stop-and-resweep baseline).
+  std::uint64_t inFlightPackets() const;
+  /// Gate new packet injection (CA -> switch transfer starts). Generation
+  /// and host queueing continue; queued packets resume when unpaused.
+  /// Coordinator context only.
+  void setInjectionPaused(bool paused);
+  bool injectionPaused() const { return injectionPaused_; }
 
   const LidMapper& lids() const { return lids_; }
   const Topology& topology() const { return topo_; }
@@ -364,6 +405,12 @@ class Fabric {
     FabricCounters counters;
     SimTime now = 0;
     std::uint64_t creditsLeaked = 0;
+    // Injection-epoch in-flight ledger, indexed by epoch parity. Injections
+    // count on the injecting shard, retirements (deliver / drop / CRC
+    // discard) on the retiring shard; only the global sums matter, and at
+    // most two epochs coexist, so parity discriminates exactly.
+    std::array<std::uint64_t, 2> epochInjected{};
+    std::array<std::uint64_t, 2> epochRetired{};
     // Producer context of the event being dispatched (stamping + replay).
     std::uint32_t producer = 0;
     SimTime evTime = 0;
@@ -546,6 +593,15 @@ class Fabric {
 
   std::vector<std::uint32_t> detSeqCounters_;  // (src * N + dst)
 
+  /// Current injection epoch (live reconfiguration). Written only in
+  /// coordinator context between windows, read by shards during windows;
+  /// plain member because every access is ordered by the epoch barrier,
+  /// exactly like windowEnd_.
+  std::uint32_t injectionEpoch_ = 0;
+  /// Injection gate for the drain-and-resweep baseline; same write/read
+  /// discipline as injectionEpoch_.
+  bool injectionPaused_ = false;
+
   SimTime now_ = 0;
   SimTime generationEnd_ = 0;
   bool started_ = false;
@@ -562,12 +618,18 @@ class Fabric {
   int watchdogStallCount_ = 0;
   std::uint32_t watchdogEpoch_ = 0;
 
-  // credit-resync and invariant-check chains, epoch-guarded like the
-  // watchdog so multi-phase runs keep exactly one live chain of each.
+  // Credit-resync and invariant-check chains. Epoch-guarded like the
+  // watchdog so at most one chain of each is ever live, but — unlike the
+  // per-run stall watchdog — a live chain PERSISTS across run() calls: a
+  // fault campaign bounds its run slices by the next fault/sweep/reconfig
+  // action, routinely closer than a period, and re-arming per slice would
+  // park the first firing past every slice end so the chain never runs.
   SimTime resyncPeriod_ = 0;
   std::uint32_t resyncEpoch_ = 0;
+  bool resyncChainLive_ = false;
   SimTime checkPeriod_ = 0;
   std::uint32_t checkEpoch_ = 0;
+  bool checkChainLive_ = false;
 
   /// Coordinator-side leak ledger, merged from the shard ledgers at every
   /// window barrier, globally sorted by triggering-event stamp so resync

@@ -248,6 +248,7 @@ void Fabric::dropPacket(Shard& sh, SwitchId swId, PortIndex ip, VlIndex vl,
   if (buf.empty()) in.vlOccupied &= ~(1u << vl);
   in.retryAt = 0;  // buffer content changed: failed-grant memo stale
   ++sh.counters.dropped;
+  ++sh.epochRetired[pkt.epoch & 1];
   // Free the buffer space upstream once the tail can no longer be arriving.
   const SimTime creditTime =
       sh.now + static_cast<SimTime>(pkt.sizeBytes) * params_.nsPerByte +

@@ -154,15 +154,19 @@ void Fabric::run(const RunLimits& limits) {
     pushCoord(Event{now_ + watchdogPeriod_, 0, EventKind::kWatchdog,
                     watchdogEpoch_, 0, 0});
   }
-  // Credit-resync and invariant-check chains follow the same epoch scheme.
-  ++resyncEpoch_;
+  // Credit-resync and invariant-check chains: started once and left to
+  // self-perpetuate across run() calls (see the member comment — slices
+  // shorter than the period would otherwise starve them).
   resyncPeriod_ = linkFaults_ != nullptr ? linkFaults_->resyncPeriodNs() : 0;
-  if (resyncPeriod_ > 0) {
+  if (resyncPeriod_ > 0 && !resyncChainLive_) {
+    ++resyncEpoch_;
+    resyncChainLive_ = true;
     pushCoord(Event{now_ + resyncPeriod_, 0, EventKind::kCreditResync,
                     resyncEpoch_, 0, 0});
   }
-  ++checkEpoch_;
-  if (checker_ != nullptr && checkPeriod_ > 0) {
+  if (checker_ != nullptr && checkPeriod_ > 0 && !checkChainLive_) {
+    ++checkEpoch_;
+    checkChainLive_ = true;
     pushCoord(Event{now_ + checkPeriod_, 0, EventKind::kInvariantCheck,
                     checkEpoch_, 0, 0});
   }
@@ -572,6 +576,10 @@ void Fabric::handleNodeTryTx(Shard& sh, NodeId n) { tryNodeTx(sh, n); }
 
 void Fabric::tryNodeTx(Shard& sh, NodeId n) {
   NodeModel& nd = nodes_[static_cast<std::size_t>(n)];
+  // Reconfiguration drain gate: generation and queueing continue, but no
+  // new packet enters the fabric. setInjectionPaused(false) re-wakes every
+  // queued CA. Read-only during windows (coordinator writes between them).
+  if (injectionPaused_) return;
   if (nd.sendQueue.empty() || nd.txBusyUntil > sh.now) return;
   const PacketRef ref = nd.sendQueue.front();
   Packet& pkt = packetMut(ref);
@@ -585,6 +593,11 @@ void Fabric::tryNodeTx(Shard& sh, NodeId n) {
   nd.txBusyUntil = txEnd;
   nd.sendQueue.pop_front();
   pkt.injectTime = sh.now;
+  // Injection-epoch stamp: the routing-table version this packet rides for
+  // its whole life, plus the in-flight ledger the reconfiguration protocol
+  // drains old epochs with.
+  pkt.epoch = injectionEpoch_;
+  ++sh.epochInjected[pkt.epoch & 1];
   ++sh.counters.injected;
   notifyObserver(sh, ObsType::kInjected, pkt);
 
@@ -627,6 +640,7 @@ void Fabric::handleHeaderArrive(Shard& sh, SwitchId swId, PortIndex port,
         linkFaults_->onPacketRx(pkt, vl, sh.now, static_cast<int>(swId));
     if (verdict == ILinkFaultModel::RxVerdict::kCrcDrop) {
       ++sh.counters.crcDropped;
+      ++sh.epochRetired[pkt.epoch & 1];
       const SimTime creditTime =
           sh.now + static_cast<SimTime>(pkt.sizeBytes) * params_.nsPerByte +
           params_.linkPropagationNs;
@@ -645,7 +659,10 @@ void Fabric::handleHeaderArrive(Shard& sh, SwitchId swId, PortIndex port,
   bp.credits = pkt.credits;
   bp.routeReady = sh.now + params_.routingDelayNs;
   bp.deterministic = !LidMapper::adaptiveBit(pkt.dlid);
-  bp.options = sw.lft.lookup(pkt.dlid);
+  // Dual-table selection: the packet's injection-epoch stamp picks the
+  // table version, so a mid-reconfiguration packet keeps resolving the
+  // tables it was injected under at every remaining hop.
+  bp.options = sw.lft.lookup(pkt.dlid, pkt.epoch);
   if (!bp.options.valid()) {
     throw std::logic_error("Fabric: packet routed to unprogrammed LID");
   }
@@ -731,6 +748,7 @@ void Fabric::handleNodeDeliver(Shard& sh, NodeId n, VlIndex vl,
                               topo_.numSwitches() + static_cast<int>(n)) ==
           ILinkFaultModel::RxVerdict::kCrcDrop) {
     ++sh.counters.crcDropped;
+    ++sh.epochRetired[pkt.epoch & 1];
     scheduleCreditToSwitch(sh, sw, port, vl, pkt.credits,
                            sh.now + params_.linkPropagationNs);
     releasePacket(ref);
@@ -738,6 +756,7 @@ void Fabric::handleNodeDeliver(Shard& sh, NodeId n, VlIndex vl,
   }
 
   ++sh.counters.delivered;
+  ++sh.epochRetired[pkt.epoch & 1];
   sh.counters.deliveredBytes += static_cast<std::uint64_t>(pkt.sizeBytes);
   sh.counters.hopSum += pkt.hops;
   notifyObserver(sh, ObsType::kDelivered, pkt);
@@ -799,6 +818,8 @@ void Fabric::handleInvariantCheck(std::uint32_t epoch) {
   if (!stopRequested_) {
     pushCoord(Event{now_ + checkPeriod_, 0, EventKind::kInvariantCheck, epoch,
                     0, 0});
+  } else {
+    checkChainLive_ = false;  // a later run() starts a fresh chain
   }
 }
 

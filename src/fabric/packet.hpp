@@ -30,6 +30,12 @@ struct Packet {
   std::uint16_t escapeHops = 0;  // hops forwarded through the escape option
   std::uint32_t detSeq = 0;      // per-(src,dst) order stamp (deterministic)
 
+  /// Fabric reconfiguration epoch stamped at injection: every switch on the
+  /// path forwards this packet with the routing-table version matching the
+  /// stamp, so one packet never mixes tables from two epochs (live
+  /// reconfiguration, src/subnet/reconfig).
+  std::uint32_t epoch = 0;
+
   // Host message-layer metadata (0/0/0 when the packet is not a segment).
   std::uint32_t msgId = 0;
   std::uint16_t segIndex = 0;

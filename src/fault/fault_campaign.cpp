@@ -180,6 +180,11 @@ void FaultCampaign::run(const RunLimits& limits) {
   if (ran_) throw std::logic_error("FaultCampaign::run called twice");
   ran_ = true;
 
+  if (spec_.reconfig.mode != ReconfigMode::kInstantSweep) {
+    reconfig_ = std::make_unique<ReconfigManager>(*fabric_, *sm_,
+                                                  spec_.reconfig, spec_.subnet);
+  }
+
   // Action schedule: the precomputed timeline plus sweeps added on the fly.
   // At one instant sweeps apply before recoveries before fails — a sweep
   // completing the same nanosecond a fault hits cannot have seen it.
@@ -204,9 +209,8 @@ void FaultCampaign::run(const RunLimits& limits) {
   }
 
   const std::uint64_t droppedAtStart = fabric_->counters().dropped;
-  std::vector<SimTime> openFaults;  // fail times awaiting their first sweep
-  SimTime degradedStart = 0;
-  std::uint64_t droppedAtDegradedStart = 0;
+  std::vector<SimTime> openFaults;  // fail times not yet covered by a sweep
+  DegradedWindowTracker degraded;
 
   auto runAudit = [this]() {
     ++stats_.auditsRun;
@@ -218,9 +222,48 @@ void FaultCampaign::run(const RunLimits& limits) {
     }
   };
 
+  // Injection-gated time is degraded service too — the stop-and-resweep
+  // baseline halts the whole fabric even for a recovery sweep with no
+  // fault outstanding. Feeding pause transitions into the same tracker
+  // unions them with the fault windows instead of double-counting overlap.
+  bool wasPaused = fabric_->injectionPaused();
+  auto trackPause = [&](SimTime at) {
+    const bool paused = fabric_->injectionPaused();
+    if (paused == wasPaused) return;
+    if (paused) {
+      degraded.open(at, fabric_->counters().dropped);
+    } else {
+      degraded.close(at, fabric_->counters().dropped);
+    }
+    wasPaused = paused;
+  };
+
+  // A completed sweep covers exactly the faults visible when its routing
+  // plan was computed (coveredThrough); later faults stay open for the
+  // follow-up cycle. The audit checks the active escape plane against the
+  // *current* topology, so it is only meaningful once every open fault is
+  // covered — auditing a half-converged fabric would report the expected
+  // staleness as a violation.
+  auto applyCompletions = [&]() {
+    for (const auto& c : reconfig_->drainCompletions()) {
+      ++stats_.smSweeps;
+      for (auto it = openFaults.begin(); it != openFaults.end();) {
+        if (*it <= c.coveredThrough) {
+          stats_.timeToRecovery.add(c.at - *it);
+          degraded.close(c.at, fabric_->counters().dropped);
+          it = openFaults.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (spec_.auditAfterSweep && openFaults.empty()) runAudit();
+    }
+  };
+
   SimTime endedAt = limits.endTime;
   while (true) {
-    const SimTime next = actions.empty() ? kTimeNever : actions.top().at;
+    SimTime next = actions.empty() ? kTimeNever : actions.top().at;
+    if (reconfig_) next = std::min(next, reconfig_->nextActionAt());
     RunLimits slice = limits;
     slice.endTime = std::min(next, limits.endTime);
     fabric_->run(slice);
@@ -230,6 +273,14 @@ void FaultCampaign::run(const RunLimits& limits) {
       break;
     }
     if (next >= limits.endTime) break;
+    // Protocol actions due now run before this instant's faults: an
+    // install/activation completing at `next` cannot have seen a fault
+    // that lands at `next`.
+    if (reconfig_) {
+      reconfig_->step(next);
+      applyCompletions();
+      trackPause(next);
+    }
     while (!actions.empty() && actions.top().at == next) {
       const Action a = actions.top();
       actions.pop();
@@ -238,10 +289,7 @@ void FaultCampaign::run(const RunLimits& limits) {
           const TimelineEntry& e = timeline_[a.idx];
           fabric_->failLink(e.sw, e.port);
           ++stats_.faultsInjected;
-          if (openFaults.empty()) {
-            degradedStart = next;
-            droppedAtDegradedStart = fabric_->counters().dropped;
-          }
+          degraded.open(next, fabric_->counters().dropped);
           openFaults.push_back(next);
           if (spec_.sweepDelayNs >= 0) {
             actions.push(
@@ -260,32 +308,47 @@ void FaultCampaign::run(const RunLimits& limits) {
           break;
         }
         case kSweep: {
+          if (reconfig_) {
+            reconfig_->requestSweep(next);
+            break;
+          }
           sm_->configure(spec_.subnet);
           ++stats_.smSweeps;
           for (const SimTime failAt : openFaults) {
             stats_.timeToRecovery.add(next - failAt);
+            degraded.close(next, fabric_->counters().dropped);
           }
-          if (!openFaults.empty()) {
-            stats_.degradedTimeNs += next - degradedStart;
-            stats_.droppedWhileDegraded +=
-                fabric_->counters().dropped - droppedAtDegradedStart;
-            openFaults.clear();
-          }
+          openFaults.clear();
           if (spec_.auditAfterSweep) runAudit();
           break;
         }
       }
     }
+    // A request made this instant may resolve immediately under
+    // zero-latency specs; collapse those transitions now.
+    if (reconfig_) {
+      reconfig_->step(next);
+      applyCompletions();
+      trackPause(next);
+    }
   }
 
-  // Close an unswept degraded window at wherever the run actually ended.
-  if (!openFaults.empty()) {
-    stats_.degradedTimeNs += endedAt - degradedStart;
-    stats_.droppedWhileDegraded +=
-        fabric_->counters().dropped - droppedAtDegradedStart;
-  }
+  // Close any uncovered degraded window at wherever the run actually ended.
+  degraded.closeAll(endedAt, fabric_->counters().dropped);
+  stats_.degradedTimeNs = degraded.degradedTimeNs();
+  stats_.droppedWhileDegraded = degraded.droppedWhileDegraded();
   stats_.droppedWhileHealthy = fabric_->counters().dropped - droppedAtStart -
                                stats_.droppedWhileDegraded;
+
+  if (reconfig_) {
+    const ReconfigStats& r = reconfig_->stats();
+    stats_.epochsInstalled = r.epochsInstalled;
+    stats_.reconfigSmpsSent = r.smpsSent;
+    stats_.installPhaseNs = r.installPhaseNsTotal;
+    stats_.reconfigLatencyNs = r.reconfigLatencyNsTotal;
+    stats_.injectionPausedNs = reconfig_->injectionPausedNs(endedAt);
+    stats_.computeRestarts = r.computeRestarts;
+  }
 
   if (transient_) {
     const TransientFaultStats& t = transient_->stats();

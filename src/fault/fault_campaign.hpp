@@ -30,6 +30,7 @@
 #include "fabric/fabric.hpp"
 #include "fault/transient.hpp"
 #include "stats/resilience.hpp"
+#include "subnet/reconfig.hpp"
 #include "subnet/subnet_manager.hpp"
 
 namespace ibadapt {
@@ -67,6 +68,14 @@ struct FaultCampaignSpec {
   /// Audit escape connectivity + credit sanity after every sweep.
   bool auditAfterSweep = true;
 
+  /// How each sweep is executed. kInstantSweep keeps the seed's in-place
+  /// zero-cost rewrite; kDrainAndSweep and kLiveEpochSwap hand the sweep
+  /// to a ReconfigManager that models the reconfiguration protocol (see
+  /// subnet/reconfig.hpp). In managed modes, a sweep covers only the
+  /// faults visible when its routing plan was computed; later faults keep
+  /// their degraded window open until a follow-up sweep lands.
+  ReconfigSpec reconfig;
+
   /// Transient fault layer (bit errors + credit-update loss); off by
   /// default. The campaign owns the model and attaches it to the fabric
   /// for the duration of the run.
@@ -100,6 +109,9 @@ class FaultCampaign {
 
   const ResilienceStats& stats() const { return stats_; }
 
+  /// Non-null while running in a managed reconfiguration mode.
+  const ReconfigManager* reconfigManager() const { return reconfig_.get(); }
+
  private:
   void buildTimeline();
 
@@ -108,6 +120,7 @@ class FaultCampaign {
   FaultCampaignSpec spec_;
   std::vector<TimelineEntry> timeline_;
   std::unique_ptr<TransientLinkFaults> transient_;
+  std::unique_ptr<ReconfigManager> reconfig_;
   ResilienceStats stats_;
   bool ran_ = false;
 };

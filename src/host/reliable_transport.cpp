@@ -1,7 +1,10 @@
 #include "host/reliable_transport.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "util/rng.hpp"
 
 namespace ibadapt {
 
@@ -17,6 +20,10 @@ void ReliableTransportSpec::validate() const {
   }
   if (ackDelayNs < 0) {
     throw std::invalid_argument("ReliableTransportSpec: ackDelayNs");
+  }
+  if (jitterFraction < 0.0 || jitterFraction > 1.0) {
+    throw std::invalid_argument(
+        "ReliableTransportSpec: jitterFraction must be in [0, 1]");
   }
 }
 
@@ -39,13 +46,31 @@ ReliableTransport::ReliableTransport(ITrafficSource& inner, int numNodes,
   recv_.assign(flows, FlowRecv{});
 }
 
-SimTime ReliableTransport::rtoFor(int attempts) const {
-  double rto = static_cast<double>(spec_.baseRtoNs);
-  for (int i = 0; i < attempts; ++i) {
-    rto *= spec_.backoffFactor;
-    if (rto >= static_cast<double>(spec_.maxRtoNs)) break;
+SimTime ReliableTransport::rtoFor(NodeId src, NodeId dst, std::uint32_t seq,
+                                  int attempts) const {
+  // Closed-form capped backoff; pow may overflow to inf for deep attempt
+  // counts, which the !(x < max) clamp folds onto the ceiling.
+  double rto =
+      static_cast<double>(spec_.baseRtoNs) *
+      std::pow(spec_.backoffFactor, static_cast<double>(attempts));
+  if (!(rto < static_cast<double>(spec_.maxRtoNs))) {
+    rto = static_cast<double>(spec_.maxRtoNs);
   }
-  return std::min(spec_.maxRtoNs, static_cast<SimTime>(rto));
+  // Per-(flow, packet, attempt) jitter stretches the deadline by up to
+  // jitterFraction of the RTO. Hashed, never drawn: the same copy backs
+  // off identically in every kernel and at every thread count, and timers
+  // never fire earlier than the unjittered schedule.
+  if (spec_.jitterFraction > 0.0) {
+    std::uint64_t h = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                           src)) << 32) |
+                      static_cast<std::uint32_t>(dst);
+    h ^= (static_cast<std::uint64_t>(seq) << 16) ^
+         static_cast<std::uint64_t>(attempts);
+    const double u =
+        static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;  // [0, 1)
+    rto += rto * spec_.jitterFraction * u;
+  }
+  return static_cast<SimTime>(rto);
 }
 
 void ReliableTransport::drainAcks(NodeSend& st, SimTime now) {
@@ -96,7 +121,8 @@ ITrafficSource::Spec ReliableTransport::makePacket(NodeId src, Rng& rng) {
       continue;
     }
     ++op.attempts;
-    op.deadline = now + rtoFor(op.attempts);
+    op.deadline =
+        now + rtoFor(src, op.spec.dst, op.spec.e2eSeq, op.attempts);
     ++st.retransmitsSent;
     // The stored spec stays in fresh-copy form; only the emitted copy is
     // marked, so the packet itself tells the observer chain what it is.
@@ -112,7 +138,8 @@ ITrafficSource::Spec ReliableTransport::makePacket(NodeId src, Rng& rng) {
       s.e2eSeq = nextSeq_[flowIndex(src, s.dst)]++;
       s.retransmit = false;
       s.e2eFirstSent = now;
-      st.outstanding.push_back(OutPkt{s, now + rtoFor(0), 0});
+      st.outstanding.push_back(
+          OutPkt{s, now + rtoFor(src, s.dst, s.e2eSeq, 0), 0});
       ++st.uniqueSent;
     }
     return s;

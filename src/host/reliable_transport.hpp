@@ -52,8 +52,17 @@ struct ReliableTransportSpec {
   SimTime baseRtoNs = 50'000;
   /// Timeout multiplier per retransmission (exponential backoff).
   double backoffFactor = 2.0;
-  /// Backoff ceiling.
+  /// Backoff ceiling — the closed-form RTO min(base * factor^attempts, max)
+  /// is clamped here before jitter is added.
   SimTime maxRtoNs = 1'600'000;
+  /// Deterministic timer desynchronization: each deadline is stretched by
+  /// up to this fraction of the RTO, keyed by (src, dst, seq, attempt).
+  /// After a fault kills many flows at once, their retransmissions would
+  /// otherwise all fire in lockstep and re-congest the recovering fabric in
+  /// synchronized bursts. Hash-derived (not drawn from the node RNGs), so
+  /// enabling reliability never perturbs the traffic pattern's draws and
+  /// results stay bit-identical across kernels and thread counts.
+  double jitterFraction = 0.125;
   /// Retransmissions per packet before the transport gives up (counted in
   /// abandoned()); generous by default so recovered fabrics converge to
   /// exactly-once delivery.
@@ -148,7 +157,8 @@ class ReliableTransport final : public ITrafficSource,
     return static_cast<std::size_t>(src) * static_cast<std::size_t>(numNodes_) +
            static_cast<std::size_t>(dst);
   }
-  SimTime rtoFor(int attempts) const;
+  SimTime rtoFor(NodeId src, NodeId dst, std::uint32_t seq,
+                 int attempts) const;
   void drainAcks(NodeSend& st, SimTime now);
   bool flowSeen(const FlowRecv& flow, std::uint32_t seq) const;
   void flowMark(FlowRecv& flow, std::uint32_t seq);

@@ -1,0 +1,130 @@
+#include "routing/lft_image.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ibadapt {
+
+LftImage buildLftImage(const Topology& topo, const LftPlanSpec& spec) {
+  if (spec.lmc < 0 || spec.lmc > 7) {
+    throw std::invalid_argument("buildLftImage: LMC out of [0,7]");
+  }
+  if (!spec.adaptiveSwitchMask.empty() &&
+      static_cast<int>(spec.adaptiveSwitchMask.size()) != topo.numSwitches()) {
+    throw std::invalid_argument("buildLftImage: adaptiveSwitchMask size");
+  }
+  const int lidsPerNode = 1 << spec.lmc;
+  const auto baseLid = [&spec](NodeId n) {
+    return static_cast<Lid>(n + 1) << spec.lmc;
+  };
+  const Lid limit = static_cast<Lid>(topo.numNodes() + 1) << spec.lmc;
+
+  LftImage image;
+  image.entries.assign(static_cast<std::size_t>(topo.numSwitches()),
+                       std::vector<std::uint8_t>(limit, kLftImageUnset));
+  auto set = [&image](SwitchId sw, Lid lid, PortIndex port) {
+    image.entries[static_cast<std::size_t>(sw)][lid] =
+        static_cast<std::uint8_t>(port);
+  };
+
+  if (spec.sourceMultipathPlanes > 0) {
+    if (spec.numOptions != 1) {
+      throw std::invalid_argument(
+          "buildLftImage: source multipath needs numOptions == 1");
+    }
+    const int planes = spec.sourceMultipathPlanes;
+    if (planes > lidsPerNode) {
+      throw std::invalid_argument(
+          "buildLftImage: more multipath planes than LIDs per node");
+    }
+    // One coherent up*/down* plane per address slot; plane 0 is the
+    // canonical (lowest-port tie-break) table so address d behaves exactly
+    // like the deterministic baseline.
+    std::vector<UpDownRouting> tables;
+    tables.reserve(static_cast<std::size_t>(planes));
+    for (int k = 0; k < planes; ++k) {
+      tables.emplace_back(topo, spec.rootSelection, static_cast<unsigned>(k));
+    }
+    image.root = tables.front().root();
+    for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+      for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        const Lid base = baseLid(n);
+        const SwitchId destSw = topo.switchOfNode(n);
+        for (int k = 0; k < lidsPerNode; ++k) {
+          const PortIndex port =
+              destSw == sw
+                  ? topo.portOfNode(n)
+                  : tables[static_cast<std::size_t>(k % planes)].nextHopPort(
+                        sw, destSw);
+          set(sw, base + static_cast<Lid>(k), port);
+        }
+      }
+    }
+    return image;
+  }
+
+  const int x = spec.numOptions;
+  const int sets = spec.apmPathSets;
+  if (sets < 1 || sets * x > lidsPerNode) {
+    throw std::invalid_argument(
+        "buildLftImage: apmPathSets * numOptions exceeds the LID block");
+  }
+
+  // One escape plane per APM path set; all share one orientation (salt-only
+  // variation), so any mixture of sets remains deadlock-free.
+  std::vector<UpDownRouting> updowns;
+  std::vector<RouteSet> routeSets;
+  const MinimalAdaptiveRouting minimal(topo);
+  updowns.reserve(static_cast<std::size_t>(sets));
+  routeSets.reserve(static_cast<std::size_t>(sets));
+  for (int j = 0; j < sets; ++j) {
+    updowns.emplace_back(topo, spec.rootSelection, static_cast<unsigned>(j));
+  }
+  for (int j = 0; j < sets; ++j) {
+    routeSets.emplace_back(topo, updowns[static_cast<std::size_t>(j)], minimal);
+  }
+  image.root = updowns.front().root();
+
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    const bool adaptiveCapable =
+        spec.adaptiveSwitchMask.empty()
+            ? spec.adaptiveSwitches
+            : spec.adaptiveSwitchMask[static_cast<std::size_t>(sw)];
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+      const Lid base = baseLid(n);
+      for (int j = 0; j < sets; ++j) {
+        const RouteSet& routes = routeSets[static_cast<std::size_t>(j)];
+        const RouteOptionsSpec& rspec = routes.options(sw, n);
+        const Lid sub = base + static_cast<Lid>(j * x);
+        // Sub-block address 0: the deterministic / escape route of set j.
+        set(sw, sub, rspec.escapePort);
+        // Addresses 1 .. x-1: adaptive minimal options (escape hop when
+        // this switch is deterministic-only or the destination is local).
+        auto capped = adaptiveCapable ? routes.cappedAdaptivePorts(sw, n, x)
+                                      : std::vector<PortIndex>{};
+        if (!capped.empty() && j > 0) {
+          // Different sets lead with different minimal ports.
+          std::rotate(capped.begin(),
+                      capped.begin() + (j % static_cast<int>(capped.size())),
+                      capped.end());
+        }
+        for (int k = 1; k < x; ++k) {
+          const PortIndex port =
+              capped.empty()
+                  ? rspec.escapePort
+                  : capped[static_cast<std::size_t>((k - 1) % capped.size())];
+          set(sw, sub + static_cast<Lid>(k), port);
+        }
+      }
+      // Remaining block addresses: set-0 escape hop, so a stray DLID still
+      // routes deterministically.
+      const PortIndex esc0 = routeSets.front().options(sw, n).escapePort;
+      for (int k = sets * x; k < lidsPerNode; ++k) {
+        set(sw, base + static_cast<Lid>(k), esc0);
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace ibadapt

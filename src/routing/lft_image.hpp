@@ -1,0 +1,60 @@
+#pragma once
+//
+// Complete linear-forwarding-table images, computed away from the fabric.
+//
+// The subnet manager used to derive LFT contents inline while programming
+// switches; live reconfiguration needs the same computation as a standalone
+// step — the SM recomputes the whole image in the background (possibly from
+// a *snapshot* of the topology, while the fabric keeps forwarding on the old
+// tables) and only then ships it to the switches. So the image builder lives
+// here in the routing layer, takes an explicit topology plus a plan spec,
+// and returns plain bytes; both the classic one-shot configure path and the
+// epoch-swap reconfiguration path (src/subnet/reconfig) feed from it.
+//
+#include <cstdint>
+#include <vector>
+
+#include "routing/minimal.hpp"
+#include "routing/route_set.hpp"
+#include "routing/updown.hpp"
+#include "topology/topology.hpp"
+
+namespace ibadapt {
+
+/// "Entry not programmed" marker inside an LFT image.
+inline constexpr std::uint8_t kLftImageUnset = 0xFF;
+
+/// Everything the routing engines need to plan a full set of tables. The
+/// LID layout is described by `lmc` alone: node n owns the aligned block of
+/// 2^lmc LIDs starting at (n+1)<<lmc (the core/lid_map.hpp contract,
+/// restated here so the routing layer stays below core in the build).
+struct LftPlanSpec {
+  int lmc = 1;
+  /// Interleaved table banks (x): address d is the escape hop, d+1..d+x-1
+  /// the adaptive options.
+  int numOptions = 2;
+  RootSelection rootSelection = RootSelection::kHighestDegree;
+  /// See SubnetParams: > 0 programs one deterministic up*/down* plane per
+  /// address slot instead of adaptive options (requires numOptions == 1).
+  int sourceMultipathPlanes = 0;
+  /// See SubnetParams: APM path sets, each a complete routing configuration
+  /// in its own sub-block of the LID range.
+  int apmPathSets = 1;
+  /// Default adaptivity plus the optional per-switch override.
+  bool adaptiveSwitches = true;
+  std::vector<bool> adaptiveSwitchMask;
+};
+
+/// The complete LFT image: one byte per LID per switch (kLftImageUnset =
+/// unused address) plus the escape-tree root it was planned around.
+struct LftImage {
+  std::vector<std::vector<std::uint8_t>> entries;  // [switch][lid]
+  SwitchId root = kInvalidId;
+};
+
+/// Plan the full image for `topo`. Pure function of its arguments: feeding
+/// it a topology snapshot yields the tables the SM would have computed at
+/// snapshot time, regardless of what the live fabric has done since.
+LftImage buildLftImage(const Topology& topo, const LftPlanSpec& spec);
+
+}  // namespace ibadapt

@@ -13,6 +13,13 @@ std::string ResilienceStats::summary() const {
   }
   os << " degraded=" << degradedTimeNs << "ns"
      << " droppedDegraded=" << droppedWhileDegraded;
+  if (epochsInstalled > 0) {
+    os << " epochs=" << epochsInstalled << " reconfigSmps=" << reconfigSmpsSent
+       << " installNs=" << installPhaseNs
+       << " reconfigLatencyNs=" << reconfigLatencyNs;
+    if (computeRestarts > 0) os << " computeRestarts=" << computeRestarts;
+  }
+  if (injectionPausedNs > 0) os << " pausedNs=" << injectionPausedNs;
   if (packetsCorrupted > 0 || creditUpdatesLost > 0) {
     os << " corrupted=" << packetsCorrupted << " crcDrops=" << crcDrops
        << " silent=" << silentCorruptions

@@ -23,13 +23,29 @@ struct ResilienceStats {
   /// Per fault: time from the failure until the next completed SM sweep —
   /// the window endpoints were exposed to a stale LFT ("time-to-recovery").
   LatencyAccumulator timeToRecovery;
-  /// Total simulated time during which at least one fault was not yet
-  /// swept around (union of the degraded windows).
+  /// Total simulated time of degraded service: at least one fault not yet
+  /// covered by an installed sweep, or injection gated by a
+  /// stop-and-resweep reconfiguration. Union of the windows — overlapping
+  /// per-fault (and pause) intervals are merged, never summed.
   SimTime degradedTimeNs = 0;
   /// Packets discarded at switches inside degraded windows.
   std::uint64_t droppedWhileDegraded = 0;
   /// ... and outside them (stale path sets, in-flight stragglers).
   std::uint64_t droppedWhileHealthy = 0;
+
+  // ---- live reconfiguration (zeros in kInstantSweep mode) ---------------
+  /// Epoch advances completed (live two-phase LFT swaps).
+  std::uint32_t epochsInstalled = 0;
+  /// SMPs carried by the staged-install flow.
+  std::uint64_t reconfigSmpsSent = 0;
+  /// Total install-phase time (image computed -> epoch advanced).
+  std::uint64_t installPhaseNs = 0;
+  /// Total fault-noticed -> new-routes-active latency over live sweeps.
+  std::uint64_t reconfigLatencyNs = 0;
+  /// Time injection was gated (stop-and-resweep baseline only).
+  std::uint64_t injectionPausedNs = 0;
+  /// Route computations restarted because another fault arrived mid-plan.
+  std::uint32_t computeRestarts = 0;
 
   // ---- transient faults (zeros when no TransientLinkFaults) -------------
   /// Corruption events injected on link receive paths.
@@ -70,6 +86,53 @@ struct ResilienceStats {
   }
 
   std::string summary() const;
+};
+
+/// Union-of-intervals accounting for degraded time: a window opens when the
+/// first uncovered fault appears and closes when the *last* one is covered,
+/// so overlapping per-fault windows are merged instead of summed. Partial
+/// sweep coverage (live reconfiguration heals only faults older than its
+/// topology snapshot) makes genuine overlap common; naive per-fault sums
+/// would double-count it.
+class DegradedWindowTracker {
+ public:
+  /// A fault became visible and is not yet routed around.
+  void open(SimTime now, std::uint64_t droppedNow) {
+    if (openCount_ == 0) {
+      windowStart_ = now;
+      droppedAtStart_ = droppedNow;
+    }
+    ++openCount_;
+  }
+
+  /// One open fault is now covered by an installed sweep.
+  void close(SimTime now, std::uint64_t droppedNow) {
+    --openCount_;
+    if (openCount_ == 0) {
+      degradedTimeNs_ += now - windowStart_;
+      droppedWhileDegraded_ += droppedNow - droppedAtStart_;
+    }
+  }
+
+  /// End of run: force any open window shut at `now`.
+  void closeAll(SimTime now, std::uint64_t droppedNow) {
+    if (openCount_ > 0) {
+      degradedTimeNs_ += now - windowStart_;
+      droppedWhileDegraded_ += droppedNow - droppedAtStart_;
+      openCount_ = 0;
+    }
+  }
+
+  int openCount() const { return openCount_; }
+  SimTime degradedTimeNs() const { return degradedTimeNs_; }
+  std::uint64_t droppedWhileDegraded() const { return droppedWhileDegraded_; }
+
+ private:
+  int openCount_ = 0;
+  SimTime windowStart_ = 0;
+  std::uint64_t droppedAtStart_ = 0;
+  SimTime degradedTimeNs_ = 0;
+  std::uint64_t droppedWhileDegraded_ = 0;
 };
 
 }  // namespace ibadapt

@@ -1,0 +1,329 @@
+#include "subnet/reconfig.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "subnet/smp.hpp"
+
+namespace ibadapt {
+
+namespace {
+
+void put32be(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>((v >> 16) & 0xFF);
+  p[2] = static_cast<std::uint8_t>((v >> 8) & 0xFF);
+  p[3] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+/// 64-entry LFT blocks of `table` that carry at least one programmed entry
+/// (the unit of SMP install traffic in both managed modes).
+std::uint64_t nonEmptyBlocks(const std::vector<std::uint8_t>& table) {
+  std::uint64_t n = 0;
+  const std::size_t bs = static_cast<std::size_t>(kLftBlockSize);
+  const std::size_t blocks = (table.size() + bs - 1) / bs;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t i = 0; i < bs; ++i) {
+      const std::size_t lid = b * bs + i;
+      if (lid >= table.size()) break;
+      if (table[lid] != kLftImageUnset) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+void ReconfigSpec::validate() const {
+  if (computeDelayNs < 0) {
+    throw std::invalid_argument("ReconfigSpec: computeDelayNs must be >= 0");
+  }
+  if (smpRttNs < 0) {
+    throw std::invalid_argument("ReconfigSpec: smpRttNs must be >= 0");
+  }
+  if (drainPollNs <= 0 || retirePollNs <= 0) {
+    throw std::invalid_argument("ReconfigSpec: poll periods must be > 0");
+  }
+}
+
+ReconfigManager::ReconfigManager(Fabric& fabric, SubnetManager& sm,
+                                 const ReconfigSpec& spec,
+                                 const SubnetParams& subnet)
+    : fabric_(&fabric), sm_(&sm), spec_(spec), subnet_(subnet) {
+  spec_.validate();
+}
+
+void ReconfigManager::requestSweep(SimTime now) {
+  switch (spec_.mode) {
+    case ReconfigMode::kInstantSweep:
+      // Seed semantics: rewrite in place, zero simulated cost.
+      sm_->configure(subnet_);
+      ++stats_.sweepsCompleted;
+      completions_.push_back({now, now});
+      return;
+
+    case ReconfigMode::kDrainAndSweep:
+      switch (state_) {
+        case State::kIdle:
+          fabric_->setInjectionPaused(true);
+          pausedAt_ = now;
+          cycleRequestAt_ = now;
+          state_ = State::kDraining;
+          nextAt_ = now;  // poll immediately; the fabric may be empty
+          return;
+        case State::kDraining:
+          // The pending compute will snapshot after this fault: covered.
+          return;
+        case State::kComputing:
+          ++stats_.computeRestarts;
+          startCompute(now);
+          return;
+        case State::kActivating:
+          // Tables already computed from an older snapshot — run a whole
+          // new stop-and-resweep cycle afterwards.
+          if (!pending_) pendingRequestAt_ = now;
+          pending_ = true;
+          return;
+        case State::kWaitRetire:
+        case State::kInstalling:
+          break;  // unreachable in this mode
+      }
+      return;
+
+    case ReconfigMode::kLiveEpochSwap:
+      switch (state_) {
+        case State::kIdle:
+          cycleRequestAt_ = now;
+          state_ = State::kWaitRetire;
+          nextAt_ = now;
+          return;
+        case State::kWaitRetire:
+          // The snapshot hasn't been taken yet; the pending compute will
+          // see this fault.
+          return;
+        case State::kComputing:
+          // The in-progress computation is stale: restart against a fresh
+          // snapshot (cycleRequestAt_ keeps the first request's time so
+          // latency accounting reflects the whole disruption).
+          ++stats_.computeRestarts;
+          startCompute(now);
+          return;
+        case State::kInstalling:
+        case State::kActivating:
+          // Too late to fold into this image — queue a follow-up cycle.
+          if (!pending_) pendingRequestAt_ = now;
+          pending_ = true;
+          return;
+        case State::kDraining:
+          break;  // unreachable in this mode
+      }
+      return;
+  }
+}
+
+void ReconfigManager::step(SimTime now) {
+  // Collapse every transition due by `now` (zero-latency specs resolve in
+  // one call instead of spinning the campaign loop).
+  while (nextAt_ <= now) {
+    switch (state_) {
+      case State::kIdle:
+        nextAt_ = kTimeNever;
+        break;
+
+      case State::kDraining:
+        if (fabric_->inFlightPackets() == 0) {
+          // Fabric empty and injection gated: the stop-the-world SM can
+          // start computing; it stays stopped through compute + install.
+          startCompute(now);
+        } else {
+          nextAt_ = now + spec_.drainPollNs;
+        }
+        break;
+
+      case State::kWaitRetire:
+        if (fabric_->oldEpochInFlight() == 0) {
+          startCompute(now);
+        } else {
+          nextAt_ = now + spec_.retirePollNs;
+        }
+        break;
+
+      case State::kComputing:
+        finishCompute(computeDoneAt_);
+        break;
+
+      case State::kInstalling:
+        processInstalls(now);
+        break;
+
+      case State::kActivating:
+        activate(activateAt_);
+        break;
+    }
+  }
+}
+
+void ReconfigManager::startCompute(SimTime now) {
+  computeStartAt_ = now;
+  // Deep copy: the plan is computed against the fabric as seen at this
+  // instant, even if more faults land while the computation "runs".
+  snapshot_ = fabric_->topology();
+  computeDoneAt_ = now + spec_.computeDelayNs;
+  state_ = State::kComputing;
+  nextAt_ = computeDoneAt_;
+}
+
+void ReconfigManager::finishCompute(SimTime now) {
+  image_ = buildLftImage(*snapshot_, SubnetManager::planSpec(*fabric_, subnet_));
+  snapshot_.reset();
+
+  if (spec_.mode == ReconfigMode::kDrainAndSweep) {
+    // Stop-and-resweep pays the same install traffic, minus the staging
+    // control SMPs — plain LinearForwardingTable writes suffice on an
+    // empty, gated fabric. Nothing to do mid-install; the tables land at
+    // activation.
+    std::uint64_t smps = 0;
+    for (const auto& table : image_.entries) smps += nonEmptyBlocks(table);
+    stats_.smpsSent += smps;
+    installQueue_.clear();
+    installPos_ = 0;
+    activateAt_ = now + static_cast<SimTime>(smps) * spec_.smpRttNs;
+    state_ = State::kActivating;
+    nextAt_ = activateAt_;
+    return;
+  }
+
+  newEpoch_ = fabric_->injectionEpoch() + 1;
+  // Serialized install flow: the SM works through the switches in id order,
+  // one SMP at a time, each costing a full round trip. A switch's ack time
+  // is therefore the cumulative SMP count so far times the RTT.
+  installQueue_.clear();
+  installPos_ = 0;
+  std::uint64_t smpsSoFar = 0;
+  for (SwitchId sw = 0; sw < fabric_->topology().numSwitches(); ++sw) {
+    const auto& table = image_.entries[static_cast<std::size_t>(sw)];
+    // StagedLftControl begin + block writes + commit.
+    smpsSoFar += 2 + nonEmptyBlocks(table);
+    installQueue_.emplace_back(
+        now + static_cast<SimTime>(smpsSoFar) * spec_.smpRttNs, sw);
+  }
+  state_ = State::kInstalling;
+  nextAt_ = installQueue_.empty() ? now : installQueue_.front().first;
+}
+
+void ReconfigManager::processInstalls(SimTime now) {
+  while (installPos_ < installQueue_.size() &&
+         installQueue_[installPos_].first <= now) {
+    installSwitch(installQueue_[installPos_].second);
+    ++installPos_;
+  }
+  if (installPos_ < installQueue_.size()) {
+    nextAt_ = installQueue_[installPos_].first;
+    return;
+  }
+  // All acks are in; the epoch-advance notification takes one more RTT.
+  const SimTime lastAck =
+      installQueue_.empty() ? now : installQueue_.back().first;
+  activateAt_ = lastAck + spec_.smpRttNs;
+  state_ = State::kActivating;
+  nextAt_ = activateAt_;
+}
+
+void ReconfigManager::installSwitch(SwitchId sw) {
+  const auto& table = image_.entries[static_cast<std::size_t>(sw)];
+
+  Smp begin;
+  begin.method = SmpMethod::kSet;
+  begin.attr = SmpAttr::kStagedLftControl;
+  begin.attrMod = 0;
+  if (processSmp(*fabric_, sw, begin).status != SmpStatus::kOk) {
+    throw std::runtime_error("ReconfigManager: stage-begin SMP rejected");
+  }
+  ++stats_.smpsSent;
+
+  const std::size_t bs = static_cast<std::size_t>(kLftBlockSize);
+  const std::size_t blocks = (table.size() + bs - 1) / bs;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    Smp smp;
+    smp.method = SmpMethod::kSet;
+    smp.attr = SmpAttr::kStagedForwardingTable;
+    smp.attrMod = static_cast<std::uint32_t>(b);
+    smp.payload.fill(kLftNoPort);
+    bool any = false;
+    for (std::size_t i = 0; i < bs; ++i) {
+      const std::size_t lid = b * bs + i;
+      if (lid >= table.size()) break;
+      if (table[lid] == kLftImageUnset) continue;
+      smp.payload[i] = table[lid];
+      any = true;
+    }
+    if (!any) continue;
+    if (processSmp(*fabric_, sw, smp).status != SmpStatus::kOk) {
+      throw std::runtime_error("ReconfigManager: staged-LFT SMP rejected");
+    }
+    ++stats_.smpsSent;
+  }
+
+  Smp commit;
+  commit.method = SmpMethod::kSet;
+  commit.attr = SmpAttr::kStagedLftControl;
+  commit.attrMod = 1;
+  put32be(commit.payload.data(), newEpoch_);
+  if (processSmp(*fabric_, sw, commit).status != SmpStatus::kOk) {
+    throw std::runtime_error("ReconfigManager: stage-commit SMP rejected");
+  }
+  ++stats_.smpsSent;
+}
+
+void ReconfigManager::activate(SimTime now) {
+  if (spec_.mode == ReconfigMode::kDrainAndSweep) {
+    // The fabric is empty and gated: write the snapshot's image straight
+    // into the active tables. Deliberately NOT sm_->configure(): that
+    // would replan from the *current* topology and silently cover faults
+    // newer than the snapshot the modeled computation actually used.
+    for (SwitchId sw = 0; sw < fabric_->topology().numSwitches(); ++sw) {
+      const auto& table = image_.entries[static_cast<std::size_t>(sw)];
+      for (std::size_t lid = 0; lid < table.size(); ++lid) {
+        if (table[lid] == kLftImageUnset) continue;
+        fabric_->setLftEntry(sw, static_cast<Lid>(lid),
+                             static_cast<PortIndex>(table[lid]));
+      }
+    }
+    fabric_->setInjectionPaused(false);
+    stats_.injectionPausedNs += static_cast<std::uint64_t>(now - pausedAt_);
+  } else {
+    fabric_->advanceInjectionEpoch(newEpoch_);
+    ++stats_.epochsInstalled;
+    stats_.installPhaseNsTotal +=
+        static_cast<std::uint64_t>(now - computeDoneAt_);
+  }
+  ++stats_.sweepsCompleted;
+  stats_.reconfigLatencyNsTotal +=
+      static_cast<std::uint64_t>(now - cycleRequestAt_);
+  // Faults applied after the snapshot are NOT healed by this image — they
+  // stay open and, if queued, drive the follow-up cycle.
+  completions_.push_back({now, computeStartAt_});
+  state_ = State::kIdle;
+  nextAt_ = kTimeNever;
+  if (pending_) {
+    pending_ = false;
+    cycleRequestAt_ = pendingRequestAt_;
+    if (spec_.mode == ReconfigMode::kDrainAndSweep) {
+      fabric_->setInjectionPaused(true);
+      pausedAt_ = now;
+      state_ = State::kDraining;
+    } else {
+      state_ = State::kWaitRetire;
+    }
+    nextAt_ = now;
+  }
+}
+
+std::vector<ReconfigManager::Completion> ReconfigManager::drainCompletions() {
+  return std::exchange(completions_, {});
+}
+
+}  // namespace ibadapt

@@ -1,0 +1,178 @@
+#pragma once
+//
+// SM-driven live reconfiguration: the epoch-based two-phase LFT swap.
+//
+// When the fault campaign reports a link failure or recovery, the subnet
+// manager no longer has to stop the world and rewrite tables in place.
+// ReconfigManager runs the update as a protocol with modeled latency:
+//
+//   1. wait-retire — before the shadow LFT banks can be reused, every
+//      packet of the *previous* epoch must have retired (delivered or
+//      dropped); the fabric's per-epoch in-flight ledger gates this.
+//   2. compute — the SM snapshots the topology and replans the complete
+//      up*/down* escape trees + LFT image in the background
+//      (routing/lft_image). Traffic keeps flowing on the old tables; a
+//      request arriving mid-compute restarts the computation against a
+//      fresh snapshot.
+//   3. install — the image ships to each switch as SMP traffic with real
+//      latency: a StagedLftControl(begin), one StagedForwardingTable Set
+//      per non-empty 64-entry block, and a StagedLftControl(commit) that
+//      tags the shadow bank with the next epoch. The switch's GetResp is
+//      its install ack; the SM serializes SMPs, so ack times accumulate
+//      across switches.
+//   4. activate — one more SMP RTT after the last ack, the SM advances the
+//      fabric injection epoch. Packets injected from that instant are
+//      stamped with the new epoch and route on the new tables; packets
+//      already in flight keep resolving the old bank at every remaining
+//      hop. No packet ever mixes old and new escape paths, so each
+//      packet's escape route stays inside one acyclic up*/down* tree and
+//      deadlock freedom is preserved through the transition.
+//
+// The same manager also models the honest stop-and-resweep baseline
+// (kDrainAndSweep): pause injection, wait for the fabric to drain, then pay
+// the *same* compute and SMP install costs with the fabric stopped before
+// rewriting tables in place and resuming. The fault campaign compares both.
+//
+// All manager actions run in coordinator context between Fabric::run
+// slices at deterministic times, so results stay bit-identical across
+// kernels and thread counts.
+//
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "routing/lft_image.hpp"
+#include "subnet/subnet_manager.hpp"
+#include "topology/topology.hpp"
+
+namespace ibadapt {
+
+enum class ReconfigMode {
+  /// Legacy behavior: the sweep rewrites the active tables in place, in
+  /// zero simulated time (the seed's semantics; default).
+  kInstantSweep,
+  /// Stop-and-resweep baseline with honest cost: injection pauses, the
+  /// fabric drains completely, the SM computes and installs the new tables
+  /// while everything stands still, then injection resumes.
+  kDrainAndSweep,
+  /// The live protocol described above: traffic keeps flowing throughout.
+  kLiveEpochSwap,
+};
+
+struct ReconfigSpec {
+  ReconfigMode mode = ReconfigMode::kInstantSweep;
+  /// Background path-computation time (topology snapshot -> full image).
+  SimTime computeDelayNs = 20'000;
+  /// Round-trip of one SMP (request + GetResp ack) between SM and switch.
+  SimTime smpRttNs = 1'000;
+  /// Poll period while waiting for the fabric to drain (kDrainAndSweep).
+  SimTime drainPollNs = 5'000;
+  /// Poll period while waiting for the previous epoch to retire
+  /// (kLiveEpochSwap step 1).
+  SimTime retirePollNs = 5'000;
+
+  void validate() const;
+};
+
+struct ReconfigStats {
+  std::uint32_t sweepsCompleted = 0;
+  /// Epoch advances performed (kLiveEpochSwap only).
+  std::uint32_t epochsInstalled = 0;
+  /// SMPs carried by the install flow (begin + blocks + commit per switch).
+  std::uint64_t smpsSent = 0;
+  /// Total install-phase duration (compute done -> epoch advance).
+  std::uint64_t installPhaseNsTotal = 0;
+  /// Total request -> activation latency over completed live sweeps.
+  std::uint64_t reconfigLatencyNsTotal = 0;
+  /// Total time injection was gated (kDrainAndSweep only).
+  std::uint64_t injectionPausedNs = 0;
+  /// Computations thrown away because a new fault arrived mid-compute.
+  std::uint32_t computeRestarts = 0;
+};
+
+class ReconfigManager {
+ public:
+  ReconfigManager(Fabric& fabric, SubnetManager& sm, const ReconfigSpec& spec,
+                  const SubnetParams& subnet);
+
+  /// The SM noticed a fault/recovery (campaign sweep-delay already
+  /// elapsed): fold it into the running cycle or start one.
+  void requestSweep(SimTime now);
+
+  /// Next simulated time the protocol needs to act, kTimeNever when idle.
+  /// The campaign bounds its run slices by this.
+  SimTime nextActionAt() const { return nextAt_; }
+
+  /// Perform every protocol action due at or before `now`. Coordinator
+  /// context only (between run slices).
+  void step(SimTime now);
+
+  /// One record per finished sweep: when it took effect, and the fault
+  /// horizon it covers (faults applied to the topology at or before
+  /// `coveredThrough` are routed around by the installed tables).
+  struct Completion {
+    SimTime at = 0;
+    SimTime coveredThrough = 0;
+  };
+  /// Completions since the last call (campaign closes fault windows with
+  /// these).
+  std::vector<Completion> drainCompletions();
+
+  bool idle() const { return state_ == State::kIdle && !pending_; }
+  const ReconfigStats& stats() const { return stats_; }
+
+  /// Total injection-gated time as of `now`, including a drain still in
+  /// progress (the accumulated stat only counts finished drains).
+  std::uint64_t injectionPausedNs(SimTime now) const {
+    std::uint64_t total = stats_.injectionPausedNs;
+    if (state_ == State::kDraining && now > pausedAt_) {
+      total += static_cast<std::uint64_t>(now - pausedAt_);
+    }
+    return total;
+  }
+
+ private:
+  enum class State {
+    kIdle,
+    kDraining,    // kDrainAndSweep: injection paused, waiting for empty
+    kWaitRetire,  // kLiveEpochSwap: waiting for the old epoch to retire
+    kComputing,   // background image computation in progress
+    kInstalling,  // SMP install flow, per-switch acks pending
+    kActivating,  // all acks in, epoch-advance broadcast in flight
+  };
+
+  void startCompute(SimTime now);
+  void finishCompute(SimTime now);
+  void processInstalls(SimTime now);
+  void installSwitch(SwitchId sw);
+  void activate(SimTime now);
+
+  Fabric* fabric_;
+  SubnetManager* sm_;
+  ReconfigSpec spec_;
+  SubnetParams subnet_;
+
+  State state_ = State::kIdle;
+  SimTime nextAt_ = kTimeNever;
+  /// Request arrived while installing/activating: run another cycle after.
+  bool pending_ = false;
+  SimTime pendingRequestAt_ = 0;
+
+  SimTime cycleRequestAt_ = 0;
+  SimTime computeStartAt_ = 0;
+  SimTime computeDoneAt_ = 0;
+  SimTime pausedAt_ = 0;
+  std::optional<Topology> snapshot_;
+  LftImage image_;
+  std::uint32_t newEpoch_ = 0;
+  /// (ack time, switch), ascending — the serialized SMP install schedule.
+  std::vector<std::pair<SimTime, SwitchId>> installQueue_;
+  std::size_t installPos_ = 0;
+  SimTime activateAt_ = kTimeNever;
+
+  std::vector<Completion> completions_;
+  ReconfigStats stats_;
+};
+
+}  // namespace ibadapt

@@ -123,6 +123,41 @@ Smp processSmp(Fabric& fabric, SwitchId sw, const Smp& request) {
       return respond(request, SmpStatus::kBadMethod);
     }
 
+    case SmpAttr::kStagedForwardingTable: {
+      if (request.method != SmpMethod::kSet) {
+        return respond(request, SmpStatus::kBadMethod);
+      }
+      const Lid base = static_cast<Lid>(request.attrMod) * kLftBlockSize;
+      const Lid limit = fabric.lids().lidLimit(topo.numNodes());
+      if (base >= limit) return respond(request, SmpStatus::kBadModifier);
+      for (int i = 0; i < kLftBlockSize; ++i) {
+        const Lid lid = base + static_cast<Lid>(i);
+        if (lid >= limit) break;
+        const std::uint8_t v = request.payload[static_cast<std::size_t>(i)];
+        if (v == kLftNoPort) continue;
+        if (v >= topo.portsPerSwitch()) {
+          return respond(request, SmpStatus::kBadField);
+        }
+        fabric.stageLftEntry(sw, lid, static_cast<PortIndex>(v));
+      }
+      return respond(request, SmpStatus::kOk);
+    }
+
+    case SmpAttr::kStagedLftControl: {
+      if (request.method != SmpMethod::kSet) {
+        return respond(request, SmpStatus::kBadMethod);
+      }
+      if (request.attrMod == 0) {
+        fabric.stageLftBegin(sw);
+        return respond(request, SmpStatus::kOk);
+      }
+      if (request.attrMod == 1) {
+        fabric.commitStagedLft(sw, get32(request.payload.data()));
+        return respond(request, SmpStatus::kOk);
+      }
+      return respond(request, SmpStatus::kBadModifier);
+    }
+
     case SmpAttr::kSlToVlTable: {
       const auto inPort = static_cast<PortIndex>(request.attrMod >> 8);
       const auto outPort = static_cast<PortIndex>(request.attrMod & 0xFF);

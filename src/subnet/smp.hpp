@@ -32,6 +32,15 @@ enum class SmpAttr : std::uint16_t {
   kPortInfo = 0x0015,
   kSlToVlTable = 0x0017,
   kLinearForwardingTable = 0x0019,
+  /// Vendor-range attributes for the live-reconfiguration install flow
+  /// (src/subnet/reconfig): same 64-entry block encoding as
+  /// LinearForwardingTable, but writes land in the switch's *shadow* LFT
+  /// bank instead of the active table.
+  kStagedForwardingTable = 0xFF30,
+  /// Set with attrMod = 0 opens the shadow bank for a new image; attrMod =
+  /// 1 commits it under the epoch carried in payload[0..3] (big-endian).
+  /// The GetResp is the switch's install ack.
+  kStagedLftControl = 0xFF31,
 };
 
 enum class SmpStatus : std::uint8_t {

@@ -9,7 +9,7 @@
 namespace ibadapt {
 
 namespace {
-constexpr std::uint8_t kUnset = 0xFF;
+constexpr std::uint8_t kUnset = kLftImageUnset;
 }
 
 DiscoveredSubnet SubnetManager::discover() const {
@@ -104,121 +104,22 @@ DiscoveredSubnet SubnetManager::discoverViaSmp() const {
   return out;
 }
 
-SubnetManager::LftImage SubnetManager::buildLftImage(
-    const SubnetParams& params) const {
-  const Topology& topo = fabric_->topology();
-  const FabricParams& fp = fabric_->params();
-  const LidMapper& lids = fabric_->lids();
-  const Lid limit = lids.lidLimit(topo.numNodes());
+LftPlanSpec SubnetManager::planSpec(const Fabric& fabric,
+                                    const SubnetParams& params) {
+  const FabricParams& fp = fabric.params();
+  LftPlanSpec plan;
+  plan.lmc = fabric.lids().lmc();
+  plan.numOptions = fp.numOptions;
+  plan.rootSelection = params.rootSelection;
+  plan.sourceMultipathPlanes = params.sourceMultipathPlanes;
+  plan.apmPathSets = params.apmPathSets;
+  plan.adaptiveSwitches = fp.adaptiveSwitches;
+  plan.adaptiveSwitchMask = fp.adaptiveSwitchMask;
+  return plan;
+}
 
-  LftImage image;
-  image.entries.assign(static_cast<std::size_t>(topo.numSwitches()),
-                       std::vector<std::uint8_t>(limit, kUnset));
-  auto set = [&image](SwitchId sw, Lid lid, PortIndex port) {
-    image.entries[static_cast<std::size_t>(sw)][lid] =
-        static_cast<std::uint8_t>(port);
-  };
-
-  if (params.sourceMultipathPlanes > 0) {
-    if (fp.numOptions != 1) {
-      throw std::invalid_argument(
-          "SubnetManager: source multipath needs numOptions == 1");
-    }
-    const int planes = params.sourceMultipathPlanes;
-    if (planes > lids.lidsPerNode()) {
-      throw std::invalid_argument(
-          "SubnetManager: more multipath planes than LIDs per node");
-    }
-    // One coherent up*/down* plane per address slot; plane 0 is the
-    // canonical (lowest-port tie-break) table so address d behaves exactly
-    // like the deterministic baseline.
-    std::vector<UpDownRouting> tables;
-    tables.reserve(static_cast<std::size_t>(planes));
-    for (int k = 0; k < planes; ++k) {
-      tables.emplace_back(topo, params.rootSelection,
-                          static_cast<unsigned>(k));
-    }
-    image.root = tables.front().root();
-    for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
-      for (NodeId n = 0; n < topo.numNodes(); ++n) {
-        const Lid base = lids.baseLid(n);
-        const SwitchId destSw = topo.switchOfNode(n);
-        for (int k = 0; k < lids.lidsPerNode(); ++k) {
-          const PortIndex port =
-              destSw == sw
-                  ? topo.portOfNode(n)
-                  : tables[static_cast<std::size_t>(k % planes)].nextHopPort(
-                        sw, destSw);
-          set(sw, base + static_cast<Lid>(k), port);
-        }
-      }
-    }
-    return image;
-  }
-
-  const int x = fp.numOptions;
-  const int lidsPerNode = lids.lidsPerNode();
-  const int sets = params.apmPathSets;
-  if (sets < 1 || sets * x > lidsPerNode) {
-    throw std::invalid_argument(
-        "SubnetManager: apmPathSets * numOptions exceeds the LID block");
-  }
-
-  // One escape plane per APM path set; all share one orientation (salt-only
-  // variation), so any mixture of sets remains deadlock-free.
-  std::vector<UpDownRouting> updowns;
-  std::vector<RouteSet> routeSets;
-  const MinimalAdaptiveRouting minimal(topo);
-  updowns.reserve(static_cast<std::size_t>(sets));
-  routeSets.reserve(static_cast<std::size_t>(sets));
-  for (int j = 0; j < sets; ++j) {
-    updowns.emplace_back(topo, params.rootSelection, static_cast<unsigned>(j));
-  }
-  for (int j = 0; j < sets; ++j) {
-    routeSets.emplace_back(topo, updowns[static_cast<std::size_t>(j)], minimal);
-  }
-  image.root = updowns.front().root();
-
-  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
-    const bool adaptiveCapable =
-        fp.adaptiveSwitchMask.empty()
-            ? fp.adaptiveSwitches
-            : fp.adaptiveSwitchMask[static_cast<std::size_t>(sw)];
-    for (NodeId n = 0; n < topo.numNodes(); ++n) {
-      const Lid base = lids.baseLid(n);
-      for (int j = 0; j < sets; ++j) {
-        const RouteSet& routes = routeSets[static_cast<std::size_t>(j)];
-        const RouteOptionsSpec& spec = routes.options(sw, n);
-        const Lid sub = base + static_cast<Lid>(j * x);
-        // Sub-block address 0: the deterministic / escape route of set j.
-        set(sw, sub, spec.escapePort);
-        // Addresses 1 .. x-1: adaptive minimal options (escape hop when
-        // this switch is deterministic-only or the destination is local).
-        auto capped = adaptiveCapable ? routes.cappedAdaptivePorts(sw, n, x)
-                                      : std::vector<PortIndex>{};
-        if (!capped.empty() && j > 0) {
-          // Different sets lead with different minimal ports.
-          std::rotate(capped.begin(),
-                      capped.begin() + (j % static_cast<int>(capped.size())),
-                      capped.end());
-        }
-        for (int k = 1; k < x; ++k) {
-          const PortIndex port =
-              capped.empty()
-                  ? spec.escapePort
-                  : capped[static_cast<std::size_t>((k - 1) % capped.size())];
-          set(sw, sub + static_cast<Lid>(k), port);
-        }
-      }
-      // Remaining block addresses: set-0 escape hop, so a stray DLID still
-      // routes deterministically.
-      const PortIndex esc0 = routeSets.front().options(sw, n).escapePort;
-      for (int k = sets * x; k < lidsPerNode; ++k) {
-        set(sw, base + static_cast<Lid>(k), esc0);
-      }
-    }
-  }
-  return image;
+LftImage SubnetManager::buildImage(const SubnetParams& params) const {
+  return buildLftImage(fabric_->topology(), planSpec(*fabric_, params));
 }
 
 SubnetManager::Report SubnetManager::configure(const SubnetParams& params) {
@@ -229,7 +130,7 @@ SubnetManager::Report SubnetManager::configure(const SubnetParams& params) {
   report.discoveryConsistent = discover().consistent;
   report.lidsPerNode = fabric_->lids().lidsPerNode();
 
-  const LftImage image = buildLftImage(params);
+  const LftImage image = buildImage(params);
   report.root = image.root;
   for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
     const auto& table = image.entries[static_cast<std::size_t>(sw)];
@@ -262,7 +163,7 @@ SubnetManager::Report SubnetManager::configureViaSmp(
   report.discoveryConsistent = discoverViaSmp().consistent;
   report.lidsPerNode = fabric_->lids().lidsPerNode();
 
-  const LftImage image = buildLftImage(params);
+  const LftImage image = buildImage(params);
   report.root = image.root;
   for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
     const auto& table = image.entries[static_cast<std::size_t>(sw)];

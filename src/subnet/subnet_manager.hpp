@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "fabric/fabric.hpp"
+#include "routing/lft_image.hpp"
 #include "routing/route_set.hpp"
 #include "routing/updown.hpp"
 
@@ -89,14 +90,14 @@ class SubnetManager {
   /// Discovery through encoded NodeInfo / PortInfo SMPs.
   DiscoveredSubnet discoverViaSmp() const;
 
+  /// Routing-plan spec for this fabric under `params` — the input
+  /// routing/lft_image.hpp needs. Exposed so the live-reconfiguration
+  /// manager can replan from a topology *snapshot* with identical settings.
+  static LftPlanSpec planSpec(const Fabric& fabric, const SubnetParams& params);
+
  private:
-  /// The complete LFT image (one byte per LID per switch; 0xFF = unused)
-  /// plus the root, shared by both programming paths.
-  struct LftImage {
-    std::vector<std::vector<std::uint8_t>> entries;  // [switch][lid]
-    SwitchId root = kInvalidId;
-  };
-  LftImage buildLftImage(const SubnetParams& params) const;
+  /// Full image for the fabric's current topology (both programming paths).
+  LftImage buildImage(const SubnetParams& params) const;
 
   Fabric* fabric_;
 };

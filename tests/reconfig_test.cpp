@@ -1,0 +1,503 @@
+//
+// Live reconfiguration: the epoch-versioned forwarding table, the
+// ReconfigManager state machine (including faults racing an in-flight
+// compute/install), the end-to-end live-swap campaign, and the
+// live-vs-stop-and-resweep comparison the paper's robustness story rests on.
+//
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "api/simulation.hpp"
+#include "core/forwarding_table.hpp"
+#include "fault/fault_audit.hpp"
+#include "fault/fault_campaign.hpp"
+#include "host/reliable_transport.hpp"
+#include "subnet/reconfig.hpp"
+#include "subnet/subnet_manager.hpp"
+#include "test_helpers.hpp"
+#include "topology/generators.hpp"
+
+namespace ibadapt {
+namespace {
+
+Topology irregular(int switches, int links, std::uint64_t seed) {
+  Rng rng(seed);
+  IrregularSpec spec;
+  spec.numSwitches = switches;
+  spec.linksPerSwitch = links;
+  spec.nodesPerSwitch = 4;
+  return makeIrregular(spec, rng);
+}
+
+/// Live inter-switch links whose individual removal keeps the graph
+/// connected (safe to fail one at a time).
+std::vector<std::pair<SwitchId, PortIndex>> nonCriticalLinks(
+    const Topology& topo) {
+  std::vector<std::pair<SwitchId, PortIndex>> out;
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    for (const auto& [nb, port] : topo.switchNeighbors(sw)) {
+      if (sw > nb) continue;
+      Topology probe = topo;
+      const Peer peer = probe.peer(sw, port);
+      probe.removeLink(sw, port);
+      if (probe.connectedSwitchGraph()) out.emplace_back(sw, port);
+      probe.restoreLink(sw, port, peer.id, peer.port);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// VersionedForwardingTable: the dual-bank LFT under the swap
+// ---------------------------------------------------------------------------
+
+TEST(VersionedTable, StageCommitSelectsByPacketEpoch) {
+  VersionedForwardingTable vt(/*numBanks=*/2, /*lidLimit=*/64);
+  vt.setEntry(10, 3);
+  vt.setEntry(11, 4);
+  ASSERT_EQ(vt.epoch(), 0u);
+  ASSERT_EQ(vt.entry(10), 3);
+
+  vt.stageBegin();
+  EXPECT_TRUE(vt.staging());
+  vt.stageEntry(10, 5);
+  // Staging must not disturb the table live traffic routes on.
+  EXPECT_EQ(vt.entry(10), 3);
+  EXPECT_EQ(vt.entry(10, /*pktEpoch=*/0), 3);
+
+  vt.commitStaged(1);
+  EXPECT_FALSE(vt.staging());
+  EXPECT_EQ(vt.epoch(), 1u);
+  // Fresh injections (epoch 1) route on the new image...
+  EXPECT_EQ(vt.entry(10), 5);
+  EXPECT_EQ(vt.entry(10, 1), 5);
+  // ... while in-flight epoch-0 packets keep resolving the old bank at
+  // every hop, including entries the new image never programmed.
+  EXPECT_EQ(vt.entry(10, 0), 3);
+  EXPECT_EQ(vt.entry(11, 0), 4);
+  EXPECT_EQ(vt.entry(11, 1), kInvalidPort);  // staged image left it unset
+
+  // lookup() follows the same selection as entry().
+  EXPECT_EQ(vt.lookup(10, 0).escapePort, 3);
+  EXPECT_EQ(vt.lookup(10, 1).escapePort, 5);
+}
+
+TEST(VersionedTable, SecondSwapReusesTheDrainedBank) {
+  VersionedForwardingTable vt(2, 64);
+  vt.setEntry(10, 1);
+  vt.stageBegin();
+  vt.stageEntry(10, 2);
+  vt.commitStaged(1);
+  // Epoch 0 retired; its bank becomes the shadow for epoch 2. stageBegin
+  // wipes the stale image so unprogrammed entries cannot leak through.
+  vt.stageBegin();
+  vt.stageEntry(10, 3);
+  vt.commitStaged(2);
+  EXPECT_EQ(vt.epoch(), 2u);
+  EXPECT_EQ(vt.entry(10, 2), 3);
+  EXPECT_EQ(vt.entry(10, 1), 2);
+  // Only two epochs are discriminable — exactly the SM's guarantee. A
+  // (retired) epoch-0 stamp now falls back to the oldest live bank.
+  EXPECT_EQ(vt.entry(10, 0), 2);
+}
+
+TEST(VersionedTable, StagingErrorPaths) {
+  VersionedForwardingTable vt(2, 64);
+  EXPECT_THROW(vt.stageEntry(1, 1), std::logic_error);
+  EXPECT_THROW(vt.commitStaged(1), std::logic_error);
+  vt.stageBegin();
+  EXPECT_THROW(vt.commitStaged(2), std::logic_error);  // must advance by one
+  EXPECT_THROW(vt.commitStaged(0), std::logic_error);
+  vt.commitStaged(1);
+  EXPECT_THROW(vt.commitStaged(2), std::logic_error);  // staging consumed
+}
+
+// ---------------------------------------------------------------------------
+// ReconfigManager state machine: faults racing an in-flight cycle
+// ---------------------------------------------------------------------------
+
+/// Steps the manager through every due action up to and including `until`.
+void stepUntil(ReconfigManager& mgr, SimTime until) {
+  while (mgr.nextActionAt() <= until) mgr.step(mgr.nextActionAt());
+}
+
+TEST(ReconfigManager, RequestMidComputeRestartsAgainstAFreshSnapshot) {
+  const Topology topo = irregular(8, 4, 21);
+  const auto safe = nonCriticalLinks(topo);
+  ASSERT_GE(safe.size(), 2u);
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  ReconfigSpec spec;
+  spec.mode = ReconfigMode::kLiveEpochSwap;
+  spec.computeDelayNs = 20'000;
+  spec.smpRttNs = 1'000;
+  ReconfigManager mgr(fabric, sm, spec, SubnetParams{});
+
+  // Fault -> request. The fabric is empty, so wait-retire passes at once
+  // and the compute window is exactly [0, 20'000).
+  fabric.failLink(safe[0].first, safe[0].second);
+  mgr.requestSweep(0);
+  mgr.step(0);
+  ASSERT_EQ(mgr.nextActionAt(), 20'000);
+
+  // A second change lands mid-compute: the plan in progress was built from
+  // a snapshot that never saw it, so it must be thrown away and restarted.
+  fabric.recoverLink(safe[0].first, safe[0].second);
+  mgr.requestSweep(10'000);
+  EXPECT_EQ(mgr.stats().computeRestarts, 1u);
+  ASSERT_EQ(mgr.nextActionAt(), 30'000);  // restarted clock
+
+  stepUntil(mgr, 1'000'000);
+  ASSERT_TRUE(mgr.idle());
+  const ReconfigStats& rs = mgr.stats();
+  // One cycle covers both changes: a single epoch advance, no follow-up.
+  EXPECT_EQ(rs.sweepsCompleted, 1u);
+  EXPECT_EQ(rs.epochsInstalled, 1u);
+  EXPECT_EQ(fabric.injectionEpoch(), 1u);
+  EXPECT_GT(rs.smpsSent, 0u);
+
+  const auto done = mgr.drainCompletions();
+  ASSERT_EQ(done.size(), 1u);
+  // The restarted snapshot (t=10'000) covers both the fault and the
+  // recovery; the first snapshot's horizon (t=0) must not survive.
+  EXPECT_EQ(done[0].coveredThrough, 10'000);
+  // Install cost was real: begin + blocks + commit per switch, serialized.
+  EXPECT_GE(done[0].at,
+            30'000 + static_cast<SimTime>(rs.smpsSent) * spec.smpRttNs);
+
+  // The installed tables route the restored topology: a full audit of the
+  // escape plane against the current (fault-free) topology passes.
+  const AuditReport audit = auditFabric(fabric, /*expectQuiescent=*/true);
+  EXPECT_TRUE(audit.ok()) << audit.detail;
+}
+
+TEST(ReconfigManager, RequestMidInstallQueuesAFollowUpCycle) {
+  const Topology topo = irregular(8, 4, 21);
+  const auto safe = nonCriticalLinks(topo);
+  ASSERT_GE(safe.size(), 2u);
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  ReconfigSpec spec;
+  spec.mode = ReconfigMode::kLiveEpochSwap;
+  spec.computeDelayNs = 20'000;
+  spec.smpRttNs = 1'000;
+  ReconfigManager mgr(fabric, sm, spec, SubnetParams{});
+
+  fabric.failLink(safe[0].first, safe[0].second);
+  mgr.requestSweep(0);
+  mgr.step(0);
+  mgr.step(20'000);  // compute done -> install flow begins
+  ASSERT_GT(mgr.nextActionAt(), 20'000);
+  ASSERT_FALSE(mgr.idle());
+
+  // The link comes back while SMPs are on the wire. The install cannot be
+  // aborted (switches already committed staged banks); the request queues a
+  // complete second cycle instead.
+  fabric.recoverLink(safe[0].first, safe[0].second);
+  mgr.requestSweep(21'000);
+  EXPECT_EQ(mgr.stats().computeRestarts, 0u);
+
+  stepUntil(mgr, 2'000'000);
+  ASSERT_TRUE(mgr.idle());
+  const ReconfigStats& rs = mgr.stats();
+  EXPECT_EQ(rs.sweepsCompleted, 2u);
+  EXPECT_EQ(rs.epochsInstalled, 2u);
+  EXPECT_EQ(fabric.injectionEpoch(), 2u);
+
+  const auto done = mgr.drainCompletions();
+  ASSERT_EQ(done.size(), 2u);
+  // First cycle still covers only its own snapshot (the recovery hit
+  // after); the follow-up's snapshot covers the recovery.
+  EXPECT_EQ(done[0].coveredThrough, 0);
+  EXPECT_GE(done[1].coveredThrough, 21'000);
+  EXPECT_GT(done[1].at, done[0].at);
+
+  const AuditReport audit = auditFabric(fabric, /*expectQuiescent=*/true);
+  EXPECT_TRUE(audit.ok()) << audit.detail;
+}
+
+// ---------------------------------------------------------------------------
+// recoverLink racing an in-flight sweep, under traffic, end to end
+// ---------------------------------------------------------------------------
+
+TEST(LiveReconfig, RecoveryRacingTheSweepStaysExactlyOnce) {
+  const Topology topo = irregular(8, 4, 77);
+  const auto safe = nonCriticalLinks(topo);
+  ASSERT_GE(safe.size(), 2u);
+
+  Fabric fabric(topo, FabricParams{});
+  SubnetManager sm(fabric);
+  sm.configure();
+
+  // Two scripted fail/recover cycles tuned so each recovery's sweep
+  // request lands inside the previous request's live cycle (sweep delay
+  // 30 us, compute 20 us, install tens of us): the first races the
+  // compute, the second races the install/activation tail.
+  FaultCampaignSpec spec;
+  spec.sweepDelayNs = 30'000;
+  spec.reconfig.mode = ReconfigMode::kLiveEpochSwap;
+  spec.reconfig.computeDelayNs = 20'000;
+  spec.reconfig.smpRttNs = 1'000;
+  ScriptedFault a;
+  a.failAtNs = 200'000;
+  a.recoverAtNs = 205'000;  // request at 235 us, mid-compute (230-250 us)
+  a.sw = safe[0].first;
+  a.port = safe[0].second;
+  spec.scripted.push_back(a);
+  ScriptedFault b;
+  b.failAtNs = 1'200'000;
+  b.recoverAtNs = 1'228'000;  // request at 1258 us, into the install flow
+  b.sw = safe[1].first;
+  b.port = safe[1].second;
+  spec.scripted.push_back(b);
+  FaultCampaign campaign(fabric, sm, spec);
+
+  // Deterministic cross-fabric flows spanning the campaign, under the
+  // reliable transport: anything stranded on stale routes is retransmitted.
+  testing::ScriptedTraffic inner;
+  const NodeId n = topo.numNodes();
+  for (NodeId src = 0; src < n; ++src) {
+    const NodeId dst = (src + n / 2) % n;
+    for (int i = 0; i < 8; ++i) {
+      inner.add(src, src * 37 + static_cast<SimTime>(i) * 180'000, dst, 32,
+                /*adaptive=*/true);
+    }
+  }
+  ReliableTransportSpec rts;
+  rts.baseRtoNs = 30'000;
+  rts.maxRtoNs = 480'000;
+  ReliableTransport rt(inner, n, rts);
+  testing::RecordingObserver obs;
+  rt.attachObserver(&obs);
+  fabric.attachTraffic(&rt, 1);
+  fabric.attachObserver(&rt);
+  fabric.start();
+
+  RunLimits limits;
+  limits.endTime = 8'000'000;  // generous retransmit tail
+  campaign.run(limits);
+
+  const ResilienceStats& rs = campaign.stats();
+  EXPECT_FALSE(fabric.deadlockSuspected());
+  EXPECT_EQ(rs.faultsInjected, 2);
+  EXPECT_EQ(rs.linksRecovered, 2);
+  EXPECT_TRUE(fabric.failedLinks().empty());
+  EXPECT_TRUE(rs.allAuditsPassed()) << rs.firstAuditFailure;
+
+  // The races actually happened: at least one compute was thrown away for
+  // a fresh snapshot, and every completed sweep was a real epoch swap.
+  EXPECT_GE(rs.computeRestarts, 1u);
+  EXPECT_GE(rs.epochsInstalled, 2u);
+  EXPECT_EQ(static_cast<std::uint32_t>(rs.smSweeps), rs.epochsInstalled);
+  EXPECT_GT(rs.reconfigSmpsSent, 0u);
+  EXPECT_EQ(rs.injectionPausedNs, 0u);  // live mode never gates injection
+  EXPECT_EQ(fabric.injectionEpoch(), rs.epochsInstalled);
+
+  // Exactly-once delivery end to end despite the mid-install recovery.
+  EXPECT_EQ(rt.uniqueSent(), static_cast<std::uint64_t>(n) * 8);
+  EXPECT_EQ(rt.uniqueDelivered(), rt.uniqueSent());
+  EXPECT_EQ(rt.abandoned(), 0u);
+  EXPECT_EQ(rt.outstanding(), 0u);
+  std::map<std::tuple<NodeId, NodeId, std::uint32_t>, int> seen;
+  for (const auto& d : obs.deliveries) {
+    ++seen[{d.pkt.src, d.pkt.dst, d.pkt.e2eSeq}];
+  }
+  for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+
+  // The drained fabric holds zero stuck credits and a whole escape plane.
+  const AuditReport quiescent = auditFabric(fabric, /*expectQuiescent=*/true);
+  EXPECT_TRUE(quiescent.ok()) << quiescent.detail;
+}
+
+// ---------------------------------------------------------------------------
+// The live campaign at acceptance scale, and kernel/thread equivalence
+// ---------------------------------------------------------------------------
+
+SimParams liveCampaignParams() {
+  SimParams p;
+  p.numSwitches = 8;
+  p.linksPerSwitch = 4;
+  p.loadBytesPerNsPerNode = 0.02;
+  p.warmupPackets = 100;
+  p.measurePackets = ~0ULL >> 1;  // run to the horizon
+  p.maxSimTimeNs = 3'000'000;
+  p.faultMtbfNs = 150'000;  // ~20 fault events on 16 links: >10% cycling
+  p.faultMttrNs = 50'000;
+  p.faultSeed = 10;
+  p.sweepDelayNs = 30'000;
+  p.reliableTransport = true;
+  p.reconfig.mode = ReconfigMode::kLiveEpochSwap;
+  return p;
+}
+
+TEST(LiveReconfig, TenPercentOfLinksCyclingUnderLiveSwapStaysClean) {
+  const SimParams p = liveCampaignParams();
+  const int links = buildTopology(p).numLinks();
+  const SimResults r = runSimulation(p);
+
+  ASSERT_TRUE(r.faultCampaignRan);
+  // Acceptance floor: at least 10 % of the inter-switch links failed (and
+  // mostly recovered) inside the horizon.
+  EXPECT_GE(r.resilience.faultsInjected, (links + 9) / 10);
+  EXPECT_GT(r.resilience.linksRecovered, 0);
+  EXPECT_GT(r.resilience.epochsInstalled, 0u);
+  EXPECT_GT(r.resilience.computeRestarts + r.resilience.epochsInstalled, 1u);
+
+  // Deadlock freedom through every transition window: zero watchdog
+  // violations, and in particular no wait-for cycle spanning epochs.
+  EXPECT_GT(r.invariants.checksRun, 0u);
+  EXPECT_EQ(r.invariants.violations(), 0u) << r.invariants.firstViolation;
+  EXPECT_EQ(r.invariants.crossEpochDeadlocks, 0u);
+  EXPECT_FALSE(r.deadlockSuspected);
+
+  // Every post-sweep audit of the installed escape plane passed.
+  EXPECT_GT(r.resilience.auditsRun, 0);
+  EXPECT_TRUE(r.resilience.allAuditsPassed())
+      << r.resilience.firstAuditFailure;
+
+  // Exactly-once delivery: unique accounting never exceeds what was sent,
+  // duplicates are suppressed (not delivered), and nearly everything that
+  // was sent before the horizon made it through the churn.
+  EXPECT_LE(r.resilience.uniqueDelivered, r.resilience.uniqueSent);
+  EXPECT_GT(r.resilience.uniqueDelivered, 0u);
+  EXPECT_GT(r.resilience.deliveredFraction(), 0.95);
+}
+
+TEST(LiveReconfig, CampaignBitIdenticalAcrossKernelsAndThreads) {
+  // The whole protocol — wait-retire polls, background computes, SMP ack
+  // schedules, epoch advances — runs in coordinator context at
+  // deterministic times, so the same campaign must produce bit-identical
+  // results under every kernel and any shard count.
+  auto mk = [](SimKernel k, int threads) {
+    SimParams p = liveCampaignParams();
+    p.maxSimTimeNs = 2'000'000;
+    p.fabric.kernel = k;
+    if (k == SimKernel::kParallel) p.fabric.threads = threads;
+    return runSimulation(p);
+  };
+  const SimResults ref = mk(SimKernel::kCalendar, 1);
+  ASSERT_GT(ref.resilience.epochsInstalled, 0u);
+  const SimResults runs[] = {
+      mk(SimKernel::kLegacyHeap, 1),
+      mk(SimKernel::kParallel, 1),
+      mk(SimKernel::kParallel, 2),
+      mk(SimKernel::kParallel, 4),
+  };
+  for (const SimResults& r : runs) {
+    EXPECT_EQ(ref.generated, r.generated);
+    EXPECT_EQ(ref.delivered, r.delivered);
+    EXPECT_EQ(ref.dropped, r.dropped);
+    EXPECT_EQ(ref.kernelEvents, r.kernelEvents);
+    EXPECT_EQ(ref.avgLatencyNs, r.avgLatencyNs);
+    EXPECT_EQ(ref.e2eLatencyNs, r.e2eLatencyNs);
+    EXPECT_EQ(ref.simEndTimeNs, r.simEndTimeNs);
+    EXPECT_EQ(ref.resilience.faultsInjected, r.resilience.faultsInjected);
+    EXPECT_EQ(ref.resilience.linksRecovered, r.resilience.linksRecovered);
+    EXPECT_EQ(ref.resilience.smSweeps, r.resilience.smSweeps);
+    EXPECT_EQ(ref.resilience.epochsInstalled, r.resilience.epochsInstalled);
+    EXPECT_EQ(ref.resilience.reconfigSmpsSent, r.resilience.reconfigSmpsSent);
+    EXPECT_EQ(ref.resilience.installPhaseNs, r.resilience.installPhaseNs);
+    EXPECT_EQ(ref.resilience.reconfigLatencyNs,
+              r.resilience.reconfigLatencyNs);
+    EXPECT_EQ(ref.resilience.computeRestarts, r.resilience.computeRestarts);
+    EXPECT_EQ(ref.resilience.degradedTimeNs, r.resilience.degradedTimeNs);
+    EXPECT_EQ(ref.resilience.droppedWhileDegraded,
+              r.resilience.droppedWhileDegraded);
+    EXPECT_EQ(ref.resilience.retransmitsSent, r.resilience.retransmitsSent);
+    EXPECT_EQ(ref.resilience.duplicatesSuppressed,
+              r.resilience.duplicatesSuppressed);
+    EXPECT_EQ(ref.resilience.uniqueSent, r.resilience.uniqueSent);
+    EXPECT_EQ(ref.resilience.uniqueDelivered, r.resilience.uniqueDelivered);
+    EXPECT_EQ(ref.resilience.auditsRun, r.resilience.auditsRun);
+    EXPECT_EQ(ref.resilience.auditsPassed, r.resilience.auditsPassed);
+    EXPECT_EQ(ref.invariants.checksRun, r.invariants.checksRun);
+    EXPECT_EQ(ref.invariants.violations(), r.invariants.violations());
+    EXPECT_EQ(ref.invariants.crossEpochWaitEdges,
+              r.invariants.crossEpochWaitEdges);
+    EXPECT_EQ(ref.invariants.crossEpochDeadlocks,
+              r.invariants.crossEpochDeadlocks);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Live vs stop-and-resweep: the comparison the subsystem exists for
+// ---------------------------------------------------------------------------
+
+TEST(LiveReconfig, BeatsStopAndResweepUnderDenseFaults) {
+  // The bench's reconfiguration-axis regime (BENCH_reconfig.json): faults
+  // dense enough that serialized stop-the-world pauses compound into
+  // backlog the fabric never works off. Live reconfiguration must deliver
+  // strictly more of the offered traffic and spend strictly less time
+  // degraded, with zero watchdog violations in both modes.
+  auto mk = [](ReconfigMode m) {
+    SimParams p;
+    p.numSwitches = 8;
+    p.linksPerSwitch = 4;
+    p.topoSeed = 100;
+    p.loadBytesPerNsPerNode = 0.02;
+    p.warmupPackets = 100;
+    p.measurePackets = ~0ULL >> 1;
+    p.maxSimTimeNs = 3'000'000;
+    p.reliableTransport = true;
+    p.sweepDelayNs = 50'000;
+    p.faultMtbfNs = 120'000;
+    p.faultMttrNs = 40'000;
+    p.faultSeed = 10;
+    p.reconfig.mode = m;
+    return runSimulation(p);
+  };
+  const SimResults live = mk(ReconfigMode::kLiveEpochSwap);
+  const SimResults drain = mk(ReconfigMode::kDrainAndSweep);
+
+  // Both rode through the same fault schedule without a single violation.
+  EXPECT_EQ(live.resilience.faultsInjected, drain.resilience.faultsInjected);
+  EXPECT_EQ(live.invariants.violations(), 0u)
+      << live.invariants.firstViolation;
+  EXPECT_EQ(drain.invariants.violations(), 0u)
+      << drain.invariants.firstViolation;
+  EXPECT_TRUE(live.resilience.allAuditsPassed())
+      << live.resilience.firstAuditFailure;
+  EXPECT_TRUE(drain.resilience.allAuditsPassed())
+      << drain.resilience.firstAuditFailure;
+
+  // Mode signatures: only drain gates injection, only live swaps epochs.
+  EXPECT_GT(drain.resilience.injectionPausedNs, 0u);
+  EXPECT_EQ(drain.resilience.epochsInstalled, 0u);
+  EXPECT_EQ(live.resilience.injectionPausedNs, 0u);
+  EXPECT_GT(live.resilience.epochsInstalled, 0u);
+
+  // The headline: strictly fewer unique packets lost at the horizon, and
+  // strictly less time in degraded service.
+  const auto lost = [](const SimResults& r) {
+    return r.resilience.uniqueSent - r.resilience.uniqueDelivered;
+  };
+  EXPECT_LT(lost(live), lost(drain));
+  EXPECT_LT(live.resilience.degradedTimeNs, drain.resilience.degradedTimeNs);
+}
+
+// ---------------------------------------------------------------------------
+// Retransmission backoff spec (rides along with the reconfig robustness PR)
+// ---------------------------------------------------------------------------
+
+TEST(LiveReconfig, TransportJitterFractionIsValidated) {
+  testing::ScriptedTraffic inner;
+  ReliableTransportSpec bad;
+  bad.jitterFraction = -0.1;
+  EXPECT_THROW(ReliableTransport(inner, 4, bad), std::invalid_argument);
+  bad.jitterFraction = 1.5;
+  EXPECT_THROW(ReliableTransport(inner, 4, bad), std::invalid_argument);
+  ReliableTransportSpec ok;
+  ok.jitterFraction = 0.0;  // jitter can be disabled outright
+  EXPECT_NO_THROW(ReliableTransport(inner, 4, ok));
+}
+
+}  // namespace
+}  // namespace ibadapt
