@@ -1,0 +1,231 @@
+// Topology-scale sweep: end-to-end simulator throughput and heap footprint
+// as the fabric grows from workgroup size to 1024+ switches, on all three
+// topology families (the paper's irregular networks plus the hierarchical
+// fat-tree / dragonfly generators production fabrics actually use). Emits
+// machine-readable BENCH_scale.json (bench_common.hpp record layout) so the
+// committed baseline documents the memory-growth curve, and optionally
+// gates on an absolute heap ceiling and on near-linear growth in fabric
+// size (switches + hosts).
+//
+// Flags:
+//   --sizes=64,256,1024    nominal switch counts (mapped per family to the
+//                          nearest constructible size; records carry the
+//                          actual switch count)
+//   --kinds=irregular,fat-tree,dragonfly
+//   --warmup=N --measure=N packet budget per run
+//   --repeats=N            best-of-N wall time per case
+//   --threads=N            parallel-kernel shard threads (0 = sequential
+//                          calendar kernel)
+//   --json=PATH            record path (default BENCH_scale.json)
+//   --max-heap-kb=N        exits 1 when any case's heap peak exceeds N KiB
+//                          (0 disables)
+//   --max-growth=X         exits 1 when, within a family, heap grows more
+//                          than X times faster than fabric size (switches +
+//                          hosts) between the smallest and largest case
+//                          (0 disables)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ibadapt;
+using namespace ibadapt::bench;
+
+// Maps a nominal size to a constructible spec of each family. The fat-tree
+// lattice (levels x arity^(levels-1)) doesn't hit every power of two, so
+// nominal 64 builds the nearest k-ary n-tree below it (48 switches).
+SimParams familyParams(const std::string& kind, int nominalSwitches) {
+  SimParams p;
+  p.nodesPerSwitch = 4;
+  p.pattern = TrafficPattern::kUniform;
+  p.saturation = true;  // densest schedule: the kernel-bound regime
+  if (kind == "irregular") {
+    p.topoKind = TopologyKind::kIrregular;
+    p.numSwitches = nominalSwitches;
+    p.linksPerSwitch = 4;
+  } else if (kind == "fat-tree") {
+    p.topoKind = TopologyKind::kFatTree;
+    if (nominalSwitches <= 64) {
+      p.fatTreeArity = 4;  // 3 x 16 = 48 switches / 64 hosts
+      p.fatTreeLevels = 3;
+    } else if (nominalSwitches <= 256) {
+      p.fatTreeArity = 4;  // 4 x 64 = 256 switches / 256 hosts
+      p.fatTreeLevels = 4;
+    } else {
+      p.fatTreeArity = 2;  // 8 x 128 = 1024 switches (the scale gate)
+      p.fatTreeLevels = 8;
+      p.nodesPerSwitch = 2;  // hostsPerLeaf: 256 hosts
+    }
+  } else if (kind == "dragonfly") {
+    p.topoKind = TopologyKind::kDragonfly;
+    if (nominalSwitches <= 64) {
+      p.dragonflyRoutersPerGroup = 8;  // 8 x 8 = 64 switches / 256 hosts
+      p.dragonflyGlobalPerRouter = 1;
+      p.dragonflyGroups = 8;
+    } else if (nominalSwitches <= 256) {
+      p.dragonflyRoutersPerGroup = 16;  // 16 x 16 = 256 switches
+      p.dragonflyGlobalPerRouter = 2;
+      p.dragonflyGroups = 16;
+    } else {
+      p.dragonflyRoutersPerGroup = 16;  // 16 x 64 = 1024 switches
+      p.dragonflyGlobalPerRouter = 4;
+      p.dragonflyGroups = 64;
+    }
+  } else {
+    throw std::invalid_argument("unknown kind: " + kind);
+  }
+  return p;
+}
+
+struct CaseResult {
+  KernelBenchRecord rec;
+  int hosts = 0;
+};
+
+CaseResult runCase(const std::string& kind, int nominal, std::uint64_t warmup,
+                   std::uint64_t measure, int repeats, int threads) {
+  SimParams p = familyParams(kind, nominal);
+  p.warmupPackets = warmup;
+  p.measurePackets = measure;
+  if (threads > 0) {
+    p.fabric.kernel = SimKernel::kParallel;
+    p.fabric.threads = threads;
+  }
+  const Topology topo = buildTopology(p);
+
+  CaseResult best;
+  SimResults sim;
+  for (int rep = 0; rep < repeats; ++rep) {
+    heap::resetPeak();
+    const auto t0 = std::chrono::steady_clock::now();
+    // The whole setup-and-run path is under the gauge on purpose: at 1024
+    // switches the LFT image build and fabric construction are exactly the
+    // allocations the scale work must keep linear.
+    SimResults r = runSimulation(p);
+    const auto t1 = std::chrono::steady_clock::now();
+    const long heapKb = heap::peakKb();
+    const double wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || wallMs < best.rec.wallMs) {
+      best.rec.wallMs = wallMs;
+      best.rec.heapPeakKb = heapKb;
+      sim = r;
+    }
+  }
+  best.rec.switches = topo.numSwitches();
+  best.rec.kernel = kind;  // the family labels the record, not the kernel
+  best.rec.threads = sim.threadsUsed;
+  best.rec.events = sim.kernelEvents;
+  best.rec.eventsPerSec =
+      best.rec.wallMs > 0.0
+          ? static_cast<double>(best.rec.events) / (best.rec.wallMs / 1000.0)
+          : 0.0;
+  best.rec.simulatedMs = static_cast<double>(sim.simEndTimeNs) / 1e6;
+  best.rec.wallMsPerSimMs = best.rec.simulatedMs > 0.0
+                                ? best.rec.wallMs / best.rec.simulatedMs
+                                : 0.0;
+  best.hosts = topo.numNodes();
+
+  if (sim.deadlockSuspected || !sim.measurementComplete ||
+      sim.invariants.violations() > 0) {
+    std::fprintf(stderr, "FAIL: unhealthy run for %s/%d: %s\n", kind.c_str(),
+                 nominal, sim.summary().c_str());
+    std::exit(1);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::vector<int> sizes = flags.intList("sizes", {64, 256, 1024});
+  std::vector<std::string> kinds;
+  {
+    std::stringstream ss(flags.str("kinds", "irregular,fat-tree,dragonfly"));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) kinds.push_back(item);
+    }
+  }
+  const auto warmup = static_cast<std::uint64_t>(flags.integer("warmup", 1000));
+  const auto measure =
+      static_cast<std::uint64_t>(flags.integer("measure", 6000));
+  const int repeats = flags.integer("repeats", 1);
+  const int threads = flags.integer("threads", 0);
+  const std::string jsonPath = flags.str("json", "BENCH_scale.json");
+  const long maxHeapKb = flags.integer("max-heap-kb", 0);
+  const double maxGrowth = flags.real("max-growth", 0.0);
+  warnUnknownFlags(flags);
+
+  std::printf("topology-scale sweep: saturated uniform, warmup=%llu "
+              "measure=%llu repeats=%d threads=%d\n",
+              static_cast<unsigned long long>(warmup),
+              static_cast<unsigned long long>(measure), repeats, threads);
+  printRule();
+  std::printf("%-10s  %9s  %7s  %12s  %9s  %12s  %9s\n", "family", "switches",
+              "hosts", "events", "wall ms", "events/sec", "heap KiB");
+
+  int rc = 0;
+  std::vector<KernelBenchRecord> records;
+  for (const std::string& kind : kinds) {
+    CaseResult first;
+    CaseResult last;
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      const CaseResult r =
+          runCase(kind, sizes[si], warmup, measure, repeats, threads);
+      std::printf("%-10s  %9d  %7d  %12llu  %9.1f  %12.0f  %9ld\n",
+                  kind.c_str(), r.rec.switches, r.hosts,
+                  static_cast<unsigned long long>(r.rec.events), r.rec.wallMs,
+                  r.rec.eventsPerSec, r.rec.heapPeakKb);
+      records.push_back(r.rec);
+      if (si == 0) first = r;
+      last = r;
+      if (maxHeapKb > 0 && r.rec.heapPeakKb > maxHeapKb) {
+        std::fprintf(stderr,
+                     "FAIL: %s/%d heap peak %ld KiB exceeds ceiling %ld KiB\n",
+                     kind.c_str(), r.rec.switches, r.rec.heapPeakKb, maxHeapKb);
+        rc = 1;
+      }
+    }
+    // Near-linear growth gate: heap may grow no more than `maxGrowth` times
+    // faster than fabric size (switches + hosts — LFT memory is O(S x N),
+    // so hosts must count). A superlinear blow-up here is exactly the bug
+    // class the lazy-bank / batch-write work removes.
+    if (maxGrowth > 0.0 && sizes.size() >= 2 && first.rec.heapPeakKb > 0) {
+      const double heapRatio = static_cast<double>(last.rec.heapPeakKb) /
+                               static_cast<double>(first.rec.heapPeakKb);
+      const double sizeRatio =
+          static_cast<double>(last.rec.switches + last.hosts) /
+          static_cast<double>(first.rec.switches + first.hosts);
+      std::printf("%-10s  growth: heap %.2fx over a %.2fx fabric "
+                  "(%.2fx per unit)\n",
+                  kind.c_str(), heapRatio, sizeRatio, heapRatio / sizeRatio);
+      if (heapRatio > maxGrowth * sizeRatio) {
+        std::fprintf(stderr,
+                     "FAIL: %s heap grew %.2fx over a %.2fx fabric "
+                     "(limit %.2fx per unit)\n",
+                     kind.c_str(), heapRatio, sizeRatio, maxGrowth);
+        rc = 1;
+      }
+    }
+  }
+  printRule();
+
+  char config[160];
+  std::snprintf(config, sizeof(config),
+                "saturated uniform, warmup=%llu measure=%llu repeats=%d "
+                "threads=%d cores=%u",
+                static_cast<unsigned long long>(warmup),
+                static_cast<unsigned long long>(measure), repeats, threads,
+                std::thread::hardware_concurrency());
+  writeKernelBenchJson(jsonPath, "perf_scale", config, records);
+  std::printf("wrote %s\n", jsonPath.c_str());
+  return rc;
+}

@@ -43,6 +43,19 @@ echo "== tier-1: sanitized live-reconfiguration smoke =="
 ctest --test-dir "${asan_dir}" --output-on-failure -j \
   -R 'VersionedTable|ReconfigManager|LiveReconfig'
 
+echo "== tier-1: topology-scale smoke (fat-tree heap gate) =="
+# The hierarchical generators at real scale: a saturated 256-switch
+# fat-tree must finish healthy under a hard heap-peak ceiling (~2x the
+# measured 8 MiB), and the 1024-switch scale gate (k=2, n=8) must complete
+# a saturated run at all — the case that catches any reintroduced
+# superlinear table in the setup-and-run path.
+"${build_dir}/bench/perf_scale" --kinds=fat-tree --sizes=256 \
+  --warmup=500 --measure=2000 --max-heap-kb=16384 \
+  --json="${build_dir}/BENCH_scale_smoke.json"
+"${build_dir}/bench/perf_scale" --kinds=fat-tree --sizes=1024 \
+  --warmup=500 --measure=2000 --max-heap-kb=49152 \
+  --json="${build_dir}/BENCH_scale_smoke.json"
+
 echo "== tier-1: TSan parallel-kernel smoke (2-thread bit-identity) =="
 # The parallel kernel's data-sharing discipline (epoch barriers + SPSC
 # mailboxes) under ThreadSanitizer: the 2-thread bit-identity suite drives

@@ -27,6 +27,22 @@ Topology buildTopology(const SimParams& p) {
       return makeTorus2D(p.meshWidth, p.meshHeight, p.nodesPerSwitch);
     case TopologyKind::kHypercube:
       return makeHypercube(p.hypercubeDim, p.nodesPerSwitch);
+    case TopologyKind::kFatTree: {
+      FatTreeSpec spec;
+      spec.arity = p.fatTreeArity;
+      spec.levels = p.fatTreeLevels;
+      spec.hostsPerLeaf = p.nodesPerSwitch;
+      return makeFatTree(spec);
+    }
+    case TopologyKind::kDragonfly: {
+      DragonflySpec spec;
+      spec.routersPerGroup = p.dragonflyRoutersPerGroup;
+      spec.hostsPerRouter = p.nodesPerSwitch;
+      spec.globalPerRouter = p.dragonflyGlobalPerRouter;
+      spec.groups = p.dragonflyGroups;
+      spec.seed = p.topoSeed;
+      return makeDragonfly(spec);
+    }
   }
   throw std::invalid_argument("buildTopology: unknown kind");
 }
@@ -159,9 +175,13 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
 
   r.acceptedBytesPerNsPerSwitch =
       stats.acceptedBytesPerNs() / topo.numSwitches();
+  // Average nodes per switch, not nodesPerSwitch(): hierarchical topologies
+  // (fat-tree) attach hosts to leaf switches only.
   r.offeredBytesPerNsPerSwitch =
       p.saturation ? 0.0
-                   : p.loadBytesPerNsPerNode * topo.nodesPerSwitch();
+                   : p.loadBytesPerNsPerNode *
+                         (static_cast<double>(topo.numNodes()) /
+                          static_cast<double>(topo.numSwitches()));
 
   const auto& c = fabric.counters();
   r.generated = c.generated;
@@ -189,8 +209,9 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
     const double capacityBytes =
         static_cast<double>(fabric.now()) / p.fabric.nsPerByte;
     for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
-      for (PortIndex port = topo.nodesPerSwitch();
-           port < topo.portsPerSwitch(); ++port) {
+      // Scan from port 0: with per-switch node attachment the inter-switch
+      // range starts at a per-switch offset; the PeerKind check filters.
+      for (PortIndex port = 0; port < topo.portsPerSwitch(); ++port) {
         if (fabric.topology().peer(sw, port).kind != PeerKind::kSwitch) {
           continue;
         }

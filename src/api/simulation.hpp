@@ -18,17 +18,32 @@
 
 namespace ibadapt {
 
-enum class TopologyKind { kIrregular, kRing, kMesh2D, kTorus2D, kHypercube };
+enum class TopologyKind {
+  kIrregular,
+  kRing,
+  kMesh2D,
+  kTorus2D,
+  kHypercube,
+  kFatTree,    // k-ary n-tree; hosts on leaf switches only
+  kDragonfly,  // group cliques + seed-permuted global links
+};
 
 struct SimParams {
   // ---- topology ---------------------------------------------------------
   TopologyKind topoKind = TopologyKind::kIrregular;
   int numSwitches = 8;     // irregular / ring
   int linksPerSwitch = 4;  // irregular: inter-switch ports ("4/6 links")
+  /// Nodes per switch (irregular/regular kinds); for kFatTree this is
+  /// hosts per *leaf* switch and for kDragonfly hosts per router.
   int nodesPerSwitch = 4;
   int meshWidth = 4;   // mesh / torus
   int meshHeight = 4;  // mesh / torus
   int hypercubeDim = 3;
+  int fatTreeArity = 4;   // k of the k-ary n-tree
+  int fatTreeLevels = 3;  // n (switch tiers)
+  int dragonflyRoutersPerGroup = 4;  // a
+  int dragonflyGlobalPerRouter = 1;  // h
+  int dragonflyGroups = 0;           // g; 0 = balanced maximum a*h+1
   std::uint64_t topoSeed = 1;
 
   // ---- fabric (paper defaults) -----------------------------------------

@@ -53,7 +53,9 @@ PeakThroughput measurePeakThroughput(const Topology& topo, SimParams base,
     p.loadBytesPerNsPerNode = loadPerNode;
     const SimResults r = runSimulationOn(topo, p);
     ThroughputCurvePoint cp;
-    cp.offeredBytesPerNsPerSwitch = loadPerNode * topo.nodesPerSwitch();
+    cp.offeredBytesPerNsPerSwitch =
+        loadPerNode * (static_cast<double>(topo.numNodes()) /
+                       static_cast<double>(topo.numSwitches()));
     cp.acceptedBytesPerNsPerSwitch = r.acceptedBytesPerNsPerSwitch;
     cp.avgLatencyNs = r.avgLatencyNs;
     cp.saturated = r.acceptedBytesPerNsPerSwitch <

@@ -1,6 +1,7 @@
 #include "core/forwarding_table.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace ibadapt {
@@ -37,6 +38,18 @@ void AdaptiveForwardingTable::setEntry(Lid lid, PortIndex port) {
     throw std::invalid_argument("AdaptiveForwardingTable::setEntry: port");
   }
   cells_[static_cast<std::size_t>(lid)] = static_cast<std::uint8_t>(port);
+}
+
+void AdaptiveForwardingTable::setBlock(Lid start, const std::uint8_t* bytes,
+                                       std::size_t count) {
+  if (count == 0) return;
+  if (start >= lidLimit_ ||
+      count > static_cast<std::size_t>(lidLimit_) - start) {
+    throw std::out_of_range("AdaptiveForwardingTable::setBlock: LID range");
+  }
+  // Raw row copy: bytes are already in cell encoding (port value, or 0xff
+  // for "not programmed"), so no per-entry translation is needed.
+  std::memcpy(cells_.data() + static_cast<std::size_t>(start), bytes, count);
 }
 
 PortIndex AdaptiveForwardingTable::entry(Lid lid) const {
@@ -84,7 +97,14 @@ RouteOptions AdaptiveForwardingTable::lookup(Lid dlid) const {
 }
 
 void VersionedForwardingTable::stageBegin() {
-  tables_[static_cast<std::size_t>(active_ ^ 1)].clear();
+  if (!shadow_) {
+    // First reconfiguration: bring the shadow bank into existence (already
+    // all-unprogrammed, so no clear needed).
+    shadow_ = std::make_unique<AdaptiveForwardingTable>(primary_.numBanks(),
+                                                        primary_.lidLimit());
+  } else {
+    bank(active_ ^ 1).clear();
+  }
   staging_ = true;
 }
 
@@ -93,7 +113,16 @@ void VersionedForwardingTable::stageEntry(Lid lid, PortIndex port) {
     throw std::logic_error(
         "VersionedForwardingTable::stageEntry: no staging in progress");
   }
-  tables_[static_cast<std::size_t>(active_ ^ 1)].setEntry(lid, port);
+  bank(active_ ^ 1).setEntry(lid, port);
+}
+
+void VersionedForwardingTable::stageBlock(Lid start, const std::uint8_t* bytes,
+                                          std::size_t count) {
+  if (!staging_) {
+    throw std::logic_error(
+        "VersionedForwardingTable::stageBlock: no staging in progress");
+  }
+  bank(active_ ^ 1).setBlock(start, bytes, count);
 }
 
 void VersionedForwardingTable::commitStaged(std::uint32_t newEpoch) {

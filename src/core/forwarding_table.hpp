@@ -12,7 +12,9 @@
 //   bank k row = address d + k   -> k-th adaptive (minimal) option
 //
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/types.hpp"
@@ -50,6 +52,14 @@ class AdaptiveForwardingTable {
   /// Linear SM-facing write: program the output port for one LID.
   void setEntry(Lid lid, PortIndex port);
 
+  /// Bulk SM-facing write: program `count` consecutive entries starting at
+  /// `start` from raw table bytes (the LFT image row format: one byte per
+  /// LID, 0xff = not programmed). A 0xff byte *clears* its entry — on a
+  /// fresh/cleared table this is exactly `setEntry` per non-0xff byte, but
+  /// with a single bounds check and one memcpy instead of `count` checked
+  /// stores.
+  void setBlock(Lid start, const std::uint8_t* bytes, std::size_t count);
+
   /// Linear SM-facing read.
   PortIndex entry(Lid lid) const;
 
@@ -86,50 +96,72 @@ class AdaptiveForwardingTable {
 /// over its buffer), which is exactly what two banks can discriminate.
 class VersionedForwardingTable {
  public:
+  /// Only the primary bank is allocated up front; the shadow bank is
+  /// created on the first `stageBegin()`. Runs that never reconfigure —
+  /// the overwhelmingly common case — therefore pay exactly 1x LFT memory
+  /// per switch, which at 1024 switches x multi-KB rows is the difference
+  /// between linear and doubled fabric table memory.
   VersionedForwardingTable(int numBanks, Lid lidLimit)
-      : tables_{AdaptiveForwardingTable(numBanks, lidLimit),
-                AdaptiveForwardingTable(numBanks, lidLimit)} {}
+      : primary_(numBanks, lidLimit) {}
 
-  int numBanks() const { return tables_[0].numBanks(); }
-  Lid lidLimit() const { return tables_[0].lidLimit(); }
+  int numBanks() const { return primary_.numBanks(); }
+  Lid lidLimit() const { return primary_.lidLimit(); }
 
   /// Epoch of the active table (what freshly injected packets route on).
   std::uint32_t epoch() const { return epochs_[active_]; }
   bool staging() const { return staging_; }
+  /// True once the shadow bank exists (some reconfiguration was staged).
+  bool shadowAllocated() const { return shadow_ != nullptr; }
 
   // --- active-table API: the classic single-table SM surface. ------------
   /// In-place write to the active table (instant stop-and-resweep path).
-  void setEntry(Lid lid, PortIndex port) {
-    tables_[active_].setEntry(lid, port);
+  void setEntry(Lid lid, PortIndex port) { bank(active_).setEntry(lid, port); }
+  /// Bulk variant (see AdaptiveForwardingTable::setBlock).
+  void setBlock(Lid start, const std::uint8_t* bytes, std::size_t count) {
+    bank(active_).setBlock(start, bytes, count);
   }
-  PortIndex entry(Lid lid) const { return tables_[active_].entry(lid); }
-  RouteOptions lookup(Lid dlid) const { return tables_[active_].lookup(dlid); }
+  PortIndex entry(Lid lid) const { return bank(active_).entry(lid); }
+  RouteOptions lookup(Lid dlid) const { return bank(active_).lookup(dlid); }
 
   // --- shadow staging (live epoch swap) -----------------------------------
-  /// Open the shadow buffer for a new image; wipes whatever old-epoch
-  /// table it held (caller must have drained that epoch first).
+  /// Open the shadow buffer for a new image (allocating it on first use);
+  /// wipes whatever old-epoch table it held (caller must have drained that
+  /// epoch first).
   void stageBegin();
   /// Program one entry of the staged image.
   void stageEntry(Lid lid, PortIndex port);
+  /// Bulk staged write (see AdaptiveForwardingTable::setBlock).
+  void stageBlock(Lid start, const std::uint8_t* bytes, std::size_t count);
   /// Tag the staged image with `newEpoch` (must be exactly epoch()+1) and
   /// make it the active buffer. The previous table stays readable for
   /// packets still stamped with the old epoch.
   void commitStaged(std::uint32_t newEpoch);
 
   /// Epoch-aware lookup: selects the table matching the packet's injection
-  /// epoch (the newest table whose epoch is <= pktEpoch).
+  /// epoch (the newest table whose epoch is <= pktEpoch). Before any commit
+  /// both epochs are 0, so the selection always lands on the (allocated)
+  /// primary bank; the shadow index is reachable only after a commit, which
+  /// requires the shadow to exist.
   RouteOptions lookup(Lid dlid, std::uint32_t pktEpoch) const {
     const int idx = epochs_[active_] <= pktEpoch ? active_ : (active_ ^ 1);
-    return tables_[static_cast<std::size_t>(idx)].lookup(dlid);
+    return bank(idx).lookup(dlid);
   }
   /// Same selection, linear read (audits / tests).
   PortIndex entry(Lid lid, std::uint32_t pktEpoch) const {
     const int idx = epochs_[active_] <= pktEpoch ? active_ : (active_ ^ 1);
-    return tables_[static_cast<std::size_t>(idx)].entry(lid);
+    return bank(idx).entry(lid);
   }
 
  private:
-  std::array<AdaptiveForwardingTable, 2> tables_;
+  // Bank 0 is the eagerly-allocated primary, bank 1 the lazy shadow. Using
+  // a member reference (not cached pointers) keeps the object move-safe.
+  AdaptiveForwardingTable& bank(int i) { return i == 0 ? primary_ : *shadow_; }
+  const AdaptiveForwardingTable& bank(int i) const {
+    return i == 0 ? primary_ : *shadow_;
+  }
+
+  AdaptiveForwardingTable primary_;
+  std::unique_ptr<AdaptiveForwardingTable> shadow_;
   std::array<std::uint32_t, 2> epochs_{{0, 0}};
   int active_ = 0;
   bool staging_ = false;

@@ -41,8 +41,7 @@ Fabric::Fabric(Topology topo, FabricParams params)
   for (SwitchId s = 0; s < topo_.numSwitches(); ++s) {
     switchRngs_.emplace_back(splitmix64(chain));
   }
-  detSeqCounters_.assign(
-      static_cast<std::size_t>(topo_.numNodes()) * topo_.numNodes(), 0);
+  detSeqCounters_.reset(topo_.numNodes(), topo_.numNodes());
   stampCounters_.assign(
       1 + static_cast<std::size_t>(topo_.numSwitches()) +
           static_cast<std::size_t>(topo_.numNodes()),
@@ -58,16 +57,29 @@ void Fabric::buildShards() {
     // Zero wire latency leaves no conservative lookahead to shard on.
     if (params_.linkPropagationNs < 1) t = 1;
   }
-  // Typical scheduling horizon: routing delay / wire latency dominate the
-  // gap between now and a pushed event's timestamp.
-  const int dayShift = EventQueue::suggestDayShift(
-      params_.routingDelayNs + params_.linkPropagationNs);
+  // Queue geometry from fabric scale. The scheduling horizon (routing delay
+  // / wire latency) sets the widest useful day; the expected event density
+  // — roughly one live event per entity, spread over the horizon and over
+  // the shards — narrows the day on big fabrics and sizes the wheel so
+  // bucket chains stay short at 1024 switches. Geometry only tunes
+  // constants: pop order is (time, seq) regardless, so results stay
+  // bit-identical across kernels and thread counts.
+  const SimTime horizon = params_.routingDelayNs + params_.linkPropagationNs;
+  const std::size_t entities = static_cast<std::size_t>(topo_.numNodes()) +
+                               static_cast<std::size_t>(topo_.numSwitches());
+  const std::size_t perShardEntities =
+      entities / static_cast<std::size_t>(t) + 1;
+  const double eventsPerNs =
+      static_cast<double>(perShardEntities) /
+      static_cast<double>(horizon > 0 ? horizon : SimTime{1});
+  const int dayShift = EventQueue::suggestDayShift(horizon, eventsPerNs);
+  const int bucketShift = EventQueue::suggestBucketShift(perShardEntities);
   const SimKernel queueKind = params_.kernel == SimKernel::kLegacyHeap
                                   ? SimKernel::kLegacyHeap
                                   : SimKernel::kCalendar;
   shards_.reserve(static_cast<std::size_t>(t));
   for (int i = 0; i < t; ++i) {
-    shards_.emplace_back(i, queueKind, dayShift);
+    shards_.emplace_back(i, queueKind, dayShift, bucketShift);
   }
   for (Shard& sh : shards_) {
     sh.outbox.resize(static_cast<std::size_t>(t));
@@ -152,6 +164,11 @@ void Fabric::setLftEntry(SwitchId sw, Lid lid, PortIndex port) {
   switches_[static_cast<std::size_t>(sw)].lft.setEntry(lid, port);
 }
 
+void Fabric::setLftBlock(SwitchId sw, Lid start, const std::uint8_t* bytes,
+                         std::size_t count) {
+  switches_[static_cast<std::size_t>(sw)].lft.setBlock(start, bytes, count);
+}
+
 PortIndex Fabric::lftEntry(SwitchId sw, Lid lid) const {
   return switches_[static_cast<std::size_t>(sw)].lft.entry(lid);
 }
@@ -182,6 +199,11 @@ void Fabric::stageLftBegin(SwitchId sw) {
 
 void Fabric::stageLftEntry(SwitchId sw, Lid lid, PortIndex port) {
   switches_[static_cast<std::size_t>(sw)].lft.stageEntry(lid, port);
+}
+
+void Fabric::stageLftBlock(SwitchId sw, Lid start, const std::uint8_t* bytes,
+                           std::size_t count) {
+  switches_[static_cast<std::size_t>(sw)].lft.stageBlock(start, bytes, count);
 }
 
 void Fabric::commitStagedLft(SwitchId sw, std::uint32_t epoch) {

@@ -58,6 +58,7 @@
 #include "fabric/params.hpp"
 #include "sim/event_queue.hpp"
 #include "topology/topology.hpp"
+#include "util/flow_table.hpp"
 #include "util/rng.hpp"
 #include "util/spsc_mailbox.hpp"
 
@@ -174,6 +175,12 @@ class Fabric {
 
   // ---- management plane (SubnetManager) --------------------------------
   void setLftEntry(SwitchId sw, Lid lid, PortIndex port);
+  /// Bulk LFT programming: write `count` consecutive entries starting at
+  /// `start` from LFT-image row bytes (0xff = clear / not programmed). One
+  /// call per switch row replaces tens of thousands of per-entry calls when
+  /// the SM sweeps a 1024-switch fabric.
+  void setLftBlock(SwitchId sw, Lid start, const std::uint8_t* bytes,
+                   std::size_t count);
   PortIndex lftEntry(SwitchId sw, Lid lid) const;
   void setSlToVl(SwitchId sw, PortIndex inPort, PortIndex outPort, int sl,
                  VlIndex vl);
@@ -232,6 +239,9 @@ class Fabric {
   void stageLftBegin(SwitchId sw);
   /// Program one entry of the staged image on `sw`.
   void stageLftEntry(SwitchId sw, Lid lid, PortIndex port);
+  /// Bulk staged write, mirroring setLftBlock.
+  void stageLftBlock(SwitchId sw, Lid start, const std::uint8_t* bytes,
+                     std::size_t count);
   /// Commit `sw`'s staged image under `epoch` (must be injectionEpoch()+1).
   /// Forwarding behavior does not change yet: no packet carries `epoch`
   /// until advanceInjectionEpoch.
@@ -396,8 +406,8 @@ class Fabric {
   /// within a window a shard touches only its own members plus its
   /// outboxes. The window barrier orders all cross-shard handoffs.
   struct Shard {
-    Shard(int idx, SimKernel kind, int dayShift)
-        : index(idx), queue(kind, dayShift) {}
+    Shard(int idx, SimKernel kind, int dayShift, int bucketShift)
+        : index(idx), queue(kind, dayShift, bucketShift) {}
 
     int index;
     EventQueue queue;
@@ -591,7 +601,10 @@ class Fabric {
   std::vector<Rng> nodeRngs_;
   std::vector<Rng> switchRngs_;
 
-  std::vector<std::uint32_t> detSeqCounters_;  // (src * N + dst)
+  /// Deterministic per-flow sequence stamps, keyed (src, dst). Each flow's
+  /// counter is touched only from its source node's owning shard (the
+  /// FlowTable threading contract).
+  FlowTable<std::uint32_t> detSeqCounters_;
 
   /// Current injection epoch (live reconfiguration). Written only in
   /// coordinator context between windows, read by shards during windows;

@@ -530,10 +530,7 @@ PacketRef Fabric::generatePacket(Shard& sh, NodeId src) {
   }
   pkt.genTime = sh.now;
   if (!pkt.adaptive) {
-    auto& ctr = detSeqCounters_[static_cast<std::size_t>(src) *
-                                    topo_.numNodes() +
-                                static_cast<std::size_t>(spec.dst)];
-    pkt.detSeq = ++ctr;
+    pkt.detSeq = ++detSeqCounters_.at(src, spec.dst);
   }
   ++sh.counters.generated;
   notifyObserver(sh, ObsType::kGenerated, pkt);

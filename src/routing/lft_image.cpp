@@ -27,6 +27,10 @@ LftImage buildLftImage(const Topology& topo, const LftPlanSpec& spec) {
         static_cast<std::uint8_t>(port);
   };
 
+  // One CSR adjacency snapshot shared by every routing pass below — each
+  // up*/down* plane and the minimal-distance matrix walk the same graph.
+  const SwitchAdjacency adj(topo);
+
   if (spec.sourceMultipathPlanes > 0) {
     if (spec.numOptions != 1) {
       throw std::invalid_argument(
@@ -43,7 +47,8 @@ LftImage buildLftImage(const Topology& topo, const LftPlanSpec& spec) {
     std::vector<UpDownRouting> tables;
     tables.reserve(static_cast<std::size_t>(planes));
     for (int k = 0; k < planes; ++k) {
-      tables.emplace_back(topo, spec.rootSelection, static_cast<unsigned>(k));
+      tables.emplace_back(topo, adj, spec.rootSelection,
+                          static_cast<unsigned>(k));
     }
     image.root = tables.front().root();
     for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
@@ -74,11 +79,12 @@ LftImage buildLftImage(const Topology& topo, const LftPlanSpec& spec) {
   // variation), so any mixture of sets remains deadlock-free.
   std::vector<UpDownRouting> updowns;
   std::vector<RouteSet> routeSets;
-  const MinimalAdaptiveRouting minimal(topo);
+  const MinimalAdaptiveRouting minimal(topo, adj);
   updowns.reserve(static_cast<std::size_t>(sets));
   routeSets.reserve(static_cast<std::size_t>(sets));
   for (int j = 0; j < sets; ++j) {
-    updowns.emplace_back(topo, spec.rootSelection, static_cast<unsigned>(j));
+    updowns.emplace_back(topo, adj, spec.rootSelection,
+                         static_cast<unsigned>(j));
   }
   for (int j = 0; j < sets; ++j) {
     routeSets.emplace_back(topo, updowns[static_cast<std::size_t>(j)], minimal);
@@ -118,9 +124,11 @@ LftImage buildLftImage(const Topology& topo, const LftPlanSpec& spec) {
       }
       // Remaining block addresses: set-0 escape hop, so a stray DLID still
       // routes deterministically.
-      const PortIndex esc0 = routeSets.front().options(sw, n).escapePort;
-      for (int k = sets * x; k < lidsPerNode; ++k) {
-        set(sw, base + static_cast<Lid>(k), esc0);
+      if (sets * x < lidsPerNode) {
+        const PortIndex esc0 = routeSets.front().options(sw, n).escapePort;
+        for (int k = sets * x; k < lidsPerNode; ++k) {
+          set(sw, base + static_cast<Lid>(k), esc0);
+        }
       }
     }
   }

@@ -1,22 +1,41 @@
 #include "routing/minimal.hpp"
 
+#include <algorithm>
+
 namespace ibadapt {
 
 MinimalAdaptiveRouting::MinimalAdaptiveRouting(const Topology& topo)
-    : numSwitches_(topo.numSwitches()), dist_(allPairsDistances(topo)) {
-  ports_.resize(static_cast<std::size_t>(numSwitches_) * numSwitches_);
-  for (SwitchId at = 0; at < numSwitches_; ++at) {
-    const auto neighbors = topo.switchNeighbors(at);
-    for (SwitchId dest = 0; dest < numSwitches_; ++dest) {
-      if (at == dest) continue;
-      auto& list = ports_[static_cast<std::size_t>(at) * numSwitches_ +
-                          static_cast<std::size_t>(dest)];
-      const int d = distance(at, dest);
-      for (const auto& [nb, port] : neighbors) {
-        if (distance(nb, dest) == d - 1) list.push_back(port);
-      }
-    }
+    : numSwitches_(topo.numSwitches()), adj_(topo) {
+  build();
+}
+
+MinimalAdaptiveRouting::MinimalAdaptiveRouting(const Topology& topo,
+                                               const SwitchAdjacency& adj)
+    : numSwitches_(topo.numSwitches()), adj_(adj) {
+  build();
+}
+
+void MinimalAdaptiveRouting::build() {
+  dist_.resize(static_cast<std::size_t>(numSwitches_) * numSwitches_);
+  std::vector<int> row;
+  std::vector<SwitchId> queue;
+  for (SwitchId from = 0; from < numSwitches_; ++from) {
+    adj_.bfsInto(from, row, queue);
+    std::copy(row.begin(), row.end(),
+              dist_.begin() + static_cast<std::size_t>(from) * numSwitches_);
   }
+}
+
+std::vector<PortIndex> MinimalAdaptiveRouting::minimalPorts(
+    SwitchId at, SwitchId dest) const {
+  std::vector<PortIndex> out;
+  if (at == dest) return out;
+  const int d = distance(at, dest);
+  const SwitchAdjacency::Span nb = adj_.neighbors(at);
+  for (int i = 0; i < nb.count; ++i) {
+    if (distance(nb.ids[i], dest) == d - 1) out.push_back(nb.ports[i]);
+  }
+  return out;
 }
 
 }  // namespace ibadapt

@@ -5,6 +5,13 @@
 // is a legal adaptive choice. Combined with the up*/down* escape paths this
 // forms the FA routing algorithm.
 //
+// Storage is deliberately lean: only the flat S x S distance matrix is kept
+// (4 bytes per pair); the per-(switch, dest) port lists are derived on demand
+// from the distance matrix and the CSR adjacency snapshot. Materializing the
+// lists -- the obvious alternative -- costs a vector object per pair, which
+// at 1024 switches is ~25 MB of vector headers before a single port is
+// stored. Deriving a list is a scan of one switch's neighbors (O(radix)).
+//
 #include <vector>
 
 #include "topology/topology.hpp"
@@ -16,22 +23,27 @@ class MinimalAdaptiveRouting {
  public:
   explicit MinimalAdaptiveRouting(const Topology& topo);
 
+  /// Same, reusing a caller-built adjacency snapshot (see UpDownRouting's
+  /// matching overload); the snapshot must describe `topo`.
+  MinimalAdaptiveRouting(const Topology& topo, const SwitchAdjacency& adj);
+
   /// Shortest switch-to-switch distance in hops.
   int distance(SwitchId from, SwitchId to) const {
-    return dist_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+    return dist_[static_cast<std::size_t>(from) * numSwitches_ +
+                 static_cast<std::size_t>(to)];
   }
 
   /// All minimal output ports at `at` toward `dest` (ascending port order).
-  /// Empty when at == dest.
-  const std::vector<PortIndex>& minimalPorts(SwitchId at, SwitchId dest) const {
-    return ports_[static_cast<std::size_t>(at) * numSwitches_ +
-                  static_cast<std::size_t>(dest)];
-  }
+  /// Empty when at == dest. Computed per call; callers that loop over
+  /// destinations should hold the result, not re-query per packet.
+  std::vector<PortIndex> minimalPorts(SwitchId at, SwitchId dest) const;
 
  private:
+  void build();
+
   int numSwitches_;
-  std::vector<std::vector<int>> dist_;
-  std::vector<std::vector<PortIndex>> ports_;
+  SwitchAdjacency adj_;
+  std::vector<int> dist_;  // dist_[from * S + to]
 };
 
 }  // namespace ibadapt

@@ -4,30 +4,32 @@ namespace ibadapt {
 
 RouteSet::RouteSet(const Topology& topo, const UpDownRouting& updown,
                    const MinimalAdaptiveRouting& minimal)
-    : numSwitches_(topo.numSwitches()), numNodes_(topo.numNodes()) {
-  spec_.resize(static_cast<std::size_t>(numSwitches_) * numNodes_);
-  for (SwitchId sw = 0; sw < numSwitches_; ++sw) {
-    for (NodeId n = 0; n < numNodes_; ++n) {
-      auto& s = spec_[static_cast<std::size_t>(sw) * numNodes_ +
-                      static_cast<std::size_t>(n)];
-      const SwitchId destSw = topo.switchOfNode(n);
-      if (destSw == sw) {
-        s.escapePort = topo.portOfNode(n);
-        // Local delivery: a single option; the adaptive list stays empty.
-      } else {
-        s.escapePort = updown.nextHopPort(sw, destSw);
-        s.adaptivePorts = minimal.minimalPorts(sw, destSw);
-      }
-    }
+    : numSwitches_(topo.numSwitches()),
+      numNodes_(topo.numNodes()),
+      topo_(&topo),
+      updown_(&updown),
+      minimal_(&minimal) {}
+
+RouteOptionsSpec RouteSet::options(SwitchId sw, NodeId dest) const {
+  RouteOptionsSpec s;
+  const SwitchId destSw = topo_->switchOfNode(dest);
+  if (destSw == sw) {
+    s.escapePort = topo_->portOfNode(dest);
+    // Local delivery: a single option; the adaptive list stays empty.
+  } else {
+    s.escapePort = updown_->nextHopPort(sw, destSw);
+    s.adaptivePorts = minimal_->minimalPorts(sw, destSw);
   }
+  return s;
 }
 
 std::vector<PortIndex> RouteSet::cappedAdaptivePorts(SwitchId sw, NodeId dest,
                                                      int numOptions) const {
-  const auto& s = options(sw, dest);
   const int slots = numOptions - 1;  // bank 0 holds the escape port
   std::vector<PortIndex> out;
-  if (slots <= 0 || s.adaptivePorts.empty()) return out;
+  if (slots <= 0) return out;
+  const RouteOptionsSpec s = options(sw, dest);
+  if (s.adaptivePorts.empty()) return out;
   const int n = static_cast<int>(s.adaptivePorts.size());
   const int take = slots < n ? slots : n;
   // Deterministic rotation keyed on (switch, destination) balances which

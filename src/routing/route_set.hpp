@@ -7,6 +7,13 @@
 //   * adaptive ports — every minimal output port, stored (capped and
 //     rotation-balanced) at addresses `d+1 .. d+x-1`.
 //
+// The set is a *view* over the routing layers, not a materialized table:
+// options are derived per query from the up*/down* next-hop table and the
+// minimal-distance matrix. An S x N array of port-list vectors is quadratic
+// in fabric size (hundreds of MB at 1024 switches) while each query is an
+// O(radix) scan — so nothing is cached. The referenced topology/routing
+// objects must outlive the RouteSet.
+//
 #include <vector>
 
 #include "routing/minimal.hpp"
@@ -26,10 +33,10 @@ class RouteSet {
   RouteSet(const Topology& topo, const UpDownRouting& updown,
            const MinimalAdaptiveRouting& minimal);
 
-  const RouteOptionsSpec& options(SwitchId sw, NodeId dest) const {
-    return spec_[static_cast<std::size_t>(sw) * numNodes_ +
-                 static_cast<std::size_t>(dest)];
-  }
+  /// Routing options for (switch, destination node), computed per call.
+  /// Callers may bind the result to a const reference (lifetime extension);
+  /// per-packet hot paths should not re-query in a loop.
+  RouteOptionsSpec options(SwitchId sw, NodeId dest) const;
 
   /// Adaptive ports to program given x table banks (x-1 adaptive slots):
   /// a deterministic rotation spreads the capped subset across destinations
@@ -43,7 +50,9 @@ class RouteSet {
  private:
   int numSwitches_;
   int numNodes_;
-  std::vector<RouteOptionsSpec> spec_;
+  const Topology* topo_;
+  const UpDownRouting* updown_;
+  const MinimalAdaptiveRouting* minimal_;
 };
 
 }  // namespace ibadapt

@@ -1,7 +1,6 @@
 #include "routing/updown.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 #include <queue>
 #include <stdexcept>
@@ -12,16 +11,16 @@ namespace {
 constexpr int kInf = std::numeric_limits<int>::max() / 4;
 }
 
-SwitchId selectRoot(const Topology& topo, RootSelection sel) {
-  const int s = topo.numSwitches();
+SwitchId selectRoot(const SwitchAdjacency& adj, RootSelection sel) {
+  const int s = adj.numSwitches();
   switch (sel) {
     case RootSelection::kLowestId:
       return 0;
     case RootSelection::kHighestDegree: {
       SwitchId best = 0;
-      int bestDeg = topo.interSwitchDegree(0);
+      int bestDeg = adj.neighbors(0).count;
       for (SwitchId sw = 1; sw < s; ++sw) {
-        const int deg = topo.interSwitchDegree(sw);
+        const int deg = adj.neighbors(sw).count;
         if (deg > bestDeg) {
           best = sw;
           bestDeg = deg;
@@ -32,8 +31,12 @@ SwitchId selectRoot(const Topology& topo, RootSelection sel) {
     case RootSelection::kMinEccentricity: {
       SwitchId best = 0;
       int bestEcc = kInf;
+      // One BFS per candidate root over the shared scratch pair — the
+      // buffers are sized once and reused for all S passes.
+      std::vector<int> dist;
+      std::vector<SwitchId> queue;
       for (SwitchId sw = 0; sw < s; ++sw) {
-        const auto dist = topo.bfsDistances(sw);
+        adj.bfsInto(sw, dist, queue);
         int ecc = 0;
         for (int d : dist) ecc = std::max(ecc, d);
         if (ecc < bestEcc) {
@@ -47,20 +50,35 @@ SwitchId selectRoot(const Topology& topo, RootSelection sel) {
   return 0;
 }
 
+SwitchId selectRoot(const Topology& topo, RootSelection sel) {
+  if (sel == RootSelection::kLowestId) return 0;
+  return selectRoot(SwitchAdjacency(topo), sel);
+}
+
 UpDownRouting::UpDownRouting(const Topology& topo, RootSelection rootSel,
                              unsigned tieBreakSalt)
     : topo_(&topo), salt_(tieBreakSalt) {
-  if (!topo.connectedSwitchGraph()) {
-    throw std::invalid_argument("UpDownRouting: switch graph not connected");
-  }
-  root_ = selectRoot(topo, rootSel);
-  computeLevels();
-  computeTables();
+  build(SwitchAdjacency(topo), rootSel);
 }
 
-void UpDownRouting::computeLevels() {
-  const auto dist = topo_->bfsDistances(root_);
-  levels_.assign(dist.begin(), dist.end());
+UpDownRouting::UpDownRouting(const Topology& topo, const SwitchAdjacency& adj,
+                             RootSelection rootSel, unsigned tieBreakSalt)
+    : topo_(&topo), salt_(tieBreakSalt) {
+  build(adj, rootSel);
+}
+
+void UpDownRouting::build(const SwitchAdjacency& adj, RootSelection rootSel) {
+  std::vector<int> dist;
+  std::vector<SwitchId> queue;
+  adj.bfsInto(0, dist, queue);
+  for (int d : dist) {
+    if (d < 0) {
+      throw std::invalid_argument("UpDownRouting: switch graph not connected");
+    }
+  }
+  root_ = selectRoot(adj, rootSel);
+  adj.bfsInto(root_, levels_, queue);
+  computeTables(adj);
 }
 
 bool UpDownRouting::isUp(SwitchId from, SwitchId to) const {
@@ -70,13 +88,24 @@ bool UpDownRouting::isUp(SwitchId from, SwitchId to) const {
   return to < from;  // deterministic tie-break on equal levels
 }
 
-void UpDownRouting::computeTables() {
+void UpDownRouting::computeTables(const SwitchAdjacency& adj) {
   const int s = topo_->numSwitches();
   nextPort_.assign(static_cast<std::size_t>(s) * s, kInvalidPort);
   downDist_.assign(static_cast<std::size_t>(s) * s, -1);
 
+  // All scratch hoisted outside the destination loop: one BFS queue, one
+  // distance pair, one Dijkstra heap, one candidate list — reused across
+  // all S destinations instead of reallocated per destination (and the
+  // graph itself is walked through the shared CSR snapshot, not through
+  // per-call neighbor vectors).
   std::vector<int> downDist(static_cast<std::size_t>(s));
   std::vector<int> anyDist(static_cast<std::size_t>(s));
+  std::vector<SwitchId> queue;
+  queue.reserve(static_cast<std::size_t>(s));
+  using Item = std::pair<int, SwitchId>;
+  std::vector<Item> heapStore;
+  heapStore.reserve(static_cast<std::size_t>(s));
+  std::vector<PortIndex> candidates;
 
   for (SwitchId dest = 0; dest < s; ++dest) {
     // Phase 1: shortest all-down distances to dest. A hop sw -> nb counts
@@ -84,12 +113,13 @@ void UpDownRouting::computeTables() {
     // predecessor `u` when u -> v is down.
     std::fill(downDist.begin(), downDist.end(), kInf);
     downDist[static_cast<std::size_t>(dest)] = 0;
-    std::deque<SwitchId> queue{dest};
-    while (!queue.empty()) {
-      const SwitchId v = queue.front();
-      queue.pop_front();
-      for (const auto& [u, port] : topo_->switchNeighbors(v)) {
-        (void)port;
+    queue.clear();
+    queue.push_back(dest);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const SwitchId v = queue[head];
+      const SwitchAdjacency::Span nb = adj.neighbors(v);
+      for (int i = 0; i < nb.count; ++i) {
+        const SwitchId u = nb.ids[i];
         if (downDist[static_cast<std::size_t>(u)] == kInf && !isUp(u, v)) {
           downDist[static_cast<std::size_t>(u)] =
               downDist[static_cast<std::size_t>(v)] + 1;
@@ -103,8 +133,9 @@ void UpDownRouting::computeTables() {
     // solved with a Dijkstra-style relaxation (unit edges, heterogeneous
     // seeds).
     std::fill(anyDist.begin(), anyDist.end(), kInf);
-    using Item = std::pair<int, SwitchId>;
-    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    heapStore.clear();
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq(
+        std::greater<Item>{}, std::move(heapStore));
     for (SwitchId v = 0; v < s; ++v) {
       if (downDist[static_cast<std::size_t>(v)] < kInf) {
         anyDist[static_cast<std::size_t>(v)] = downDist[static_cast<std::size_t>(v)];
@@ -115,8 +146,9 @@ void UpDownRouting::computeTables() {
       const auto [d, u] = pq.top();
       pq.pop();
       if (d > anyDist[static_cast<std::size_t>(u)]) continue;
-      for (const auto& [v, port] : topo_->switchNeighbors(u)) {
-        (void)port;
+      const SwitchAdjacency::Span nb = adj.neighbors(u);
+      for (int i = 0; i < nb.count; ++i) {
+        const SwitchId v = nb.ids[i];
         // Relax v -> u when that hop is "up" for the packet (v to u).
         if (isUp(v, u) && d + 1 < anyDist[static_cast<std::size_t>(v)]) {
           anyDist[static_cast<std::size_t>(v)] = d + 1;
@@ -128,7 +160,6 @@ void UpDownRouting::computeTables() {
     // Phase 3: per-switch next hops — down-preferred for table coherence.
     // Among equally good candidates the tie-break salt rotates the choice,
     // producing distinct (but individually coherent) table planes.
-    std::vector<PortIndex> candidates;
     for (SwitchId at = 0; at < s; ++at) {
       downDist_[static_cast<std::size_t>(dest) * s + at] =
           downDist[static_cast<std::size_t>(at)] == kInf
@@ -136,20 +167,23 @@ void UpDownRouting::computeTables() {
               : downDist[static_cast<std::size_t>(at)];
       if (at == dest) continue;
       candidates.clear();
+      const SwitchAdjacency::Span nbrs = adj.neighbors(at);
       if (downDist[static_cast<std::size_t>(at)] < kInf) {
-        for (const auto& [nb, port] : topo_->switchNeighbors(at)) {
+        for (int i = 0; i < nbrs.count; ++i) {
+          const SwitchId nb = nbrs.ids[i];
           if (!isUp(at, nb) &&
               downDist[static_cast<std::size_t>(nb)] ==
                   downDist[static_cast<std::size_t>(at)] - 1) {
-            candidates.push_back(port);
+            candidates.push_back(nbrs.ports[i]);
           }
         }
       } else {
-        for (const auto& [nb, port] : topo_->switchNeighbors(at)) {
+        for (int i = 0; i < nbrs.count; ++i) {
+          const SwitchId nb = nbrs.ids[i];
           if (isUp(at, nb) &&
               anyDist[static_cast<std::size_t>(nb)] ==
                   anyDist[static_cast<std::size_t>(at)] - 1) {
-            candidates.push_back(port);
+            candidates.push_back(nbrs.ports[i]);
           }
         }
       }

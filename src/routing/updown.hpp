@@ -40,6 +40,14 @@ class UpDownRouting {
                          RootSelection rootSel = RootSelection::kHighestDegree,
                          unsigned tieBreakSalt = 0);
 
+  /// Same, reusing a caller-built adjacency snapshot — the LFT image
+  /// builder constructs several planes (and a minimal-routing pass) over
+  /// one topology; sharing the snapshot means the graph is walked through
+  /// one compact CSR instead of re-deriving neighbor lists per plane. The
+  /// snapshot must describe `topo` and only needs to outlive construction.
+  UpDownRouting(const Topology& topo, const SwitchAdjacency& adj,
+                RootSelection rootSel, unsigned tieBreakSalt);
+
   SwitchId root() const { return root_; }
   int level(SwitchId sw) const { return levels_[static_cast<std::size_t>(sw)]; }
 
@@ -66,8 +74,8 @@ class UpDownRouting {
   int downDistance(SwitchId sw, SwitchId dest) const;
 
  private:
-  void computeLevels();
-  void computeTables();
+  void build(const SwitchAdjacency& adj, RootSelection rootSel);
+  void computeTables(const SwitchAdjacency& adj);
 
   const Topology* topo_;
   SwitchId root_ = 0;
@@ -81,5 +89,10 @@ class UpDownRouting {
 
 /// Root choice helper (exposed for tests).
 SwitchId selectRoot(const Topology& topo, RootSelection sel);
+
+/// Same, over a prebuilt adjacency snapshot with reusable BFS scratch —
+/// kMinEccentricity runs one BFS per switch, which at 1024+ switches must
+/// not allocate per root.
+SwitchId selectRoot(const SwitchAdjacency& adj, RootSelection sel);
 
 }  // namespace ibadapt

@@ -5,12 +5,23 @@
 
 namespace ibadapt {
 
-EventQueue::EventQueue(SimKernel kind, int dayShift)
-    : kind_(kind), dayShift_(dayShift) {
+EventQueue::EventQueue(SimKernel kind, int dayShift, int bucketShift)
+    : kind_(kind),
+      dayShift_(dayShift),
+      bucketShift_(bucketShift),
+      numBuckets_(std::size_t{1} << bucketShift),
+      indexMask_(numBuckets_ - 1),
+      bitmapWords_(numBuckets_ / 64) {
   if (dayShift < kMinDayShift || dayShift > kMaxDayShift) {
     throw std::invalid_argument("EventQueue: dayShift out of range");
   }
-  if (kind_ != SimKernel::kLegacyHeap) buckets_.resize(kNumBuckets);
+  if (bucketShift < kMinBucketShift || bucketShift > kMaxBucketShift) {
+    throw std::invalid_argument("EventQueue: bucketShift out of range");
+  }
+  if (kind_ != SimKernel::kLegacyHeap) {
+    buckets_.resize(numBuckets_);
+    bitmap_.assign(bitmapWords_, 0);
+  }
 }
 
 int EventQueue::suggestDayShift(SimTime meanHorizonNs) {
@@ -26,13 +37,41 @@ int EventQueue::suggestDayShift(SimTime meanHorizonNs) {
   return shift;
 }
 
+int EventQueue::suggestDayShift(SimTime meanHorizonNs, double eventsPerNs) {
+  const int horizonShift = suggestDayShift(meanHorizonNs);
+  if (eventsPerNs <= 0.0) return horizonShift;
+  // Target a handful of events per day: with ~eventsPerNs arrivals per
+  // simulated ns, a day of 2^shift ns holds ~eventsPerNs * 2^shift events.
+  // Keep that near 4 so the per-bucket sorted insert stays O(1)-ish even
+  // when thousands of entities are live, but never widen past the
+  // horizon-derived day (sparse fabrics would scan empty buckets).
+  int shift = kMinDayShift;
+  while (shift < horizonShift &&
+         (static_cast<double>(SimTime{1} << (shift + 1)) * eventsPerNs) <= 4.0) {
+    ++shift;
+  }
+  return shift;
+}
+
+int EventQueue::suggestBucketShift(std::size_t expectedLiveEvents) {
+  // Classic calendar-queue sizing: about one bucket per live event keeps
+  // the expected bucket chain length constant. Clamped so tiny fixtures
+  // still get a bitmap-friendly wheel and huge fabrics don't overshoot.
+  int shift = kMinBucketShift;
+  while (shift < kMaxBucketShift &&
+         (std::size_t{1} << shift) < expectedLiveEvents) {
+    ++shift;
+  }
+  return shift;
+}
+
 void EventQueue::insertWheel(const Event& ev) {
   std::int64_t day = ev.time >> dayShift_;
   // Pushes at or before the last popped timestamp land in the cursor day so
   // they are (like in a heap) the very next events popped; the sorted
   // insert below keeps them ordered among themselves by (time, seq).
   if (day < baseDay_) day = baseDay_;
-  const std::size_t idx = static_cast<std::size_t>(day) & kIndexMask;
+  const std::size_t idx = static_cast<std::size_t>(day) & indexMask_;
   Bucket& b = buckets_[idx];
   if (b.events.empty() || !EventLater{}(b.events.back(), ev)) {
     b.events.push_back(ev);  // common case: latest (time, seq) in its day
@@ -50,7 +89,7 @@ void EventQueue::insertWheel(const Event& ev) {
 }
 
 void EventQueue::migrateOverflow() {
-  const std::int64_t limit = baseDay_ + static_cast<std::int64_t>(kNumBuckets);
+  const std::int64_t limit = baseDay_ + static_cast<std::int64_t>(numBuckets_);
   while (!overflow_.empty() && (overflow_.top().time >> dayShift_) < limit) {
     insertWheel(overflow_.top());
     overflow_.pop();
@@ -67,8 +106,8 @@ std::size_t EventQueue::findOccupiedFrom(std::size_t startIdx) const {
     return (startWord << 6) +
            static_cast<std::size_t>(__builtin_ctzll(word));
   }
-  for (std::size_t w = 1; w <= kBitmapWords; ++w) {
-    const std::size_t i = (startWord + w) & (kBitmapWords - 1);
+  for (std::size_t w = 1; w <= bitmapWords_; ++w) {
+    const std::size_t i = (startWord + w) & (bitmapWords_ - 1);
     if (bitmap_[i] != 0) {
       return (i << 6) + static_cast<std::size_t>(__builtin_ctzll(bitmap_[i]));
     }
@@ -87,7 +126,7 @@ void EventQueue::clear() {
     b.events.clear();
     b.head = 0;
   }
-  bitmap_.fill(0);
+  std::fill(bitmap_.begin(), bitmap_.end(), 0);
   baseDay_ = 0;
   wheelCount_ = 0;
   overflow_ = {};

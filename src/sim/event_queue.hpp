@@ -21,9 +21,11 @@
 // Both layouts realize the same strict weak order — earliest time first,
 // then push sequence — for arbitrary push/pop interleavings (including
 // pushes at or before the last popped timestamp), so a simulation's event
-// trace is identical under either kernel.
+// trace is identical under either kernel. The wheel geometry (day width,
+// bucket count) tunes constants only: pop order is (time, seq) for every
+// legal geometry, which is what lets the Fabric derive both knobs from
+// fabric scale without perturbing bit-identity.
 //
-#include <array>
 #include <cstddef>
 #include <queue>
 #include <vector>
@@ -56,16 +58,42 @@ class EventQueue {
   static constexpr int kMinDayShift = 0;
   static constexpr int kMaxDayShift = 20;
 
+  /// Default wheel size exponent: 2^11 = 2048 day buckets. The wheel is a
+  /// per-queue allocation (one Bucket + one bitmap bit per day), so small
+  /// fixtures need not pay for a wheel sized for 1024-switch fabrics and
+  /// vice versa; bucketShift makes it a runtime knob.
+  static constexpr int kDefaultBucketShift = 11;
+  /// >= 6 keeps the occupancy bitmap a whole number of 64-bit words (the
+  /// cursor scan assumes a power-of-two word count).
+  static constexpr int kMinBucketShift = 6;
+  static constexpr int kMaxBucketShift = 16;
+
   explicit EventQueue(SimKernel kind = SimKernel::kCalendar,
-                      int dayShift = kDefaultDayShift);
+                      int dayShift = kDefaultDayShift,
+                      int bucketShift = kDefaultBucketShift);
 
   /// Pick a day width from the mean scheduling horizon (the typical gap
   /// between now and a pushed event's timestamp): a day about as wide as
   /// the horizon keeps each event's cohort in one or two buckets (O(1)
-  /// pops) while the 2048-day wheel still spans thousands of horizons for
+  /// pops) while the wheel still spans thousands of horizons for
   /// stragglers. Any value in [kMinDayShift, kMaxDayShift] is *correct* —
   /// the bucket sort degrades gracefully — this only tunes constants.
   static int suggestDayShift(SimTime meanHorizonNs);
+
+  /// Density-aware variant: additionally caps the day width so a day holds
+  /// only a handful of events when the fabric is dense (`eventsPerNs` =
+  /// expected event arrivals per simulated ns on THIS queue). Wide days on
+  /// a dense fabric turn each bucket into a large sorted insert; narrow
+  /// days keep the per-bucket cohort near constant size, which is what
+  /// makes pops O(1) at 1024 switches. Falls back to the horizon-only rule
+  /// when the density is unknown (<= 0).
+  static int suggestDayShift(SimTime meanHorizonNs, double eventsPerNs);
+
+  /// Pick the wheel size from the expected live-event population: roughly
+  /// one bucket per concurrently scheduled event, clamped to
+  /// [kMinBucketShift, kMaxBucketShift]. Small fixtures get a small wheel;
+  /// 1024-switch fabrics get one sized so bucket chains stay short.
+  static int suggestBucketShift(std::size_t expectedLiveEvents);
 
   /// Schedule `ev` at ev.time; the queue stamps the tie-break sequence.
   void push(Event ev);
@@ -87,15 +115,12 @@ class EventQueue {
   std::uint64_t pushedTotal() const { return nextSeq_; }
   SimKernel kind() const { return kind_; }
   int dayShift() const { return dayShift_; }
+  int bucketShift() const { return bucketShift_; }
+  std::size_t numBuckets() const { return numBuckets_; }
 
   void clear();
 
  private:
-  // --- wheel geometry ----------------------------------------------------
-  static constexpr std::size_t kNumBuckets = 2048;  // power of two
-  static constexpr std::size_t kIndexMask = kNumBuckets - 1;
-  static constexpr std::size_t kBitmapWords = kNumBuckets / 64;
-
   // One wheel day. `head` indexes the first unpopped event; the vector is
   // kept sorted ascending by (time, seq) and cleared (capacity retained)
   // when drained, so steady-state operation allocates nothing.
@@ -116,12 +141,17 @@ class EventQueue {
 
   SimKernel kind_;
   int dayShift_;
+  // --- wheel geometry (runtime; see suggestBucketShift) -------------------
+  int bucketShift_;
+  std::size_t numBuckets_;   // 1 << bucketShift_ (power of two)
+  std::size_t indexMask_;    // numBuckets_ - 1
+  std::size_t bitmapWords_;  // numBuckets_ / 64 (power of two)
   std::uint64_t nextSeq_ = 0;
   std::size_t size_ = 0;
 
   // calendar state
   std::vector<Bucket> buckets_;
-  std::array<std::uint64_t, kBitmapWords> bitmap_{};
+  std::vector<std::uint64_t> bitmap_;
   std::int64_t baseDay_ = 0;  // earliest day the wheel window covers
   std::size_t wheelCount_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> overflow_;
@@ -137,7 +167,7 @@ inline void EventQueue::pushStamped(const Event& ev) {
     return;
   }
   const std::int64_t day = ev.time >> dayShift_;
-  if (day < baseDay_ + static_cast<std::int64_t>(kNumBuckets)) {
+  if (day < baseDay_ + static_cast<std::int64_t>(numBuckets_)) {
     insertWheel(ev);
   } else {
     overflow_.push(ev);
@@ -157,7 +187,7 @@ inline Event EventQueue::pop() {
     return ev;
   }
   positionCursor();
-  const std::size_t idx = static_cast<std::size_t>(baseDay_) & kIndexMask;
+  const std::size_t idx = static_cast<std::size_t>(baseDay_) & indexMask_;
   Bucket& b = buckets_[idx];
   const Event ev = b.events[b.head++];
   --wheelCount_;
@@ -172,7 +202,7 @@ inline Event EventQueue::pop() {
 inline const Event& EventQueue::top() {
   if (kind_ == SimKernel::kLegacyHeap) return heap_.top();
   positionCursor();
-  const Bucket& b = buckets_[static_cast<std::size_t>(baseDay_) & kIndexMask];
+  const Bucket& b = buckets_[static_cast<std::size_t>(baseDay_) & indexMask_];
   return b.events[b.head];
 }
 
@@ -184,9 +214,9 @@ inline void EventQueue::positionCursor() {
     migrateOverflow();
     return;
   }
-  const std::size_t baseIdx = static_cast<std::size_t>(baseDay_) & kIndexMask;
+  const std::size_t baseIdx = static_cast<std::size_t>(baseDay_) & indexMask_;
   const std::size_t idx = findOccupiedFrom(baseIdx);
-  const std::size_t delta = (idx - baseIdx) & kIndexMask;
+  const std::size_t delta = (idx - baseIdx) & indexMask_;
   if (delta != 0) {
     baseDay_ += static_cast<std::int64_t>(delta);
     // Advancing the window may bring far events inside the horizon; they

@@ -7,23 +7,20 @@
 // share the split buffers (§4.4).
 //
 #include <cstdint>
-#include <vector>
 
+#include "util/flow_table.hpp"
 #include "util/types.hpp"
 
 namespace ibadapt {
 
 class InOrderChecker {
  public:
-  explicit InOrderChecker(int numNodes)
-      : numNodes_(numNodes),
-        lastSeq_(static_cast<std::size_t>(numNodes) * numNodes, 0) {}
+  explicit InOrderChecker(int numNodes) : lastSeq_(numNodes, numNodes) {}
 
   /// Records a deterministic delivery; returns false (and counts a
   /// violation) when the sequence went backwards.
   bool record(NodeId src, NodeId dst, std::uint32_t seq) {
-    auto& last = lastSeq_[static_cast<std::size_t>(src) * numNodes_ +
-                          static_cast<std::size_t>(dst)];
+    auto& last = lastSeq_.at(src, dst);
     if (seq <= last) {
       ++violations_;
       return false;
@@ -35,8 +32,9 @@ class InOrderChecker {
   std::uint64_t violations() const { return violations_; }
 
  private:
-  int numNodes_;
-  std::vector<std::uint32_t> lastSeq_;
+  // (src, dst)-keyed last stamps; called only from serialized observer
+  // context, so the FlowTable threading contract is trivially met.
+  FlowTable<std::uint32_t> lastSeq_;
   std::uint64_t violations_ = 0;
 };
 

@@ -286,11 +286,9 @@ void ReconfigManager::activate(SimTime now) {
     // newer than the snapshot the modeled computation actually used.
     for (SwitchId sw = 0; sw < fabric_->topology().numSwitches(); ++sw) {
       const auto& table = image_.entries[static_cast<std::size_t>(sw)];
-      for (std::size_t lid = 0; lid < table.size(); ++lid) {
-        if (table[lid] == kLftImageUnset) continue;
-        fabric_->setLftEntry(sw, static_cast<Lid>(lid),
-                             static_cast<PortIndex>(table[lid]));
-      }
+      // Row-at-a-time: image bytes are already in table encoding
+      // (kLftImageUnset == "not programmed"), so a block write is exact.
+      fabric_->setLftBlock(sw, 0, table.data(), table.size());
     }
     fabric_->setInjectionPaused(false);
     stats_.injectionPausedNs += static_cast<std::uint64_t>(now - pausedAt_);

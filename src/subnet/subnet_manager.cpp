@@ -134,10 +134,13 @@ SubnetManager::Report SubnetManager::configure(const SubnetParams& params) {
   report.root = image.root;
   for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
     const auto& table = image.entries[static_cast<std::size_t>(sw)];
-    for (Lid lid = 0; lid < table.size(); ++lid) {
-      if (table[lid] == kUnset) continue;
-      fabric_->setLftEntry(sw, lid, static_cast<PortIndex>(table[lid]));
-      ++report.lftEntriesWritten;
+    // Whole-row block write: the image row is already in table encoding
+    // (kUnset == the table's "not programmed" byte), so one memcpy-sized
+    // call programs the switch instead of one checked call per LID — the
+    // difference between O(S * LIDs) round trips and O(S) at 1024 switches.
+    fabric_->setLftBlock(sw, 0, table.data(), table.size());
+    for (std::size_t lid = 0; lid < table.size(); ++lid) {
+      if (table[lid] != kUnset) ++report.lftEntriesWritten;
     }
     // SLtoVL: identity mapping (SL modulo the number of data VLs), set
     // explicitly for every (input, output) pair as a real SM would.

@@ -144,4 +144,142 @@ Topology makeHypercube(int dim, int nodesPerSwitch) {
   return topo;
 }
 
+Topology makeFatTree(const FatTreeSpec& spec) {
+  const int k = spec.arity;
+  const int n = spec.levels;
+  if (k < 2) throw std::invalid_argument("makeFatTree: arity must be >= 2");
+  if (n < 2) throw std::invalid_argument("makeFatTree: levels must be >= 2");
+  const int hosts = spec.hostsPerLeaf < 0 ? k : spec.hostsPerLeaf;
+  if (hosts < 1) {
+    throw std::invalid_argument("makeFatTree: hostsPerLeaf must be >= 1");
+  }
+  // Switches per tier: k^(n-1); guard the whole fabric against overflow.
+  std::int64_t perLevel = 1;
+  for (int i = 0; i < n - 1; ++i) {
+    perLevel *= k;
+    if (perLevel * n > 1'000'000) {
+      throw std::invalid_argument("makeFatTree: topology too large");
+    }
+  }
+  const int m = static_cast<int>(perLevel);
+  const int numSwitches = n * m;
+  const int ports = std::max(2 * k, hosts + k);
+
+  // Hosts hang off the leaf tier only; upper tiers are pure transit.
+  std::vector<int> nodesAtSwitch(static_cast<std::size_t>(numSwitches), 0);
+  for (int w = 0; w < m; ++w) nodesAtSwitch[static_cast<std::size_t>(w)] = hosts;
+  Topology topo(ports, std::move(nodesAtSwitch));
+
+  // Switch <l, w> (id = l*m + w) connects upward to the k switches at level
+  // l+1 whose radix-k digit strings agree with w everywhere except digit l.
+  std::int64_t digitStride = 1;  // k^l
+  for (int l = 0; l < n - 1; ++l) {
+    for (int w = 0; w < m; ++w) {
+      const int digit = static_cast<int>((w / digitStride) % k);
+      const int base = w - static_cast<int>(digit * digitStride);
+      for (int c = 0; c < k; ++c) {
+        const int v = base + static_cast<int>(c * digitStride);
+        if (!topo.addLink(l * m + w, (l + 1) * m + v)) {
+          throw std::logic_error("makeFatTree: wiring conflict (bug)");
+        }
+      }
+    }
+    digitStride *= k;
+  }
+  return topo;
+}
+
+Topology makeDragonfly(const DragonflySpec& spec) {
+  const int a = spec.routersPerGroup;
+  const int p = spec.hostsPerRouter;
+  const int h = spec.globalPerRouter;
+  const int g = spec.groups > 0 ? spec.groups : a * h + 1;
+  if (a < 2) {
+    throw std::invalid_argument("makeDragonfly: routersPerGroup must be >= 2");
+  }
+  if (p < 1) {
+    throw std::invalid_argument("makeDragonfly: hostsPerRouter must be >= 1");
+  }
+  if (h < 1) {
+    throw std::invalid_argument("makeDragonfly: globalPerRouter must be >= 1");
+  }
+  if (g < 2 || g > a * h + 1) {
+    throw std::invalid_argument("makeDragonfly: groups must be in [2, a*h+1]");
+  }
+  if (g > 2 && a * h < 2) {
+    throw std::invalid_argument(
+        "makeDragonfly: need a*h >= 2 global ports per group to ring >2 groups");
+  }
+  const std::int64_t numSwitches64 = static_cast<std::int64_t>(a) * g;
+  if (numSwitches64 > 1'000'000) {
+    throw std::invalid_argument("makeDragonfly: topology too large");
+  }
+  const int numSwitches = static_cast<int>(numSwitches64);
+  const int ports = p + (a - 1) + h;
+  Topology topo(numSwitches, ports, p);
+
+  // Intra-group: each group is a clique of `a` routers.
+  for (int grp = 0; grp < g; ++grp) {
+    const SwitchId base = grp * a;
+    for (int i = 0; i < a; ++i) {
+      for (int j = i + 1; j < a; ++j) {
+        topo.addLink(base + i, base + j);
+      }
+    }
+  }
+
+  // Inter-group: every group owns a*h global attach points ("stubs", one
+  // per router global port), listed round-robin across routers and then
+  // seed-permuted so the seed varies which router carries which link.
+  std::vector<std::vector<SwitchId>> stubs(static_cast<std::size_t>(g));
+  {
+    Rng rng(spec.seed);
+    for (int grp = 0; grp < g; ++grp) {
+      auto& s = stubs[static_cast<std::size_t>(grp)];
+      s.reserve(static_cast<std::size_t>(a) * h);
+      for (int j = 0; j < h; ++j) {
+        for (int r = 0; r < a; ++r) s.push_back(grp * a + r);
+      }
+      rng.shuffle(s);
+    }
+  }
+  // Pair stubs round-robin over group distances: sweep d = 1 .. g/2 placing
+  // one link per (group, distance) visit, and repeat whole sweeps until no
+  // stub pair can be placed. Nearest pairs land first, so the d=1 pass
+  // alone rings every group together (connectivity), and later sweeps
+  // spread the remaining global ports evenly over farther pairs.
+  auto takePair = [&topo, &stubs](int grpA, int grpB) {
+    auto& sa = stubs[static_cast<std::size_t>(grpA)];
+    auto& sb = stubs[static_cast<std::size_t>(grpB)];
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      for (std::size_t j = 0; j < sb.size(); ++j) {
+        if (topo.linked(sa[i], sb[j])) continue;  // at most one link per pair
+        if (!topo.addLink(sa[i], sb[j])) continue;
+        sa.erase(sa.begin() + static_cast<std::ptrdiff_t>(i));
+        sb.erase(sb.begin() + static_cast<std::ptrdiff_t>(j));
+        return true;
+      }
+    }
+    return false;
+  };
+  bool placed = true;
+  while (placed) {
+    placed = false;
+    for (int d = 1; d <= g / 2; ++d) {
+      for (int grp = 0; grp < g; ++grp) {
+        const int to = (grp + d) % g;
+        // Even g, antipodal distance: each unordered pair shows up twice
+        // per sweep; keep only the lower-id visit.
+        if (2 * d == g && grp > to) continue;
+        if (takePair(grp, to)) placed = true;
+      }
+    }
+  }
+
+  if (!topo.connectedSwitchGraph()) {
+    throw std::runtime_error("makeDragonfly: disconnected wiring (bug)");
+  }
+  return topo;
+}
+
 }  // namespace ibadapt

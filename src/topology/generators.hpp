@@ -12,6 +12,13 @@
 // deadlock tests: their distance functions and cycle structure are known
 // analytically.
 //
+// The hierarchical generators (fat-tree / dragonfly) scale the topology
+// axis to production fabrics of 1024+ switches: k-ary n-trees and
+// dragonflies are what 1k-4k switch installations actually look like
+// (booksim models the same pair as its composite networks). Both are
+// deterministic pure functions of their spec; the dragonfly's seed only
+// permutes which router in a group carries which global link.
+//
 #include "topology/topology.hpp"
 #include "util/rng.hpp"
 
@@ -43,5 +50,49 @@ Topology makeTorus2D(int width, int height, int nodesPerSwitch);
 
 /// dim-dimensional hypercube (2^dim switches).
 Topology makeHypercube(int dim, int nodesPerSwitch);
+
+/// k-ary n-tree fat-tree (Petrini/Vanneschi construction).
+///
+/// `levels` (= n) switch tiers of arity^(n-1) switches each — levels x
+/// k^(n-1) switches total. A switch at level l connects to the k switches
+/// one level up that agree with it in every radix-k digit except digit l,
+/// so every tier pair forms a full butterfly stage. Hosts attach only to
+/// the level-0 (leaf) switches; every other tier has zero CA ports — the
+/// per-switch node-attachment Topology constructor exists for exactly this
+/// shape. Ports per switch: max(2*arity, hostsPerLeaf + arity).
+///
+/// Familiar sizes: arity=4, levels=4 -> 256 switches / 256 hosts;
+/// arity=2, levels=8 -> 1024 switches / 256 hosts (the scale gate).
+struct FatTreeSpec {
+  int arity = 4;   // k: up-links per switch and down-links per switch
+  int levels = 3;  // n: switch tiers
+  /// Hosts per leaf switch; -1 means `arity` (the canonical k^n hosts).
+  int hostsPerLeaf = -1;
+};
+
+Topology makeFatTree(const FatTreeSpec& spec);
+
+/// Dragonfly (Kim et al.): `groups` groups of `routersPerGroup` (a) fully
+/// connected routers; every router carries `hostsPerRouter` (p) CAs and
+/// `globalPerRouter` (h) global links to other groups. Global links are
+/// distributed round-robin over group distances — nearest group pairs are
+/// wired first, then farther pairs, sweeping until the global ports run
+/// out — which keeps the inter-group graph connected and balanced for any
+/// g <= a*h + 1. `seed` permutes which router inside each group carries
+/// which global link (wiring stays deterministic for a fixed seed).
+/// Ports per switch: p + (a-1) + h.
+///
+/// Familiar sizes: a=8,p=4,h=1,g=8 -> 64 switches / 256 hosts;
+/// a=16,p=4,h=4,g=64 -> 1024 switches / 4096 hosts (the scale gate).
+struct DragonflySpec {
+  int routersPerGroup = 4;  // a
+  int hostsPerRouter = 2;   // p
+  int globalPerRouter = 1;  // h
+  /// Group count g; 0 means the balanced maximum a*h + 1.
+  int groups = 0;
+  std::uint64_t seed = 1;
+};
+
+Topology makeDragonfly(const DragonflySpec& spec);
 
 }  // namespace ibadapt

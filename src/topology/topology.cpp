@@ -1,6 +1,7 @@
 #include "topology/topology.hpp"
 
-#include <deque>
+#include <algorithm>
+#include <numeric>
 #include <sstream>
 
 namespace ibadapt {
@@ -8,7 +9,8 @@ namespace ibadapt {
 Topology::Topology(int numSwitches, int portsPerSwitch, int nodesPerSwitch)
     : numSwitches_(numSwitches),
       portsPerSwitch_(portsPerSwitch),
-      nodesPerSwitch_(nodesPerSwitch) {
+      nodesPerSwitch_(nodesPerSwitch),
+      numNodes_(numSwitches * nodesPerSwitch) {
   if (numSwitches <= 0 || portsPerSwitch <= 0 || nodesPerSwitch < 0 ||
       nodesPerSwitch > portsPerSwitch) {
     throw std::invalid_argument("Topology: inconsistent dimensions");
@@ -25,8 +27,47 @@ Topology::Topology(int numSwitches, int portsPerSwitch, int nodesPerSwitch)
   }
 }
 
+Topology::Topology(int portsPerSwitch, std::vector<int> nodesAtSwitch)
+    : numSwitches_(static_cast<int>(nodesAtSwitch.size())),
+      portsPerSwitch_(portsPerSwitch),
+      nodesPerSwitch_(0),
+      numNodes_(0),
+      uniformNodes_(false) {
+  if (numSwitches_ <= 0 || portsPerSwitch <= 0) {
+    throw std::invalid_argument("Topology: inconsistent dimensions");
+  }
+  for (int c : nodesAtSwitch) {
+    if (c < 0 || c > portsPerSwitch) {
+      throw std::invalid_argument("Topology: per-switch node count out of range");
+    }
+    nodesPerSwitch_ = std::max(nodesPerSwitch_, c);
+  }
+  nodeBase_.resize(static_cast<std::size_t>(numSwitches_) + 1);
+  nodeBase_[0] = 0;
+  for (SwitchId sw = 0; sw < numSwitches_; ++sw) {
+    nodeBase_[static_cast<std::size_t>(sw) + 1] =
+        nodeBase_[static_cast<std::size_t>(sw)] +
+        nodesAtSwitch[static_cast<std::size_t>(sw)];
+  }
+  numNodes_ = nodeBase_.back();
+  nodeSwitch_.resize(static_cast<std::size_t>(numNodes_));
+  ports_.assign(static_cast<std::size_t>(numSwitches_),
+                std::vector<Peer>(static_cast<std::size_t>(portsPerSwitch)));
+  for (SwitchId sw = 0; sw < numSwitches_; ++sw) {
+    const int count = nodesAtSwitch[static_cast<std::size_t>(sw)];
+    for (PortIndex p = 0; p < count; ++p) {
+      const NodeId n = nodeBase_[static_cast<std::size_t>(sw)] + p;
+      nodeSwitch_[static_cast<std::size_t>(n)] = sw;
+      auto& peer = ports_[static_cast<std::size_t>(sw)][static_cast<std::size_t>(p)];
+      peer.kind = PeerKind::kNode;
+      peer.id = n;
+      peer.port = 0;
+    }
+  }
+}
+
 PortIndex Topology::firstFreePort(SwitchId sw) const {
-  for (PortIndex p = nodesPerSwitch_; p < portsPerSwitch_; ++p) {
+  for (PortIndex p = nodeCount(sw); p < portsPerSwitch_; ++p) {
     if (peer(sw, p).kind == PeerKind::kUnused) return p;
   }
   return kInvalidPort;
@@ -66,8 +107,8 @@ void Topology::restoreLink(SwitchId a, PortIndex portA, SwitchId b,
   if (a < 0 || b < 0 || a >= numSwitches_ || b >= numSwitches_) {
     throw std::invalid_argument("Topology::restoreLink: switch id out of range");
   }
-  if (portA < nodesPerSwitch_ || portA >= portsPerSwitch_ ||
-      portB < nodesPerSwitch_ || portB >= portsPerSwitch_) {
+  if (portA < nodeCount(a) || portA >= portsPerSwitch_ ||
+      portB < nodeCount(b) || portB >= portsPerSwitch_) {
     throw std::invalid_argument(
         "Topology::restoreLink: port outside the inter-switch range");
   }
@@ -86,7 +127,7 @@ void Topology::restoreLink(SwitchId a, PortIndex portA, SwitchId b,
 }
 
 bool Topology::linked(SwitchId a, SwitchId b) const {
-  for (PortIndex p = nodesPerSwitch_; p < portsPerSwitch_; ++p) {
+  for (PortIndex p = nodeCount(a); p < portsPerSwitch_; ++p) {
     const Peer& pe = peer(a, p);
     if (pe.kind == PeerKind::kSwitch && pe.id == b) return true;
   }
@@ -95,7 +136,7 @@ bool Topology::linked(SwitchId a, SwitchId b) const {
 
 int Topology::interSwitchDegree(SwitchId sw) const {
   int deg = 0;
-  for (PortIndex p = nodesPerSwitch_; p < portsPerSwitch_; ++p) {
+  for (PortIndex p = nodeCount(sw); p < portsPerSwitch_; ++p) {
     if (peer(sw, p).kind == PeerKind::kSwitch) ++deg;
   }
   return deg;
@@ -104,7 +145,7 @@ int Topology::interSwitchDegree(SwitchId sw) const {
 std::vector<std::pair<SwitchId, PortIndex>> Topology::switchNeighbors(
     SwitchId sw) const {
   std::vector<std::pair<SwitchId, PortIndex>> out;
-  for (PortIndex p = nodesPerSwitch_; p < portsPerSwitch_; ++p) {
+  for (PortIndex p = nodeCount(sw); p < portsPerSwitch_; ++p) {
     const Peer& pe = peer(sw, p);
     if (pe.kind == PeerKind::kSwitch) out.emplace_back(pe.id, p);
   }
@@ -120,31 +161,26 @@ bool Topology::connectedSwitchGraph() const {
 }
 
 std::vector<int> Topology::bfsDistances(SwitchId from) const {
-  std::vector<int> dist(static_cast<std::size_t>(numSwitches_), -1);
-  std::deque<SwitchId> queue;
-  dist[static_cast<std::size_t>(from)] = 0;
-  queue.push_back(from);
-  while (!queue.empty()) {
-    const SwitchId sw = queue.front();
-    queue.pop_front();
-    for (const auto& [nb, port] : switchNeighbors(sw)) {
-      (void)port;
-      if (dist[static_cast<std::size_t>(nb)] < 0) {
-        dist[static_cast<std::size_t>(nb)] = dist[static_cast<std::size_t>(sw)] + 1;
-        queue.push_back(nb);
-      }
-    }
-  }
+  std::vector<int> dist;
+  std::vector<SwitchId> queue;
+  SwitchAdjacency(*this).bfsInto(from, dist, queue);
   return dist;
 }
 
 std::string Topology::describe() const {
   std::ostringstream os;
   os << "Topology: " << numSwitches_ << " switches x " << portsPerSwitch_
-     << " ports, " << nodesPerSwitch_ << " nodes/switch, " << numLinks_
-     << " inter-switch links\n";
+     << " ports, ";
+  if (uniformNodes_) {
+    os << nodesPerSwitch_ << " nodes/switch, ";
+  } else {
+    os << numNodes_ << " nodes (per-switch attachment), ";
+  }
+  os << numLinks_ << " inter-switch links\n";
   for (SwitchId sw = 0; sw < numSwitches_; ++sw) {
-    os << "  sw" << sw << " ->";
+    os << "  sw" << sw;
+    if (!uniformNodes_ && nodeCount(sw) > 0) os << "[" << nodeCount(sw) << "n]";
+    os << " ->";
     for (const auto& [nb, port] : switchNeighbors(sw)) {
       os << " sw" << nb << "(p" << port << ")";
     }
@@ -153,11 +189,51 @@ std::string Topology::describe() const {
   return os.str();
 }
 
+SwitchAdjacency::SwitchAdjacency(const Topology& topo)
+    : numSwitches_(topo.numSwitches()) {
+  offsets_.resize(static_cast<std::size_t>(numSwitches_) + 1);
+  nbrIds_.reserve(static_cast<std::size_t>(topo.numLinks()) * 2);
+  nbrPorts_.reserve(static_cast<std::size_t>(topo.numLinks()) * 2);
+  offsets_[0] = 0;
+  for (SwitchId sw = 0; sw < numSwitches_; ++sw) {
+    for (PortIndex p = topo.nodeCount(sw); p < topo.portsPerSwitch(); ++p) {
+      const Peer& pe = topo.peer(sw, p);
+      if (pe.kind != PeerKind::kSwitch) continue;
+      nbrIds_.push_back(pe.id);
+      nbrPorts_.push_back(p);
+    }
+    offsets_[static_cast<std::size_t>(sw) + 1] =
+        static_cast<int>(nbrIds_.size());
+  }
+}
+
+void SwitchAdjacency::bfsInto(SwitchId from, std::vector<int>& dist,
+                              std::vector<SwitchId>& queue) const {
+  dist.assign(static_cast<std::size_t>(numSwitches_), -1);
+  queue.clear();
+  dist[static_cast<std::size_t>(from)] = 0;
+  queue.push_back(from);
+  // Plain index cursor: the vector doubles as FIFO storage and visit log.
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const SwitchId sw = queue[head];
+    const int d = dist[static_cast<std::size_t>(sw)] + 1;
+    const Span nb = neighbors(sw);
+    for (int i = 0; i < nb.count; ++i) {
+      const SwitchId v = nb.ids[i];
+      if (dist[static_cast<std::size_t>(v)] < 0) {
+        dist[static_cast<std::size_t>(v)] = d;
+        queue.push_back(v);
+      }
+    }
+  }
+}
+
 std::vector<std::vector<int>> allPairsDistances(const Topology& topo) {
-  std::vector<std::vector<int>> dist;
-  dist.reserve(static_cast<std::size_t>(topo.numSwitches()));
+  const SwitchAdjacency adj(topo);
+  std::vector<std::vector<int>> dist(static_cast<std::size_t>(topo.numSwitches()));
+  std::vector<SwitchId> queue;
   for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
-    dist.push_back(topo.bfsDistances(sw));
+    adj.bfsInto(sw, dist[static_cast<std::size_t>(sw)], queue);
   }
   return dist;
 }

@@ -1,15 +1,21 @@
 #pragma once
 //
 // Subnet topology: switches with a fixed port count, end nodes (CA ports)
-// attached to the low-numbered switch ports, and full-duplex inter-switch
-// links on the remaining ports.
+// attached to the low-numbered ports of their switch, and full-duplex
+// inter-switch links on the remaining ports.
 //
 // Conventions (matching the paper's evaluation setup):
 //   * every switch has the same number of ports,
-//   * the same number of end nodes hangs off every switch (default 4),
-//   * at most one link connects any pair of switches,
-//   * node `n` attaches to switch `n / nodesPerSwitch` at port
-//     `n % nodesPerSwitch`.
+//   * end nodes occupy the low ports of their switch,
+//   * at most one link connects any pair of switches.
+//
+// Node attachment comes in two flavors:
+//   * uniform (the paper's setup): the same number of end nodes hangs off
+//     every switch, and node `n` attaches to switch `n / nodesPerSwitch` at
+//     port `n % nodesPerSwitch` — pure arithmetic, no lookup tables;
+//   * per-switch (hierarchical fabrics): each switch declares its own node
+//     count — fat-trees attach hosts only to leaf switches — and the
+//     node<->switch mapping goes through O(1) lookup arrays built once.
 //
 #include <cstdint>
 #include <stdexcept>
@@ -35,17 +41,46 @@ class Topology {
   /// attaches `nodesPerSwitch` end nodes per switch on the low ports.
   Topology(int numSwitches, int portsPerSwitch, int nodesPerSwitch);
 
+  /// Per-switch node attachment: switch `sw` hosts `nodesAtSwitch[sw]` end
+  /// nodes on its low ports; node ids run in switch order. Used by the
+  /// hierarchical generators (fat-trees attach hosts only to leaves).
+  Topology(int portsPerSwitch, std::vector<int> nodesAtSwitch);
+
   int numSwitches() const { return numSwitches_; }
   int portsPerSwitch() const { return portsPerSwitch_; }
-  int nodesPerSwitch() const { return nodesPerSwitch_; }
-  int numNodes() const { return numSwitches_ * nodesPerSwitch_; }
+  int numNodes() const { return numNodes_; }
 
-  SwitchId switchOfNode(NodeId n) const { return n / nodesPerSwitch_; }
-  PortIndex portOfNode(NodeId n) const { return n % nodesPerSwitch_; }
+  /// True when every switch hosts the same number of nodes (the arithmetic
+  /// fast path; always true for the paper-style generators).
+  bool uniformNodes() const { return uniformNodes_; }
+
+  /// Uniform attachment count. For non-uniform topologies this is the
+  /// maximum over switches — use nodeCount(sw) / numNodes() for exact
+  /// per-switch or aggregate accounting.
+  int nodesPerSwitch() const { return nodesPerSwitch_; }
+
+  /// End nodes attached to `sw` (they occupy ports [0, nodeCount(sw))).
+  int nodeCount(SwitchId sw) const {
+    return uniformNodes_ ? nodesPerSwitch_
+                         : nodeBase_[static_cast<std::size_t>(sw) + 1] -
+                               nodeBase_[static_cast<std::size_t>(sw)];
+  }
+
+  SwitchId switchOfNode(NodeId n) const {
+    return uniformNodes_ ? n / nodesPerSwitch_
+                         : nodeSwitch_[static_cast<std::size_t>(n)];
+  }
+  PortIndex portOfNode(NodeId n) const {
+    return uniformNodes_
+               ? n % nodesPerSwitch_
+               : n - nodeBase_[static_cast<std::size_t>(
+                         nodeSwitch_[static_cast<std::size_t>(n)])];
+  }
 
   /// Node attached at (sw, port); precondition: that port hosts a node.
   NodeId nodeAt(SwitchId sw, PortIndex port) const {
-    return sw * nodesPerSwitch_ + port;
+    return uniformNodes_ ? sw * nodesPerSwitch_ + port
+                         : nodeBase_[static_cast<std::size_t>(sw)] + port;
   }
 
   const Peer& peer(SwitchId sw, PortIndex port) const {
@@ -77,7 +112,9 @@ class Topology {
   /// Total number of inter-switch links in the subnet.
   int numLinks() const { return numLinks_; }
 
-  /// Neighbor switches of `sw` as (neighbor, local port) pairs.
+  /// Neighbor switches of `sw` as (neighbor, local port) pairs. Allocates
+  /// per call — setup loops that walk the whole graph repeatedly should
+  /// build a SwitchAdjacency snapshot instead.
   std::vector<std::pair<SwitchId, PortIndex>> switchNeighbors(SwitchId sw) const;
 
   /// True when the switch graph is connected (single switch counts as true).
@@ -95,8 +132,52 @@ class Topology {
   int numSwitches_;
   int portsPerSwitch_;
   int nodesPerSwitch_;
+  int numNodes_;
   int numLinks_ = 0;
+  bool uniformNodes_ = true;
+  // Non-uniform attachment lookups (empty on the uniform fast path):
+  // nodeBase_[sw] = first node id on sw (size S+1, prefix sums);
+  // nodeSwitch_[n] = owning switch (size N).
+  std::vector<NodeId> nodeBase_;
+  std::vector<SwitchId> nodeSwitch_;
   std::vector<std::vector<Peer>> ports_;
+};
+
+/// Compact CSR snapshot of the inter-switch graph. The routing setup path
+/// (root selection, up*/down* level + table builds, all-pairs distances)
+/// walks switch neighbors millions of times at 1024+ switches; going through
+/// Topology::switchNeighbors would allocate a fresh vector per visit. A
+/// SwitchAdjacency is built once per topology snapshot and shared across
+/// every BFS pass, and its bfsInto reuses caller-owned scratch buffers so
+/// steady-state traversal allocates nothing.
+class SwitchAdjacency {
+ public:
+  explicit SwitchAdjacency(const Topology& topo);
+
+  int numSwitches() const { return numSwitches_; }
+
+  struct Span {
+    const SwitchId* ids;
+    const PortIndex* ports;
+    int count;
+  };
+  Span neighbors(SwitchId sw) const {
+    const int b = offsets_[static_cast<std::size_t>(sw)];
+    const int e = offsets_[static_cast<std::size_t>(sw) + 1];
+    return {nbrIds_.data() + b, nbrPorts_.data() + b, e - b};
+  }
+
+  /// BFS hop distances from `from` into `dist` (resized and reset to -1);
+  /// `queue` is caller-owned scratch. Equivalent to Topology::bfsDistances
+  /// but allocation-free once the scratch buffers are warm.
+  void bfsInto(SwitchId from, std::vector<int>& dist,
+               std::vector<SwitchId>& queue) const;
+
+ private:
+  int numSwitches_;
+  std::vector<int> offsets_;       // size S+1
+  std::vector<SwitchId> nbrIds_;   // size 2*links
+  std::vector<PortIndex> nbrPorts_;
 };
 
 /// All-pairs shortest switch-to-switch distances (BFS per switch).

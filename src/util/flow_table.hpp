@@ -1,0 +1,74 @@
+#pragma once
+//
+// Per-flow counter table: a (src, dst)-keyed map of small trivially-copyable
+// values (sequence counters, last-seen stamps) that behaves exactly like a
+// zero-initialized dense src*N+dst array at every size.
+//
+// Dense N x N arrays are the natural layout at the paper's sizes (<= a few
+// hundred nodes), but they are the dominant superlinear memory term at the
+// 1024-switch scale: two such tables at 4096 hosts cost 128 MiB before the
+// first packet moves, swamping every per-switch structure. Below
+// kDenseCellLimit cells the table IS the flat array (identical layout and
+// hot-path cost); above it, storage switches to one hash map per source, so
+// memory tracks the flows actually touched instead of all N^2 pairs. Both
+// layouts read 0 for untouched flows, so results are bit-identical across
+// the switchover.
+//
+// Threading contract (parallel kernel): the outer per-source level is sized
+// once and never reallocated, so concurrent access to *different* sources
+// is safe — which is exactly how the fabric uses it (a flow's counter is
+// only touched from its source node's owning shard, or from serialized
+// observer drains).
+//
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace ibadapt {
+
+template <typename T>
+class FlowTable {
+ public:
+  /// Largest table kept fully dense: 2^20 cells (e.g. 1024 x 1024) — 4 MiB
+  /// of uint32 counters, cheap at small scale, while 4096-host fabrics
+  /// (16.8M cells) go sparse.
+  static constexpr std::size_t kDenseCellLimit = std::size_t{1} << 20;
+
+  FlowTable() = default;
+  FlowTable(int sources, int dests) { reset(sources, dests); }
+
+  /// (Re)sizes the table and zeroes every flow.
+  void reset(int sources, int dests) {
+    dests_ = dests;
+    const std::size_t cells =
+        static_cast<std::size_t>(sources) * static_cast<std::size_t>(dests);
+    dense_ = cells <= kDenseCellLimit;
+    if (dense_) {
+      cells_.assign(cells, T{});
+      sparse_.clear();
+    } else {
+      cells_.clear();
+      cells_.shrink_to_fit();
+      sparse_.assign(static_cast<std::size_t>(sources), {});
+    }
+  }
+
+  bool dense() const { return dense_; }
+
+  /// Mutable reference to the flow's value; a never-touched flow reads T{}.
+  T& at(int src, int dst) {
+    if (dense_) {
+      return cells_[static_cast<std::size_t>(src) * dests_ +
+                    static_cast<std::size_t>(dst)];
+    }
+    return sparse_[static_cast<std::size_t>(src)][dst];
+  }
+
+ private:
+  std::size_t dests_ = 0;
+  bool dense_ = true;
+  std::vector<T> cells_;
+  std::vector<std::unordered_map<int, T>> sparse_;
+};
+
+}  // namespace ibadapt

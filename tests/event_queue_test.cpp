@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <tuple>
+
 #include "sim/event_queue.hpp"
 
 namespace ibadapt {
@@ -142,6 +145,131 @@ INSTANTIATE_TEST_SUITE_P(BucketWidths, EventQueueDayShift,
                          ::testing::Values(EventQueue::kMinDayShift,
                                            EventQueue::kMaxDayShift,
                                            EventQueue::kDefaultDayShift));
+
+// The wheel size is the second runtime-geometry knob; like the day shift it
+// may only tune constants. Drive every (dayShift, bucketShift) corner with
+// event densities matching a 1024-switch shard — large same-time cohorts
+// and deep buckets — and demand the exact pop sequence of the reference
+// heap throughout.
+class EventQueueGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EventQueueGeometry, DenseTrafficPreservesOrderForAnyWheel) {
+  const auto [dayShift, bucketShift] = GetParam();
+  EventQueue q(SimKernel::kCalendar, dayShift, bucketShift);
+  EventQueue ref(SimKernel::kLegacyHeap);
+  ASSERT_EQ(q.dayShift(), dayShift);
+  ASSERT_EQ(q.bucketShift(), bucketShift);
+  ASSERT_EQ(q.numBuckets(), std::size_t{1} << bucketShift);
+
+  std::uint64_t state = 24680;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state;
+  };
+  SimTime now = 0;
+  std::uint32_t tag = 0;
+  for (int round = 0; round < 300; ++round) {
+    // 1024-switch densities: bursts of up to 64 events, most at identical
+    // or near-identical timestamps (a shard's per-epoch arbitration wave),
+    // a few flung far beyond any wheel horizon (watchdog-style).
+    const int burst = 8 + static_cast<int>(next() % 57);
+    for (int i = 0; i < burst; ++i) {
+      SimTime t = now + static_cast<SimTime>(next() % 700);
+      if (next() % 16 == 0) t = now + 1'000'000 + static_cast<SimTime>(
+                                      next() % 100'000);
+      q.push(at(t, tag));
+      ref.push(at(t, tag));
+      ++tag;
+    }
+    const int drain = static_cast<int>(next() % 48);
+    for (int i = 0; i < drain && !q.empty(); ++i) {
+      const Event got = q.pop();
+      const Event want = ref.pop();
+      ASSERT_EQ(got.time, want.time);
+      ASSERT_EQ(got.a, want.a);
+      now = got.time;
+    }
+  }
+  while (!q.empty()) {
+    const Event got = q.pop();
+    const Event want = ref.pop();
+    ASSERT_EQ(got.time, want.time);
+    ASSERT_EQ(got.a, want.a);
+  }
+  EXPECT_TRUE(ref.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WheelGeometries, EventQueueGeometry,
+    ::testing::Combine(
+        ::testing::Values(EventQueue::kMinDayShift, EventQueue::kDefaultDayShift,
+                          EventQueue::kMaxDayShift),
+        ::testing::Values(EventQueue::kMinBucketShift,
+                          EventQueue::kDefaultBucketShift,
+                          EventQueue::kMaxBucketShift)));
+
+TEST(EventQueue, RejectsIllegalGeometry) {
+  EXPECT_THROW(EventQueue(SimKernel::kCalendar, EventQueue::kMinDayShift - 1),
+               std::invalid_argument);
+  EXPECT_THROW(EventQueue(SimKernel::kCalendar, EventQueue::kMaxDayShift + 1),
+               std::invalid_argument);
+  EXPECT_THROW(EventQueue(SimKernel::kCalendar, EventQueue::kDefaultDayShift,
+                          EventQueue::kMinBucketShift - 1),
+               std::invalid_argument);
+  EXPECT_THROW(EventQueue(SimKernel::kCalendar, EventQueue::kDefaultDayShift,
+                          EventQueue::kMaxBucketShift + 1),
+               std::invalid_argument);
+}
+
+TEST(EventQueue, SuggestBucketShiftTracksLivePopulation) {
+  // Roughly one bucket per concurrently live event, clamped to the legal
+  // wheel sizes: tiny fixtures get the minimum wheel, 1024-switch shards
+  // get a proportionally larger one, absurd populations hit the cap.
+  EXPECT_EQ(EventQueue::suggestBucketShift(0), EventQueue::kMinBucketShift);
+  EXPECT_EQ(EventQueue::suggestBucketShift(1), EventQueue::kMinBucketShift);
+  EXPECT_EQ(EventQueue::suggestBucketShift(64), EventQueue::kMinBucketShift);
+  EXPECT_EQ(EventQueue::suggestBucketShift(65), 7);
+  EXPECT_EQ(EventQueue::suggestBucketShift(2048), 11);
+  EXPECT_EQ(EventQueue::suggestBucketShift(std::size_t{1} << 16), 16);
+  EXPECT_EQ(EventQueue::suggestBucketShift(std::size_t{1} << 30),
+            EventQueue::kMaxBucketShift);
+  // Monotone, and always constructible.
+  int prev = EventQueue::kMinBucketShift;
+  for (std::size_t n = 1; n <= (std::size_t{1} << 20); n *= 2) {
+    const int s = EventQueue::suggestBucketShift(n);
+    EXPECT_GE(s, prev);
+    EXPECT_NO_THROW(EventQueue(SimKernel::kCalendar,
+                               EventQueue::kDefaultDayShift, s));
+    prev = s;
+  }
+}
+
+TEST(EventQueue, DensityAwareDayShiftNarrowsDaysOnDenseFabrics) {
+  // Unknown density falls back to the horizon-only rule.
+  for (SimTime h : {SimTime{1}, SimTime{256}, SimTime{1} << 20}) {
+    EXPECT_EQ(EventQueue::suggestDayShift(h, 0.0),
+              EventQueue::suggestDayShift(h));
+    EXPECT_EQ(EventQueue::suggestDayShift(h, -1.0),
+              EventQueue::suggestDayShift(h));
+  }
+  // A sparse queue keeps the horizon-sized day...
+  EXPECT_EQ(EventQueue::suggestDayShift(256, 1e-9),
+            EventQueue::suggestDayShift(256));
+  // ... a dense one narrows it so a day holds only a handful of events,
+  // and the density cap never *widens* a day past the horizon rule.
+  EXPECT_LT(EventQueue::suggestDayShift(256, 10.0),
+            EventQueue::suggestDayShift(256));
+  EXPECT_EQ(EventQueue::suggestDayShift(256, 1000.0),
+            EventQueue::kMinDayShift);
+  for (SimTime h : {SimTime{16}, SimTime{4096}, SimTime{1} << 18}) {
+    for (double d : {1e-6, 1e-3, 0.1, 1.0, 100.0}) {
+      const int s = EventQueue::suggestDayShift(h, d);
+      EXPECT_GE(s, EventQueue::kMinDayShift);
+      EXPECT_LE(s, EventQueue::suggestDayShift(h));
+    }
+  }
+}
 
 TEST(EventQueue, SuggestDayShiftTracksHorizon) {
   // Degenerate horizons fall back to the default.

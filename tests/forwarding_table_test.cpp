@@ -159,6 +159,54 @@ TEST(ForwardingTable, RangeAndPortValidation) {
   EXPECT_THROW(t.setEntry(4, 255), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Block writes (the SM's whole-row programming path at scale)
+// ---------------------------------------------------------------------------
+
+TEST(ForwardingTable, SetBlockMatchesPerEntryWritesOnFreshTable) {
+  AdaptiveForwardingTable byBlock(2, 128);
+  AdaptiveForwardingTable byEntry(2, 128);
+  std::vector<std::uint8_t> row(128, 0xff);
+  for (Lid lid = 1; lid < 128; ++lid) {
+    if (lid % 5 == 0) continue;  // leave holes unprogrammed
+    row[lid] = static_cast<std::uint8_t>(lid % 9);
+  }
+  byBlock.setBlock(0, row.data(), row.size());
+  for (Lid lid = 0; lid < 128; ++lid) {
+    if (row[lid] != 0xff) byEntry.setEntry(lid, row[lid]);
+  }
+  for (Lid lid = 0; lid < 128; ++lid) {
+    EXPECT_EQ(byBlock.entry(lid), byEntry.entry(lid)) << "lid " << lid;
+    EXPECT_EQ(byBlock.lookup(lid).escapePort, byEntry.lookup(lid).escapePort);
+  }
+}
+
+TEST(ForwardingTable, SetBlockSupportsPartialRangesAndClears) {
+  AdaptiveForwardingTable t(2, 64);
+  for (Lid lid = 0; lid < 64; ++lid) {
+    t.setEntry(lid, 1);
+  }
+  // Mid-table block: programs 8..11, and its 0xff byte clears entry 10.
+  const std::uint8_t patch[] = {2, 3, 0xff, 4};
+  t.setBlock(8, patch, sizeof(patch));
+  EXPECT_EQ(t.entry(7), 1);
+  EXPECT_EQ(t.entry(8), 2);
+  EXPECT_EQ(t.entry(9), 3);
+  EXPECT_EQ(t.entry(10), kInvalidPort);
+  EXPECT_EQ(t.entry(11), 4);
+  EXPECT_EQ(t.entry(12), 1);
+}
+
+TEST(ForwardingTable, SetBlockValidatesRange) {
+  AdaptiveForwardingTable t(2, 16);
+  const std::uint8_t bytes[8] = {};
+  t.setBlock(8, bytes, 8);  // exactly to the end: fine
+  EXPECT_NO_THROW(t.setBlock(0, bytes, 0));
+  EXPECT_THROW(t.setBlock(9, bytes, 8), std::out_of_range);
+  EXPECT_THROW(t.setBlock(16, bytes, 1), std::out_of_range);
+  EXPECT_THROW(t.setBlock(20, bytes, 1), std::out_of_range);
+}
+
 class BankSweepTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(BankSweepTest, LinearAndInterleavedViewsAgree) {

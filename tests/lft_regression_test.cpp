@@ -1,0 +1,114 @@
+//
+// LFT output pinning: the routing setup path was restructured for scale
+// (shared adjacency snapshots, hoisted BFS scratch, lazy route sets), and
+// none of it may change a single table byte. These FNV-1a digests were
+// captured from the pre-refactor per-destination implementation on fixed
+// irregular topologies spanning every root-selection mode, multipath planes,
+// APM path sets, and LMC widths; any routing change that alters an LFT entry
+// or the chosen root flips a digest.
+//
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "routing/lft_image.hpp"
+#include "topology/generators.hpp"
+
+namespace ibadapt {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t hashImage(const LftImage& img) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& row : img.entries) h = fnv1a(h, row.data(), row.size());
+  const auto root = static_cast<std::uint64_t>(img.root);
+  h = fnv1a(h, reinterpret_cast<const std::uint8_t*>(&root), sizeof(root));
+  return h;
+}
+
+struct PinnedCase {
+  std::uint64_t topoSeed;
+  int numSwitches;
+  int links;
+  RootSelection rootSel;
+  int planes;  // sourceMultipathPlanes
+  int sets;    // apmPathSets
+  int numOptions;
+  int lmc;
+  std::uint64_t hash;
+};
+
+class LftImagePinning : public ::testing::TestWithParam<PinnedCase> {};
+
+TEST_P(LftImagePinning, DigestMatchesPreRefactorCapture) {
+  const PinnedCase c = GetParam();
+  Rng rng(c.topoSeed);
+  IrregularSpec ispec;
+  ispec.numSwitches = c.numSwitches;
+  ispec.linksPerSwitch = c.links;
+  const Topology topo = makeIrregular(ispec, rng);
+
+  LftPlanSpec spec;
+  spec.lmc = c.lmc;
+  spec.numOptions = c.numOptions;
+  spec.rootSelection = c.rootSel;
+  spec.sourceMultipathPlanes = c.planes;
+  spec.apmPathSets = c.sets;
+  const LftImage img = buildLftImage(topo, spec);
+  EXPECT_EQ(hashImage(img), c.hash)
+      << "LFT bytes changed for seed " << c.topoSeed << " ("
+      << c.numSwitches << " switches)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PreRefactorDigests, LftImagePinning,
+    ::testing::Values(
+        PinnedCase{1ull, 8, 4, RootSelection::kHighestDegree, 0, 1, 2, 1,
+                   0x42d7330e5a7ede08ull},
+        PinnedCase{2ull, 16, 4, RootSelection::kMinEccentricity, 0, 1, 4, 2,
+                   0x2918198b15627c79ull},
+        PinnedCase{3ull, 16, 6, RootSelection::kHighestDegree, 0, 2, 2, 2,
+                   0x81ec27e78a257647ull},
+        PinnedCase{4ull, 12, 4, RootSelection::kLowestId, 4, 1, 1, 2,
+                   0x850cdee201111af3ull},
+        PinnedCase{5ull, 32, 6, RootSelection::kHighestDegree, 0, 1, 2, 1,
+                   0xa774451c528a07c6ull}));
+
+// The adjacency-sharing constructor is the scale path's workhorse: it must
+// agree with the self-building one on every table and the selected root.
+TEST(LftImagePinning, SharedAdjacencyCtorMatchesSelfBuilt) {
+  Rng rng(6);
+  IrregularSpec ispec;
+  ispec.numSwitches = 24;
+  ispec.linksPerSwitch = 4;
+  const Topology topo = makeIrregular(ispec, rng);
+  const SwitchAdjacency adj(topo);
+
+  for (const RootSelection sel :
+       {RootSelection::kLowestId, RootSelection::kHighestDegree,
+        RootSelection::kMinEccentricity}) {
+    EXPECT_EQ(selectRoot(topo, sel), selectRoot(adj, sel));
+    const UpDownRouting self(topo, sel, /*tieBreakSalt=*/3);
+    const UpDownRouting shared(topo, adj, sel, /*tieBreakSalt=*/3);
+    EXPECT_EQ(self.root(), shared.root());
+    for (SwitchId at = 0; at < topo.numSwitches(); ++at) {
+      EXPECT_EQ(self.level(at), shared.level(at));
+      for (SwitchId dest = 0; dest < topo.numSwitches(); ++dest) {
+        if (at == dest) continue;
+        ASSERT_EQ(self.nextHopPort(at, dest), shared.nextHopPort(at, dest))
+            << "sel=" << static_cast<int>(sel) << " at=" << at
+            << " dest=" << dest;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ibadapt

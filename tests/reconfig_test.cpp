@@ -105,6 +105,51 @@ TEST(VersionedTable, SecondSwapReusesTheDrainedBank) {
   EXPECT_EQ(vt.entry(10, 0), 2);
 }
 
+TEST(VersionedTable, ShadowBankIsLazilyAllocated) {
+  VersionedForwardingTable vt(2, 4096);
+  // A run that never reconfigures must pay for exactly one table: the
+  // shadow stays unallocated through arbitrary active-table traffic.
+  EXPECT_FALSE(vt.shadowAllocated());
+  for (Lid lid = 1; lid < 4096; ++lid) {
+    vt.setEntry(lid, static_cast<PortIndex>(lid % 7));
+  }
+  std::vector<std::uint8_t> row(4096, 2);
+  vt.setBlock(0, row.data(), row.size());
+  for (Lid lid = 0; lid < 4096; lid += 137) {
+    EXPECT_EQ(vt.entry(lid), 2);
+    EXPECT_EQ(vt.entry(lid, /*pktEpoch=*/0), 2);
+    EXPECT_EQ(vt.lookup(lid, /*pktEpoch=*/5).escapePort, 2);
+  }
+  EXPECT_FALSE(vt.shadowAllocated());
+
+  // First staged sweep brings the second bank into existence, and it stays
+  // for subsequent swaps.
+  vt.stageBegin();
+  EXPECT_TRUE(vt.shadowAllocated());
+  vt.stageEntry(10, 5);
+  vt.commitStaged(1);
+  EXPECT_TRUE(vt.shadowAllocated());
+  EXPECT_EQ(vt.entry(10, 1), 5);
+  EXPECT_EQ(vt.entry(10, 0), 2);
+}
+
+TEST(VersionedTable, StageBlockProgramsTheShadowBank) {
+  VersionedForwardingTable vt(2, 64);
+  for (Lid lid = 0; lid < 64; ++lid) vt.setEntry(lid, 1);
+  vt.stageBegin();
+  std::vector<std::uint8_t> image(64, 0xff);
+  image[10] = 6;
+  image[11] = 7;
+  vt.stageBlock(0, image.data(), image.size());
+  // Active table untouched while staging.
+  EXPECT_EQ(vt.entry(10), 1);
+  vt.commitStaged(1);
+  EXPECT_EQ(vt.entry(10, 1), 6);
+  EXPECT_EQ(vt.entry(11, 1), 7);
+  EXPECT_EQ(vt.entry(12, 1), kInvalidPort);  // image left it unset
+  EXPECT_EQ(vt.entry(12, 0), 1);
+}
+
 TEST(VersionedTable, StagingErrorPaths) {
   VersionedForwardingTable vt(2, 64);
   EXPECT_THROW(vt.stageEntry(1, 1), std::logic_error);

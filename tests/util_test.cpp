@@ -8,12 +8,64 @@
 #include <vector>
 
 #include "util/flags.hpp"
+#include "util/flow_table.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
 
 namespace ibadapt {
 namespace {
+
+TEST(FlowTable, DenseAndSparseLayoutsAgree) {
+  // Same key sequence against a small (dense) and huge (sparse) table plus
+  // a reference map: every layout must read back the same values and read
+  // zero for untouched flows.
+  FlowTable<std::uint32_t> small(64, 64);
+  FlowTable<std::uint32_t> big(8192, 8192);
+  ASSERT_TRUE(small.dense());
+  ASSERT_FALSE(big.dense());
+
+  std::uint64_t state = 777;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  std::vector<std::uint32_t> ref(64 * 64, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const int src = static_cast<int>(next() % 64);
+    const int dst = static_cast<int>(next() % 64);
+    ++small.at(src, dst);
+    ++big.at(src, dst);
+    ++ref[static_cast<std::size_t>(src) * 64 + dst];
+  }
+  for (int src = 0; src < 64; ++src) {
+    for (int dst = 0; dst < 64; ++dst) {
+      ASSERT_EQ(small.at(src, dst), ref[static_cast<std::size_t>(src) * 64 + dst]);
+      ASSERT_EQ(big.at(src, dst), ref[static_cast<std::size_t>(src) * 64 + dst]);
+    }
+  }
+}
+
+TEST(FlowTable, ResetZeroesAndReshapes) {
+  FlowTable<std::uint32_t> t(16, 16);
+  t.at(3, 4) = 9;
+  t.reset(16, 16);
+  EXPECT_EQ(t.at(3, 4), 0u);
+  // Crossing the dense cell limit flips the layout, values still zero.
+  t.reset(8192, 8192);
+  EXPECT_FALSE(t.dense());
+  EXPECT_EQ(t.at(8191, 8191), 0u);
+  t.at(8191, 8191) = 5;
+  t.reset(8, 8);
+  EXPECT_TRUE(t.dense());
+  EXPECT_EQ(t.at(7, 7), 0u);
+}
+
+TEST(FlowTable, ThresholdSelectsLayout) {
+  // 1024 x 1024 = 2^20 cells sits exactly at the dense limit.
+  EXPECT_TRUE(FlowTable<std::uint32_t>(1024, 1024).dense());
+  EXPECT_FALSE(FlowTable<std::uint32_t>(1024, 1025).dense());
+}
 
 TEST(Types, CreditsForBytes) {
   EXPECT_EQ(creditsForBytes(1), 1);
