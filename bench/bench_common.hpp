@@ -139,6 +139,10 @@ inline const char* patternName(TrafficPattern p) {
       return "shuffle";
     case TrafficPattern::kLocality:
       return "locality";
+    case TrafficPattern::kIncast:
+      return "incast";
+    case TrafficPattern::kPermStorm:
+      return "perm-storm";
   }
   return "?";
 }
@@ -247,6 +251,64 @@ inline void writeReconfigBenchJson(
         r.switches, r.mode.c_str(), r.faults, r.sweeps, r.epochsInstalled,
         r.packetsLost, r.lostFraction, r.droppedSwitch, r.degradedPct,
         r.pausedUs, r.reconfigLatencyUs, r.wdViolations);
+    out << line << (i + 1 < cases.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+// ---- congestion-management records -----------------------------------------
+//
+// One record per (topology, size, scenario, CC arm) of the congestion
+// sweep. Same one-object-per-line layout as the other committed baselines.
+
+struct CongestionBenchRecord {
+  std::string topo;      // "irregular" | "fat-tree" | "dragonfly"
+  int switches = 0;      // nominal size (see the bench's familyParams)
+  std::string scenario;  // "hotspot-<pct>" | "incast"
+  bool cc = false;       // false = FA alone, true = FA + congestion loop
+  double acceptedBytesPerNsPerSwitch = 0.0;
+  double p50LatencyNs = 0.0;
+  double p99LatencyNs = 0.0;
+  double p999LatencyNs = 0.0;
+  double msgP99LatencyNs = 0.0;
+  std::uint64_t fecnMarked = 0;
+  std::uint64_t cnpsReceived = 0;
+  std::uint64_t rateDecreases = 0;
+  std::uint64_t packetsThrottled = 0;
+  std::uint64_t wdViolations = 0;
+  bool complete = false;  // measurement finished, no deadlock suspected
+};
+
+inline void writeCongestionBenchJson(
+    const std::string& path, const std::string& benchName,
+    const std::string& config,
+    const std::vector<CongestionBenchRecord>& cases) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"bench\": \"" << benchName << "\",\n";
+  out << "  \"config\": \"" << config << "\",\n";
+  out << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CongestionBenchRecord& r = cases[i];
+    char line[640];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"topo\": \"%s\", \"switches\": %d, \"scenario\": \"%s\", "
+        "\"cc\": %s, \"acceptedBytesPerNsPerSwitch\": %.6f, "
+        "\"p50LatencyNs\": %.1f, \"p99LatencyNs\": %.1f, "
+        "\"p999LatencyNs\": %.1f, \"msgP99LatencyNs\": %.1f, "
+        "\"fecnMarked\": %llu, \"cnpsReceived\": %llu, "
+        "\"rateDecreases\": %llu, \"packetsThrottled\": %llu, "
+        "\"wdViolations\": %llu, \"complete\": %s}",
+        r.topo.c_str(), r.switches, r.scenario.c_str(),
+        r.cc ? "true" : "false", r.acceptedBytesPerNsPerSwitch,
+        r.p50LatencyNs, r.p99LatencyNs, r.p999LatencyNs, r.msgP99LatencyNs,
+        static_cast<unsigned long long>(r.fecnMarked),
+        static_cast<unsigned long long>(r.cnpsReceived),
+        static_cast<unsigned long long>(r.rateDecreases),
+        static_cast<unsigned long long>(r.packetsThrottled),
+        static_cast<unsigned long long>(r.wdViolations),
+        r.complete ? "true" : "false");
     out << line << (i + 1 < cases.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";

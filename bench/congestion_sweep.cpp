@@ -1,0 +1,252 @@
+//
+// Congestion-management sweep: fully adaptive routing alone (FA) versus
+// adaptive routing plus the congestion loop (FA+CC: hysteresis detection +
+// FECN marking, CNP-style echo, AIMD source throttling) under hotspot and
+// incast workloads, across topology families. Both arms run the identical
+// open-loop offered load with the reliable transport enabled, so the only
+// difference is the congestion loop itself.
+//
+// Emits BENCH_congestion.json (one case object per line). --gate runs the
+// 64-switch hotspot acceptance check only: FA+CC must deliver at least the
+// FA-alone throughput with a clean invariant watchdog, else exit 1.
+//
+// Usage: congestion_sweep [--mode=quick|paper] [--gate]
+//        [load=0.02] [json=BENCH_congestion.json]
+//
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ibadapt;
+using namespace ibadapt::bench;
+
+// Same nominal-size mapping as perf_scale: the fat-tree lattice doesn't hit
+// every power of two, so nominal 64 builds the 48-switch 4-ary 3-tree.
+SimParams familyParams(const std::string& kind, int nominalSwitches) {
+  SimParams p;
+  p.nodesPerSwitch = 4;
+  if (kind == "irregular") {
+    p.topoKind = TopologyKind::kIrregular;
+    p.numSwitches = nominalSwitches;
+    p.linksPerSwitch = 4;
+  } else if (kind == "fat-tree") {
+    p.topoKind = TopologyKind::kFatTree;
+    if (nominalSwitches <= 64) {
+      p.fatTreeArity = 4;  // 3 x 16 = 48 switches / 64 hosts
+      p.fatTreeLevels = 3;
+    } else {
+      p.fatTreeArity = 4;  // 4 x 64 = 256 switches / 256 hosts
+      p.fatTreeLevels = 4;
+    }
+  } else if (kind == "dragonfly") {
+    p.topoKind = TopologyKind::kDragonfly;
+    if (nominalSwitches <= 64) {
+      p.dragonflyRoutersPerGroup = 8;  // 8 x 8 = 64 switches / 256 hosts
+      p.dragonflyGlobalPerRouter = 1;
+      p.dragonflyGroups = 8;
+    } else {
+      p.dragonflyRoutersPerGroup = 16;  // 16 x 16 = 256 switches
+      p.dragonflyGlobalPerRouter = 2;
+      p.dragonflyGroups = 16;
+    }
+  } else {
+    throw std::invalid_argument("unknown kind: " + kind);
+  }
+  return p;
+}
+
+struct Scenario {
+  const char* name;  // "hotspot-<pct>" | "incast"
+  TrafficPattern pattern;
+  double hotspotFraction = 0.0;  // hotspot severity (share of traffic)
+};
+
+/// Reaction tuning shared by every CC arm. The CNP loop under deep
+/// congestion is slow (the marked packet has to reach the victim before
+/// the echo fires), so recovery has to be patient: a rate decrease that
+/// heals faster than the next notification can arrive is a no-op.
+struct CcTuning {
+  double mdFactor = 0.5;
+  double aiStep = 0.01;
+  // The rate floor must sit near each flow's fair share of the victim port
+  // (~1/hosts of wire rate): higher and pacing can never bind — a hotspot
+  // is many individually-tiny flows, not one fast one — while much lower
+  // lets MD chains drive the aggregate below the victim's drain rate and
+  // idle the very link the loop is protecting.
+  double minRate = 0.005;
+  SimTime recoveryPeriodUs = 50;
+  SimTime minCnpGapUs = 20;
+  double enterFree = 0.25;
+  double exitFree = 0.5;
+};
+
+SimResults runArm(const std::string& kind, int size, const Scenario& sc,
+                  bool cc, double load, std::uint64_t warmup,
+                  std::uint64_t measure, const CcTuning& tune) {
+  SimParams p = familyParams(kind, size);
+  p.pattern = sc.pattern;
+  p.hotspotFraction = sc.hotspotFraction;
+  p.hotspotNode = 0;
+  p.loadBytesPerNsPerNode = load;
+  p.packetBytes = 128;
+  p.warmupPackets = warmup;
+  p.measurePackets = measure;
+  p.maxSimTimeNs = 8'000'000;
+  p.topoSeed = 11;
+  p.trafficSeed = 7;
+  p.reliableTransport = true;  // both arms: identical transport path
+  p.congestionControl = cc;
+  p.congestion.enterFreeFraction = tune.enterFree;
+  p.congestion.exitFreeFraction = tune.exitFree;
+  p.transport.throttle.mdFactor = tune.mdFactor;
+  p.transport.throttle.aiStep = tune.aiStep;
+  p.transport.throttle.minRateFactor = tune.minRate;
+  p.transport.throttle.recoveryPeriodNs = tune.recoveryPeriodUs * 1'000;
+  p.transport.throttle.minCnpGapNs = tune.minCnpGapUs * 1'000;
+  return runSimulation(p);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool paper = flags.str("mode", "quick") == "paper";
+  const bool gate = flags.boolean("gate", false);
+  const double load = flags.real("load", 0.02);
+  const std::string jsonPath = flags.str("json", "BENCH_congestion.json");
+  const std::uint64_t warmup =
+      static_cast<std::uint64_t>(flags.integer("warmup", paper ? 2000 : 800));
+  const std::uint64_t measure = static_cast<std::uint64_t>(
+      flags.integer("measure", paper ? 12000 : 5000));
+  CcTuning tune;
+  tune.mdFactor = flags.real("md", tune.mdFactor);
+  tune.aiStep = flags.real("ai", tune.aiStep);
+  tune.minRate = flags.real("minrate", tune.minRate);
+  tune.recoveryPeriodUs =
+      flags.integer("recovery_us", static_cast<int>(tune.recoveryPeriodUs));
+  tune.minCnpGapUs =
+      flags.integer("cnpgap_us", static_cast<int>(tune.minCnpGapUs));
+  tune.enterFree = flags.real("enter", tune.enterFree);
+  tune.exitFree = flags.real("exit", tune.exitFree);
+  warnUnknownFlags(flags);
+
+  const std::vector<Scenario> scenarios = {
+      {"hotspot-10", TrafficPattern::kHotspot, 0.10},
+      {"hotspot-25", TrafficPattern::kHotspot, 0.25},
+      {"hotspot-50", TrafficPattern::kHotspot, 0.50},
+      {"incast", TrafficPattern::kIncast, 0.0},
+  };
+  const std::vector<std::string> kinds = {"irregular", "fat-tree",
+                                          "dragonfly"};
+  const std::vector<int> sizes =
+      paper ? std::vector<int>{64, 256} : std::vector<int>{64};
+
+  if (gate) {
+    // Acceptance: under a 64-switch hotspot, arming the congestion loop
+    // must not cost delivered throughput, and the watchdog must stay clean.
+    const Scenario sc{"hotspot-10", TrafficPattern::kHotspot, 0.10};
+    const SimResults fa =
+        runArm("irregular", 64, sc, false, load, warmup, measure, tune);
+    const SimResults cc =
+        runArm("irregular", 64, sc, true, load, warmup, measure, tune);
+    std::printf("gate: FA accepted=%.5f B/ns/sw p99=%.1f ns | FA+CC "
+                "accepted=%.5f B/ns/sw p99=%.1f ns wdViol=%llu\n",
+                fa.acceptedBytesPerNsPerSwitch, fa.p99LatencyNs,
+                cc.acceptedBytesPerNsPerSwitch, cc.p99LatencyNs,
+                static_cast<unsigned long long>(cc.invariants.violations()));
+    std::printf("gate: cc loop: onsets=%llu fecn=%llu cnp=%llu md=%llu "
+                "throttled=%llu held=%llu | simEnd FA=%lld CC=%lld\n",
+                static_cast<unsigned long long>(cc.congestion.congOnsets),
+                static_cast<unsigned long long>(cc.congestion.fecnMarked),
+                static_cast<unsigned long long>(cc.congestion.cnpsReceived),
+                static_cast<unsigned long long>(cc.congestion.rateDecreases),
+                static_cast<unsigned long long>(cc.congestion.packetsThrottled),
+                static_cast<unsigned long long>(cc.congestion.heldAtEnd),
+                static_cast<long long>(fa.simEndTimeNs),
+                static_cast<long long>(cc.simEndTimeNs));
+    std::printf("gate: retx FA=%llu dup=%llu | retx CC=%llu dup=%llu\n",
+                static_cast<unsigned long long>(fa.resilience.retransmitsSent),
+                static_cast<unsigned long long>(
+                    fa.resilience.duplicatesSuppressed),
+                static_cast<unsigned long long>(cc.resilience.retransmitsSent),
+                static_cast<unsigned long long>(
+                    cc.resilience.duplicatesSuppressed));
+    const bool ok = cc.measurementComplete && !cc.deadlockSuspected &&
+                    cc.invariants.violations() == 0 &&
+                    cc.acceptedBytesPerNsPerSwitch >=
+                        fa.acceptedBytesPerNsPerSwitch;
+    std::printf("gate: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+
+  std::printf("Congestion sweep: FA vs FA+CC, load %.3f B/ns/node, "
+              "%s mode\n", load, paper ? "paper" : "quick");
+  printRule();
+  std::printf("%-10s %4s %-10s %3s %9s %9s %9s %9s %6s %6s %6s\n", "topo",
+              "sw", "scenario", "cc", "acc/sw", "p50_ns", "p99_ns", "p999_ns",
+              "fecn", "md", "wdV");
+  std::vector<CongestionBenchRecord> records;
+  for (const std::string& kind : kinds) {
+    for (int size : sizes) {
+      for (const Scenario& sc : scenarios) {
+        for (const bool cc : {false, true}) {
+          const SimResults r =
+              runArm(kind, size, sc, cc, load, warmup, measure, tune);
+          CongestionBenchRecord rec;
+          rec.topo = kind;
+          rec.switches = size;
+          rec.scenario = sc.name;
+          rec.cc = cc;
+          rec.acceptedBytesPerNsPerSwitch = r.acceptedBytesPerNsPerSwitch;
+          rec.p50LatencyNs = r.p50LatencyNs;
+          rec.p99LatencyNs = r.p99LatencyNs;
+          rec.p999LatencyNs = r.p999LatencyNs;
+          rec.msgP99LatencyNs = r.msgP99LatencyNs;
+          rec.fecnMarked = r.congestion.fecnMarked;
+          rec.cnpsReceived = r.congestion.cnpsReceived;
+          rec.rateDecreases = r.congestion.rateDecreases;
+          rec.packetsThrottled = r.congestion.packetsThrottled;
+          rec.wdViolations = r.invariants.violations();
+          rec.complete = r.measurementComplete && !r.deadlockSuspected;
+          records.push_back(rec);
+          std::printf("%-10s %4d %-10s %3s %9.5f %9.0f %9.0f %9.0f %6llu "
+                      "%6llu %6llu%s\n",
+                      kind.c_str(), size, sc.name, cc ? "on" : "off",
+                      rec.acceptedBytesPerNsPerSwitch, rec.p50LatencyNs,
+                      rec.p99LatencyNs, rec.p999LatencyNs,
+                      static_cast<unsigned long long>(rec.fecnMarked),
+                      static_cast<unsigned long long>(rec.rateDecreases),
+                      static_cast<unsigned long long>(rec.wdViolations),
+                      rec.complete ? "" : " [INCOMPLETE]");
+          std::fflush(stdout);
+        }
+      }
+      printRule();
+    }
+  }
+
+  // Strict-win summary: scenarios where arming the loop improved both
+  // delivered throughput and tail latency.
+  int wins = 0;
+  for (std::size_t i = 0; i + 1 < records.size(); i += 2) {
+    const CongestionBenchRecord& fa = records[i];
+    const CongestionBenchRecord& cc = records[i + 1];
+    if (cc.acceptedBytesPerNsPerSwitch > fa.acceptedBytesPerNsPerSwitch &&
+        cc.p99LatencyNs < fa.p99LatencyNs) {
+      std::printf("strict win: %s/%d %s (throughput %+.1f%%, p99 %+.1f%%)\n",
+                  cc.topo.c_str(), cc.switches, cc.scenario.c_str(),
+                  100.0 * (cc.acceptedBytesPerNsPerSwitch /
+                               fa.acceptedBytesPerNsPerSwitch -
+                           1.0),
+                  100.0 * (cc.p99LatencyNs / fa.p99LatencyNs - 1.0));
+      ++wins;
+    }
+  }
+  std::printf("%d strict FA+CC wins (throughput AND p99) of %zu scenarios\n",
+              wins, records.size() / 2);
+
+  writeCongestionBenchJson(jsonPath, "congestion_sweep",
+                           paper ? "paper" : "quick", records);
+  std::printf("wrote %s\n", jsonPath.c_str());
+  return 0;
+}

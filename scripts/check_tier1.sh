@@ -56,6 +56,14 @@ echo "== tier-1: topology-scale smoke (fat-tree heap gate) =="
   --warmup=500 --measure=2000 --max-heap-kb=49152 \
   --json="${build_dir}/BENCH_scale_smoke.json"
 
+echo "== tier-1: congestion-management smoke (FA+CC vs FA hotspot gate) =="
+# The full congestion loop (FECN marking, CNP echo, AIMD source pacing)
+# under a 64-switch irregular hotspot: arming the loop must not cost
+# delivered throughput against adaptive routing alone, and the invariant
+# watchdog must stay clean — throttle-induced idleness must never read as
+# deadlock.
+"${build_dir}/bench/congestion_sweep" --gate
+
 echo "== tier-1: TSan parallel-kernel smoke (2-thread bit-identity) =="
 # The parallel kernel's data-sharing discipline (epoch barriers + SPSC
 # mailboxes) under ThreadSanitizer: the 2-thread bit-identity suite drives

@@ -53,7 +53,17 @@ SimResults runSimulation(const SimParams& p) {
 }
 
 SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
-  Fabric fabric(topo, p.fabric);
+  if (p.congestionControl && p.saturation) {
+    throw std::invalid_argument(
+        "runSimulationOn: congestion control needs the reliable transport, "
+        "which requires an open-loop (non-saturation) source");
+  }
+  FabricParams fparams = p.fabric;
+  if (p.congestionControl) {
+    fparams.congestion = p.congestion;
+    fparams.congestion.enabled = true;
+  }
+  Fabric fabric(topo, fparams);
 
   SubnetManager sm(fabric);
   SubnetParams sp;
@@ -76,6 +86,10 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
   ts.localityWindow = p.localityWindow;
   ts.burstiness = p.burstiness;
   ts.burstGapMeanNs = p.burstGapMeanNs;
+  ts.incastBurstPackets = p.incastBurstPackets;
+  ts.incastPeriodNs = p.incastPeriodNs;
+  ts.stormEpochs = p.stormEpochs;
+  ts.stormPeriodNs = p.stormPeriodNs;
   ts.numSls = p.trafficSls > 0 ? p.trafficSls : p.fabric.numVls;
   SyntheticTraffic traffic(ts, p.trafficSeed ^ 0xfeedULL);
 
@@ -89,7 +103,7 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
   // is the fabric's traffic source (sequence stamping + retransmissions)
   // and its delivery observer (dedup before the stats collector).
   std::optional<ReliableTransport> transport;
-  if (p.reliableTransport) {
+  if (p.reliableTransport || p.congestionControl) {
     // Keep the out-of-band ack delay at or above the wire latency: acks are
     // then never visible inside the lookahead window that produced them,
     // which keeps transport runs bit-identical for every fabric.threads
@@ -97,6 +111,10 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
     ReliableTransportSpec tspec = p.transport;
     if (tspec.ackDelayNs < p.fabric.linkPropagationNs) {
       tspec.ackDelayNs = p.fabric.linkPropagationNs;
+    }
+    if (p.congestionControl) {
+      tspec.throttle.enabled = true;
+      tspec.throttle.nsPerByte = p.fabric.nsPerByte;
     }
     transport.emplace(traffic, topo.numNodes(), tspec);
     transport->attachObserver(&stats);
@@ -170,8 +188,14 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
   r.p50LatencyNs = lat.quantile(0.50);
   r.p95LatencyNs = lat.quantile(0.95);
   r.p99LatencyNs = lat.quantile(0.99);
+  r.p999LatencyNs = lat.quantile(0.999);
   r.avgLatencyAdaptiveNs = stats.latencyAdaptive().mean();
   r.avgLatencyDeterministicNs = stats.latencyDeterministic().mean();
+  const auto& msgLat = stats.messageLatency();
+  r.msgP50LatencyNs = msgLat.quantile(0.50);
+  r.msgP99LatencyNs = msgLat.quantile(0.99);
+  r.msgP999LatencyNs = msgLat.quantile(0.999);
+  r.messagesMeasured = msgLat.count();
 
   r.acceptedBytesPerNsPerSwitch =
       stats.acceptedBytesPerNs() / topo.numSwitches();
@@ -184,6 +208,16 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
                           static_cast<double>(topo.numSwitches()));
 
   const auto& c = fabric.counters();
+  if (p.congestionControl) {
+    r.congestion.fecnMarked = c.fecnMarked;
+    r.congestion.congOnsets = c.congOnsets;
+    r.congestion.congestedPortNs = c.congestedPortNs;
+    r.congestion.zeroCreditStallNs = c.zeroCreditNs;
+    r.congestion.cnpsReceived = transport->cnpsReceived();
+    r.congestion.rateDecreases = transport->rateDecreases();
+    r.congestion.packetsThrottled = transport->packetsThrottled();
+    r.congestion.heldAtEnd = transport->throttledHeld();
+  }
   r.generated = c.generated;
   r.injected = c.injected;
   r.delivered = c.delivered;
@@ -255,6 +289,12 @@ std::string SimResults::summary() const {
   }
   if (invariants.violations() > 0 || invariants.aborted) {
     os << " | " << invariants.summary();
+  }
+  if (congestion.fecnMarked > 0 || congestion.cnpsReceived > 0) {
+    os << " | cc: fecn=" << congestion.fecnMarked
+       << " cnp=" << congestion.cnpsReceived
+       << " md=" << congestion.rateDecreases
+       << " throttled=" << congestion.packetsThrottled;
   }
   return os.str();
 }

@@ -71,10 +71,27 @@ struct SimParams {
   int localityWindow = 8;
   double burstiness = 0.0;
   double burstGapMeanNs = 20'000.0;
+  /// kIncast: synchronized burst size / epoch period (see TrafficSpec).
+  int incastBurstPackets = 8;
+  SimTime incastPeriodNs = 50'000;
+  /// kPermStorm: rotation schedule of fixed-point-free permutations.
+  int stormEpochs = 4;
+  SimTime stormPeriodNs = 100'000;
   /// Service levels used by traffic (uniformly at random); 0 = one per
   /// data VL, so multi-VL fabrics are actually exercised.
   int trafficSls = 0;
   std::uint64_t trafficSeed = 7;
+
+  // ---- congestion management (src/congestion) ---------------------------
+  /// Master switch for the full loop: switch-side hysteresis detection +
+  /// FECN marking (per output port/VL), destination echo back to the source
+  /// over the transport ack path, and source-side AIMD injection pacing.
+  /// Implies the reliable transport (notifications ride its ack path), so
+  /// it is incompatible with saturation mode. Detection knobs live in
+  /// `congestion`; reaction knobs in `transport.throttle` (its `enabled`
+  /// and `nsPerByte` are set automatically from this switch).
+  bool congestionControl = false;
+  CongestionDetectSpec congestion;
 
   // ---- measurement ------------------------------------------------------
   std::uint64_t warmupPackets = 5000;
@@ -142,8 +159,16 @@ struct SimResults {
   double p50LatencyNs = 0.0;
   double p95LatencyNs = 0.0;
   double p99LatencyNs = 0.0;
+  double p999LatencyNs = 0.0;
   double avgLatencyAdaptiveNs = 0.0;
   double avgLatencyDeterministicNs = 0.0;
+
+  // Whole-message latency (first segment generated -> last delivered);
+  // equals the packet distribution when traffic is unsegmented.
+  double msgP50LatencyNs = 0.0;
+  double msgP99LatencyNs = 0.0;
+  double msgP999LatencyNs = 0.0;
+  std::uint64_t messagesMeasured = 0;
 
   // Traffic, in the paper's units.
   double acceptedBytesPerNsPerSwitch = 0.0;
@@ -189,6 +214,9 @@ struct SimResults {
 
   /// Invariant watchdog verdict (zeros when invariantChecks was off).
   WatchdogStats invariants;
+
+  /// Congestion-management counters (zeros when congestionControl was off).
+  CongestionStats congestion;
 
   std::string summary() const;
 };

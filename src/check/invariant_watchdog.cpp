@@ -331,6 +331,14 @@ void InvariantWatchdog::checkProgress(Fabric& fabric, SimTime now) {
     }
   }
 
+  if (fabric.throttledHeldPackets() > 0) {
+    // Source throttles are voluntarily pacing injection: an otherwise-quiet
+    // fabric under this condition is throttle-induced idleness, not
+    // deadlock. The wait-for analysis below still judges whatever is
+    // genuinely credit-blocked.
+    ++stats_.throttleIdleObservations;
+  }
+
   if (blocked.empty()) return;
 
   // Walk the escape-resource wait-for edges (at most one per blocked

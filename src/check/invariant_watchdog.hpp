@@ -65,6 +65,10 @@ struct WatchdogStats {
   std::uint64_t livelocksDetected = 0;
   /// Blocked-but-cycle-free observations — congestion, not a violation.
   std::uint64_t congestionStalls = 0;
+  /// Progress checks that ran while source throttles were holding packets
+  /// back (src/congestion). A quiet fabric under these observations is
+  /// throttle-induced idleness, not deadlock — never a violation.
+  std::uint64_t throttleIdleObservations = 0;
   /// Escape wait-for edges whose two blocked heads carry different
   /// reconfiguration epochs — packets of the old and new routing coexisting
   /// on adjacent resources. Expected (and harmless) during a live LFT

@@ -1,0 +1,79 @@
+#pragma once
+//
+// Congestion-management knobs and counters shared by the fabric (detection),
+// host transport (notification + reaction), and the API result surface.
+//
+// The scheme follows the IBA CCA / ECN shape evaluated for adaptively-routed
+// fabrics by Rocher-Gonzalez et al. (arXiv:2502.00616, arXiv:2502.00597):
+// switches watch per-output-port/VL free credits, mark forwarded packets
+// FECN-style once a port crosses a hysteresis threshold, destination CAs
+// echo the mark back to the source with the delivery ack (a CNP), and the
+// source applies multiplicative-decrease / additive-increase pacing per
+// destination flow. Detection state lives on the switch output port and is
+// mutated only from handlers whose call sequence is identical across the
+// calendar, legacy-heap, and parallel kernels, so enabling congestion
+// control preserves bit-identical results for any kernel and thread count.
+//
+#include <stdexcept>
+
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+/// Switch-side detection knobs (hysteresis on free credits per port/VL).
+struct CongestionDetectSpec {
+  /// Master switch for detection; when false the fabric never marks packets
+  /// and keeps zero per-port congestion state transitions.
+  bool enabled = false;
+
+  /// A port/VL enters the congested state when its free-credit fraction
+  /// drops to or below this value (0.25 => mark when <= 25 % credits left).
+  double enterFreeFraction = 0.25;
+
+  /// It leaves the congested state when free credits recover to or above
+  /// this fraction. Must be > enterFreeFraction for real hysteresis.
+  double exitFreeFraction = 0.5;
+
+  /// When true, the adaptive selection function skips output options whose
+  /// port/VL is currently congested (falling back to the full option set
+  /// when every candidate is congested), so fully-adaptive routing stops
+  /// feeding an established congestion tree.
+  bool demoteCongestedPorts = true;
+
+  void validate() const {
+    if (enterFreeFraction <= 0.0 || enterFreeFraction >= 1.0) {
+      throw std::invalid_argument(
+          "CongestionDetectSpec: enterFreeFraction must be in (0, 1)");
+    }
+    if (exitFreeFraction <= enterFreeFraction || exitFreeFraction > 1.0) {
+      throw std::invalid_argument(
+          "CongestionDetectSpec: exitFreeFraction must be in "
+          "(enterFreeFraction, 1]");
+    }
+  }
+};
+
+/// End-to-end congestion-management observability, assembled by the API
+/// layer from fabric counters (detection) and transport counters (reaction).
+struct CongestionStats {
+  /// Packets forwarded with the FECN mark set by a congested port.
+  std::uint64_t fecnMarked = 0;
+  /// Port/VL transitions into the congested state.
+  std::uint64_t congOnsets = 0;
+  /// Total simulated time ports spent in the congested state (summed over
+  /// ports; completed congestion episodes only).
+  std::uint64_t congestedPortNs = 0;
+  /// Total simulated time ports spent at exactly zero free credits
+  /// (completed stall episodes only).
+  std::uint64_t zeroCreditStallNs = 0;
+  /// Congestion notifications processed by source transports.
+  std::uint64_t cnpsReceived = 0;
+  /// Multiplicative rate decreases applied at sources.
+  std::uint64_t rateDecreases = 0;
+  /// Fresh packets whose injection was delayed by the throttle.
+  std::uint64_t packetsThrottled = 0;
+  /// Packets still held (throttled, not yet injected) when the run ended.
+  std::uint64_t heldAtEnd = 0;
+};
+
+}  // namespace ibadapt

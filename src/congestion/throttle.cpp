@@ -1,0 +1,64 @@
+#include "congestion/throttle.hpp"
+
+#include <algorithm>
+
+namespace ibadapt {
+
+FlowThrottle::Flow* FlowThrottle::recoverTo(NodeId dst, SimTime now) {
+  auto it = flows_.find(dst);
+  if (it == flows_.end()) return nullptr;
+  Flow& f = it->second;
+  if (f.rate < 1.0 && now > f.lastRecoveryAt) {
+    const SimTime steps = (now - f.lastRecoveryAt) / spec_.recoveryPeriodNs;
+    if (steps > 0) {
+      f.rate = std::min(1.0, f.rate + static_cast<double>(steps) * spec_.aiStep);
+      f.lastRecoveryAt += steps * spec_.recoveryPeriodNs;
+    }
+  }
+  // Fully recovered and not owing any pacing debt: drop the entry so the
+  // flow pays nothing until the next notification.
+  if (f.rate >= 1.0 && f.nextAllowedAt <= now) {
+    flows_.erase(it);
+    return nullptr;
+  }
+  return &f;
+}
+
+void FlowThrottle::onCongestionNotice(NodeId dst, SimTime now) {
+  ++cnpsReceived_;
+  if (!spec_.enabled) return;
+  Flow* f = recoverTo(dst, now);
+  if (f == nullptr) {
+    Flow& fresh = flows_[dst];
+    fresh.lastRecoveryAt = now;
+    fresh.nextAllowedAt = now;
+    f = &fresh;
+  }
+  if (f->lastMdAt >= 0 && now - f->lastMdAt < spec_.minCnpGapNs) return;
+  f->rate = std::max(spec_.minRateFactor, f->rate * spec_.mdFactor);
+  f->lastMdAt = now;
+  // Recovery restarts from the decrease, so a flow being notified every
+  // minCnpGapNs ratchets down instead of oscillating.
+  f->lastRecoveryAt = now;
+  ++rateDecreases_;
+}
+
+SimTime FlowThrottle::planSend(NodeId dst, std::uint32_t sizeBytes,
+                               SimTime now) {
+  if (!spec_.enabled) return now;
+  Flow* f = recoverTo(dst, now);
+  if (f == nullptr) return now;
+  const SimTime wireNs = static_cast<SimTime>(sizeBytes) * spec_.nsPerByte;
+  const SimTime gap = static_cast<SimTime>(
+      static_cast<double>(wireNs) / std::max(f->rate, spec_.minRateFactor));
+  const SimTime sendAt = std::max(now, f->nextAllowedAt);
+  f->nextAllowedAt = sendAt + std::max<SimTime>(gap, 1);
+  return sendAt;
+}
+
+double FlowThrottle::rateFactor(NodeId dst, SimTime now) {
+  Flow* f = recoverTo(dst, now);
+  return f == nullptr ? 1.0 : f->rate;
+}
+
+}  // namespace ibadapt

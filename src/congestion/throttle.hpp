@@ -1,0 +1,121 @@
+#pragma once
+//
+// Source-side per-flow injection throttle: DCQCN-flavoured multiplicative
+// decrease on congestion notifications, lazy additive recovery with time.
+//
+// One FlowThrottle instance lives inside each source node's transport state,
+// so all mutation happens on that node's owning shard thread (or the
+// coordinator between windows) — no locking, and the decision sequence is a
+// pure function of (notifications seen, simulated time), which keeps runs
+// bit-identical across kernels and thread counts.
+//
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace ibadapt {
+
+/// Reaction knobs for the source-side injection throttle.
+struct ThrottleSpec {
+  /// Master switch; when false planSend() never delays and notifications
+  /// are counted but ignored.
+  bool enabled = false;
+
+  /// Rate multiplier applied on a congestion notification (0.5 = halve).
+  double mdFactor = 0.5;
+
+  /// Floor for the per-flow rate factor; decreases never go below this.
+  /// Must sit near a flow's fair share of a hot port (~ wire rate divided
+  /// by the number of contending hosts): a hotspot is many individually
+  /// tiny flows, so a higher floor never binds, while a much lower one
+  /// lets MD chains starve the victim link below its drain rate.
+  double minRateFactor = 0.005;
+
+  /// Additive-increase step applied once per recoveryPeriodNs of elapsed
+  /// simulated time while a flow is throttled.
+  double aiStep = 0.01;
+
+  /// Period of one additive-recovery step.
+  SimTime recoveryPeriodNs = 50'000;
+
+  /// Minimum gap between successive multiplicative decreases on the same
+  /// flow — a burst of marked packets from one congestion episode counts
+  /// as a single notification, like the CNP timer in RoCE DCQCN.
+  SimTime minCnpGapNs = 20'000;
+
+  /// Wire serialization cost used to convert a rate factor into an
+  /// inter-packet gap (copied from FabricParams::nsPerByte by the API).
+  std::int64_t nsPerByte = 4;
+
+  void validate() const {
+    if (mdFactor <= 0.0 || mdFactor >= 1.0) {
+      throw std::invalid_argument("ThrottleSpec: mdFactor must be in (0, 1)");
+    }
+    if (minRateFactor <= 0.0 || minRateFactor >= 1.0) {
+      throw std::invalid_argument(
+          "ThrottleSpec: minRateFactor must be in (0, 1)");
+    }
+    if (aiStep <= 0.0 || aiStep > 1.0) {
+      throw std::invalid_argument("ThrottleSpec: aiStep must be in (0, 1]");
+    }
+    if (recoveryPeriodNs <= 0) {
+      throw std::invalid_argument(
+          "ThrottleSpec: recoveryPeriodNs must be positive");
+    }
+    if (minCnpGapNs < 0) {
+      throw std::invalid_argument(
+          "ThrottleSpec: minCnpGapNs must be non-negative");
+    }
+    if (nsPerByte <= 0) {
+      throw std::invalid_argument("ThrottleSpec: nsPerByte must be positive");
+    }
+  }
+};
+
+/// Per-source-node throttle state: a sparse map of destination flows that
+/// are currently below full rate. Flows at full rate carry no entry and
+/// pay nothing on the send path.
+class FlowThrottle {
+ public:
+  FlowThrottle() = default;
+  explicit FlowThrottle(const ThrottleSpec& spec) : spec_(spec) {}
+
+  /// Processes a congestion notification for flow `dst` observed at `now`.
+  /// Applies at most one multiplicative decrease per minCnpGapNs.
+  void onCongestionNotice(NodeId dst, SimTime now);
+
+  /// Earliest time a fresh packet of `sizeBytes` for `dst` may be injected,
+  /// given `now`. Advances the flow's pacing clock when throttled; returns
+  /// `now` (and records nothing) for flows at full rate.
+  SimTime planSend(NodeId dst, std::uint32_t sizeBytes, SimTime now);
+
+  /// Current rate factor for a flow (1.0 when untracked / fully recovered).
+  double rateFactor(NodeId dst, SimTime now);
+
+  std::uint64_t cnpsReceived() const { return cnpsReceived_; }
+  std::uint64_t rateDecreases() const { return rateDecreases_; }
+  /// Number of flows currently tracked below full rate.
+  std::size_t activeFlows() const { return flows_.size(); }
+
+ private:
+  struct Flow {
+    double rate = 1.0;
+    SimTime lastMdAt = -1;       ///< last multiplicative decrease
+    SimTime lastRecoveryAt = 0;  ///< additive-recovery step clock
+    SimTime nextAllowedAt = 0;   ///< pacing clock for fresh injections
+  };
+
+  /// Applies any additive-recovery steps earned since the last visit and
+  /// erases the entry if the flow is back at full rate. Returns the entry
+  /// (nullptr when erased or absent).
+  Flow* recoverTo(NodeId dst, SimTime now);
+
+  ThrottleSpec spec_;
+  std::unordered_map<NodeId, Flow> flows_;
+  std::uint64_t cnpsReceived_ = 0;
+  std::uint64_t rateDecreases_ = 0;
+};
+
+}  // namespace ibadapt

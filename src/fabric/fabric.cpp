@@ -146,6 +146,11 @@ void Fabric::buildSwitches() {
           op.lostCredits = op.wireCredits;
           break;
       }
+      if (params_.congestion.enabled && peer.kind != PeerKind::kUnused) {
+        op.congested.assign(static_cast<std::size_t>(params_.numVls), 0);
+        op.congSince.assign(static_cast<std::size_t>(params_.numVls), 0);
+        op.stallSince.assign(static_cast<std::size_t>(params_.numVls), -1);
+      }
     }
   }
 }
@@ -380,6 +385,10 @@ FabricCounters Fabric::counters() const {
     total.dropped += sh.counters.dropped;
     total.crcDropped += sh.counters.crcDropped;
     total.events += sh.counters.events;
+    total.fecnMarked += sh.counters.fecnMarked;
+    total.congOnsets += sh.counters.congOnsets;
+    total.congestedPortNs += sh.counters.congestedPortNs;
+    total.zeroCreditNs += sh.counters.zeroCreditNs;
   }
   total.events += coordEvents_;
   return total;
@@ -413,6 +422,14 @@ int Fabric::outputCreditsMax(SwitchId sw, PortIndex port, VlIndex vl) const {
                         .creditsMax;
   if (static_cast<std::size_t>(vl) >= max.size()) return 0;
   return max[static_cast<std::size_t>(vl)];
+}
+
+bool Fabric::outputCongested(SwitchId sw, PortIndex port, VlIndex vl) const {
+  const auto& congested = switches_[static_cast<std::size_t>(sw)]
+                              .out[static_cast<std::size_t>(port)]
+                              .congested;
+  if (static_cast<std::size_t>(vl) >= congested.size()) return false;
+  return congested[static_cast<std::size_t>(vl)] != 0;
 }
 
 std::uint64_t Fabric::outputBytesSent(SwitchId sw, PortIndex port) const {

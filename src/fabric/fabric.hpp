@@ -104,6 +104,15 @@ struct SwitchOutputPort {
   std::vector<int> wireCredits;
   std::vector<int> pendingCredits;
   std::vector<int> lostCredits;
+  // Congestion-detection state per VL (src/congestion; sized only when
+  // detection is enabled, empty otherwise). A VL is "congested" between the
+  // hysteresis enter (free credits <= enter threshold, applied at grant)
+  // and exit (free credits >= exit threshold, applied at credit return);
+  // while congested every packet granted to it is FECN-marked. stallSince
+  // tracks zero-free-credit episodes (-1 = not stalled).
+  std::vector<std::uint8_t> congested;
+  std::vector<SimTime> congSince;
+  std::vector<SimTime> stallSince;
   SimTime busyUntil = 0;        // link serialization occupancy
   std::uint64_t bytesSent = 0;  // lifetime traffic (utilization accounting)
   PeerKind downKind = PeerKind::kUnused;
@@ -167,6 +176,11 @@ struct FabricCounters {
   /// by VCRC/ICRC (end-to-end retransmission recovers them).
   std::uint64_t crcDropped = 0;
   std::uint64_t events = 0;
+  // Congestion detection (src/congestion; all zero unless enabled).
+  std::uint64_t fecnMarked = 0;      ///< packets granted with the FECN mark
+  std::uint64_t congOnsets = 0;      ///< port/VL congested-state entries
+  std::uint64_t congestedPortNs = 0; ///< summed completed congestion episodes
+  std::uint64_t zeroCreditNs = 0;    ///< summed completed zero-credit stalls
 };
 
 class Fabric {
@@ -316,9 +330,19 @@ class Fabric {
   /// sequential kernels.
   int shardCount() const { return static_cast<int>(shards_.size()); }
 
+  /// Packets the attached traffic source is holding back under injection
+  /// throttling (0 without congestion control). Lets the invariant watchdog
+  /// tell throttle-induced idleness from deadlock.
+  std::uint64_t throttledHeldPackets() const {
+    return traffic_ == nullptr ? 0 : traffic_->throttledHeld();
+  }
+
   // ---- introspection (tests / debugging / audits) -----------------------
   int outputCredits(SwitchId sw, PortIndex port, VlIndex vl) const;
   int outputCreditsMax(SwitchId sw, PortIndex port, VlIndex vl) const;
+  /// True when output (sw, port) VL `vl` is currently in the congested
+  /// state (always false when detection is disabled).
+  bool outputCongested(SwitchId sw, PortIndex port, VlIndex vl) const;
   std::uint64_t outputBytesSent(SwitchId sw, PortIndex port) const;
   int inputBufferOccupancy(SwitchId sw, PortIndex port, VlIndex vl) const;
   std::size_t nodeQueueLength(NodeId n) const;
@@ -557,6 +581,14 @@ class Fabric {
   bool allOptionsDead(const SwitchModel& sw, const BufferedPacket& bp) const;
   void dropPacket(Shard& sh, SwitchId swId, PortIndex ip, VlIndex vl,
                   int idx);
+
+  // congestion detection (src/congestion). Both hooks run only from
+  // handlers with kernel-identical call sequences — grant() after the
+  // credit debit, handleCreditToSwitch() after the credit add — so the
+  // congestion state transitions (and the FECN marks they cause) are
+  // bit-identical across kernels and thread counts.
+  void congestionAfterDebit(Shard& sh, SwitchOutputPort& op, VlIndex vl);
+  void congestionAfterCredit(Shard& sh, SwitchOutputPort& op, VlIndex vl);
 
   /// Pick the adaptive port committed at routing time
   /// (SelectionTiming::kAtRouting).

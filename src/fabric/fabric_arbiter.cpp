@@ -196,25 +196,89 @@ const Fabric::Option& Fabric::chooseOption(
   const int adaptiveCount =
       count - (opts[static_cast<std::size_t>(count - 1)].escape ? 1 : 0);
   if (adaptiveCount <= 0) return opts[static_cast<std::size_t>(count - 1)];
+
+  // Congested-port demotion (src/congestion): restrict the adaptive choice
+  // to options whose output port/VL is not currently congested, so FA stops
+  // feeding an established congestion tree. When every adaptive option is
+  // congested the full set stays eligible — demotion never forces escape.
+  // The candidate list is rebuilt here (not in feasibleOptions) so the
+  // selection keeps exactly one RNG draw per forward under kRandom and the
+  // read-only feasibility scan stays kernel-agnostic.
+  std::array<int, kMaxRouteOptions + 1> cand;
+  int candCount = adaptiveCount;
+  for (int i = 0; i < adaptiveCount; ++i) cand[static_cast<std::size_t>(i)] = i;
+  if (params_.congestion.enabled && params_.congestion.demoteCongestedPorts) {
+    const SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
+    int kept = 0;
+    for (int i = 0; i < adaptiveCount; ++i) {
+      const Option& o = opts[static_cast<std::size_t>(i)];
+      const auto& congested =
+          sw.out[static_cast<std::size_t>(o.port)].congested;
+      if (static_cast<std::size_t>(o.vl) >= congested.size() ||
+          congested[static_cast<std::size_t>(o.vl)] == 0) {
+        cand[static_cast<std::size_t>(kept++)] = i;
+      }
+    }
+    if (kept > 0) candCount = kept;
+  }
+
   switch (params_.selectionCriterion) {
     case SelectionCriterion::kStatic:
-      return opts[0];
+      return opts[static_cast<std::size_t>(cand[0])];
     case SelectionCriterion::kRandom:
       // The per-switch stream keeps kRandom draws independent of how other
       // switches interleave (i.e. of the shard count).
-      return opts[switchRngs_[static_cast<std::size_t>(swId)].uniformIndex(
-          static_cast<std::uint64_t>(adaptiveCount))];
+      return opts[static_cast<std::size_t>(
+          cand[switchRngs_[static_cast<std::size_t>(swId)].uniformIndex(
+              static_cast<std::uint64_t>(candCount))])];
     case SelectionCriterion::kCreditAware:
     default: {
-      int best = 0;
-      for (int i = 1; i < adaptiveCount; ++i) {
-        if (opts[static_cast<std::size_t>(i)].spareCredits >
+      int best = cand[0];
+      for (int i = 1; i < candCount; ++i) {
+        const int j = cand[static_cast<std::size_t>(i)];
+        if (opts[static_cast<std::size_t>(j)].spareCredits >
             opts[static_cast<std::size_t>(best)].spareCredits) {
-          best = i;
+          best = j;
         }
       }
       return opts[static_cast<std::size_t>(best)];
     }
+  }
+}
+
+void Fabric::congestionAfterDebit(Shard& sh, SwitchOutputPort& op,
+                                  VlIndex vl) {
+  const std::size_t v = static_cast<std::size_t>(vl);
+  if (v >= op.congested.size()) return;
+  const int credits = op.credits[v];
+  if (op.congested[v] == 0) {
+    const int enter = static_cast<int>(params_.congestion.enterFreeFraction *
+                                       op.creditsMax[v]);
+    if (credits <= enter) {
+      op.congested[v] = 1;
+      op.congSince[v] = sh.now;
+      ++sh.counters.congOnsets;
+    }
+  }
+  if (credits == 0 && op.stallSince[v] < 0) op.stallSince[v] = sh.now;
+}
+
+void Fabric::congestionAfterCredit(Shard& sh, SwitchOutputPort& op,
+                                   VlIndex vl) {
+  const std::size_t v = static_cast<std::size_t>(vl);
+  if (v >= op.congested.size()) return;
+  const int credits = op.credits[v];
+  if (op.stallSince[v] >= 0 && credits > 0) {
+    sh.counters.zeroCreditNs +=
+        static_cast<std::uint64_t>(sh.now - op.stallSince[v]);
+    op.stallSince[v] = -1;
+  }
+  if (op.congested[v] != 0 &&
+      static_cast<double>(credits) >=
+          params_.congestion.exitFreeFraction * op.creditsMax[v]) {
+    sh.counters.congestedPortNs +=
+        static_cast<std::uint64_t>(sh.now - op.congSince[v]);
+    op.congested[v] = 0;
   }
 }
 
@@ -315,6 +379,17 @@ void Fabric::grant(Shard& sh, SwitchId swId, PortIndex ip, VlIndex vl,
   op.wireCredits[static_cast<std::size_t>(opt.vl)] += pkt.credits;
   if (op.credits[static_cast<std::size_t>(opt.vl)] < 0) {
     throw std::logic_error("Fabric::grant: negative credits (bug)");
+  }
+  if (params_.congestion.enabled) {
+    // Detection runs at the grant (the only place credits are debited), and
+    // packets forwarded through a congested port/VL carry the FECN mark to
+    // the destination CA. Must happen before the pushFrom calls below — a
+    // cross-shard push moves the packet out of this shard's pool.
+    congestionAfterDebit(sh, op, opt.vl);
+    if (op.congested[static_cast<std::size_t>(opt.vl)] != 0 && !pkt.fecn) {
+      pkt.fecn = true;
+      ++sh.counters.fecnMarked;
+    }
   }
   buf.remove(idx);
   --in.buffered;

@@ -701,6 +701,12 @@ void Fabric::handleCreditToSwitch(Shard& sh, SwitchId swId, PortIndex port,
       op.creditsMax[static_cast<std::size_t>(vl)]) {
     throw std::logic_error("Fabric: credit overflow (protocol bug)");
   }
+  if (params_.congestion.enabled) {
+    // Hysteresis exit / stall-episode close. Runs on every credit arrival
+    // (the only place credits grow on the event path), so repairs from the
+    // resync watchdog self-heal at the next arrival too.
+    congestionAfterCredit(sh, op, vl);
+  }
   // Wake only the inputs whose failed pass was blocked on this output's
   // credits; memos blocked elsewhere stay valid.
   const std::uint64_t bit = 1ull << (port & 63);

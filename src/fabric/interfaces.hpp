@@ -56,6 +56,12 @@ class ITrafficSource {
   /// replaced by refilling each node's queue up to `saturationQueueCap()`.
   virtual bool saturationMode() const = 0;
   virtual int saturationQueueCap() const { return 4; }
+
+  /// Packets generated upstream but deliberately held back from the fabric
+  /// (source-side congestion throttling). The invariant watchdog consults
+  /// this to distinguish throttle-induced idleness from deadlock. Plain
+  /// generators return 0.
+  virtual std::uint64_t throttledHeld() const { return 0; }
 };
 
 /// Observes packet lifecycle milestones for measurement. Callbacks always

@@ -54,6 +54,11 @@ struct Packet {
   /// fresh copies); lets the receive side compute end-to-end latency without
   /// reaching into the sender's retransmit ledger.
   SimTime e2eFirstSent = 0;
+  /// Forward explicit congestion notification: set by a switch whose chosen
+  /// output port/VL is in the congested state (src/congestion). Travels to
+  /// the destination CA, whose transport echoes it back to the source as a
+  /// CNP-style notification.
+  bool fecn = false;
 };
 
 class PacketPool {

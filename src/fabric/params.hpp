@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "congestion/congestion.hpp"
 #include "core/selection.hpp"
 #include "sim/event_queue.hpp"
 #include "util/types.hpp"
@@ -63,6 +64,10 @@ struct FabricParams {
   /// Seed for the (only) stochastic switch behavior: kRandom selection.
   std::uint64_t selectionSeed = 0x5eedULL;
 
+  /// Switch-side congestion detection (hysteresis FECN marking, optional
+  /// congested-port demotion in the adaptive selection). Off by default.
+  CongestionDetectSpec congestion;
+
   /// Discrete-event kernel. kCalendar (default) is the fast indexed bucket
   /// queue plus active-port/VL arbitration work lists; kLegacyHeap is the
   /// seed binary-heap kernel with full port scans, kept as a bit-exact
@@ -107,6 +112,7 @@ struct FabricParams {
     if (threads < 1) {
       throw std::invalid_argument("FabricParams: threads >= 1");
     }
+    congestion.validate();
   }
 };
 

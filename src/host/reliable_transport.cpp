@@ -25,6 +25,11 @@ void ReliableTransportSpec::validate() const {
     throw std::invalid_argument(
         "ReliableTransportSpec: jitterFraction must be in [0, 1]");
   }
+  if (minRtoNs <= 0 || minRtoNs > maxRtoNs) {
+    throw std::invalid_argument(
+        "ReliableTransportSpec: minRtoNs must be in (0, maxRtoNs]");
+  }
+  throttle.validate();
 }
 
 ReliableTransport::ReliableTransport(ITrafficSource& inner, int numNodes,
@@ -40,19 +45,31 @@ ReliableTransport::ReliableTransport(ITrafficSource& inner, int numNodes,
         "timers need an open-loop generation clock)");
   }
   nodes_.resize(static_cast<std::size_t>(numNodes));
+  for (NodeSend& st : nodes_) st.throttle = FlowThrottle(spec_.throttle);
   const std::size_t flows =
       static_cast<std::size_t>(numNodes) * static_cast<std::size_t>(numNodes);
   nextSeq_.assign(flows, 1);
   recv_.assign(flows, FlowRecv{});
 }
 
-SimTime ReliableTransport::rtoFor(NodeId src, NodeId dst, std::uint32_t seq,
-                                  int attempts) const {
+SimTime ReliableTransport::rtoFor(const NodeSend& st, NodeId src, NodeId dst,
+                                  std::uint32_t seq, int attempts) const {
+  // Jacobson base once the node has an RTT sample; configured base until
+  // then (and always when adaptation is off).
+  double base = static_cast<double>(spec_.baseRtoNs);
+  if (spec_.adaptiveRto && st.hasRtt) {
+    base = st.srttNs + 4.0 * st.rttvarNs;
+    if (base < static_cast<double>(spec_.minRtoNs)) {
+      base = static_cast<double>(spec_.minRtoNs);
+    }
+    if (base > static_cast<double>(spec_.maxRtoNs)) {
+      base = static_cast<double>(spec_.maxRtoNs);
+    }
+  }
   // Closed-form capped backoff; pow may overflow to inf for deep attempt
   // counts, which the !(x < max) clamp folds onto the ceiling.
   double rto =
-      static_cast<double>(spec_.baseRtoNs) *
-      std::pow(spec_.backoffFactor, static_cast<double>(attempts));
+      base * std::pow(spec_.backoffFactor, static_cast<double>(attempts));
   if (!(rto < static_cast<double>(spec_.maxRtoNs))) {
     rto = static_cast<double>(spec_.maxRtoNs);
   }
@@ -77,6 +94,25 @@ void ReliableTransport::drainAcks(NodeSend& st, SimTime now) {
   while (!st.acks.empty() && st.acks.front().learnAt <= now) {
     const Ack ack = st.acks.front();
     st.acks.pop_front();
+    // RTT sample (Karn: first-transmission copies only; rttSampleNs == 0
+    // marks a retransmit-copy delivery). Standard Jacobson gains.
+    if (spec_.adaptiveRto && ack.rttSampleNs > 0) {
+      const double sample = static_cast<double>(ack.rttSampleNs);
+      if (!st.hasRtt) {
+        st.srttNs = sample;
+        st.rttvarNs = sample / 2.0;
+        st.hasRtt = true;
+      } else {
+        const double err = sample - st.srttNs;
+        st.srttNs += err / 8.0;
+        st.rttvarNs += (std::abs(err) - st.rttvarNs) / 4.0;
+      }
+    }
+    // CNP-style congestion notification: the delivered copy carried the
+    // fabric's FECN mark, so the destination's echo throttles this flow.
+    // Processed at learnAt (the ack's own event time), which is identical
+    // for every kernel and thread count.
+    if (ack.congested) st.throttle.onCongestionNotice(ack.dst, ack.learnAt);
     auto& outst = st.outstanding;
     for (std::size_t i = 0; i < outst.size(); ++i) {
       if (outst[i].spec.dst == ack.dst && outst[i].spec.e2eSeq == ack.seq) {
@@ -120,9 +156,24 @@ ITrafficSource::Spec ReliableTransport::makePacket(NodeId src, Rng& rng) {
       st.outstanding.pop_back();
       continue;
     }
+    // Retransmissions obey the flow's pacing too: an unpaced copy of a
+    // throttled flow would re-congest the very port the loop is protecting.
+    // Each attempt is charged against the pacer exactly once; the rate
+    // floor keeps the release finite, so retries always make progress.
+    if (!op.paced) {
+      const SimTime releaseAt = st.throttle.planSend(
+          op.spec.dst, static_cast<std::uint32_t>(op.spec.sizeBytes), now);
+      if (releaseAt > now) {
+        ++st.throttled;
+        op.paced = true;
+        op.deadline = releaseAt;
+        continue;
+      }
+    }
+    op.paced = false;
     ++op.attempts;
     op.deadline =
-        now + rtoFor(src, op.spec.dst, op.spec.e2eSeq, op.attempts);
+        now + rtoFor(st, src, op.spec.dst, op.spec.e2eSeq, op.attempts);
     ++st.retransmitsSent;
     // The stored spec stays in fresh-copy form; only the emitted copy is
     // marked, so the packet itself tells the observer chain what it is.
@@ -131,20 +182,45 @@ ITrafficSource::Spec ReliableTransport::makePacket(NodeId src, Rng& rng) {
     return s;
   }
 
+  // Throttle hold queue next: the oldest held packet whose release time has
+  // arrived is injected before any new generation (strict node FIFO).
+  if (!st.held.empty() && st.held.front().releaseAt <= now) {
+    Spec s = st.held.front().spec;
+    st.held.pop_front();
+    return emitFresh(st, src, s, now);
+  }
+
   if (!st.innerPending && st.innerNext <= now && st.innerNext != kTimeNever) {
     Spec s = inner_->makePacket(src, rng);
     st.innerPending = true;
-    if (s.dst != kInvalidId) {
-      s.e2eSeq = nextSeq_[flowIndex(src, s.dst)]++;
-      s.retransmit = false;
-      s.e2eFirstSent = now;
-      st.outstanding.push_back(
-          OutPkt{s, now + rtoFor(src, s.dst, s.e2eSeq, 0), 0});
-      ++st.uniqueSent;
+    if (s.dst == kInvalidId) return s;
+    // Injection throttling: pace fresh packets of notified flows. A packet
+    // that may not go out yet is parked in the hold queue (behind every
+    // earlier held packet, whatever its flow) and this wake emits nothing.
+    SimTime releaseAt = st.throttle.planSend(
+        s.dst, static_cast<std::uint32_t>(s.sizeBytes), now);
+    if (!st.held.empty()) {
+      releaseAt = std::max(releaseAt, st.held.back().releaseAt);
     }
-    return s;
+    if (releaseAt > now) {
+      ++st.throttled;
+      st.held.push_back(HeldPkt{s, releaseAt});
+      return Spec{};
+    }
+    return emitFresh(st, src, s, now);
   }
   return Spec{};  // idle wake: a timer fired for an already-acked packet
+}
+
+ITrafficSource::Spec ReliableTransport::emitFresh(NodeSend& st, NodeId src,
+                                                  Spec s, SimTime now) {
+  s.e2eSeq = nextSeq_[flowIndex(src, s.dst)]++;
+  s.retransmit = false;
+  s.e2eFirstSent = now;
+  st.outstanding.push_back(
+      OutPkt{s, now + rtoFor(st, src, s.dst, s.e2eSeq, 0), 0});
+  ++st.uniqueSent;
+  return s;
 }
 
 SimTime ReliableTransport::nextGenTime(NodeId node, SimTime now, Rng& rng) {
@@ -158,6 +234,7 @@ SimTime ReliableTransport::nextGenTime(NodeId node, SimTime now, Rng& rng) {
   for (const OutPkt& op : st.outstanding) {
     wake = std::min(wake, op.deadline);
   }
+  if (!st.held.empty()) wake = std::min(wake, st.held.front().releaseAt);
   st.wakeAt = wake;
   return wake;
 }
@@ -193,9 +270,11 @@ void ReliableTransport::onDelivered(const Packet& pkt, SimTime now) {
   // packet itself — no reach into the sender's ledger.
   e2eLatency_.add(now - pkt.e2eFirstSent);
   // Deliveries replay in nondecreasing `now`, so appending keeps the ack
-  // inbox sorted by learnAt.
+  // inbox sorted by learnAt. The ack echoes the FECN mark (congestion
+  // notification) and carries an RTT sample for first-transmission copies.
   nodes_[static_cast<std::size_t>(pkt.src)].acks.push_back(
-      Ack{now + spec_.ackDelayNs, pkt.dst, pkt.e2eSeq});
+      Ack{now + spec_.ackDelayNs, pkt.dst, pkt.e2eSeq, pkt.fecn,
+          pkt.retransmit ? 0 : (now + spec_.ackDelayNs) - pkt.e2eFirstSent});
   if (chained_ != nullptr) chained_->onDelivered(pkt, now);
 }
 
@@ -238,6 +317,30 @@ std::uint64_t ReliableTransport::abandoned() const {
 std::size_t ReliableTransport::outstanding() const {
   std::size_t n = 0;
   for (const NodeSend& st : nodes_) n += st.outstanding.size();
+  return n;
+}
+
+std::uint64_t ReliableTransport::cnpsReceived() const {
+  std::uint64_t n = 0;
+  for (const NodeSend& st : nodes_) n += st.throttle.cnpsReceived();
+  return n;
+}
+
+std::uint64_t ReliableTransport::rateDecreases() const {
+  std::uint64_t n = 0;
+  for (const NodeSend& st : nodes_) n += st.throttle.rateDecreases();
+  return n;
+}
+
+std::uint64_t ReliableTransport::packetsThrottled() const {
+  std::uint64_t n = 0;
+  for (const NodeSend& st : nodes_) n += st.throttled;
+  return n;
+}
+
+std::uint64_t ReliableTransport::throttledHeld() const {
+  std::uint64_t n = 0;
+  for (const NodeSend& st : nodes_) n += st.held.size();
   return n;
 }
 

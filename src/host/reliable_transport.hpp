@@ -40,6 +40,7 @@
 #include <set>
 #include <vector>
 
+#include "congestion/throttle.hpp"
 #include "fabric/interfaces.hpp"
 #include "stats/latency.hpp"
 #include "util/types.hpp"
@@ -71,6 +72,20 @@ struct ReliableTransportSpec {
   /// it (out-of-band ack model). Keep >= the fabric's linkPropagationNs for
   /// thread-count-invariant results (see the threading note above).
   SimTime ackDelayNs = 2'000;
+
+  /// Adapt the RTO from observed round trips (Jacobson: srtt + 4*rttvar,
+  /// EWMA gains 1/8 and 1/4, samples from first-transmission copies only —
+  /// Karn's rule). baseRtoNs then only seeds flows with no sample yet. The
+  /// capped + hash-jittered backoff on top is unchanged either way.
+  bool adaptiveRto = true;
+  /// Floor for the adaptive RTO (the Jacobson estimate is clamped to
+  /// [minRtoNs, maxRtoNs] before backoff).
+  SimTime minRtoNs = 4'000;
+
+  /// Source-side congestion reaction (src/congestion): per-destination
+  /// injection pacing driven by CNP-style congestion notifications riding
+  /// the ack path. Disabled by default.
+  ThrottleSpec throttle;
 
   void validate() const;
 };
@@ -120,17 +135,44 @@ class ReliableTransport final : public ITrafficSource,
   /// packets delivered after the sender already abandoned them).
   const LatencyAccumulator& endToEndLatency() const { return e2eLatency_; }
 
+  // ---- congestion-management metrics ------------------------------------
+  /// Congestion notifications (FECN echoes) processed at sources.
+  std::uint64_t cnpsReceived() const;
+  /// Multiplicative rate decreases applied across all source throttles.
+  std::uint64_t rateDecreases() const;
+  /// Fresh packets whose injection the throttle delayed.
+  std::uint64_t packetsThrottled() const;
+  /// Packets currently held back by the throttle (ITrafficSource hook; the
+  /// invariant watchdog uses it to tell throttling from deadlock).
+  std::uint64_t throttledHeld() const override;
+  /// Smoothed RTT estimate for `node` in ns (0 until the first sample).
+  SimTime srttNs(NodeId node) const {
+    return static_cast<SimTime>(nodes_[static_cast<std::size_t>(node)].srttNs);
+  }
+
  private:
   struct OutPkt {
     Spec spec;            // verbatim respec for retransmission (fresh-copy
                           // form: retransmit=false, original e2eFirstSent)
     SimTime deadline = 0;  // next retransmit time
     int attempts = 0;      // retransmissions so far
+    bool paced = false;    // deadline is a throttle release, already charged
   };
   struct Ack {
     SimTime learnAt = 0;  // when the source finds out
     NodeId dst = kInvalidId;
     std::uint32_t seq = 0;
+    /// The delivered copy carried the FECN mark: process as a CNP.
+    bool congested = false;
+    /// RTT sample (first-transmission copies only; 0 = no sample).
+    SimTime rttSampleNs = 0;
+  };
+  /// A fresh packet generated upstream but held back by the throttle. The
+  /// e2e sequence / first-sent stamp are assigned at emission, not at hold,
+  /// so in-fabric ordering and RTT samples see the real injection time.
+  struct HeldPkt {
+    Spec spec;
+    SimTime releaseAt = 0;
   };
   /// All send-side state of one source node, touched only by that node's
   /// traffic-source calls — except `acks`, which the observer side appends
@@ -144,9 +186,19 @@ class ReliableTransport final : public ITrafficSource,
                                      // equals `now` inside makePacket
     std::vector<OutPkt> outstanding;
     std::deque<Ack> acks;
+    /// Throttle hold queue, strict node FIFO: once one packet is held,
+    /// every later fresh packet queues behind it (releaseAt nondecreasing
+    /// by construction). Retransmissions bypass the queue entirely.
+    std::deque<HeldPkt> held;
+    FlowThrottle throttle;
     std::uint64_t uniqueSent = 0;
     std::uint64_t retransmitsSent = 0;
     std::uint64_t abandoned = 0;
+    std::uint64_t throttled = 0;  ///< fresh packets delayed by the throttle
+    // Jacobson RTT estimator (spec_.adaptiveRto).
+    double srttNs = 0.0;
+    double rttvarNs = 0.0;
+    bool hasRtt = false;
   };
   struct FlowRecv {
     std::uint32_t contiguous = 0;        // every seq <= contiguous received
@@ -157,9 +209,12 @@ class ReliableTransport final : public ITrafficSource,
     return static_cast<std::size_t>(src) * static_cast<std::size_t>(numNodes_) +
            static_cast<std::size_t>(dst);
   }
-  SimTime rtoFor(NodeId src, NodeId dst, std::uint32_t seq,
-                 int attempts) const;
+  SimTime rtoFor(const NodeSend& st, NodeId src, NodeId dst,
+                 std::uint32_t seq, int attempts) const;
   void drainAcks(NodeSend& st, SimTime now);
+  /// Assigns sequence/ledger state and returns the emit-ready spec for a
+  /// fresh packet injected at `now` (shared by the direct and held paths).
+  Spec emitFresh(NodeSend& st, NodeId src, Spec s, SimTime now);
   bool flowSeen(const FlowRecv& flow, std::uint32_t seq) const;
   void flowMark(FlowRecv& flow, std::uint32_t seq);
 

@@ -45,10 +45,40 @@ void StatsCollector::onDelivered(const Packet& pkt, SimTime now) {
   }
   hopSum_ += pkt.hops;
   lastDelivery_ = now;
+  recordMessageSegment(pkt, now);
 
   if (all_.count() >= cfg_.measurePackets) {
     complete_ = true;
     if (fabric_ != nullptr) fabric_->requestStop();
+  }
+}
+
+void StatsCollector::recordMessageSegment(const Packet& pkt, SimTime now) {
+  if (pkt.segCount <= 1) {
+    // Unsegmented traffic: every packet is a complete single-segment
+    // message, so the message distribution degenerates to packet latency.
+    msg_.add(now - pkt.genTime);
+    return;
+  }
+  const std::uint64_t key =
+      ((static_cast<std::uint64_t>(pkt.src) *
+            static_cast<std::uint64_t>(numNodes_) +
+        static_cast<std::uint64_t>(pkt.dst))
+       << 32) |
+      static_cast<std::uint64_t>(pkt.msgId);
+  MsgTrack& m = msgs_[key];
+  if (m.seen.empty()) {
+    m.seen.assign(pkt.segCount, false);
+    m.remaining = pkt.segCount;
+    m.firstGen = pkt.genTime;
+  }
+  if (pkt.genTime < m.firstGen) m.firstGen = pkt.genTime;
+  const auto idx = static_cast<std::size_t>(pkt.segIndex);
+  if (idx >= m.seen.size() || m.seen[idx]) return;  // duplicate / stray copy
+  m.seen[idx] = true;
+  if (--m.remaining == 0) {
+    msg_.add(now - m.firstGen);
+    msgs_.erase(key);
   }
 }
 

@@ -6,6 +6,8 @@
 // tractable while leaving statistics stable.
 //
 #include <cstdint>
+#include <unordered_map>
+#include <vector>
 
 #include "fabric/fabric.hpp"
 #include "stats/in_order.hpp"
@@ -21,7 +23,7 @@ class StatsCollector final : public IDeliveryObserver {
   };
 
   StatsCollector(const Config& cfg, int numNodes)
-      : cfg_(cfg), inOrder_(numNodes) {}
+      : cfg_(cfg), numNodes_(numNodes), inOrder_(numNodes) {}
 
   /// Optional: lets the collector stop the run as soon as the measurement
   /// budget is reached.
@@ -42,6 +44,10 @@ class StatsCollector final : public IDeliveryObserver {
   const LatencyAccumulator& latency() const { return all_; }
   const LatencyAccumulator& latencyAdaptive() const { return adaptive_; }
   const LatencyAccumulator& latencyDeterministic() const { return det_; }
+  /// Whole-message latency (first segment generated -> last segment
+  /// delivered), measured at message completion inside the window.
+  /// Unsegmented packets count as single-segment messages.
+  const LatencyAccumulator& messageLatency() const { return msg_; }
   const InOrderChecker& inOrder() const { return inOrder_; }
 
   double measuredHopMean() const {
@@ -54,7 +60,17 @@ class StatsCollector final : public IDeliveryObserver {
   double acceptedBytesPerNs() const;
 
  private:
+  /// Reassembly record of one in-flight multi-segment message.
+  struct MsgTrack {
+    std::vector<bool> seen;  // segIndex -> delivered
+    int remaining = 0;
+    SimTime firstGen = 0;  // earliest genTime over the seen segments
+  };
+
+  void recordMessageSegment(const Packet& pkt, SimTime now);
+
   Config cfg_;
+  int numNodes_ = 0;
   Fabric* fabric_ = nullptr;
 
   std::uint64_t totalDelivered_ = 0;
@@ -68,6 +84,11 @@ class StatsCollector final : public IDeliveryObserver {
   LatencyAccumulator all_;
   LatencyAccumulator adaptive_;
   LatencyAccumulator det_;
+  LatencyAccumulator msg_;
+  /// In-flight messages keyed ((src * numNodes + dst) << 32) | msgId. The
+  /// observer chain runs single-threaded (see IDeliveryObserver), and the
+  /// map is never iterated, so unordered is deterministic here.
+  std::unordered_map<std::uint64_t, MsgTrack> msgs_;
   InOrderChecker inOrder_;
 };
 

@@ -1,6 +1,7 @@
 #include "traffic/synthetic.hpp"
 
 #include <cmath>
+#include <utility>
 
 namespace ibadapt {
 
@@ -55,12 +56,57 @@ SyntheticTraffic::SyntheticTraffic(const TrafficSpec& spec, std::uint64_t seed)
   if (spec.burstiness < 0.0 || spec.burstiness >= 1.0) {
     throw std::invalid_argument("SyntheticTraffic: burstiness in [0,1)");
   }
+  if (spec.pattern == TrafficPattern::kIncast) {
+    if (spec.incastBurstPackets < 1 || spec.incastPeriodNs <= 0) {
+      throw std::invalid_argument("SyntheticTraffic: incast burst/period");
+    }
+    if (spec.saturation) {
+      throw std::invalid_argument(
+          "SyntheticTraffic: incast is epoch-clocked; saturation mode has "
+          "no generation clock");
+    }
+  }
+  if (spec.pattern == TrafficPattern::kPermStorm) {
+    if (spec.stormEpochs < 1 || spec.stormPeriodNs <= 0) {
+      throw std::invalid_argument("SyntheticTraffic: storm epochs/period");
+    }
+    if (spec.saturation) {
+      throw std::invalid_argument(
+          "SyntheticTraffic: permutation storms are epoch-clocked; "
+          "saturation mode has no generation clock");
+    }
+  }
   Rng setup(seed);
-  if (spec.pattern == TrafficPattern::kHotspot) {
+  if (spec.pattern == TrafficPattern::kHotspot ||
+      spec.pattern == TrafficPattern::kIncast) {
     hotspot_ = spec.hotspotNode != kInvalidId
                    ? spec.hotspotNode
                    : static_cast<NodeId>(setup.uniformIndex(
                          static_cast<std::uint64_t>(spec.numNodes)));
+  }
+  nodeState_.assign(static_cast<std::size_t>(spec.numNodes), NodeState{});
+  if (spec.pattern == TrafficPattern::kPermStorm) {
+    // Fixed-point-free permutations from the setup stream: Fisher-Yates,
+    // then swap any self-mapping with its right neighbour (which cannot
+    // create a new fixed point — the neighbour held a different value).
+    storms_.resize(static_cast<std::size_t>(spec.stormEpochs));
+    for (auto& perm : storms_) {
+      perm.resize(static_cast<std::size_t>(spec.numNodes));
+      for (NodeId i = 0; i < spec.numNodes; ++i) {
+        perm[static_cast<std::size_t>(i)] = i;
+      }
+      for (int i = spec.numNodes - 1; i > 0; --i) {
+        const auto j = static_cast<std::size_t>(
+            setup.uniformIndex(static_cast<std::uint64_t>(i + 1)));
+        std::swap(perm[static_cast<std::size_t>(i)], perm[j]);
+      }
+      for (int i = 0; i < spec.numNodes; ++i) {
+        if (perm[static_cast<std::size_t>(i)] == i) {
+          std::swap(perm[static_cast<std::size_t>(i)],
+                    perm[static_cast<std::size_t>((i + 1) % spec.numNodes)]);
+        }
+      }
+    }
   }
   if (!spec.saturation) {
     if (spec.loadBytesPerNsPerNode <= 0.0) {
@@ -121,6 +167,18 @@ NodeId SyntheticTraffic::pickDestination(NodeId src, Rng& rng) const {
       if (off > w) off = w - off;  // -w .. -1
       return static_cast<NodeId>(((src + off) % n + n) % n);
     }
+    case TrafficPattern::kIncast:
+      return hotspot_;  // the victim itself never generates
+    case TrafficPattern::kPermStorm: {
+      // The active permutation is a pure function of the wake time this
+      // packet generates at, recorded by first/nextGenTime — identical for
+      // every kernel and thread count.
+      const auto epoch = static_cast<std::size_t>(
+          (nodeState_[static_cast<std::size_t>(src)].pendingWake /
+           spec_.stormPeriodNs) %
+          spec_.stormEpochs);
+      return storms_[epoch][static_cast<std::size_t>(src)];
+    }
   }
   return uniformOther();
 }
@@ -154,7 +212,6 @@ ITrafficSource::Spec SyntheticTraffic::makePacket(NodeId src, Rng& rng) {
 }
 
 SimTime SyntheticTraffic::firstGenTime(NodeId node, Rng& rng) {
-  (void)node;
   if (spec_.saturation) {
     // meanGapNs_/baseGapNs_ are never assigned in saturation mode (the
     // constructor skips the rate computation); an exponential draw from a
@@ -165,6 +222,17 @@ SimTime SyntheticTraffic::firstGenTime(NodeId node, Rng& rng) {
         "SyntheticTraffic::firstGenTime: no interarrival process in "
         "saturation mode");
   }
+  NodeState& st = nodeState_[static_cast<std::size_t>(node)];
+  if (spec_.pattern == TrafficPattern::kIncast) {
+    // Senders open fire together at epoch 0; the victim stays silent.
+    if (node == hotspot_) {
+      st.pendingWake = kTimeNever;
+      return kTimeNever;
+    }
+    st.burstLeft = spec_.incastBurstPackets - 1;
+    st.pendingWake = 0;
+    return 0;
+  }
   // Mirror nextGenTime's draw (base gap plus optional burst pause) so the
   // first interarrival follows the same compound-Poisson law as the rest of
   // the stream; with burstiness == 0 this is the plain exponential of mean
@@ -173,21 +241,34 @@ SimTime SyntheticTraffic::firstGenTime(NodeId node, Rng& rng) {
   if (spec_.burstiness > 0.0 && rng.uniformReal() < spec_.burstiness) {
     gap += rng.exponential(spec_.burstGapMeanNs);
   }
-  return static_cast<SimTime>(gap);
+  st.pendingWake = static_cast<SimTime>(gap);
+  return st.pendingWake;
 }
 
 SimTime SyntheticTraffic::nextGenTime(NodeId node, SimTime now, Rng& rng) {
-  (void)node;
   if (spec_.saturation) {
     throw std::logic_error(
         "SyntheticTraffic::nextGenTime: no interarrival process in "
         "saturation mode");
   }
+  NodeState& st = nodeState_[static_cast<std::size_t>(node)];
+  if (spec_.pattern == TrafficPattern::kIncast) {
+    // Back-to-back within a burst, then sleep to the next epoch boundary.
+    if (st.burstLeft > 0) {
+      --st.burstLeft;
+      st.pendingWake = now + 1;
+    } else {
+      st.burstLeft = spec_.incastBurstPackets - 1;
+      st.pendingWake = (now / spec_.incastPeriodNs + 1) * spec_.incastPeriodNs;
+    }
+    return st.pendingWake;
+  }
   double gap = rng.exponential(baseGapNs_);
   if (spec_.burstiness > 0.0 && rng.uniformReal() < spec_.burstiness) {
     gap += rng.exponential(spec_.burstGapMeanNs);
   }
-  return now + 1 + static_cast<SimTime>(gap);
+  st.pendingWake = now + 1 + static_cast<SimTime>(gap);
+  return st.pendingWake;
 }
 
 }  // namespace ibadapt

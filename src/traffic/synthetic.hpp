@@ -8,6 +8,7 @@
 // traffic" knob.
 //
 #include <stdexcept>
+#include <vector>
 
 #include "fabric/interfaces.hpp"
 #include "util/rng.hpp"
@@ -22,6 +23,8 @@ enum class TrafficPattern {
   kTranspose,    // dst = swap the two halves of the index bits (needs 4^k)
   kShuffle,      // dst = rotate index bits left by one (perfect shuffle)
   kLocality,     // dst uniform within +-localityWindow node indices
+  kIncast,       // every node bursts at one victim on synchronized epochs
+  kPermStorm,    // random permutation rotated every stormPeriodNs
 };
 
 struct TrafficSpec {
@@ -55,6 +58,17 @@ struct TrafficSpec {
   /// still matches `loadBytesPerNsPerNode`. 0 = plain Poisson.
   double burstiness = 0.0;
   double burstGapMeanNs = 20'000.0;
+  /// kIncast: packets every sender fires back-to-back at the victim at each
+  /// epoch boundary (epochs start at multiples of incastPeriodNs). The
+  /// victim is `hotspotNode` (kInvalidId = picked at random from the seed)
+  /// and generates nothing itself.
+  int incastBurstPackets = 8;
+  SimTime incastPeriodNs = 50'000;
+  /// kPermStorm: number of precomputed fixed-point-free permutations the
+  /// pattern rotates through, switching every stormPeriodNs — an adversarial
+  /// workload whose congestion trees move before reaction settles.
+  int stormEpochs = 4;
+  SimTime stormPeriodNs = 100'000;
 };
 
 /// Bit reversal within ceil(log2(n)) bits (exposed for tests).
@@ -82,11 +96,23 @@ class SyntheticTraffic final : public ITrafficSource {
  private:
   NodeId pickDestination(NodeId src, Rng& rng) const;
 
+  /// Per-node generation state for the epoch-clocked patterns. Each cell is
+  /// touched only by its node's traffic-source calls, which always run on
+  /// the shard owning that node (see ITrafficSource) — no cross-node races.
+  struct NodeState {
+    SimTime pendingWake = 0;  // the wake time makePacket will fire at
+    int burstLeft = 0;        // kIncast: packets left in the current burst
+  };
+
   TrafficSpec spec_;
   NodeId hotspot_ = kInvalidId;
   int addrBits_ = 0;
   double meanGapNs_ = 0.0;  // average interarrival (rate-defining)
   double baseGapNs_ = 0.0;  // Poisson component after burst compensation
+  std::vector<NodeState> nodeState_;
+  /// kPermStorm: stormEpochs fixed-point-free permutations over the nodes,
+  /// precomputed from the setup seed (read-only after construction).
+  std::vector<std::vector<NodeId>> storms_;
 };
 
 }  // namespace ibadapt

@@ -9,6 +9,7 @@
 #include <map>
 #include <tuple>
 
+#include "api/simulation.hpp"
 #include "check/invariant_watchdog.hpp"
 #include "fault/fault_audit.hpp"
 #include "fault/fault_campaign.hpp"
@@ -108,6 +109,79 @@ TEST(ChaosProperty, MixedFaultClassesKeepEveryInvariantAcrossSeeds) {
     const AuditReport audit = auditFabric(fabric, /*expectQuiescent=*/true);
     EXPECT_TRUE(audit.ok()) << audit.detail;
     EXPECT_FALSE(fabric.deadlockSuspected());
+  }
+}
+
+TEST(ChaosProperty, HotspotPlusFaultsPlusCongestionControlStaysExactlyOnce) {
+  // Hotspot traffic hammering one victim, a link-fault campaign, and the
+  // full congestion-management loop armed, all at once. Every guarantee
+  // must survive simultaneously: exactly-once delivery, zero watchdog
+  // violations (throttle-induced idleness must not read as deadlock), and
+  // bit-identical results across kernels and thread counts.
+  auto runOnce = [](SimKernel kernel, int threads) {
+    SimParams p;
+    p.numSwitches = 8;
+    p.linksPerSwitch = 4;
+    p.nodesPerSwitch = 4;
+    p.topoSeed = 17;
+    p.fabric.kernel = kernel;
+    p.fabric.threads = threads > 0 ? threads : 1;
+    p.pattern = TrafficPattern::kHotspot;
+    p.hotspotFraction = 0.4;
+    p.hotspotNode = 0;
+    p.loadBytesPerNsPerNode = 0.015;
+    p.packetBytes = 128;
+    p.warmupPackets = 200;
+    p.measurePackets = 2'500;
+    p.maxSimTimeNs = 120'000'000;
+    p.congestionControl = true;
+    p.faultMtbfNs = 2'000'000;
+    p.faultMttrNs = 500'000;
+    p.faultSeed = 3;
+    p.maxStochasticFaults = 4;
+    p.sweepDelayNs = 40'000;
+    p.invariantPeriodNs = 100'000;
+    return runSimulation(p);
+  };
+
+  const SimResults ref = runOnce(SimKernel::kCalendar, 0);
+  EXPECT_TRUE(ref.measurementComplete) << ref.summary();
+  EXPECT_FALSE(ref.deadlockSuspected);
+  EXPECT_EQ(ref.invariants.violations(), 0u) << ref.invariants.summary();
+  EXPECT_EQ(ref.inOrderViolations, 0u);
+  EXPECT_TRUE(ref.faultCampaignRan);
+  // The loop fired under the hotspot even while links were failing.
+  EXPECT_GT(ref.congestion.fecnMarked, 0u);
+  EXPECT_GT(ref.congestion.cnpsReceived, 0u);
+  // Exactly-once: dedup upstream of the stats observer means a delivered
+  // count never exceeding unique sends, and no in-order violations above.
+  EXPECT_GT(ref.resilience.uniqueDelivered, 0u);
+  EXPECT_LE(ref.resilience.uniqueDelivered, ref.resilience.uniqueSent);
+
+  struct Arm {
+    SimKernel kernel;
+    int threads;
+    const char* what;
+  };
+  const Arm arms[] = {{SimKernel::kLegacyHeap, 0, "legacy-heap"},
+                      {SimKernel::kParallel, 1, "parallel-1"},
+                      {SimKernel::kParallel, 4, "parallel-4"},
+                      {SimKernel::kParallel, 8, "parallel-8"}};
+  for (const Arm& arm : arms) {
+    const SimResults r = runOnce(arm.kernel, arm.threads);
+    EXPECT_EQ(r.delivered, ref.delivered) << arm.what;
+    EXPECT_EQ(r.kernelEvents, ref.kernelEvents) << arm.what;
+    EXPECT_DOUBLE_EQ(r.avgLatencyNs, ref.avgLatencyNs) << arm.what;
+    EXPECT_EQ(r.congestion.fecnMarked, ref.congestion.fecnMarked) << arm.what;
+    EXPECT_EQ(r.congestion.cnpsReceived, ref.congestion.cnpsReceived)
+        << arm.what;
+    EXPECT_EQ(r.congestion.rateDecreases, ref.congestion.rateDecreases)
+        << arm.what;
+    EXPECT_EQ(r.congestion.packetsThrottled, ref.congestion.packetsThrottled)
+        << arm.what;
+    EXPECT_EQ(r.resilience.uniqueDelivered, ref.resilience.uniqueDelivered)
+        << arm.what;
+    EXPECT_EQ(r.invariants.violations(), 0u) << arm.what;
   }
 }
 

@@ -154,6 +154,8 @@ TEST(ReliableTransport, DuplicateSuppressionDeliversOnceUpward) {
   ReliableTransportSpec spec;
   spec.baseRtoNs = 300;  // < round trip: spurious retransmissions guaranteed
   spec.maxRtoNs = 2'000;
+  spec.minRtoNs = 300;
+  spec.adaptiveRto = false;  // keep the RTO pinned below the round trip
   spec.ackDelayNs = 5'000;
   ReliableTransport rt(inner, topo.numNodes(), spec);
   testing::RecordingObserver obs;
