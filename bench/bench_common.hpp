@@ -18,6 +18,7 @@
 #include <new>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/simulation.hpp"
@@ -178,6 +179,21 @@ struct KernelBenchRecord {
   /// Case-local heap high-water mark (live bytes over the case, KiB) — see
   /// the heap gauge above; NOT the process-lifetime RSS.
   long heapPeakKb = 0;
+  /// Phase breakdown of wallMs (SimResults wall-clock metadata): fabric
+  /// construction, routing plan + LFT install, event-loop execution.
+  double setupMs = 0.0;
+  double planMs = 0.0;
+  double runMs = 0.0;
+  /// Wired switch ports in the fabric (0 = not recorded). The scale sweep
+  /// emits it so the committed growth curve can be normalized by the units
+  /// that own buffers and credit state, not by switch count alone.
+  long ports = 0;
+  /// Dense forwarding-table bytes (switches x LID limit, KiB; 0 = not
+  /// recorded). The LFT is O(switches x nodes) by construction — every
+  /// switch addresses every LID — so the scale sweep reports it as its own
+  /// term and gates near-linearity on heapPeakKb minus this hardware-table
+  /// floor.
+  long lftKb = 0;
 };
 
 inline void writeKernelBenchJson(const std::string& path,
@@ -188,19 +204,28 @@ inline void writeKernelBenchJson(const std::string& path,
   out << "{\n";
   out << "  \"bench\": \"" << benchName << "\",\n";
   out << "  \"config\": \"" << config << "\",\n";
+  // Host cores are part of the measurement context: wall times from a
+  // machine that couldn't exercise the parallel paths aren't comparable.
+  out << "  \"cores\": " << std::thread::hardware_concurrency() << ",\n";
   out << "  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const KernelBenchRecord& r = cases[i];
-    char line[512];
+    char line[768];
+    char portsField[96] = "";
+    if (r.ports > 0) {
+      std::snprintf(portsField, sizeof(portsField),
+                    ", \"ports\": %ld, \"lftKb\": %ld", r.ports, r.lftKb);
+    }
     std::snprintf(line, sizeof(line),
                   "    {\"switches\": %d, \"kernel\": \"%s\", "
                   "\"threads\": %d, \"events\": %llu, \"wallMs\": %.3f, "
                   "\"eventsPerSec\": %.1f, \"simulatedMs\": %.3f, "
-                  "\"wallMsPerSimMs\": %.4f, \"heapPeakKb\": %ld}",
+                  "\"wallMsPerSimMs\": %.4f, \"heapPeakKb\": %ld, "
+                  "\"setupMs\": %.3f, \"planMs\": %.3f, \"runMs\": %.3f%s}",
                   r.switches, r.kernel.c_str(), r.threads,
                   static_cast<unsigned long long>(r.events), r.wallMs,
                   r.eventsPerSec, r.simulatedMs, r.wallMsPerSimMs,
-                  r.heapPeakKb);
+                  r.heapPeakKb, r.setupMs, r.planMs, r.runMs, portsField);
     out << line << (i + 1 < cases.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
@@ -237,6 +262,7 @@ inline void writeReconfigBenchJson(
   out << "{\n";
   out << "  \"bench\": \"" << benchName << "\",\n";
   out << "  \"config\": \"" << config << "\",\n";
+  out << "  \"cores\": " << std::thread::hardware_concurrency() << ",\n";
   out << "  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const ReconfigBenchRecord& r = cases[i];
@@ -287,6 +313,7 @@ inline void writeCongestionBenchJson(
   out << "{\n";
   out << "  \"bench\": \"" << benchName << "\",\n";
   out << "  \"config\": \"" << config << "\",\n";
+  out << "  \"cores\": " << std::thread::hardware_concurrency() << ",\n";
   out << "  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const CongestionBenchRecord& r = cases[i];
@@ -366,6 +393,11 @@ inline std::vector<KernelBenchRecord> readKernelBenchJson(
     if (detail::extractJsonField(line, "heapPeakKb", v)) {
       r.heapPeakKb = std::stol(v);
     }
+    if (detail::extractJsonField(line, "setupMs", v)) r.setupMs = std::stod(v);
+    if (detail::extractJsonField(line, "planMs", v)) r.planMs = std::stod(v);
+    if (detail::extractJsonField(line, "runMs", v)) r.runMs = std::stod(v);
+    if (detail::extractJsonField(line, "ports", v)) r.ports = std::stol(v);
+    if (detail::extractJsonField(line, "lftKb", v)) r.lftKb = std::stol(v);
     out.push_back(std::move(r));
   }
   return out;

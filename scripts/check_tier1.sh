@@ -24,9 +24,10 @@ cmake --build "${asan_dir}" -j
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1"
 # The suites most exposed to the hot-path overhaul: event kernel, fabric,
-# stats, traffic, util (thread pool), api (sweep exception path).
+# stats, traffic, util (thread pool), api (sweep exception path), plus the
+# slab arena and warm-reset reuse paths (raw slices + recycled fabrics).
 ctest --test-dir "${asan_dir}" --output-on-failure -j \
-  -R 'KernelEquivalence|EventQueue|ThreadPool|StatsCollector|SyntheticTraffic|Sweep|Fabric'
+  -R 'KernelEquivalence|EventQueue|ThreadPool|StatsCollector|SyntheticTraffic|Sweep|Fabric|SlabArena|VlBufferArena|WarmSession'
 
 echo "== tier-1: sanitized chaos smoke (transient faults + watchdog) =="
 # Robustness stack under ASan/UBSan: mixed fault classes on random
@@ -45,15 +46,23 @@ ctest --test-dir "${asan_dir}" --output-on-failure -j \
 
 echo "== tier-1: topology-scale smoke (fat-tree heap gate) =="
 # The hierarchical generators at real scale: a saturated 256-switch
-# fat-tree must finish healthy under a hard heap-peak ceiling (~2x the
-# measured 8 MiB), and the 1024-switch scale gate (k=2, n=8) must complete
-# a saturated run at all — the case that catches any reintroduced
-# superlinear table in the setup-and-run path.
+# fat-tree (arity-4, 4 levels) must finish healthy under a hard heap-peak
+# ceiling (~4x the measured ~4.3 MiB), nominal 1024 (the arity-6 4-level
+# tree, 864 switches, measured ~16 MiB) under 48 MiB, and the 2048-switch
+# arity-8 4-level tree (measured ~49 MiB) under 96 MiB — the cases that
+# catch any reintroduced superlinear table in the setup-and-run path.
+# The 256 invocation also gates warm-fabric reuse: a SimSession rerun must
+# be bit-identical and at least 10x cheaper in setup+plan than the fresh
+# build.
 "${build_dir}/bench/perf_scale" --kinds=fat-tree --sizes=256 \
   --warmup=500 --measure=2000 --max-heap-kb=16384 \
+  --warm-size=256 --min-warm-speedup=10 \
   --json="${build_dir}/BENCH_scale_smoke.json"
 "${build_dir}/bench/perf_scale" --kinds=fat-tree --sizes=1024 \
-  --warmup=500 --measure=2000 --max-heap-kb=49152 \
+  --warmup=500 --measure=2000 --max-heap-kb=49152 --warm-size=0 \
+  --json="${build_dir}/BENCH_scale_smoke.json"
+"${build_dir}/bench/perf_scale" --kinds=fat-tree --sizes=2048 \
+  --warmup=500 --measure=2000 --max-heap-kb=98304 --warm-size=0 \
   --json="${build_dir}/BENCH_scale_smoke.json"
 
 echo "== tier-1: congestion-management smoke (FA+CC vs FA hotspot gate) =="

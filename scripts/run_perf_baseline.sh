@@ -44,8 +44,8 @@ parallel_gate=()
 if [[ "${cores}" -ge 4 ]]; then
   parallel_gate=(--min-parallel-speedup=1.8)
 else
-  echo "note: only ${cores} core(s) — parallel speedup gate skipped" \
-       "(bit-identity still enforced)"
+  echo "parallel gate skipped: ${cores} cores (need >= 4 for strong" \
+       "scaling; bit-identity still enforced)"
 fi
 
 "${build_dir}/bench/perf_baseline" \

@@ -19,3 +19,10 @@ cmake --build "${build_dir}" -j
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$@"
+
+# Always re-run the slab-arena / bound-buffer / warm-reset suites, even when
+# the caller filtered the main pass: raw-slice carving, VlBuffer binds, and
+# Fabric::reset reuse are exactly where an off-by-one or stale pointer
+# surfaces as a heap error rather than a test failure.
+ctest --test-dir "${build_dir}" --output-on-failure -j \
+  -R 'SlabArena|VlBufferArena|PackedRouteOptions|WarmSession'

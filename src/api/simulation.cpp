@@ -1,77 +1,49 @@
 #include "api/simulation.hpp"
 
+#include <chrono>
 #include <optional>
 #include <sstream>
+#include <string>
 
 #include "fabric/fabric.hpp"
+#include "routing/lft_image.hpp"
 #include "stats/collector.hpp"
 #include "subnet/subnet_manager.hpp"
 
 namespace ibadapt {
 
-Topology buildTopology(const SimParams& p) {
-  switch (p.topoKind) {
-    case TopologyKind::kIrregular: {
-      Rng rng(p.topoSeed);
-      IrregularSpec spec;
-      spec.numSwitches = p.numSwitches;
-      spec.linksPerSwitch = p.linksPerSwitch;
-      spec.nodesPerSwitch = p.nodesPerSwitch;
-      return makeIrregular(spec, rng);
-    }
-    case TopologyKind::kRing:
-      return makeRing(p.numSwitches, p.nodesPerSwitch);
-    case TopologyKind::kMesh2D:
-      return makeMesh2D(p.meshWidth, p.meshHeight, p.nodesPerSwitch);
-    case TopologyKind::kTorus2D:
-      return makeTorus2D(p.meshWidth, p.meshHeight, p.nodesPerSwitch);
-    case TopologyKind::kHypercube:
-      return makeHypercube(p.hypercubeDim, p.nodesPerSwitch);
-    case TopologyKind::kFatTree: {
-      FatTreeSpec spec;
-      spec.arity = p.fatTreeArity;
-      spec.levels = p.fatTreeLevels;
-      spec.hostsPerLeaf = p.nodesPerSwitch;
-      return makeFatTree(spec);
-    }
-    case TopologyKind::kDragonfly: {
-      DragonflySpec spec;
-      spec.routersPerGroup = p.dragonflyRoutersPerGroup;
-      spec.hostsPerRouter = p.nodesPerSwitch;
-      spec.globalPerRouter = p.dragonflyGlobalPerRouter;
-      spec.groups = p.dragonflyGroups;
-      spec.seed = p.topoSeed;
-      return makeDragonfly(spec);
-    }
-  }
-  throw std::invalid_argument("buildTopology: unknown kind");
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double wallMsSince(WallClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - t0)
+      .count();
 }
 
-SimResults runSimulation(const SimParams& p) {
-  const Topology topo = buildTopology(p);
-  return runSimulationOn(topo, p);
-}
-
-SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
-  if (p.congestionControl && p.saturation) {
-    throw std::invalid_argument(
-        "runSimulationOn: congestion control needs the reliable transport, "
-        "which requires an open-loop (non-saturation) source");
-  }
+FabricParams effectiveFabricParams(const SimParams& p) {
   FabricParams fparams = p.fabric;
   if (p.congestionControl) {
     fparams.congestion = p.congestion;
     fparams.congestion.enabled = true;
   }
-  Fabric fabric(topo, fparams);
+  return fparams;
+}
 
-  SubnetManager sm(fabric);
+SubnetParams subnetParamsOf(const SimParams& p) {
   SubnetParams sp;
   sp.rootSelection = p.rootSelection;
   sp.sourceMultipathPlanes = p.sourceMultipathPlanes;
   sp.apmPathSets = p.apmPathSets;
-  sm.configure(sp);
+  return sp;
+}
 
+/// Traffic attach, execution, and results harvest on an already configured
+/// fabric — everything after setup/planning, shared by the fresh
+/// (runSimulationOn) and warm (SimSession) paths. Fills runWallMs; the
+/// caller fills setupWallMs / planWallMs.
+SimResults executeOn(Fabric& fabric, const Topology& topo, const SimParams& p,
+                     const SubnetParams& sp) {
   TrafficSpec ts;
   ts.multipathPlanes = p.sourceMultipathPlanes;
   ts.pathSetOffset = p.apmActiveSet * p.fabric.numOptions;
@@ -143,6 +115,10 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
   const bool runCampaign = !p.scriptedFaults.empty() || p.faultMtbfNs > 0.0 ||
                            p.berPerBit > 0.0 || p.creditLossRate > 0.0;
   std::optional<FaultCampaign> campaign;
+  const auto runStart = WallClock::now();
+  // The campaign replans through the subnet manager; a fresh manager here is
+  // a pointer wrapper over the fabric, not a reconfiguration.
+  SubnetManager sm(fabric);
   if (runCampaign) {
     FaultCampaignSpec fc;
     fc.scripted = p.scriptedFaults;
@@ -167,6 +143,7 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
   }
 
   SimResults r;
+  r.runWallMs = wallMsSince(runStart);
   if (campaign) {
     r.faultCampaignRan = true;
     r.resilience = campaign->stats();
@@ -269,10 +246,158 @@ SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
   return r;
 }
 
+void throwIfCongestionSaturation(const SimParams& p, const char* where) {
+  if (p.congestionControl && p.saturation) {
+    throw std::invalid_argument(
+        std::string(where) +
+        ": congestion control needs the reliable transport, "
+        "which requires an open-loop (non-saturation) source");
+  }
+}
+
+}  // namespace
+
+Topology buildTopology(const SimParams& p) {
+  switch (p.topoKind) {
+    case TopologyKind::kIrregular: {
+      Rng rng(p.topoSeed);
+      IrregularSpec spec;
+      spec.numSwitches = p.numSwitches;
+      spec.linksPerSwitch = p.linksPerSwitch;
+      spec.nodesPerSwitch = p.nodesPerSwitch;
+      return makeIrregular(spec, rng);
+    }
+    case TopologyKind::kRing:
+      return makeRing(p.numSwitches, p.nodesPerSwitch);
+    case TopologyKind::kMesh2D:
+      return makeMesh2D(p.meshWidth, p.meshHeight, p.nodesPerSwitch);
+    case TopologyKind::kTorus2D:
+      return makeTorus2D(p.meshWidth, p.meshHeight, p.nodesPerSwitch);
+    case TopologyKind::kHypercube:
+      return makeHypercube(p.hypercubeDim, p.nodesPerSwitch);
+    case TopologyKind::kFatTree: {
+      FatTreeSpec spec;
+      spec.arity = p.fatTreeArity;
+      spec.levels = p.fatTreeLevels;
+      spec.hostsPerLeaf = p.nodesPerSwitch;
+      return makeFatTree(spec);
+    }
+    case TopologyKind::kDragonfly: {
+      DragonflySpec spec;
+      spec.routersPerGroup = p.dragonflyRoutersPerGroup;
+      spec.hostsPerRouter = p.nodesPerSwitch;
+      spec.globalPerRouter = p.dragonflyGlobalPerRouter;
+      spec.groups = p.dragonflyGroups;
+      spec.seed = p.topoSeed;
+      return makeDragonfly(spec);
+    }
+  }
+  throw std::invalid_argument("buildTopology: unknown kind");
+}
+
+SimResults runSimulation(const SimParams& p) {
+  const Topology topo = buildTopology(p);
+  return runSimulationOn(topo, p);
+}
+
+SimResults runSimulationOn(const Topology& topo, const SimParams& p) {
+  throwIfCongestionSaturation(p, "runSimulationOn");
+
+  const auto setupStart = WallClock::now();
+  Fabric fabric(topo, effectiveFabricParams(p));
+  const double setupMs = wallMsSince(setupStart);
+
+  const auto planStart = WallClock::now();
+  SubnetManager sm(fabric);
+  const SubnetParams sp = subnetParamsOf(p);
+  sm.configure(sp);
+  const double planMs = wallMsSince(planStart);
+
+  SimResults r = executeOn(fabric, topo, p, sp);
+  r.setupWallMs = setupMs;
+  r.planWallMs = planMs;
+  return r;
+}
+
 double measureSaturationThroughput(const Topology& topo, SimParams p) {
   p.saturation = true;
   const SimResults r = runSimulationOn(topo, p);
   return r.acceptedBytesPerNsPerSwitch;
+}
+
+// ---- SimSession: warm-fabric reuse across parameter points ----------------
+
+struct SimSession::Impl {
+  std::optional<Fabric> fabric;  // built on the first run()
+  LftImage image;                // materialized plan, reinstalled per run
+};
+
+namespace {
+
+/// Program every switch's full LFT row from the materialized image. A full
+/// row covers [0, lidLimit), so kUnset bytes clear any stale entries a
+/// previous run's fault sweep may have left behind.
+void installImage(Fabric& fabric, const LftImage& image) {
+  for (std::size_t sw = 0; sw < image.entries.size(); ++sw) {
+    const auto& row = image.entries[sw];
+    fabric.setLftBlock(static_cast<SwitchId>(sw), 0, row.data(), row.size());
+  }
+}
+
+}  // namespace
+
+SimSession::SimSession(const SimParams& p) : SimSession(buildTopology(p), p) {}
+
+SimSession::SimSession(Topology topo, const SimParams& p)
+    : topo_(std::move(topo)), base_(p), impl_(std::make_unique<Impl>()) {}
+
+SimSession::~SimSession() = default;
+
+SimResults SimSession::run() { return run(base_); }
+
+SimResults SimSession::run(const SimParams& p) {
+  // The session structure is fixed at construction: force every structural
+  // knob back to the base point so a per-run params object can't silently
+  // diverge from the fabric that was actually built.
+  SimParams eff = p;
+  eff.fabric = base_.fabric;
+  eff.rootSelection = base_.rootSelection;
+  eff.sourceMultipathPlanes = base_.sourceMultipathPlanes;
+  eff.apmPathSets = base_.apmPathSets;
+  eff.congestionControl = base_.congestionControl;
+  eff.congestion = base_.congestion;
+  throwIfCongestionSaturation(eff, "SimSession::run");
+  const SubnetParams sp = subnetParamsOf(eff);
+
+  double setupMs = 0.0;
+  double planMs = 0.0;
+  if (!impl_->fabric) {
+    // Fresh path: pay topology wiring and route planning once. The image is
+    // materialized (not streamed) because warm runs reinstall it from here.
+    const auto setupStart = WallClock::now();
+    impl_->fabric.emplace(topo_, effectiveFabricParams(eff));
+    setupMs = wallMsSince(setupStart);
+    const auto planStart = WallClock::now();
+    impl_->image =
+        buildLftImage(topo_, SubnetManager::planSpec(*impl_->fabric, sp));
+    installImage(*impl_->fabric, impl_->image);
+    planMs = wallMsSince(planStart);
+  } else {
+    // Warm path: zero dynamic state in place and reinstall the cached image
+    // (fault campaigns in a previous run may have reswept the tables).
+    const auto setupStart = WallClock::now();
+    impl_->fabric->reset();
+    setupMs = wallMsSince(setupStart);
+    const auto planStart = WallClock::now();
+    installImage(*impl_->fabric, impl_->image);
+    planMs = wallMsSince(planStart);
+  }
+
+  SimResults r = executeOn(*impl_->fabric, topo_, eff, sp);
+  r.setupWallMs = setupMs;
+  r.planWallMs = planMs;
+  ++runsCompleted_;
+  return r;
 }
 
 std::string SimResults::summary() const {

@@ -152,6 +152,17 @@ class VersionedForwardingTable {
     return bank(idx).entry(lid);
   }
 
+  /// Warm-fabric reset: back to the as-constructed epoch state (primary
+  /// active at epoch 0, nothing staged). The primary's *contents* are not
+  /// cleared — the caller reinstalls a full image row, which overwrites
+  /// every entry anyway; the lazily allocated shadow stays allocated but
+  /// unreachable until the next stageBegin() wipes it.
+  void resetEpochs() {
+    epochs_ = {{0, 0}};
+    active_ = 0;
+    staging_ = false;
+  }
+
  private:
   // Bank 0 is the eagerly-allocated primary, bank 1 the lazy shadow. Using
   // a member reference (not cached pointers) keeps the object move-safe.

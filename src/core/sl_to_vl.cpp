@@ -9,14 +9,7 @@ SlToVlTable::SlToVlTable(int numPorts, int numVls)
   if (numPorts <= 0 || numVls <= 0 || numVls > 16) {
     throw std::invalid_argument("SlToVlTable: bad dimensions");
   }
-  map_.resize(static_cast<std::size_t>(numPorts) * numPorts * kMaxServiceLevels);
-  for (PortIndex in = 0; in < numPorts; ++in) {
-    for (PortIndex out = 0; out < numPorts; ++out) {
-      for (int sl = 0; sl < kMaxServiceLevels; ++sl) {
-        map_[slot(in, out, sl)] = static_cast<std::uint8_t>(sl % numVls);
-      }
-    }
-  }
+  // Identity mode: no dense map until a non-identity entry is written.
 }
 
 std::size_t SlToVlTable::slot(PortIndex inPort, PortIndex outPort, int sl) const {
@@ -29,15 +22,30 @@ std::size_t SlToVlTable::slot(PortIndex inPort, PortIndex outPort, int sl) const
          static_cast<std::size_t>(sl);
 }
 
-void SlToVlTable::set(PortIndex inPort, PortIndex outPort, int sl, VlIndex vl) {
+bool SlToVlTable::set(PortIndex inPort, PortIndex outPort, int sl, VlIndex vl) {
   if (vl < 0 || vl >= numVls_) {
     throw std::invalid_argument("SlToVlTable::set: VL out of range");
   }
-  map_[slot(inPort, outPort, sl)] = static_cast<std::uint8_t>(vl);
-}
-
-VlIndex SlToVlTable::vl(PortIndex inPort, PortIndex outPort, int sl) const {
-  return static_cast<VlIndex>(map_[slot(inPort, outPort, sl)]);
+  const std::size_t s = slot(inPort, outPort, sl);
+  const auto byte = static_cast<std::uint8_t>(vl);
+  if (map_.empty()) {
+    if (vl == static_cast<VlIndex>(sl % numVls_)) return false;
+    // First deviation from identity: materialize the dense map at the
+    // identity default, then fall through to the ordinary write.
+    map_.resize(static_cast<std::size_t>(numPorts_) * numPorts_ *
+                kMaxServiceLevels);
+    for (PortIndex in = 0; in < numPorts_; ++in) {
+      for (PortIndex out = 0; out < numPorts_; ++out) {
+        for (int level = 0; level < kMaxServiceLevels; ++level) {
+          map_[slot(in, out, level)] =
+              static_cast<std::uint8_t>(level % numVls_);
+        }
+      }
+    }
+  }
+  if (map_[s] == byte) return false;
+  map_[s] = byte;
+  return true;
 }
 
 }  // namespace ibadapt

@@ -6,6 +6,15 @@
 // freely at routing time, which is exactly the limitation §4.4 of the paper
 // works around with the split-buffer scheme.
 //
+// Storage note: the dense map is ports^2 x 16 bytes per switch — 17 KiB on
+// a 33-port dragonfly router, ~71 MiB over a 4096-switch fabric — yet the
+// subnet manager programs exactly the identity mapping (sl % numVls) in
+// every sweep. The table therefore starts in *identity mode* with no
+// backing storage; the dense map materializes only on the first write that
+// actually differs from identity. `set` reports whether the mapping
+// changed, so callers can skip change-driven work (memo invalidation) on
+// the all-identity fast path.
+//
 #include <cstdint>
 #include <vector>
 
@@ -22,8 +31,25 @@ class SlToVlTable {
   /// Identity-style default: every (in, out, sl) maps to sl % numVls.
   SlToVlTable(int numPorts, int numVls);
 
-  void set(PortIndex inPort, PortIndex outPort, int sl, VlIndex vl);
-  VlIndex vl(PortIndex inPort, PortIndex outPort, int sl) const;
+  /// Program one entry. Returns true when the stored mapping changed.
+  /// Identity-valued writes on a still-identity table are recognized as
+  /// no-ops and never materialize the dense map.
+  bool set(PortIndex inPort, PortIndex outPort, int sl, VlIndex vl);
+  VlIndex vl(PortIndex inPort, PortIndex outPort, int sl) const {
+    const std::size_t s = slot(inPort, outPort, sl);
+    if (map_.empty()) return static_cast<VlIndex>(sl % numVls_);
+    return static_cast<VlIndex>(map_[s]);
+  }
+
+  /// True while no entry deviates from the identity default (no dense map
+  /// allocated).
+  bool identity() const { return map_.empty(); }
+  /// Drop every entry back to the identity default and release the dense
+  /// map (warm-fabric reset).
+  void resetIdentity() {
+    map_.clear();
+    map_.shrink_to_fit();
+  }
 
   int numPorts() const { return numPorts_; }
   int numVls() const { return numVls_; }
@@ -33,7 +59,7 @@ class SlToVlTable {
 
   int numPorts_ = 0;
   int numVls_ = 1;
-  std::vector<std::uint8_t> map_;
+  std::vector<std::uint8_t> map_;  // empty = identity mode
 };
 
 }  // namespace ibadapt

@@ -1,5 +1,6 @@
 #include "core/vl_buffer.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ibadapt {
@@ -12,38 +13,60 @@ VlBuffer::VlBuffer(int capacityCredits, int escapeReserveCredits)
   }
 }
 
+void VlBuffer::bind(BufferedPacket* slots) {
+  if (count_ > 0) {
+    throw std::logic_error("VlBuffer::bind: buffer not empty");
+  }
+  slots_ = slots;
+  own_.reset();
+}
+
 void VlBuffer::push(const BufferedPacket& bp) {
   if (bp.credits <= 0) throw std::invalid_argument("VlBuffer::push: credits");
   if (occupied_ + bp.credits > capacity_) {
     throw std::logic_error("VlBuffer::push: overflow (credit protocol broken)");
   }
-  entries_.push_back(bp);
+  if (slots_ == nullptr) {
+    // Standalone (unbound) use: allocate the fixed slot array on first push.
+    // Every packet occupies >= 1 credit, so capacity_ slots always suffice.
+    own_ = std::make_unique<BufferedPacket[]>(
+        static_cast<std::size_t>(capacity_));
+    slots_ = own_.get();
+  }
+  slots_[count_++] = bp;
   occupied_ += bp.credits;
   cacheValid_ = false;
 }
 
 void VlBuffer::remove(int idx) {
-  if (idx < 0 || idx >= size()) {
+  if (idx < 0 || idx >= count_) {
     throw std::out_of_range("VlBuffer::remove");
   }
-  occupied_ -= entries_[static_cast<std::size_t>(idx)].credits;
-  entries_.erase(entries_.begin() + idx);
+  occupied_ -= slots_[idx].credits;
+  std::copy(slots_ + idx + 1, slots_ + count_, slots_ + idx);
+  --count_;
+  cacheValid_ = false;
+}
+
+void VlBuffer::clear() {
+  count_ = 0;
+  occupied_ = 0;
   cacheValid_ = false;
 }
 
 int VlBuffer::escapeHeadIndex() const {
   const int boundary = adaptiveRegionCredits();
   int offset = 0;
-  for (int i = 0; i < size(); ++i) {
+  for (int i = 0; i < count_; ++i) {
     if (offset >= boundary) return i;
-    offset += entries_[static_cast<std::size_t>(i)].credits;
+    offset += slots_[i].credits;
   }
   return -1;
 }
 
 VlBuffer::Candidates VlBuffer::candidateHeads(EscapeOrderRule rule) const {
   Candidates c;
-  if (entries_.empty()) return c;
+  if (count_ == 0) return c;
   c.index[0] = 0;
   c.count = 1;
   const int esc = escapeHeadIndex();
@@ -53,7 +76,7 @@ VlBuffer::Candidates VlBuffer::candidateHeads(EscapeOrderRule rule) const {
   // ahead of the escape head, i.e. inside the adaptive region.
   int firstDet = -1;
   for (int i = 0; i < esc; ++i) {
-    if (entries_[static_cast<std::size_t>(i)].deterministic) {
+    if (slots_[i].deterministic) {
       firstDet = i;
       break;
     }
@@ -73,8 +96,7 @@ VlBuffer::Candidates VlBuffer::candidateHeads(EscapeOrderRule rule) const {
       if (firstDet > 0) escCandidate = firstDet;
       break;
     case EscapeOrderRule::kDeterministicOnly:
-      if (entries_[static_cast<std::size_t>(esc)].deterministic &&
-          firstDet >= 0) {
+      if (slots_[esc].deterministic && firstDet >= 0) {
         if (firstDet == 0) return c;
         escCandidate = firstDet;  // keep det-det order, allow adaptive bypass
       }

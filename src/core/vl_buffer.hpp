@@ -12,8 +12,15 @@
 // frees, which realizes the escape->adaptive queue transition the FA
 // algorithm permits under virtual cut-through.
 //
+// Storage is a fixed-capacity slot array, not a node container: a packet
+// occupies at least one credit, so a buffer can never hold more than
+// `capacityCredits` packets. The slots usually live in the fabric-wide
+// SlabArena (`bind()`); a buffer that is pushed to before being bound
+// allocates its own slots, which keeps standalone unit-test usage working.
+//
 #include <array>
-#include <deque>
+#include <cstdint>
+#include <memory>
 
 #include "core/forwarding_table.hpp"
 #include "core/selection.hpp"
@@ -21,40 +28,78 @@
 
 namespace ibadapt {
 
+/// RouteOptions compacted for in-buffer storage: same field names and
+/// semantics, but ports narrowed to 16 bits (a switch has < 256 ports; -1
+/// stays the invalid sentinel through sign extension). At 8 buffered-packet
+/// slots per VL buffer the full-width struct is the dominant term of the
+/// fabric's idle buffer footprint, so the narrowing is what lets the slab
+/// arena actually shrink it.
+struct PackedRouteOptions {
+  std::int16_t escapePort = kInvalidPort;
+  std::int8_t numAdaptive = 0;
+  bool adaptiveRequested = false;
+  std::array<std::int16_t, kMaxRouteOptions> adaptivePorts{};
+
+  bool valid() const { return escapePort != kInvalidPort; }
+
+  PackedRouteOptions() = default;
+  PackedRouteOptions(const RouteOptions& o) {  // NOLINT(runtime/explicit)
+    escapePort = static_cast<std::int16_t>(o.escapePort);
+    numAdaptive = static_cast<std::int8_t>(o.numAdaptive);
+    adaptiveRequested = o.adaptiveRequested;
+    for (int i = 0; i < o.numAdaptive; ++i) {
+      adaptivePorts[static_cast<std::size_t>(i)] =
+          static_cast<std::int16_t>(o.adaptivePorts[static_cast<std::size_t>(i)]);
+    }
+  }
+};
+
 /// Per-packet state kept while a packet sits in an input buffer. The routing
 /// options are stored with the packet right after the table access, as the
-/// paper's switch model prescribes.
+/// paper's switch model prescribes. Field order packs the struct to 40
+/// bytes; with 8 slots per VL buffer that size is replicated ~135k times on
+/// a 4096-switch dragonfly, so layout is load-bearing here.
 struct BufferedPacket {
-  std::uint32_t packet = 0;       // PacketPool index
-  int credits = 0;                // buffer space the packet occupies
-  SimTime routeReady = 0;         // header arrival + routing delay
-  bool deterministic = false;     // DLID LSB clear
-  RouteOptions options;           // result of the interleaved table access
-  PortIndex committedPort = kInvalidPort;  // SelectionTiming::kAtRouting
+  SimTime routeReady = 0;    // header arrival + routing delay
+  std::uint32_t packet = 0;  // PacketPool index
+  int credits = 0;           // buffer space the packet occupies
+  PackedRouteOptions options;              // interleaved table access result
+  std::int16_t committedPort = kInvalidPort;  // SelectionTiming::kAtRouting
+  bool deterministic = false;              // DLID LSB clear
 };
 
 class VlBuffer {
  public:
   VlBuffer(int capacityCredits, int escapeReserveCredits);
 
+  /// Point the buffer at externally-owned slot storage (a SlabArena slice of
+  /// at least `capacityCredits()` slots). Must happen before the first push;
+  /// the buffer never frees bound storage.
+  void bind(BufferedPacket* slots);
+  bool bound() const { return slots_ != nullptr; }
+
   int capacityCredits() const { return capacity_; }
   int escapeReserveCredits() const { return escapeReserve_; }
   int adaptiveRegionCredits() const { return capacity_ - escapeReserve_; }
   int occupiedCredits() const { return occupied_; }
   int freeCredits() const { return capacity_ - occupied_; }
-  int size() const { return static_cast<int>(entries_.size()); }
-  bool empty() const { return entries_.empty(); }
+  int size() const { return count_; }
+  bool empty() const { return count_ == 0; }
 
   /// Append an arriving packet. Throws std::logic_error on overflow — the
   /// credit protocol must make overflow impossible, so this is an invariant
   /// check, not flow control.
   void push(const BufferedPacket& bp);
 
-  const BufferedPacket& at(int idx) const { return entries_[static_cast<std::size_t>(idx)]; }
-  BufferedPacket& at(int idx) { return entries_[static_cast<std::size_t>(idx)]; }
+  const BufferedPacket& at(int idx) const { return slots_[idx]; }
+  BufferedPacket& at(int idx) { return slots_[idx]; }
 
   /// Remove the packet at `idx` (it won arbitration and departs).
   void remove(int idx);
+
+  /// Drop all contents and invalidate memos (warm-fabric reset). Bound
+  /// storage stays bound.
+  void clear();
 
   /// Index of the escape-queue head: the first packet whose start offset
   /// lies at or beyond the adaptive region boundary. -1 when every stored
@@ -91,7 +136,9 @@ class VlBuffer {
   int capacity_;
   int escapeReserve_;
   int occupied_ = 0;
-  std::deque<BufferedPacket> entries_;
+  int count_ = 0;
+  BufferedPacket* slots_ = nullptr;      // slot 0 = oldest (queue front)
+  std::unique_ptr<BufferedPacket[]> own_;  // unbound standalone fallback
   mutable Candidates cached_;
   mutable EscapeOrderRule cachedRule_ = EscapeOrderRule::kPaperStrict;
   mutable bool cacheValid_ = false;

@@ -103,6 +103,19 @@ void Fabric::buildShards() {
 void Fabric::buildSwitches() {
   const int numPorts = topo_.portsPerSwitch();
   const Lid lidLimit = lids_.lidLimit(topo_.numNodes());
+  // Size the fabric-wide buffer slab from the wired port count. Every input
+  // buffer has uniform capacity (bufferCredits slots — a packet occupies at
+  // least one credit), and unused ports can never receive a packet (the
+  // port map is fixed at build; recoverLink only restores originally-wired
+  // links), so they get no slice at all.
+  std::size_t wiredPorts = 0;
+  for (SwitchId s = 0; s < topo_.numSwitches(); ++s) {
+    for (PortIndex p = 0; p < numPorts; ++p) {
+      if (topo_.peer(s, p).kind != PeerKind::kUnused) ++wiredPorts;
+    }
+  }
+  bufferArena_.reserve(wiredPorts * static_cast<std::size_t>(params_.numVls) *
+                       static_cast<std::size_t>(params_.bufferCredits));
   switches_.reserve(static_cast<std::size_t>(topo_.numSwitches()));
   for (SwitchId s = 0; s < topo_.numSwitches(); ++s) {
     switches_.emplace_back(numPorts, params_.numVls, params_.bufferCredits,
@@ -146,6 +159,12 @@ void Fabric::buildSwitches() {
           op.lostCredits = op.wireCredits;
           break;
       }
+      if (peer.kind != PeerKind::kUnused) {
+        for (auto& vlBuf : ip.vls) {
+          vlBuf.bind(bufferArena_.allocate(
+              static_cast<std::size_t>(params_.bufferCredits)));
+        }
+      }
       if (params_.congestion.enabled && peer.kind != PeerKind::kUnused) {
         op.congested.assign(static_cast<std::size_t>(params_.numVls), 0);
         op.congSince.assign(static_cast<std::size_t>(params_.numVls), 0);
@@ -180,9 +199,15 @@ PortIndex Fabric::lftEntry(SwitchId sw, Lid lid) const {
 
 void Fabric::setSlToVl(SwitchId sw, PortIndex inPort, PortIndex outPort,
                        int sl, VlIndex vl) {
-  switches_[static_cast<std::size_t>(sw)].slToVl.set(inPort, outPort, sl, vl);
-  // Remapping can redirect a blocked packet to a VL with credits.
-  clearArbMemos(sw);
+  const bool changed =
+      switches_[static_cast<std::size_t>(sw)].slToVl.set(inPort, outPort, sl,
+                                                         vl);
+  // Remapping can redirect a blocked packet to a VL with credits — but only
+  // a write that actually changed the mapping can alter grant feasibility.
+  // The SM's standard sweep programs the identity mapping the table already
+  // holds, and skipping the memo clear there removes an O(ports^3 x 16)
+  // term per switch from every configure().
+  if (changed) clearArbMemos(sw);
 }
 
 const Peer& Fabric::managementPeer(SwitchId sw, PortIndex port) const {
@@ -358,6 +383,113 @@ void Fabric::recoverLink(SwitchId sw, PortIndex port) {
     scheduleArb(nullptr, rec.swA, now_);
     scheduleArb(nullptr, rec.swB, now_);
   }
+}
+
+void Fabric::reset() {
+  // Recover every failed link first so the output-port wiring below starts
+  // from the fully connected graph. started_ goes false up front: recovery
+  // must not schedule arbitration into the queues we are about to clear.
+  started_ = false;
+  while (!failedLinks_.empty()) {
+    const FailedLink rec = failedLinks_.front();
+    recoverLink(rec.swA, rec.portA);
+  }
+
+  for (SwitchModel& sw : switches_) {
+    for (SwitchInputPort& ip : sw.in) {
+      for (VlBuffer& vlBuf : ip.vls) vlBuf.clear();
+      ip.busyUntil = 0;
+      ip.rrVl = 0;
+      ip.buffered = 0;
+      ip.vlOccupied = 0;
+      ip.retryAt = 0;
+      ip.blockPorts = 0;
+    }
+    for (SwitchOutputPort& op : sw.out) {
+      op.credits = op.creditsMax;  // never-wired ports: both empty
+      std::fill(op.wireCredits.begin(), op.wireCredits.end(), 0);
+      std::fill(op.pendingCredits.begin(), op.pendingCredits.end(), 0);
+      std::fill(op.lostCredits.begin(), op.lostCredits.end(), 0);
+      std::fill(op.congested.begin(), op.congested.end(), std::uint8_t{0});
+      std::fill(op.congSince.begin(), op.congSince.end(), SimTime{0});
+      std::fill(op.stallSince.begin(), op.stallSince.end(), SimTime{-1});
+      op.busyUntil = 0;
+      op.bytesSent = 0;
+    }
+    sw.lft.resetEpochs();
+    sw.slToVl.resetIdentity();
+    sw.rrInput = 0;
+    sw.lastArbScheduled = -1;
+  }
+
+  for (NodeModel& nd : nodes_) {
+    nd.sendQueue.clear();
+    nd.txBusyUntil = 0;
+    std::fill(nd.txCredits.begin(), nd.txCredits.end(),
+              params_.bufferCredits);
+    std::fill(nd.wireCredits.begin(), nd.wireCredits.end(), 0);
+    std::fill(nd.pendingCredits.begin(), nd.pendingCredits.end(), 0);
+    nd.lastTryTxScheduled = -1;
+    nd.pendingGenTime = kTimeNever;
+  }
+
+  for (Shard& sh : shards_) {
+    sh.queue.clear();
+    sh.pool.clear();
+    sh.counters = FabricCounters{};
+    sh.now = 0;
+    sh.creditsLeaked = 0;
+    sh.epochInjected = {};
+    sh.epochRetired = {};
+    sh.producer = 0;
+    sh.evTime = 0;
+    sh.evSeq = 0;
+    sh.subIdx = 0;
+    sh.leaks.clear();
+    sh.obs.clear();
+    for (auto& mb : sh.outbox) mb.reset();
+    sh.error = nullptr;
+  }
+  coordQueue_.clear();
+  coordEvents_ = 0;
+  std::fill(stampCounters_.begin(), stampCounters_.end(), 0);
+  windowsActive_ = false;
+  windowEnd_ = 0;
+  runDone_ = false;
+
+  traffic_ = nullptr;
+  observer_ = nullptr;
+  linkFaults_ = nullptr;
+  checker_ = nullptr;
+  checkPeriod_ = 0;
+  nodeRngs_.clear();
+  // Re-seed the per-switch selection streams exactly like the constructor.
+  switchRngs_.clear();
+  std::uint64_t chain = params_.selectionSeed;
+  for (SwitchId s = 0; s < topo_.numSwitches(); ++s) {
+    switchRngs_.emplace_back(splitmix64(chain));
+  }
+  detSeqCounters_.reset(topo_.numNodes(), topo_.numNodes());
+
+  injectionEpoch_ = 0;
+  injectionPaused_ = false;
+  now_ = 0;
+  generationEnd_ = 0;
+  stopRequested_ = false;
+  deadlockSuspected_ = false;
+  livePacketLimitHit_ = false;
+  watchdogPeriod_ = 0;
+  watchdogStallLimit_ = 0;
+  watchdogLastDelivered_ = 0;
+  watchdogStallCount_ = 0;
+  watchdogEpoch_ = 0;
+  resyncPeriod_ = 0;
+  resyncEpoch_ = 0;
+  resyncChainLive_ = false;
+  checkEpoch_ = 0;
+  checkChainLive_ = false;
+  leakLedger_.clear();
+  creditsResynced_ = 0;
 }
 
 void Fabric::attachTraffic(ITrafficSource* traffic, std::uint64_t trafficSeed) {

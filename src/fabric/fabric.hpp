@@ -58,6 +58,7 @@
 #include "fabric/params.hpp"
 #include "sim/event_queue.hpp"
 #include "topology/topology.hpp"
+#include "util/buffer_arena.hpp"
 #include "util/flow_table.hpp"
 #include "util/rng.hpp"
 #include "util/spsc_mailbox.hpp"
@@ -309,6 +310,21 @@ class Fabric {
   /// Schedule the initial events (traffic bootstrap). Call once, after
   /// attachTraffic and after the SubnetManager programmed the tables.
   void start();
+
+  /// Warm-fabric reset: return every piece of dynamic state to its
+  /// as-constructed value without rebuilding the topology or reallocating
+  /// the big structures (buffer arena slices, event-queue wheels, packet
+  /// pools, and credit vectors all keep their memory). Failed links are
+  /// recovered, queues and flow tables are zeroed, RNG streams re-seed from
+  /// the configured seeds, and the attached traffic / observer / fault /
+  /// checker hooks are detached (re-attach before the next start()). The
+  /// forwarding tables drop back to epoch 0 but keep their *contents* —
+  /// callers that reconfigured or ran fault sweeps must reinstall their
+  /// routing image (one setLftBlock row per switch) before running again.
+  /// After reset + identical reprogramming + identical attachments, a run
+  /// is bit-identical to one on a freshly constructed fabric. Only legal
+  /// between runs (never mid-window).
+  void reset();
 
   /// Process events until `limits.endTime`, a stop request, the watchdog,
   /// or an exhausted event queue.
@@ -593,7 +609,7 @@ class Fabric {
   /// Pick the adaptive port committed at routing time
   /// (SelectionTiming::kAtRouting).
   PortIndex commitPortAtRouting(SwitchId swId, PortIndex inPort,
-                                const RouteOptions& options,
+                                const PackedRouteOptions& options,
                                 const Packet& pkt);
 
   Topology topo_;
@@ -604,6 +620,12 @@ class Fabric {
   /// kernel except the legacy-heap reference.
   bool fastArb_ = true;
 
+  /// Fabric-wide input-buffer slot storage: one contiguous slab carved into
+  /// per-(wired input port, VL) slices at build time, replacing the ~135k
+  /// individual buffer allocations that dominated the dragonfly heap at
+  /// scale. Declared before switches_ so the slices outlive the VlBuffers
+  /// bound to them.
+  SlabArena<BufferedPacket> bufferArena_;
   std::vector<SwitchModel> switches_;
   std::vector<NodeModel> nodes_;
 

@@ -324,7 +324,7 @@ void Fabric::dropPacket(Shard& sh, SwitchId swId, PortIndex ip, VlIndex vl,
 }
 
 PortIndex Fabric::commitPortAtRouting(SwitchId swId, PortIndex inPort,
-                                      const RouteOptions& options,
+                                      const PackedRouteOptions& options,
                                       const Packet& pkt) {
   const SwitchModel& sw = switches_[static_cast<std::size_t>(swId)];
   // SelectionTiming::kAtRouting: pick the preferred adaptive option using

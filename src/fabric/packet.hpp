@@ -78,6 +78,14 @@ class PacketPool {
 
   void release(PacketRef ref) { free_.push_back(ref); }
 
+  /// Drop every slot (live or free) but keep both vectors' capacity — the
+  /// warm-fabric reset path. Afterwards alloc() hands out index 0, 1, ...
+  /// exactly like a freshly constructed pool, so re-runs stay bit-identical.
+  void clear() {
+    slots_.clear();
+    free_.clear();
+  }
+
   /// Pre-size both the slot and free vectors so steady-state runs never
   /// reallocate mid-simulation.
   void reserve(std::size_t n);

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
+
+#include "util/thread_pool.hpp"
 
 namespace ibadapt {
 
-LftImage buildLftImage(const Topology& topo, const LftPlanSpec& spec) {
+LftPlanner::LftPlanner(const Topology& topo, const LftPlanSpec& spec)
+    : topo_(&topo), spec_(spec) {
   if (spec.lmc < 0 || spec.lmc > 7) {
     throw std::invalid_argument("buildLftImage: LMC out of [0,7]");
   }
@@ -14,22 +18,23 @@ LftImage buildLftImage(const Topology& topo, const LftPlanSpec& spec) {
     throw std::invalid_argument("buildLftImage: adaptiveSwitchMask size");
   }
   const int lidsPerNode = 1 << spec.lmc;
-  const auto baseLid = [&spec](NodeId n) {
-    return static_cast<Lid>(n + 1) << spec.lmc;
-  };
-  const Lid limit = static_cast<Lid>(topo.numNodes() + 1) << spec.lmc;
+  limit_ = static_cast<Lid>(topo.numNodes() + 1) << spec.lmc;
 
-  LftImage image;
-  image.entries.assign(static_cast<std::size_t>(topo.numSwitches()),
-                       std::vector<std::uint8_t>(limit, kLftImageUnset));
-  auto set = [&image](SwitchId sw, Lid lid, PortIndex port) {
-    image.entries[static_cast<std::size_t>(sw)][lid] =
-        static_cast<std::uint8_t>(port);
-  };
+  const std::size_t workers =
+      spec.threads == 0
+          ? static_cast<std::size_t>(
+                std::max(1u, std::thread::hardware_concurrency()))
+          : static_cast<std::size_t>(std::max(1, spec.threads));
+  if (workers > 1) pool_ = std::make_unique<ThreadPool>(workers);
 
   // One CSR adjacency snapshot shared by every routing pass below — each
   // up*/down* plane and the minimal-distance matrix walk the same graph.
+  // Image builds never query all-down distances (RouteSet reads next hops
+  // only), so every plane skips that S^2 matrix.
   const SwitchAdjacency adj(topo);
+  UpDownBuildOptions updownOpts;
+  updownOpts.keepDownDistances = false;
+  updownOpts.pool = pool_.get();
 
   if (spec.sourceMultipathPlanes > 0) {
     if (spec.numOptions != 1) {
@@ -44,28 +49,13 @@ LftImage buildLftImage(const Topology& topo, const LftPlanSpec& spec) {
     // One coherent up*/down* plane per address slot; plane 0 is the
     // canonical (lowest-port tie-break) table so address d behaves exactly
     // like the deterministic baseline.
-    std::vector<UpDownRouting> tables;
-    tables.reserve(static_cast<std::size_t>(planes));
+    updowns_.reserve(static_cast<std::size_t>(planes));
     for (int k = 0; k < planes; ++k) {
-      tables.emplace_back(topo, adj, spec.rootSelection,
-                          static_cast<unsigned>(k));
+      updowns_.emplace_back(topo, adj, spec.rootSelection,
+                            static_cast<unsigned>(k), updownOpts);
     }
-    image.root = tables.front().root();
-    for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
-      for (NodeId n = 0; n < topo.numNodes(); ++n) {
-        const Lid base = baseLid(n);
-        const SwitchId destSw = topo.switchOfNode(n);
-        for (int k = 0; k < lidsPerNode; ++k) {
-          const PortIndex port =
-              destSw == sw
-                  ? topo.portOfNode(n)
-                  : tables[static_cast<std::size_t>(k % planes)].nextHopPort(
-                        sw, destSw);
-          set(sw, base + static_cast<Lid>(k), port);
-        }
-      }
-    }
-    return image;
+    root_ = updowns_.front().root();
+    return;
   }
 
   const int x = spec.numOptions;
@@ -77,59 +67,108 @@ LftImage buildLftImage(const Topology& topo, const LftPlanSpec& spec) {
 
   // One escape plane per APM path set; all share one orientation (salt-only
   // variation), so any mixture of sets remains deadlock-free.
-  std::vector<UpDownRouting> updowns;
-  std::vector<RouteSet> routeSets;
-  const MinimalAdaptiveRouting minimal(topo, adj);
-  updowns.reserve(static_cast<std::size_t>(sets));
-  routeSets.reserve(static_cast<std::size_t>(sets));
+  minimal_ = std::make_unique<MinimalAdaptiveRouting>(topo, adj, pool_.get());
+  updowns_.reserve(static_cast<std::size_t>(sets));
+  routeSets_.reserve(static_cast<std::size_t>(sets));
   for (int j = 0; j < sets; ++j) {
-    updowns.emplace_back(topo, adj, spec.rootSelection,
-                         static_cast<unsigned>(j));
+    updowns_.emplace_back(topo, adj, spec.rootSelection,
+                          static_cast<unsigned>(j), updownOpts);
   }
   for (int j = 0; j < sets; ++j) {
-    routeSets.emplace_back(topo, updowns[static_cast<std::size_t>(j)], minimal);
+    routeSets_.emplace_back(topo, updowns_[static_cast<std::size_t>(j)],
+                            *minimal_);
   }
-  image.root = updowns.front().root();
+  root_ = updowns_.front().root();
+}
 
-  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
-    const bool adaptiveCapable =
-        spec.adaptiveSwitchMask.empty()
-            ? spec.adaptiveSwitches
-            : spec.adaptiveSwitchMask[static_cast<std::size_t>(sw)];
+LftPlanner::~LftPlanner() = default;
+
+void LftPlanner::fillRow(SwitchId sw, std::vector<std::uint8_t>& row) const {
+  const Topology& topo = *topo_;
+  const int lidsPerNode = 1 << spec_.lmc;
+  const auto baseLid = [this](NodeId n) {
+    return static_cast<Lid>(n + 1) << spec_.lmc;
+  };
+  row.assign(limit_, kLftImageUnset);
+  const auto set = [&row](Lid lid, PortIndex port) {
+    row[lid] = static_cast<std::uint8_t>(port);
+  };
+
+  if (spec_.sourceMultipathPlanes > 0) {
+    const int planes = spec_.sourceMultipathPlanes;
     for (NodeId n = 0; n < topo.numNodes(); ++n) {
       const Lid base = baseLid(n);
-      for (int j = 0; j < sets; ++j) {
-        const RouteSet& routes = routeSets[static_cast<std::size_t>(j)];
-        const RouteOptionsSpec& rspec = routes.options(sw, n);
-        const Lid sub = base + static_cast<Lid>(j * x);
-        // Sub-block address 0: the deterministic / escape route of set j.
-        set(sw, sub, rspec.escapePort);
-        // Addresses 1 .. x-1: adaptive minimal options (escape hop when
-        // this switch is deterministic-only or the destination is local).
-        auto capped = adaptiveCapable ? routes.cappedAdaptivePorts(sw, n, x)
-                                      : std::vector<PortIndex>{};
-        if (!capped.empty() && j > 0) {
-          // Different sets lead with different minimal ports.
-          std::rotate(capped.begin(),
-                      capped.begin() + (j % static_cast<int>(capped.size())),
-                      capped.end());
-        }
-        for (int k = 1; k < x; ++k) {
-          const PortIndex port =
-              capped.empty()
-                  ? rspec.escapePort
-                  : capped[static_cast<std::size_t>((k - 1) % capped.size())];
-          set(sw, sub + static_cast<Lid>(k), port);
-        }
+      const SwitchId destSw = topo.switchOfNode(n);
+      for (int k = 0; k < lidsPerNode; ++k) {
+        const PortIndex port =
+            destSw == sw
+                ? topo.portOfNode(n)
+                : updowns_[static_cast<std::size_t>(k % planes)].nextHopPort(
+                      sw, destSw);
+        set(base + static_cast<Lid>(k), port);
       }
-      // Remaining block addresses: set-0 escape hop, so a stray DLID still
-      // routes deterministically.
-      if (sets * x < lidsPerNode) {
-        const PortIndex esc0 = routeSets.front().options(sw, n).escapePort;
-        for (int k = sets * x; k < lidsPerNode; ++k) {
-          set(sw, base + static_cast<Lid>(k), esc0);
-        }
+    }
+    return;
+  }
+
+  const int x = spec_.numOptions;
+  const int sets = spec_.apmPathSets;
+  const bool adaptiveCapable =
+      spec_.adaptiveSwitchMask.empty()
+          ? spec_.adaptiveSwitches
+          : spec_.adaptiveSwitchMask[static_cast<std::size_t>(sw)];
+  for (NodeId n = 0; n < topo.numNodes(); ++n) {
+    const Lid base = baseLid(n);
+    for (int j = 0; j < sets; ++j) {
+      const RouteSet& routes = routeSets_[static_cast<std::size_t>(j)];
+      const RouteOptionsSpec& rspec = routes.options(sw, n);
+      const Lid sub = base + static_cast<Lid>(j * x);
+      // Sub-block address 0: the deterministic / escape route of set j.
+      set(sub, rspec.escapePort);
+      // Addresses 1 .. x-1: adaptive minimal options (escape hop when
+      // this switch is deterministic-only or the destination is local).
+      auto capped = adaptiveCapable ? routes.cappedAdaptivePorts(sw, n, x)
+                                    : std::vector<PortIndex>{};
+      if (!capped.empty() && j > 0) {
+        // Different sets lead with different minimal ports.
+        std::rotate(capped.begin(),
+                    capped.begin() + (j % static_cast<int>(capped.size())),
+                    capped.end());
       }
+      for (int k = 1; k < x; ++k) {
+        const PortIndex port =
+            capped.empty()
+                ? rspec.escapePort
+                : capped[static_cast<std::size_t>((k - 1) % capped.size())];
+        set(sub + static_cast<Lid>(k), port);
+      }
+    }
+    // Remaining block addresses: set-0 escape hop, so a stray DLID still
+    // routes deterministically.
+    if (sets * x < lidsPerNode) {
+      const PortIndex esc0 = routeSets_.front().options(sw, n).escapePort;
+      for (int k = sets * x; k < lidsPerNode; ++k) {
+        set(base + static_cast<Lid>(k), esc0);
+      }
+    }
+  }
+}
+
+LftImage buildLftImage(const Topology& topo, const LftPlanSpec& spec) {
+  const LftPlanner planner(topo, spec);
+  LftImage image;
+  image.root = planner.root();
+  image.entries.assign(static_cast<std::size_t>(topo.numSwitches()), {});
+  const auto fill = [&](std::size_t sw) {
+    planner.fillRow(static_cast<SwitchId>(sw),
+                    image.entries[static_cast<std::size_t>(sw)]);
+  };
+  if (planner.pool() != nullptr) {
+    parallelForIndex(*planner.pool(),
+                     static_cast<std::size_t>(topo.numSwitches()), fill);
+  } else {
+    for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+      fill(static_cast<std::size_t>(sw));
     }
   }
   return image;

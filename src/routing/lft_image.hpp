@@ -12,6 +12,7 @@
 // epoch-swap reconfiguration path (src/subnet/reconfig) feed from it.
 //
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "routing/minimal.hpp"
@@ -20,6 +21,8 @@
 #include "topology/topology.hpp"
 
 namespace ibadapt {
+
+class ThreadPool;
 
 /// "Entry not programmed" marker inside an LFT image.
 inline constexpr std::uint8_t kLftImageUnset = 0xFF;
@@ -43,6 +46,11 @@ struct LftPlanSpec {
   /// Default adaptivity plus the optional per-switch override.
   bool adaptiveSwitches = true;
   std::vector<bool> adaptiveSwitchMask;
+  /// Planner worker threads: 1 = serial, 0 = hardware concurrency, N = N.
+  /// Parallel planning is bit-identical to serial — the per-destination
+  /// table passes and per-switch row fills write disjoint output slices
+  /// (pinned by the FNV-1a LFT-image hash regression suite).
+  int threads = 1;
 };
 
 /// The complete LFT image: one byte per LID per switch (kLftImageUnset =
@@ -56,5 +64,47 @@ struct LftImage {
 /// it a topology snapshot yields the tables the SM would have computed at
 /// snapshot time, regardless of what the live fabric has done since.
 LftImage buildLftImage(const Topology& topo, const LftPlanSpec& spec);
+
+/// Streaming form of the image builder: construction runs every routing
+/// pass (up*/down* planes, minimal distances), after which `fillRow`
+/// produces any single switch's table row on demand. The one-shot
+/// configure path uses this to program switches row by row instead of
+/// materializing the full S x LIDs image next to the fabric's own tables —
+/// at 4096 switches the image alone is ~64 MiB, briefly doubling table
+/// residency. Warm-fabric sessions keep a planner's materialized image
+/// instead (they re-install it on every reset), so both forms stay.
+class LftPlanner {
+ public:
+  LftPlanner(const Topology& topo, const LftPlanSpec& spec);
+  ~LftPlanner();
+
+  LftPlanner(const LftPlanner&) = delete;
+  LftPlanner& operator=(const LftPlanner&) = delete;
+
+  SwitchId root() const { return root_; }
+  /// One-past-the-last LID of the image rows ((numNodes+1) << lmc).
+  Lid lidLimit() const { return limit_; }
+
+  /// Fill `row` with switch `sw`'s complete LFT image row (lidLimit()
+  /// bytes, kLftImageUnset for unprogrammed addresses). Const and
+  /// scratch-free: safe to call concurrently for different switches.
+  void fillRow(SwitchId sw, std::vector<std::uint8_t>& row) const;
+
+  /// Worker pool sized by spec.threads (nullptr when planning serially);
+  /// callers reuse it to parallelize their own fillRow batches.
+  ThreadPool* pool() const { return pool_.get(); }
+
+ private:
+  const Topology* topo_;
+  LftPlanSpec spec_;
+  Lid limit_ = 0;
+  SwitchId root_ = kInvalidId;
+  std::unique_ptr<ThreadPool> pool_;
+  /// Multipath mode: one plane per LID slot. Main mode: one escape plane
+  /// per APM path set.
+  std::vector<UpDownRouting> updowns_;
+  std::unique_ptr<MinimalAdaptiveRouting> minimal_;  // main mode only
+  std::vector<RouteSet> routeSets_;                  // main mode only
+};
 
 }  // namespace ibadapt

@@ -1,28 +1,57 @@
 #include "routing/minimal.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace ibadapt {
 
 MinimalAdaptiveRouting::MinimalAdaptiveRouting(const Topology& topo)
     : numSwitches_(topo.numSwitches()), adj_(topo) {
-  build();
+  build(nullptr);
 }
 
 MinimalAdaptiveRouting::MinimalAdaptiveRouting(const Topology& topo,
-                                               const SwitchAdjacency& adj)
+                                               const SwitchAdjacency& adj,
+                                               ThreadPool* pool)
     : numSwitches_(topo.numSwitches()), adj_(adj) {
-  build();
+  build(pool);
 }
 
-void MinimalAdaptiveRouting::build() {
+void MinimalAdaptiveRouting::build(ThreadPool* pool) {
   dist_.resize(static_cast<std::size_t>(numSwitches_) * numSwitches_);
+  if (pool != nullptr && pool->workerCount() > 1 && numSwitches_ > 1) {
+    // One contiguous source range per worker; each range writes only its
+    // own rows, so completion order cannot change the matrix bytes.
+    const int workers = static_cast<int>(pool->workerCount());
+    const int chunk = (numSwitches_ + workers - 1) / workers;
+    for (int lo = 0; lo < numSwitches_; lo += chunk) {
+      const SwitchId fromBegin = lo;
+      const SwitchId fromEnd = std::min(numSwitches_, lo + chunk);
+      pool->submit([this, fromBegin, fromEnd] { buildRange(fromBegin, fromEnd); });
+    }
+    pool->wait();
+    return;
+  }
+  buildRange(0, numSwitches_);
+}
+
+void MinimalAdaptiveRouting::buildRange(SwitchId fromBegin, SwitchId fromEnd) {
   std::vector<int> row;
   std::vector<SwitchId> queue;
-  for (SwitchId from = 0; from < numSwitches_; ++from) {
+  for (SwitchId from = fromBegin; from < fromEnd; ++from) {
     adj_.bfsInto(from, row, queue);
-    std::copy(row.begin(), row.end(),
-              dist_.begin() + static_cast<std::size_t>(from) * numSwitches_);
+    std::transform(row.begin(), row.end(),
+                   dist_.begin() + static_cast<std::size_t>(from) * numSwitches_,
+                   [](int d) {
+                     if (d > 126) {
+                       throw std::length_error(
+                           "MinimalAdaptiveRouting: hop distance overflows "
+                           "the one-byte matrix element");
+                     }
+                     return static_cast<std::int8_t>(d);
+                   });
   }
 }
 

@@ -12,6 +12,7 @@
 // at 1024 switches is ~25 MB of vector headers before a single port is
 // stored. Deriving a list is a scan of one switch's neighbors (O(radix)).
 //
+#include <cstdint>
 #include <vector>
 
 #include "topology/topology.hpp"
@@ -19,13 +20,19 @@
 
 namespace ibadapt {
 
+class ThreadPool;
+
 class MinimalAdaptiveRouting {
  public:
   explicit MinimalAdaptiveRouting(const Topology& topo);
 
   /// Same, reusing a caller-built adjacency snapshot (see UpDownRouting's
-  /// matching overload); the snapshot must describe `topo`.
-  MinimalAdaptiveRouting(const Topology& topo, const SwitchAdjacency& adj);
+  /// matching overload); the snapshot must describe `topo`. When `pool` is
+  /// non-null the per-source BFS rows are distributed over its workers —
+  /// each row is an independent write to a disjoint matrix slice, so the
+  /// result is bit-identical to the serial build.
+  MinimalAdaptiveRouting(const Topology& topo, const SwitchAdjacency& adj,
+                         ThreadPool* pool = nullptr);
 
   /// Shortest switch-to-switch distance in hops.
   int distance(SwitchId from, SwitchId to) const {
@@ -39,11 +46,16 @@ class MinimalAdaptiveRouting {
   std::vector<PortIndex> minimalPorts(SwitchId at, SwitchId dest) const;
 
  private:
-  void build();
+  void build(ThreadPool* pool);
+  void buildRange(SwitchId fromBegin, SwitchId fromEnd);
 
   int numSwitches_;
   SwitchAdjacency adj_;
-  std::vector<int> dist_;  // dist_[from * S + to]
+  // dist_[from * S + to]; hop counts on any constructible fabric are tiny
+  // (-1 = unreachable), so one signed byte per pair keeps the planner's
+  // second-largest allocation at S^2 bytes — 16 MiB at 4096 switches. The
+  // build throws if a shortest path somehow exceeded 126 hops.
+  std::vector<std::int8_t> dist_;
 };
 
 }  // namespace ibadapt

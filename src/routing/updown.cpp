@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace ibadapt {
 
 namespace {
@@ -58,16 +60,18 @@ SwitchId selectRoot(const Topology& topo, RootSelection sel) {
 UpDownRouting::UpDownRouting(const Topology& topo, RootSelection rootSel,
                              unsigned tieBreakSalt)
     : topo_(&topo), salt_(tieBreakSalt) {
-  build(SwitchAdjacency(topo), rootSel);
+  build(SwitchAdjacency(topo), rootSel, {});
 }
 
 UpDownRouting::UpDownRouting(const Topology& topo, const SwitchAdjacency& adj,
-                             RootSelection rootSel, unsigned tieBreakSalt)
+                             RootSelection rootSel, unsigned tieBreakSalt,
+                             const UpDownBuildOptions& opts)
     : topo_(&topo), salt_(tieBreakSalt) {
-  build(adj, rootSel);
+  build(adj, rootSel, opts);
 }
 
-void UpDownRouting::build(const SwitchAdjacency& adj, RootSelection rootSel) {
+void UpDownRouting::build(const SwitchAdjacency& adj, RootSelection rootSel,
+                          const UpDownBuildOptions& opts) {
   std::vector<int> dist;
   std::vector<SwitchId> queue;
   adj.bfsInto(0, dist, queue);
@@ -78,7 +82,7 @@ void UpDownRouting::build(const SwitchAdjacency& adj, RootSelection rootSel) {
   }
   root_ = selectRoot(adj, rootSel);
   adj.bfsInto(root_, levels_, queue);
-  computeTables(adj);
+  computeTables(adj, opts);
 }
 
 bool UpDownRouting::isUp(SwitchId from, SwitchId to) const {
@@ -88,16 +92,56 @@ bool UpDownRouting::isUp(SwitchId from, SwitchId to) const {
   return to < from;  // deterministic tie-break on equal levels
 }
 
-void UpDownRouting::computeTables(const SwitchAdjacency& adj) {
+void UpDownRouting::computeTables(const SwitchAdjacency& adj,
+                                  const UpDownBuildOptions& opts) {
   const int s = topo_->numSwitches();
-  nextPort_.assign(static_cast<std::size_t>(s) * s, kInvalidPort);
-  downDist_.assign(static_cast<std::size_t>(s) * s, -1);
+  // One byte per (dest, at) pair; the LFT image cells are uint8 too, so any
+  // port a table could ever install already fits (kNoPort marks the
+  // diagonal, mirroring kLftImageUnset).
+  if (topo_->portsPerSwitch() >= static_cast<int>(kNoPort)) {
+    throw std::invalid_argument(
+        "UpDownRouting: port indices must fit one byte (LFT cell width)");
+  }
+  nextPort_.assign(static_cast<std::size_t>(s) * s, kNoPort);
+  if (opts.keepDownDistances) {
+    downDist_.assign(static_cast<std::size_t>(s) * s, -1);
+  } else {
+    downDist_.clear();
+    downDist_.shrink_to_fit();
+  }
+
+  // Each destination pass writes only the dest-th slice of nextPort_ /
+  // downDist_ and reads nothing another pass writes, so chunking the
+  // destination range over pool workers produces the exact bytes the serial
+  // loop would — the merge order is fixed by the output layout, not by task
+  // completion order.
+  if (opts.pool != nullptr && opts.pool->workerCount() > 1 && s > 1) {
+    const int workers = static_cast<int>(opts.pool->workerCount());
+    const int chunk = (s + workers - 1) / workers;
+    for (int lo = 0; lo < s; lo += chunk) {
+      const SwitchId destBegin = lo;
+      const SwitchId destEnd = std::min(s, lo + chunk);
+      opts.pool->submit([this, &adj, destBegin, destEnd, &opts] {
+        computeDestRange(adj, destBegin, destEnd, opts.keepDownDistances);
+      });
+    }
+    opts.pool->wait();  // rethrows "no legal next hop" from any chunk
+    return;
+  }
+  computeDestRange(adj, 0, s, opts.keepDownDistances);
+}
+
+void UpDownRouting::computeDestRange(const SwitchAdjacency& adj,
+                                     SwitchId destBegin, SwitchId destEnd,
+                                     bool keepDownDistances) {
+  const int s = topo_->numSwitches();
 
   // All scratch hoisted outside the destination loop: one BFS queue, one
   // distance pair, one Dijkstra heap, one candidate list — reused across
-  // all S destinations instead of reallocated per destination (and the
-  // graph itself is walked through the shared CSR snapshot, not through
-  // per-call neighbor vectors).
+  // the range's destinations instead of reallocated per destination (and
+  // the graph itself is walked through the shared CSR snapshot, not through
+  // per-call neighbor vectors). Scratch is per-call, so parallel range
+  // passes never share mutable state.
   std::vector<int> downDist(static_cast<std::size_t>(s));
   std::vector<int> anyDist(static_cast<std::size_t>(s));
   std::vector<SwitchId> queue;
@@ -107,7 +151,7 @@ void UpDownRouting::computeTables(const SwitchAdjacency& adj) {
   heapStore.reserve(static_cast<std::size_t>(s));
   std::vector<PortIndex> candidates;
 
-  for (SwitchId dest = 0; dest < s; ++dest) {
+  for (SwitchId dest = destBegin; dest < destEnd; ++dest) {
     // Phase 1: shortest all-down distances to dest. A hop sw -> nb counts
     // when it is a *down* hop (!isUp). BFS backward from dest: extend to a
     // predecessor `u` when u -> v is down.
@@ -161,10 +205,13 @@ void UpDownRouting::computeTables(const SwitchAdjacency& adj) {
     // Among equally good candidates the tie-break salt rotates the choice,
     // producing distinct (but individually coherent) table planes.
     for (SwitchId at = 0; at < s; ++at) {
-      downDist_[static_cast<std::size_t>(dest) * s + at] =
-          downDist[static_cast<std::size_t>(at)] == kInf
-              ? -1
-              : downDist[static_cast<std::size_t>(at)];
+      if (keepDownDistances) {
+        downDist_[static_cast<std::size_t>(dest) * s + at] =
+            downDist[static_cast<std::size_t>(at)] == kInf
+                ? static_cast<std::int16_t>(-1)
+                : static_cast<std::int16_t>(
+                      downDist[static_cast<std::size_t>(at)]);
+      }
       if (at == dest) continue;
       candidates.clear();
       const SwitchAdjacency::Span nbrs = adj.neighbors(at);
@@ -194,13 +241,15 @@ void UpDownRouting::computeTables(const SwitchAdjacency& adj) {
           (salt_ + static_cast<unsigned>(dest) * 7u + static_cast<unsigned>(at)) %
           candidates.size();
       nextPort_[static_cast<std::size_t>(dest) * s + at] =
-          candidates[salt_ == 0 ? 0 : pick];
+          static_cast<std::uint8_t>(candidates[salt_ == 0 ? 0 : pick]);
     }
   }
 }
 
 PortIndex UpDownRouting::nextHopPort(SwitchId at, SwitchId dest) const {
-  return nextPort_[static_cast<std::size_t>(dest) * topo_->numSwitches() + at];
+  const std::uint8_t p =
+      nextPort_[static_cast<std::size_t>(dest) * topo_->numSwitches() + at];
+  return p == kNoPort ? kInvalidPort : static_cast<PortIndex>(p);
 }
 
 int UpDownRouting::downDistance(SwitchId sw, SwitchId dest) const {

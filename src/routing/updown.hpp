@@ -17,6 +17,7 @@
 // with no all-down path route upward. This yields coherent, loop-free,
 // deadlock-free tables (verified exhaustively by the test suite).
 //
+#include <cstdint>
 #include <vector>
 
 #include "topology/topology.hpp"
@@ -24,10 +25,25 @@
 
 namespace ibadapt {
 
+class ThreadPool;
+
 enum class RootSelection {
   kLowestId,
   kHighestDegree,     // most inter-switch links, lowest id on ties (default)
   kMinEccentricity,   // most central switch
+};
+
+/// Build-time knobs for the table computation. The per-destination passes
+/// are independent (each writes only its own table slice and uses no RNG),
+/// so distributing destinations over a pool is bit-identical to the serial
+/// order by construction — verified by the LFT-image hash regression.
+struct UpDownBuildOptions {
+  /// The all-down distance matrix is S^2 ints kept only for the tests and
+  /// the routing-option census; LFT image builds never read it (RouteSet
+  /// queries next hops only) and skip the allocation.
+  bool keepDownDistances = true;
+  /// Worker pool for the per-destination table passes (nullptr = serial).
+  ThreadPool* pool = nullptr;
 };
 
 class UpDownRouting {
@@ -46,7 +62,8 @@ class UpDownRouting {
   /// one compact CSR instead of re-deriving neighbor lists per plane. The
   /// snapshot must describe `topo` and only needs to outlive construction.
   UpDownRouting(const Topology& topo, const SwitchAdjacency& adj,
-                RootSelection rootSel, unsigned tieBreakSalt);
+                RootSelection rootSel, unsigned tieBreakSalt,
+                const UpDownBuildOptions& opts = {});
 
   SwitchId root() const { return root_; }
   int level(SwitchId sw) const { return levels_[static_cast<std::size_t>(sw)]; }
@@ -70,21 +87,31 @@ class UpDownRouting {
   bool legalPath(const std::vector<SwitchId>& path) const;
 
   /// Shortest all-down distance from `sw` to `dest` (-1 = none) — exposed
-  /// for the tests and the routing-option census.
+  /// for the tests and the routing-option census. Only valid when the table
+  /// was built with keepDownDistances (the default).
   int downDistance(SwitchId sw, SwitchId dest) const;
 
  private:
-  void build(const SwitchAdjacency& adj, RootSelection rootSel);
-  void computeTables(const SwitchAdjacency& adj);
+  void build(const SwitchAdjacency& adj, RootSelection rootSel,
+             const UpDownBuildOptions& opts);
+  void computeTables(const SwitchAdjacency& adj,
+                     const UpDownBuildOptions& opts);
+  void computeDestRange(const SwitchAdjacency& adj, SwitchId destBegin,
+                        SwitchId destEnd, bool keepDownDistances);
 
   const Topology* topo_;
   SwitchId root_ = 0;
   unsigned salt_ = 0;
   std::vector<int> levels_;
-  // nextPort_[dest * S + at] = output port at `at` toward `dest`.
-  std::vector<PortIndex> nextPort_;
-  // downDist_[dest * S + at] = all-down distance (or -1).
-  std::vector<int> downDist_;
+  // nextPort_[dest * S + at] = output port at `at` toward `dest`, 0xff for
+  // the (unused) diagonal. One byte per pair — the same width the LFT image
+  // cells impose on every port anyway — keeps the dominant planner
+  // allocation at 16 MiB per plane at 4096 switches (int16 doubled it).
+  static constexpr std::uint8_t kNoPort = 0xff;
+  std::vector<std::uint8_t> nextPort_;
+  // downDist_[dest * S + at] = all-down distance (or -1); empty when built
+  // with keepDownDistances == false.
+  std::vector<std::int16_t> downDist_;
 };
 
 /// Root choice helper (exposed for tests).

@@ -125,6 +125,7 @@ void EventQueue::clear() {
   for (Bucket& b : buckets_) {
     b.events.clear();
     b.head = 0;
+    releaseBurst(b);
   }
   std::fill(bitmap_.begin(), bitmap_.end(), 0);
   baseDay_ = 0;

@@ -122,12 +122,29 @@ class EventQueue {
 
  private:
   // One wheel day. `head` indexes the first unpopped event; the vector is
-  // kept sorted ascending by (time, seq) and cleared (capacity retained)
-  // when drained, so steady-state operation allocates nothing.
+  // kept sorted ascending by (time, seq) and cleared when drained. Typical
+  // cohorts keep their capacity, so steady-state operation allocates
+  // nothing; burst capacity beyond kRetainEvents is released on drain —
+  // saturated big fabrics chain same-time cascades thousands of events deep
+  // through the cursor day, and a wheel that kept every bucket at its
+  // historic burst size would hold >100 MiB of dead capacity at 4096
+  // switches (each day index eventually sees a burst as the wheel wraps).
   struct Bucket {
     std::vector<Event> events;
     std::size_t head = 0;
   };
+  /// Drained buckets keep at most this capacity (32 B/event — 2 KiB): large
+  /// enough that ordinary cohorts never reallocate, small enough that a
+  /// 2^16-bucket wheel retains only a few MiB after bursts.
+  static constexpr std::size_t kRetainEvents = 64;
+
+  /// Drop a drained bucket's burst capacity back to kRetainEvents.
+  static void releaseBurst(Bucket& b) {
+    if (b.events.capacity() > kRetainEvents) {
+      b.events.shrink_to_fit();
+      b.events.reserve(kRetainEvents);
+    }
+  }
 
   void insertWheel(const Event& ev);
   void migrateOverflow();
@@ -194,6 +211,7 @@ inline Event EventQueue::pop() {
   if (b.head == b.events.size()) {
     b.events.clear();
     b.head = 0;
+    releaseBurst(b);
     clearBit(idx);
   }
   return ev;

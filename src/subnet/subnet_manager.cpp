@@ -5,6 +5,7 @@
 
 #include "routing/minimal.hpp"
 #include "subnet/smp.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ibadapt {
 
@@ -115,6 +116,10 @@ LftPlanSpec SubnetManager::planSpec(const Fabric& fabric,
   plan.apmPathSets = params.apmPathSets;
   plan.adaptiveSwitches = fp.adaptiveSwitches;
   plan.adaptiveSwitchMask = fp.adaptiveSwitchMask;
+  // The fabric's kernel thread budget doubles as the planner's: planning
+  // happens strictly before the kernel runs, so the workers never compete,
+  // and parallel planning is bit-identical to serial by construction.
+  plan.threads = fp.threads;
   return plan;
 }
 
@@ -130,29 +135,56 @@ SubnetManager::Report SubnetManager::configure(const SubnetParams& params) {
   report.discoveryConsistent = discover().consistent;
   report.lidsPerNode = fabric_->lids().lidsPerNode();
 
-  const LftImage image = buildImage(params);
-  report.root = image.root;
-  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
-    const auto& table = image.entries[static_cast<std::size_t>(sw)];
-    // Whole-row block write: the image row is already in table encoding
-    // (kUnset == the table's "not programmed" byte), so one memcpy-sized
-    // call programs the switch instead of one checked call per LID — the
-    // difference between O(S * LIDs) round trips and O(S) at 1024 switches.
-    fabric_->setLftBlock(sw, 0, table.data(), table.size());
-    for (std::size_t lid = 0; lid < table.size(); ++lid) {
-      if (table[lid] != kUnset) ++report.lftEntriesWritten;
-    }
-    // SLtoVL: identity mapping (SL modulo the number of data VLs), set
-    // explicitly for every (input, output) pair as a real SM would.
-    for (PortIndex in = 0; in < topo.portsPerSwitch(); ++in) {
-      for (PortIndex outp = 0; outp < topo.portsPerSwitch(); ++outp) {
-        for (int sl = 0; sl < kMaxServiceLevels; ++sl) {
-          fabric_->setSlToVl(sw, in, outp, sl,
-                             static_cast<VlIndex>(sl % fp.numVls));
-        }
+  // Streaming install: plan once, then compute table rows in small batches
+  // (in parallel when the plan spec carries threads) and program each batch
+  // before computing the next. The materialized-image path would hold the
+  // full S x LIDs byte matrix next to the fabric's own tables — ~64 MiB of
+  // transient double residency at 4096 switches; the batch window keeps
+  // that overhead at a few rows.
+  const LftPlanner planner(topo, planSpec(*fabric_, params));
+  report.root = planner.root();
+  ThreadPool* pool = planner.pool();
+  const int batch =
+      pool != nullptr ? static_cast<int>(pool->workerCount()) * 4 : 1;
+  std::vector<std::vector<std::uint8_t>> rows(
+      static_cast<std::size_t>(batch));
+  for (SwitchId start = 0; start < topo.numSwitches(); start += batch) {
+    const int count = std::min(batch, topo.numSwitches() - start);
+    if (pool != nullptr) {
+      parallelForIndex(*pool, static_cast<std::size_t>(count),
+                       [&](std::size_t i) {
+                         planner.fillRow(start + static_cast<SwitchId>(i),
+                                         rows[i]);
+                       });
+    } else {
+      for (int i = 0; i < count; ++i) {
+        planner.fillRow(start + i, rows[static_cast<std::size_t>(i)]);
       }
     }
-    ++report.switchesProgrammed;
+    for (int i = 0; i < count; ++i) {
+      const SwitchId sw = start + i;
+      const auto& table = rows[static_cast<std::size_t>(i)];
+      // Whole-row block write: the image row is already in table encoding
+      // (kUnset == the table's "not programmed" byte), so one memcpy-sized
+      // call programs the switch instead of one checked call per LID — the
+      // difference between O(S * LIDs) round trips and O(S) at 1024
+      // switches.
+      fabric_->setLftBlock(sw, 0, table.data(), table.size());
+      for (std::size_t lid = 0; lid < table.size(); ++lid) {
+        if (table[lid] != kUnset) ++report.lftEntriesWritten;
+      }
+      // SLtoVL: identity mapping (SL modulo the number of data VLs), set
+      // explicitly for every (input, output) pair as a real SM would.
+      for (PortIndex in = 0; in < topo.portsPerSwitch(); ++in) {
+        for (PortIndex outp = 0; outp < topo.portsPerSwitch(); ++outp) {
+          for (int sl = 0; sl < kMaxServiceLevels; ++sl) {
+            fabric_->setSlToVl(sw, in, outp, sl,
+                               static_cast<VlIndex>(sl % fp.numVls));
+          }
+        }
+      }
+      ++report.switchesProgrammed;
+    }
   }
   return report;
 }

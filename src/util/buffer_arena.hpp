@@ -1,0 +1,69 @@
+#pragma once
+//
+// Fabric-wide slab arena: one contiguous allocation carved into fixed-size
+// slices at build time.
+//
+// The motivation is the per-port buffer storage at 4096-switch scale: a
+// dragonfly-4096 fabric has ~135k wired input ports x VLs, and giving each
+// its own individually-allocated container costs ~0.5 KiB of allocator
+// overhead per buffer before a single packet arrives — tens of MiB of pure
+// bookkeeping that dominated the heap curve in BENCH_scale.json. The arena
+// replaces those allocations with one `reserve()` sized from the wired port
+// count, and ports hold slices (pointer + implicit fixed capacity) instead
+// of owning vectors.
+//
+// Allocation is bump-pointer only: slices are handed out once during fabric
+// construction and live for the arena's lifetime. There is deliberately no
+// per-slice free — resetting a warm fabric re-zeroes slice *contents*
+// (VlBuffer::clear()), never the carving.
+//
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+
+namespace ibadapt {
+
+template <typename T>
+class SlabArena {
+ public:
+  SlabArena() = default;
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+  SlabArena(SlabArena&&) = default;
+  SlabArena& operator=(SlabArena&&) = default;
+
+  /// One-shot sizing: allocates `slots` value-initialized elements. Calling
+  /// reserve again replaces the slab (any outstanding slices dangle), so the
+  /// owner must do this exactly once, before carving.
+  void reserve(std::size_t slots) {
+    slab_ = slots > 0 ? std::make_unique<T[]>(slots) : nullptr;
+    capacity_ = slots;
+    used_ = 0;
+  }
+
+  /// Carve the next `count` slots. Throws when the slab was sized too small
+  /// — a build-time accounting bug, not a runtime condition.
+  T* allocate(std::size_t count) {
+    if (count == 0) return nullptr;
+    if (used_ + count > capacity_) {
+      throw std::logic_error("SlabArena: slab exhausted (sizing bug)");
+    }
+    T* out = slab_.get() + used_;
+    used_ += count;
+    return out;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  bool contains(const T* p) const {
+    return p != nullptr && p >= slab_.get() && p < slab_.get() + capacity_;
+  }
+
+ private:
+  std::unique_ptr<T[]> slab_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace ibadapt

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "core/vl_buffer.hpp"
+#include "util/buffer_arena.hpp"
+
+namespace ibadapt {
+namespace {
+
+TEST(SlabArena, CarvesDisjointSlicesFromOneSlab) {
+  SlabArena<int> arena;
+  arena.reserve(10);
+  EXPECT_EQ(arena.capacity(), 10u);
+  EXPECT_EQ(arena.used(), 0u);
+
+  int* a = arena.allocate(4);
+  int* b = arena.allocate(6);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b, a + 4);  // bump-pointer: contiguous, in order
+  EXPECT_EQ(arena.used(), 10u);
+  EXPECT_TRUE(arena.contains(a));
+  EXPECT_TRUE(arena.contains(b + 5));
+
+  // Slots are value-initialized.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a[i], 0);
+}
+
+TEST(SlabArena, ZeroCountAllocationIsNull) {
+  SlabArena<int> arena;
+  arena.reserve(4);
+  EXPECT_EQ(arena.allocate(0), nullptr);
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(SlabArena, OverflowIsALogicError) {
+  SlabArena<int> arena;
+  arena.reserve(4);
+  (void)arena.allocate(3);
+  EXPECT_THROW(arena.allocate(2), std::logic_error);
+  // The failed carve must not advance the cursor.
+  EXPECT_EQ(arena.used(), 3u);
+  EXPECT_NO_THROW(arena.allocate(1));
+}
+
+TEST(SlabArena, EmptyArenaRejectsEverything) {
+  SlabArena<int> arena;
+  EXPECT_EQ(arena.capacity(), 0u);
+  EXPECT_FALSE(arena.contains(nullptr));
+  EXPECT_THROW(arena.allocate(1), std::logic_error);
+}
+
+TEST(SlabArena, MoveTransfersOwnership) {
+  SlabArena<int> a;
+  a.reserve(8);
+  int* p = a.allocate(2);
+  p[0] = 42;
+  SlabArena<int> b = std::move(a);
+  EXPECT_EQ(b.capacity(), 8u);
+  EXPECT_EQ(b.used(), 2u);
+  EXPECT_TRUE(b.contains(p));
+  EXPECT_EQ(p[0], 42);
+}
+
+BufferedPacket mkPacket(std::uint32_t id, int credits) {
+  BufferedPacket bp;
+  bp.packet = id;
+  bp.credits = credits;
+  RouteOptions o;
+  o.escapePort = 3;
+  bp.options = o;
+  return bp;
+}
+
+TEST(VlBufferArena, BoundBufferUsesArenaSlots) {
+  SlabArena<BufferedPacket> arena;
+  arena.reserve(16);
+
+  VlBuffer buf(/*capacityCredits=*/8, /*escapeReserveCredits=*/2);
+  buf.bind(arena.allocate(static_cast<std::size_t>(buf.capacityCredits())));
+  ASSERT_TRUE(buf.bound());
+
+  buf.push(mkPacket(1, 3));
+  buf.push(mkPacket(2, 2));
+  EXPECT_EQ(buf.size(), 2);
+  EXPECT_EQ(buf.occupiedCredits(), 5);
+  EXPECT_TRUE(arena.contains(&buf.at(0)));
+  EXPECT_EQ(buf.at(0).packet, 1u);
+  EXPECT_EQ(buf.at(1).packet, 2u);
+
+  buf.remove(0);
+  EXPECT_EQ(buf.size(), 1);
+  EXPECT_EQ(buf.at(0).packet, 2u);
+}
+
+TEST(VlBufferArena, UnboundBufferFallsBackToOwnStorage) {
+  // Standalone usage (unit tests, tools) must keep working without an arena.
+  VlBuffer buf(4, 1);
+  EXPECT_FALSE(buf.bound());
+  buf.push(mkPacket(9, 2));
+  EXPECT_EQ(buf.size(), 1);
+  EXPECT_EQ(buf.at(0).packet, 9u);
+}
+
+TEST(VlBufferArena, ClearKeepsBinding) {
+  SlabArena<BufferedPacket> arena;
+  arena.reserve(8);
+  VlBuffer buf(8, 2);
+  BufferedPacket* slice =
+      arena.allocate(static_cast<std::size_t>(buf.capacityCredits()));
+  buf.bind(slice);
+
+  buf.push(mkPacket(1, 4));
+  buf.push(mkPacket(2, 4));
+  EXPECT_EQ(buf.freeCredits(), 0);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.occupiedCredits(), 0);
+  EXPECT_TRUE(buf.bound());
+
+  // Reusable after the wipe, same slice.
+  buf.push(mkPacket(3, 8));
+  EXPECT_EQ(&buf.at(0), slice);
+  EXPECT_EQ(buf.at(0).packet, 3u);
+}
+
+TEST(VlBufferArena, RebindAfterUseIsRejected) {
+  SlabArena<BufferedPacket> arena;
+  arena.reserve(8);
+  VlBuffer buf(4, 1);
+  buf.bind(arena.allocate(4));
+  buf.push(mkPacket(1, 1));
+  EXPECT_THROW(buf.bind(arena.allocate(4)), std::logic_error);
+}
+
+TEST(PackedRouteOptionsTest, RoundTripsFromRouteOptions) {
+  RouteOptions o;
+  o.adaptiveRequested = true;
+  o.escapePort = 200;
+  o.numAdaptive = 3;
+  o.adaptivePorts = {7, 120, 255};
+  const PackedRouteOptions p = o;
+  EXPECT_TRUE(p.valid());
+  EXPECT_TRUE(p.adaptiveRequested);
+  EXPECT_EQ(p.escapePort, 200);
+  EXPECT_EQ(p.numAdaptive, 3);
+  EXPECT_EQ(p.adaptivePorts[0], 7);
+  EXPECT_EQ(p.adaptivePorts[1], 120);
+  EXPECT_EQ(p.adaptivePorts[2], 255);
+
+  // The invalid sentinel survives the narrowing through sign extension.
+  const PackedRouteOptions unset = RouteOptions{};
+  EXPECT_FALSE(unset.valid());
+  EXPECT_EQ(unset.escapePort, kInvalidPort);
+}
+
+}  // namespace
+}  // namespace ibadapt

@@ -110,5 +110,96 @@ TEST(LftImagePinning, SharedAdjacencyCtorMatchesSelfBuilt) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Parallel planning: worker-count independence, pinned at scale
+// ---------------------------------------------------------------------------
+
+// The planner chunks per-destination (up*/down*) and per-source (minimal
+// BFS) work over a thread pool; every write lands in a disjoint slice and
+// no RNG is involved, so any thread count must reproduce the serial image
+// byte for byte. Hash the whole image (plus root) rather than spot-check:
+// a single reordered candidate pick anywhere flips the digest.
+TEST(LftImagePinning, ThreadedPlanningMatchesSerialAcrossSizes) {
+  for (const int numSwitches : {64, 256, 1024}) {
+    Rng rng(11);
+    IrregularSpec ispec;
+    ispec.numSwitches = numSwitches;
+    ispec.linksPerSwitch = 6;
+    const Topology topo = makeIrregular(ispec, rng);
+
+    LftPlanSpec spec;
+    spec.lmc = 1;
+    spec.numOptions = 2;
+    spec.rootSelection = RootSelection::kHighestDegree;
+    const std::uint64_t serial = [&] {
+      LftPlanSpec s = spec;
+      s.threads = 1;
+      return hashImage(buildLftImage(topo, s));
+    }();
+    for (const int threads : {2, 4, 0 /* hardware_concurrency */}) {
+      LftPlanSpec s = spec;
+      s.threads = threads;
+      EXPECT_EQ(hashImage(buildLftImage(topo, s)), serial)
+          << numSwitches << " switches, threads=" << threads;
+    }
+    // Repeat determinism: the same threaded plan twice in a row (fresh
+    // pools, different interleavings) must not wobble.
+    LftPlanSpec s4 = spec;
+    s4.threads = 4;
+    EXPECT_EQ(hashImage(buildLftImage(topo, s4)), serial)
+        << numSwitches << " switches, threads=4 repeat";
+  }
+}
+
+// Multipath planes build several salted up*/down* instances back to back on
+// the same pool; each plane's salt-dependent tie-breaks must survive
+// threading too.
+TEST(LftImagePinning, ThreadedMultipathAndApmMatchSerial) {
+  Rng rng(12);
+  IrregularSpec ispec;
+  ispec.numSwitches = 128;
+  ispec.linksPerSwitch = 6;
+  const Topology topo = makeIrregular(ispec, rng);
+
+  for (const int planes : {0, 4}) {
+    LftPlanSpec spec;
+    spec.lmc = 3;
+    spec.numOptions = planes ? 1 : 2;
+    spec.rootSelection = RootSelection::kMinEccentricity;
+    spec.sourceMultipathPlanes = planes;
+    spec.apmPathSets = planes ? 1 : 2;
+    LftPlanSpec threaded = spec;
+    threaded.threads = 4;
+    EXPECT_EQ(hashImage(buildLftImage(topo, spec)),
+              hashImage(buildLftImage(topo, threaded)))
+        << "planes=" << planes;
+  }
+}
+
+// The streaming planner (LftPlanner::fillRow, the SM configure() path) must
+// produce exactly the rows the materialized image holds.
+TEST(LftImagePinning, StreamingFillRowMatchesMaterializedImage) {
+  Rng rng(13);
+  IrregularSpec ispec;
+  ispec.numSwitches = 96;
+  ispec.linksPerSwitch = 5;
+  const Topology topo = makeIrregular(ispec, rng);
+
+  LftPlanSpec spec;
+  spec.lmc = 1;
+  spec.numOptions = 2;
+  spec.rootSelection = RootSelection::kHighestDegree;
+  spec.threads = 4;
+  const LftImage img = buildLftImage(topo, spec);
+
+  const LftPlanner planner(topo, spec);
+  EXPECT_EQ(planner.root(), img.root);
+  std::vector<std::uint8_t> row;
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    planner.fillRow(sw, row);
+    EXPECT_EQ(row, img.entries[static_cast<std::size_t>(sw)]) << "sw=" << sw;
+  }
+}
+
 }  // namespace
 }  // namespace ibadapt

@@ -405,5 +405,39 @@ INSTANTIATE_TEST_SUITE_P(Kinds, HierarchicalKernelIdentity,
                          ::testing::Values(TopologyKind::kFatTree,
                                            TopologyKind::kDragonfly));
 
+TEST(HierarchicalKernelIdentity, TwoThousandSwitchCrossKernelCrossThread) {
+  // The 2048-switch scale preset (k=8 4-level fat-tree, 1024 hosts) across
+  // every kernel and a threaded shard count: the arena-backed buffers,
+  // int16 routing matrices, and batched LFT installs must not cost a bit
+  // of determinism at the sizes they exist for. One topology build, short
+  // open-loop window — this is an identity check, not a perf run.
+  SimParams p;
+  p.topoKind = TopologyKind::kFatTree;
+  p.fatTreeArity = 8;
+  p.fatTreeLevels = 4;  // 2048 switches
+  p.nodesPerSwitch = 2;
+  p.loadBytesPerNsPerNode = 0.01;
+  p.warmupPackets = 1000;
+  p.measurePackets = 4000;
+  const Topology topo = buildTopology(p);
+  ASSERT_GE(topo.numSwitches(), 2048);
+
+  p.fabric.kernel = SimKernel::kCalendar;
+  const SimResults cal = runSimulationOn(topo, p);
+  ASSERT_TRUE(cal.measurementComplete) << cal.summary();
+
+  SimParams heap = p;
+  heap.fabric.kernel = SimKernel::kLegacyHeap;
+  expectBitIdentical(cal, runSimulationOn(topo, heap),
+                     "2048-sw calendar vs legacy heap");
+
+  SimParams par = p;
+  par.fabric.kernel = SimKernel::kParallel;
+  par.fabric.threads = 4;
+  const SimResults got = runSimulationOn(topo, par);
+  expectBitIdentical(cal, got, "2048-sw calendar vs parallel-4");
+  EXPECT_GT(got.threadsUsed, 1);
+}
+
 }  // namespace
 }  // namespace ibadapt

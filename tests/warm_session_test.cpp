@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "api/simulation.hpp"
+
+namespace ibadapt {
+namespace {
+
+// SimSession's contract: a warm run (Fabric::reset + image reinstall) is
+// bit-identical to a run on a freshly constructed fabric at the same
+// parameter point. Every numeric field compared with ==, never NEAR — the
+// only fields excluded are setupWallMs / planWallMs / runWallMs, which are
+// wall-clock measurement metadata and explicitly non-deterministic.
+void expectBitIdentical(const SimResults& a, const SimResults& b,
+                        const char* what) {
+  EXPECT_EQ(a.avgLatencyNs, b.avgLatencyNs) << what;
+  EXPECT_EQ(a.minLatencyNs, b.minLatencyNs) << what;
+  EXPECT_EQ(a.maxLatencyNs, b.maxLatencyNs) << what;
+  EXPECT_EQ(a.stddevLatencyNs, b.stddevLatencyNs) << what;
+  EXPECT_EQ(a.p50LatencyNs, b.p50LatencyNs) << what;
+  EXPECT_EQ(a.p95LatencyNs, b.p95LatencyNs) << what;
+  EXPECT_EQ(a.p99LatencyNs, b.p99LatencyNs) << what;
+  EXPECT_EQ(a.p999LatencyNs, b.p999LatencyNs) << what;
+  EXPECT_EQ(a.avgLatencyAdaptiveNs, b.avgLatencyAdaptiveNs) << what;
+  EXPECT_EQ(a.avgLatencyDeterministicNs, b.avgLatencyDeterministicNs) << what;
+  EXPECT_EQ(a.msgP50LatencyNs, b.msgP50LatencyNs) << what;
+  EXPECT_EQ(a.msgP99LatencyNs, b.msgP99LatencyNs) << what;
+  EXPECT_EQ(a.messagesMeasured, b.messagesMeasured) << what;
+  EXPECT_EQ(a.acceptedBytesPerNsPerSwitch, b.acceptedBytesPerNsPerSwitch)
+      << what;
+  EXPECT_EQ(a.offeredBytesPerNsPerSwitch, b.offeredBytesPerNsPerSwitch)
+      << what;
+  EXPECT_EQ(a.generated, b.generated) << what;
+  EXPECT_EQ(a.injected, b.injected) << what;
+  EXPECT_EQ(a.delivered, b.delivered) << what;
+  EXPECT_EQ(a.dropped, b.dropped) << what;
+  EXPECT_EQ(a.measured, b.measured) << what;
+  EXPECT_EQ(a.kernelEvents, b.kernelEvents) << what;
+  EXPECT_EQ(a.avgHops, b.avgHops) << what;
+  EXPECT_EQ(a.adaptiveForwardFraction, b.adaptiveForwardFraction) << what;
+  EXPECT_EQ(a.escapeForwardFraction, b.escapeForwardFraction) << what;
+  EXPECT_EQ(a.maxLinkUtilization, b.maxLinkUtilization) << what;
+  EXPECT_EQ(a.meanLinkUtilization, b.meanLinkUtilization) << what;
+  EXPECT_EQ(a.measurementComplete, b.measurementComplete) << what;
+  EXPECT_EQ(a.deadlockSuspected, b.deadlockSuspected) << what;
+  EXPECT_EQ(a.livePacketLimitHit, b.livePacketLimitHit) << what;
+  EXPECT_EQ(a.inOrderViolations, b.inOrderViolations) << what;
+  EXPECT_EQ(a.simEndTimeNs, b.simEndTimeNs) << what;
+  EXPECT_EQ(a.threadsUsed, b.threadsUsed) << what;
+  EXPECT_EQ(a.e2eLatencyNs, b.e2eLatencyNs) << what;
+  EXPECT_EQ(a.faultCampaignRan, b.faultCampaignRan) << what;
+  EXPECT_EQ(a.resilience.faultsInjected, b.resilience.faultsInjected) << what;
+  EXPECT_EQ(a.resilience.linksRecovered, b.resilience.linksRecovered) << what;
+  EXPECT_EQ(a.resilience.smSweeps, b.resilience.smSweeps) << what;
+  EXPECT_EQ(a.resilience.packetsCorrupted, b.resilience.packetsCorrupted)
+      << what;
+  EXPECT_EQ(a.resilience.crcDrops, b.resilience.crcDrops) << what;
+  EXPECT_EQ(a.resilience.creditUpdatesLost, b.resilience.creditUpdatesLost)
+      << what;
+  EXPECT_EQ(a.resilience.creditsLeaked, b.resilience.creditsLeaked) << what;
+  EXPECT_EQ(a.resilience.creditsResynced, b.resilience.creditsResynced)
+      << what;
+  EXPECT_EQ(a.resilience.retransmitsSent, b.resilience.retransmitsSent)
+      << what;
+  EXPECT_EQ(a.resilience.duplicatesSuppressed,
+            b.resilience.duplicatesSuppressed)
+      << what;
+  EXPECT_EQ(a.resilience.uniqueSent, b.resilience.uniqueSent) << what;
+  EXPECT_EQ(a.resilience.uniqueDelivered, b.resilience.uniqueDelivered)
+      << what;
+  EXPECT_EQ(a.invariants.checksRun, b.invariants.checksRun) << what;
+  EXPECT_EQ(a.invariants.violations(), b.invariants.violations()) << what;
+}
+
+struct WarmCase {
+  TopologyKind kind;
+  SimKernel kernel;
+  int threads;
+};
+
+std::string caseName(const ::testing::TestParamInfo<WarmCase>& info) {
+  std::string s;
+  switch (info.param.kind) {
+    case TopologyKind::kIrregular: s = "Irregular"; break;
+    case TopologyKind::kFatTree: s = "FatTree"; break;
+    case TopologyKind::kDragonfly: s = "Dragonfly"; break;
+    default: s = "Other"; break;
+  }
+  s += info.param.kernel == SimKernel::kParallel ? "Parallel" : "Calendar";
+  s += std::to_string(info.param.threads);
+  return s;
+}
+
+SimParams warmParams(const WarmCase& c) {
+  SimParams p;
+  p.topoKind = c.kind;
+  switch (c.kind) {
+    case TopologyKind::kIrregular:
+      p.numSwitches = 16;
+      p.linksPerSwitch = 4;
+      p.nodesPerSwitch = 2;
+      break;
+    case TopologyKind::kFatTree:
+      p.fatTreeArity = 4;
+      p.fatTreeLevels = 3;  // 48 switches / 64 hosts
+      p.nodesPerSwitch = 4;
+      break;
+    default:  // dragonfly
+      p.dragonflyRoutersPerGroup = 8;
+      p.dragonflyGlobalPerRouter = 1;
+      p.dragonflyGroups = 8;  // 64 switches
+      p.nodesPerSwitch = 2;
+      break;
+  }
+  p.pattern = TrafficPattern::kUniform;
+  p.loadBytesPerNsPerNode = 0.03;
+  p.warmupPackets = 300;
+  p.measurePackets = 2000;
+  p.fabric.kernel = c.kernel;
+  p.fabric.threads = c.threads;
+  return p;
+}
+
+class WarmSessionTest : public ::testing::TestWithParam<WarmCase> {};
+
+TEST_P(WarmSessionTest, WarmRunsBitIdenticalToFreshBuilds) {
+  const SimParams base = warmParams(GetParam());
+
+  SimSession session(base);
+  // First run() takes the fresh path (builds the fabric + image).
+  const SimResults s1 = session.run();
+  EXPECT_EQ(session.runsCompleted(), 1);
+  expectBitIdentical(s1, runSimulation(base), "fresh session vs fresh run");
+
+  // Second run() at the same point: warm reset, same bits.
+  const SimResults s2 = session.run();
+  EXPECT_EQ(session.runsCompleted(), 2);
+  expectBitIdentical(s2, s1, "warm repeat vs first run");
+
+  // Warm run at a different traffic point must match a fresh build there —
+  // no state from the previous parameter point may leak through the reset.
+  SimParams hot = base;
+  hot.loadBytesPerNsPerNode = 0.06;
+  hot.pattern = TrafficPattern::kHotspot;
+  hot.hotspotFraction = 0.2;
+  hot.trafficSeed = base.trafficSeed ^ 0x5a5aULL;
+  const SimResults s3 = session.run(hot);
+  expectBitIdentical(s3, runSimulation(hot), "warm hotspot vs fresh hotspot");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, WarmSessionTest,
+    ::testing::Values(
+        WarmCase{TopologyKind::kIrregular, SimKernel::kCalendar, 1},
+        WarmCase{TopologyKind::kIrregular, SimKernel::kParallel, 4},
+        WarmCase{TopologyKind::kFatTree, SimKernel::kCalendar, 1},
+        WarmCase{TopologyKind::kFatTree, SimKernel::kParallel, 4},
+        WarmCase{TopologyKind::kDragonfly, SimKernel::kCalendar, 1},
+        WarmCase{TopologyKind::kDragonfly, SimKernel::kParallel, 4}),
+    caseName);
+
+TEST(WarmSession, ResetAfterFaultCampaignRestoresCleanFabric) {
+  // A fault campaign fails links mid-run and the SM resweeps routing around
+  // them — both the link state and the forwarding tables diverge from the
+  // original image. The warm path must recover the links and reinstall the
+  // cached image, so the next run is indistinguishable from a fresh fabric.
+  SimParams clean;
+  clean.topoKind = TopologyKind::kIrregular;
+  clean.numSwitches = 16;
+  clean.linksPerSwitch = 4;
+  clean.nodesPerSwitch = 2;
+  clean.loadBytesPerNsPerNode = 0.02;
+  clean.warmupPackets = 200;
+  clean.measurePackets = 1500;
+
+  SimParams faulty = clean;
+  faulty.measurePackets = 1'000'000;  // never reached: run to the horizon
+  faulty.maxSimTimeNs = 2'500'000;
+  faulty.faultMtbfNs = 300'000;
+  faulty.faultMttrNs = 10'000'000;  // faults stay down: links left failed
+  faulty.faultSeed = 7;
+  faulty.sweepDelayNs = 30'000;
+
+  SimSession session(clean);
+  const SimResults f1 = session.run(faulty);  // fresh path, with campaign
+  ASSERT_TRUE(f1.faultCampaignRan);
+  ASSERT_GT(f1.resilience.faultsInjected, 0u);
+  ASSERT_GT(f1.resilience.smSweeps, 0u);
+
+  // Warm clean run after the campaign trashed links + tables.
+  const SimResults c2 = session.run(clean);
+  expectBitIdentical(c2, runSimulation(clean), "post-campaign warm clean run");
+
+  // Warm faulty run repeats the campaign bit-for-bit.
+  const SimResults f3 = session.run(faulty);
+  expectBitIdentical(f3, f1, "warm campaign repeat");
+  EXPECT_EQ(session.runsCompleted(), 3);
+}
+
+TEST(WarmSession, StructuralKnobsPinnedToConstructionPoint) {
+  // run(p) must honor only per-run knobs; structural fields silently follow
+  // the construction point (the fabric they describe was already built).
+  SimParams base;
+  base.topoKind = TopologyKind::kIrregular;
+  base.numSwitches = 8;
+  base.linksPerSwitch = 3;
+  base.nodesPerSwitch = 2;
+  base.loadBytesPerNsPerNode = 0.02;
+  base.warmupPackets = 100;
+  base.measurePackets = 800;
+  base.fabric.numVls = 2;
+
+  SimSession session(base);
+  (void)session.run();
+
+  SimParams divergent = base;
+  divergent.fabric.numVls = 4;        // structural: must be ignored
+  divergent.fabric.threads = 8;       // structural: must be ignored
+  divergent.trafficSeed ^= 0x77ULL;   // per-run: must be honored
+  const SimResults w = session.run(divergent);
+
+  SimParams pinned = base;            // what the session actually ran
+  pinned.trafficSeed ^= 0x77ULL;
+  expectBitIdentical(w, runSimulation(pinned), "pinned structural knobs");
+}
+
+}  // namespace
+}  // namespace ibadapt
