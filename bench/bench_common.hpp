@@ -120,6 +120,52 @@ inline Mode parseMode(const Flags& flags, std::vector<int> quickSizes,
   return m;
 }
 
+/// Topology-only nominal-size mapping for the paper sweeps' --family axis:
+/// sets the generator kind and spec, nothing else (no hosts-per-switch,
+/// pattern, or saturation policy — those stay with each bench). The
+/// fat-tree lattice doesn't hit every power of two, so nominal 64 builds
+/// the 48-switch 4-ary 3-tree and nominal 1024 the 864-switch arity-6
+/// 4-level tree, same convention as perf_scale.
+inline SimParams familyTopoParams(const std::string& family,
+                                  int nominalSwitches) {
+  SimParams p;
+  if (family == "irregular") {
+    p.topoKind = TopologyKind::kIrregular;
+    p.numSwitches = nominalSwitches;
+    p.linksPerSwitch = 4;
+  } else if (family == "fat-tree") {
+    p.topoKind = TopologyKind::kFatTree;
+    if (nominalSwitches <= 64) {
+      p.fatTreeArity = 4;  // 3 x 16 = 48 switches
+      p.fatTreeLevels = 3;
+    } else if (nominalSwitches <= 256) {
+      p.fatTreeArity = 4;  // 4 x 64 = 256 switches
+      p.fatTreeLevels = 4;
+    } else {
+      p.fatTreeArity = 6;  // 4 x 216 = 864 switches
+      p.fatTreeLevels = 4;
+    }
+  } else if (family == "dragonfly") {
+    p.topoKind = TopologyKind::kDragonfly;
+    if (nominalSwitches <= 64) {
+      p.dragonflyRoutersPerGroup = 8;  // 8 x 8 = 64 switches
+      p.dragonflyGlobalPerRouter = 1;
+      p.dragonflyGroups = 8;
+    } else if (nominalSwitches <= 256) {
+      p.dragonflyRoutersPerGroup = 16;  // 16 x 16 = 256 switches
+      p.dragonflyGlobalPerRouter = 2;
+      p.dragonflyGroups = 16;
+    } else {
+      p.dragonflyRoutersPerGroup = 16;  // 16 x 64 = 1024 switches
+      p.dragonflyGlobalPerRouter = 4;
+      p.dragonflyGroups = 64;
+    }
+  } else {
+    throw std::invalid_argument("unknown family: " + family);
+  }
+  return p;
+}
+
 inline void warnUnknownFlags(const Flags& flags) {
   for (const auto& key : flags.unknownKeys()) {
     std::fprintf(stderr, "warning: unrecognized flag '%s'\n", key.c_str());
@@ -194,6 +240,15 @@ struct KernelBenchRecord {
   /// term and gates near-linearity on heapPeakKb minus this hardware-table
   /// floor.
   long lftKb = 0;
+  /// Deterministic parallel-kernel proxy metrics (0/absent = not recorded;
+  /// see SimResults). Identical on every host for a fixed shard count and
+  /// partition strategy, which is what lets the partition gate run on
+  /// 1-core CI machines where wall-clock speedup is meaningless.
+  std::uint64_t crossShardMessages = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t cutLinks = 0;
+  std::uint64_t totalLinks = 0;
+  double imbalance = 0.0;
 };
 
 inline void writeKernelBenchJson(const std::string& path,
@@ -210,22 +265,35 @@ inline void writeKernelBenchJson(const std::string& path,
   out << "  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const KernelBenchRecord& r = cases[i];
-    char line[768];
+    char line[1024];
     char portsField[96] = "";
     if (r.ports > 0) {
       std::snprintf(portsField, sizeof(portsField),
                     ", \"ports\": %ld, \"lftKb\": %ld", r.ports, r.lftKb);
+    }
+    char shardField[224] = "";
+    if (r.windows > 0) {
+      std::snprintf(shardField, sizeof(shardField),
+                    ", \"crossShardMessages\": %llu, \"windows\": %llu, "
+                    "\"cutLinks\": %llu, \"totalLinks\": %llu, "
+                    "\"imbalance\": %.4f",
+                    static_cast<unsigned long long>(r.crossShardMessages),
+                    static_cast<unsigned long long>(r.windows),
+                    static_cast<unsigned long long>(r.cutLinks),
+                    static_cast<unsigned long long>(r.totalLinks),
+                    r.imbalance);
     }
     std::snprintf(line, sizeof(line),
                   "    {\"switches\": %d, \"kernel\": \"%s\", "
                   "\"threads\": %d, \"events\": %llu, \"wallMs\": %.3f, "
                   "\"eventsPerSec\": %.1f, \"simulatedMs\": %.3f, "
                   "\"wallMsPerSimMs\": %.4f, \"heapPeakKb\": %ld, "
-                  "\"setupMs\": %.3f, \"planMs\": %.3f, \"runMs\": %.3f%s}",
+                  "\"setupMs\": %.3f, \"planMs\": %.3f, \"runMs\": %.3f%s%s}",
                   r.switches, r.kernel.c_str(), r.threads,
                   static_cast<unsigned long long>(r.events), r.wallMs,
                   r.eventsPerSec, r.simulatedMs, r.wallMsPerSimMs,
-                  r.heapPeakKb, r.setupMs, r.planMs, r.runMs, portsField);
+                  r.heapPeakKb, r.setupMs, r.planMs, r.runMs, portsField,
+                  shardField);
     out << line << (i + 1 < cases.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
@@ -398,6 +466,21 @@ inline std::vector<KernelBenchRecord> readKernelBenchJson(
     if (detail::extractJsonField(line, "runMs", v)) r.runMs = std::stod(v);
     if (detail::extractJsonField(line, "ports", v)) r.ports = std::stol(v);
     if (detail::extractJsonField(line, "lftKb", v)) r.lftKb = std::stol(v);
+    if (detail::extractJsonField(line, "crossShardMessages", v)) {
+      r.crossShardMessages = std::stoull(v);
+    }
+    if (detail::extractJsonField(line, "windows", v)) {
+      r.windows = std::stoull(v);
+    }
+    if (detail::extractJsonField(line, "cutLinks", v)) {
+      r.cutLinks = std::stoull(v);
+    }
+    if (detail::extractJsonField(line, "totalLinks", v)) {
+      r.totalLinks = std::stoull(v);
+    }
+    if (detail::extractJsonField(line, "imbalance", v)) {
+      r.imbalance = std::stod(v);
+    }
     out.push_back(std::move(r));
   }
   return out;

@@ -10,6 +10,13 @@
 //
 // Usage: fig3_adaptive_fraction [--mode=quick|paper] [sizes=8,16,...]
 //        [fractions=0,25,50,75,100] [seed=1]
+//        [--family=irregular|fat-tree|dragonfly]
+//
+// --family extends the paper's irregular-network sweep to the hierarchical
+// generators: sizes become nominal switch counts mapped through the
+// perf_scale ladder (nominal 64 -> the 48-switch 4-ary 3-tree, etc.), with
+// 2 hosts per edge switch. The adaptive-vs-deterministic contrast is the
+// same — up*/down* escape paths vs fully adaptive minimal options.
 //
 #include "bench_common.hpp"
 
@@ -24,16 +31,17 @@ int main(int argc, char** argv) {
       "fractions", std::vector<int>{0, 25, 50, 75, 100});
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.integer("seed", 1));
+  const std::string family = flags.str("family", "irregular");
   warnUnknownFlags(flags);
 
   std::printf("Figure 3: latency vs accepted traffic, varying %% of adaptive "
-              "traffic\n(irregular topologies, 4 links/switch, 2 routing "
-              "options, uniform, 32 B packets)\n\n");
+              "traffic\n(%s topologies, 2 routing options, uniform, 32 B "
+              "packets)\n\n",
+              family.c_str());
 
   for (int size : mode.sizes) {
-    SimParams base;
-    base.numSwitches = size;
-    base.linksPerSwitch = 4;
+    SimParams base = familyTopoParams(family, size);
+    if (family != "irregular") base.nodesPerSwitch = 2;
     base.fabric.numOptions = 2;
     base.fabric.lmc = 1;
     base.packetBytes = 32;
@@ -43,8 +51,9 @@ int main(int argc, char** argv) {
     base.measurePackets = mode.measurePackets;
     const Topology topo = buildTopology(base);
 
-    std::printf("=== %d switches (%d nodes, topoSeed=%llu) ===\n", size,
-                topo.numNodes(), static_cast<unsigned long long>(seed));
+    std::printf("=== %s, %d switches (%d nodes, topoSeed=%llu) ===\n",
+                family.c_str(), topo.numSwitches(), topo.numNodes(),
+                static_cast<unsigned long long>(seed));
 
     std::vector<double> peaks;
     for (int pct : fractionPct) {

@@ -20,6 +20,16 @@
 //   --min-parallel-speedup=X
 //                          exits 1 when the largest-size 4-thread parallel
 //                          speedup over calendar falls below X (0 disables)
+//   --partition-gate=X     core-count-INDEPENDENT partition-quality gate:
+//                          on a 1024-switch fat-tree and dragonfly at 4
+//                          shards, the topology-aware partitioner must move
+//                          at least fraction X fewer events through
+//                          cross-shard mailboxes than round-robin, in
+//                          fewer-or-equal windows (0 disables). The gate
+//                          reads deterministic simulation counters, so it
+//                          holds on 1-core CI machines where wall-clock
+//                          speedup is unmeasurable; the comparison cases are
+//                          also appended to the parallel JSON.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -88,7 +98,66 @@ CaseResult runCase(int switches, SimKernel kernel, std::uint64_t warmup,
   best.rec.wallMsPerSimMs = best.rec.simulatedMs > 0.0
                                 ? best.rec.wallMs / best.rec.simulatedMs
                                 : 0.0;
+  best.rec.crossShardMessages = best.sim.crossShardMessages;
+  best.rec.windows = best.sim.windowsExecuted;
+  best.rec.cutLinks = best.sim.shardCutLinks;
+  best.rec.totalLinks = best.sim.shardTotalLinks;
+  best.rec.imbalance = best.sim.shardImbalance;
   return best;
+}
+
+// ---- partition proxy gate (core-count independent) ------------------------
+
+// The 1024-switch hierarchical families the scale axis committed to:
+// fat-tree (arity 2 x 8 levels) and dragonfly (a=16, h=4, g=64). Open-loop
+// load sized so one case runs in seconds; the gate compares deterministic
+// counters, not wall time, so the budget only affects bench runtime.
+SimParams partitionGateParams(bool dragonfly, PartitionStrategy strategy) {
+  SimParams p;
+  if (dragonfly) {
+    p.topoKind = TopologyKind::kDragonfly;
+    p.dragonflyRoutersPerGroup = 16;
+    p.dragonflyGlobalPerRouter = 4;
+    p.dragonflyGroups = 64;
+  } else {
+    p.topoKind = TopologyKind::kFatTree;
+    p.fatTreeArity = 2;
+    p.fatTreeLevels = 8;
+  }
+  p.nodesPerSwitch = 2;
+  p.pattern = TrafficPattern::kUniform;
+  p.loadBytesPerNsPerNode = 0.02;
+  p.warmupPackets = 300;
+  p.measurePackets = 2000;
+  p.fabric.kernel = SimKernel::kParallel;
+  p.fabric.threads = 4;
+  p.fabric.partition = strategy;
+  return p;
+}
+
+KernelBenchRecord partitionGateRecord(const char* label, const SimResults& r,
+                                      double wallMs) {
+  KernelBenchRecord rec;
+  rec.switches = 1024;
+  rec.kernel = label;  // e.g. "parallel-ft-topology"
+  rec.threads = r.threadsUsed;
+  rec.events = r.kernelEvents;
+  rec.wallMs = wallMs;
+  rec.eventsPerSec =
+      wallMs > 0.0 ? static_cast<double>(r.kernelEvents) / (wallMs / 1000.0)
+                   : 0.0;
+  rec.simulatedMs = static_cast<double>(r.simEndTimeNs) / 1e6;
+  rec.wallMsPerSimMs =
+      rec.simulatedMs > 0.0 ? wallMs / rec.simulatedMs : 0.0;
+  rec.setupMs = r.setupWallMs;
+  rec.planMs = r.planWallMs;
+  rec.runMs = r.runWallMs;
+  rec.crossShardMessages = r.crossShardMessages;
+  rec.windows = r.windowsExecuted;
+  rec.cutLinks = r.shardCutLinks;
+  rec.totalLinks = r.shardTotalLinks;
+  rec.imbalance = r.shardImbalance;
+  return rec;
 }
 
 const KernelBenchRecord* findCase(const std::vector<KernelBenchRecord>& v,
@@ -130,6 +199,7 @@ int main(int argc, char** argv) {
   const std::string baselinePath = flags.str("baseline", "");
   const double minSpeedup = flags.real("min-speedup", 0.0);
   const double minParallelSpeedup = flags.real("min-parallel-speedup", 0.0);
+  const double partitionGate = flags.real("partition-gate", 0.0);
   warnUnknownFlags(flags);
 
   std::printf("kernel perf baseline: saturated uniform, warmup=%llu "
@@ -168,12 +238,13 @@ int main(int argc, char** argv) {
 
   // The host core count travels with the record: parallel-kernel speedups
   // are only meaningful relative to the cores the measuring machine had.
-  char config[160];
+  char config[192];
   std::snprintf(config, sizeof(config),
                 "saturated uniform, warmup=%llu measure=%llu repeats=%d "
-                "cores=%u",
+                "partition=%s cores=%u",
                 static_cast<unsigned long long>(warmup),
                 static_cast<unsigned long long>(measure), repeats,
+                partitionStrategyName(SimParams{}.fabric.partition),
                 std::thread::hardware_concurrency());
   writeKernelBenchJson(jsonPath, "perf_baseline", config, records);
   std::printf("wrote %s\n", jsonPath.c_str());
@@ -208,12 +279,89 @@ int main(int argc, char** argv) {
       }
     }
     printRule();
+  }
+
+  // ---- partition proxy gate: topology-aware vs round-robin at 4 shards ---
+  bool partitionGateFailed = false;
+  if (partitionGate > 0.0) {
+    std::printf("\npartition proxy gate: 1024-switch families, 4 shards, "
+                "topology vs round-robin (deterministic counters)\n");
+    printRule();
+    std::printf("%-12s  %-12s  %14s  %9s  %9s  %9s  %9s\n", "family",
+                "partition", "xshard msgs", "windows", "cut", "links",
+                "imbal");
+    struct GateFamily {
+      const char* name;
+      bool dragonfly;
+      const char* topoLabel;
+      const char* rrLabel;
+    };
+    const GateFamily families[] = {
+        {"fat-tree", false, "parallel-ft-topology", "parallel-ft-round-robin"},
+        {"dragonfly", true, "parallel-df-topology", "parallel-df-round-robin"},
+    };
+    for (const GateFamily& f : families) {
+      SimResults bySt[2];
+      const PartitionStrategy strategies[] = {PartitionStrategy::kTopology,
+                                              PartitionStrategy::kRoundRobin};
+      const char* labels[] = {f.topoLabel, f.rrLabel};
+      for (int i = 0; i < 2; ++i) {
+        const SimParams p = partitionGateParams(f.dragonfly, strategies[i]);
+        const auto t0 = std::chrono::steady_clock::now();
+        bySt[i] = runSimulation(p);
+        const double wallMs = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+        parRecords.push_back(partitionGateRecord(labels[i], bySt[i], wallMs));
+        std::printf("%-12s  %-12s  %14llu  %9llu  %9llu  %9llu  %9.3f\n",
+                    f.name, partitionStrategyName(strategies[i]),
+                    static_cast<unsigned long long>(
+                        bySt[i].crossShardMessages),
+                    static_cast<unsigned long long>(bySt[i].windowsExecuted),
+                    static_cast<unsigned long long>(bySt[i].shardCutLinks),
+                    static_cast<unsigned long long>(bySt[i].shardTotalLinks),
+                    bySt[i].shardImbalance);
+      }
+      const SimResults& topo = bySt[0];
+      const SimResults& rr = bySt[1];
+      const double reduction =
+          rr.crossShardMessages > 0
+              ? 1.0 - static_cast<double>(topo.crossShardMessages) /
+                          static_cast<double>(rr.crossShardMessages)
+              : 0.0;
+      std::printf("%-12s  mailbox traffic reduction %.1f%% (gate >= %.1f%%), "
+                  "windows %llu vs %llu\n",
+                  f.name, reduction * 100.0, partitionGate * 100.0,
+                  static_cast<unsigned long long>(topo.windowsExecuted),
+                  static_cast<unsigned long long>(rr.windowsExecuted));
+      if (reduction < partitionGate) {
+        std::fprintf(stderr,
+                     "FAIL: %s cross-shard traffic reduction %.1f%% below "
+                     "required %.1f%%\n",
+                     f.name, reduction * 100.0, partitionGate * 100.0);
+        partitionGateFailed = true;
+      }
+      if (topo.windowsExecuted > rr.windowsExecuted) {
+        std::fprintf(stderr,
+                     "FAIL: %s topology partition ran more windows than "
+                     "round-robin (%llu > %llu)\n",
+                     f.name,
+                     static_cast<unsigned long long>(topo.windowsExecuted),
+                     static_cast<unsigned long long>(rr.windowsExecuted));
+        partitionGateFailed = true;
+      }
+    }
+    printRule();
+  }
+
+  if (!parRecords.empty()) {
     writeKernelBenchJson(parallelJsonPath, "perf_baseline_parallel", config,
                          parRecords);
     std::printf("wrote %s\n", parallelJsonPath.c_str());
   }
 
   int rc = 0;
+  if (partitionGateFailed) rc = 1;
   if (!identical) {
     std::fprintf(stderr,
                  "FAIL: kernels diverged — results are not bit-identical\n");

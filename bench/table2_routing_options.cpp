@@ -5,7 +5,13 @@
 // simulation — so the full paper configuration runs by default.
 //
 // Usage: table2_routing_options [--mode=quick|paper] [sizes=...]
-//        [topologies=N]
+//        [topologies=N] [--family=irregular|fat-tree|dragonfly]
+//
+// --family extends the census to the hierarchical generators: sizes become
+// nominal switch counts mapped through the perf_scale ladder, the
+// links/switch axis disappears (the generator fixes the degree), and the
+// topologies count collapses to 1 for the deterministic fat-tree (the
+// dragonfly still varies its global-link shuffle seed per topology).
 //
 #include "analysis/option_census.hpp"
 #include "bench_common.hpp"
@@ -20,12 +26,47 @@ int main(int argc, char** argv) {
   const Mode mode = parseMode(flags, /*quickSizes=*/{8, 16, 32, 64},
                               /*paperSizes=*/{8, 16, 32, 64},
                               /*quickTopos=*/10, /*paperTopos=*/10);
+  const std::string family = flags.str("family", "irregular");
   warnUnknownFlags(flags);
 
   std::printf("Table 2: %% of (switch, destination) pairs offering k routing "
-              "options\n(averaged over %d random topologies; MR = max options "
-              "per destination)\n\n",
-              mode.topologies);
+              "options\n(family=%s, averaged over %d topologies; MR = max "
+              "options per destination)\n\n",
+              family.c_str(), mode.topologies);
+
+  if (family != "irregular") {
+    const int topos = family == "fat-tree" ? 1 : mode.topologies;
+    std::printf("%9s %3s | %7s %7s %7s %7s | %6s\n", "sw", "MR", "1 opt",
+                "2 opts", "3 opts", "4 opts", "avg");
+    for (int size : mode.sizes) {
+      for (int mr : {2, 3, 4}) {
+        std::array<double, 5> pct{};
+        double avg = 0;
+        int switches = 0;
+        for (int t = 0; t < topos; ++t) {
+          SimParams p = familyTopoParams(family, size);
+          p.nodesPerSwitch = 2;
+          p.topoSeed = static_cast<std::uint64_t>(t) + 1;
+          const Topology topo = buildTopology(p);
+          switches = topo.numSwitches();
+          const UpDownRouting updown(topo);
+          const MinimalAdaptiveRouting minimal(topo);
+          const RouteSet routes(topo, updown, minimal);
+          const OptionCensus c = routingOptionCensus(topo, routes, mr);
+          for (int k = 1; k <= 4; ++k) {
+            pct[static_cast<std::size_t>(k)] +=
+                c.pct[static_cast<std::size_t>(k)];
+          }
+          avg += c.avgOptions;
+        }
+        for (auto& v : pct) v /= topos;
+        avg /= topos;
+        std::printf("%9d %3d | %6.2f%% %6.2f%% %6.2f%% %6.2f%% | %6.2f\n",
+                    switches, mr, pct[1], pct[2], pct[3], pct[4], avg);
+      }
+    }
+    return 0;
+  }
 
   for (int links : {4, 6}) {
     std::printf("--- %d links/switch ---\n", links);

@@ -17,6 +17,13 @@
 # small box the bench still runs — and still enforces bit-identity — but
 # the wall-clock ratio is recorded rather than gated.
 #
+# The partition proxy gate runs UNCONDITIONALLY: on 1024-switch fat-tree
+# and dragonfly fabrics at 4 shards, the topology-aware partitioner must
+# move >= 30% fewer events through cross-shard mailboxes than round-robin,
+# in no more windows. Those counters are deterministic functions of the
+# partition — identical on a 1-core CI box and a 64-core workstation — so
+# this gate guards the partitioner's quality even where wall-clock cannot.
+#
 # Usage: scripts/run_perf_baseline.sh [build-dir] [extra perf_baseline flags]
 # e.g.   scripts/run_perf_baseline.sh build --repeats=5 --min-speedup=1.5
 set -euo pipefail
@@ -50,6 +57,7 @@ fi
 
 "${build_dir}/bench/perf_baseline" \
   --json="${fresh}" --parallel-json="${fresh_parallel}" \
+  --partition-gate=0.30 \
   "${baseline_flag[@]}" "${parallel_gate[@]}" "$@"
 
 mv "${fresh}" "${baseline}"

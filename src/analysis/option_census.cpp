@@ -20,6 +20,10 @@ OptionCensus routingOptionCensus(const Topology& topo, const RouteSet& routes,
   for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
     for (SwitchId destSw = 0; destSw < topo.numSwitches(); ++destSw) {
       if (destSw == sw) continue;
+      // Only CA-bearing switches are destinations: hierarchical fabrics
+      // (fat-tree upper tiers) have pure-transit switches whose nodeAt
+      // would read past the node table.
+      if (topo.nodeCount(destSw) == 0) continue;
       // All nodes on destSw share identical options; sample one.
       const NodeId dest = topo.nodeAt(destSw, 0);
       const RouteOptionsSpec& spec = routes.options(sw, dest);

@@ -88,6 +88,11 @@ SimResults executeOn(Fabric& fabric, const Topology& topo, const SimParams& p,
       tspec.throttle.enabled = true;
       tspec.throttle.nsPerByte = p.fabric.nsPerByte;
     }
+    // The ack deque is written from observer context at window barriers, so
+    // no window may extend past the ack delay of the events it processes —
+    // otherwise an ack could become visible inside the window that produced
+    // it. Run-scoped: reset() restores the configured cap.
+    fabric.limitWindowCap(tspec.ackDelayNs);
     transport.emplace(traffic, topo.numNodes(), tspec);
     transport->attachObserver(&stats);
     fabric.attachTraffic(&*transport, p.trafficSeed);
@@ -243,6 +248,11 @@ SimResults executeOn(Fabric& fabric, const Topology& topo, const SimParams& p,
   r.inOrderViolations = stats.inOrder().violations();
   r.simEndTimeNs = fabric.now();
   r.threadsUsed = fabric.shardCount();
+  r.crossShardMessages = fabric.crossShardMessages();
+  r.windowsExecuted = fabric.windowsExecuted();
+  r.shardCutLinks = fabric.partitionCutLinks();
+  r.shardTotalLinks = fabric.partitionTotalLinks();
+  r.shardImbalance = fabric.partitionImbalance();
   return r;
 }
 

@@ -216,6 +216,22 @@ struct SimResults {
   /// bit-identical whatever this value — it only reports the parallelism.
   int threadsUsed = 1;
 
+  // Parallel-kernel proxy metrics (deterministic for a fixed shard count
+  // and partition strategy, so they gate partition quality on any host —
+  // including 1-core CI boxes where wall-clock speedup is unmeasurable).
+  // NOT part of the bit-identity contract: they legitimately differ across
+  // thread counts (a 1-shard run has no cross-shard traffic at all).
+  /// Events handed between shards through SPSC mailboxes over the run.
+  std::uint64_t crossShardMessages = 0;
+  /// Conservative-lookahead windows the engine executed.
+  std::uint64_t windowsExecuted = 0;
+  /// Inter-switch links whose endpoints landed in different shards.
+  std::uint64_t shardCutLinks = 0;
+  /// All inter-switch links in the topology (cut-fraction denominator).
+  std::uint64_t shardTotalLinks = 0;
+  /// Heaviest shard weight / ideal weight (1.0 = perfectly balanced).
+  double shardImbalance = 1.0;
+
   // Resilience (fault campaign + reliable transport; zeros when neither
   // was configured).
   bool faultCampaignRan = false;

@@ -88,16 +88,65 @@ void Fabric::buildShards() {
     sh.pool.reserve(
         static_cast<std::size_t>(topo_.numNodes()) * 8 / static_cast<std::size_t>(t) + 8);
   }
+  // Switch->shard assignment from the configured partition strategy
+  // (topology/partition.hpp). Bit-identity does not depend on the mapping;
+  // only the cross-shard mailbox traffic does.
   shardOfSwitch_.resize(static_cast<std::size_t>(numSwitches));
-  for (SwitchId s = 0; s < numSwitches; ++s) {
-    shardOfSwitch_[static_cast<std::size_t>(s)] =
-        static_cast<int>(static_cast<std::int64_t>(s) * t / numSwitches);
+  partitionTotalLinks_ = static_cast<std::uint64_t>(topo_.numLinks());
+  if (t == 1) {
+    std::fill(shardOfSwitch_.begin(), shardOfSwitch_.end(), 0);
+    partitionCutLinks_ = 0;
+    partitionImbalance_ = 1.0;
+  } else {
+    const PartitionResult part =
+        partitionSwitches(topo_, t, params_.partition);
+    for (SwitchId s = 0; s < numSwitches; ++s) {
+      shardOfSwitch_[static_cast<std::size_t>(s)] =
+          static_cast<int>(part.shardOf[static_cast<std::size_t>(s)]);
+    }
+    partitionCutLinks_ = part.cutLinks;
+    partitionImbalance_ = part.imbalance;
   }
   shardOfNode_.resize(static_cast<std::size_t>(topo_.numNodes()));
   for (NodeId n = 0; n < topo_.numNodes(); ++n) {
     shardOfNode_[static_cast<std::size_t>(n)] =
         shardOfSwitch_[static_cast<std::size_t>(topo_.switchOfNode(n))];
   }
+
+  // Per-shard outbound lookahead: the minimum link latency crossing each
+  // shard's boundary (today every link shares linkPropagationNs; the min
+  // over actual cut links is where heterogeneous latencies would slot in).
+  // A shard with no cut links keeps kTimeNever and never constrains the
+  // window plan. failLink only removes links, so the build-time minimum
+  // stays a valid lower bound for the whole fabric lifetime.
+  const SimTime linkLat =
+      params_.linkPropagationNs > 0 ? params_.linkPropagationNs : 1;
+  if (t > 1) {
+    const SwitchAdjacency adj(topo_);
+    for (SwitchId s = 0; s < numSwitches; ++s) {
+      const SwitchAdjacency::Span nb = adj.neighbors(s);
+      const int mine = shardOfSwitch_[static_cast<std::size_t>(s)];
+      for (int i = 0; i < nb.count; ++i) {
+        if (shardOfSwitch_[static_cast<std::size_t>(nb.ids[i])] != mine) {
+          Shard& sh = shards_[static_cast<std::size_t>(mine)];
+          sh.lookOutNs = std::min(sh.lookOutNs, linkLat);
+        }
+      }
+    }
+  }
+
+  // Window-width ceiling: explicit knob, or 8 lookaheads by default — wide
+  // enough that a sequential run amortizes the per-window barrier work,
+  // small enough that default transports (ackDelayNs >= 2 us) are safe.
+  windowCapBase_ = params_.windowCapNs > 0
+                       ? std::max<SimTime>(params_.windowCapNs, 1)
+                       : 8 * linkLat;
+  windowCapEff_ = windowCapBase_;
+}
+
+void Fabric::limitWindowCap(SimTime capNs) {
+  if (capNs < 1) capNs = 1;
+  if (capNs < windowCapEff_) windowCapEff_ = capNs;
 }
 
 void Fabric::buildSwitches() {
@@ -475,6 +524,11 @@ void Fabric::reset() {
   injectionPaused_ = false;
   now_ = 0;
   generationEnd_ = 0;
+  windowCapEff_ = windowCapBase_;
+  obsCtxTime_ = -1;
+  stopHorizon_ = kTimeNever;
+  windowsExecuted_ = 0;
+  crossShardMessages_ = 0;
   stopRequested_ = false;
   deadlockSuspected_ = false;
   livePacketLimitHit_ = false;

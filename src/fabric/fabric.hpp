@@ -23,17 +23,25 @@
 // --- engine architecture ----------------------------------------------------
 //
 // Every kernel runs the same *windowed* event loop. The fabric's entities
-// (switches plus their attached CAs) are partitioned into shards; each shard
-// owns a private event queue, packet pool, and counters. Simulated time
-// advances in windows no wider than the conservative lookahead L =
-// max(1, linkPropagationNs): within a window each shard processes its own
-// events independently, because any event one entity schedules on an entity
-// of another shard is at least L in the future (packets and credit updates
-// both cross links). Cross-shard events travel through per-edge mailboxes
-// drained at the window barrier in fixed (source shard, destination shard)
-// order. "Global" events — watchdog, credit-resync, and invariant-check
-// chains — live in a coordinator queue and are dispatched between windows,
-// when every shard has quiesced at exactly their timestamp.
+// (switches plus their attached CAs) are partitioned into shards by a
+// deterministic topology-aware partitioner (topology/partition.hpp); each
+// shard owns a private event queue, packet pool, and counters. Simulated
+// time advances in conservative-lookahead windows: within a window each
+// shard processes its own events independently, because any event one
+// entity schedules on an entity of another shard crosses a physical link
+// and is therefore at least that link's latency in the future (packets and
+// credit updates both ride links). The window bound is per-shard-pair: each
+// shard carries the minimum link latency crossing its boundary (lookOutNs;
+// today every link shares linkPropagationNs, so a crossed boundary
+// contributes exactly that, and a shard with no cut links contributes
+// nothing), and a window may extend to the earliest (shard top + lookOut)
+// over the non-empty shards, up to a global cap (FabricParams::windowCapNs)
+// that keeps windows under any attached transport's ack delay. Cross-shard
+// events travel through per-edge mailboxes drained in batch at the window
+// barrier in fixed (source shard, destination shard) order. "Global" events
+// — watchdog, credit-resync, and invariant-check chains — live in a
+// coordinator queue and are dispatched between windows, when every shard
+// has quiesced at exactly their timestamp.
 //
 // The sequential kernels (kCalendar, kLegacyHeap) are the one-shard special
 // case of the same loop, and every event is stamped with a producer-local
@@ -43,6 +51,20 @@
 // identical RNG streams (one per node / switch / fault lane), identical
 // observer callback order (buffered per shard and replayed at each barrier
 // in global order), identical counters at every barrier.
+//
+// The window *plan* (how event time is chunked) is allowed to differ across
+// kernels, thread counts, and partitions — what must not differ is the set
+// of events processed and their per-entity order. The only place the plan
+// used to leak into results was the stop path: a stats-driven requestStop()
+// ended the run at the enclosing window's edge. It now arms a stop
+// *horizon* instead — the triggering event's time plus the window cap, an
+// upper bound on any window that could have contained the trigger — and
+// the engine keeps processing exactly the events at or before the horizon.
+// The processed event set is therefore a pure function of simulated time,
+// independent of the window plan. Coordinator-context stops (watchdog
+// deadlock aborts, invariant-checker aborts, external requestStop between
+// runs) keep their immediate semantics, which are already canonical: every
+// shard is quiesced at exactly the coordinator timestamp.
 //
 #include <cstdint>
 #include <deque>
@@ -330,8 +352,38 @@ class Fabric {
   /// or an exhausted event queue.
   void run(const RunLimits& limits);
 
-  void requestStop() { stopRequested_ = true; }
+  /// Stop the run. From an observer callback (the stats collector ending
+  /// its measurement) this arms a stop *horizon* — the triggering event's
+  /// time plus the window cap — and the engine finishes every event at or
+  /// before it, so the stopping point is independent of the window plan
+  /// (see the architecture note). From coordinator context or between runs
+  /// the stop is immediate, which is already canonical.
+  void requestStop() {
+    stopRequested_ = true;
+    if (obsCtxTime_ >= 0) {
+      const SimTime h = obsCtxTime_ + windowCapEff_;
+      if (stopHorizon_ == kTimeNever || h < stopHorizon_) stopHorizon_ = h;
+    }
+  }
   bool stopRequested() const { return stopRequested_; }
+
+  /// Run-scoped tightening of the window cap (e.g. to a transport's ack
+  /// delay, whose hand-off must never become visible inside the window that
+  /// generated it). Never loosens; reset() restores the params-derived cap.
+  void limitWindowCap(SimTime capNs);
+
+  // ---- deterministic parallel-kernel proxy metrics ----------------------
+  /// Conservative-lookahead windows (barrier epochs) executed so far.
+  std::uint64_t windowsExecuted() const { return windowsExecuted_; }
+  /// Events that crossed a shard boundary through an SPSC mailbox (0 with
+  /// one shard). Deterministic for a given partition and thread count.
+  std::uint64_t crossShardMessages() const { return crossShardMessages_; }
+  /// Inter-switch links crossing a shard boundary / total links, and the
+  /// max-over-ideal shard weight ratio, from the partitioner (1-shard runs:
+  /// cut 0, imbalance 1).
+  std::uint64_t partitionCutLinks() const { return partitionCutLinks_; }
+  std::uint64_t partitionTotalLinks() const { return partitionTotalLinks_; }
+  double partitionImbalance() const { return partitionImbalance_; }
 
   SimTime now() const { return now_; }
   /// Counters merged over all shards (by value: the per-shard cells stay
@@ -454,6 +506,11 @@ class Fabric {
     PacketPool pool;
     FabricCounters counters;
     SimTime now = 0;
+    /// Minimum link latency crossing this shard's boundary (outbound
+    /// lookahead): no cross-shard event this shard produces can be due
+    /// sooner than its queue top plus lookOutNs. kTimeNever = no cut links,
+    /// so this shard never constrains the window plan.
+    SimTime lookOutNs = kTimeNever;
     std::uint64_t creditsLeaked = 0;
     // Injection-epoch in-flight ledger, indexed by epoch parity. Injections
     // count on the injecting shard, retirements (deliver / drop / CRC
@@ -507,15 +564,23 @@ class Fabric {
   }
 
   // event routing (fabric_run.cpp)
-  /// Stamp with the shard's current producer and route to the target
-  /// entity's queue; cross-shard credit events go through the outbox.
+  /// Stamp with the shard's current producer and route a *link-crossing*
+  /// event (kHeaderArrive / kCreditToSwitch) to the target switch's queue;
+  /// foreign shards get it through the outbox mailbox.
   void pushFrom(Shard& sh, Event ev);
+  /// Stamp and push an event that provably targets this shard (every kind
+  /// except the two link-crossing ones: nodes ride with their attached
+  /// switch). Skips the per-event shard lookup on the hot dispatch path.
+  void pushLocal(Shard& sh, Event ev) {
+    ev.seq = nextStamp(sh.producer);
+    sh.queue.pushStamped(ev);
+  }
   /// Coordinator-context push (producer 0): management actions, start(),
   /// run() re-arms, and the periodic chains. Only legal between windows.
   void pushCoord(Event ev);
 
   // windowed engine (fabric_run.cpp)
-  void runWindows(const RunLimits& limits, SimTime lookahead);
+  void runWindows(const RunLimits& limits);
   void processShardWindow(Shard& sh, SimTime windowEnd);
   /// Mailbox drain + ledger harvest + observer replay + control checks at a
   /// window barrier; false = stop the run.
@@ -675,6 +740,29 @@ class Fabric {
   bool stopRequested_ = false;
   bool deadlockSuspected_ = false;
   bool livePacketLimitHit_ = false;
+
+  // --- window plan state (see the architecture note) ----------------------
+  /// Params-derived window-width ceiling and the run-effective value (the
+  /// latter possibly tightened by limitWindowCap; restored by reset()).
+  SimTime windowCapBase_ = 1;
+  SimTime windowCapEff_ = 1;
+  /// Simulated time of the event whose handling is currently driving
+  /// observer callbacks (-1 outside observer context). Written only from
+  /// coordinator context — the inline notify path and barrier replay — so
+  /// a requestStop() arriving through an observer can anchor the stop
+  /// horizon to the triggering event's time.
+  SimTime obsCtxTime_ = -1;
+  /// Armed by an observer-context requestStop(): the run keeps processing
+  /// events at or before this time, then stops. kTimeNever = no horizon.
+  SimTime stopHorizon_ = kTimeNever;
+  /// Deterministic proxy metrics (see the public accessors).
+  std::uint64_t windowsExecuted_ = 0;
+  std::uint64_t crossShardMessages_ = 0;
+  std::uint64_t partitionCutLinks_ = 0;
+  std::uint64_t partitionTotalLinks_ = 0;
+  double partitionImbalance_ = 1.0;
+  /// Scratch for the batched mailbox drain (coordinator only).
+  std::vector<Event> drainScratch_;
 
   // watchdog state; the epoch invalidates watchdog chains left in the queue
   // by earlier run() calls, so multi-phase runs (fault campaigns) keep one

@@ -32,7 +32,7 @@ void Fabric::scheduleArb(Shard* sh, SwitchId sw, SimTime when) {
   Event ev{when, 0, EventKind::kArbitrate, static_cast<std::uint32_t>(sw), 0,
            0};
   if (sh != nullptr) {
-    pushFrom(*sh, ev);
+    pushLocal(*sh, ev);  // a switch only re-arms its own arbitration
   } else {
     pushCoord(ev);  // management plane / resync: between windows
   }
@@ -414,11 +414,11 @@ void Fabric::grant(Shard& sh, SwitchId swId, PortIndex ip, VlIndex vl,
     // arrival time, so the write stays on this shard whichever shard owns
     // the downstream switch. Scheduled before the header event — fixed
     // order, fixed stamps.
-    pushFrom(sh, Event{sh.now + params_.linkPropagationNs, 0,
-                       EventKind::kWireDebit,
-                       static_cast<std::uint32_t>(swId),
-                       packPortVl(opt.port, opt.vl),
-                       static_cast<std::uint32_t>(pkt.credits)});
+    pushLocal(sh, Event{sh.now + params_.linkPropagationNs, 0,
+                        EventKind::kWireDebit,
+                        static_cast<std::uint32_t>(swId),
+                        packPortVl(opt.port, opt.vl),
+                        static_cast<std::uint32_t>(pkt.credits)});
     // Virtual cut-through: the downstream header arrives one wire delay
     // after transmission starts. NOTE: a cross-shard push moves the packet
     // out of this pool — `pkt` must not be touched after this call.
@@ -430,10 +430,10 @@ void Fabric::grant(Shard& sh, SwitchId swId, PortIndex ip, VlIndex vl,
     // Tail reaches the CA one wire delay after serialization completes.
     // (CAs ride with this switch's shard; the ledger debit happens inline
     // at delivery.)
-    pushFrom(sh, Event{txEnd + params_.linkPropagationNs, 0,
-                       EventKind::kNodeDeliver,
-                       static_cast<std::uint32_t>(op.downId),
-                       static_cast<std::uint32_t>(opt.vl), bp.packet});
+    pushLocal(sh, Event{txEnd + params_.linkPropagationNs, 0,
+                        EventKind::kNodeDeliver,
+                        static_cast<std::uint32_t>(op.downId),
+                        static_cast<std::uint32_t>(opt.vl), bp.packet});
   }
 
   // The input and output ports free up at txEnd; re-arm arbitration.

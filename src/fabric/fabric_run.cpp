@@ -19,49 +19,35 @@ namespace ibadapt {
 // ---------------------------------------------------------------------------
 
 void Fabric::pushFrom(Shard& sh, Event ev) {
+  // Only the two link-crossing kinds ever come through here — everything
+  // else targets the producing shard by construction (nodes ride with their
+  // attached switch) and goes through pushLocal with no shard lookup at
+  // all. Both crossing kinds target a switch, so one flat-array read
+  // resolves the destination shard.
   ev.seq = nextStamp(sh.producer);
-  int target = 0;
-  switch (ev.kind) {
-    case EventKind::kHeaderArrive:
-    case EventKind::kArbitrate:
-    case EventKind::kCreditToSwitch:
-    case EventKind::kWireDebit:
-      target = shardOfSwitch(static_cast<SwitchId>(ev.a));
-      break;
-    case EventKind::kCreditToNode:
-    case EventKind::kNodeTryTx:
-    case EventKind::kNodeGenerate:
-    case EventKind::kNodeDeliver:
-      target = shardOfNode(static_cast<NodeId>(ev.a));
-      break;
-    default:
-      throw std::logic_error("Fabric: global event pushed from shard context");
-  }
+  const int target = shardOfSwitch(static_cast<SwitchId>(ev.a));
   if (target == sh.index) {
     sh.queue.pushStamped(ev);
     return;
   }
-  // Only link-crossing events can land on a foreign shard (nodes ride with
-  // their attached switch), and links impose >= lookahead latency, so the
-  // event is due strictly after the current window: the barrier drain gets
+  // Foreign shard: links impose >= the cut's lookahead latency, so the
+  // event is due strictly after the current window — the barrier drain gets
   // it into the target queue in time.
-  switch (ev.kind) {
-    case EventKind::kHeaderArrive: {
-      MailboxEntry e;
-      e.ev = ev;
-      e.pkt = packet(ev.c);
-      e.hasPacket = true;
-      releasePacket(ev.c);  // payload moves pools: source slot is free now
-      sh.outbox[static_cast<std::size_t>(target)].push(e);
-      return;
-    }
-    case EventKind::kCreditToSwitch:
-      sh.outbox[static_cast<std::size_t>(target)].push(
-          MailboxEntry{ev, Packet{}, false});
-      return;
-    default:
-      throw std::logic_error("Fabric: unexpected cross-shard event kind");
+  if (ev.kind == EventKind::kHeaderArrive) {
+    MailboxEntry e;
+    e.ev = ev;
+    e.pkt = packet(ev.c);
+    e.hasPacket = true;
+    releasePacket(ev.c);  // payload moves pools: source slot is free now
+    sh.outbox[static_cast<std::size_t>(target)].push(e);
+    return;
   }
+  if (ev.kind == EventKind::kCreditToSwitch) {
+    sh.outbox[static_cast<std::size_t>(target)].push(
+        MailboxEntry{ev, Packet{}, false});
+    return;
+  }
+  throw std::logic_error("Fabric: unexpected cross-shard event kind");
 }
 
 void Fabric::pushCoord(Event ev) {
@@ -118,8 +104,8 @@ void Fabric::start() {
       if (t != kTimeNever) {
         Shard& sh = shards_[static_cast<std::size_t>(shardOfNode(n))];
         sh.producer = producerOfNode(n);
-        pushFrom(sh, Event{t, 0, EventKind::kNodeGenerate,
-                           static_cast<std::uint32_t>(n), 0, 0});
+        pushLocal(sh, Event{t, 0, EventKind::kNodeGenerate,
+                            static_cast<std::uint32_t>(n), 0, 0});
       }
     }
   }
@@ -171,9 +157,7 @@ void Fabric::run(const RunLimits& limits) {
                     checkEpoch_, 0, 0});
   }
 
-  const SimTime lookahead =
-      params_.linkPropagationNs > 0 ? params_.linkPropagationNs : 1;
-  runWindows(limits, lookahead);
+  runWindows(limits);
 }
 
 SimTime Fabric::nextEventTime() {
@@ -206,37 +190,59 @@ bool Fabric::postWindow(const RunLimits& limits) {
   return controlChecks(limits);
 }
 
-void Fabric::runWindows(const RunLimits& limits, SimTime lookahead) {
+void Fabric::runWindows(const RunLimits& limits) {
   const int numShards = static_cast<int>(shards_.size());
 
   // One loop body for both paths. Returns false when the run is over. The
-  // window bounds are computed from the *global* queue state, never from the
-  // shard count, so the sequence of windows — and hence the state every
-  // barrier-side consumer (observers, checker, watchdog, leak ledger) sees —
-  // is identical for every thread count.
+  // window plan is free to differ across shard counts and partitions — the
+  // per-shard lookahead bounds below depend on both — because everything
+  // the results are built from is plan-independent: the processed event set
+  // is bounded by simulated time (endTime or the stop horizon), coordinator
+  // events dispatch at their exact timestamps, and observer replay at each
+  // barrier recreates the inline call order.
   const auto planWindow = [&](SimTime& wEnd) -> bool {
-    while (!stopRequested_) {
+    for (;;) {
+      // A stop with no horizon (coordinator aborts, external requestStop)
+      // keeps its immediate semantics; a horizon-armed stop instead runs
+      // the event set out to the horizon below.
+      const bool stopNow = stopRequested_ && stopHorizon_ == kTimeNever;
+      if (stopNow) return false;
       const SimTime tNext = nextEventTime();
       if (tNext == kTimeNever || tNext > limits.endTime) return false;
+      if (tNext > stopHorizon_) return false;
       if (!coordQueue_.empty() && coordQueue_.top().time == tNext) {
         // Global events dispatch between windows, with every shard quiesced
         // at exactly their timestamp (shards have processed everything
         // earlier; their next events are at or after tNext).
         now_ = tNext;
         while (!coordQueue_.empty() && coordQueue_.top().time == tNext &&
-               !stopRequested_) {
+               !(stopRequested_ && stopHorizon_ == kTimeNever)) {
           dispatchCoord(coordQueue_.pop());
         }
         continue;  // the dispatch may have queued work anywhere: replan
       }
-      wEnd = tNext + lookahead;
+      // Per-shard-pair lookahead: shard j's earliest possible cross-shard
+      // effect is its queue top plus the minimum link latency crossing its
+      // boundary, so the window may extend to the earliest such bound over
+      // the non-empty shards — capped by windowCapEff_ so a run with few
+      // (or no) constraining shards still barriers often enough for the
+      // stop horizon and any attached transport's ack hand-off.
+      wEnd = tNext + windowCapEff_;
+      for (Shard& sh : shards_) {
+        if (sh.lookOutNs == kTimeNever || sh.queue.empty()) continue;
+        const SimTime bound = sh.queue.top().time + sh.lookOutNs;
+        if (bound < wEnd) wEnd = bound;
+      }
       if (!coordQueue_.empty() && coordQueue_.top().time < wEnd) {
         wEnd = coordQueue_.top().time;
       }
       if (limits.endTime + 1 < wEnd) wEnd = limits.endTime + 1;
+      if (stopHorizon_ != kTimeNever && stopHorizon_ + 1 < wEnd) {
+        wEnd = stopHorizon_ + 1;
+      }
+      ++windowsExecuted_;
       return true;
     }
-    return false;
   };
 
   if (numShards == 1) {
@@ -306,8 +312,8 @@ void Fabric::runWindows(const RunLimits& limits, SimTime lookahead) {
 
 void Fabric::processShardWindow(Shard& sh, SimTime windowEnd) {
   EventQueue& q = sh.queue;
-  while (!q.empty() && q.top().time < windowEnd) {
-    const Event ev = q.pop();
+  Event ev;
+  while (q.popBefore(windowEnd, ev)) {
     sh.now = ev.time;
     ++sh.counters.events;
     dispatchShard(sh, ev);
@@ -402,8 +408,19 @@ void Fabric::drainMailboxes() {
     for (int dst = 0; dst < numShards; ++dst) {
       auto& mb = shards_[static_cast<std::size_t>(src)]
                      .outbox[static_cast<std::size_t>(dst)];
-      if (mb.empty()) continue;
+      if (mb.empty()) {
+        // Still close the edge's epoch: the capacity-release policy needs
+        // to see idle windows so a one-off burst (fault storm) doesn't pin
+        // slab memory on an edge that went quiet.
+        mb.endEpoch();
+        continue;
+      }
+      crossShardMessages_ += static_cast<std::uint64_t>(mb.size());
       Shard& dsh = shards_[static_cast<std::size_t>(dst)];
+      // Whole-edge batch: materialize the run of events first (packet
+      // copies + deferred ledger writes), then push them into the target
+      // queue in one call that hoists the queue's per-push kind dispatch.
+      drainScratch_.clear();
       for (const MailboxEntry& e : mb.entries()) {
         Event ev = e.ev;
         if (e.hasPacket) {
@@ -418,9 +435,10 @@ void Fabric::drainMailboxes() {
               .pendingCredits[static_cast<std::size_t>(unpackVl(ev.b))] +=
               static_cast<int>(ev.c);
         }
-        dsh.queue.pushStamped(ev);
+        drainScratch_.push_back(ev);
       }
-      mb.reset();
+      dsh.queue.pushStampedBatch(drainScratch_.data(), drainScratch_.size());
+      mb.endEpoch();
     }
   }
 }
@@ -455,6 +473,9 @@ void Fabric::replayObservers() {
     if (best < 0) break;
     const ObsRecord& r = shards_[static_cast<std::size_t>(best)]
                              .obs[pos[static_cast<std::size_t>(best)]++];
+    // Observer context: a requestStop() from inside the callback anchors
+    // its stop horizon to the event that triggered the callback.
+    obsCtxTime_ = r.evTime;
     switch (r.type) {
       case ObsType::kGenerated:
         observer_->onGenerated(r.pkt, r.now);
@@ -467,6 +488,7 @@ void Fabric::replayObservers() {
         break;
     }
   }
+  obsCtxTime_ = -1;
   for (Shard& sh : shards_) sh.obs.clear();
 }
 
@@ -476,6 +498,10 @@ void Fabric::notifyObserver(Shard& sh, ObsType type, const Packet& pkt) {
   // global order. Buffering the bootstrap would lose the node iteration
   // order (its records all stamp time 0 / pre-event context).
   if (shards_.size() == 1 || !windowsActive_) {
+    // Inline calls only ever run on the coordinator thread (one shard, or
+    // the pre-window bootstrap), so publishing the observer context for a
+    // possible requestStop() inside the callback is race-free.
+    obsCtxTime_ = sh.now;
     switch (type) {
       case ObsType::kGenerated:
         observer_->onGenerated(pkt, sh.now);
@@ -487,6 +513,7 @@ void Fabric::notifyObserver(Shard& sh, ObsType type, const Packet& pkt) {
         observer_->onDelivered(pkt, sh.now);
         break;
     }
+    obsCtxTime_ = -1;
     return;
   }
   sh.obs.push_back(
@@ -553,8 +580,8 @@ void Fabric::handleNodeGenerate(Shard& sh, NodeId n) {
       n, sh.now, nodeRngs_[static_cast<std::size_t>(n)]);
   if (next == kTimeNever) return;
   if (next <= generationEnd_) {
-    pushFrom(sh, Event{next, 0, EventKind::kNodeGenerate,
-                       static_cast<std::uint32_t>(n), 0, 0});
+    pushLocal(sh, Event{next, 0, EventKind::kNodeGenerate,
+                        static_cast<std::uint32_t>(n), 0, 0});
   } else {
     // Beyond this run's horizon: park it; a later run() re-arms it.
     nodes_[static_cast<std::size_t>(n)].pendingGenTime = next;
@@ -565,8 +592,8 @@ void Fabric::scheduleNodeTryTx(Shard& sh, NodeId n, SimTime when) {
   NodeModel& nd = nodes_[static_cast<std::size_t>(n)];
   if (nd.lastTryTxScheduled == when) return;
   nd.lastTryTxScheduled = when;
-  pushFrom(sh, Event{when, 0, EventKind::kNodeTryTx,
-                     static_cast<std::uint32_t>(n), 0, 0});
+  pushLocal(sh, Event{when, 0, EventKind::kNodeTryTx,
+                      static_cast<std::uint32_t>(n), 0, 0});
 }
 
 void Fabric::handleNodeTryTx(Shard& sh, NodeId n) { tryNodeTx(sh, n); }
@@ -600,9 +627,10 @@ void Fabric::tryNodeTx(Shard& sh, NodeId n) {
 
   const SwitchId sw = topo_.switchOfNode(n);
   const PortIndex port = topo_.portOfNode(n);
-  pushFrom(sh, Event{sh.now + params_.linkPropagationNs, 0,
-                     EventKind::kHeaderArrive, static_cast<std::uint32_t>(sw),
-                     packPortVl(port, vl), ref});
+  // The injecting CA's own switch: same shard by construction.
+  pushLocal(sh, Event{sh.now + params_.linkPropagationNs, 0,
+                      EventKind::kHeaderArrive, static_cast<std::uint32_t>(sw),
+                      packPortVl(port, vl), ref});
 
   if (traffic_->saturationMode()) refillSaturationQueue(sh, n);
   scheduleNodeTryTx(sh, n, txEnd);
@@ -789,10 +817,11 @@ void Fabric::scheduleCreditToNode(Shard& sh, NodeId n, VlIndex vl,
                                   int credits, SimTime when) {
   nodes_[static_cast<std::size_t>(n)]
       .pendingCredits[static_cast<std::size_t>(vl)] += credits;
-  pushFrom(sh, Event{when, 0, EventKind::kCreditToNode,
-                     static_cast<std::uint32_t>(n),
-                     static_cast<std::uint32_t>(vl),
-                     static_cast<std::uint32_t>(credits)});
+  // Credits flow to a CA only from its own switch: same shard.
+  pushLocal(sh, Event{when, 0, EventKind::kCreditToNode,
+                      static_cast<std::uint32_t>(n),
+                      static_cast<std::uint32_t>(vl),
+                      static_cast<std::uint32_t>(credits)});
 }
 
 void Fabric::returnCreditUpstream(Shard& sh, const SwitchInputPort& in,

@@ -9,6 +9,7 @@
 #include "congestion/congestion.hpp"
 #include "core/selection.hpp"
 #include "sim/event_queue.hpp"
+#include "topology/partition.hpp"
 #include "util/types.hpp"
 
 namespace ibadapt {
@@ -83,6 +84,22 @@ struct FabricParams {
   /// Results are bit-identical for every value.
   int threads = 1;
 
+  /// Switch->shard assignment for SimKernel::kParallel. Results are
+  /// bit-identical for every strategy; the choice only moves the
+  /// cross-shard mailbox traffic (topology/partition.hpp).
+  PartitionStrategy partition = PartitionStrategy::kTopology;
+
+  /// Hard ceiling on the width of a conservative-lookahead window, in ns.
+  /// 0 (default) = auto: 8 x max(1, linkPropagationNs). Windows are usually
+  /// bounded by the per-shard-pair link lookahead anyway; the cap is what
+  /// bounds them when no cross-shard edge constrains the plan (sequential
+  /// kernels, shards with no cut links), and it is the quantity the stop
+  /// horizon adds to the stop-triggering event time — so it must stay small
+  /// enough that a run never overshoots a transport's ack delay (the engine
+  /// additionally clamps the effective cap to the attached transport's
+  /// ackDelayNs at run time).
+  SimTime windowCapNs = 0;
+
   void validate() const {
     if (numVls < 1 || numVls > 15) {
       throw std::invalid_argument("FabricParams: numVls in [1,15]");
@@ -111,6 +128,9 @@ struct FabricParams {
     }
     if (threads < 1) {
       throw std::invalid_argument("FabricParams: threads >= 1");
+    }
+    if (windowCapNs < 0) {
+      throw std::invalid_argument("FabricParams: windowCapNs >= 0");
     }
     congestion.validate();
   }

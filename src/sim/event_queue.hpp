@@ -103,8 +103,19 @@ class EventQueue {
   /// order among equal (time, seq) pairs is unspecified.
   void pushStamped(const Event& ev);
 
+  /// Batch pushStamped for a whole run of events (a drained mailbox edge):
+  /// hoists the kernel-kind dispatch out of the per-event loop. Order and
+  /// tie-breaking are identical to n individual pushStamped calls.
+  void pushStampedBatch(const Event* evs, std::size_t n);
+
   /// Pop the earliest event. Precondition: !empty().
   Event pop();
+
+  /// Pop the earliest event into `out` if one exists and is due strictly
+  /// before `limit`; returns false otherwise. Equivalent to an empty() /
+  /// top() / pop() sequence but positions the wheel cursor once — this is
+  /// the windowed engine's per-event fast path.
+  bool popBefore(SimTime limit, Event& out);
 
   /// Earliest event without popping. Positions the wheel cursor, hence
   /// non-const. Precondition: !empty().
@@ -196,6 +207,24 @@ inline void EventQueue::push(Event ev) {
   pushStamped(ev);
 }
 
+inline void EventQueue::pushStampedBatch(const Event* evs, std::size_t n) {
+  size_ += n;
+  if (kind_ == SimKernel::kLegacyHeap) {
+    for (std::size_t i = 0; i < n; ++i) heap_.push(evs[i]);
+    return;
+  }
+  const std::int64_t horizonDay =
+      baseDay_ + static_cast<std::int64_t>(numBuckets_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& ev = evs[i];
+    if ((ev.time >> dayShift_) < horizonDay) {
+      insertWheel(ev);
+    } else {
+      overflow_.push(ev);
+    }
+  }
+}
+
 inline Event EventQueue::pop() {
   --size_;
   if (kind_ == SimKernel::kLegacyHeap) {
@@ -215,6 +244,34 @@ inline Event EventQueue::pop() {
     clearBit(idx);
   }
   return ev;
+}
+
+inline bool EventQueue::popBefore(SimTime limit, Event& out) {
+  if (size_ == 0) return false;
+  if (kind_ == SimKernel::kLegacyHeap) {
+    const Event& ev = heap_.top();
+    if (ev.time >= limit) return false;
+    out = ev;
+    heap_.pop();
+    --size_;
+    return true;
+  }
+  positionCursor();
+  const std::size_t idx = static_cast<std::size_t>(baseDay_) & indexMask_;
+  Bucket& b = buckets_[idx];
+  const Event& ev = b.events[b.head];
+  if (ev.time >= limit) return false;
+  out = ev;
+  ++b.head;
+  --wheelCount_;
+  --size_;
+  if (b.head == b.events.size()) {
+    b.events.clear();
+    b.head = 0;
+    releaseBurst(b);
+    clearBit(idx);
+  }
+  return true;
 }
 
 inline const Event& EventQueue::top() {

@@ -186,6 +186,20 @@ Topology makeFatTree(const FatTreeSpec& spec) {
     }
     digitStride *= k;
   }
+  // Locality hint: group = position within the level (the "column" of one
+  // switch per level sharing position w). A column is the unit a shard
+  // partition should never split — its straight links run through every
+  // level — and positions sharing high radix-k digits are numerically
+  // adjacent, so contiguous column ranges cut only the top butterfly
+  // stages, the ones the fewest source/destination pairs ever climb to.
+  std::vector<std::int32_t> groups(static_cast<std::size_t>(numSwitches));
+  for (int l = 0; l < n; ++l) {
+    for (int w = 0; w < m; ++w) {
+      groups[static_cast<std::size_t>(l * m + w)] =
+          static_cast<std::int32_t>(w);
+    }
+  }
+  topo.setLocalityGroups(std::move(groups));
   return topo;
 }
 
@@ -279,6 +293,14 @@ Topology makeDragonfly(const DragonflySpec& spec) {
   if (!topo.connectedSwitchGraph()) {
     throw std::runtime_error("makeDragonfly: disconnected wiring (bug)");
   }
+  // Locality hint: group = dragonfly group. Keeping a group whole keeps its
+  // entire clique internal, so a shard boundary can only ever cut the far
+  // sparser global links.
+  std::vector<std::int32_t> groups(static_cast<std::size_t>(numSwitches));
+  for (SwitchId sw = 0; sw < numSwitches; ++sw) {
+    groups[static_cast<std::size_t>(sw)] = static_cast<std::int32_t>(sw / a);
+  }
+  topo.setLocalityGroups(std::move(groups));
   return topo;
 }
 

@@ -1,0 +1,379 @@
+#include "topology/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ibadapt {
+
+namespace {
+
+/// Wired-port weight of every switch: attached CAs plus live inter-switch
+/// links. Ports that were never wired own no buffers or credit state and
+/// generate no events, so they carry no weight.
+std::vector<std::int64_t> switchWeights(const Topology& topo) {
+  const int numSwitches = topo.numSwitches();
+  std::vector<std::int64_t> w(static_cast<std::size_t>(numSwitches), 0);
+  for (SwitchId s = 0; s < numSwitches; ++s) {
+    w[static_cast<std::size_t>(s)] =
+        static_cast<std::int64_t>(topo.nodeCount(s)) +
+        static_cast<std::int64_t>(topo.interSwitchDegree(s));
+  }
+  return w;
+}
+
+/// Fill the result's metrics from a finished shardOf assignment.
+void finishMetrics(const Topology& topo, const SwitchAdjacency& adj,
+                   int shards, PartitionResult& r) {
+  const int numSwitches = topo.numSwitches();
+  const std::vector<std::int64_t> w = switchWeights(topo);
+  r.shardWeight.assign(static_cast<std::size_t>(shards), 0);
+  r.totalWeight = 0;
+  for (SwitchId s = 0; s < numSwitches; ++s) {
+    r.shardWeight[static_cast<std::size_t>(
+        r.shardOf[static_cast<std::size_t>(s)])] +=
+        w[static_cast<std::size_t>(s)];
+    r.totalWeight += w[static_cast<std::size_t>(s)];
+  }
+  r.maxWeight = 0;
+  for (const std::int64_t sw : r.shardWeight) {
+    r.maxWeight = std::max(r.maxWeight, sw);
+  }
+  // Count each undirected link once via the lower endpoint id. Parallel
+  // links between the same switch pair each count (they each carry their
+  // own mailbox traffic).
+  r.cutLinks = 0;
+  r.totalLinks = static_cast<std::uint64_t>(topo.numLinks());
+  for (SwitchId s = 0; s < numSwitches; ++s) {
+    const SwitchAdjacency::Span nb = adj.neighbors(s);
+    for (int i = 0; i < nb.count; ++i) {
+      if (nb.ids[i] < s) continue;
+      if (nb.ids[i] == s) {
+        // Self-loop halves count twice in the CSR; charge once, never cut.
+        continue;
+      }
+      if (r.shardOf[static_cast<std::size_t>(s)] !=
+          r.shardOf[static_cast<std::size_t>(nb.ids[i])]) {
+        ++r.cutLinks;
+      }
+    }
+  }
+  const std::int64_t ideal =
+      (r.totalWeight + shards - 1) / std::max(shards, 1);
+  r.imbalance = ideal > 0 ? static_cast<double>(r.maxWeight) /
+                                static_cast<double>(ideal)
+                          : 1.0;
+}
+
+/// Per-endpoint traffic weight of a link for the grow/refine objective:
+/// a link touching CA-bearing switches carries every packet those CAs
+/// inject or eject (plus the matching credit returns), so cutting it costs
+/// far more mailbox traffic than cutting an interior link. Weighting the
+/// cut objective by 1 + CAs(u) + CAs(v) steers both passes toward keeping
+/// the injection-adjacent boundary inside one shard — raw geometric cut is
+/// reported as a diagnostic, but traffic is what the window barrier pays.
+std::vector<std::int32_t> linkTrafficBias(const Topology& topo) {
+  const int numSwitches = topo.numSwitches();
+  std::vector<std::int32_t> bias(static_cast<std::size_t>(numSwitches), 0);
+  for (SwitchId s = 0; s < numSwitches; ++s) {
+    bias[static_cast<std::size_t>(s)] =
+        static_cast<std::int32_t>(topo.nodeCount(s));
+  }
+  return bias;
+}
+
+/// Group-aware seeding for hierarchical fabrics: pack whole locality groups
+/// (fat-tree position columns, dragonfly groups), in group-id order, into
+/// shards with the per-shard target recomputed from the remaining weight —
+/// the same policy as the greedy grower, one level up. Generators number
+/// groups so that numerically adjacent ids are topologically close, so a
+/// contiguous run of groups cuts only the boundaries the hierarchy itself
+/// marks as cold (top butterfly stages, inter-group globals). Returns false
+/// — leaving shardOf untouched — when the hint is absent or whole-group
+/// packing cannot meet the balance cap (fewer populated groups than shards,
+/// or a run that would overshoot); the greedy grower then takes over.
+bool seedFromGroups(const Topology& topo, int shards, double epsilon,
+                    std::vector<std::int32_t>& shardOf) {
+  if (!topo.hasLocalityGroups()) return false;
+  const int numSwitches = topo.numSwitches();
+  const std::vector<std::int64_t> w = switchWeights(topo);
+  std::vector<std::int64_t> groupW(static_cast<std::size_t>(numSwitches), 0);
+  std::vector<std::int32_t> groupPop(static_cast<std::size_t>(numSwitches),
+                                     0);
+  std::int64_t totalW = 0;
+  std::int64_t maxSwitchW = 0;
+  for (SwitchId s = 0; s < numSwitches; ++s) {
+    const auto g = static_cast<std::size_t>(topo.localityGroupOf(s));
+    groupW[g] += w[static_cast<std::size_t>(s)];
+    ++groupPop[g];
+    totalW += w[static_cast<std::size_t>(s)];
+    maxSwitchW = std::max(maxSwitchW, w[static_cast<std::size_t>(s)]);
+  }
+  std::vector<std::int32_t> order;  // populated group ids, ascending
+  for (std::int32_t g = 0; g < numSwitches; ++g) {
+    if (groupPop[static_cast<std::size_t>(g)] > 0) order.push_back(g);
+  }
+  if (static_cast<int>(order.size()) < shards) return false;
+
+  const std::int64_t ideal = (totalW + shards - 1) / shards;
+  const std::int64_t cap = std::max<std::int64_t>(
+      static_cast<std::int64_t>(static_cast<double>(ideal) * (1.0 + epsilon)),
+      maxSwitchW);
+  std::vector<std::int32_t> shardOfGroup(static_cast<std::size_t>(numSwitches),
+                                         -1);
+  std::int64_t remainingW = totalW;
+  std::size_t g = 0;
+  for (int k = 0; k < shards; ++k) {
+    const int reserve = shards - k - 1;
+    const std::int64_t target = (remainingW + reserve) / (reserve + 1);
+    std::int64_t weight = 0;
+    while (g < order.size()) {
+      // Take at least one group per shard; stop once the target is met or
+      // only enough groups remain to keep the later shards non-empty.
+      shardOfGroup[static_cast<std::size_t>(order[g])] = k;
+      weight += groupW[static_cast<std::size_t>(order[g])];
+      remainingW -= groupW[static_cast<std::size_t>(order[g])];
+      ++g;
+      if (static_cast<int>(order.size() - g) <= reserve) break;
+      if (weight >= target) break;
+    }
+    if (weight > cap) return false;
+  }
+
+  shardOf.resize(static_cast<std::size_t>(numSwitches));
+  for (SwitchId s = 0; s < numSwitches; ++s) {
+    shardOf[static_cast<std::size_t>(s)] = shardOfGroup[static_cast<std::size_t>(
+        topo.localityGroupOf(s))];
+  }
+  return true;
+}
+
+/// Greedy graph growing: seed at the lowest-id unassigned switch, then
+/// repeatedly absorb the unassigned switch with the most (traffic-weighted)
+/// links into the growing shard (ties to the lowest id). Per-shard targets
+/// are recomputed from the remaining weight so early shards cannot starve
+/// late ones.
+void growShards(const Topology& topo, const SwitchAdjacency& adj, int shards,
+                double epsilon, std::vector<std::int32_t>& shardOf) {
+  const int numSwitches = topo.numSwitches();
+  const std::vector<std::int64_t> w = switchWeights(topo);
+  const std::vector<std::int32_t> bias = linkTrafficBias(topo);
+  std::int64_t totalW = 0;
+  std::int64_t maxSwitchW = 0;
+  for (const std::int64_t x : w) {
+    totalW += x;
+    maxSwitchW = std::max(maxSwitchW, x);
+  }
+  const std::int64_t ideal = (totalW + shards - 1) / shards;
+  const std::int64_t cap = std::max<std::int64_t>(
+      static_cast<std::int64_t>(static_cast<double>(ideal) * (1.0 + epsilon)),
+      maxSwitchW);
+
+  shardOf.assign(static_cast<std::size_t>(numSwitches), -1);
+  // gain[s] = links from unassigned switch s into the currently growing
+  // shard; rebuilt from zero at each seed.
+  std::vector<std::int32_t> gain(static_cast<std::size_t>(numSwitches), 0);
+  std::int64_t remainingW = totalW;
+  int assigned = 0;
+  SwitchId seedScan = 0;
+
+  for (int k = 0; k < shards && assigned < numSwitches; ++k) {
+    // Never overshoot so far that the remaining shards cannot all be
+    // non-empty: stop this shard while at least (shards - k - 1) switches
+    // remain unassigned.
+    const int reserve = shards - k - 1;
+    const std::int64_t target =
+        (remainingW + reserve) / (reserve + 1);  // ceil over remaining shards
+    while (seedScan < numSwitches &&
+           shardOf[static_cast<std::size_t>(seedScan)] >= 0) {
+      ++seedScan;
+    }
+    std::fill(gain.begin(), gain.end(), 0);
+    std::int64_t weight = 0;
+    SwitchId next = seedScan;  // seed: lowest-id unassigned switch
+    while (next >= 0) {
+      shardOf[static_cast<std::size_t>(next)] = k;
+      weight += w[static_cast<std::size_t>(next)];
+      remainingW -= w[static_cast<std::size_t>(next)];
+      ++assigned;
+      const SwitchAdjacency::Span nb = adj.neighbors(next);
+      for (int i = 0; i < nb.count; ++i) {
+        if (shardOf[static_cast<std::size_t>(nb.ids[i])] < 0) {
+          gain[static_cast<std::size_t>(nb.ids[i])] +=
+              1 + bias[static_cast<std::size_t>(next)] +
+              bias[static_cast<std::size_t>(nb.ids[i])];
+        }
+      }
+      if (numSwitches - assigned <= reserve) break;
+      if (weight >= target) break;
+      // Best frontier candidate that still fits under the cap; when the
+      // frontier is empty (disconnected component exhausted) fall back to
+      // the lowest-id unassigned switch.
+      next = -1;
+      std::int32_t bestGain = 0;
+      SwitchId fallback = -1;
+      for (SwitchId s = 0; s < numSwitches; ++s) {
+        if (shardOf[static_cast<std::size_t>(s)] >= 0) continue;
+        if (weight + w[static_cast<std::size_t>(s)] > cap) continue;
+        if (fallback < 0) fallback = s;
+        if (gain[static_cast<std::size_t>(s)] > bestGain) {
+          bestGain = gain[static_cast<std::size_t>(s)];
+          next = s;
+        }
+      }
+      if (next < 0) next = fallback;
+    }
+  }
+  // Leftovers (cap pressure on the last shard): lightest shard wins, ties
+  // to the lowest shard index — keeps the bound while staying deterministic.
+  if (assigned < numSwitches) {
+    std::vector<std::int64_t> sw(static_cast<std::size_t>(shards), 0);
+    for (SwitchId s = 0; s < numSwitches; ++s) {
+      if (shardOf[static_cast<std::size_t>(s)] >= 0) {
+        sw[static_cast<std::size_t>(shardOf[static_cast<std::size_t>(s)])] +=
+            w[static_cast<std::size_t>(s)];
+      }
+    }
+    for (SwitchId s = 0; s < numSwitches; ++s) {
+      if (shardOf[static_cast<std::size_t>(s)] >= 0) continue;
+      int best = 0;
+      for (int k = 1; k < shards; ++k) {
+        if (sw[static_cast<std::size_t>(k)] < sw[static_cast<std::size_t>(best)]) {
+          best = k;
+        }
+      }
+      shardOf[static_cast<std::size_t>(s)] = best;
+      sw[static_cast<std::size_t>(best)] += w[static_cast<std::size_t>(s)];
+    }
+  }
+}
+
+/// KL/FM-style polish: sweep switches in id order, moving a switch to the
+/// neighboring shard holding most of its traffic-weighted links when that
+/// strictly reduces the weighted cut, keeps every shard non-empty, and
+/// respects the balance cap. First-improvement, fixed pass budget,
+/// deterministic tie-breaks.
+void refine(const Topology& topo, const SwitchAdjacency& adj, int shards,
+            double epsilon, std::vector<std::int32_t>& shardOf) {
+  const int numSwitches = topo.numSwitches();
+  const std::vector<std::int64_t> w = switchWeights(topo);
+  const std::vector<std::int32_t> bias = linkTrafficBias(topo);
+  std::int64_t totalW = 0;
+  std::int64_t maxSwitchW = 0;
+  for (const std::int64_t x : w) {
+    totalW += x;
+    maxSwitchW = std::max(maxSwitchW, x);
+  }
+  const std::int64_t ideal = (totalW + shards - 1) / shards;
+  const std::int64_t cap = std::max<std::int64_t>(
+      static_cast<std::int64_t>(static_cast<double>(ideal) * (1.0 + epsilon)),
+      maxSwitchW);
+
+  std::vector<std::int64_t> shardW(static_cast<std::size_t>(shards), 0);
+  std::vector<std::int32_t> shardPop(static_cast<std::size_t>(shards), 0);
+  for (SwitchId s = 0; s < numSwitches; ++s) {
+    shardW[static_cast<std::size_t>(shardOf[static_cast<std::size_t>(s)])] +=
+        w[static_cast<std::size_t>(s)];
+    ++shardPop[static_cast<std::size_t>(
+        shardOf[static_cast<std::size_t>(s)])];
+  }
+
+  std::vector<std::int32_t> links(static_cast<std::size_t>(shards), 0);
+  constexpr int kMaxPasses = 8;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    int moved = 0;
+    for (SwitchId s = 0; s < numSwitches; ++s) {
+      const int cur = shardOf[static_cast<std::size_t>(s)];
+      if (shardPop[static_cast<std::size_t>(cur)] <= 1) continue;
+      std::fill(links.begin(), links.end(), 0);
+      const SwitchAdjacency::Span nb = adj.neighbors(s);
+      for (int i = 0; i < nb.count; ++i) {
+        links[static_cast<std::size_t>(
+            shardOf[static_cast<std::size_t>(nb.ids[i])])] +=
+            1 + bias[static_cast<std::size_t>(s)] +
+            bias[static_cast<std::size_t>(nb.ids[i])];
+      }
+      int best = cur;
+      for (int k = 0; k < shards; ++k) {
+        if (k == cur) continue;
+        if (links[static_cast<std::size_t>(k)] <=
+            links[static_cast<std::size_t>(best)]) {
+          continue;
+        }
+        if (shardW[static_cast<std::size_t>(k)] +
+                w[static_cast<std::size_t>(s)] >
+            cap) {
+          continue;
+        }
+        best = k;
+      }
+      if (best != cur) {
+        shardOf[static_cast<std::size_t>(s)] = best;
+        shardW[static_cast<std::size_t>(cur)] -= w[static_cast<std::size_t>(s)];
+        shardW[static_cast<std::size_t>(best)] += w[static_cast<std::size_t>(s)];
+        --shardPop[static_cast<std::size_t>(cur)];
+        ++shardPop[static_cast<std::size_t>(best)];
+        ++moved;
+      }
+    }
+    if (moved == 0) break;
+  }
+}
+
+}  // namespace
+
+const char* partitionStrategyName(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kBlock:
+      return "block";
+    case PartitionStrategy::kRoundRobin:
+      return "round-robin";
+    case PartitionStrategy::kTopology:
+      return "topology";
+  }
+  return "?";
+}
+
+PartitionResult partitionSwitches(const Topology& topo, int shards,
+                                  PartitionStrategy strategy,
+                                  double epsilon) {
+  const int numSwitches = topo.numSwitches();
+  if (shards < 1 || shards > numSwitches) {
+    throw std::invalid_argument("partitionSwitches: shards in [1, switches]");
+  }
+  if (epsilon < 0.0) {
+    throw std::invalid_argument("partitionSwitches: epsilon >= 0");
+  }
+  PartitionResult r;
+  const SwitchAdjacency adj(topo);
+  if (shards == 1) {
+    r.shardOf.assign(static_cast<std::size_t>(numSwitches), 0);
+    finishMetrics(topo, adj, shards, r);
+    return r;
+  }
+  switch (strategy) {
+    case PartitionStrategy::kBlock:
+      r.shardOf.resize(static_cast<std::size_t>(numSwitches));
+      for (SwitchId s = 0; s < numSwitches; ++s) {
+        r.shardOf[static_cast<std::size_t>(s)] = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(s) * shards / numSwitches);
+      }
+      break;
+    case PartitionStrategy::kRoundRobin:
+      r.shardOf.resize(static_cast<std::size_t>(numSwitches));
+      for (SwitchId s = 0; s < numSwitches; ++s) {
+        r.shardOf[static_cast<std::size_t>(s)] =
+            static_cast<std::int32_t>(s % shards);
+      }
+      break;
+    case PartitionStrategy::kTopology:
+      if (!seedFromGroups(topo, shards, epsilon, r.shardOf)) {
+        growShards(topo, adj, shards, epsilon, r.shardOf);
+      }
+      refine(topo, adj, shards, epsilon, r.shardOf);
+      break;
+  }
+  finishMetrics(topo, adj, shards, r);
+  return r;
+}
+
+}  // namespace ibadapt

@@ -160,6 +160,19 @@ bool Topology::connectedSwitchGraph() const {
   return true;
 }
 
+void Topology::setLocalityGroups(std::vector<std::int32_t> groups) {
+  if (groups.size() != static_cast<std::size_t>(numSwitches_)) {
+    throw std::invalid_argument("setLocalityGroups: one id per switch");
+  }
+  for (const std::int32_t g : groups) {
+    if (g < 0 || g >= numSwitches_) {
+      throw std::invalid_argument(
+          "setLocalityGroups: group ids must lie in [0, numSwitches)");
+    }
+  }
+  localityGroups_ = std::move(groups);
+}
+
 std::vector<int> Topology::bfsDistances(SwitchId from) const {
   std::vector<int> dist;
   std::vector<SwitchId> queue;

@@ -126,6 +126,18 @@ class Topology {
   /// Human-readable dump (for examples / debugging).
   std::string describe() const;
 
+  /// Locality-group hint for the shard partitioner. Hierarchical generators
+  /// label every switch with a group id such that (a) switches sharing an id
+  /// are densely wired to each other, and (b) numerically adjacent ids are
+  /// topologically close — so contiguous id ranges make good shards
+  /// (fat-tree position columns, dragonfly groups). Absent (empty) when the
+  /// topology has no known hierarchy. Ids must lie in [0, numSwitches()).
+  void setLocalityGroups(std::vector<std::int32_t> groups);
+  bool hasLocalityGroups() const { return !localityGroups_.empty(); }
+  std::int32_t localityGroupOf(SwitchId sw) const {
+    return localityGroups_[static_cast<std::size_t>(sw)];
+  }
+
  private:
   PortIndex firstFreePort(SwitchId sw) const;
 
@@ -141,6 +153,7 @@ class Topology {
   std::vector<NodeId> nodeBase_;
   std::vector<SwitchId> nodeSwitch_;
   std::vector<std::vector<Peer>> ports_;
+  std::vector<std::int32_t> localityGroups_;  // empty = no hint
 };
 
 /// Compact CSR snapshot of the inter-switch graph. The routing setup path

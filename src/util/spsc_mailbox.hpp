@@ -11,8 +11,13 @@
 // storage can be a plain vector — no per-push atomics on the hot path, no
 // false sharing beyond the vector header.
 //
-// The entry capacity is retained across epochs: steady-state traffic
-// allocates nothing.
+// The entry capacity is retained across epochs, so steady-state traffic
+// allocates nothing — but not unconditionally: endEpoch() watches the
+// high-water mark over a fixed window of drains and releases burst capacity
+// the traffic stopped using, the same policy the calendar queue applies to
+// drained buckets (sim/event_queue.hpp kRetainEvents). At 4096 switches a
+// fault storm can spike a single edge to thousands of entries; without the
+// release every (src, dst) edge would pin its historic burst forever.
 //
 #include <cstddef>
 #include <vector>
@@ -22,6 +27,13 @@ namespace ibadapt {
 template <typename T>
 class SpscMailbox {
  public:
+  /// Drained mailboxes keep at least this capacity: large enough that
+  /// ordinary per-window cohorts never reallocate.
+  static constexpr std::size_t kRetainEntries = 16;
+  /// Drains per capacity-policy window: long enough that a briefly idle
+  /// edge keeps its warm capacity through ordinary traffic gaps.
+  static constexpr std::size_t kPolicyWindow = 64;
+
   /// Producer phase (owning shard thread only).
   void push(const T& item) { items_.push_back(item); }
   template <typename... Args>
@@ -30,16 +42,39 @@ class SpscMailbox {
   }
 
   /// Consumer phase (coordinator only, between barriers). The returned
-  /// entries stay valid until reset().
+  /// entries stay valid until reset() / endEpoch().
   const std::vector<T>& entries() const { return items_; }
   bool empty() const { return items_.empty(); }
   std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return items_.capacity(); }
 
   /// Consumer phase: discard the drained entries, keeping capacity.
   void reset() { items_.clear(); }
 
+  /// Consumer phase: reset() plus the capacity-release policy — call once
+  /// per edge per barrier (empty edges too). When a whole policy window
+  /// passes with the high-water mark far below the retained capacity, the
+  /// dead burst capacity is released back to the allocator.
+  void endEpoch() {
+    if (items_.size() > highWater_) highWater_ = items_.size();
+    items_.clear();
+    if (++drains_ < kPolicyWindow) return;
+    if (items_.capacity() > kRetainEntries &&
+        highWater_ * 4 <= items_.capacity()) {
+      const std::size_t keep =
+          highWater_ * 2 > kRetainEntries ? highWater_ * 2 : kRetainEntries;
+      std::vector<T> slim;
+      slim.reserve(keep);
+      items_.swap(slim);
+    }
+    drains_ = 0;
+    highWater_ = 0;
+  }
+
  private:
   std::vector<T> items_;
+  std::size_t drains_ = 0;
+  std::size_t highWater_ = 0;
 };
 
 }  // namespace ibadapt

@@ -90,6 +90,27 @@ TEST(OptionCensus, HigherMrNeverReducesOptions) {
   }
 }
 
+TEST(OptionCensus, SkipsTransitOnlySwitchesOnHierarchicalFabrics) {
+  // Fat-tree upper tiers host no CAs, so they are not destinations: the
+  // census must count only pairs targeting CA-bearing switches (it used to
+  // call nodeAt on node-less switches and read past the node table).
+  FatTreeSpec spec;
+  spec.arity = 2;
+  spec.levels = 4;  // 32 switches, 8 CA-bearing leaves
+  spec.hostsPerLeaf = 2;
+  const Topology topo = makeFatTree(spec);
+  const RouteSet routes = makeRoutes(topo);
+  const OptionCensus c = routingOptionCensus(topo, routes, 2);
+  // 32 sources x 8 leaf destinations, minus the 8 self pairs.
+  EXPECT_EQ(c.pairs, 32L * 8L - 8L);
+  EXPECT_GE(c.avgOptions, 1.0);
+  double sum = 0;
+  for (int k = 1; k <= OptionCensus::kMaxCensusOptions; ++k) {
+    sum += c.pct[static_cast<std::size_t>(k)];
+  }
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
 TEST(OptionCensus, RejectsBadMr) {
   const Topology topo = makeRing(4, 2);
   const RouteSet routes = makeRoutes(topo);

@@ -120,7 +120,12 @@ TEST(SelectionBehavior, LivePacketCapStopsRunawayRuns) {
   // Absurd over-offering with a tiny cap: the engine must stop and flag it
   // rather than grow without bound.
   const Topology topo = diamond();
-  Fabric fabric(topo, FabricParams{});
+  FabricParams fp;
+  // Pin the window width: the cap below is enforced at window boundaries,
+  // so the overshoot bound scales with however wide the engine's windows
+  // are allowed to grow.
+  fp.windowCapNs = 100;
+  Fabric fabric(topo, fp);
   SubnetManager sm(fabric);
   sm.configure();
   TrafficSpec ts;
